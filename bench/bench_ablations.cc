@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out:
+ *   1. load-bypass buffer depth (the paper's "6-or-7-cycle ways add
+ *      little yield" argument),
+ *   2. the H-YAPD layout delay overhead (where H-YAPD stops paying),
+ *   3. inter-way spatial correlation (the premise of H-YAPD),
+ *   4. the horizontal-region granularity (the coarse/fine power-down
+ *      trade-off of the Section 6 comparison with Agarwal et al.),
+ *   5. the power-down budget (1 way vs 2, against the paper's 2%
+ *      performance budget).
+ * All ablations are yield-side Monte Carlo sweeps (2000 chips each).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "yield/schemes/hybrid.hh"
+#include "yield/schemes/hyapd.hh"
+#include "yield/schemes/vaca.hh"
+#include "yield/schemes/yapd.hh"
+
+using namespace yac;
+
+namespace
+{
+
+void
+bufferDepthSweep(const MonteCarloResult &mc)
+{
+    std::printf("Ablation 1: load-bypass buffer depth "
+                "(VACA / Hybrid residual losses)\n");
+    const YieldConstraints c = mc.constraints(ConstraintPolicy::nominal());
+    const CycleMapping m = mc.cycleMapping(ConstraintPolicy::nominal());
+    TextTable out({"Buffer depth", "Max way latency", "VACA lost",
+                   "Hybrid lost"});
+    for (int depth = 0; depth <= 3; ++depth) {
+        VacaScheme vaca(depth);
+        HybridScheme hybrid(depth);
+        const LossTable t =
+            buildLossTable(mc.regular, c, m, {&vaca, &hybrid});
+        out.addRow({TextTable::num(static_cast<long long>(depth)),
+                    std::to_string(4 + depth) + " cycles",
+                    TextTable::num(
+                        static_cast<long long>(t.schemes[0].total)),
+                    TextTable::num(
+                        static_cast<long long>(t.schemes[1].total))});
+    }
+    out.print();
+    std::printf("expected: diminishing returns past depth 1 -- the "
+                "paper's reason to stop at 4-or-5-cycle support.\n\n");
+}
+
+void
+hyapdOverheadSweep()
+{
+    std::printf("Ablation 2: H-YAPD layout delay overhead\n");
+    TextTable out({"Overhead", "Base lost (h-arch)", "H-YAPD lost",
+                   "Hybrid-H lost"});
+    for (double overhead : {0.0, 0.01, 0.025, 0.05, 0.08}) {
+        Technology tech = defaultTechnology();
+        tech.hyapdDelayFactor = 1.0 + overhead;
+        CacheGeometry geom;
+        VariationSampler sampler(VariationTable(), CorrelationModel(),
+                                 geom.variationGeometry());
+        MonteCarlo mc(sampler, geom, tech);
+        const MonteCarloResult r = mc.run({2000, 2006});
+        const YieldConstraints c =
+            r.constraints(ConstraintPolicy::nominal());
+        const CycleMapping m =
+            r.cycleMapping(ConstraintPolicy::nominal());
+        HYapdScheme hyapd;
+        HybridHScheme hybrid_h;
+        const LossTable t =
+            buildLossTable(r.horizontal, c, m, {&hyapd, &hybrid_h});
+        out.addRow({TextTable::percent(overhead, 1),
+                    TextTable::num(
+                        static_cast<long long>(t.baseTotal)),
+                    TextTable::num(
+                        static_cast<long long>(t.schemes[0].total)),
+                    TextTable::num(
+                        static_cast<long long>(t.schemes[1].total))});
+    }
+    out.print();
+    std::printf("expected: the horizontal layout's extra delay eats "
+                "its own advantage as the overhead grows.\n\n");
+}
+
+void
+correlationSweep()
+{
+    std::printf("Ablation 3: inter-way spatial correlation "
+                "(scaling the paper's 0.375/0.45/0.7125 factors; "
+                "larger scale = LESS correlated ways)\n");
+    TextTable out({"Factor scale", "Base lost", "YAPD lost",
+                   "H-YAPD lost (h-arch)"});
+    for (double scale : {0.25, 0.5, 1.0, 1.4}) {
+        CorrelationModel corr;
+        corr.scaleWayFactors(scale);
+        CacheGeometry geom;
+        VariationSampler sampler(VariationTable(), corr,
+                                 geom.variationGeometry());
+        MonteCarlo mc(sampler, geom, defaultTechnology());
+        const MonteCarloResult r = mc.run({2000, 2006});
+        const YieldConstraints c =
+            r.constraints(ConstraintPolicy::nominal());
+        const CycleMapping m =
+            r.cycleMapping(ConstraintPolicy::nominal());
+        YapdScheme yapd;
+        const LossTable reg =
+            buildLossTable(r.regular, c, m, {&yapd});
+        HYapdScheme hyapd;
+        const LossTable hor =
+            buildLossTable(r.horizontal, c, m, {&hyapd});
+        out.addRow({TextTable::num(scale, 2),
+                    TextTable::num(
+                        static_cast<long long>(reg.baseTotal)),
+                    TextTable::num(
+                        static_cast<long long>(reg.schemes[0].total)),
+                    TextTable::num(
+                        static_cast<long long>(hor.schemes[0].total))});
+    }
+    out.print();
+    std::printf("expected: strongly correlated ways (small scale) "
+                "fail together, hurting YAPD's single-way budget -- "
+                "the paper's argument for powering down horizontal "
+                "regions instead.\n\n");
+}
+
+void
+regionGranularitySweep(const MonteCarloResult &mc)
+{
+    std::printf("Ablation 4: H-YAPD horizontal-region granularity "
+                "(finer slice = less capacity/leakage shed per "
+                "power-down, more post-decoder complexity)\n");
+    const YieldConstraints c = mc.constraints(ConstraintPolicy::nominal());
+    const CycleMapping m = mc.cycleMapping(ConstraintPolicy::nominal());
+    TextTable out({"Regions", "H-YAPD lost", "of which leakage",
+                   "of which delay"});
+    for (std::size_t regions : {2u, 4u, 8u, 16u, 32u}) {
+        HYapdScheme hyapd(0.5, 1, regions);
+        const LossTable t =
+            buildLossTable(mc.horizontal, c, m, {&hyapd});
+        const int leak = t.schemes[0].at(LossReason::Leakage);
+        out.addRow({TextTable::num(static_cast<long long>(regions)),
+                    TextTable::num(
+                        static_cast<long long>(t.schemes[0].total)),
+                    TextTable::num(static_cast<long long>(leak)),
+                    TextTable::num(static_cast<long long>(
+                        t.schemes[0].total - leak))});
+    }
+    out.print();
+    std::printf("expected: the paper's regions==ways (4) balances "
+                "leakage shedding against capacity; very fine "
+                "regions stop curing leakage-limited chips -- the "
+                "trade-off the paper holds against line-granular "
+                "designs (Section 6).\n\n");
+}
+
+void
+budgetSweep(const MonteCarloResult &mc)
+{
+    std::printf("Ablation 5: power-down budget (ways YAPD may "
+                "disable)\n");
+    const YieldConstraints c = mc.constraints(ConstraintPolicy::nominal());
+    const CycleMapping m = mc.cycleMapping(ConstraintPolicy::nominal());
+    TextTable out({"Budget [ways]", "YAPD lost", "Hybrid lost",
+                   "Note"});
+    for (int budget = 0; budget <= 2; ++budget) {
+        YapdScheme yapd(budget);
+        HybridScheme hybrid(1, budget);
+        const LossTable t =
+            buildLossTable(mc.regular, c, m, {&yapd, &hybrid});
+        out.addRow({TextTable::num(static_cast<long long>(budget)),
+                    TextTable::num(
+                        static_cast<long long>(t.schemes[0].total)),
+                    TextTable::num(
+                        static_cast<long long>(t.schemes[1].total)),
+                    budget <= 1 ? "within the paper's 2% CPI budget"
+                                : "exceeds the 2% CPI budget"});
+    }
+    out.print();
+    std::printf("expected: a second disabled way buys extra yield "
+                "but breaks the 2%% average-degradation budget that "
+                "capped the paper at one way (Section 4.2).\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Design-choice ablations (2000-chip Monte Carlo "
+                "sweeps)\n\n");
+    const MonteCarloResult mc = bench::paperMonteCarlo();
+    bufferDepthSweep(mc);
+    hyapdOverheadSweep();
+    correlationSweep();
+    regionGranularitySweep(mc);
+    budgetSweep(mc);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Extension bench: the adaptive Hybrid policy of Section 4.4 (the
+ * paper describes the per-application choice but evaluates only the
+ * fixed "keep ways on" policy). For a 3-1-0 chip, each benchmark can
+ * run the slow way at 5 cycles (VACA mode) or power it down (YAPD
+ * mode); the adaptive policy picks per benchmark using its memory
+ * intensity. The bench reports both costs, the adaptive pick, and
+ * what the oracle (min of the two) would achieve.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "sim/scenarios.hh"
+#include "util/csv.hh"
+#include "yield/schemes/adaptive_hybrid.hh"
+
+using namespace yac;
+
+int
+main()
+{
+    std::printf("Adaptive Hybrid (Section 4.4 extension): per-"
+                "benchmark choice for a 3-1-0 chip\n\n");
+    const SimConfig base = bench::benchSim(baselineScenario());
+    const std::vector<double> base_cpis = bench::baselineCpis(base);
+    const std::vector<double> keep = bench::degradationsVs(
+        base_cpis, bench::benchSim(vacaScenario(1)));
+    const std::vector<double> off = bench::degradationsVs(
+        base_cpis, bench::benchSim(yapdScenario(1)));
+
+    TextTable out({"Benchmark", "mem intensity", "keep@5cy [%]",
+                   "power down [%]", "adaptive pick", "adaptive [%]"});
+    CsvWriter csv("adaptive_hybrid.csv",
+                  {"benchmark", "memory_intensity", "keep_pct",
+                   "off_pct", "adaptive_pct", "oracle_pct"});
+    const auto &suite = spec2000Profiles();
+    double fixed_sum = 0.0, adaptive_sum = 0.0, oracle_sum = 0.0;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const double intensity =
+            AdaptiveHybridScheme::estimateMemoryIntensity(
+                suite[i].expectedL1MissRate(), 25.0);
+        const WorkloadCharacter character{intensity, 0.5};
+        const bool keeps = character.prefersCapacity();
+        const double adaptive = keeps ? keep[i] : off[i];
+        const double oracle = std::min(keep[i], off[i]);
+        fixed_sum += keep[i]; // the paper's fixed policy keeps ways on
+        adaptive_sum += adaptive;
+        oracle_sum += oracle;
+        out.addRow({suite[i].name, TextTable::num(intensity, 2),
+                    TextTable::num(keep[i], 2),
+                    TextTable::num(off[i], 2),
+                    keeps ? "keep @5cy" : "power down",
+                    TextTable::num(adaptive, 2)});
+        csv.writeRow({suite[i].name, TextTable::num(intensity, 3),
+                      TextTable::num(keep[i], 3),
+                      TextTable::num(off[i], 3),
+                      TextTable::num(adaptive, 3),
+                      TextTable::num(oracle, 3)});
+    }
+    const double n = static_cast<double>(suite.size());
+    out.addSeparator();
+    out.addRow({"average", "", TextTable::num(fixed_sum / n, 2),
+                "", "", TextTable::num(adaptive_sum / n, 2)});
+    out.print();
+    std::printf("\nfixed policy (paper): %.2f%% avg | adaptive: "
+                "%.2f%% | oracle: %.2f%%\n",
+                fixed_sum / n, adaptive_sum / n, oracle_sum / n);
+    std::printf("yield is identical under all three policies; the "
+                "adaptive choice only re-prices the saved chips.\n");
+    std::printf("wrote adaptive_hybrid.csv\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Extension bench: speed-binning economics. The related-work section
+ * frames binning as the industry's yield lever; this bench combines
+ * it with the paper's schemes -- a chip that misses the fast bin can
+ * fall to a cheaper bin *or* be reconfigured and stay fast. Reports
+ * bin populations, scrap and revenue for: no scheme, YAPD, VACA,
+ * Hybrid.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "util/table.hh"
+#include "yield/binning.hh"
+#include "yield/schemes/hybrid.hh"
+#include "yield/schemes/vaca.hh"
+#include "yield/schemes/yapd.hh"
+
+using namespace yac;
+
+int
+main()
+{
+    std::printf("Speed-binning economics with yield-aware schemes "
+                "(2000 chips)\n\n");
+    const MonteCarloResult mc = bench::paperMonteCarlo();
+    const YieldConstraints nominal =
+        mc.constraints(ConstraintPolicy::nominal());
+
+    const BinningAnalysis binning(
+        BinningAnalysis::standardBins(nominal.delayLimitPs),
+        nominal.leakageLimitMw);
+
+    YapdScheme yapd;
+    VacaScheme vaca;
+    HybridScheme hybrid;
+
+    TextTable out({"Policy", "fast bin", "mid bin", "value bin",
+                   "scrap", "revenue / chip"});
+    auto add_row = [&](const std::string &name,
+                       const BinningReport &r) {
+        out.addRow({name,
+                    TextTable::num(static_cast<long long>(
+                        r.binCounts[0])),
+                    TextTable::num(static_cast<long long>(
+                        r.binCounts[1])),
+                    TextTable::num(static_cast<long long>(
+                        r.binCounts[2])),
+                    TextTable::num(static_cast<long long>(r.scrapped)),
+                    TextTable::num(r.averageRevenue(mc.regular.size()),
+                                   2)});
+    };
+    const BinningReport plain = binning.binPopulation(mc.regular);
+    add_row("binning only", plain);
+    add_row("binning + YAPD", binning.binPopulation(mc.regular, yapd));
+    add_row("binning + VACA", binning.binPopulation(mc.regular, vaca));
+    const BinningReport with_hybrid =
+        binning.binPopulation(mc.regular, hybrid);
+    add_row("binning + Hybrid", with_hybrid);
+    out.print();
+
+    std::printf("\nrevenue uplift of Hybrid over plain binning: "
+                "%+.1f%%\n",
+                100.0 * (with_hybrid.totalRevenue /
+                             plain.totalRevenue -
+                         1.0));
+    std::printf("bins: fast <= %.0f ps (price 100), mid <= %.0f ps "
+                "(70), value <= %.0f ps (45); reconfigured parts "
+                "sell at a 3%%/way discount.\n",
+                binning.bins()[0].delayLimitPs,
+                binning.bins()[1].delayLimitPs,
+                binning.bins()[2].delayLimitPs);
+    std::printf("expected shape: schemes both rescue scrap AND lift "
+                "mid-bin chips into the fast bin -- the revenue gain "
+                "exceeds the pure yield gain.\n");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration binaries: the
+ * paper's 2000-chip Monte Carlo campaign, loss-table printing, and
+ * the simulation sweep driver used by the performance benches.
+ */
+
+#ifndef YAC_BENCH_BENCH_COMMON_HH
+#define YAC_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hh"
+#include "util/table.hh"
+#include "workload/profile.hh"
+#include "yield/analysis.hh"
+#include "yield/monte_carlo.hh"
+
+namespace yac
+{
+namespace bench
+{
+
+/** The paper's campaign: 2000 chips, fixed seed. */
+inline MonteCarloResult
+paperMonteCarlo()
+{
+    MonteCarlo mc;
+    return mc.run({2000, 2006});
+}
+
+/** Render a Tables-2/3-shaped loss table. */
+inline void
+printLossTable(const std::string &title, const LossTable &table)
+{
+    std::vector<std::string> headers = {"Reason of Loss", "# Chips"};
+    for (const SchemeLosses &s : table.schemes)
+        headers.push_back(s.scheme);
+    TextTable out(headers);
+    out.title(title);
+    for (LossReason reason : kLossRows) {
+        std::vector<std::string> row = {
+            lossReasonName(reason),
+            TextTable::num(static_cast<long long>(table.baseAt(reason)))};
+        for (const SchemeLosses &s : table.schemes) {
+            row.push_back(
+                TextTable::num(static_cast<long long>(s.at(reason))));
+        }
+        out.addRow(row);
+    }
+    out.addSeparator();
+    std::vector<std::string> total = {
+        "Total", TextTable::num(static_cast<long long>(table.baseTotal))};
+    for (const SchemeLosses &s : table.schemes)
+        total.push_back(TextTable::num(static_cast<long long>(s.total)));
+    out.addRow(total);
+    out.print();
+
+    std::printf("\n");
+    std::printf("overall yield: base %s",
+                TextTable::percent(table.yieldOf("Base")).c_str());
+    for (const SchemeLosses &s : table.schemes) {
+        std::printf(" | %s %s (loss -%s)", s.scheme.c_str(),
+                    TextTable::percent(table.yieldOf(s.scheme)).c_str(),
+                    TextTable::percent(
+                        table.lossReductionOf(s.scheme)).c_str());
+    }
+    std::printf("\n\n");
+}
+
+/** Simulation lengths used by every performance bench. */
+inline SimConfig
+benchSim(SimConfig cfg)
+{
+    cfg.warmupInsts = 30'000;
+    cfg.measureInsts = 120'000;
+    return cfg;
+}
+
+/**
+ * Baseline CPI of every benchmark in the suite, computed once and
+ * reused across configurations.
+ */
+inline std::vector<double>
+baselineCpis(const SimConfig &baseline)
+{
+    std::vector<double> cpis;
+    for (const BenchmarkProfile &p : spec2000Profiles()) {
+        std::fprintf(stderr, "  base %-8s\r", p.name.c_str());
+        cpis.push_back(simulateBenchmark(p, baseline).cpi());
+    }
+    std::fprintf(stderr, "%24s\r", "");
+    return cpis;
+}
+
+/** Per-benchmark CPI degradation [%] of a config vs cached baselines. */
+inline std::vector<double>
+degradationsVs(const std::vector<double> &base_cpis,
+               const SimConfig &config)
+{
+    std::vector<double> out;
+    const auto &suite = spec2000Profiles();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        std::fprintf(stderr, "  %s %-8s\r", config.label.c_str(),
+                     suite[i].name.c_str());
+        const double cpi = simulateBenchmark(suite[i], config).cpi();
+        out.push_back(100.0 * (cpi / base_cpis[i] - 1.0));
+    }
+    std::fprintf(stderr, "%32s\r", "");
+    return out;
+}
+
+} // namespace bench
+} // namespace yac
+
+#endif // YAC_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 8: normalized leakage vs latency scatter of the 2000
+ * Monte Carlo caches. Prints the distribution summaries (and the
+ * inverse latency/leakage relation) and writes the full point cloud
+ * to fig08_scatter.csv for re-plotting.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+#include "util/csv.hh"
+#include "util/histogram.hh"
+#include "util/statistics.hh"
+
+using namespace yac;
+
+int
+main()
+{
+    std::printf("Figure 8: normalized leakage vs cache access latency "
+                "(2000 chips, 45 nm)\n\n");
+    const MonteCarloResult mc = bench::paperMonteCarlo();
+    const std::vector<ScatterPoint> points =
+        leakageLatencyScatter(mc.regular);
+
+    CsvWriter csv("fig08_scatter.csv",
+                  {"latency_ps", "normalized_leakage"});
+    std::vector<double> delays, leaks, log_leaks;
+    for (const ScatterPoint &p : points) {
+        csv.writeRow(std::vector<double>{p.latencyPs,
+                                         p.normalizedLeakage});
+        delays.push_back(p.latencyPs);
+        leaks.push_back(p.normalizedLeakage);
+        log_leaks.push_back(std::log(p.normalizedLeakage));
+    }
+
+    SampleSummary delay_sum(delays);
+    SampleSummary leak_sum(leaks);
+    std::printf("latency [ps]: mean %.1f sigma %.1f min %.1f "
+                "median %.1f max %.1f\n",
+                delay_sum.mean(), delay_sum.stddev(), delay_sum.min(),
+                delay_sum.quantile(0.5), delay_sum.max());
+    std::printf("norm leakage: mean %.3f sigma %.3f min %.3f "
+                "median %.3f max %.3f\n",
+                leak_sum.mean(), leak_sum.stddev(), leak_sum.min(),
+                leak_sum.quantile(0.5), leak_sum.max());
+    std::printf("latency vs log(leakage) correlation: %.3f "
+                "(paper: strongly inverse -- fast chips leak)\n\n",
+                pearsonCorrelation(delays, log_leaks));
+
+    std::printf("latency distribution:\n");
+    Histogram delay_hist(delay_sum.min(), delay_sum.quantile(0.99),
+                         18);
+    for (double d : delays)
+        delay_hist.add(d);
+    std::fputs(delay_hist.render(40).c_str(), stdout);
+
+    std::printf("\nnormalized leakage distribution (note the long "
+                "right tail):\n");
+    Histogram leak_hist(0.0, leak_sum.quantile(0.99), 18);
+    for (double l : leaks)
+        leak_hist.add(l);
+    std::fputs(leak_hist.render(40).c_str(), stdout);
+
+    const YieldConstraints c =
+        mc.constraints(ConstraintPolicy::nominal());
+    std::printf("\nnominal limits: delay <= %.1f ps (mean+sigma), "
+                "leakage <= %.2f x mean\n",
+                c.delayLimitPs,
+                c.leakageLimitMw / (leak_sum.mean() *
+                                    mc.regularStats.leakMean));
+    std::printf("fraction beyond delay limit: %.1f%%  | beyond "
+                "leakage limit: %.1f%%\n",
+                100.0 * delay_sum.fractionAbove(c.delayLimitPs),
+                100.0 * leak_sum.fractionAbove(3.0));
+    std::printf("\nwrote fig08_scatter.csv (2000 points)\n");
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Extension bench: two sweeps the paper's framework supports but the
+ * paper fixes.
+ *
+ *  1. Cache geometry: capacity (8/16/32 KB) and associativity (2/4
+ *     way) -- more independent critical paths worsen base yield
+ *     (the 0.5^n intuition of Section 2) while higher associativity
+ *     gives the power-down schemes more slack.
+ *  2. Process maturity: scaling the Table 1 variation ranges
+ *     (mature process = smaller 3-sigma) -- the Figure 1 story of
+ *     parametric loss growing as processes shrink/immature.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "util/table.hh"
+#include "yield/schemes/hybrid.hh"
+#include "yield/schemes/yapd.hh"
+
+using namespace yac;
+
+namespace
+{
+
+struct SweepResult
+{
+    int base;
+    int yapd;
+    int hybrid;
+};
+
+/**
+ * Run a campaign. When @p fixed_constraints is non-null, the spec is
+ * taken as given (the market does not loosen its spec because the
+ * process got worse); otherwise limits derive from this population.
+ */
+SweepResult
+runCampaign(const CacheGeometry &geom, double variation_scale,
+            const YieldConstraints *fixed_constraints = nullptr)
+{
+    VariationTable table;
+    for (ProcessParam p : kAllProcessParams) {
+        VariationSpec spec = table.spec(p);
+        spec.threeSigmaPct *= variation_scale;
+        table.spec(p, spec);
+    }
+    table.randomDopantSigmaMv *= variation_scale;
+    VariationSampler sampler(table, CorrelationModel(),
+                             geom.variationGeometry());
+    MonteCarlo mc(sampler, geom, defaultTechnology());
+    const MonteCarloResult r = mc.run({2000, 2006});
+    const YieldConstraints c = fixed_constraints
+        ? *fixed_constraints
+        : r.constraints(ConstraintPolicy::nominal());
+    CycleMapping m = r.cycleMapping(ConstraintPolicy::nominal());
+    m.delayLimitPs = c.delayLimitPs;
+    YapdScheme yapd;
+    HybridScheme hybrid;
+    const LossTable t =
+        buildLossTable(r.regular, c, m, {&yapd, &hybrid});
+    return {t.baseTotal, t.schemes[0].total, t.schemes[1].total};
+}
+
+CacheGeometry
+geometryOf(std::size_t size_kb, std::size_t ways)
+{
+    CacheGeometry g;
+    g.sizeBytes = size_kb * 1024;
+    g.numWays = ways;
+    g.banksPerWay = 4;
+    g.colsPerBank = 128;
+    // Rows follow from capacity: cells = size * 8 bits.
+    g.rowsPerBank = g.sizeBytes * 8 / (ways * 4 * 128);
+    g.rowGroupsPerBank = 8;
+    return g;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Sweep 1: cache geometry (2000 chips each; losses "
+                "out of 2000)\n\n");
+    TextTable geo({"Geometry", "Base lost", "YAPD lost",
+                   "Hybrid lost"});
+    const struct
+    {
+        const char *name;
+        std::size_t kb;
+        std::size_t ways;
+    } geos[] = {
+        {"8 KB, 2-way", 8, 2},
+        {"8 KB, 4-way", 8, 4},
+        {"16 KB, 2-way", 16, 2},
+        {"16 KB, 4-way (paper)", 16, 4},
+        {"32 KB, 4-way", 32, 4},
+    };
+    for (const auto &g : geos) {
+        const SweepResult r = runCampaign(geometryOf(g.kb, g.ways), 1.0);
+        geo.addRow({g.name,
+                    TextTable::num(static_cast<long long>(r.base)),
+                    TextTable::num(static_cast<long long>(r.yapd)),
+                    TextTable::num(static_cast<long long>(r.hybrid))});
+    }
+    geo.print();
+    std::printf("expected shape: a 2-way cache gives YAPD half the "
+                "budget slack (one way off = 50%% capacity) and "
+                "fewer independent ways to fail; bigger arrays have "
+                "more worst-cell draws.\n\n");
+
+    std::printf("Sweep 2: process maturity (Table 1 ranges scaled; "
+                "the shipping spec is fixed at the nominal process's "
+                "mean+sigma limits)\n\n");
+    // The market spec comes from the nominal (scale 1.0) process.
+    MonteCarlo nominal_mc;
+    const YieldConstraints spec =
+        nominal_mc.run({2000, 2006})
+            .constraints(ConstraintPolicy::nominal());
+    TextTable mat({"Variation scale", "Base lost", "YAPD lost",
+                   "Hybrid lost", "Hybrid yield"});
+    for (double scale : {0.5, 0.75, 1.0, 1.25, 1.5}) {
+        const SweepResult r =
+            runCampaign(CacheGeometry(), scale, &spec);
+        mat.addRow({TextTable::num(scale, 2),
+                    TextTable::num(static_cast<long long>(r.base)),
+                    TextTable::num(static_cast<long long>(r.yapd)),
+                    TextTable::num(static_cast<long long>(r.hybrid)),
+                    TextTable::percent(1.0 - r.hybrid / 2000.0)});
+    }
+    mat.print();
+    std::printf("expected shape: losses grow superlinearly with the "
+                "variation range (the Figure 1 trend), and the "
+                "schemes' absolute savings grow with them -- "
+                "yield-aware microarchitecture matters more every "
+                "generation.\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's building blocks:
+ * variation sampling, circuit evaluation, cache accesses, trace
+ * generation and whole-pipeline simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/memory_hierarchy.hh"
+#include "circuit/cache_model.hh"
+#include "sim/ooo_core.hh"
+#include "sim/scenarios.hh"
+#include "util/rng.hh"
+#include "variation/sampler.hh"
+#include "workload/trace_generator.hh"
+#include "yield/monte_carlo.hh"
+
+namespace
+{
+
+using namespace yac;
+
+void
+BM_VariationSample(benchmark::State &state)
+{
+    VariationSampler sampler;
+    Rng rng(1);
+    for (auto _ : state) {
+        Rng chip = rng.split(static_cast<std::uint64_t>(
+            state.iterations()));
+        benchmark::DoNotOptimize(sampler.sample(chip));
+    }
+}
+BENCHMARK(BM_VariationSample);
+
+void
+BM_CircuitEvaluate(benchmark::State &state)
+{
+    CacheGeometry geom;
+    CacheModel model(geom, defaultTechnology(), CacheLayout::Regular);
+    VariationSampler sampler;
+    Rng rng(2);
+    const CacheVariationMap map = sampler.sample(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.evaluate(map));
+}
+BENCHMARK(BM_CircuitEvaluate);
+
+void
+BM_MonteCarloChip(benchmark::State &state)
+{
+    // End-to-end per-chip cost: sample + both layouts.
+    MonteCarlo mc;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mc.run({2, seed++}));
+        state.SetItemsProcessed(state.items_processed() + 2);
+    }
+}
+BENCHMARK(BM_MonteCarloChip);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheParams p;
+    SetAssocCache cache(p);
+    Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.uniformInt(64 * 1024) & ~31ull, false));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    TraceGenerator gen(profileByName("gcc"), 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next());
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_PipelineSimulation(benchmark::State &state)
+{
+    MemoryHierarchy mem(HierarchyParams::baseline());
+    TraceGenerator gen(profileByName("gzip"), 5);
+    OooCore core(CoreParams(), mem, gen);
+    for (auto _ : state) {
+        core.run(1000);
+        state.SetItemsProcessed(state.items_processed() + 1000);
+    }
+}
+BENCHMARK(BM_PipelineSimulation);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table 2: sources of yield loss for the regular power-down
+ * architecture, and the residual losses under YAPD, VACA and Hybrid.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "yield/schemes/hybrid.hh"
+#include "yield/schemes/vaca.hh"
+#include "yield/schemes/yapd.hh"
+
+using namespace yac;
+
+int
+main()
+{
+    std::printf("Table 2: sources of yield loss for regular "
+                "power-down (2000 chips)\n\n");
+    const MonteCarloResult mc = bench::paperMonteCarlo();
+    const YieldConstraints constraints =
+        mc.constraints(ConstraintPolicy::nominal());
+    const CycleMapping mapping =
+        mc.cycleMapping(ConstraintPolicy::nominal());
+
+    YapdScheme yapd;
+    VacaScheme vaca;
+    HybridScheme hybrid;
+    const LossTable table = buildLossTable(
+        mc.regular, constraints, mapping, {&yapd, &vaca, &hybrid});
+    bench::printLossTable("Losses with scheme:", table);
+
+    std::printf("paper reference (2000 chips): base "
+                "138/126/36/23/16 total 339; YAPD 33/0/36/23/16 "
+                "t108; VACA 138/34/20/19/15 t226; Hybrid "
+                "33/0/7/11/13 t64\n");
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table 3: sources of yield loss for the horizontal power-down
+ * architecture (H-YAPD layout, +2.5% access delay, same process
+ * draws), with H-YAPD, VACA and Hybrid-H residual losses.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "yield/schemes/hybrid.hh"
+#include "yield/schemes/hyapd.hh"
+#include "yield/schemes/vaca.hh"
+
+using namespace yac;
+
+int
+main()
+{
+    std::printf("Table 3: sources of yield loss for horizontal "
+                "power-down (2000 chips)\n\n");
+    const MonteCarloResult mc = bench::paperMonteCarlo();
+    // Constraints come from the regular architecture's population:
+    // the shipping spec does not move with the slower layout.
+    const YieldConstraints constraints =
+        mc.constraints(ConstraintPolicy::nominal());
+    const CycleMapping mapping =
+        mc.cycleMapping(ConstraintPolicy::nominal());
+
+    HYapdScheme hyapd;
+    VacaScheme vaca;
+    HybridHScheme hybrid_h;
+    const LossTable table = buildLossTable(
+        mc.horizontal, constraints, mapping, {&hyapd, &vaca, &hybrid_h});
+    bench::printLossTable("Losses with scheme:", table);
+
+    std::printf("paper reference (2000 chips): base "
+                "138/142/33/29/20 total 362; H-YAPD 26/0/33/24/17 "
+                "t100; VACA 138/38/17/21/19 t233; Hybrid "
+                "26/0/6/12/16 t60\n");
+    return 0;
+}

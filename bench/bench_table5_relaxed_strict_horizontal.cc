@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table 5: total yield losses under the relaxed and strict constraint
+ * sets, horizontal power-down architecture.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "yield/schemes/hybrid.hh"
+#include "yield/schemes/hyapd.hh"
+#include "yield/schemes/vaca.hh"
+
+using namespace yac;
+
+int
+main()
+{
+    std::printf("Table 5: total losses, relaxed and strict "
+                "constraints, horizontal power-down (2000 chips)\n\n");
+    const MonteCarloResult mc = bench::paperMonteCarlo();
+
+    HYapdScheme hyapd;
+    VacaScheme vaca;
+    HybridHScheme hybrid_h;
+
+    TextTable out(
+        {"Constraints", "# Chips", "H-YAPD", "VACA", "Hybrid"});
+    for (const ConstraintPolicy &policy :
+         {ConstraintPolicy::relaxed(), ConstraintPolicy::strict()}) {
+        const YieldConstraints c = mc.constraints(policy);
+        const CycleMapping m = mc.cycleMapping(policy);
+        const LossTable t = buildLossTable(mc.horizontal, c, m,
+                                           {&hyapd, &vaca, &hybrid_h});
+        out.addRow({policy.name,
+                    TextTable::num(static_cast<long long>(t.baseTotal)),
+                    TextTable::num(
+                        static_cast<long long>(t.schemes[0].total)),
+                    TextTable::num(
+                        static_cast<long long>(t.schemes[1].total)),
+                    TextTable::num(
+                        static_cast<long long>(t.schemes[2].total))});
+    }
+    out.print();
+    std::printf("\npaper reference: relaxed 191 / 51 / 131 / 25; "
+                "strict 752 / 224 / 516 / 146\n");
+    return 0;
+}

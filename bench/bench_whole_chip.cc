@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Extension bench: whole-chip composition. The paper applies its
+ * schemes to the L1 data cache only; here the chip ships only when
+ * BOTH first-level caches (L1I and L1D, sharing the die's process
+ * draw) meet their specs -- with and without yield-aware schemes on
+ * each.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "util/table.hh"
+#include "yield/multi_cache.hh"
+#include "yield/schemes/hybrid.hh"
+#include "yield/schemes/yapd.hh"
+
+using namespace yac;
+
+int
+main()
+{
+    std::printf("Whole-chip yield: L1I + L1D on a shared die "
+                "(2000 chips)\n\n");
+
+    ChipComponent l1d;
+    l1d.name = "L1D";
+    l1d.geometry = CacheGeometry();
+    l1d.baseCycles = 4;
+    l1d.placementFactor = 0.3;
+
+    ChipComponent l1i;
+    l1i.name = "L1I";
+    l1i.geometry = CacheGeometry();
+    l1i.geometry.blockBytes = 64;
+    l1i.baseCycles = 2;
+    l1i.placementFactor = 0.3;
+
+    MultiCacheYield chip({l1d, l1i}, defaultTechnology());
+    YapdScheme yapd;
+    HybridScheme hybrid;
+
+    TextTable out({"Policy", "chip base yield", "chip shipped yield",
+                   "L1D unsaved", "L1I unsaved"});
+    struct Case
+    {
+        const char *name;
+        const Scheme *d;
+        const Scheme *i;
+    };
+    const Case cases[] = {
+        {"no schemes", nullptr, nullptr},
+        {"Hybrid on L1D only (the paper's scope)", &hybrid, nullptr},
+        {"YAPD on both", &yapd, &yapd},
+        {"Hybrid on both", &hybrid, &hybrid},
+    };
+    for (const Case &c : cases) {
+        const MultiCacheReport r = chip.run(
+            2000, 2006, {c.d, c.i}, ConstraintPolicy::nominal());
+        out.addRow({c.name, TextTable::percent(r.baseYield()),
+                    TextTable::percent(r.schemeYield()),
+                    TextTable::num(static_cast<long long>(
+                        r.componentUnsaved[0])),
+                    TextTable::num(static_cast<long long>(
+                        r.componentUnsaved[1]))});
+    }
+    out.print();
+    std::printf("\nexpected shape: protecting only the L1D (the "
+                "paper's scope) recovers roughly half the composed "
+                "loss; the full benefit needs every variation-"
+                "critical component covered -- the paper's own "
+                "motivation for future whole-chip work.\n");
+    return 0;
+}

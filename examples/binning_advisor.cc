@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Binning advisor: the post-fab decision tool a test floor would run.
+ *
+ * Input: a chip's measured per-way latencies (in cycles at the target
+ * frequency) and its total cache leakage relative to the population
+ * limit. Output: which yield-aware schemes can ship the chip, at
+ * what configuration, and the predicted CPI cost (simulated on a
+ * representative workload mix).
+ *
+ * Usage:
+ *   binning_advisor [w0 w1 w2 w3 leak_ratio]
+ *     w0..w3     way latencies in cycles (4, 5, 6, ...)
+ *     leak_ratio measured leakage / leakage limit (e.g. 0.8)
+ * With no arguments, a gallery of interesting chips is evaluated.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/scenarios.hh"
+#include "util/table.hh"
+#include "workload/profile.hh"
+#include "yield/schemes/hybrid.hh"
+#include "yield/schemes/naive_binning.hh"
+#include "yield/schemes/vaca.hh"
+#include "yield/schemes/yapd.hh"
+
+using namespace yac;
+
+namespace
+{
+
+/** A chip as the tester sees it. */
+struct MeasuredChip
+{
+    std::string description;
+    std::vector<int> wayCycles;
+    double leakRatio; // leakage / limit
+};
+
+/** Translate measured cycles back into a synthetic CacheTiming. */
+CacheTiming
+toTiming(const MeasuredChip &chip, const CycleMapping &mapping)
+{
+    CacheTiming timing;
+    for (int cycles : chip.wayCycles) {
+        WayTiming way;
+        way.banks = 4;
+        way.groupsPerBank = 2;
+        const double delay = cycles <= mapping.baseCycles
+            ? mapping.delayLimitPs * 0.95
+            : mapping.latencyBudget(cycles) * 0.999;
+        way.pathDelays.assign(8, delay);
+        way.groupCellLeakage.assign(8, chip.leakRatio / 4.0 * 0.8 / 8.0);
+        way.peripheralLeakage = chip.leakRatio / 4.0 * 0.2;
+        timing.ways.push_back(way);
+    }
+    return timing;
+}
+
+/** Quick CPI-cost estimate on three representative workloads. */
+double
+predictedCost(const SimConfig &cfg)
+{
+    static const std::vector<std::string> mix = {"gzip", "mcf", "swim"};
+    double base_sum = 0.0, cfg_sum = 0.0;
+    for (const std::string &name : mix) {
+        SimConfig base = baselineScenario();
+        base.warmupInsts = 10000;
+        base.measureInsts = 40000;
+        SimConfig with = cfg;
+        with.warmupInsts = 10000;
+        with.measureInsts = 40000;
+        const BenchmarkProfile &p = profileByName(name);
+        base_sum += simulateBenchmark(p, base).cpi();
+        cfg_sum += simulateBenchmark(p, with).cpi();
+    }
+    return 100.0 * (cfg_sum / base_sum - 1.0);
+}
+
+/** Map a saved configuration to a runnable scenario. */
+SimConfig
+scenarioFor(const CacheConfig &config)
+{
+    if (config.disabledWays > 0 && config.ways5 == 0)
+        return yapdScenario(config.disabledWays);
+    if (config.disabledWays > 0)
+        return hybridOffScenario(config.ways5);
+    if (config.ways5 > 0)
+        return vacaScenario(config.ways5);
+    return baselineScenario();
+}
+
+void
+advise(const MeasuredChip &chip)
+{
+    // Reference limits: 1.0 == the shipping spec for both axes.
+    YieldConstraints limits;
+    limits.delayLimitPs = 100.0;
+    limits.leakageLimitMw = 1.0;
+    CycleMapping mapping;
+    mapping.delayLimitPs = 100.0;
+
+    const CacheTiming timing = toTiming(chip, mapping);
+    const ChipAssessment assessment =
+        assessChip(timing, limits, mapping);
+
+    std::printf("chip: %s  (ways", chip.description.c_str());
+    for (int c : chip.wayCycles)
+        std::printf(" %dcy", c);
+    std::printf(", leakage %.0f%% of limit)\n", chip.leakRatio * 100);
+    if (assessment.passes()) {
+        std::printf("  -> passes as-is; no scheme needed\n\n");
+        return;
+    }
+    std::printf("  base screening: REJECT (%s)\n",
+                lossReasonName(assessment.lossReason()));
+
+    YapdScheme yapd;
+    VacaScheme vaca;
+    HybridScheme hybrid;
+    NaiveBinningScheme bin5(5), bin6(6);
+    const std::vector<std::pair<const Scheme *, int>> candidates = {
+        {&yapd, 0}, {&vaca, 0}, {&hybrid, 0}, {&bin5, 5}, {&bin6, 6}};
+    bool any = false;
+    for (const auto &[scheme, bin_cycles] : candidates) {
+        const SchemeOutcome out =
+            scheme->apply(timing, assessment, limits, mapping);
+        if (!out.saved)
+            continue;
+        any = true;
+        // Binned chips run the whole cache at the binned latency with
+        // a scheduler that knows it; the others use the yield-aware
+        // datapath for their shipped configuration.
+        const SimConfig scenario = bin_cycles > 0
+            ? binningScenario(bin_cycles)
+            : scenarioFor(out.config);
+        const double cost = predictedCost(scenario);
+        std::printf("  -> %-7s ships as %s, predicted CPI cost "
+                    "%+.1f%%\n",
+                    scheme->name().c_str(), out.config.label().c_str(),
+                    cost);
+    }
+    if (!any)
+        std::printf("  -> unsalvageable: parametric yield loss\n");
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc == 6) {
+        MeasuredChip chip;
+        chip.description = "command line";
+        for (int i = 1; i <= 4; ++i)
+            chip.wayCycles.push_back(std::atoi(argv[i]));
+        chip.leakRatio = std::atof(argv[5]);
+        advise(chip);
+        return 0;
+    }
+
+    std::printf("binning advisor: evaluating a gallery of "
+                "manufactured chips\n\n");
+    advise({"golden sample", {4, 4, 4, 4}, 0.60});
+    advise({"one slow way", {4, 4, 4, 5}, 0.70});
+    advise({"two slow ways", {4, 4, 5, 5}, 0.65});
+    advise({"one very slow way", {4, 4, 4, 6}, 0.75});
+    advise({"slow way + hot chip", {4, 4, 5, 6}, 1.10});
+    advise({"leaky but fast", {4, 4, 4, 4}, 1.20});
+    advise({"hopeless", {6, 6, 6, 6}, 1.50});
+    return 0;
+}

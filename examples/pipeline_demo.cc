@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Pipeline demo: run the out-of-order core on one benchmark and dump
+ * everything the model tracks -- CPI, cache behaviour, speculative
+ * scheduling traffic (replays / load-bypass stalls), and how the
+ * picture changes when the cache is degraded to a VACA 2-2-0
+ * configuration.
+ *
+ * Usage: pipeline_demo [benchmark] (default: mcf)
+ *
+ * The run also demonstrates trace archival: the measured instruction
+ * window is recorded to a trace file and replayed through the core to
+ * show the stream is exactly reproducible from disk.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "cache/memory_hierarchy.hh"
+#include "sim/ooo_core.hh"
+#include "sim/scenarios.hh"
+#include "util/table.hh"
+#include "workload/profile.hh"
+#include "workload/trace_generator.hh"
+#include "workload/trace_io.hh"
+
+using namespace yac;
+
+namespace
+{
+
+void
+report(const char *title, const SimStats &s)
+{
+    std::printf("--- %s ---\n", title);
+    std::printf("  instructions  %10llu   cycles %llu\n",
+                static_cast<unsigned long long>(s.instructions),
+                static_cast<unsigned long long>(s.cycles));
+    std::printf("  CPI           %10.3f   IPC    %.3f\n", s.cpi(),
+                s.ipc());
+    std::printf("  loads %llu  stores %llu  branches %llu "
+                "(mispredicted %llu)\n",
+                static_cast<unsigned long long>(s.loads),
+                static_cast<unsigned long long>(s.stores),
+                static_cast<unsigned long long>(s.branches),
+                static_cast<unsigned long long>(s.mispredicts));
+    std::printf("  L1D: %.2f%% miss (%llu/%llu), %llu slow-way hits\n",
+                100.0 * s.l1d.missRate(),
+                static_cast<unsigned long long>(s.l1d.misses),
+                static_cast<unsigned long long>(s.l1d.accesses),
+                static_cast<unsigned long long>(s.slowWayLoads));
+    std::printf("  L1I: %.2f%% miss   L2: %.2f%% miss\n",
+                100.0 * s.l1i.missRate(), 100.0 * s.l2.missRate());
+    std::printf("  selective replays      %llu\n",
+                static_cast<unsigned long long>(s.replays));
+    std::printf("  load-bypass stalls     %llu cycles\n",
+                static_cast<unsigned long long>(s.loadBypassStalls));
+    std::printf("  occupancy: IQ %.1f / 128   ROB %.1f / 256\n\n",
+                s.avgIqOccupancy(), s.avgRobOccupancy());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "mcf";
+    const BenchmarkProfile &profile = profileByName(name);
+    std::printf("pipeline demo on '%s' (%s, %.0f%% loads, "
+                "expected L1D miss ~%.1f%%)\n\n",
+                profile.name.c_str(), profile.isFp ? "FP" : "INT",
+                100 * profile.loadFrac,
+                100 * profile.expectedL1MissRate());
+
+    SimConfig base = baselineScenario();
+    base.warmupInsts = 50000;
+    base.measureInsts = 200000;
+    report("baseline 4-way, 4-cycle L1D", simulateBenchmark(profile, base));
+
+    SimConfig vaca = vacaScenario(2);
+    vaca.warmupInsts = 50000;
+    vaca.measureInsts = 200000;
+    report("VACA 2-2-0 (two 5-cycle ways, load-bypass buffers)",
+           simulateBenchmark(profile, vaca));
+
+    SimConfig yapd = yapdScenario(1);
+    yapd.warmupInsts = 50000;
+    yapd.measureInsts = 200000;
+    report("YAPD (one way powered down)",
+           simulateBenchmark(profile, yapd));
+
+    std::printf("note how VACA shows load-bypass stalls and slow-way "
+                "hits where YAPD instead shows a higher L1D miss "
+                "rate -- the two costs the Hybrid scheme trades "
+                "against each other.\n\n");
+
+    // Trace archival: record 100k instructions, replay them from the
+    // file, and confirm the cycle counts agree exactly.
+    const std::string trace_path = "pipeline_demo_trace.bin";
+    {
+        TraceGenerator gen(profile, /*seed=*/1);
+        TraceWriter writer(trace_path);
+        // Margin past the committed count: the front end fetches a
+        // few hundred instructions beyond the last commit.
+        writer.record(gen, 101000);
+    }
+    auto run_cycles = [&](TraceSource &source) {
+        MemoryHierarchy mem(HierarchyParams::baseline());
+        OooCore core(CoreParams(), mem, source);
+        core.run(100000);
+        return core.now();
+    };
+    TraceGenerator live(profile, /*seed=*/1);
+    TraceReader replay(trace_path);
+    const std::uint64_t live_cycles = run_cycles(live);
+    const std::uint64_t replay_cycles = run_cycles(replay);
+    std::printf("trace archival: live run %llu cycles, replay from "
+                "%s %llu cycles (%s)\n",
+                static_cast<unsigned long long>(live_cycles),
+                trace_path.c_str(),
+                static_cast<unsigned long long>(replay_cycles),
+                live_cycles == replay_cycles ? "identical"
+                                             : "MISMATCH");
+    return live_cycles == replay_cycles ? 0 : 1;
+}

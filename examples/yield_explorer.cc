@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Yield explorer: sweep the constraint space continuously (delay
+ * limit from mean+0.25sigma to mean+2sigma, power limit from 1.5x to
+ * 5x mean leakage) and chart how each scheme's yield responds --
+ * a generalization of the paper's relaxed/nominal/strict triple.
+ *
+ * Writes yield_explorer.csv with the full sweep for plotting.
+ */
+
+#include <cstdio>
+
+#include "util/csv.hh"
+#include "util/table.hh"
+#include "yield/analysis.hh"
+#include "yield/monte_carlo.hh"
+#include "yield/schemes/hybrid.hh"
+#include "yield/schemes/vaca.hh"
+#include "yield/schemes/yapd.hh"
+
+using namespace yac;
+
+int
+main()
+{
+    MonteCarlo mc;
+    const MonteCarloResult result = mc.run({1000, 7});
+
+    YapdScheme yapd;
+    VacaScheme vaca;
+    HybridScheme hybrid;
+    const std::vector<const Scheme *> schemes = {&yapd, &vaca, &hybrid};
+
+    CsvWriter csv("yield_explorer.csv",
+                  {"delay_sigma_factor", "leak_mean_factor",
+                   "base_yield", "yapd_yield", "vaca_yield",
+                   "hybrid_yield"});
+
+    std::printf("yield vs delay-limit strictness "
+                "(power limit fixed at 3x mean leakage):\n\n");
+    TextTable delay_table({"delay limit", "base", "YAPD", "VACA",
+                           "Hybrid"});
+    for (double k = 0.25; k <= 2.01; k += 0.25) {
+        ConstraintPolicy policy{"sweep", k, 3.0};
+        const YieldConstraints c = result.constraints(policy);
+        const CycleMapping m = result.cycleMapping(policy);
+        const LossTable t =
+            buildLossTable(result.regular, c, m, schemes);
+        delay_table.addRow({"mean+" + TextTable::num(k, 2) + "s",
+                            TextTable::percent(t.yieldOf("Base")),
+                            TextTable::percent(t.yieldOf("YAPD")),
+                            TextTable::percent(t.yieldOf("VACA")),
+                            TextTable::percent(t.yieldOf("Hybrid"))});
+        csv.writeRow(std::vector<double>{
+            k, 3.0, t.yieldOf("Base"), t.yieldOf("YAPD"),
+            t.yieldOf("VACA"), t.yieldOf("Hybrid")});
+    }
+    delay_table.print();
+
+    std::printf("\nyield vs power-limit strictness "
+                "(delay limit fixed at mean+sigma):\n\n");
+    TextTable leak_table({"power limit", "base", "YAPD", "VACA",
+                          "Hybrid"});
+    for (double f = 1.5; f <= 5.01; f += 0.5) {
+        ConstraintPolicy policy{"sweep", 1.0, f};
+        const YieldConstraints c = result.constraints(policy);
+        const CycleMapping m = result.cycleMapping(policy);
+        const LossTable t =
+            buildLossTable(result.regular, c, m, schemes);
+        leak_table.addRow({TextTable::num(f, 1) + "x mean",
+                           TextTable::percent(t.yieldOf("Base")),
+                           TextTable::percent(t.yieldOf("YAPD")),
+                           TextTable::percent(t.yieldOf("VACA")),
+                           TextTable::percent(t.yieldOf("Hybrid"))});
+        csv.writeRow(std::vector<double>{
+            1.0, f, t.yieldOf("Base"), t.yieldOf("YAPD"),
+            t.yieldOf("VACA"), t.yieldOf("Hybrid")});
+    }
+    leak_table.print();
+
+    std::printf("\ntakeaways: VACA tracks the base curve on the "
+                "power sweep (it cannot shed leakage); YAPD and "
+                "Hybrid decouple from it. The stricter the limits, "
+                "the larger every scheme's absolute saving.\n"
+                "wrote yield_explorer.csv\n");
+    return 0;
+}

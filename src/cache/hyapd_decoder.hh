@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The reconfigured post-decoder of the H-YAPD cache (Figure 5 of the
+ * paper): each way maps address regions to physical row regions with
+ * a rotation, so all blocks in one *physical* horizontal region
+ * correspond to different address regions in different ways. Powering
+ * down one physical region then removes exactly one way's worth of
+ * locations from every address -- hit/miss behaviour is identical to
+ * a cache with one fewer way.
+ */
+
+#ifndef YAC_CACHE_HYAPD_DECODER_HH
+#define YAC_CACHE_HYAPD_DECODER_HH
+
+#include <cstddef>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+/**
+ * Rotated address-region to physical-region mapping. Stateless; all
+ * methods are pure functions of the geometry.
+ */
+class HYapdDecoder
+{
+  public:
+    /**
+     * @param num_sets Sets in the cache.
+     * @param num_regions Horizontal regions (= associativity).
+     */
+    HYapdDecoder(std::size_t num_sets, std::size_t num_regions)
+        : numSets_(num_sets), numRegions_(num_regions),
+          setsPerRegion_(num_sets / num_regions)
+    {
+        yac_assert(num_regions > 0 && num_sets % num_regions == 0,
+                   "sets must divide evenly into regions");
+    }
+
+    /** Address region (chunk of the set index space) of a set. */
+    std::size_t
+    addressRegion(std::size_t set) const
+    {
+        yac_assert(set < numSets_, "set index out of range");
+        return set / setsPerRegion_;
+    }
+
+    /**
+     * Physical row region where way @p way stores blocks of @p set:
+     * the rotation (addressRegion + way) mod regions.
+     */
+    std::size_t
+    physicalRegion(std::size_t way, std::size_t set) const
+    {
+        return (addressRegion(set) + way) % numRegions_;
+    }
+
+    /**
+     * Whether way @p way is usable for @p set when physical region
+     * @p disabled_region is powered down.
+     */
+    bool
+    wayUsable(std::size_t way, std::size_t set,
+              std::size_t disabled_region) const
+    {
+        if (disabled_region >= numRegions_)
+            return true; // nothing disabled
+        return physicalRegion(way, set) != disabled_region;
+    }
+
+    std::size_t numRegions() const { return numRegions_; }
+    std::size_t setsPerRegion() const { return setsPerRegion_; }
+
+  private:
+    std::size_t numSets_;
+    std::size_t numRegions_;
+    std::size_t setsPerRegion_;
+};
+
+} // namespace yac
+
+#endif // YAC_CACHE_HYAPD_DECODER_HH

@@ -1,0 +1,86 @@
+#include "cache/memory_hierarchy.hh"
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+HierarchyParams
+HierarchyParams::baseline()
+{
+    HierarchyParams p;
+    p.l1i.name = "L1I";
+    p.l1i.sizeBytes = 16 * 1024;
+    p.l1i.numWays = 4;
+    p.l1i.blockBytes = 64;
+    p.l1i.hitLatency = 2;
+
+    p.l1d.name = "L1D";
+    p.l1d.sizeBytes = 16 * 1024;
+    p.l1d.numWays = 4;
+    p.l1d.blockBytes = 32;
+    p.l1d.hitLatency = 4;
+
+    p.l2.name = "L2";
+    p.l2.sizeBytes = 512 * 1024;
+    p.l2.numWays = 8;
+    p.l2.blockBytes = 128;
+    p.l2.hitLatency = 25;
+
+    p.memoryLatency = 350;
+    return p;
+}
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params)
+    : l1i_(params.l1i), l1d_(params.l1d), l2_(params.l2),
+      memoryLatency_(params.memoryLatency)
+{
+    yac_assert(params.memoryLatency > 0, "memory latency must be positive");
+}
+
+MemAccessOutcome
+MemoryHierarchy::dataAccess(std::uint64_t addr, bool is_write)
+{
+    MemAccessOutcome out;
+    const CacheAccessResult l1 = l1d_.access(addr, is_write);
+    out.l1Hit = l1.hit;
+    out.l1Way = l1.way;
+    if (l1.hit) {
+        out.latency = l1.latency;
+        out.l2Hit = false;
+        return out;
+    }
+    // The L2 sees the miss; the fill marks the L2 block dirty only on
+    // a writeback from L1, which we fold into the same access.
+    const CacheAccessResult l2 = l2_.access(addr, false);
+    out.l2Hit = l2.hit;
+    out.latency = l2.hit ? l2_.params().hitLatency
+                         : l2_.params().hitLatency + memoryLatency_;
+    if (l1.writeback)
+        l2_.access(l1.victimAddr, true);
+    return out;
+}
+
+int
+MemoryHierarchy::instFetch(std::uint64_t addr)
+{
+    const CacheAccessResult l1 = l1i_.access(addr, false);
+    if (l1.hit)
+        return l1.latency;
+    const CacheAccessResult l2 = l2_.access(addr, false);
+    return l2.hit ? l2_.params().hitLatency
+                  : l2_.params().hitLatency + memoryLatency_;
+}
+
+void
+MemoryHierarchy::reset()
+{
+    l1i_.flush();
+    l1d_.flush();
+    l2_.flush();
+    l1i_.clearStats();
+    l1d_.clearStats();
+    l2_.clearStats();
+}
+
+} // namespace yac

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The simulated memory hierarchy of the paper's base processor
+ * (Section 5.2): split 16 KB L1 caches (I: 64 B blocks / 2 cycles,
+ * D: 32 B blocks / 4 cycles), a unified 512 KB 8-way L2 with 128 B
+ * blocks and 25-cycle latency, and 350-cycle memory. All caches are
+ * lockup free; writebacks are buffered and do not stall accesses.
+ */
+
+#ifndef YAC_CACHE_MEMORY_HIERARCHY_HH
+#define YAC_CACHE_MEMORY_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "cache/set_assoc_cache.hh"
+
+namespace yac
+{
+
+/** Parameters of the whole hierarchy. */
+struct HierarchyParams
+{
+    CacheParams l1i;
+    CacheParams l1d;
+    CacheParams l2;
+    int memoryLatency = 350;
+
+    /** The paper's base configuration. */
+    static HierarchyParams baseline();
+};
+
+/** Timing outcome of one data access. */
+struct MemAccessOutcome
+{
+    int latency = 0;      //!< total cycles until data available
+    bool l1Hit = false;
+    bool l2Hit = false;
+    std::size_t l1Way = 0; //!< L1 way that served or filled
+};
+
+/**
+ * Two-level hierarchy with a flat memory behind it. Trace driven and
+ * functional-timing only: no data payloads, no coherence.
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyParams &params);
+
+    /** Access the data side (loads and stores). */
+    MemAccessOutcome dataAccess(std::uint64_t addr, bool is_write);
+
+    /** Fetch latency of an instruction block. */
+    int instFetch(std::uint64_t addr);
+
+    SetAssocCache &l1d() { return l1d_; }
+    SetAssocCache &l1i() { return l1i_; }
+    SetAssocCache &l2() { return l2_; }
+    const SetAssocCache &l1d() const { return l1d_; }
+    const SetAssocCache &l1i() const { return l1i_; }
+    const SetAssocCache &l2() const { return l2_; }
+    int memoryLatency() const { return memoryLatency_; }
+
+    /** Reset contents and statistics. */
+    void reset();
+
+  private:
+    SetAssocCache l1i_;
+    SetAssocCache l1d_;
+    SetAssocCache l2_;
+    int memoryLatency_;
+};
+
+} // namespace yac
+
+#endif // YAC_CACHE_MEMORY_HIERARCHY_HH

@@ -1,0 +1,70 @@
+#include "cache/params.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+int
+CacheParams::worstLatency() const
+{
+    int worst = 0;
+    for (std::size_t w = 0; w < numWays; ++w) {
+        if (wayMask & (1u << w))
+            worst = std::max(worst, latencyOfWay(w));
+    }
+    return worst > 0 ? worst : hitLatency;
+}
+
+std::size_t
+CacheParams::enabledWays() const
+{
+    std::size_t n = 0;
+    for (std::size_t w = 0; w < numWays; ++w) {
+        if (wayMask & (1u << w))
+            ++n;
+    }
+    return n;
+}
+
+void
+CacheParams::validate() const
+{
+    if (numWays == 0 || numWays > 32)
+        yac_fatal(name, ": associativity must be in [1, 32]");
+    if (blockBytes == 0 || (blockBytes & (blockBytes - 1)) != 0)
+        yac_fatal(name, ": block size must be a power of two");
+    if (sizeBytes % (blockBytes * numWays) != 0)
+        yac_fatal(name, ": capacity must be a multiple of way size");
+    const std::size_t sets = numSets();
+    if ((sets & (sets - 1)) != 0)
+        yac_fatal(name, ": set count must be a power of two");
+    if (hitLatency < 1)
+        yac_fatal(name, ": hit latency must be at least one cycle");
+    if (!wayLatency.empty() && wayLatency.size() != numWays)
+        yac_fatal(name, ": wayLatency must be empty or one per way");
+    for (int lat : wayLatency) {
+        if (lat < hitLatency)
+            yac_fatal(name, ": a way cannot be faster than the base");
+    }
+    if (enabledWays() == 0)
+        yac_fatal(name, ": at least one way must stay enabled");
+    if (horizontalMode) {
+        if (numHRegions == 0 || sets % numHRegions != 0)
+            yac_fatal(name, ": sets must divide evenly into h-regions");
+        if (numHRegions < numWays) {
+            yac_fatal(name, ": the rotated H-YAPD decoder needs at "
+                      "least as many regions as ways (a coarser "
+                      "power-down would remove several ways from "
+                      "some addresses)");
+        }
+        if (disabledHRegion != kNoRegion &&
+            disabledHRegion >= numHRegions) {
+            yac_fatal(name, ": disabled h-region out of range");
+        }
+    }
+}
+
+} // namespace yac

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Configuration of one functional/timing cache as simulated by the
+ * pipeline model: geometry, base latency, and the yield-aware knobs
+ * (per-way latencies for VACA, way masks for YAPD, horizontal-region
+ * power-down with the rotated H-YAPD decoder).
+ */
+
+#ifndef YAC_CACHE_PARAMS_HH
+#define YAC_CACHE_PARAMS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace yac
+{
+
+/** Static parameters of one cache level. */
+struct CacheParams
+{
+    std::string name = "L1D";
+    std::size_t sizeBytes = 16 * 1024;
+    std::size_t numWays = 4;
+    std::size_t blockBytes = 32;
+    int hitLatency = 4; //!< base access latency [cycles]
+
+    /**
+     * Per-way hit latency [cycles]; empty means every way runs at
+     * hitLatency. A VACA cache sets some entries to hitLatency + 1.
+     */
+    std::vector<int> wayLatency;
+
+    /**
+     * Enabled-way bitmask (bit w = way w usable). YAPD clears the bit
+     * of a disabled way. All-ones by default.
+     */
+    std::uint32_t wayMask = ~0u;
+
+    /** H-YAPD decoder active: horizontal regions can be disabled. */
+    bool horizontalMode = false;
+
+    /** Number of horizontal regions (H-YAPD granularity). */
+    std::size_t numHRegions = 4;
+
+    /**
+     * Disabled horizontal region, or kNoRegion when all regions are
+     * on. Only meaningful when horizontalMode is set.
+     */
+    std::size_t disabledHRegion = kNoRegion;
+
+    static constexpr std::size_t kNoRegion = ~std::size_t{0};
+
+    /** Number of sets. */
+    std::size_t numSets() const
+    {
+        return sizeBytes / (blockBytes * numWays);
+    }
+
+    /** Effective hit latency of way @p w. */
+    int latencyOfWay(std::size_t w) const
+    {
+        if (w < wayLatency.size())
+            return wayLatency[w];
+        return hitLatency;
+    }
+
+    /** Slowest enabled way's latency. */
+    int worstLatency() const;
+
+    /** Number of enabled ways (YAPD mask only). */
+    std::size_t enabledWays() const;
+
+    /** Validate invariants; calls yac_fatal on bad configuration. */
+    void validate() const;
+};
+
+} // namespace yac
+
+#endif // YAC_CACHE_PARAMS_HH

@@ -1,0 +1,139 @@
+#include "cache/set_assoc_cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+SetAssocCache::SetAssocCache(CacheParams params)
+    : params_(std::move(params)),
+      decoder_(params_.numSets(),
+               params_.horizontalMode ? params_.numHRegions
+                                      : params_.numWays),
+      lines_(params_.numSets() * params_.numWays)
+{
+    params_.validate();
+}
+
+std::size_t
+SetAssocCache::setIndex(std::uint64_t addr) const
+{
+    return (addr / params_.blockBytes) & (params_.numSets() - 1);
+}
+
+std::uint64_t
+SetAssocCache::tagOf(std::uint64_t addr) const
+{
+    return addr / params_.blockBytes / params_.numSets();
+}
+
+std::uint64_t
+SetAssocCache::blockAddr(std::uint64_t tag, std::size_t set) const
+{
+    return (tag * params_.numSets() + set) * params_.blockBytes;
+}
+
+bool
+SetAssocCache::wayUsable(std::size_t way, std::size_t set) const
+{
+    if (!(params_.wayMask & (1u << way)))
+        return false;
+    if (params_.horizontalMode) {
+        return decoder_.wayUsable(way, set, params_.disabledHRegion);
+    }
+    return true;
+}
+
+std::optional<std::size_t>
+SetAssocCache::probe(std::uint64_t addr) const
+{
+    const std::size_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    for (std::size_t w = 0; w < params_.numWays; ++w) {
+        if (!wayUsable(w, set))
+            continue;
+        const Line &l = line(set, w);
+        if (l.valid && l.tag == tag)
+            return w;
+    }
+    return std::nullopt;
+}
+
+std::size_t
+SetAssocCache::victimWay(std::size_t set) const
+{
+    // Scan from a rotating offset so cold-start fills spread evenly
+    // over way indices; otherwise long-lived blocks pile into the
+    // low-numbered ways and per-way hit rates are skewed.
+    std::size_t victim = params_.numWays;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    const std::size_t start =
+        static_cast<std::size_t>(lruClock_ + set) % params_.numWays;
+    for (std::size_t i = 0; i < params_.numWays; ++i) {
+        const std::size_t w = (start + i) % params_.numWays;
+        if (!wayUsable(w, set))
+            continue;
+        const Line &l = line(set, w);
+        if (!l.valid)
+            return w;
+        if (l.lruStamp < oldest) {
+            oldest = l.lruStamp;
+            victim = w;
+        }
+    }
+    yac_assert(victim < params_.numWays,
+               "no usable way in set; configuration over-disabled");
+    return victim;
+}
+
+CacheAccessResult
+SetAssocCache::access(std::uint64_t addr, bool is_write)
+{
+    ++stats_.accesses;
+    const std::size_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+
+    CacheAccessResult result;
+    if (auto hit_way = probe(addr)) {
+        Line &l = line(set, *hit_way);
+        l.lruStamp = ++lruClock_;
+        l.dirty = l.dirty || is_write;
+        result.hit = true;
+        result.way = *hit_way;
+        result.latency = params_.latencyOfWay(*hit_way);
+        ++stats_.hits;
+        if (result.latency > params_.hitLatency)
+            ++stats_.slowWayHits;
+        return result;
+    }
+
+    // Miss: fill with write-allocate, evicting the LRU usable way.
+    ++stats_.misses;
+    const std::size_t victim = victimWay(set);
+    Line &l = line(set, victim);
+    if (l.valid && l.dirty) {
+        result.writeback = true;
+        result.victimAddr = blockAddr(l.tag, set);
+        ++stats_.writebacks;
+    }
+    l.valid = true;
+    l.dirty = is_write;
+    l.tag = tag;
+    l.lruStamp = ++lruClock_;
+    result.hit = false;
+    result.way = victim;
+    result.latency = params_.hitLatency;
+    return result;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (Line &l : lines_)
+        l = Line();
+    lruClock_ = 0;
+}
+
+} // namespace yac

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Functional + timing set-associative cache with true LRU,
+ * write-back/write-allocate, and the yield-aware degrees of freedom:
+ * way masks (YAPD), per-way hit latencies (VACA) and horizontal
+ * region power-down through the rotated decoder (H-YAPD).
+ */
+
+#ifndef YAC_CACHE_SET_ASSOC_CACHE_HH
+#define YAC_CACHE_SET_ASSOC_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cache/hyapd_decoder.hh"
+#include "cache/params.hh"
+
+namespace yac
+{
+
+/** Outcome of one cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    int latency = 0;          //!< hit latency of the serving way, or
+                              //!< the base latency for misses (the
+                              //!< lookup that discovered the miss)
+    std::size_t way = 0;      //!< serving way (hit) or fill way (miss)
+    bool writeback = false;   //!< a dirty victim was evicted
+    std::uint64_t victimAddr = 0; //!< block address of the victim
+};
+
+/** Counters exposed for statistics and tests. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t slowWayHits = 0; //!< hits served slower than base
+
+    double missRate() const
+    {
+        return accesses == 0
+            ? 0.0
+            : static_cast<double>(misses) / static_cast<double>(accesses);
+    }
+};
+
+/**
+ * One cache level. Addresses are byte addresses; the cache tracks
+ * blocks only (no data payload -- the simulator is trace driven).
+ */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(CacheParams params);
+
+    /**
+     * Perform an access (lookup + fill on miss).
+     *
+     * @param addr Byte address.
+     * @param is_write True for stores (marks the block dirty).
+     */
+    CacheAccessResult access(std::uint64_t addr, bool is_write);
+
+    /** Lookup without side effects: would this address hit, where? */
+    std::optional<std::size_t> probe(std::uint64_t addr) const;
+
+    /** Invalidate everything (keeps configuration). */
+    void flush();
+
+    /** True when way @p way may hold blocks of @p set. */
+    bool wayUsable(std::size_t way, std::size_t set) const;
+
+    const CacheParams &params() const { return params_; }
+    const CacheStats &stats() const { return stats_; }
+    void clearStats() { stats_ = CacheStats(); }
+
+    /** Set index of a byte address. */
+    std::size_t setIndex(std::uint64_t addr) const;
+
+    /** Tag of a byte address. */
+    std::uint64_t tagOf(std::uint64_t addr) const;
+
+    /** Block-aligned address for (tag, set). */
+    std::uint64_t blockAddr(std::uint64_t tag, std::size_t set) const;
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lruStamp = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    Line &line(std::size_t set, std::size_t way)
+    {
+        return lines_[set * params_.numWays + way];
+    }
+
+    const Line &line(std::size_t set, std::size_t way) const
+    {
+        return lines_[set * params_.numWays + way];
+    }
+
+    /** Pick the victim way in @p set (invalid first, else LRU). */
+    std::size_t victimWay(std::size_t set) const;
+
+    CacheParams params_;
+    HYapdDecoder decoder_;
+    std::vector<Line> lines_;
+    std::uint64_t lruClock_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace yac
+
+#endif // YAC_CACHE_SET_ASSOC_CACHE_HH

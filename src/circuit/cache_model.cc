@@ -1,0 +1,135 @@
+#include "circuit/cache_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+double
+CacheTiming::delay() const
+{
+    yac_assert(!ways.empty(), "cache has no ways");
+    double worst = 0.0;
+    for (const WayTiming &w : ways)
+        worst = std::max(worst, w.delay());
+    return worst;
+}
+
+double
+CacheTiming::leakage() const
+{
+    double sum = 0.0;
+    for (const WayTiming &w : ways)
+        sum += w.leakage();
+    return sum;
+}
+
+double
+CacheTiming::wayDelay(std::size_t w) const
+{
+    yac_assert(w < ways.size(), "way index out of range");
+    return ways[w].delay();
+}
+
+double
+CacheTiming::wayLeakage(std::size_t w) const
+{
+    yac_assert(w < ways.size(), "way index out of range");
+    return ways[w].leakage();
+}
+
+double
+CacheTiming::delayExcludingRegion(std::size_t bank) const
+{
+    yac_assert(!ways.empty(), "cache has no ways");
+    double worst = 0.0;
+    for (const WayTiming &w : ways)
+        worst = std::max(worst, w.delayExcludingBank(bank));
+    return worst;
+}
+
+double
+CacheTiming::leakageExcludingRegion(std::size_t bank,
+                                    double peripheral_fraction) const
+{
+    yac_assert(peripheral_fraction >= 0.0 && peripheral_fraction <= 1.0,
+               "peripheral gating fraction must be in [0, 1]");
+    double sum = 0.0;
+    for (const WayTiming &w : ways) {
+        const double region_share =
+            1.0 / static_cast<double>(w.banks);
+        sum += w.leakage() - w.bankCellLeakage(bank) -
+            peripheral_fraction * region_share * w.peripheralLeakage;
+    }
+    return sum;
+}
+
+double
+CacheTiming::delayExcludingRegionOf(std::size_t region,
+                                    std::size_t num_regions) const
+{
+    yac_assert(!ways.empty(), "cache has no ways");
+    double worst = 0.0;
+    for (const WayTiming &w : ways) {
+        worst = std::max(worst,
+                         w.delayExcludingRegion(region, num_regions));
+    }
+    return worst;
+}
+
+double
+CacheTiming::leakageExcludingRegionOf(std::size_t region,
+                                      std::size_t num_regions,
+                                      double peripheral_fraction) const
+{
+    yac_assert(peripheral_fraction >= 0.0 && peripheral_fraction <= 1.0,
+               "peripheral gating fraction must be in [0, 1]");
+    double sum = 0.0;
+    for (const WayTiming &w : ways) {
+        const double region_share =
+            1.0 / static_cast<double>(num_regions);
+        sum += w.leakage() -
+            w.regionCellLeakage(region, num_regions) -
+            peripheral_fraction * region_share * w.peripheralLeakage;
+    }
+    return sum;
+}
+
+CacheModel::CacheModel(const CacheGeometry &geom, const Technology &tech,
+                       CacheLayout layout)
+    : geom_(geom), tech_(tech), layout_(layout), wayModel_(geom_, tech_)
+{
+}
+
+CacheTiming
+CacheModel::evaluate(const CacheVariationMap &map) const
+{
+    yac_assert(map.ways.size() == geom_.numWays,
+               "variation map way count mismatch");
+    CacheTiming timing;
+    timing.layout = layout_;
+    timing.ways.reserve(map.ways.size());
+    const double layout_factor =
+        layout_ == CacheLayout::Horizontal ? tech_.hyapdDelayFactor : 1.0;
+    for (const WayVariation &way : map.ways) {
+        WayTiming wt = wayModel_.evaluate(way);
+        if (layout_factor != 1.0) {
+            for (double &d : wt.pathDelays)
+                d *= layout_factor;
+        }
+        timing.ways.push_back(std::move(wt));
+    }
+    return timing;
+}
+
+double
+CacheModel::nominalDelay() const
+{
+    const double layout_factor =
+        layout_ == CacheLayout::Horizontal ? tech_.hyapdDelayFactor : 1.0;
+    return wayModel_.nominalDelay() * layout_factor;
+}
+
+} // namespace yac

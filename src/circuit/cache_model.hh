@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Whole-cache circuit evaluation: combines the four way models into
+ * per-chip timing and leakage, for either the regular layout or the
+ * H-YAPD layout (whose reconfigured post-decoders cost ~2.5% delay,
+ * Section 4.2).
+ */
+
+#ifndef YAC_CIRCUIT_CACHE_MODEL_HH
+#define YAC_CIRCUIT_CACHE_MODEL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/geometry.hh"
+#include "circuit/technology.hh"
+#include "circuit/way_model.hh"
+#include "variation/sampler.hh"
+
+namespace yac
+{
+
+/** Physical decoder layout. */
+enum class CacheLayout
+{
+    Regular,    //!< conventional post-decoders (YAPD-capable)
+    Horizontal, //!< H-YAPD post-decoders (+2.5% access delay)
+};
+
+/** Evaluated timing/leakage of one manufactured cache instance. */
+struct CacheTiming
+{
+    CacheLayout layout = CacheLayout::Regular;
+    std::vector<WayTiming> ways;
+
+    /** Cache access latency: slowest way [ps]. */
+    double delay() const;
+
+    /** Total leakage over all ways [mW]. */
+    double leakage() const;
+
+    /** Latency of way @p w [ps]. */
+    double wayDelay(std::size_t w) const;
+
+    /** Leakage of way @p w [mW]. */
+    double wayLeakage(std::size_t w) const;
+
+    /**
+     * Cache latency when horizontal region (bank) @p bank is powered
+     * down in every way [ps]. Only meaningful for Horizontal layout.
+     */
+    double delayExcludingRegion(std::size_t bank) const;
+
+    /**
+     * Leakage when horizontal region @p bank is off: removes the
+     * region's cell leakage in every way plus the fraction of the
+     * peripheral leakage that can be gated (the paper notes parts of
+     * the decoder/precharge/sense amps cannot be fully turned off).
+     */
+    double leakageExcludingRegion(std::size_t bank,
+                                  double peripheral_fraction) const;
+
+    /**
+     * Generalized-granularity variants: the way's row ranges divided
+     * into @p num_regions contiguous horizontal regions (num_regions
+     * == banks reproduces the bank-granular pair above).
+     */
+    /// @{
+    double delayExcludingRegionOf(std::size_t region,
+                                  std::size_t num_regions) const;
+    double leakageExcludingRegionOf(std::size_t region,
+                                    std::size_t num_regions,
+                                    double peripheral_fraction) const;
+    /// @}
+};
+
+/**
+ * Evaluates CacheVariationMap draws into CacheTiming. One instance
+ * per layout; both layouts can evaluate the *same* variation draw,
+ * mirroring the paper's reuse of identical process parameters for the
+ * regular and horizontal architectures.
+ */
+class CacheModel
+{
+  public:
+    CacheModel(const CacheGeometry &geom, const Technology &tech,
+               CacheLayout layout);
+
+    /** Evaluate one chip. */
+    CacheTiming evaluate(const CacheVariationMap &map) const;
+
+    /** Nominal (no-variation) access latency of this layout [ps]. */
+    double nominalDelay() const;
+
+    CacheLayout layout() const { return layout_; }
+    const CacheGeometry &geometry() const { return geom_; }
+    const Technology &technology() const { return tech_; }
+    const WayModel &wayModel() const { return wayModel_; }
+
+  private:
+    CacheGeometry geom_;
+    Technology tech_;
+    CacheLayout layout_;
+    WayModel wayModel_;
+};
+
+} // namespace yac
+
+#endif // YAC_CIRCUIT_CACHE_MODEL_HH

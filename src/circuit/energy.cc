@@ -1,0 +1,91 @@
+#include "circuit/energy.hh"
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+namespace
+{
+
+/** E = C V^2, with C in fF and V in volts -> femto-joules; /1000 to
+ *  picojoules. */
+double
+switchEnergyPj(double cap_ff, double vdd)
+{
+    return cap_ff * vdd * vdd / 1000.0;
+}
+
+} // namespace
+
+EnergyModel::EnergyModel(const CacheGeometry &geom,
+                         const Technology &tech)
+    : geom_(geom), tech_(tech), device_(tech_), wire_(tech_)
+{
+}
+
+AccessEnergy
+EnergyModel::accessEnergy(const WayVariation &way) const
+{
+    AccessEnergy e;
+    const double vdd = tech_.vdd;
+    const double cols = static_cast<double>(geom_.colsPerBank);
+
+    // Address bus: the full bus swings every access.
+    e.addressBus = switchEnergyPj(
+        wire_.wireCap(way.decoder, 0.5 * geom_.bankWidthUm(), 1.5) +
+            device_.gateCap(4.0),
+        vdd);
+
+    // Decoder: predecode gates plus one global word line run.
+    e.decoder = switchEnergyPj(
+        device_.gateCap(2.0) + device_.gateCap(4.0) +
+            wire_.wireCap(way.decoder,
+                          2.0 * geom_.bankHeightUm(), 1.5),
+        vdd);
+
+    // One local word line with all its access gates.
+    const ProcessParams &row = way.rowGroups[0][0];
+    e.wordLine = switchEnergyPj(
+        wire_.wireCap(row, geom_.bankWidthUm()) +
+            cols * device_.gateCap(0.12),
+        vdd);
+
+    // Bitlines: every column's pair precharges and one side swings by
+    // the sense fraction; dominated by the segment capacitance.
+    const double seg_len =
+        static_cast<double>(geom_.rowsPerBitlineSegment()) *
+        geom_.cellHeightUm;
+    const double c_bl =
+        static_cast<double>(geom_.rowsPerBitlineSegment()) *
+            device_.junctionCap(0.12) +
+        wire_.wireCap(row, seg_len, 1.2);
+    e.bitlines = cols * 0.12 * switchEnergyPj(c_bl, vdd) * 2.0;
+
+    // Sense amplifiers: one latch firing per column.
+    e.senseAmps = cols * switchEnergyPj(device_.gateCap(1.5), vdd);
+
+    // Output drivers and data bus (block width of data).
+    ProcessParams bus = way.outputDriver;
+    bus.metalWidth *= 2.0;
+    e.output = switchEnergyPj(
+        wire_.wireCap(bus, 0.5 * geom_.bankWidthUm()) + 8.0, vdd);
+    return e;
+}
+
+double
+EnergyModel::wayPower(const WayVariation &way, double leakage_mw,
+                      double accesses_per_cycle,
+                      double frequency_ghz) const
+{
+    yac_assert(accesses_per_cycle >= 0.0 && accesses_per_cycle <= 1.0,
+               "activity must be a per-cycle fraction");
+    yac_assert(frequency_ghz > 0.0, "frequency must be positive");
+    const double energy_pj = accessEnergy(way).total();
+    // pJ * GHz = mW.
+    const double dynamic_mw =
+        energy_pj * accesses_per_cycle * frequency_ghz;
+    return leakage_mw + dynamic_mw;
+}
+
+} // namespace yac

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Dynamic (switching) energy model for the cache, complementing the
+ * leakage model: per-access energy from the switched capacitance of
+ * each pipeline stage, and total power at a given access rate and
+ * clock frequency.
+ *
+ * The paper's power constraint is dominated by leakage at 45 nm, but
+ * its schemes also change dynamic power: a powered-down way (YAPD)
+ * sheds its entire dynamic energy, an H-YAPD region sheds the array
+ * portion, while VACA leaves dynamic power untouched. This module
+ * quantifies those effects for the power-oriented benches and the
+ * binning-economics analysis.
+ */
+
+#ifndef YAC_CIRCUIT_ENERGY_HH
+#define YAC_CIRCUIT_ENERGY_HH
+
+#include "circuit/geometry.hh"
+#include "circuit/interconnect.hh"
+#include "circuit/technology.hh"
+#include "circuit/transistor.hh"
+#include "variation/sampler.hh"
+
+namespace yac
+{
+
+/** Per-access switched energy, decomposed by stage [pJ]. */
+struct AccessEnergy
+{
+    double addressBus = 0.0;
+    double decoder = 0.0;
+    double wordLine = 0.0;
+    double bitlines = 0.0;  //!< precharge + discharge of one bank
+    double senseAmps = 0.0;
+    double output = 0.0;
+
+    double total() const
+    {
+        return addressBus + decoder + wordLine + bitlines + senseAmps +
+            output;
+    }
+};
+
+/**
+ * Analytical per-way energy model. All energies are CV^2-style
+ * estimates of the capacitance actually switched by one read access
+ * (one bank active, one row, colsPerBank bitline pairs).
+ */
+class EnergyModel
+{
+  public:
+    EnergyModel(const CacheGeometry &geom, const Technology &tech);
+
+    /** Switched energy of one access to one way [pJ]. */
+    AccessEnergy accessEnergy(const WayVariation &way) const;
+
+    /**
+     * Total power of one way [mW] at @p accesses_per_cycle average
+     * activity and @p frequency_ghz clock: leakage + dynamic.
+     *
+     * @param leakage_mw The way's leakage from the timing model.
+     */
+    double wayPower(const WayVariation &way, double leakage_mw,
+                    double accesses_per_cycle,
+                    double frequency_ghz) const;
+
+    const CacheGeometry &geometry() const { return geom_; }
+
+  private:
+    CacheGeometry geom_;
+    Technology tech_;
+    DeviceModel device_;
+    WireModel wire_;
+};
+
+} // namespace yac
+
+#endif // YAC_CIRCUIT_ENERGY_HH

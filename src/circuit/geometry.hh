@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Physical organization of the modeled cache (Section 3 of the
+ * paper): 16 KB, 4-way set associative, each way split into 4 banks
+ * of 64 x 128 bits, bitlines partitioned in two.
+ */
+
+#ifndef YAC_CIRCUIT_GEOMETRY_HH
+#define YAC_CIRCUIT_GEOMETRY_HH
+
+#include <cstddef>
+
+#include "variation/sampler.hh"
+
+namespace yac
+{
+
+/** Cache array geometry and SRAM cell footprint. */
+struct CacheGeometry
+{
+    std::size_t sizeBytes = 16 * 1024; //!< total data capacity
+    std::size_t numWays = 4;           //!< associativity
+    std::size_t blockBytes = 32;       //!< line size (L1D in the paper)
+    std::size_t banksPerWay = 4;       //!< banks inside one way
+    std::size_t rowsPerBank = 64;      //!< wordlines per bank
+    std::size_t colsPerBank = 128;     //!< bitline pairs per bank
+    std::size_t rowGroupsPerBank = 8;  //!< row groups = modeled paths
+    bool bitlineSplit = true;          //!< bitline partitioned in two
+
+    double cellWidthUm = 1.0;  //!< SRAM cell width (wordline pitch)
+    double cellHeightUm = 0.5; //!< SRAM cell height (bitline pitch)
+
+    /** Number of sets: capacity / (block * ways). */
+    std::size_t numSets() const
+    {
+        return sizeBytes / (blockBytes * numWays);
+    }
+
+    /** Cells in one way. */
+    std::size_t cellsPerWay() const
+    {
+        return banksPerWay * rowsPerBank * colsPerBank;
+    }
+
+    /** Cells in one row group. */
+    std::size_t cellsPerRowGroup() const
+    {
+        return rowsPerBank * colsPerBank / rowGroupsPerBank;
+    }
+
+    /** Physical bank height [um]. */
+    double bankHeightUm() const
+    {
+        return static_cast<double>(rowsPerBank) * cellHeightUm;
+    }
+
+    /** Physical bank width [um]. */
+    double bankWidthUm() const
+    {
+        return static_cast<double>(colsPerBank) * cellWidthUm;
+    }
+
+    /** Rows hanging on one bitline segment. */
+    std::size_t rowsPerBitlineSegment() const
+    {
+        return bitlineSplit ? rowsPerBank / 2 : rowsPerBank;
+    }
+
+    /** Variation-map granularity matching this geometry. */
+    VariationGeometry variationGeometry() const
+    {
+        VariationGeometry g;
+        g.numWays = numWays;
+        g.banksPerWay = banksPerWay;
+        g.rowGroupsPerBank = rowGroupsPerBank;
+        g.cellsPerRowGroup = cellsPerRowGroup();
+        return g;
+    }
+};
+
+} // namespace yac
+
+#endif // YAC_CIRCUIT_GEOMETRY_HH

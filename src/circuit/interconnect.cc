@@ -1,0 +1,63 @@
+#include "circuit/interconnect.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+double
+WireModel::resistancePerUm(const ProcessParams &p) const
+{
+    const double w = std::max(1e-3, p.metalWidth);
+    const double t = std::max(1e-3, p.metalThickness);
+    // ohm/um -> kOhm/um.
+    return tech_.wireResistivityOhmUm / (w * t) * 1e-3;
+}
+
+double
+WireModel::capacitancePerUm(const ProcessParams &p,
+                            double coupling_factor) const
+{
+    const double eps = tech_.permittivityFfPerUm;
+    const double w = std::max(1e-3, p.metalWidth);
+    const double t = std::max(1e-3, p.metalThickness);
+    const double h = std::max(1e-3, p.ildThickness);
+    // Space shrinks when the line widens; keep a floor so the model
+    // stays finite for extreme draws.
+    const double space = std::max(0.05, tech_.wirePitchUm - w);
+
+    const double plate = eps * w / h;
+    // Empirical fringe term (weakly geometry dependent).
+    const double fringe = eps * 1.1;
+    const double sidewall = 2.0 * eps * t / space * coupling_factor;
+    return plate + fringe + sidewall;
+}
+
+double
+WireModel::wireCap(const ProcessParams &p, double length_um,
+                   double coupling_factor) const
+{
+    return capacitancePerUm(p, coupling_factor) * length_um;
+}
+
+double
+WireModel::wireRes(const ProcessParams &p, double length_um) const
+{
+    return resistancePerUm(p) * length_um;
+}
+
+double
+WireModel::elmoreDelay(const ProcessParams &p, double drive_res_kohm,
+                       double length_um, double load_ff,
+                       double coupling_factor) const
+{
+    yac_assert(length_um >= 0.0, "wire length must be non-negative");
+    const double c_wire = wireCap(p, length_um, coupling_factor);
+    const double r_wire = wireRes(p, length_um);
+    return 0.69 * drive_res_kohm * (c_wire + load_ff) +
+        0.38 * r_wire * c_wire + 0.69 * r_wire * load_ff;
+}
+
+} // namespace yac

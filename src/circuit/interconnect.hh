@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Interconnect model: wire resistance and capacitance from the varied
+ * geometry (line width W, metal thickness T, ILD thickness H) with
+ * sidewall coupling, and Elmore delay of driver + distributed-RC
+ * ladder + lumped load.
+ *
+ * Line spacing is not an independent parameter: the pitch is fixed, so
+ * a wider line narrows the space to its neighbours and increases the
+ * coupling capacitance -- exactly the dependence called out in
+ * Section 2 of the paper.
+ */
+
+#ifndef YAC_CIRCUIT_INTERCONNECT_HH
+#define YAC_CIRCUIT_INTERCONNECT_HH
+
+#include "circuit/technology.hh"
+#include "variation/process_params.hh"
+
+namespace yac
+{
+
+/**
+ * Per-unit-length electrical properties of a wire with the given
+ * process parameters, plus Elmore-delay evaluation.
+ */
+class WireModel
+{
+  public:
+    explicit WireModel(const Technology &tech) : tech_(tech) {}
+
+    /** Resistance per um [kOhm/um]: rho / (W * T). */
+    double resistancePerUm(const ProcessParams &p) const;
+
+    /**
+     * Capacitance per um [fF/um]: parallel-plate to the layer below
+     * (W / H) plus fringe plus sidewall coupling to both neighbours
+     * (T / S with S = pitch - W).
+     *
+     * @param coupling_factor Miller factor on the sidewall component
+     *        (1.0 for a quiet neighbour, up to 2.0 for a neighbour
+     *        switching the other way -- used for bitline pairs and
+     *        address bus lines where the paper added coupling caps).
+     */
+    double capacitancePerUm(const ProcessParams &p,
+                            double coupling_factor = 1.0) const;
+
+    /**
+     * Elmore delay [ps] of a driver with source resistance
+     * @p drive_res_kohm driving a distributed RC line of
+     * @p length_um into a lumped load of @p load_ff:
+     *
+     *   t = 0.69 R_drv (C_wire + C_load)
+     *     + 0.38 R_wire C_wire + 0.69 R_wire C_load
+     */
+    double elmoreDelay(const ProcessParams &p, double drive_res_kohm,
+                       double length_um, double load_ff,
+                       double coupling_factor = 1.0) const;
+
+    /** Total wire capacitance [fF] of a line of @p length_um. */
+    double wireCap(const ProcessParams &p, double length_um,
+                   double coupling_factor = 1.0) const;
+
+    /** Total wire resistance [kOhm] of a line of @p length_um. */
+    double wireRes(const ProcessParams &p, double length_um) const;
+
+  private:
+    const Technology &tech_;
+};
+
+} // namespace yac
+
+#endif // YAC_CIRCUIT_INTERCONNECT_HH

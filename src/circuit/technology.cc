@@ -1,0 +1,16 @@
+#include "circuit/technology.hh"
+
+namespace yac
+{
+
+Technology
+defaultTechnology()
+{
+    Technology tech;
+    // Calibrated values; see EXPERIMENTS.md "Model calibration".
+    tech.vtRolloffPerL = 1.3;
+    tech.delaySensitivity = 2.2;
+    return tech;
+}
+
+} // namespace yac

@@ -1,0 +1,84 @@
+#include "circuit/transistor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+double
+DeviceModel::effectiveVt(const ProcessParams &p) const
+{
+    // Table 1 carries V_t in millivolts.
+    const double vt = p.thresholdVoltage * 1e-3;
+    const double l_frac =
+        (nominalGateLengthNm_ - p.gateLength) / nominalGateLengthNm_;
+    // A shorter channel (positive l_frac) lowers the barrier.
+    return vt - tech_.vtRolloffPerL * l_frac;
+}
+
+double
+DeviceModel::onCurrent(const ProcessParams &p, double width_um) const
+{
+    yac_assert(width_um > 0.0, "device width must be positive");
+    const double overdrive =
+        std::max(0.05, tech_.vdd - effectiveVt(p));
+    const double l_norm = p.gateLength / nominalGateLengthNm_;
+    return tech_.onCurrentPerUm * width_um *
+        std::pow(overdrive, tech_.alpha) / l_norm;
+}
+
+double
+DeviceModel::subthresholdLeak(const ProcessParams &p,
+                              double width_um) const
+{
+    const double l_norm = p.gateLength / nominalGateLengthNm_;
+    return tech_.leakRefPerUm * (width_um / l_norm) *
+        std::exp(-effectiveVt(p) / tech_.subthresholdSwing);
+}
+
+double
+DeviceModel::totalLeak(const ProcessParams &p, double width_um) const
+{
+    // Gate leakage at nominal parameters: t_ox is not a Table 1
+    // parameter, so this component does not vary.
+    const double nominal_vt = 0.220;
+    const double gate_leak = tech_.gateLeakFraction *
+        tech_.leakRefPerUm * width_um *
+        std::exp(-nominal_vt / tech_.subthresholdSwing);
+    return subthresholdLeak(p, width_um) + gate_leak;
+}
+
+double
+DeviceModel::gateDelay(const ProcessParams &p, double width_um,
+                       double load_ff) const
+{
+    const double total_load = load_ff + junctionCap(width_um);
+    // ps = 1000 * fF * V / uA; 0.69 for the 50% crossing of an RC.
+    return 0.69 * 1000.0 * total_load * tech_.vdd /
+        onCurrent(p, width_um);
+}
+
+double
+DeviceModel::driveResistance(const ProcessParams &p,
+                             double width_um) const
+{
+    // R_eq = Vdd / I_on, expressed in kOhm so kOhm * fF = ps.
+    return 1000.0 * tech_.vdd / onCurrent(p, width_um);
+}
+
+double
+DeviceModel::gateCap(double width_um) const
+{
+    return tech_.gateCapPerUm * width_um;
+}
+
+double
+DeviceModel::junctionCap(double width_um) const
+{
+    return tech_.junctionCapPerUm * width_um;
+}
+
+} // namespace yac

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Analytical MOS device model: alpha-power-law drive current and
+ * exponential subthreshold leakage, both as functions of the varied
+ * process parameters (gate length and threshold voltage).
+ */
+
+#ifndef YAC_CIRCUIT_TRANSISTOR_HH
+#define YAC_CIRCUIT_TRANSISTOR_HH
+
+#include "circuit/technology.hh"
+#include "variation/process_params.hh"
+
+namespace yac
+{
+
+/**
+ * Device-level helpers. Stateless; all methods take the process
+ * parameters of the region the device sits in.
+ */
+class DeviceModel
+{
+  public:
+    explicit DeviceModel(const Technology &tech) : tech_(tech) {}
+
+    /**
+     * Effective threshold voltage [V], including short-channel
+     * roll-off: a channel shorter than nominal depresses V_t.
+     */
+    double effectiveVt(const ProcessParams &p) const;
+
+    /**
+     * Saturation drive current [uA] of a device of @p width_um,
+     * alpha-power law: I ~ W/L * (Vdd - Vt)^alpha.
+     */
+    double onCurrent(const ProcessParams &p, double width_um) const;
+
+    /**
+     * Subthreshold leakage current [uA] of an *off* device of
+     * @p width_um: I ~ W/L * exp(-Vt_eff / (n v_T)).
+     */
+    double subthresholdLeak(const ProcessParams &p, double width_um) const;
+
+    /**
+     * Total static leakage [uA] including the flat gate-leakage
+     * component (t_ox is not varied, so gate leakage is taken at its
+     * nominal value and scales only with width).
+     */
+    double totalLeak(const ProcessParams &p, double width_um) const;
+
+    /**
+     * Delay [ps] of a gate of drive width @p width_um switching a
+     * load of @p load_ff femtofarads (step response to 50%).
+     */
+    double gateDelay(const ProcessParams &p, double width_um,
+                     double load_ff) const;
+
+    /**
+     * Equivalent switching resistance [kOhm] of a driver of
+     * @p width_um, for use as the source resistance of Elmore
+     * ladders (kOhm * fF = ps).
+     */
+    double driveResistance(const ProcessParams &p, double width_um) const;
+
+    /** Input capacitance [fF] of a gate of @p width_um. */
+    double gateCap(double width_um) const;
+
+    /** Drain junction capacitance [fF] of a device of @p width_um. */
+    double junctionCap(double width_um) const;
+
+    const Technology &tech() const { return tech_; }
+
+  private:
+    const Technology &tech_;
+    const double nominalGateLengthNm_ = 45.0;
+};
+
+} // namespace yac
+
+#endif // YAC_CIRCUIT_TRANSISTOR_HH

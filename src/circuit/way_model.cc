@@ -1,0 +1,304 @@
+#include "circuit/way_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+double
+WayTiming::delay() const
+{
+    yac_assert(!pathDelays.empty(), "way has no paths");
+    return *std::max_element(pathDelays.begin(), pathDelays.end());
+}
+
+double
+WayTiming::delayExcludingBank(std::size_t bank) const
+{
+    yac_assert(bank < banks, "bank index out of range");
+    double worst = 0.0;
+    bool any = false;
+    for (std::size_t b = 0; b < banks; ++b) {
+        if (b == bank)
+            continue;
+        for (std::size_t g = 0; g < groupsPerBank; ++g) {
+            worst = std::max(worst, pathDelays[pathIndex(b, g)]);
+            any = true;
+        }
+    }
+    yac_assert(any, "cannot power down the only bank");
+    return worst;
+}
+
+double
+WayTiming::delayExcludingRegion(std::size_t region,
+                                std::size_t num_regions) const
+{
+    const std::size_t n = pathDelays.size();
+    yac_assert(num_regions >= 2 && num_regions <= n &&
+                   n % num_regions == 0,
+               "region count must divide the path count");
+    yac_assert(region < num_regions, "region index out of range");
+    const std::size_t span = n / num_regions;
+    const std::size_t lo = region * span;
+    const std::size_t hi = lo + span;
+    double worst = 0.0;
+    bool any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i >= lo && i < hi)
+            continue;
+        worst = std::max(worst, pathDelays[i]);
+        any = true;
+    }
+    yac_assert(any, "cannot power down the whole way");
+    return worst;
+}
+
+double
+WayTiming::regionCellLeakage(std::size_t region,
+                             std::size_t num_regions) const
+{
+    const std::size_t n = groupCellLeakage.size();
+    yac_assert(num_regions >= 2 && num_regions <= n &&
+                   n % num_regions == 0,
+               "region count must divide the path count");
+    yac_assert(region < num_regions, "region index out of range");
+    const std::size_t span = n / num_regions;
+    double sum = 0.0;
+    for (std::size_t i = region * span; i < (region + 1) * span; ++i)
+        sum += groupCellLeakage[i];
+    return sum;
+}
+
+double
+WayTiming::leakage() const
+{
+    return cellLeakage() + peripheralLeakage;
+}
+
+double
+WayTiming::bankCellLeakage(std::size_t bank) const
+{
+    yac_assert(bank < banks, "bank index out of range");
+    double sum = 0.0;
+    for (std::size_t g = 0; g < groupsPerBank; ++g)
+        sum += groupCellLeakage[pathIndex(bank, g)];
+    return sum;
+}
+
+double
+WayTiming::cellLeakage() const
+{
+    double sum = 0.0;
+    for (double l : groupCellLeakage)
+        sum += l;
+    return sum;
+}
+
+WayModel::WayModel(const CacheGeometry &geom, const Technology &tech)
+    : geom_(geom), tech_(tech), device_(tech_), wire_(tech_)
+{
+    yac_assert(geom_.rowGroupsPerBank >= 2,
+               "need at least two row groups per bank");
+    const WayVariation nominal = nominalWay();
+    nominalRawDelay_.resize(geom_.banksPerWay * geom_.rowGroupsPerBank);
+    for (std::size_t b = 0; b < geom_.banksPerWay; ++b) {
+        for (std::size_t g = 0; g < geom_.rowGroupsPerBank; ++g) {
+            nominalRawDelay_[b * geom_.rowGroupsPerBank + g] =
+                rawPathDelay(nominal, b, g);
+        }
+    }
+}
+
+WayVariation
+WayModel::nominalWay() const
+{
+    const VariationTable table;
+    const ProcessParams nominal = table.nominalParams();
+    WayVariation way;
+    way.base = nominal;
+    way.decoder = nominal;
+    way.precharge = nominal;
+    way.senseAmp = nominal;
+    way.outputDriver = nominal;
+    way.rowGroups.assign(
+        geom_.banksPerWay,
+        std::vector<ProcessParams>(geom_.rowGroupsPerBank, nominal));
+    way.worstCell = way.rowGroups;
+    return way;
+}
+
+double
+WayModel::nominalDelay() const
+{
+    return *std::max_element(nominalRawDelay_.begin(),
+                             nominalRawDelay_.end());
+}
+
+double
+WayModel::rawPathDelay(const WayVariation &way, std::size_t bank,
+                       std::size_t group) const
+{
+    return stageBreakdown(way, bank, group).total();
+}
+
+StageDelays
+WayModel::stageBreakdown(const WayVariation &way, std::size_t bank,
+                         std::size_t group) const
+{
+    const ProcessParams &dec = way.decoder;
+    const ProcessParams &grp = way.rowGroups[bank][group];
+    const ProcessParams &cell = way.worstCell[bank][group];
+    const ProcessParams &sa = way.senseAmp;
+    const ProcessParams &out = way.outputDriver;
+
+    // 1. Address bus: driver into a coupled bus of one bank width
+    //    (the paper adds coupling caps between address bus lines).
+    const double t_addr = wire_.elmoreDelay(
+        dec, device_.driveResistance(dec, kAddrDriverWidth),
+        0.5 * geom_.bankWidthUm(),
+        device_.gateCap(kPredecode1Width) * 2.0, /*coupling=*/1.5);
+
+    // 2. Two predecode stages (NAND + buffer).
+    const double t_pre =
+        device_.gateDelay(dec, kPredecode1Width,
+                          device_.gateCap(kPredecode2Width)) +
+        device_.gateDelay(dec, kPredecode2Width,
+                          device_.gateCap(kGwlDriverWidth));
+
+    // 3. Global word line: vertical run to the target bank through
+    //    the decoder's coupled parallel wires.
+    const double gwl_len =
+        (static_cast<double>(bank) + 0.5) * geom_.bankHeightUm();
+    const double t_gwl = wire_.elmoreDelay(
+        dec, device_.driveResistance(dec, kGwlDriverWidth), gwl_len,
+        device_.gateCap(kLwlDriverWidth), /*coupling=*/1.5);
+
+    // 4. Local word line across the bank, loaded by the access gates
+    //    of every cell in the row.
+    const double wl_load =
+        static_cast<double>(geom_.colsPerBank) *
+        device_.gateCap(kCellAccessWidth);
+    const double t_lwl = wire_.elmoreDelay(
+        grp, device_.driveResistance(grp, kLwlDriverWidth),
+        geom_.bankWidthUm(), wl_load);
+
+    // 5. Bitline discharge: the worst cell of the group pulls a
+    //    segmented, coupled bitline down by the sense swing. The cell
+    //    current is degraded by the series access transistor.
+    const std::size_t seg_rows = geom_.rowsPerBitlineSegment();
+    const double seg_len =
+        static_cast<double>(seg_rows) * geom_.cellHeightUm;
+    const double c_bl =
+        static_cast<double>(seg_rows) *
+            device_.junctionCap(kCellAccessWidth) +
+        wire_.wireCap(grp, seg_len, /*coupling=*/1.2);
+    const double i_cell =
+        0.45 * device_.onCurrent(cell, kCellPullWidth);
+    double t_bl = 1000.0 * kBitlineSwingFrac * tech_.vdd * c_bl / i_cell;
+    //    Position of the row group along its segment adds wire
+    //    resistance between the cell and the sense amplifier.
+    const std::size_t groups_per_seg =
+        geom_.bitlineSplit ? geom_.rowGroupsPerBank / 2
+                           : geom_.rowGroupsPerBank;
+    const std::size_t pos_in_seg =
+        group % std::max<std::size_t>(groups_per_seg, 1);
+    const double dist_frac = (static_cast<double>(pos_in_seg) + 0.5) /
+        static_cast<double>(std::max<std::size_t>(groups_per_seg, 1));
+    t_bl += 0.69 * wire_.wireRes(grp, seg_len * dist_frac) * c_bl;
+
+    // 6. Sense amplifier: one gain/latch stage.
+    const double t_sa = device_.gateDelay(sa, kSenseAmpWidth, 6.0);
+
+    // 7. Output driver and data bus. Outputs are edge-routed per
+    //    bank on wide (2x) metal, so the return trip is short and
+    //    bank independent; the access-time asymmetry between banks
+    //    lives in the global word line above.
+    ProcessParams bus = out;
+    bus.metalWidth *= 2.0;
+    const double bus_len = 0.5 * geom_.bankWidthUm();
+    const double t_out = wire_.elmoreDelay(
+        bus, device_.driveResistance(out, kOutDriverWidth), bus_len,
+        8.0);
+
+    StageDelays stages;
+    stages.addressBus = t_addr;
+    stages.predecode = t_pre;
+    stages.globalWordLine = t_gwl;
+    stages.localWordLine = t_lwl;
+    stages.bitline = t_bl;
+    stages.senseAmp = t_sa;
+    stages.output = t_out;
+    return stages;
+}
+
+double
+WayModel::groupCellLeakage(const WayVariation &way, std::size_t bank,
+                           std::size_t group) const
+{
+    const double per_cell_ua =
+        device_.totalLeak(way.rowGroups[bank][group], kCellLeakWidth);
+    const double cells = static_cast<double>(geom_.cellsPerRowGroup());
+    // uA * V -> uW; /1000 -> mW.
+    return per_cell_ua * cells * tech_.vdd / 1000.0;
+}
+
+double
+WayModel::peripheralLeakage(const WayVariation &way) const
+{
+    const double rows = static_cast<double>(geom_.rowsPerBank) *
+        static_cast<double>(geom_.banksPerWay);
+    const double cols = static_cast<double>(geom_.colsPerBank);
+    const double banks = static_cast<double>(geom_.banksPerWay);
+    const double sa_per_bank =
+        geom_.bitlineSplit ? 2.0 * cols : cols;
+
+    // Total leaking widths [um] of each peripheral block.
+    const double decoder_width =
+        rows * kLwlDriverWidth + 32.0 * kPredecode2Width +
+        banks * kGwlDriverWidth;
+    const double precharge_width = banks * cols * 3.0 * 0.3;
+    const double senseamp_width = banks * sa_per_bank * kSenseAmpWidth;
+    const double driver_width = 64.0 * kOutDriverWidth;
+
+    const double leak_ua =
+        device_.totalLeak(way.decoder, decoder_width) +
+        device_.totalLeak(way.precharge, precharge_width) +
+        device_.totalLeak(way.senseAmp, senseamp_width) +
+        device_.totalLeak(way.outputDriver, driver_width);
+    return leak_ua * tech_.vdd / 1000.0;
+}
+
+WayTiming
+WayModel::evaluate(const WayVariation &way) const
+{
+    yac_assert(way.rowGroups.size() == geom_.banksPerWay,
+               "variation map bank count mismatch");
+    WayTiming timing;
+    timing.banks = geom_.banksPerWay;
+    timing.groupsPerBank = geom_.rowGroupsPerBank;
+    timing.pathDelays.resize(timing.banks * timing.groupsPerBank);
+    timing.groupCellLeakage.resize(timing.pathDelays.size());
+
+    const double s = tech_.delaySensitivity;
+    for (std::size_t b = 0; b < timing.banks; ++b) {
+        yac_assert(way.rowGroups[b].size() == geom_.rowGroupsPerBank,
+                   "variation map row group count mismatch");
+        for (std::size_t g = 0; g < timing.groupsPerBank; ++g) {
+            const std::size_t idx = timing.pathIndex(b, g);
+            const double raw = rawPathDelay(way, b, g);
+            const double nom = nominalRawDelay_[idx];
+            // Spread widening: preserve the nominal point and the
+            // ordering, amplify relative excursions.
+            timing.pathDelays[idx] = nom * std::pow(raw / nom, s);
+            timing.groupCellLeakage[idx] = groupCellLeakage(way, b, g);
+        }
+    }
+    timing.peripheralLeakage = peripheralLeakage(way);
+    return timing;
+}
+
+} // namespace yac

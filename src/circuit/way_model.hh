@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Timing and leakage of one cache way under process variation.
+ *
+ * Follows the Amrutur-Horowitz decomposition used by the paper's
+ * HSPICE model (Figure 3): address bus -> predecoder -> global word
+ * line -> local word line -> bitline discharge -> sense amplifier ->
+ * output driver and data bus. One "path" is modeled per row group per
+ * bank; the way's access latency is the maximum over its paths
+ * (critical path), the rest being the near-critical paths whose
+ * reshuffling under variation motivates H-YAPD.
+ */
+
+#ifndef YAC_CIRCUIT_WAY_MODEL_HH
+#define YAC_CIRCUIT_WAY_MODEL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/geometry.hh"
+#include "circuit/interconnect.hh"
+#include "circuit/technology.hh"
+#include "circuit/transistor.hh"
+#include "variation/sampler.hh"
+
+namespace yac
+{
+
+/**
+ * Evaluated timing/leakage of one way. Path-granular so the yield
+ * schemes can reason about horizontal regions (banks).
+ */
+struct WayTiming
+{
+    std::size_t banks = 0;
+    std::size_t groupsPerBank = 0;
+
+    /** Path delays [ps], indexed bank * groupsPerBank + group. */
+    std::vector<double> pathDelays;
+
+    /** Cell-array leakage [mW] per row group, same indexing. */
+    std::vector<double> groupCellLeakage;
+
+    /** Leakage [mW] of decoder, precharge, sense amps, drivers. */
+    double peripheralLeakage = 0.0;
+
+    /** Access latency of the way: slowest path [ps]. */
+    double delay() const;
+
+    /** Access latency if bank @p bank is powered down [ps]. */
+    double delayExcludingBank(std::size_t bank) const;
+
+    /**
+     * Access latency if horizontal region @p region of
+     * @p num_regions is powered down [ps]. Regions divide the way's
+     * row ranges (path indices, bank-major order) contiguously;
+     * num_regions == banks reproduces delayExcludingBank.
+     */
+    double delayExcludingRegion(std::size_t region,
+                                std::size_t num_regions) const;
+
+    /** Cell leakage of horizontal region @p region of
+     *  @p num_regions [mW]. */
+    double regionCellLeakage(std::size_t region,
+                             std::size_t num_regions) const;
+
+    /** Total leakage of the way [mW]. */
+    double leakage() const;
+
+    /** Cell leakage of one bank [mW]. */
+    double bankCellLeakage(std::size_t bank) const;
+
+    /** Total cell leakage [mW]. */
+    double cellLeakage() const;
+
+    std::size_t pathIndex(std::size_t bank, std::size_t group) const
+    {
+        return bank * groupsPerBank + group;
+    }
+};
+
+/** Per-stage decomposition of one path's delay [ps]. */
+struct StageDelays
+{
+    double addressBus = 0.0;
+    double predecode = 0.0;
+    double globalWordLine = 0.0;
+    double localWordLine = 0.0;
+    double bitline = 0.0;
+    double senseAmp = 0.0;
+    double output = 0.0;
+
+    double total() const
+    {
+        return addressBus + predecode + globalWordLine + localWordLine +
+            bitline + senseAmp + output;
+    }
+};
+
+/**
+ * Analytical evaluation of a way from its variation draws.
+ *
+ * Path delays are computed relative to the all-nominal path and
+ * widened by the technology's delaySensitivity exponent:
+ *   d = d_nom * (d_raw / d_raw_nom)^s
+ * which preserves monotonicity in every parameter while letting the
+ * spread be calibrated against the paper's Monte Carlo.
+ */
+class WayModel
+{
+  public:
+    WayModel(const CacheGeometry &geom, const Technology &tech);
+
+    /** Evaluate the timing/leakage of one way. */
+    WayTiming evaluate(const WayVariation &way) const;
+
+    /** Unwidened per-stage delays of path (bank, group). */
+    StageDelays stageBreakdown(const WayVariation &way, std::size_t bank,
+                               std::size_t group) const;
+
+    /** Delay of the all-nominal critical path [ps]. */
+    double nominalDelay() const;
+
+    const CacheGeometry &geometry() const { return geom_; }
+    const Technology &technology() const { return tech_; }
+
+    /** All-nominal variation draw for this geometry (public so tests
+     *  and tools can evaluate the nominal design point). */
+    WayVariation nominalWay() const;
+
+  private:
+    /** Unwidened analytical delay of path (bank, group) [ps]. */
+    double rawPathDelay(const WayVariation &way, std::size_t bank,
+                        std::size_t group) const;
+
+    /** Leakage of the cells of one row group [mW]. */
+    double groupCellLeakage(const WayVariation &way, std::size_t bank,
+                            std::size_t group) const;
+
+    /** Leakage of the way's peripheral circuits [mW]. */
+    double peripheralLeakage(const WayVariation &way) const;
+
+    CacheGeometry geom_;
+    Technology tech_;
+    DeviceModel device_;
+    WireModel wire_;
+
+    /** Raw delay of each all-nominal path, cached at construction. */
+    std::vector<double> nominalRawDelay_;
+
+    // Representative transistor widths [um] for each stage.
+    static constexpr double kAddrDriverWidth = 8.0;
+    static constexpr double kPredecode1Width = 2.0;
+    static constexpr double kPredecode2Width = 4.0;
+    static constexpr double kGwlDriverWidth = 4.0;
+    static constexpr double kLwlDriverWidth = 4.0;
+    static constexpr double kCellAccessWidth = 0.12;
+    static constexpr double kCellPullWidth = 0.15;
+    static constexpr double kSenseAmpWidth = 1.5;
+    static constexpr double kOutDriverWidth = 8.0;
+    static constexpr double kBitlineSwingFrac = 0.12;
+
+    // Effective leaking width of one 6T cell [um].
+    static constexpr double kCellLeakWidth = 0.15;
+};
+
+} // namespace yac
+
+#endif // YAC_CIRCUIT_WAY_MODEL_HH

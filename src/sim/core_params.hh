@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Out-of-order core parameters, defaulted to the paper's base
+ * processor (Section 5.2): 4-wide, 128-entry issue queue, 256-entry
+ * ROB, 7 pipeline stages between schedule and execute, and the
+ * single-entry load-bypass buffers of the VACA datapath.
+ */
+
+#ifndef YAC_SIM_CORE_PARAMS_HH
+#define YAC_SIM_CORE_PARAMS_HH
+
+namespace yac
+{
+
+/** Static core configuration. */
+struct CoreParams
+{
+    int fetchWidth = 4;
+    int dispatchWidth = 4;
+    int issueWidth = 4;
+    int commitWidth = 4;
+
+    int iqSize = 128;  //!< issue-queue entries
+    int robSize = 256; //!< reorder-buffer entries
+
+    /** Pipeline stages between the scheduling decision and execute. */
+    int schedToExec = 7;
+
+    int intPorts = 4; //!< integer FUs
+    int fpPorts = 2;  //!< floating-point FUs
+    int memPorts = 2; //!< data-cache ports
+
+    /**
+     * Load-bypass buffer depth: how many cycles of extra load latency
+     * a dependent can absorb by stalling at the functional-unit input
+     * instead of replaying. The paper uses single-entry buffers
+     * (depth 1, allowing 4-or-5-cycle loads); 0 models a conventional
+     * core without VACA support.
+     */
+    int loadBypassDepth = 1;
+
+    /**
+     * The load latency the scheduler assumes when speculatively
+     * waking dependents. Equal to the L1D base hit latency in the
+     * VACA machine; naive binning raises it to the binned latency.
+     */
+    int assumedLoadLatency = 4;
+
+    /** Front-end refill penalty after a branch mispredict resolves. */
+    int redirectPenalty = 10;
+};
+
+} // namespace yac
+
+#endif // YAC_SIM_CORE_PARAMS_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The in-flight instruction record of the out-of-order core model.
+ */
+
+#ifndef YAC_SIM_DYN_INST_HH
+#define YAC_SIM_DYN_INST_HH
+
+#include <cstdint>
+
+#include "workload/instruction.hh"
+
+namespace yac
+{
+
+/** Lifecycle of an in-flight instruction. */
+enum class InstState : std::uint8_t
+{
+    WaitIQ,    //!< in the issue queue, not (or no longer) scheduled
+    Scheduled, //!< selected; traversing schedule-to-execute stages
+    Executing, //!< occupying a functional unit / cache port
+    Done,      //!< result produced, waiting to commit
+    Committed, //!< retired
+};
+
+/** No producer sentinel. */
+constexpr std::int64_t kNoProducer = -1;
+
+/** One in-flight instruction. */
+struct DynInst
+{
+    TraceInst trace;
+    std::uint64_t seq = 0;
+    InstState state = InstState::WaitIQ;
+
+    /** Producing instructions of each source (kNoProducer if the
+     *  value was already architectural at rename). */
+    std::int64_t prodSeq[2] = {kNoProducer, kNoProducer};
+
+    /** Earliest cycle the scheduler may select this instruction
+     *  (kept monotonically current as producers resolve). */
+    std::uint64_t earliestSched = 0;
+
+    std::uint64_t dispatchCycle = 0;
+    std::uint64_t schedCycle = 0;
+
+    /**
+     * Best current estimate of the cycle at which this instruction's
+     * result is available to a consumer *entering execute* (bypass
+     * network contract). For loads this is speculative (hit
+     * assumption) until the cache access resolves.
+     */
+    std::uint64_t availCycle = 0;
+
+    /** availCycle is final (cache access resolved / FU started). */
+    bool availKnown = false;
+
+    int replays = 0;          //!< selective-replay count
+    bool bufferStalled = false; //!< ever waited in a load-bypass buffer
+    bool l1Miss = false;      //!< load that missed in the L1
+
+    bool
+    producesValue() const
+    {
+        return trace.dst != kNoReg;
+    }
+};
+
+} // namespace yac
+
+#endif // YAC_SIM_DYN_INST_HH

@@ -1,0 +1,411 @@
+#include "sim/ooo_core.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+OooCore::OooCore(const CoreParams &params, MemoryHierarchy &hierarchy,
+                 TraceSource &trace)
+    : params_(params), hierarchy_(hierarchy), trace_(trace),
+      rob_(static_cast<std::size_t>(params.robSize)),
+      renameTable_(kNumLogicalRegs, kNoProducer), wheel_(kWheelSize)
+{
+    yac_assert(params_.robSize > 0 && params_.iqSize > 0,
+               "ROB and IQ must be non-empty");
+    yac_assert(params_.schedToExec >= 1,
+               "need at least one stage between schedule and execute");
+    yac_assert(params_.loadBypassDepth >= 0, "buffer depth is negative");
+}
+
+DynInst &
+OooCore::inst(std::uint64_t seq)
+{
+    return rob_[seq % rob_.size()];
+}
+
+const DynInst &
+OooCore::inst(std::uint64_t seq) const
+{
+    return rob_[seq % rob_.size()];
+}
+
+void
+OooCore::schedule(EventKind kind, std::uint64_t seq, std::uint64_t delta)
+{
+    yac_assert(delta < kWheelSize, "event beyond wheel horizon");
+    wheel_[(now_ + delta) % kWheelSize].push_back({kind, seq});
+}
+
+std::uint64_t
+OooCore::sourceAvail(std::int64_t prod_seq) const
+{
+    if (prod_seq == kNoProducer ||
+        static_cast<std::uint64_t>(prod_seq) < headSeq_) {
+        return kAvailNow; // architectural or already committed
+    }
+    const DynInst &p = inst(static_cast<std::uint64_t>(prod_seq));
+    switch (p.state) {
+      case InstState::WaitIQ:
+        return kAvailUnknown; // replayed / never scheduled
+      case InstState::Scheduled:
+      case InstState::Executing:
+        return p.availCycle; // predicted or resolved
+      case InstState::Done:
+      case InstState::Committed:
+        return p.availCycle;
+    }
+    yac_panic("unknown instruction state");
+}
+
+void
+OooCore::handleExecEntry(DynInst &di)
+{
+    if (di.state != InstState::Scheduled)
+        return; // stale event from a replayed incarnation
+
+    // Latest availability over both sources, and whether any late
+    // source traces back to a cache miss (the only event that forces
+    // a selective replay in the VACA datapath: a buffered dependant
+    // that "does not receive its input" had a load that missed).
+    std::uint64_t avail = kAvailNow;
+    bool late_source_missed = false;
+    bool blocked = false;
+    for (std::int64_t prod : di.prodSeq) {
+        const std::uint64_t a = sourceAvail(prod);
+        if (a == kAvailUnknown) {
+            blocked = true;
+            break;
+        }
+        if (a > now_) {
+            const DynInst &p = inst(static_cast<std::uint64_t>(prod));
+            if (p.availKnown && p.l1Miss)
+                late_source_missed = true;
+        }
+        avail = std::max(avail, a);
+    }
+
+    if (blocked) {
+        // A producer was itself replayed: selective replay.
+        di.state = InstState::WaitIQ;
+        di.earliestSched = now_ + 1;
+        ++di.replays;
+        ++window_.replays;
+        return;
+    }
+
+    if (avail > now_) {
+        const std::uint64_t late = avail - now_;
+        const bool have_buffers = params_.loadBypassDepth > 0;
+        if (have_buffers && !late_source_missed &&
+            late < kWheelSize / 2) {
+            // Wait at the functional-unit input: the data is on its
+            // way from a slow-but-hitting way (or a producer that was
+            // itself stalled); the buffer latches it when the
+            // register tag broadcast matches.
+            di.bufferStalled = true;
+            window_.loadBypassStalls += late;
+            // Consumers must see the shifted completion.
+            if (!di.availKnown && di.producesValue())
+                di.availCycle += late;
+            schedule(EventKind::ExecEntry, di.seq, late);
+            return;
+        }
+        // No buffers, or the input is not coming (L1 miss): flush
+        // and selectively replay so the dependant arrives when the
+        // data actually does.
+        di.state = InstState::WaitIQ;
+        const std::uint64_t sched_to_exec =
+            static_cast<std::uint64_t>(params_.schedToExec);
+        di.earliestSched = std::max(
+            now_ + 1,
+            avail > sched_to_exec ? avail - sched_to_exec : now_ + 1);
+        ++di.replays;
+        ++window_.replays;
+        return;
+    }
+
+    startExecution(di);
+}
+
+void
+OooCore::startExecution(DynInst &di)
+{
+    // Ports were reserved at select time (constant schedule-to-
+    // execute offset), so execution starts unconditionally here.
+    di.state = InstState::Executing;
+    int latency = opLatency(di.trace.op);
+    if (di.trace.isLoad()) {
+        const MemAccessOutcome mem =
+            hierarchy_.dataAccess(di.trace.addr, false);
+        latency = mem.latency;
+        di.l1Miss = !mem.l1Hit;
+        if (mem.l1Hit &&
+            mem.latency > hierarchy_.l1d().params().hitLatency) {
+            ++window_.slowWayLoads;
+        }
+    } else if (di.trace.isStore()) {
+        hierarchy_.dataAccess(di.trace.addr, true);
+        latency = 1; // completion is fire-and-forget (write buffer)
+    }
+
+    di.availCycle = now_ + static_cast<std::uint64_t>(latency);
+    di.availKnown = true;
+    schedule(EventKind::Complete, di.seq,
+             static_cast<std::uint64_t>(latency));
+}
+
+void
+OooCore::processEvents()
+{
+    auto &slot = wheel_[now_ % kWheelSize];
+    if (slot.empty())
+        return;
+    // Oldest instructions first, so retries respect age priority.
+    std::sort(slot.begin(), slot.end(),
+              [](const Event &a, const Event &b) { return a.seq < b.seq; });
+    // Events may append to future slots; this slot is drained once.
+    std::vector<Event> events;
+    events.swap(slot);
+    for (const Event &ev : events) {
+        DynInst &di = inst(ev.seq);
+        if (di.seq != ev.seq)
+            continue; // instruction squashed/recycled
+        switch (ev.kind) {
+          case EventKind::ExecEntry:
+            handleExecEntry(di);
+            break;
+          case EventKind::Complete:
+            if (di.state == InstState::Executing) {
+                di.state = InstState::Done;
+                --iqCount_;
+                if (di.trace.isBranch() && di.trace.mispredicted &&
+                    waitingForBranch_) {
+                    waitingForBranch_ = false;
+                    fetchBlockedUntil_ = now_ +
+                        static_cast<std::uint64_t>(
+                            params_.redirectPenalty);
+                }
+            }
+            break;
+        }
+    }
+}
+
+void
+OooCore::commit()
+{
+    int committed = 0;
+    while (committed < params_.commitWidth && headSeq_ < tailSeq_) {
+        DynInst &di = inst(headSeq_);
+        if (di.state != InstState::Done)
+            break;
+        di.state = InstState::Committed;
+        ++headSeq_;
+        ++committedTotal_;
+        ++committed;
+    }
+}
+
+void
+OooCore::scheduleReady()
+{
+    int issued = 0;
+    for (std::uint64_t s = headSeq_; s < tailSeq_; ++s) {
+        if (issued >= params_.issueWidth)
+            break;
+        DynInst &di = inst(s);
+        if (di.state != InstState::WaitIQ || di.earliestSched > now_)
+            continue;
+
+        // Compute the earliest legal schedule cycle from the current
+        // producer estimates; cache it so future scans are cheap.
+        std::uint64_t earliest = now_;
+        bool blocked = false;
+        for (std::int64_t prod : di.prodSeq) {
+            const std::uint64_t a = sourceAvail(prod);
+            if (a == kAvailUnknown) {
+                blocked = true;
+                break;
+            }
+            const std::uint64_t sched_to_exec =
+                static_cast<std::uint64_t>(params_.schedToExec);
+            if (a > sched_to_exec)
+                earliest = std::max(earliest, a - sched_to_exec);
+        }
+        if (blocked) {
+            di.earliestSched = now_ + 1;
+            continue;
+        }
+        if (earliest > now_) {
+            di.earliestSched = earliest;
+            continue;
+        }
+
+        // Reserve a functional-unit / cache port for the execute
+        // cycle (constant offset, so per-select-cycle counting is
+        // exact). An instruction that cannot get a port this cycle
+        // stays in the queue.
+        int *port = nullptr;
+        int limit = 0;
+        switch (di.trace.op) {
+          case OpClass::Load:
+          case OpClass::Store:
+            port = &memPortsUsed_;
+            limit = params_.memPorts;
+            break;
+          case OpClass::FpAlu:
+          case OpClass::FpMul:
+            port = &fpPortsUsed_;
+            limit = params_.fpPorts;
+            break;
+          default:
+            port = &intPortsUsed_;
+            limit = params_.intPorts;
+            break;
+        }
+        if (*port >= limit)
+            continue;
+        ++*port;
+
+        di.state = InstState::Scheduled;
+        di.schedCycle = now_;
+        const std::uint64_t sched_to_exec =
+            static_cast<std::uint64_t>(params_.schedToExec);
+        const int assumed = di.trace.isLoad()
+            ? params_.assumedLoadLatency
+            : opLatency(di.trace.op);
+        di.availCycle = now_ + sched_to_exec +
+            static_cast<std::uint64_t>(assumed);
+        di.availKnown = false;
+        schedule(EventKind::ExecEntry, di.seq, sched_to_exec);
+        ++issued;
+    }
+}
+
+void
+OooCore::dispatch()
+{
+    if (now_ < fetchBlockedUntil_ || waitingForBranch_)
+        return;
+    int dispatched = 0;
+    while (dispatched < params_.dispatchWidth &&
+           tailSeq_ - headSeq_ <
+               static_cast<std::uint64_t>(params_.robSize) &&
+           iqCount_ < params_.iqSize) {
+        const TraceInst tr = trace_.next();
+
+        // Instruction fetch: crossing into a new cache block may miss.
+        const std::uint64_t block =
+            tr.pc / hierarchy_.l1i().params().blockBytes;
+        if (block != currentFetchBlock_) {
+            currentFetchBlock_ = block;
+            const int lat = hierarchy_.instFetch(tr.pc);
+            const int hit = hierarchy_.l1i().params().hitLatency;
+            if (lat > hit) {
+                fetchBlockedUntil_ = now_ +
+                    static_cast<std::uint64_t>(lat - hit);
+                break;
+            }
+        }
+
+        DynInst &di = inst(tailSeq_);
+        di = DynInst();
+        di.trace = tr;
+        di.seq = tailSeq_;
+        di.state = InstState::WaitIQ;
+        di.dispatchCycle = now_;
+        di.earliestSched = now_ + 1;
+
+        // Rename: map sources to in-flight producers. The trace uses
+        // a single unified logical register space, so load values
+        // feed integer and floating-point consumers alike.
+        const std::int16_t srcs[2] = {tr.src1, tr.src2};
+        for (int i = 0; i < 2; ++i) {
+            if (srcs[i] == kNoReg)
+                continue;
+            const std::int64_t prod =
+                renameTable_[static_cast<std::size_t>(srcs[i])];
+            if (prod != kNoProducer &&
+                static_cast<std::uint64_t>(prod) >= headSeq_) {
+                di.prodSeq[i] = prod;
+            }
+        }
+        if (tr.dst != kNoReg) {
+            renameTable_[static_cast<std::size_t>(tr.dst)] =
+                static_cast<std::int64_t>(tailSeq_);
+        }
+
+        ++tailSeq_;
+        ++iqCount_;
+        ++dispatched;
+
+        if (tr.isLoad())
+            ++window_.loads;
+        if (tr.isStore())
+            ++window_.stores;
+        if (tr.isBranch()) {
+            ++window_.branches;
+            if (tr.mispredicted) {
+                ++window_.mispredicts;
+                waitingForBranch_ = true;
+                break; // stop dispatching down the wrong path
+            }
+        }
+    }
+}
+
+void
+OooCore::run(std::uint64_t n)
+{
+    const std::uint64_t target = committedTotal_ + n;
+    std::uint64_t last_progress_cycle = now_;
+    std::uint64_t last_committed = committedTotal_;
+    while (committedTotal_ < target) {
+        intPortsUsed_ = 0;
+        fpPortsUsed_ = 0;
+        memPortsUsed_ = 0;
+        processEvents();
+        commit();
+        scheduleReady();
+        dispatch();
+        window_.iqOccupancySum += iqCount_;
+        window_.robOccupancySum +=
+            static_cast<double>(tailSeq_ - headSeq_);
+        ++now_;
+        if (committedTotal_ != last_committed) {
+            last_committed = committedTotal_;
+            last_progress_cycle = now_;
+        } else if (now_ - last_progress_cycle > 100000) {
+            yac_panic("core deadlock: no commit for 100k cycles at "
+                      "cycle ", now_, ", head seq ", headSeq_);
+        }
+    }
+}
+
+void
+OooCore::beginMeasurement()
+{
+    window_ = SimStats();
+    windowStartCycle_ = now_;
+    windowStartInsts_ = committedTotal_;
+    hierarchy_.l1d().clearStats();
+    hierarchy_.l1i().clearStats();
+    hierarchy_.l2().clearStats();
+}
+
+SimStats
+OooCore::stats() const
+{
+    SimStats s = window_;
+    s.cycles = now_ - windowStartCycle_;
+    s.instructions = committedTotal_ - windowStartInsts_;
+    s.l1d = hierarchy_.l1d().stats();
+    s.l1i = hierarchy_.l1i().stats();
+    s.l2 = hierarchy_.l2().stats();
+    return s;
+}
+
+} // namespace yac

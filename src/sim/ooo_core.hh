@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Trace-driven out-of-order core model -- the SimpleScalar
+ * `sim-outorder` stand-in, with the modifications the paper made:
+ * a realistically sized issue queue, speculative scheduling of load
+ * dependants with selective replay, cache-port contention, and the
+ * VACA load-bypass buffers that let a dependant stall at the
+ * functional-unit input when its load takes an extra cycle.
+ *
+ * Timing contract: an instruction selected (scheduled) at cycle s
+ * enters execute at s + schedToExec. A consumer entering execute at
+ * cycle e can bypass a producer's value iff e >= A(producer), where
+ * A = execStart + latency (for loads, execStart + cache latency).
+ * Dependants of a load are woken assuming the base hit latency; if
+ * the access resolves one cycle slower (a 5-cycle VACA way), an
+ * already-scheduled dependant arriving one cycle early waits in the
+ * load-bypass buffer; if it resolves slower than the buffers can
+ * absorb (an L1 miss), the dependant is selectively replayed.
+ */
+
+#ifndef YAC_SIM_OOO_CORE_HH
+#define YAC_SIM_OOO_CORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/memory_hierarchy.hh"
+#include "sim/core_params.hh"
+#include "sim/dyn_inst.hh"
+#include "sim/sim_stats.hh"
+#include "workload/instruction.hh"
+
+namespace yac
+{
+
+/** The cycle-level core model. */
+class OooCore
+{
+  public:
+    /**
+     * @param params Core configuration.
+     * @param hierarchy Memory hierarchy (not owned).
+     * @param trace Instruction source (not owned).
+     */
+    OooCore(const CoreParams &params, MemoryHierarchy &hierarchy,
+            TraceSource &trace);
+
+    /** Simulate until @p n further instructions have committed. */
+    void run(std::uint64_t n);
+
+    /** Reset the measurement window (keeps microarchitectural and
+     *  cache state warm). */
+    void beginMeasurement();
+
+    /** Statistics of the current measurement window. */
+    SimStats stats() const;
+
+    /** Total committed instructions since construction. */
+    std::uint64_t committedTotal() const { return committedTotal_; }
+
+    /** Current cycle. */
+    std::uint64_t now() const { return now_; }
+
+  private:
+    enum class EventKind : std::uint8_t { ExecEntry, Complete };
+
+    struct Event
+    {
+        EventKind kind;
+        std::uint64_t seq;
+    };
+
+    static constexpr std::size_t kWheelSize = 2048;
+
+    DynInst &inst(std::uint64_t seq);
+    const DynInst &inst(std::uint64_t seq) const;
+
+    /** Enqueue an event @p delta cycles in the future (delta >= 1
+     *  unless called during event processing for the same cycle). */
+    void schedule(EventKind kind, std::uint64_t seq,
+                  std::uint64_t delta);
+
+    /**
+     * Availability time of a source operand, or one of the two
+     * sentinels: kAvailNow (architectural / committed) and
+     * kAvailUnknown (producer not scheduled).
+     */
+    std::uint64_t sourceAvail(std::int64_t prod_seq) const;
+
+    void processEvents();
+    void handleExecEntry(DynInst &di);
+    void startExecution(DynInst &di);
+    void commit();
+    void scheduleReady();
+    void dispatch();
+
+    static constexpr std::uint64_t kAvailNow = 0;
+    static constexpr std::uint64_t kAvailUnknown = ~std::uint64_t{0};
+
+    CoreParams params_;
+    MemoryHierarchy &hierarchy_;
+    TraceSource &trace_;
+
+    std::vector<DynInst> rob_;
+    std::uint64_t headSeq_ = 0; //!< oldest in-flight seq
+    std::uint64_t tailSeq_ = 0; //!< next seq to allocate
+    int iqCount_ = 0;
+
+    /** Last in-flight producer of each logical register. */
+    std::vector<std::int64_t> renameTable_;
+
+    std::vector<std::vector<Event>> wheel_;
+    std::uint64_t now_ = 0;
+
+    // Per-cycle functional-unit port usage (reset each cycle).
+    int intPortsUsed_ = 0;
+    int fpPortsUsed_ = 0;
+    int memPortsUsed_ = 0;
+
+    std::uint64_t fetchBlockedUntil_ = 0;
+    bool waitingForBranch_ = false; //!< mispredict pending resolution
+    std::uint64_t currentFetchBlock_ = ~std::uint64_t{0};
+
+    std::uint64_t committedTotal_ = 0;
+
+    // Measurement window.
+    SimStats window_;
+    std::uint64_t windowStartCycle_ = 0;
+    std::uint64_t windowStartInsts_ = 0;
+};
+
+} // namespace yac
+
+#endif // YAC_SIM_OOO_CORE_HH

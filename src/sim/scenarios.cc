@@ -1,0 +1,131 @@
+#include "sim/scenarios.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+SimConfig
+baselineScenario()
+{
+    SimConfig cfg;
+    cfg.label = "base(4-0-0)";
+    return cfg;
+}
+
+SimConfig
+yapdScenario(int disabled_ways)
+{
+    yac_assert(disabled_ways >= 1 && disabled_ways <= 3,
+               "YAPD can disable 1..3 ways here");
+    SimConfig cfg;
+    std::uint32_t mask = 0xF;
+    for (int i = 0; i < disabled_ways; ++i)
+        mask &= ~(1u << (3 - i)); // disable the highest-index ways
+    cfg.hierarchy.l1d.wayMask = mask;
+    cfg.label = "YAPD(-" + std::to_string(disabled_ways) + "w)";
+    return cfg;
+}
+
+SimConfig
+hyapdScenario(std::size_t disabled_region)
+{
+    SimConfig cfg;
+    cfg.hierarchy.l1d.horizontalMode = true;
+    cfg.hierarchy.l1d.numHRegions = cfg.hierarchy.l1d.numWays;
+    cfg.hierarchy.l1d.disabledHRegion = disabled_region;
+    cfg.label = "H-YAPD(region " + std::to_string(disabled_region) + ")";
+    return cfg;
+}
+
+SimConfig
+vacaScenario(int ways5)
+{
+    yac_assert(ways5 >= 0 && ways5 <= 4, "0..4 slow ways");
+    SimConfig cfg;
+    cfg.hierarchy.l1d.wayLatency.assign(4, 4);
+    for (int i = 0; i < ways5; ++i)
+        cfg.hierarchy.l1d.wayLatency[3 - i] = 5;
+    cfg.core.loadBypassDepth = 1;
+    cfg.core.assumedLoadLatency = 4;
+    char label[32];
+    std::snprintf(label, sizeof(label), "VACA(%d-%d-0)", 4 - ways5,
+                  ways5);
+    cfg.label = label;
+    return cfg;
+}
+
+SimConfig
+hybridOffScenario(int ways5)
+{
+    yac_assert(ways5 >= 0 && ways5 <= 3,
+               "0..3 slow ways among the 3 survivors");
+    SimConfig cfg;
+    cfg.hierarchy.l1d.wayMask = 0x7; // way 3 powered down
+    cfg.hierarchy.l1d.wayLatency.assign(4, 4);
+    for (int i = 0; i < ways5; ++i)
+        cfg.hierarchy.l1d.wayLatency[2 - i] = 5;
+    cfg.core.loadBypassDepth = 1;
+    cfg.core.assumedLoadLatency = 4;
+    char label[40];
+    std::snprintf(label, sizeof(label), "Hybrid(%d-%d,+off)",
+                  3 - ways5, ways5);
+    cfg.label = label;
+    return cfg;
+}
+
+SimConfig
+binningScenario(int cycles)
+{
+    yac_assert(cycles >= 4 && cycles <= 8, "binning at 4..8 cycles");
+    SimConfig cfg;
+    cfg.hierarchy.l1d.hitLatency = 4;
+    cfg.hierarchy.l1d.wayLatency.assign(4, cycles);
+    // The scheduler knows the binned latency: no buffers involved.
+    cfg.core.assumedLoadLatency = cycles;
+    cfg.core.loadBypassDepth = 0;
+    cfg.label = "Bin@" + std::to_string(cycles) + "cy";
+    return cfg;
+}
+
+SimConfig
+table6Scenario(const std::string &signature, const std::string &scheme)
+{
+    int n4 = 0, n5 = 0, n6 = 0;
+    if (std::sscanf(signature.c_str(), "%d-%d-%d", &n4, &n5, &n6) != 3 ||
+        n4 + n5 + n6 != 4) {
+        yac_fatal("bad Table 6 signature: ", signature);
+    }
+
+    if (scheme == "YAPD" || scheme == "H-YAPD") {
+        // YAPD needs all enabled ways at base latency and can only
+        // power down a single way (or none, for the pure leakage
+        // configuration 4-0-0).
+        if (n5 + n6 > 1)
+            yac_fatal("YAPD cannot run ", signature);
+        return yapdScenario(1);
+    }
+    if (scheme == "VACA") {
+        if (n6 > 0)
+            yac_fatal("VACA cannot run ", signature);
+        if (n5 == 0) {
+            // 4-0-0 is a leakage loss; VACA cannot power down.
+            yac_fatal("VACA cannot save the leakage-limited 4-0-0");
+        }
+        return vacaScenario(n5);
+    }
+    if (scheme == "Hybrid") {
+        if (n6 > 1)
+            yac_fatal("Hybrid cannot run ", signature);
+        if (n6 == 1)
+            return hybridOffScenario(n5);
+        if (n5 == 0)
+            return yapdScenario(1); // leakage-only: power down one way
+        return vacaScenario(n5);    // keep ways on as long as possible
+    }
+    yac_fatal("unknown scheme: ", scheme);
+}
+
+} // namespace yac

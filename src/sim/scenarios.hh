@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Builders for the simulation configurations of every yield-aware
+ * scheme and cache way-latency signature in Table 6. A configuration
+ * "n4-n5-n6" means n4 ways need 4 cycles, n5 need 5 and n6 need 6+;
+ * each scheme turns that manufactured signature into a runnable
+ * machine (or cannot, in which case the chip is a loss and no
+ * scenario exists).
+ */
+
+#ifndef YAC_SIM_SCENARIOS_HH
+#define YAC_SIM_SCENARIOS_HH
+
+#include <string>
+
+#include "sim/simulation.hh"
+
+namespace yac
+{
+
+/** The unmodified base processor with a fully healthy cache. */
+SimConfig baselineScenario();
+
+/**
+ * YAPD (or H-YAPD, identical hit/miss behaviour): @p disabled_ways
+ * ways powered down, every remaining way at the base latency.
+ */
+SimConfig yapdScenario(int disabled_ways = 1);
+
+/**
+ * H-YAPD modeled explicitly through the rotated decoder: one
+ * horizontal region powered down. Hit/miss behaviour should match
+ * yapdScenario(1); the pair exists so tests can verify the paper's
+ * equivalence claim.
+ */
+SimConfig hyapdScenario(std::size_t disabled_region = 0);
+
+/**
+ * VACA: all ways enabled, @p ways5 of them at 5 cycles. Dependants
+ * are scheduled with the 4-cycle assumption and absorb the extra
+ * cycle in the load-bypass buffers.
+ */
+SimConfig vacaScenario(int ways5);
+
+/**
+ * Hybrid with one way powered down: of the remaining 3 ways,
+ * @p ways5 run at 5 cycles.
+ */
+SimConfig hybridOffScenario(int ways5);
+
+/**
+ * Naive binning (Section 4.5): the whole cache is scheduled at
+ * @p cycles (5 or 6); no load-bypass buffers are needed because the
+ * scheduler assumption matches the latency.
+ */
+SimConfig binningScenario(int cycles);
+
+/**
+ * Scenario for a Table 6 signature under a scheme, by label, e.g.
+ * ("3-1-0", "VACA") or ("2-1-1", "Hybrid"). yac_fatal when the
+ * scheme cannot run that signature (the N/A cells of Table 6).
+ */
+SimConfig table6Scenario(const std::string &signature,
+                         const std::string &scheme);
+
+} // namespace yac
+
+#endif // YAC_SIM_SCENARIOS_HH

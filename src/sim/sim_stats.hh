@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Statistics reported by one simulation run.
+ */
+
+#ifndef YAC_SIM_SIM_STATS_HH
+#define YAC_SIM_SIM_STATS_HH
+
+#include <cstdint>
+
+#include "cache/set_assoc_cache.hh"
+
+namespace yac
+{
+
+/** Counters over the measured instruction window. */
+struct SimStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+
+    std::uint64_t loadBypassStalls = 0; //!< cycles spent in buffers
+    std::uint64_t replays = 0;          //!< selective replays
+    std::uint64_t slowWayLoads = 0;     //!< loads served by a 5-cycle way
+
+    CacheStats l1d;
+    CacheStats l1i;
+    CacheStats l2;
+
+    double iqOccupancySum = 0.0;
+    double robOccupancySum = 0.0;
+
+    double cpi() const
+    {
+        return instructions == 0
+            ? 0.0
+            : static_cast<double>(cycles) /
+              static_cast<double>(instructions);
+    }
+
+    double ipc() const
+    {
+        return cycles == 0
+            ? 0.0
+            : static_cast<double>(instructions) /
+              static_cast<double>(cycles);
+    }
+
+    double avgIqOccupancy() const
+    {
+        return cycles == 0 ? 0.0 : iqOccupancySum /
+            static_cast<double>(cycles);
+    }
+
+    double avgRobOccupancy() const
+    {
+        return cycles == 0 ? 0.0 : robOccupancySum /
+            static_cast<double>(cycles);
+    }
+};
+
+} // namespace yac
+
+#endif // YAC_SIM_SIM_STATS_HH

@@ -1,0 +1,55 @@
+#include "sim/simulation.hh"
+
+#include "sim/ooo_core.hh"
+#include "util/logging.hh"
+#include "workload/trace_generator.hh"
+
+namespace yac
+{
+
+SimStats
+simulateBenchmark(const BenchmarkProfile &profile, const SimConfig &config)
+{
+    yac_assert(config.measureInsts > 0, "nothing to measure");
+    MemoryHierarchy hierarchy(config.hierarchy);
+    TraceGenerator trace(profile, config.seed);
+    OooCore core(config.core, hierarchy, trace);
+    if (config.warmupInsts > 0)
+        core.run(config.warmupInsts);
+    core.beginMeasurement();
+    core.run(config.measureInsts);
+    return core.stats();
+}
+
+double
+cpiDegradation(const BenchmarkProfile &profile, const SimConfig &baseline,
+               const SimConfig &config)
+{
+    const SimStats base = simulateBenchmark(profile, baseline);
+    const SimStats with = simulateBenchmark(profile, config);
+    yac_assert(base.cpi() > 0.0, "baseline CPI is zero");
+    return (with.cpi() - base.cpi()) / base.cpi();
+}
+
+std::vector<double>
+suiteDegradations(const std::vector<BenchmarkProfile> &suite,
+                  const SimConfig &baseline, const SimConfig &config)
+{
+    std::vector<double> out;
+    out.reserve(suite.size());
+    for (const BenchmarkProfile &p : suite)
+        out.push_back(cpiDegradation(p, baseline, config));
+    return out;
+}
+
+double
+meanOf(const std::vector<double> &values)
+{
+    yac_assert(!values.empty(), "mean of an empty set");
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace yac

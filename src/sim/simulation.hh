@@ -1,0 +1,57 @@
+/**
+ * @file
+ * High-level simulation driver: one call runs a benchmark profile on
+ * a cache/core configuration (warmup + measurement) and returns the
+ * statistics, exactly the experiment unit behind Table 6 and
+ * Figures 9/10.
+ */
+
+#ifndef YAC_SIM_SIMULATION_HH
+#define YAC_SIM_SIMULATION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/memory_hierarchy.hh"
+#include "sim/core_params.hh"
+#include "sim/sim_stats.hh"
+#include "workload/profile.hh"
+
+namespace yac
+{
+
+/** Everything one simulation run needs. */
+struct SimConfig
+{
+    CoreParams core;
+    HierarchyParams hierarchy = HierarchyParams::baseline();
+    std::uint64_t warmupInsts = 50'000;
+    std::uint64_t measureInsts = 200'000;
+    std::uint64_t seed = 1;
+    std::string label = "base";
+};
+
+/** Run one benchmark on one configuration. */
+SimStats simulateBenchmark(const BenchmarkProfile &profile,
+                           const SimConfig &config);
+
+/**
+ * Relative CPI degradation of @p config versus @p baseline on one
+ * benchmark: (CPI - CPI_base) / CPI_base. Both runs consume the same
+ * deterministic trace, so the difference is noise-free.
+ */
+double cpiDegradation(const BenchmarkProfile &profile,
+                      const SimConfig &baseline, const SimConfig &config);
+
+/** Per-benchmark degradations over a suite; order follows @p suite. */
+std::vector<double>
+suiteDegradations(const std::vector<BenchmarkProfile> &suite,
+                  const SimConfig &baseline, const SimConfig &config);
+
+/** Arithmetic mean of a vector. */
+double meanOf(const std::vector<double> &values);
+
+} // namespace yac
+
+#endif // YAC_SIM_SIMULATION_HH

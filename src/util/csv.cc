@@ -1,0 +1,71 @@
+#include "util/csv.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+CsvWriter::CsvWriter(const std::string &path,
+                     std::vector<std::string> headers)
+    : out_(path), columns_(headers.size())
+{
+    if (!out_)
+        yac_fatal("cannot open CSV file for writing: ", path);
+    yac_assert(columns_ > 0, "CSV needs at least one column");
+    writeRow(headers);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &fields)
+{
+    yac_assert(fields.size() == columns_,
+               "CSV row has ", fields.size(), " fields, expected ",
+               columns_);
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            out_ << ',';
+        out_ << escape(fields[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &values)
+{
+    std::vector<std::string> fields;
+    fields.reserve(values.size());
+    char buf[64];
+    for (double v : values) {
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+        fields.emplace_back(buf);
+    }
+    writeRow(fields);
+}
+
+void
+CsvWriter::close()
+{
+    out_.close();
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    const bool needs_quoting =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quoting)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace yac

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Small CSV writer for exporting figure data (scatter plots, per
+ * benchmark series) so they can be re-plotted outside the harness.
+ */
+
+#ifndef YAC_UTIL_CSV_HH
+#define YAC_UTIL_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace yac
+{
+
+/**
+ * Streaming CSV writer. Fields containing commas, quotes or newlines
+ * are quoted per RFC 4180.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Open @p path for writing; calls yac_fatal on failure.
+     * @param headers Column names written as the first row.
+     */
+    CsvWriter(const std::string &path, std::vector<std::string> headers);
+
+    /** Write a row of preformatted fields. */
+    void writeRow(const std::vector<std::string> &fields);
+
+    /** Write a row of doubles with full precision. */
+    void writeRow(const std::vector<double> &values);
+
+    /** Flush and close. Implicit in the destructor. */
+    void close();
+
+    /** Escape a single field per RFC 4180. */
+    static std::string escape(const std::string &field);
+
+  private:
+    std::ofstream out_;
+    std::size_t columns_;
+};
+
+} // namespace yac
+
+#endif // YAC_UTIL_CSV_HH

@@ -1,0 +1,75 @@
+#include "util/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), binWidth_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    yac_assert(bins > 0, "histogram needs at least one bin");
+    yac_assert(hi > lo, "histogram range must be non-empty");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto bin = static_cast<std::size_t>((x - lo_) / binWidth_);
+    bin = std::min(bin, counts_.size() - 1);
+    ++counts_[bin];
+}
+
+double
+Histogram::binCenter(std::size_t bin) const
+{
+    return lo_ + (static_cast<double>(bin) + 0.5) * binWidth_;
+}
+
+double
+Histogram::binLow(std::size_t bin) const
+{
+    return lo_ + static_cast<double>(bin) * binWidth_;
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::size_t peak = 1;
+    for (std::size_t c : counts_)
+        peak = std::max(peak, c);
+
+    std::string out;
+    char line[160];
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar_len = static_cast<std::size_t>(
+            std::llround(static_cast<double>(counts_[i] * width) /
+                         static_cast<double>(peak)));
+        std::snprintf(line, sizeof(line), "%10.4g | %-6zu ",
+                      binCenter(i), counts_[i]);
+        out += line;
+        out.append(bar_len, '#');
+        out += '\n';
+    }
+    if (underflow_ > 0)
+        out += "underflow: " + std::to_string(underflow_) + "\n";
+    if (overflow_ > 0)
+        out += "overflow: " + std::to_string(overflow_) + "\n";
+    return out;
+}
+
+} // namespace yac

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fixed-bin histogram used for distribution reporting (for example the
+ * latency/leakage scatter summaries behind Figure 8).
+ */
+
+#ifndef YAC_UTIL_HISTOGRAM_HH
+#define YAC_UTIL_HISTOGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace yac
+{
+
+/**
+ * Equal-width histogram over [lo, hi) with underflow/overflow bins.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first regular bin.
+     * @param hi Upper edge of the last regular bin.
+     * @param bins Number of regular bins. @pre bins > 0, hi > lo
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Count a sample. Values outside [lo, hi) land in under/overflow. */
+    void add(double x);
+
+    std::size_t numBins() const { return counts_.size(); }
+    std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+    std::size_t underflow() const { return underflow_; }
+    std::size_t overflow() const { return overflow_; }
+    std::size_t total() const { return total_; }
+
+    /** Centre of a regular bin. */
+    double binCenter(std::size_t bin) const;
+
+    /** Lower edge of a regular bin. */
+    double binLow(std::size_t bin) const;
+
+    /**
+     * Render a simple ASCII bar chart, one line per bin, with bars
+     * scaled so the fullest bin has @p width characters.
+     */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double binWidth_;
+    std::vector<std::size_t> counts_;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::size_t total_ = 0;
+};
+
+} // namespace yac
+
+#endif // YAC_UTIL_HISTOGRAM_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal logging helpers in the gem5 idiom.
+ *
+ * panic()  -- an internal invariant was broken (a yac bug); aborts.
+ * fatal()  -- the user asked for something impossible (bad config);
+ *             exits with status 1.
+ * warn()   -- something works, but not as well as it should.
+ * inform() -- status information, no connotation of a problem.
+ */
+
+#ifndef YAC_UTIL_LOGGING_HH
+#define YAC_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace yac
+{
+
+/** Terminate with an internal-error message (a yac bug). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminate with a user-error message (bad configuration/arguments). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+namespace detail
+{
+
+/** Fold a list of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace yac
+
+#define yac_panic(...) \
+    ::yac::panicImpl(__FILE__, __LINE__, ::yac::detail::concat(__VA_ARGS__))
+#define yac_fatal(...) \
+    ::yac::fatalImpl(__FILE__, __LINE__, ::yac::detail::concat(__VA_ARGS__))
+#define yac_warn(...) ::yac::warnImpl(::yac::detail::concat(__VA_ARGS__))
+#define yac_inform(...) ::yac::informImpl(::yac::detail::concat(__VA_ARGS__))
+
+/** Panic when an invariant does not hold. */
+#define yac_assert(cond, ...)                                          \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            ::yac::panicImpl(__FILE__, __LINE__,                       \
+                ::yac::detail::concat("assertion '" #cond "' failed: ",\
+                                      ##__VA_ARGS__));                 \
+        }                                                              \
+    } while (0)
+
+#endif // YAC_UTIL_LOGGING_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic random number generation for Monte Carlo experiments.
+ *
+ * All stochastic behaviour in yac flows through Rng so that every
+ * experiment is exactly reproducible from a single 64-bit seed. The
+ * core generator is xoshiro256++, which is fast, well distributed and
+ * trivially splittable via SplitMix64-seeded substreams.
+ */
+
+#ifndef YAC_UTIL_RNG_HH
+#define YAC_UTIL_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace yac
+{
+
+/**
+ * xoshiro256++ pseudo random number generator with convenience
+ * distributions (uniform, normal, truncated normal, lognormal).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via SplitMix64 state expansion. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /**
+     * Derive an independent child generator. Children with distinct
+     * stream ids are statistically independent of each other and of
+     * the parent's future output.
+     *
+     * @param stream_id Identifier folded into the child seed.
+     */
+    Rng split(std::uint64_t stream_id) const;
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0 */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Standard normal deviate (Box-Muller, cached spare). */
+    double normal();
+
+    /** Normal deviate with the given mean and standard deviation. */
+    double normal(double mean, double sigma);
+
+    /**
+     * Normal deviate truncated (by rejection) to
+     * [mean - cut*sigma, mean + cut*sigma].
+     *
+     * Used for process parameters where physically impossible values
+     * (for example, a negative gate length) must never be produced.
+     */
+    double truncatedNormal(double mean, double sigma, double cut = 4.0);
+
+    /** Lognormal deviate: exp(N(mu, sigma)). */
+    double lognormal(double mu, double sigma);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool bernoulli(double p);
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+    double spareNormal_ = 0.0;
+    bool hasSpare_ = false;
+};
+
+} // namespace yac
+
+#endif // YAC_UTIL_RNG_HH

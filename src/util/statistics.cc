@@ -1,0 +1,116 @@
+#include "util/statistics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = n1 + n2;
+    mean_ += delta * n2 / total;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+SampleSummary::SampleSummary(std::vector<double> samples)
+    : sorted_(std::move(samples))
+{
+    yac_assert(!sorted_.empty(), "SampleSummary needs at least one sample");
+    std::sort(sorted_.begin(), sorted_.end());
+    RunningStats stats;
+    for (double x : sorted_)
+        stats.add(x);
+    mean_ = stats.mean();
+    stddev_ = stats.stddev();
+}
+
+double
+SampleSummary::quantile(double q) const
+{
+    yac_assert(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+    if (sorted_.size() == 1)
+        return sorted_.front();
+    const double pos = q * static_cast<double>(sorted_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double
+SampleSummary::fractionAbove(double threshold) const
+{
+    const auto it =
+        std::upper_bound(sorted_.begin(), sorted_.end(), threshold);
+    const auto above = static_cast<double>(sorted_.end() - it);
+    return above / static_cast<double>(sorted_.size());
+}
+
+double
+pearsonCorrelation(const std::vector<double> &xs,
+                   const std::vector<double> &ys)
+{
+    yac_assert(xs.size() == ys.size() && xs.size() >= 2,
+               "correlation needs two equally sized samples");
+    RunningStats sx, sy;
+    for (double x : xs)
+        sx.add(x);
+    for (double y : ys)
+        sy.add(y);
+    double cov = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        cov += (xs[i] - sx.mean()) * (ys[i] - sy.mean());
+    cov /= static_cast<double>(xs.size() - 1);
+    const double denom = sx.stddev() * sy.stddev();
+    if (denom == 0.0)
+        return 0.0;
+    return cov / denom;
+}
+
+} // namespace yac

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Running statistics and sample summaries used across yield analysis
+ * and pipeline simulation.
+ */
+
+#ifndef YAC_UTIL_STATISTICS_HH
+#define YAC_UTIL_STATISTICS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace yac
+{
+
+/**
+ * Single-pass accumulator for mean/variance (Welford's algorithm),
+ * min and max.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Fold another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Number of samples observed. */
+    std::size_t count() const { return count_; }
+
+    /** Sample mean (0 if empty). */
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance (0 if fewer than two samples). */
+    double variance() const;
+
+    /** Unbiased sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen. */
+    double min() const { return min_; }
+
+    /** Largest sample seen. */
+    double max() const { return max_; }
+
+    /** Sum of all samples. */
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Summary statistics of a fixed sample: mean, standard deviation and
+ * arbitrary quantiles. The sample is copied and sorted once.
+ */
+class SampleSummary
+{
+  public:
+    /** Build a summary of @p samples. @pre samples must be non-empty */
+    explicit SampleSummary(std::vector<double> samples);
+
+    std::size_t count() const { return sorted_.size(); }
+    double mean() const { return mean_; }
+    double stddev() const { return stddev_; }
+    double min() const { return sorted_.front(); }
+    double max() const { return sorted_.back(); }
+
+    /**
+     * Linear-interpolation quantile.
+     * @param q Quantile in [0, 1]; 0.5 is the median.
+     */
+    double quantile(double q) const;
+
+    /** Fraction of samples strictly greater than @p threshold. */
+    double fractionAbove(double threshold) const;
+
+  private:
+    std::vector<double> sorted_;
+    double mean_;
+    double stddev_;
+};
+
+/** Pearson correlation coefficient of two equally sized samples. */
+double pearsonCorrelation(const std::vector<double> &xs,
+                          const std::vector<double> &ys);
+
+} // namespace yac
+
+#endif // YAC_UTIL_STATISTICS_HH

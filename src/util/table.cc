@@ -1,0 +1,109 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    yac_assert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    yac_assert(cells.size() == headers_.size(),
+               "row has ", cells.size(), " cells, expected ",
+               headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back({kSeparatorTag});
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == kSeparatorTag)
+            continue;
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto render_line = [&](const std::vector<std::string> &cells) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            line += ' ';
+            line += cells[c];
+            line.append(widths[c] - cells[c].size(), ' ');
+            line += " |";
+        }
+        return line + "\n";
+    };
+    auto render_rule = [&]() {
+        std::string line = "+";
+        for (std::size_t w : widths) {
+            line.append(w + 2, '-');
+            line += '+';
+        }
+        return line + "\n";
+    };
+
+    std::string out;
+    if (!title_.empty())
+        out += title_ + "\n";
+    out += render_rule();
+    out += render_line(headers_);
+    out += render_rule();
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == kSeparatorTag)
+            out += render_rule();
+        else
+            out += render_line(row);
+    }
+    out += render_rule();
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    const std::string text = render();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+}
+
+std::string
+TextTable::num(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+TextTable::num(long long value)
+{
+    return std::to_string(value);
+}
+
+std::string
+TextTable::percent(double fraction, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+    return buf;
+}
+
+} // namespace yac

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark output. Every bench binary that
+ * regenerates a table from the paper formats its rows through this
+ * class so the output is aligned and diffable.
+ */
+
+#ifndef YAC_UTIL_TABLE_HH
+#define YAC_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace yac
+{
+
+/**
+ * Column-aligned ASCII table with a header row and optional title.
+ */
+class TextTable
+{
+  public:
+    /** @param headers Column header labels. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Set a title printed above the table. */
+    void title(std::string text) { title_ = std::move(text); }
+
+    /**
+     * Append a data row.
+     * @pre cells.size() == number of headers
+     */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render to a string (including trailing newline). */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format a double with @p digits fractional digits. */
+    static std::string num(double value, int digits = 2);
+
+    /** Format an integer. */
+    static std::string num(long long value);
+
+    /** Format a percentage (value 0.123 -> "12.3%"). */
+    static std::string percent(double fraction, int digits = 1);
+
+  private:
+    static constexpr const char *kSeparatorTag = "\x01--";
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::string title_;
+};
+
+} // namespace yac
+
+#endif // YAC_UTIL_TABLE_HH

@@ -1,0 +1,44 @@
+#include "variation/correlation.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+MeshRelation
+CorrelationModel::meshRelation(std::size_t way_index)
+{
+    switch (way_index) {
+      case 0: return MeshRelation::Self;
+      case 1: return MeshRelation::Horizontal;
+      case 2: return MeshRelation::Vertical;
+      case 3: return MeshRelation::Diagonal;
+      default:
+        yac_panic("2x2 mesh only has four ways, got index ", way_index);
+    }
+}
+
+double
+CorrelationModel::wayFactor(std::size_t way_index) const
+{
+    switch (meshRelation(way_index)) {
+      case MeshRelation::Self: return 0.0;
+      case MeshRelation::Vertical: return verticalFactor_;
+      case MeshRelation::Horizontal: return horizontalFactor_;
+      case MeshRelation::Diagonal: return diagonalFactor_;
+    }
+    yac_panic("unknown mesh relation");
+}
+
+void
+CorrelationModel::scaleWayFactors(double scale)
+{
+    yac_assert(scale >= 0.0, "scale must be non-negative");
+    verticalFactor_ = std::min(1.0, verticalFactor_ * scale);
+    horizontalFactor_ = std::min(1.0, horizontalFactor_ * scale);
+    diagonalFactor_ = std::min(1.0, diagonalFactor_ * scale);
+}
+
+} // namespace yac

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Spatial-correlation model for intra-die process variations.
+ *
+ * The paper expresses correlation through "correlation factors": a
+ * child region's parameters are drawn around the parent's values with
+ * the Table 1 range scaled by the factor. A *small* factor therefore
+ * means *strong* correlation (the child barely deviates from its
+ * parent) -- note this is the opposite sense of a correlation
+ * coefficient, exactly as the paper defines it.
+ *
+ * Factors used (Section 3, from Friedberg et al.):
+ *   - bit within a cache block:            0.01
+ *   - row to row:                          0.05
+ *   - way on the same vertical mesh line:  0.45
+ *   - way on the same horizontal line:     0.375
+ *   - way on the same diagonal:            0.7125
+ * assuming the four ways are laid out on a 2x2 mesh with way 0 as the
+ * reference in the top-left corner.
+ */
+
+#ifndef YAC_VARIATION_CORRELATION_HH
+#define YAC_VARIATION_CORRELATION_HH
+
+#include <cstddef>
+
+namespace yac
+{
+
+/**
+ * Relative placement of a way with respect to the reference way on
+ * the 2x2 mesh.
+ */
+enum class MeshRelation
+{
+    Self,       //!< the reference way itself
+    Vertical,   //!< same column, other row
+    Horizontal, //!< same row, other column
+    Diagonal,   //!< opposite corner
+};
+
+/**
+ * Correlation factors for every level of the cache hierarchy.
+ *
+ * All factors are "sigma scales" in the paper's sense: the Table 1
+ * sigma is multiplied by the factor when drawing the child around the
+ * parent. Factor 0 pins the child to the parent (perfect correlation);
+ * factor 1 makes the child a fresh full-range draw (no correlation).
+ */
+class CorrelationModel
+{
+  public:
+    /** Paper defaults. */
+    CorrelationModel() = default;
+
+    /** Mesh relation of way @p way_index relative to way 0 (2x2 mesh,
+     *  row-major: 0 = top-left, 1 = top-right, 2 = bottom-left,
+     *  3 = bottom-right). */
+    static MeshRelation meshRelation(std::size_t way_index);
+
+    /** Correlation factor between way 0 and way @p way_index. */
+    double wayFactor(std::size_t way_index) const;
+
+    /** Factor for a row group within a way. */
+    double rowFactor() const { return rowFactor_; }
+
+    /**
+     * Factor of the chip-common *systematic* component of each
+     * horizontal region (bank row range). Systematic intra-die
+     * variation is layout-position dependent (CMP/OPC; Section 2 of
+     * the paper), so the same physical row range deviates the same
+     * way in every cache way -- the effect H-YAPD exploits: "either
+     * all the upper-most rows of the ways or all the middle rows will
+     * violate" (Section 4.2).
+     */
+    double regionSystematicFactor() const { return regionFactor_; }
+
+    /** Factor for a bit/cell within a block. */
+    double bitFactor() const { return bitFactor_; }
+
+    /** Factor for peripheral blocks (decoder, precharge, sense amps,
+     *  output drivers) within a way. */
+    double peripheralFactor() const { return peripheralFactor_; }
+
+    /** @name Overrides (used by the ablation benches). */
+    /// @{
+    void verticalFactor(double f) { verticalFactor_ = f; }
+    void horizontalFactor(double f) { horizontalFactor_ = f; }
+    void diagonalFactor(double f) { diagonalFactor_ = f; }
+    void rowFactor(double f) { rowFactor_ = f; }
+    void bitFactor(double f) { bitFactor_ = f; }
+    void peripheralFactor(double f) { peripheralFactor_ = f; }
+    void regionSystematicFactor(double f) { regionFactor_ = f; }
+
+    double verticalFactor() const { return verticalFactor_; }
+    double horizontalFactor() const { return horizontalFactor_; }
+    double diagonalFactor() const { return diagonalFactor_; }
+
+    /** Scale the three inter-way factors by @p scale (clamped to 1).
+     *  Used by the correlation-sweep ablation. */
+    void scaleWayFactors(double scale);
+    /// @}
+
+  private:
+    double verticalFactor_ = 0.45;
+    double horizontalFactor_ = 0.375;
+    double diagonalFactor_ = 0.7125;
+    double rowFactor_ = 0.05;
+    double bitFactor_ = 0.01;
+    double peripheralFactor_ = 0.5;
+    double regionFactor_ = 1.0;
+};
+
+} // namespace yac
+
+#endif // YAC_VARIATION_CORRELATION_HH

@@ -1,0 +1,106 @@
+#include "variation/process_params.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace yac
+{
+
+const char *
+processParamName(ProcessParam p)
+{
+    switch (p) {
+      case ProcessParam::GateLength: return "L_gate";
+      case ProcessParam::ThresholdVoltage: return "V_t";
+      case ProcessParam::MetalWidth: return "W";
+      case ProcessParam::MetalThickness: return "T";
+      case ProcessParam::IldThickness: return "H";
+    }
+    yac_panic("unknown ProcessParam");
+}
+
+double
+ProcessParams::get(ProcessParam p) const
+{
+    switch (p) {
+      case ProcessParam::GateLength: return gateLength;
+      case ProcessParam::ThresholdVoltage: return thresholdVoltage;
+      case ProcessParam::MetalWidth: return metalWidth;
+      case ProcessParam::MetalThickness: return metalThickness;
+      case ProcessParam::IldThickness: return ildThickness;
+    }
+    yac_panic("unknown ProcessParam");
+}
+
+void
+ProcessParams::set(ProcessParam p, double value)
+{
+    switch (p) {
+      case ProcessParam::GateLength: gateLength = value; return;
+      case ProcessParam::ThresholdVoltage: thresholdVoltage = value; return;
+      case ProcessParam::MetalWidth: metalWidth = value; return;
+      case ProcessParam::MetalThickness: metalThickness = value; return;
+      case ProcessParam::IldThickness: ildThickness = value; return;
+    }
+    yac_panic("unknown ProcessParam");
+}
+
+VariationTable::VariationTable()
+{
+    // Table 1: nominal and 3-sigma variation for the 45 nm node.
+    specs_[static_cast<std::size_t>(ProcessParam::GateLength)] =
+        {45.0, 0.10};   // 45 nm, +/- 10%
+    specs_[static_cast<std::size_t>(ProcessParam::ThresholdVoltage)] =
+        {220.0, 0.18};  // 220 mV, +/- 18%
+    specs_[static_cast<std::size_t>(ProcessParam::MetalWidth)] =
+        {0.25, 0.33};   // 0.25 um, +/- 33%
+    specs_[static_cast<std::size_t>(ProcessParam::MetalThickness)] =
+        {0.55, 0.33};   // 0.55 um, +/- 33%
+    specs_[static_cast<std::size_t>(ProcessParam::IldThickness)] =
+        {0.15, 0.35};   // 0.15 um, +/- 35%
+}
+
+const VariationSpec &
+VariationTable::spec(ProcessParam p) const
+{
+    return specs_[static_cast<std::size_t>(p)];
+}
+
+void
+VariationTable::spec(ProcessParam p, VariationSpec s)
+{
+    yac_assert(s.nominal > 0.0, "nominal value must be positive");
+    yac_assert(s.threeSigmaPct >= 0.0 && s.threeSigmaPct < 1.0,
+               "3-sigma fraction must be in [0, 1)");
+    specs_[static_cast<std::size_t>(p)] = s;
+}
+
+ProcessParams
+VariationTable::nominalParams() const
+{
+    ProcessParams out;
+    for (ProcessParam p : kAllProcessParams)
+        out.set(p, spec(p).nominal);
+    return out;
+}
+
+ProcessParams
+VariationTable::sampleAround(Rng &rng, const ProcessParams &mean,
+                             double sigma_scale) const
+{
+    yac_assert(sigma_scale >= 0.0, "sigma scale must be non-negative");
+    ProcessParams out;
+    for (ProcessParam p : kAllProcessParams) {
+        const double sigma = spec(p).sigma() * sigma_scale;
+        out.set(p, rng.truncatedNormal(mean.get(p), sigma, 3.0));
+    }
+    return out;
+}
+
+ProcessParams
+VariationTable::sampleDie(Rng &rng, double sigma_scale) const
+{
+    return sampleAround(rng, nominalParams(), sigma_scale);
+}
+
+} // namespace yac

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Process-variation parameters and their nominal/3-sigma specification
+ * (Table 1 of the paper).
+ *
+ * Five parameters are varied, exactly the set modeled by the paper:
+ * device gate length (L_gate) and threshold voltage (V_t), and the
+ * interconnect metal line width (W), metal thickness (T) and
+ * inter-layer dielectric thickness (H).
+ */
+
+#ifndef YAC_VARIATION_PROCESS_PARAMS_HH
+#define YAC_VARIATION_PROCESS_PARAMS_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace yac
+{
+
+class Rng;
+
+/** The five sources of variation, in Table 1 order. */
+enum class ProcessParam
+{
+    GateLength,       //!< L_gate [nm]
+    ThresholdVoltage, //!< V_t [mV]
+    MetalWidth,       //!< W [um]
+    MetalThickness,   //!< T [um]
+    IldThickness,     //!< H [um]
+};
+
+/** Number of varied parameters. */
+constexpr std::size_t kNumProcessParams = 5;
+
+/** All parameters, iterable. */
+constexpr std::array<ProcessParam, kNumProcessParams> kAllProcessParams = {
+    ProcessParam::GateLength,
+    ProcessParam::ThresholdVoltage,
+    ProcessParam::MetalWidth,
+    ProcessParam::MetalThickness,
+    ProcessParam::IldThickness,
+};
+
+/** Human-readable name of a parameter. */
+const char *processParamName(ProcessParam p);
+
+/**
+ * A concrete draw of the five process parameters for one circuit
+ * region. Units follow Table 1: nm, mV, um, um, um.
+ */
+struct ProcessParams
+{
+    double gateLength = 0.0;       //!< L_gate [nm]
+    double thresholdVoltage = 0.0; //!< V_t [mV]
+    double metalWidth = 0.0;       //!< W [um]
+    double metalThickness = 0.0;   //!< T [um]
+    double ildThickness = 0.0;     //!< H [um]
+
+    /** Access by enumerator. */
+    double get(ProcessParam p) const;
+
+    /** Mutate by enumerator. */
+    void set(ProcessParam p, double value);
+
+    bool operator==(const ProcessParams &other) const = default;
+};
+
+/**
+ * Nominal value and absolute one-sigma deviation of a parameter.
+ * Table 1 specifies 3-sigma as a percentage of nominal; sigma() is
+ * that percentage divided by three.
+ */
+struct VariationSpec
+{
+    double nominal = 0.0;        //!< nominal (mean) value
+    double threeSigmaPct = 0.0;  //!< 3-sigma as a fraction of nominal
+
+    /** Absolute one-sigma deviation. */
+    double sigma() const { return nominal * threeSigmaPct / 3.0; }
+};
+
+/**
+ * The full Table 1: nominal and 3-sigma specification for every
+ * process parameter at the modeled 45 nm node.
+ */
+class VariationTable
+{
+  public:
+    /** Table 1 defaults (45 nm PTM, Nassif limits). */
+    VariationTable();
+
+    /**
+     * One-sigma random-dopant-fluctuation V_t mismatch of a single
+     * minimum-size SRAM cell [mV]. This purely random component is on
+     * top of the Table 1 (spatially correlated) V_t variation; the
+     * sampler uses it to draw the *worst* cell of each row group as a
+     * Gumbel extreme.
+     */
+    double randomDopantSigmaMv = 85.0;
+
+    /** Specification of one parameter. */
+    const VariationSpec &spec(ProcessParam p) const;
+
+    /** Replace the specification of one parameter. */
+    void spec(ProcessParam p, VariationSpec s);
+
+    /** All-nominal parameter draw. */
+    ProcessParams nominalParams() const;
+
+    /**
+     * Draw parameters around @p mean with each sigma scaled by
+     * @p sigma_scale, truncated at +/- 3 sigma of the *scaled* range.
+     *
+     * This implements the paper's hierarchical correlation rule: use
+     * the parent draw as the new mean and scale the Table 1 range by
+     * the correlation factor.
+     */
+    ProcessParams sampleAround(Rng &rng, const ProcessParams &mean,
+                               double sigma_scale) const;
+
+    /** Draw a top-level (die) parameter set around nominal. */
+    ProcessParams sampleDie(Rng &rng, double sigma_scale = 1.0) const;
+
+  private:
+    std::array<VariationSpec, kNumProcessParams> specs_;
+};
+
+} // namespace yac
+
+#endif // YAC_VARIATION_PROCESS_PARAMS_HH

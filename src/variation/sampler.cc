@@ -1,0 +1,135 @@
+#include "variation/sampler.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace yac
+{
+
+namespace
+{
+
+/**
+ * Expected maximum (in sigma units) of n standard normal draws, and
+ * the Gumbel scale of its fluctuation -- used for the worst cell of a
+ * row group under random dopant fluctuation.
+ */
+struct ExtremeStats
+{
+    double location; //!< a_n: expected extreme
+    double scale;    //!< b_n: Gumbel scale of the extreme
+};
+
+ExtremeStats
+normalExtreme(std::size_t n)
+{
+    yac_assert(n >= 2, "extreme statistics need n >= 2");
+    const double ln_n = std::log(static_cast<double>(n));
+    const double b = std::sqrt(2.0 * ln_n);
+    const double a =
+        b - (std::log(ln_n) + std::log(4.0 * M_PI)) / (2.0 * b);
+    return {a, 1.0 / b};
+}
+
+} // namespace
+
+VariationSampler::VariationSampler(VariationTable table,
+                                   CorrelationModel correlation,
+                                   VariationGeometry geometry)
+    : table_(table), correlation_(correlation), geometry_(geometry)
+{
+    yac_assert(geometry_.numWays >= 1 && geometry_.numWays <= 4,
+               "the 2x2 mesh correlation model supports 1-4 ways");
+    yac_assert(geometry_.banksPerWay > 0, "need at least one bank");
+    yac_assert(geometry_.rowGroupsPerBank > 0,
+               "need at least one row group");
+}
+
+VariationSampler::VariationSampler()
+    : VariationSampler(VariationTable(), CorrelationModel(),
+                       VariationGeometry())
+{
+}
+
+CacheVariationMap
+VariationSampler::sample(Rng &rng) const
+{
+    // Way 0 carries the per-die draw: a fresh full-range sample of the
+    // Table 1 distribution. The other ways are re-centered around it
+    // with their mesh correlation factor.
+    return sampleWithDie(rng, table_.sampleDie(rng, 1.0));
+}
+
+CacheVariationMap
+VariationSampler::sampleWithDie(Rng &rng,
+                                const ProcessParams &die_base) const
+{
+    CacheVariationMap map;
+    map.geometry = geometry_;
+    map.ways.resize(geometry_.numWays);
+
+    // Chip-common systematic offset of each horizontal region: the
+    // same physical row range deviates consistently in every way
+    // (layout-position dependent systematic variation, Section 2).
+    std::vector<ProcessParams> region_offset(geometry_.banksPerWay);
+    for (std::size_t b = 0; b < geometry_.banksPerWay; ++b) {
+        const ProcessParams draw = table_.sampleAround(
+            rng, die_base, correlation_.regionSystematicFactor());
+        ProcessParams offset;
+        for (ProcessParam p : kAllProcessParams)
+            offset.set(p, draw.get(p) - die_base.get(p));
+        region_offset[b] = offset;
+    }
+
+    for (std::size_t w = 0; w < geometry_.numWays; ++w) {
+        WayVariation &way = map.ways[w];
+        const double way_factor = correlation_.wayFactor(w);
+        way.base = (way_factor == 0.0)
+            ? die_base
+            : table_.sampleAround(rng, die_base, way_factor);
+
+        const double peri = correlation_.peripheralFactor();
+        way.decoder = table_.sampleAround(rng, way.base, peri);
+        way.precharge = table_.sampleAround(rng, way.base, peri);
+        way.senseAmp = table_.sampleAround(rng, way.base, peri);
+        way.outputDriver = table_.sampleAround(rng, way.base, peri);
+
+        way.rowGroups.resize(geometry_.banksPerWay);
+        way.worstCell.resize(geometry_.banksPerWay);
+        for (std::size_t b = 0; b < geometry_.banksPerWay; ++b) {
+            way.rowGroups[b].resize(geometry_.rowGroupsPerBank);
+            way.worstCell[b].resize(geometry_.rowGroupsPerBank);
+            // The group mean combines the way's systematic component
+            // with the region's chip-common systematic offset.
+            ProcessParams bank_mean = way.base;
+            for (ProcessParam p : kAllProcessParams) {
+                bank_mean.set(p, bank_mean.get(p) +
+                                 region_offset[b].get(p));
+            }
+            for (std::size_t g = 0; g < geometry_.rowGroupsPerBank; ++g) {
+                const ProcessParams group = table_.sampleAround(
+                    rng, bank_mean, correlation_.rowFactor());
+                way.rowGroups[b][g] = group;
+                // The slowest cell in the group: a draw at the bit
+                // factor around the group parameters, plus the Gumbel
+                // extreme of the group's random-dopant V_t mismatch
+                // (the read-current-limiting cell of the row group).
+                ProcessParams worst = table_.sampleAround(
+                    rng, group, correlation_.bitFactor());
+                const ExtremeStats ex =
+                    normalExtreme(geometry_.cellsPerRowGroup);
+                const double u = rng.uniform(1e-12, 1.0);
+                const double gumbel = -std::log(-std::log(u));
+                const double vt_drop = table_.randomDopantSigmaMv *
+                    (ex.location + ex.scale * (gumbel - 0.5772156649));
+                worst.thresholdVoltage += vt_drop;
+                way.worstCell[b][g] = worst;
+            }
+        }
+    }
+    return map;
+}
+
+} // namespace yac

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Hierarchical sampling of per-region process parameters for a whole
+ * cache: way base -> peripheral blocks and row groups.
+ *
+ * One CacheVariationMap is the Monte Carlo input for one simulated
+ * chip: the circuit model consumes it to produce path latencies and
+ * leakage, exactly as one HSPICE run did in the paper.
+ */
+
+#ifndef YAC_VARIATION_SAMPLER_HH
+#define YAC_VARIATION_SAMPLER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "variation/correlation.hh"
+#include "variation/process_params.hh"
+
+namespace yac
+{
+
+class Rng;
+
+/** Physical granularity of the variation map. */
+struct VariationGeometry
+{
+    std::size_t numWays = 4;         //!< associativity (2x2 mesh)
+    std::size_t banksPerWay = 4;     //!< banks inside one way
+    std::size_t rowGroupsPerBank = 8; //!< row groups (paths) per bank
+    std::size_t cellsPerRowGroup = 1024; //!< cells behind one path
+
+    std::size_t rowGroupsPerWay() const
+    {
+        return banksPerWay * rowGroupsPerBank;
+    }
+};
+
+/** Per-way process parameter draws. */
+struct WayVariation
+{
+    ProcessParams base;         //!< way-level systematic component
+    ProcessParams decoder;      //!< row decoder chain
+    ProcessParams precharge;    //!< bitline precharge circuits
+    ProcessParams senseAmp;     //!< sense amplifiers
+    ProcessParams outputDriver; //!< output drivers / data bus
+
+    /** Row-group draws, indexed [bank][group]. */
+    std::vector<std::vector<ProcessParams>> rowGroups;
+
+    /**
+     * Worst (highest) V_t-independent leakage indicator per row group
+     * is derived by the circuit model; here we additionally keep a
+     * per-row-group *cell mismatch* scale drawn at the bit factor to
+     * stand in for the slowest cell of the group.
+     */
+    std::vector<std::vector<ProcessParams>> worstCell;
+};
+
+/** Full per-chip variation map. */
+struct CacheVariationMap
+{
+    VariationGeometry geometry;
+    std::vector<WayVariation> ways;
+};
+
+/**
+ * Draws CacheVariationMap instances according to the paper's
+ * hierarchical correlation scheme.
+ */
+class VariationSampler
+{
+  public:
+    /**
+     * @param table Table 1 nominal/sigma specification.
+     * @param correlation Correlation factors.
+     * @param geometry Map granularity.
+     */
+    VariationSampler(VariationTable table, CorrelationModel correlation,
+                     VariationGeometry geometry);
+
+    /** Convenience constructor with all paper defaults. */
+    VariationSampler();
+
+    /** Sample one chip's variation map. Deterministic in @p rng. */
+    CacheVariationMap sample(Rng &rng) const;
+
+    /**
+     * Sample a map around an externally supplied die-level draw --
+     * used when several components (for example L1I and L1D) share
+     * one die and must see correlated process parameters.
+     */
+    CacheVariationMap sampleWithDie(Rng &rng,
+                                    const ProcessParams &die_base) const;
+
+    const VariationTable &table() const { return table_; }
+    const CorrelationModel &correlation() const { return correlation_; }
+    const VariationGeometry &geometry() const { return geometry_; }
+
+  private:
+    VariationTable table_;
+    CorrelationModel correlation_;
+    VariationGeometry geometry_;
+};
+
+} // namespace yac
+
+#endif // YAC_VARIATION_SAMPLER_HH

@@ -1,0 +1,38 @@
+#include "workload/instruction.hh"
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+const char *
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMul: return "IntMul";
+      case OpClass::FpAlu: return "FpAlu";
+      case OpClass::FpMul: return "FpMul";
+      case OpClass::Load: return "Load";
+      case OpClass::Store: return "Store";
+      case OpClass::Branch: return "Branch";
+    }
+    yac_panic("unknown OpClass");
+}
+
+int
+opLatency(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu: return 1;
+      case OpClass::IntMul: return 3;
+      case OpClass::FpAlu: return 2;
+      case OpClass::FpMul: return 4;
+      case OpClass::Load: return 0; // cache decides
+      case OpClass::Store: return 1;
+      case OpClass::Branch: return 1;
+    }
+    yac_panic("unknown OpClass");
+}
+
+} // namespace yac

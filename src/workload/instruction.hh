@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The trace instruction format consumed by the out-of-order core
+ * model. The simulator is trace driven (the SimpleScalar runs of the
+ * paper are replaced by synthetic SPEC2000-like traces), so an
+ * instruction carries only what timing needs: operation class,
+ * register dependences, memory address and branch outcome.
+ */
+
+#ifndef YAC_WORKLOAD_INSTRUCTION_HH
+#define YAC_WORKLOAD_INSTRUCTION_HH
+
+#include <cstdint>
+
+namespace yac
+{
+
+/** Operation classes with distinct functional-unit behaviour. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,  //!< 1-cycle integer op
+    IntMul,  //!< 3-cycle integer multiply
+    FpAlu,   //!< 2-cycle FP add/compare
+    FpMul,   //!< 4-cycle FP multiply/divide (pipelined)
+    Load,    //!< memory read
+    Store,   //!< memory write
+    Branch,  //!< control transfer
+};
+
+/** Printable name of an operation class. */
+const char *opClassName(OpClass op);
+
+/** Execution latency [cycles] of an operation class (loads excluded:
+ *  their latency comes from the cache). */
+int opLatency(OpClass op);
+
+/** Number of logical registers per bank (int / fp). */
+constexpr int kNumLogicalRegs = 32;
+
+/** A register id of -1 means "no register". */
+constexpr std::int16_t kNoReg = -1;
+
+/** One trace micro-operation. */
+struct TraceInst
+{
+    OpClass op = OpClass::IntAlu;
+    std::int16_t src1 = kNoReg; //!< first source logical register
+    std::int16_t src2 = kNoReg; //!< second source logical register
+    std::int16_t dst = kNoReg;  //!< destination logical register
+    std::uint64_t addr = 0;     //!< effective address (load/store)
+    std::uint64_t pc = 0;       //!< fetch address
+    bool mispredicted = false;  //!< branch was mispredicted
+
+    bool isLoad() const { return op == OpClass::Load; }
+    bool isStore() const { return op == OpClass::Store; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isBranch() const { return op == OpClass::Branch; }
+};
+
+/**
+ * An infinite instruction stream. TraceGenerator is the production
+ * implementation; tests feed hand-built sequences through it to pin
+ * down cycle-exact core behaviour.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next instruction. */
+    virtual TraceInst next() = 0;
+};
+
+} // namespace yac
+
+#endif // YAC_WORKLOAD_INSTRUCTION_HH

@@ -1,0 +1,105 @@
+#include "workload/profile.hh"
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+namespace
+{
+
+/** Shorthand row constructor for the table below. */
+BenchmarkProfile
+row(const char *name, bool fp, double ld, double st, double br,
+    double mul, double fpop, double mis, double stream, double l2,
+    double far, std::size_t loop_kb, std::size_t l2_kb,
+    std::size_t ws_kb, std::size_t inst_kb, double dep, double chase)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.isFp = fp;
+    p.loadFrac = ld;
+    p.storeFrac = st;
+    p.branchFrac = br;
+    p.mulFrac = mul;
+    p.fpOpFrac = fpop;
+    p.mispredictRate = mis;
+    p.streamFrac = stream;
+    p.l2Frac = l2;
+    p.farFrac = far;
+    p.streamLoopKb = loop_kb;
+    p.l2RegionKb = l2_kb;
+    p.workingSetKb = ws_kb;
+    p.instFootprintKb = inst_kb;
+    p.depP = dep;
+    p.chaseFrac = chase;
+    return p;
+}
+
+std::vector<BenchmarkProfile>
+buildProfiles()
+{
+    std::vector<BenchmarkProfile> v;
+    // 11 integer benchmarks. Locality fractions are set so the 16 KB
+    // L1D miss rates and L2 traffic are representative of each
+    // SPEC2000 application (mcf/art memory bound, gzip/crafty cache
+    // friendly, and so on).
+    //          name      fp   ld   st   br   mul  fpop  mis  strm l2    far    loop l2KB  wsKB iKB  dep  chase
+    v.push_back(row("bzip2",   false, .26, .09, .13, .05, .02, .06, .060, .0150, .00150, 128, 256,  4096, 32, .95, .30));
+    v.push_back(row("crafty",  false, .28, .08, .12, .04, .02, .08, .025, .0100, .00075,  64, 192,  1024, 96, .95, .35));
+    v.push_back(row("gap",     false, .24, .10, .12, .06, .02, .05, .050, .0200, .00150, 128, 256,  8192, 64, .94, .35));
+    v.push_back(row("gcc",     false, .25, .11, .15, .03, .02, .09, .040, .0200, .00200, 128, 320,  4096, 96, .95, .40));
+    v.push_back(row("gzip",    false, .20, .08, .12, .04, .02, .07, .050, .0100, .00075, 128, 192,  1024, 24, .95, .30));
+    v.push_back(row("mcf",     false, .31, .09, .17, .02, .02, .10, .010, .1250, .00500,  64, 384, 65536, 16, .95, .85));
+    v.push_back(row("parser",  false, .24, .09, .16, .03, .02, .09, .030, .0250, .00250, 128, 256,  8192, 64, .95, .50));
+    v.push_back(row("perlbmk", false, .26, .11, .14, .04, .02, .08, .030, .0150, .00150, 128, 256,  4096, 96, .95, .35));
+    v.push_back(row("twolf",   false, .25, .07, .13, .05, .02, .09, .025, .0300, .00150,  64, 256,  1024, 48, .95, .50));
+    v.push_back(row("vortex",  false, .27, .13, .14, .03, .02, .06, .040, .0200, .00150, 128, 320,  8192, 96, .94, .35));
+    v.push_back(row("vpr",     false, .26, .08, .12, .05, .02, .09, .025, .0250, .00150,  64, 256,  2048, 48, .95, .50));
+    // 13 floating-point benchmarks.
+    v.push_back(row("ammp",    true,  .27, .08, .05, .30, .60, .03, .075, .0400, .00300, 192, 320, 16384, 32, .94, .40));
+    v.push_back(row("applu",   true,  .29, .11, .03, .35, .65, .02, .175, .0250, .00400, 256, 320, 32768, 32, .90, .10));
+    v.push_back(row("apsi",    true,  .26, .10, .04, .30, .60, .03, .125, .0200, .00200, 192, 256,  8192, 48, .92, .20));
+    v.push_back(row("art",     true,  .30, .06, .08, .25, .55, .04, .075, .1000, .00500, 128, 384,  4096, 16, .95, .50));
+    v.push_back(row("equake",  true,  .28, .09, .05, .30, .60, .03, .100, .0400, .00400, 192, 320, 16384, 32, .95, .30));
+    v.push_back(row("facerec", true,  .26, .08, .04, .30, .60, .03, .125, .0200, .00200, 192, 256,  8192, 32, .90, .20));
+    v.push_back(row("fma3d",   true,  .25, .10, .05, .30, .60, .03, .075, .0250, .00200, 192, 320, 16384, 96, .92, .30));
+    v.push_back(row("galgel",  true,  .28, .08, .03, .35, .65, .02, .150, .0200, .00200, 256, 256,  8192, 32, .92, .15));
+    v.push_back(row("lucas",   true,  .24, .08, .02, .40, .65, .02, .150, .0200, .00250, 256, 256, 32768, 24, .88, .10));
+    v.push_back(row("mesa",    true,  .22, .09, .07, .25, .55, .04, .050, .0100, .00100, 128, 192,  2048, 64, .94, .30));
+    v.push_back(row("mgrid",   true,  .30, .08, .02, .35, .65, .02, .200, .0250, .00400, 256, 320, 32768, 24, .90, .10));
+    v.push_back(row("swim",    true,  .31, .12, .02, .30, .65, .02, .225, .0300, .00500, 256, 384, 65536, 16, .88, .10));
+    v.push_back(row("wupwise", true,  .25, .09, .04, .35, .65, .03, .125, .0200, .00200, 192, 256, 16384, 32, .90, .10));
+    // Inherent chain-level parallelism: streaming FP codes expose
+    // more independent work than the pointer/logic-heavy programs.
+    for (BenchmarkProfile &p : v) {
+        if (p.name == "swim" || p.name == "mgrid" || p.name == "applu" ||
+            p.name == "lucas") {
+            p.parallelChains = 2;
+        } else {
+            p.parallelChains = 1;
+        }
+    }
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+spec2000Profiles()
+{
+    static const std::vector<BenchmarkProfile> profiles = buildProfiles();
+    return profiles;
+}
+
+const BenchmarkProfile &
+profileByName(const std::string &name)
+{
+    for (const BenchmarkProfile &p : spec2000Profiles()) {
+        if (p.name == name)
+            return p;
+    }
+    yac_fatal("unknown benchmark profile: ", name);
+}
+
+} // namespace yac

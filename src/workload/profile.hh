@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Synthetic SPEC2000-like benchmark profiles. The paper simulates 13
+ * floating-point and 11 integer SPEC2000 applications (100 M
+ * instructions after SimPoint fast-forward); we replace the binaries
+ * with deterministic synthetic traces whose instruction mix, branch
+ * behaviour, dependency tightness and memory footprint/locality are
+ * set per benchmark so the baseline D-cache miss rates and load-use
+ * pressure are representative. What the yield experiments measure --
+ * relative CPI degradation from slower/narrower caches -- depends
+ * only on these aggregate characteristics.
+ */
+
+#ifndef YAC_WORKLOAD_PROFILE_HH
+#define YAC_WORKLOAD_PROFILE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace yac
+{
+
+/** Aggregate characteristics of one synthetic benchmark. */
+struct BenchmarkProfile
+{
+    std::string name;
+    bool isFp = false;
+
+    double loadFrac = 0.25;   //!< loads per instruction
+    double storeFrac = 0.10;  //!< stores per instruction
+    double branchFrac = 0.12; //!< branches per instruction
+    double mulFrac = 0.05;    //!< of compute ops, long-latency share
+    double fpOpFrac = 0.0;    //!< of compute ops, FP share
+
+    double mispredictRate = 0.06; //!< per branch
+
+    /**
+     * @name Memory locality hierarchy
+     * Every access falls into one of four regions; the remainder
+     * after the three explicit fractions goes to the hot region:
+     *  - hot: an 8 KB resident region (stack/globals) -- L1 hits;
+     *  - stream: strided walks over a streamLoopKb reuse window --
+     *    one L1 miss per block, L2 hits on revisits;
+     *  - l2: random accesses over l2RegionKb -- L1 misses, L2 hits;
+     *  - far: random accesses over workingSetKb -- memory accesses.
+     */
+    /// @{
+    double streamFrac = 0.10;
+    double l2Frac = 0.03;
+    double farFrac = 0.005;
+    std::size_t streamLoopKb = 128;  //!< stream reuse window
+    std::size_t l2RegionKb = 256;    //!< L2-resident region
+    std::size_t workingSetKb = 8192; //!< full data footprint
+    /// @}
+
+    std::size_t instFootprintKb = 64; //!< instruction footprint
+    double hotJumpFrac = 0.95; //!< taken branches to hot targets
+
+    double depP = 0.70; //!< dependency tightness: probability that a
+                        //!< source comes from the most recent
+                        //!< producers (geometric decay)
+
+    /**
+     * Of the non-hot (stream/L2/far) loads, the fraction whose
+     * address depends on a recent value (pointer chasing -- misses
+     * serialize, as in mcf). The rest are induction-variable streams
+     * whose misses overlap (memory-level parallelism, as in swim).
+     */
+    double chaseFrac = 0.2;
+
+    /**
+     * Number of independent dependency chains interleaved in program
+     * order. Within a chain values feed the next operations tightly
+     * (depP); across chains there are no register dependences, so a
+     * stalled chain (for example behind a miss) leaves the others
+     * runnable -- this sets the workload's inherent ILP/MLP.
+     */
+    std::size_t parallelChains = 4;
+
+    /** Compute-op share (everything that is not mem/branch). */
+    double computeFrac() const
+    {
+        return 1.0 - loadFrac - storeFrac - branchFrac;
+    }
+
+    /** Hot-region share of accesses. */
+    double hotFrac() const
+    {
+        return 1.0 - streamFrac - l2Frac - farFrac;
+    }
+
+    /** First-order expected L1D miss rate of the mix. */
+    double expectedL1MissRate(std::size_t block_bytes = 32) const
+    {
+        const double stride = 8.0;
+        return streamFrac * stride / static_cast<double>(block_bytes) +
+            l2Frac + farFrac;
+    }
+};
+
+/** All 24 profiles (13 FP + 11 INT), in the paper's suite. */
+const std::vector<BenchmarkProfile> &spec2000Profiles();
+
+/** Profile lookup by name; yac_fatal on unknown names. */
+const BenchmarkProfile &profileByName(const std::string &name);
+
+} // namespace yac
+
+#endif // YAC_WORKLOAD_PROFILE_HH

@@ -1,0 +1,179 @@
+#include "workload/trace_generator.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+namespace
+{
+
+/** Fold a string into a seed so each benchmark has its own stream. */
+std::uint64_t
+hashName(const std::string &name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+TraceGenerator::TraceGenerator(const BenchmarkProfile &profile,
+                               std::uint64_t seed)
+    : profile_(profile), rng_(seed ^ hashName(profile.name))
+{
+    yac_assert(profile_.computeFrac() > 0.0,
+               "instruction mix leaves no compute operations");
+    yac_assert(profile_.hotFrac() > 0.0,
+               "locality fractions exceed 1");
+    numChains_ = std::min<std::size_t>(
+        std::max<std::size_t>(profile_.parallelChains, 1), kMaxChains);
+    regsPerChain_ = static_cast<std::size_t>(kNumLogicalRegs) / numChains_;
+    yac_assert(regsPerChain_ >= 2, "too many chains for the register file");
+    for (auto &ring : recentDst_)
+        ring.fill(kNoReg);
+    hotTargets_.fill(kCodeBase);
+    streamPtr_ = kStreamBase;
+    streamPtr2_ = kStreamBase + profile_.streamLoopKb * 512;
+}
+
+std::int16_t
+TraceGenerator::chainReg(std::size_t chain)
+{
+    return static_cast<std::int16_t>(chain * regsPerChain_ +
+                                     rng_.uniformInt(regsPerChain_));
+}
+
+std::int16_t
+TraceGenerator::pickSource(std::size_t chain)
+{
+    // With probability depP, depend on one of the chain's most recent
+    // producers (geometric preference for the newest); otherwise use
+    // a random (long-ready) register of the same chain.
+    if (rng_.uniform() < profile_.depP) {
+        std::size_t back = 0;
+        while (back + 1 < kRecentRing && rng_.uniform() < 0.35)
+            ++back;
+        const std::size_t idx =
+            (recentHead_[chain] + kRecentRing - 1 - back) % kRecentRing;
+        if (recentDst_[chain][idx] != kNoReg)
+            return recentDst_[chain][idx];
+    }
+    return chainReg(chain);
+}
+
+std::uint64_t
+TraceGenerator::pickAddress()
+{
+    const double u = rng_.uniform();
+    double edge = profile_.streamFrac;
+    if (u < edge) {
+        // Streaming access: advance one of two pointers by an
+        // element-sized stride, wrapping within the reuse window so
+        // revisits hit in the L2.
+        const std::uint64_t window = profile_.streamLoopKb * 1024;
+        const bool second = rng_.bernoulli(0.4);
+        std::uint64_t &ptr = second ? streamPtr2_ : streamPtr_;
+        ptr += 8;
+        if (ptr >= kStreamBase + window)
+            ptr = kStreamBase;
+        return ptr;
+    }
+    edge += profile_.l2Frac;
+    if (u < edge) {
+        // Random access within the L2-resident region.
+        const std::uint64_t region = profile_.l2RegionKb * 1024;
+        return kL2Base + (rng_.uniformInt(region) & ~std::uint64_t{7});
+    }
+    edge += profile_.farFrac;
+    if (u < edge) {
+        // Random access within the full working set: memory bound.
+        const std::uint64_t ws = profile_.workingSetKb * 1024;
+        return kFarBase + (rng_.uniformInt(ws) & ~std::uint64_t{7});
+    }
+    // Hot region (stack/globals): resident in the L1.
+    return kHotBase + rng_.uniformInt(kHotBytes);
+}
+
+TraceInst
+TraceGenerator::next()
+{
+    TraceInst inst;
+    inst.pc = pc_;
+    ++instrCount_;
+    const std::size_t chain = rng_.uniformInt(numChains_);
+
+    const double u = rng_.uniform();
+    const double ld = profile_.loadFrac;
+    const double st = ld + profile_.storeFrac;
+    const double br = st + profile_.branchFrac;
+
+    if (u < ld) {
+        inst.op = OpClass::Load;
+        inst.addr = pickAddress();
+        // Hot-region (stack) loads and pointer-chasing loads take
+        // their address from a recent value; induction-variable
+        // streams use a long-ready register, so their misses overlap.
+        const bool hot = inst.addr >= kHotBase;
+        if (hot || rng_.uniform() < profile_.chaseFrac)
+            inst.src1 = pickSource(chain);
+        else
+            inst.src1 = chainReg(chain);
+        inst.dst = chainReg(chain);
+    } else if (u < st) {
+        inst.op = OpClass::Store;
+        inst.addr = pickAddress();
+        inst.src1 = pickSource(chain); // data
+        inst.src2 = chainReg(chain);   // address base
+        inst.dst = kNoReg;
+    } else if (u < br) {
+        inst.op = OpClass::Branch;
+        // Branch conditions often come from loop counters or flags
+        // computed well in advance; only some branches test a value
+        // produced moments earlier.
+        inst.src1 = rng_.bernoulli(0.4) ? pickSource(chain)
+                                        : chainReg(chain);
+        inst.dst = kNoReg;
+        inst.mispredicted = rng_.uniform() < profile_.mispredictRate;
+    } else {
+        const bool fp = rng_.uniform() < profile_.fpOpFrac;
+        const bool mul = rng_.uniform() < profile_.mulFrac;
+        inst.op = fp ? (mul ? OpClass::FpMul : OpClass::FpAlu)
+                     : (mul ? OpClass::IntMul : OpClass::IntAlu);
+        inst.src1 = pickSource(chain);
+        inst.src2 = pickSource(chain);
+        inst.dst = chainReg(chain);
+    }
+
+    if (inst.dst != kNoReg) {
+        recentDst_[chain][recentHead_[chain]] = inst.dst;
+        recentHead_[chain] = (recentHead_[chain] + 1) % kRecentRing;
+    }
+
+    // Program counter walk: sequential, with taken branches mostly
+    // returning to hot targets (loops/calls) and occasionally opening
+    // a new region of the instruction footprint.
+    const std::uint64_t inst_bytes = 4;
+    if (inst.isBranch() && rng_.bernoulli(0.5)) {
+        if (rng_.uniform() < profile_.hotJumpFrac) {
+            pc_ = hotTargets_[rng_.uniformInt(hotTargets_.size())];
+        } else {
+            const std::uint64_t span = profile_.instFootprintKb * 1024;
+            pc_ = kCodeBase + (rng_.uniformInt(span) & ~std::uint64_t{3});
+            hotTargets_[hotTargetHead_] = pc_;
+            hotTargetHead_ = (hotTargetHead_ + 1) % hotTargets_.size();
+        }
+    } else {
+        pc_ += inst_bytes;
+    }
+    return inst;
+}
+
+} // namespace yac

@@ -1,0 +1,150 @@
+#include "workload/trace_io.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+namespace
+{
+
+constexpr std::uint32_t kMagic = 0x79616354; // "yacT"
+constexpr std::uint32_t kVersion = 1;
+
+/** On-disk record: 24 bytes, little-endian. */
+struct Record
+{
+    std::uint64_t addr;
+    std::uint64_t pc;
+    std::int16_t src1;
+    std::int16_t src2;
+    std::int16_t dst;
+    std::uint8_t op;
+    std::uint8_t flags; // bit 0: mispredicted
+};
+
+static_assert(sizeof(Record) == 24, "trace record must be 24 bytes");
+
+Record
+toRecord(const TraceInst &inst)
+{
+    Record r;
+    r.addr = inst.addr;
+    r.pc = inst.pc;
+    r.src1 = inst.src1;
+    r.src2 = inst.src2;
+    r.dst = inst.dst;
+    r.op = static_cast<std::uint8_t>(inst.op);
+    r.flags = inst.mispredicted ? 1 : 0;
+    return r;
+}
+
+TraceInst
+fromRecord(const Record &r)
+{
+    TraceInst inst;
+    inst.addr = r.addr;
+    inst.pc = r.pc;
+    inst.src1 = r.src1;
+    inst.src2 = r.src2;
+    inst.dst = r.dst;
+    inst.op = static_cast<OpClass>(r.op);
+    inst.mispredicted = (r.flags & 1) != 0;
+    return inst;
+}
+
+struct Header
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint64_t count;
+};
+
+static_assert(sizeof(Header) == 16, "trace header must be 16 bytes");
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : out_(path, std::ios::binary)
+{
+    if (!out_)
+        yac_fatal("cannot open trace file for writing: ", path);
+    // Placeholder header; the count is patched in close().
+    Header h{kMagic, kVersion, 0};
+    out_.write(reinterpret_cast<const char *>(&h), sizeof(h));
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::write(const TraceInst &inst)
+{
+    yac_assert(!closed_, "trace writer already closed");
+    const Record r = toRecord(inst);
+    out_.write(reinterpret_cast<const char *>(&r), sizeof(r));
+    ++count_;
+}
+
+void
+TraceWriter::record(TraceSource &source, std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; ++i)
+        write(source.next());
+}
+
+void
+TraceWriter::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    Header h{kMagic, kVersion, count_};
+    out_.seekp(0);
+    out_.write(reinterpret_cast<const char *>(&h), sizeof(h));
+    out_.close();
+}
+
+TraceReader::TraceReader(const std::string &path, bool wrap)
+    : wrap_(wrap)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        yac_fatal("cannot open trace file: ", path);
+    Header h{};
+    in.read(reinterpret_cast<char *>(&h), sizeof(h));
+    if (!in || h.magic != kMagic)
+        yac_fatal("not a yac trace file: ", path);
+    if (h.version != kVersion)
+        yac_fatal("unsupported trace version ", h.version, " in ",
+                  path);
+    insts_.reserve(h.count);
+    for (std::uint64_t i = 0; i < h.count; ++i) {
+        Record r{};
+        in.read(reinterpret_cast<char *>(&r), sizeof(r));
+        if (!in)
+            yac_fatal("truncated trace file: ", path);
+        insts_.push_back(fromRecord(r));
+    }
+    if (insts_.empty())
+        yac_fatal("empty trace file: ", path);
+}
+
+TraceInst
+TraceReader::next()
+{
+    if (pos_ >= insts_.size()) {
+        if (!wrap_)
+            yac_fatal("trace exhausted after ", served_,
+                      " instructions");
+        pos_ = 0;
+    }
+    ++served_;
+    return insts_[pos_++];
+}
+
+} // namespace yac

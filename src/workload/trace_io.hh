@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Trace recording and replay -- the EIO-file role in the SimpleScalar
+ * flow. A synthesized (or hand-built) instruction stream can be
+ * serialized to a compact binary file and replayed later as a
+ * TraceSource, so an experiment's exact instruction stream can be
+ * archived and shared independently of the generator version.
+ *
+ * Format: a 16-byte header (magic, version, instruction count) then
+ * fixed-size little-endian records.
+ */
+
+#ifndef YAC_WORKLOAD_TRACE_IO_HH
+#define YAC_WORKLOAD_TRACE_IO_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "workload/instruction.hh"
+
+namespace yac
+{
+
+/** Writes a trace file. */
+class TraceWriter
+{
+  public:
+    /** Open @p path; yac_fatal on failure. */
+    explicit TraceWriter(const std::string &path);
+
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one instruction. */
+    void write(const TraceInst &inst);
+
+    /** Record @p n instructions pulled from @p source. */
+    void record(TraceSource &source, std::uint64_t n);
+
+    /** Finalize the header and close; implicit in the destructor. */
+    void close();
+
+    std::uint64_t written() const { return count_; }
+
+  private:
+    std::ofstream out_;
+    std::uint64_t count_ = 0;
+    bool closed_ = false;
+};
+
+/**
+ * Replays a trace file as a TraceSource. When the file is exhausted
+ * the reader either wraps around (default -- experiments need
+ * unbounded streams) or fatals, by choice.
+ */
+class TraceReader : public TraceSource
+{
+  public:
+    /**
+     * @param path Trace file written by TraceWriter.
+     * @param wrap Restart from the beginning at end-of-trace.
+     */
+    explicit TraceReader(const std::string &path, bool wrap = true);
+
+    TraceInst next() override;
+
+    /** Instructions in the file. */
+    std::uint64_t size() const { return insts_.size(); }
+
+    /** Instructions served so far (wraps included). */
+    std::uint64_t served() const { return served_; }
+
+  private:
+    std::vector<TraceInst> insts_;
+    std::uint64_t pos_ = 0;
+    std::uint64_t served_ = 0;
+    bool wrap_;
+};
+
+} // namespace yac
+
+#endif // YAC_WORKLOAD_TRACE_IO_HH

@@ -1,0 +1,148 @@
+#include "yield/analysis.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+#include "util/statistics.hh"
+
+namespace yac
+{
+
+int
+SchemeLosses::at(LossReason reason) const
+{
+    const auto it = byReason.find(reason);
+    return it == byReason.end() ? 0 : it->second;
+}
+
+int
+LossTable::baseAt(LossReason reason) const
+{
+    const auto it = baseByReason.find(reason);
+    return it == baseByReason.end() ? 0 : it->second;
+}
+
+double
+LossTable::yieldOf(const std::string &scheme_name) const
+{
+    yac_assert(totalChips > 0, "empty loss table");
+    if (scheme_name == "Base") {
+        return 1.0 -
+            static_cast<double>(baseTotal) /
+            static_cast<double>(totalChips);
+    }
+    for (const SchemeLosses &s : schemes) {
+        if (s.scheme == scheme_name) {
+            return 1.0 -
+                static_cast<double>(s.total) /
+                static_cast<double>(totalChips);
+        }
+    }
+    yac_panic("unknown scheme in loss table: ", scheme_name);
+}
+
+double
+LossTable::lossReductionOf(const std::string &scheme_name) const
+{
+    yac_assert(baseTotal > 0, "no base losses to reduce");
+    for (const SchemeLosses &s : schemes) {
+        if (s.scheme == scheme_name) {
+            return 1.0 -
+                static_cast<double>(s.total) /
+                static_cast<double>(baseTotal);
+        }
+    }
+    yac_panic("unknown scheme in loss table: ", scheme_name);
+}
+
+LossTable
+buildLossTable(const std::vector<CacheTiming> &chips,
+               const YieldConstraints &constraints,
+               const CycleMapping &mapping,
+               const std::vector<const Scheme *> &schemes)
+{
+    LossTable table;
+    table.totalChips = static_cast<int>(chips.size());
+    table.schemes.reserve(schemes.size());
+    for (const Scheme *s : schemes)
+        table.schemes.push_back({s->name(), {}, 0});
+
+    for (const CacheTiming &chip : chips) {
+        const ChipAssessment assessment =
+            assessChip(chip, constraints, mapping);
+        const LossReason reason = assessment.lossReason();
+        if (reason == LossReason::None)
+            continue;
+        ++table.baseByReason[reason];
+        ++table.baseTotal;
+        for (std::size_t i = 0; i < schemes.size(); ++i) {
+            const SchemeOutcome outcome = schemes[i]->apply(
+                chip, assessment, constraints, mapping);
+            if (!outcome.saved) {
+                ++table.schemes[i].byReason[reason];
+                ++table.schemes[i].total;
+            }
+        }
+    }
+    return table;
+}
+
+std::map<std::string, int>
+savedConfigCensus(const std::vector<CacheTiming> &chips,
+                  const YieldConstraints &constraints,
+                  const CycleMapping &mapping, const Scheme &scheme)
+{
+    std::map<std::string, int> census;
+    for (const CacheTiming &chip : chips) {
+        const ChipAssessment assessment =
+            assessChip(chip, constraints, mapping);
+        if (assessment.passes())
+            continue;
+        const SchemeOutcome outcome =
+            scheme.apply(chip, assessment, constraints, mapping);
+        if (outcome.saved)
+            ++census[outcome.config.label()];
+    }
+    return census;
+}
+
+std::map<std::string, int>
+lossConfigCensus(const std::vector<CacheTiming> &chips,
+                 const YieldConstraints &constraints,
+                 const CycleMapping &mapping)
+{
+    std::map<std::string, int> census;
+    for (const CacheTiming &chip : chips) {
+        const ChipAssessment a = assessChip(chip, constraints, mapping);
+        if (a.passes())
+            continue;
+        const int n4 = static_cast<int>(a.waysAt(mapping.baseCycles));
+        const int n5 = static_cast<int>(a.waysAt(mapping.baseCycles + 1));
+        const int n6 =
+            static_cast<int>(a.waysAbove(mapping.baseCycles + 1));
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%d-%d-%d%s", n4, n5, n6,
+                      a.leakageViolation ? "+leak" : "");
+        ++census[buf];
+    }
+    return census;
+}
+
+std::vector<ScatterPoint>
+leakageLatencyScatter(const std::vector<CacheTiming> &chips)
+{
+    RunningStats leak;
+    for (const CacheTiming &chip : chips)
+        leak.add(chip.leakage());
+    yac_assert(leak.mean() > 0.0, "population has no leakage");
+
+    std::vector<ScatterPoint> points;
+    points.reserve(chips.size());
+    for (const CacheTiming &chip : chips) {
+        points.push_back(
+            {chip.delay(), chip.leakage() / leak.mean()});
+    }
+    return points;
+}
+
+} // namespace yac

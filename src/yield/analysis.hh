@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Yield-analysis report builders: the loss-source tables (Tables 2
+ * and 3), relaxed/strict totals (Tables 4 and 5), the saved-chip
+ * configuration census feeding Table 6, and the Figure 8 scatter.
+ */
+
+#ifndef YAC_YIELD_ANALYSIS_HH
+#define YAC_YIELD_ANALYSIS_HH
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/cache_model.hh"
+#include "yield/assessment.hh"
+#include "yield/constraints.hh"
+#include "yield/scheme.hh"
+
+namespace yac
+{
+
+/** Loss-reason rows in table order. */
+constexpr std::array<LossReason, 5> kLossRows = {
+    LossReason::Leakage, LossReason::Delay1, LossReason::Delay2,
+    LossReason::Delay3, LossReason::Delay4,
+};
+
+/** Remaining losses of one scheme, broken down by base loss reason. */
+struct SchemeLosses
+{
+    std::string scheme;
+    std::map<LossReason, int> byReason;
+    int total = 0;
+
+    /** Losses in one row (0 when the reason never occurs). */
+    int at(LossReason reason) const;
+};
+
+/** A full loss-source table (the shape of Tables 2 and 3). */
+struct LossTable
+{
+    int totalChips = 0;
+    std::map<LossReason, int> baseByReason; //!< base-case loss counts
+    int baseTotal = 0;
+    std::vector<SchemeLosses> schemes;
+
+    /** Base losses in one row. */
+    int baseAt(LossReason reason) const;
+
+    /** Overall yield under a scheme (or "Base"). */
+    double yieldOf(const std::string &scheme_name) const;
+
+    /** Reduction in parametric yield loss vs base, as a fraction. */
+    double lossReductionOf(const std::string &scheme_name) const;
+};
+
+/**
+ * Classify every chip and apply every scheme.
+ *
+ * @param chips Evaluated chip population (one layout).
+ * @param schemes Schemes to evaluate (non-owning).
+ */
+LossTable buildLossTable(const std::vector<CacheTiming> &chips,
+                         const YieldConstraints &constraints,
+                         const CycleMapping &mapping,
+                         const std::vector<const Scheme *> &schemes);
+
+/**
+ * Census of the configurations of chips that a scheme converts from
+ * loss to gain, keyed by CacheConfig::label(). This is the "Chip
+ * frequency" column of Table 6.
+ */
+std::map<std::string, int>
+savedConfigCensus(const std::vector<CacheTiming> &chips,
+                  const YieldConstraints &constraints,
+                  const CycleMapping &mapping, const Scheme &scheme);
+
+/**
+ * Census of base-losing chips by their *raw* way-latency signature
+ * <#4-cycle ways>-<#5-cycle>-<#6+-cycle> plus a "+leak" suffix for
+ * chips whose only violation is leakage (the 4-0-0 row of Table 6).
+ */
+std::map<std::string, int>
+lossConfigCensus(const std::vector<CacheTiming> &chips,
+                 const YieldConstraints &constraints,
+                 const CycleMapping &mapping);
+
+/** One point of the Figure 8 scatter. */
+struct ScatterPoint
+{
+    double latencyPs = 0.0;
+    double normalizedLeakage = 0.0; //!< leakage / population mean
+};
+
+/** Latency-vs-normalized-leakage scatter of a population. */
+std::vector<ScatterPoint>
+leakageLatencyScatter(const std::vector<CacheTiming> &chips);
+
+} // namespace yac
+
+#endif // YAC_YIELD_ANALYSIS_HH

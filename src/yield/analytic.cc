@@ -1,0 +1,73 @@
+#include "yield/analytic.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/statistics.hh"
+
+namespace yac
+{
+
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+AnalyticYieldModel
+AnalyticYieldModel::fit(const std::vector<CacheTiming> &chips)
+{
+    yac_assert(chips.size() >= 2, "need at least two chips to fit");
+    RunningStats delay, log_leak, leak;
+    for (const CacheTiming &chip : chips) {
+        delay.add(chip.delay());
+        const double l = chip.leakage();
+        yac_assert(l > 0.0, "leakage must be positive");
+        log_leak.add(std::log(l));
+        leak.add(l);
+    }
+    AnalyticYieldModel model;
+    model.delayMean = delay.mean();
+    model.delaySigma = delay.stddev();
+    model.leakLogMean = log_leak.mean();
+    model.leakLogSigma = log_leak.stddev();
+    model.leakMean = leak.mean();
+    return model;
+}
+
+double
+AnalyticYieldModel::delayLossFraction(double delay_limit_ps) const
+{
+    yac_assert(delaySigma > 0.0, "model not fitted");
+    const double z = (delay_limit_ps - delayMean) / delaySigma;
+    return 1.0 - normalCdf(z);
+}
+
+double
+AnalyticYieldModel::leakageLossFraction(double leakage_limit_mw) const
+{
+    yac_assert(leakLogSigma > 0.0, "model not fitted");
+    const double z =
+        (std::log(leakage_limit_mw) - leakLogMean) / leakLogSigma;
+    return 1.0 - normalCdf(z);
+}
+
+double
+AnalyticYieldModel::totalLossFraction(
+    const YieldConstraints &constraints) const
+{
+    const double pd = delayLossFraction(constraints.delayLimitPs);
+    const double pl = leakageLossFraction(constraints.leakageLimitMw);
+    return 1.0 - (1.0 - pd) * (1.0 - pl);
+}
+
+double
+AnalyticYieldModel::totalLossFraction(
+    const ConstraintPolicy &policy) const
+{
+    const YieldConstraints c = YieldConstraints::derive(
+        policy, delayMean, delaySigma, leakMean);
+    return totalLossFraction(c);
+}
+
+} // namespace yac

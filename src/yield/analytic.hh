@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Closed-form (analytical) parametric-yield estimates, the fast
+ * alternative Section 2 of the paper contrasts with Monte Carlo:
+ * "analytical approaches ... suffer from inaccuracies due to a large
+ * number of assumptions. However, these approaches are efficient and
+ * find use in optimization."
+ *
+ * The delay loss is approximated by a normal fit of the cache-latency
+ * population and the leakage loss by a log-normal fit; both are
+ * moment-matched from a (small) calibration sample so the analytic
+ * model can extrapolate loss rates for arbitrary constraint settings
+ * without re-running the full campaign. The companion tests quantify
+ * exactly the inaccuracy the paper warns about (the normal fit
+ * underestimates the skewed delay tail).
+ */
+
+#ifndef YAC_YIELD_ANALYTIC_HH
+#define YAC_YIELD_ANALYTIC_HH
+
+#include <vector>
+
+#include "circuit/cache_model.hh"
+#include "yield/constraints.hh"
+
+namespace yac
+{
+
+/** Moment-matched population fits. */
+struct AnalyticYieldModel
+{
+    // Normal fit of cache latency.
+    double delayMean = 0.0;
+    double delaySigma = 0.0;
+    // Log-normal fit of total leakage.
+    double leakLogMean = 0.0;
+    double leakLogSigma = 0.0;
+    double leakMean = 0.0;
+
+    /** Fit from an evaluated population. */
+    static AnalyticYieldModel fit(const std::vector<CacheTiming> &chips);
+
+    /** P(cache latency > limit) under the normal fit. */
+    double delayLossFraction(double delay_limit_ps) const;
+
+    /** P(total leakage > limit) under the log-normal fit. */
+    double leakageLossFraction(double leakage_limit_mw) const;
+
+    /**
+     * Total parametric loss fraction under independence of the two
+     * mechanisms (an assumption -- the true population has them
+     * anti-correlated, another source of analytic error):
+     * 1 - (1 - p_delay)(1 - p_leak).
+     */
+    double totalLossFraction(const YieldConstraints &constraints) const;
+
+    /** Loss fraction for a policy applied to this population's
+     *  moments. */
+    double totalLossFraction(const ConstraintPolicy &policy) const;
+};
+
+/** Standard normal CDF. */
+double normalCdf(double z);
+
+} // namespace yac
+
+#endif // YAC_YIELD_ANALYTIC_HH

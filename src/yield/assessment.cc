@@ -1,0 +1,92 @@
+#include "yield/assessment.hh"
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+const char *
+lossReasonName(LossReason reason)
+{
+    switch (reason) {
+      case LossReason::None: return "None";
+      case LossReason::Leakage: return "Leakage Constraint";
+      case LossReason::Delay1: return "Delay Constraint (1 Way)";
+      case LossReason::Delay2: return "Delay Constraint (2 Ways)";
+      case LossReason::Delay3: return "Delay Constraint (3 Ways)";
+      case LossReason::Delay4: return "Delay Constraint (4 Ways)";
+    }
+    yac_panic("unknown LossReason");
+}
+
+std::size_t
+ChipAssessment::slowWays() const
+{
+    std::size_t n = 0;
+    for (int c : wayCycles) {
+        if (c > 4)
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+ChipAssessment::waysAbove(int cycles) const
+{
+    std::size_t n = 0;
+    for (int c : wayCycles) {
+        if (c > cycles)
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+ChipAssessment::waysAt(int cycles) const
+{
+    std::size_t n = 0;
+    for (int c : wayCycles) {
+        if (c == cycles)
+            ++n;
+    }
+    return n;
+}
+
+LossReason
+ChipAssessment::lossReason() const
+{
+    if (leakageViolation)
+        return LossReason::Leakage;
+    if (!delayViolation)
+        return LossReason::None;
+    switch (slowWays()) {
+      case 1: return LossReason::Delay1;
+      case 2: return LossReason::Delay2;
+      case 3: return LossReason::Delay3;
+      default: return LossReason::Delay4;
+    }
+}
+
+ChipAssessment
+assessChip(const CacheTiming &timing, const YieldConstraints &constraints,
+           const CycleMapping &mapping)
+{
+    ChipAssessment a;
+    const std::size_t n = timing.ways.size();
+    a.wayDelays.reserve(n);
+    a.wayLeakages.reserve(n);
+    a.wayCycles.reserve(n);
+    for (std::size_t w = 0; w < n; ++w) {
+        const double d = timing.wayDelay(w);
+        a.wayDelays.push_back(d);
+        a.wayLeakages.push_back(timing.wayLeakage(w));
+        a.wayCycles.push_back(mapping.cyclesFor(d));
+    }
+    a.totalLeakage = timing.leakage();
+    a.cacheDelay = timing.delay();
+    a.leakageViolation = a.totalLeakage > constraints.leakageLimitMw;
+    a.delayViolation = a.cacheDelay > constraints.delayLimitPs;
+    return a;
+}
+
+} // namespace yac

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Per-chip assessment against the yield constraints: way cycle
+ * counts, violation flags, and the loss-reason taxonomy of
+ * Tables 2 and 3.
+ */
+
+#ifndef YAC_YIELD_ASSESSMENT_HH
+#define YAC_YIELD_ASSESSMENT_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/cache_model.hh"
+#include "yield/constraints.hh"
+
+namespace yac
+{
+
+/** Why a chip fails the base (scheme-less) screening. */
+enum class LossReason
+{
+    None,    //!< chip passes; not a yield loss
+    Leakage, //!< total leakage above the limit
+    Delay1,  //!< exactly 1 way above the delay limit (leakage fine)
+    Delay2,  //!< 2 ways above the delay limit
+    Delay3,  //!< 3 ways above the delay limit
+    Delay4,  //!< all 4 ways above the delay limit
+};
+
+/** Printable name of a loss reason. */
+const char *lossReasonName(LossReason reason);
+
+/**
+ * A chip evaluated against one constraint set: per-way latency in
+ * cycles, violation flags and classification.
+ *
+ * Classification is leakage-first, matching the paper's tables: a
+ * chip that violates the leakage budget is counted in the "Leakage
+ * Constraint" row regardless of delay (the schemes still see the full
+ * state and must fix *all* violations to save the chip).
+ */
+struct ChipAssessment
+{
+    std::vector<double> wayDelays;   //!< [ps]
+    std::vector<double> wayLeakages; //!< [mW]
+    std::vector<int> wayCycles;      //!< per-way latency [cycles]
+    double totalLeakage = 0.0;       //!< [mW]
+    double cacheDelay = 0.0;         //!< slowest way [ps]
+    bool leakageViolation = false;
+    bool delayViolation = false;
+
+    /** Ways needing more than the base cycle count. */
+    std::size_t slowWays() const;
+
+    /** Ways needing cycles in excess of @p cycles. */
+    std::size_t waysAbove(int cycles) const;
+
+    /** Ways needing exactly @p cycles. */
+    std::size_t waysAt(int cycles) const;
+
+    /** Loss classification (leakage-first). */
+    LossReason lossReason() const;
+
+    /** True when the chip passes the base screening. */
+    bool passes() const { return !leakageViolation && !delayViolation; }
+};
+
+/** Evaluate a chip against the constraints and cycle mapping. */
+ChipAssessment assessChip(const CacheTiming &timing,
+                          const YieldConstraints &constraints,
+                          const CycleMapping &mapping);
+
+} // namespace yac
+
+#endif // YAC_YIELD_ASSESSMENT_HH

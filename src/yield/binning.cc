@@ -1,0 +1,140 @@
+#include "yield/binning.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "yield/assessment.hh"
+
+namespace yac
+{
+
+BinningAnalysis::BinningAnalysis(std::vector<FrequencyBin> bins,
+                                 double leakage_limit_mw,
+                                 double config_discount)
+    : bins_(std::move(bins)), leakageLimitMw_(leakage_limit_mw),
+      configDiscount_(config_discount)
+{
+    yac_assert(!bins_.empty(), "need at least one bin");
+    yac_assert(leakage_limit_mw > 0.0, "leakage limit must be positive");
+    yac_assert(config_discount >= 0.0 && config_discount < 1.0,
+               "discount must be a fraction");
+    for (std::size_t i = 1; i < bins_.size(); ++i) {
+        yac_assert(bins_[i].delayLimitPs > bins_[i - 1].delayLimitPs,
+                   "bins must be ordered fastest first");
+        yac_assert(bins_[i].price <= bins_[i - 1].price,
+                   "slower bins cannot price higher");
+    }
+}
+
+std::vector<FrequencyBin>
+BinningAnalysis::standardBins(double nominal_delay_limit_ps,
+                              double top_price)
+{
+    yac_assert(nominal_delay_limit_ps > 0.0, "limit must be positive");
+    return {
+        {"fast", nominal_delay_limit_ps, top_price},
+        {"mid", nominal_delay_limit_ps * 1.15, top_price * 0.70},
+        {"value", nominal_delay_limit_ps * 1.30, top_price * 0.45},
+    };
+}
+
+double
+BinningAnalysis::priceOf(const FrequencyBin &bin,
+                         const CacheConfig &config) const
+{
+    const int degraded = config.disabledWays + config.ways5;
+    return bin.price *
+        std::max(0.0, 1.0 - configDiscount_ * degraded);
+}
+
+BinAssignment
+BinningAnalysis::assign(const CacheTiming &chip) const
+{
+    BinAssignment out;
+    if (chip.leakage() > leakageLimitMw_)
+        return out; // scrap: over the power envelope in any bin
+    const double delay = chip.delay();
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (delay <= bins_[i].delayLimitPs) {
+            out.binIndex = static_cast<int>(i);
+            out.config.ways4 =
+                static_cast<int>(chip.ways.size());
+            out.revenue = bins_[i].price;
+            return out;
+        }
+    }
+    return out;
+}
+
+BinAssignment
+BinningAnalysis::assign(const CacheTiming &chip,
+                        const Scheme &scheme) const
+{
+    // Try every bin fastest-first; within a bin take the best of the
+    // plain assignment and the scheme-reconfigured one.
+    BinAssignment best = assign(chip);
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        YieldConstraints c;
+        c.delayLimitPs = bins_[i].delayLimitPs;
+        c.leakageLimitMw = leakageLimitMw_;
+        CycleMapping m;
+        m.delayLimitPs = bins_[i].delayLimitPs;
+        const ChipAssessment a = assessChip(chip, c, m);
+        const SchemeOutcome outcome = scheme.apply(chip, a, c, m);
+        if (!outcome.saved)
+            continue;
+        const double revenue = priceOf(bins_[i], outcome.config);
+        if (revenue > best.revenue) {
+            best.binIndex = static_cast<int>(i);
+            best.config = outcome.config;
+            best.revenue = revenue;
+        }
+        break; // slower bins cannot beat this one's price
+    }
+    return best;
+}
+
+namespace
+{
+
+template <typename AssignFn>
+BinningReport
+binAll(const std::vector<CacheTiming> &chips, std::size_t num_bins,
+       AssignFn &&assign_fn)
+{
+    BinningReport report;
+    report.binCounts.assign(num_bins, 0);
+    for (const CacheTiming &chip : chips) {
+        const BinAssignment a = assign_fn(chip);
+        if (a.binIndex < 0) {
+            ++report.scrapped;
+        } else {
+            ++report.binCounts[static_cast<std::size_t>(a.binIndex)];
+            report.totalRevenue += a.revenue;
+        }
+    }
+    return report;
+}
+
+} // namespace
+
+BinningReport
+BinningAnalysis::binPopulation(
+    const std::vector<CacheTiming> &chips) const
+{
+    return binAll(chips, bins_.size(), [this](const CacheTiming &c) {
+        return assign(c);
+    });
+}
+
+BinningReport
+BinningAnalysis::binPopulation(const std::vector<CacheTiming> &chips,
+                               const Scheme &scheme) const
+{
+    return binAll(chips, bins_.size(),
+                  [this, &scheme](const CacheTiming &c) {
+                      return assign(c, scheme);
+                  });
+}
+
+} // namespace yac

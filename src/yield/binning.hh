@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Speed-binning economics: the industry practice the paper's
+ * related-work section describes (frequency binning, price-tiered
+ * bins) combined with the yield-aware schemes. A chip that misses the
+ * top bin can either drop to a slower (cheaper) bin or be
+ * reconfigured by a scheme and stay in a faster bin at a small
+ * configuration discount -- this module computes bin populations and
+ * revenue under both policies.
+ */
+
+#ifndef YAC_YIELD_BINNING_HH
+#define YAC_YIELD_BINNING_HH
+
+#include <string>
+#include <vector>
+
+#include "circuit/cache_model.hh"
+#include "yield/constraints.hh"
+#include "yield/scheme.hh"
+
+namespace yac
+{
+
+/** One frequency bin (price in arbitrary revenue units). */
+struct FrequencyBin
+{
+    std::string name;
+    double delayLimitPs = 0.0; //!< cache latency budget of this bin
+    double price = 0.0;
+};
+
+/** Where one chip ended up. */
+struct BinAssignment
+{
+    int binIndex = -1; //!< -1 = scrap
+    CacheConfig config;
+    double revenue = 0.0;
+};
+
+/** Aggregate outcome of binning a population. */
+struct BinningReport
+{
+    std::vector<int> binCounts; //!< per bin, in bin order
+    int scrapped = 0;
+    double totalRevenue = 0.0;
+
+    double
+    averageRevenue(std::size_t population) const
+    {
+        return population == 0
+            ? 0.0
+            : totalRevenue / static_cast<double>(population);
+    }
+};
+
+/**
+ * Assigns chips to bins, optionally reconfiguring each chip with a
+ * yield-aware scheme to reach a faster bin.
+ */
+class BinningAnalysis
+{
+  public:
+    /**
+     * @param bins Fastest (highest price) first; delay limits must be
+     *        increasing.
+     * @param leakage_limit_mw Power limit shared by every bin.
+     * @param config_discount Price multiplier applied per shed or
+     *        slowed way of a reconfigured chip (a "3+1-slow-way" part
+     *        sells slightly below a pristine one).
+     */
+    BinningAnalysis(std::vector<FrequencyBin> bins,
+                    double leakage_limit_mw,
+                    double config_discount = 0.03);
+
+    /** Best bin for one chip without any scheme. */
+    BinAssignment assign(const CacheTiming &chip) const;
+
+    /** Best bin when @p scheme may reconfigure the chip. */
+    BinAssignment assign(const CacheTiming &chip,
+                         const Scheme &scheme) const;
+
+    /** Bin a whole population (scheme-less). */
+    BinningReport binPopulation(
+        const std::vector<CacheTiming> &chips) const;
+
+    /** Bin a whole population with a scheme. */
+    BinningReport binPopulation(const std::vector<CacheTiming> &chips,
+                                const Scheme &scheme) const;
+
+    const std::vector<FrequencyBin> &bins() const { return bins_; }
+
+    /**
+     * Derive a standard three-bin ladder from a population: the top
+     * bin at the nominal (mean+sigma) limit, then +15% and +30%
+     * slower bins at 70% and 45% of the top price.
+     */
+    static std::vector<FrequencyBin>
+    standardBins(double nominal_delay_limit_ps,
+                 double top_price = 100.0);
+
+  private:
+    double priceOf(const FrequencyBin &bin,
+                   const CacheConfig &config) const;
+
+    std::vector<FrequencyBin> bins_;
+    double leakageLimitMw_;
+    double configDiscount_;
+};
+
+} // namespace yac
+
+#endif // YAC_YIELD_BINNING_HH

@@ -1,0 +1,45 @@
+#include "yield/constraints.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+YieldConstraints
+YieldConstraints::derive(const ConstraintPolicy &policy,
+                         double delay_mean, double delay_sigma,
+                         double leak_mean)
+{
+    yac_assert(delay_mean > 0.0 && delay_sigma >= 0.0 && leak_mean > 0.0,
+               "population statistics must be positive");
+    YieldConstraints c;
+    c.delayLimitPs = delay_mean + policy.delaySigmaFactor * delay_sigma;
+    c.leakageLimitMw = policy.leakageMeanFactor * leak_mean;
+    return c;
+}
+
+int
+CycleMapping::cyclesFor(double delay_ps) const
+{
+    yac_assert(delayLimitPs > 0.0, "cycle mapping not initialized");
+    yac_assert(delay_ps > 0.0, "latency must be positive");
+    if (delay_ps <= delayLimitPs)
+        return baseCycles;
+    const double excess = delay_ps / delayLimitPs - 1.0;
+    const int extra =
+        static_cast<int>(std::ceil(excess / extraCycleHeadroom - 1e-12));
+    return std::min(baseCycles + extra, maxCycles);
+}
+
+double
+CycleMapping::latencyBudget(int cycles) const
+{
+    yac_assert(cycles >= baseCycles, "fewer than base cycles requested");
+    return delayLimitPs *
+        (1.0 + extraCycleHeadroom * static_cast<double>(cycles - baseCycles));
+}
+
+} // namespace yac

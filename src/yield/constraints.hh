@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Parametric yield constraints and the delay-to-cycles mapping.
+ *
+ * Following Section 5.1 (and Rao et al.), a chip is a parametric
+ * yield loss when its cache access latency exceeds
+ *   mean + k * sigma        (k = 1.0 nominal, 1.5 relaxed, 0.5 strict)
+ * or its total cache leakage exceeds
+ *   m * mean                (m = 3.0 nominal, 4.0 relaxed, 2.0 strict)
+ * where mean/sigma are taken over the Monte Carlo population of the
+ * *regular* architecture. The same absolute limits are applied to the
+ * H-YAPD architecture (its 2.5% extra delay is why its base loss is
+ * higher, Section 5.1).
+ */
+
+#ifndef YAC_YIELD_CONSTRAINTS_HH
+#define YAC_YIELD_CONSTRAINTS_HH
+
+#include <string>
+
+namespace yac
+{
+
+/** How the limits are derived from the population statistics. */
+struct ConstraintPolicy
+{
+    std::string name = "nominal";
+    double delaySigmaFactor = 1.0;  //!< limit = mean + k * sigma
+    double leakageMeanFactor = 3.0; //!< limit = m * mean
+
+    static ConstraintPolicy nominal() { return {"nominal", 1.0, 3.0}; }
+    static ConstraintPolicy relaxed() { return {"relaxed", 1.5, 4.0}; }
+    static ConstraintPolicy strict() { return {"strict", 0.5, 2.0}; }
+};
+
+/** Absolute limits applied to every chip. */
+struct YieldConstraints
+{
+    double delayLimitPs = 0.0;   //!< 4-cycle access latency budget
+    double leakageLimitMw = 0.0; //!< total cache leakage budget
+
+    /**
+     * Derive limits from population statistics.
+     * @param delay_mean Mean cache latency of the population [ps].
+     * @param delay_sigma Std deviation of cache latency [ps].
+     * @param leak_mean Mean total leakage [mW].
+     */
+    static YieldConstraints derive(const ConstraintPolicy &policy,
+                                   double delay_mean, double delay_sigma,
+                                   double leak_mean);
+};
+
+/**
+ * Maps an access latency to a cycle count. The 4-cycle budget is the
+ * delay limit; each extra pipeline cycle buys extraCycleHeadroom of
+ * additional latency (a cycle is one pipeline stage of the 4-stage
+ * access, so the default headroom is 1/4 of the budget).
+ */
+struct CycleMapping
+{
+    double delayLimitPs = 0.0;
+    double extraCycleHeadroom = 0.25;
+    int baseCycles = 4;
+    int maxCycles = 16; //!< clamp for reporting ("6+" in the tables)
+
+    /** Cycle count needed by a way of the given latency. */
+    int cyclesFor(double delay_ps) const;
+
+    /** Largest latency servable in @p cycles. */
+    double latencyBudget(int cycles) const;
+};
+
+} // namespace yac
+
+#endif // YAC_YIELD_CONSTRAINTS_HH

@@ -1,0 +1,91 @@
+#include "yield/monte_carlo.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/statistics.hh"
+
+namespace yac
+{
+
+namespace
+{
+
+PopulationStats
+computeStats(const std::vector<CacheTiming> &chips)
+{
+    RunningStats delay, leak;
+    for (const CacheTiming &chip : chips) {
+        delay.add(chip.delay());
+        leak.add(chip.leakage());
+    }
+    PopulationStats s;
+    s.delayMean = delay.mean();
+    s.delaySigma = delay.stddev();
+    s.leakMean = leak.mean();
+    s.leakSigma = leak.stddev();
+    return s;
+}
+
+} // namespace
+
+YieldConstraints
+MonteCarloResult::constraints(const ConstraintPolicy &policy) const
+{
+    return YieldConstraints::derive(policy, regularStats.delayMean,
+                                    regularStats.delaySigma,
+                                    regularStats.leakMean);
+}
+
+CycleMapping
+MonteCarloResult::cycleMapping(const ConstraintPolicy &policy,
+                               double extra_cycle_headroom) const
+{
+    CycleMapping m;
+    m.delayLimitPs = constraints(policy).delayLimitPs;
+    m.extraCycleHeadroom = extra_cycle_headroom;
+    return m;
+}
+
+MonteCarlo::MonteCarlo(const VariationSampler &sampler,
+                       const CacheGeometry &geom, const Technology &tech)
+    : sampler_(sampler), geom_(geom), tech_(tech),
+      regularModel_(geom_, tech_, CacheLayout::Regular),
+      horizontalModel_(geom_, tech_, CacheLayout::Horizontal)
+{
+    yac_assert(sampler_.geometry().numWays == geom_.numWays &&
+               sampler_.geometry().banksPerWay == geom_.banksPerWay &&
+               sampler_.geometry().rowGroupsPerBank ==
+                   geom_.rowGroupsPerBank,
+               "variation sampler and cache geometry disagree");
+}
+
+MonteCarlo::MonteCarlo()
+    : MonteCarlo(VariationSampler(VariationTable(), CorrelationModel(),
+                                  CacheGeometry().variationGeometry()),
+                 CacheGeometry(), defaultTechnology())
+{
+}
+
+MonteCarloResult
+MonteCarlo::run(const MonteCarloConfig &config) const
+{
+    yac_assert(config.numChips > 1, "need at least two chips for stats");
+    MonteCarloResult result;
+    result.regular.reserve(config.numChips);
+    result.horizontal.reserve(config.numChips);
+
+    Rng rng(config.seed);
+    for (std::size_t i = 0; i < config.numChips; ++i) {
+        // Each chip gets an independent substream so that chip i is
+        // identical regardless of how many chips are drawn.
+        Rng chip_rng = rng.split(i);
+        const CacheVariationMap map = sampler_.sample(chip_rng);
+        result.regular.push_back(regularModel_.evaluate(map));
+        result.horizontal.push_back(horizontalModel_.evaluate(map));
+    }
+    result.regularStats = computeStats(result.regular);
+    result.horizontalStats = computeStats(result.horizontal);
+    return result;
+}
+
+} // namespace yac

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Monte Carlo yield experiment driver: draws N chips' variation maps
+ * and evaluates each through the regular-layout and H-YAPD-layout
+ * circuit models (from the *same* draw, as the paper does), then
+ * derives population statistics and constraint sets.
+ */
+
+#ifndef YAC_YIELD_MONTE_CARLO_HH
+#define YAC_YIELD_MONTE_CARLO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/cache_model.hh"
+#include "circuit/geometry.hh"
+#include "circuit/technology.hh"
+#include "variation/sampler.hh"
+#include "yield/constraints.hh"
+
+namespace yac
+{
+
+/** Monte Carlo run parameters. */
+struct MonteCarloConfig
+{
+    std::size_t numChips = 2000; //!< the paper's population size
+    std::uint64_t seed = 2006;
+};
+
+/** Population statistics of one layout. */
+struct PopulationStats
+{
+    double delayMean = 0.0;  //!< [ps]
+    double delaySigma = 0.0; //!< [ps]
+    double leakMean = 0.0;   //!< [mW]
+    double leakSigma = 0.0;  //!< [mW]
+};
+
+/** Output of one Monte Carlo campaign. */
+struct MonteCarloResult
+{
+    std::vector<CacheTiming> regular;    //!< per-chip, regular layout
+    std::vector<CacheTiming> horizontal; //!< same chips, H-YAPD layout
+    PopulationStats regularStats;
+    PopulationStats horizontalStats;
+
+    /**
+     * Constraints for a policy. Derived from the *regular* layout's
+     * population (the shipping spec), applied to both layouts
+     * (Section 5.1).
+     */
+    YieldConstraints constraints(const ConstraintPolicy &policy) const;
+
+    /** Cycle mapping for a policy's delay limit. */
+    CycleMapping cycleMapping(const ConstraintPolicy &policy,
+                              double extra_cycle_headroom = 0.25) const;
+};
+
+/** Runs variation draws through both layouts' circuit models. */
+class MonteCarlo
+{
+  public:
+    MonteCarlo(const VariationSampler &sampler, const CacheGeometry &geom,
+               const Technology &tech);
+
+    /** Paper-default setup (16 KB 4-way cache, Table 1 variation). */
+    MonteCarlo();
+
+    /** Run the campaign. Deterministic in config.seed. */
+    MonteCarloResult run(const MonteCarloConfig &config) const;
+
+    const VariationSampler &sampler() const { return sampler_; }
+    const CacheGeometry &geometry() const { return geom_; }
+    const Technology &technology() const { return tech_; }
+
+  private:
+    VariationSampler sampler_;
+    CacheGeometry geom_;
+    Technology tech_;
+    CacheModel regularModel_;
+    CacheModel horizontalModel_;
+};
+
+} // namespace yac
+
+#endif // YAC_YIELD_MONTE_CARLO_HH

@@ -1,0 +1,105 @@
+#include "yield/multi_cache.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/statistics.hh"
+
+namespace yac
+{
+
+MultiCacheYield::MultiCacheYield(std::vector<ChipComponent> components,
+                                 const Technology &tech)
+    : components_(std::move(components)), tech_(tech)
+{
+    yac_assert(!components_.empty(), "need at least one component");
+    models_.reserve(components_.size());
+    samplers_.reserve(components_.size());
+    for (const ChipComponent &c : components_) {
+        yac_assert(c.placementFactor >= 0.0 && c.placementFactor <= 1.0,
+                   c.name, ": placement factor must be in [0, 1]");
+        models_.emplace_back(c.geometry, tech_, CacheLayout::Regular);
+        samplers_.emplace_back(VariationTable(), CorrelationModel(),
+                               c.geometry.variationGeometry());
+    }
+}
+
+MultiCacheReport
+MultiCacheYield::run(std::size_t num_chips, std::uint64_t seed,
+                     const std::vector<const Scheme *> &schemes,
+                     const ConstraintPolicy &policy) const
+{
+    yac_assert(num_chips > 1, "need at least two chips");
+    yac_assert(schemes.size() == components_.size(),
+               "one scheme slot per component");
+
+    // Pass 1: evaluate every (chip, component) timing with a shared
+    // die draw per chip; accumulate per-component statistics.
+    const std::size_t n_comp = components_.size();
+    std::vector<std::vector<CacheTiming>> timings(n_comp);
+    std::vector<RunningStats> delay_stats(n_comp);
+    std::vector<RunningStats> leak_stats(n_comp);
+    Rng rng(seed);
+    const VariationTable table;
+    for (std::size_t i = 0; i < num_chips; ++i) {
+        Rng chip_rng = rng.split(i);
+        const ProcessParams die = table.sampleDie(chip_rng, 1.0);
+        for (std::size_t c = 0; c < n_comp; ++c) {
+            // The component's placement shifts its local mean away
+            // from the die draw.
+            const ProcessParams center = table.sampleAround(
+                chip_rng, die, components_[c].placementFactor);
+            const CacheVariationMap map =
+                samplers_[c].sampleWithDie(chip_rng, center);
+            CacheTiming t = models_[c].evaluate(map);
+            delay_stats[c].add(t.delay());
+            leak_stats[c].add(t.leakage());
+            timings[c].push_back(std::move(t));
+        }
+    }
+
+    // Per-component constraints from each component's own population.
+    std::vector<YieldConstraints> constraints(n_comp);
+    std::vector<CycleMapping> mappings(n_comp);
+    for (std::size_t c = 0; c < n_comp; ++c) {
+        constraints[c] = YieldConstraints::derive(
+            policy, delay_stats[c].mean(), delay_stats[c].stddev(),
+            leak_stats[c].mean());
+        mappings[c].delayLimitPs = constraints[c].delayLimitPs;
+        mappings[c].baseCycles = components_[c].baseCycles;
+    }
+
+    // Pass 2: assess and compose.
+    MultiCacheReport report;
+    report.chips = num_chips;
+    report.componentBaseFail.assign(n_comp, 0);
+    report.componentUnsaved.assign(n_comp, 0);
+    for (std::size_t i = 0; i < num_chips; ++i) {
+        MultiChipOutcome outcome;
+        outcome.components.resize(n_comp);
+        for (std::size_t c = 0; c < n_comp; ++c) {
+            const CacheTiming &t = timings[c][i];
+            const ChipAssessment a =
+                assessChip(t, constraints[c], mappings[c]);
+            ComponentOutcome &co = outcome.components[c];
+            co.basePasses = a.passes();
+            if (!co.basePasses) {
+                ++report.componentBaseFail[c];
+                if (schemes[c] != nullptr) {
+                    const SchemeOutcome so = schemes[c]->apply(
+                        t, a, constraints[c], mappings[c]);
+                    co.savedByScheme = so.saved;
+                    co.config = so.config;
+                }
+                if (!co.savedByScheme)
+                    ++report.componentUnsaved[c];
+            }
+        }
+        if (outcome.chipPasses())
+            ++report.basePass;
+        if (outcome.chipShips())
+            ++report.shippable;
+    }
+    return report;
+}
+
+} // namespace yac

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Whole-chip composition: the paper concentrates on the L1 data
+ * cache ("rather than trying to apply our ideas to the whole chip"),
+ * but a chip ships only if *every* variation-sensitive component
+ * passes. This module composes the yield of multiple cache instances
+ * (for example L1I + L1D) manufactured on the same die -- sharing the
+ * die-level process draw, so their fates are correlated -- and applies
+ * a (possibly different) yield-aware scheme to each.
+ */
+
+#ifndef YAC_YIELD_MULTI_CACHE_HH
+#define YAC_YIELD_MULTI_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/cache_model.hh"
+#include "circuit/geometry.hh"
+#include "circuit/technology.hh"
+#include "variation/sampler.hh"
+#include "yield/assessment.hh"
+#include "yield/constraints.hh"
+#include "yield/scheme.hh"
+
+namespace yac
+{
+
+/** One cache component of the chip. */
+struct ChipComponent
+{
+    std::string name;
+    CacheGeometry geometry;
+    int baseCycles = 4; //!< architectural latency of this cache
+
+    /** Correlation factor of this component's placement relative to
+     *  the die draw (0 = tracks the die exactly). */
+    double placementFactor = 0.3;
+};
+
+/** Per-component outcome for one chip. */
+struct ComponentOutcome
+{
+    bool basePasses = false;
+    bool savedByScheme = false;
+    CacheConfig config;
+};
+
+/** One chip across all components. */
+struct MultiChipOutcome
+{
+    std::vector<ComponentOutcome> components;
+
+    bool
+    chipPasses() const
+    {
+        for (const ComponentOutcome &c : components) {
+            if (!c.basePasses)
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    chipShips() const
+    {
+        for (const ComponentOutcome &c : components) {
+            if (!c.basePasses && !c.savedByScheme)
+                return false;
+        }
+        return true;
+    }
+};
+
+/** Aggregate multi-component yield. */
+struct MultiCacheReport
+{
+    std::size_t chips = 0;
+    std::size_t basePass = 0;   //!< all components pass unaided
+    std::size_t shippable = 0;  //!< all pass after schemes
+    std::vector<std::size_t> componentBaseFail; //!< per component
+    std::vector<std::size_t> componentUnsaved;  //!< per component
+
+    double baseYield() const
+    {
+        return chips == 0
+            ? 0.0
+            : static_cast<double>(basePass) /
+              static_cast<double>(chips);
+    }
+
+    double schemeYield() const
+    {
+        return chips == 0
+            ? 0.0
+            : static_cast<double>(shippable) /
+              static_cast<double>(chips);
+    }
+};
+
+/**
+ * Monte Carlo over a chip with several cache components sharing the
+ * die draw. Each component gets its own circuit model and constraint
+ * set (derived from its own population), and one scheme.
+ */
+class MultiCacheYield
+{
+  public:
+    /**
+     * @param components Cache components on the die.
+     * @param tech Shared technology.
+     */
+    MultiCacheYield(std::vector<ChipComponent> components,
+                    const Technology &tech);
+
+    /**
+     * Run the campaign.
+     *
+     * @param schemes One scheme per component (non-owning; nullptr =
+     *        no scheme for that component).
+     * @param policy Constraint policy applied to every component.
+     */
+    MultiCacheReport run(std::size_t num_chips, std::uint64_t seed,
+                         const std::vector<const Scheme *> &schemes,
+                         const ConstraintPolicy &policy) const;
+
+    const std::vector<ChipComponent> &components() const
+    {
+        return components_;
+    }
+
+  private:
+    std::vector<ChipComponent> components_;
+    Technology tech_;
+    std::vector<CacheModel> models_;
+    std::vector<VariationSampler> samplers_;
+};
+
+} // namespace yac
+
+#endif // YAC_YIELD_MULTI_CACHE_HH

@@ -1,0 +1,28 @@
+#include "yield/scheme.hh"
+
+#include <cstdio>
+
+namespace yac
+{
+
+std::string
+CacheConfig::label() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%d-%d-%d", ways4, ways5,
+                  disabledWays);
+    return buf;
+}
+
+SchemeOutcome
+BaselineScheme::apply(const CacheTiming &, const ChipAssessment &chip,
+                      const YieldConstraints &, const CycleMapping &) const
+{
+    if (!chip.passes())
+        return SchemeOutcome::lost();
+    CacheConfig cfg;
+    cfg.ways4 = static_cast<int>(chip.wayCycles.size());
+    return SchemeOutcome::ok(cfg);
+}
+
+} // namespace yac

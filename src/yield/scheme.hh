@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Yield-aware scheme interface: a scheme inspects a manufactured
+ * chip's timing/leakage and decides whether it can be configured to
+ * pass the constraints, and if so at what configuration (which the
+ * pipeline simulator then prices in CPI).
+ */
+
+#ifndef YAC_YIELD_SCHEME_HH
+#define YAC_YIELD_SCHEME_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/cache_model.hh"
+#include "yield/assessment.hh"
+#include "yield/constraints.hh"
+
+namespace yac
+{
+
+/**
+ * The cache configuration a saved chip ships with. This is the key
+ * into the Table 6 performance matrix: <ways at 4 cycles> -
+ * <ways at 5 cycles> - <disabled>, for example "3-1-0" (VACA keeps a
+ * 5-cycle way) or "3-0-1" (YAPD turned a way off).
+ */
+struct CacheConfig
+{
+    int ways4 = 4;                    //!< enabled ways at base latency
+    int ways5 = 0;                    //!< enabled ways at +1 cycle
+    int disabledWays = 0;             //!< powered-down ways/regions
+    bool horizontalPowerDown = false; //!< region (true) vs way (false)
+
+    int enabledWays() const { return ways4 + ways5; }
+
+    /** "3-1-0"-style label; disabled count last. */
+    std::string label() const;
+
+    bool operator==(const CacheConfig &other) const = default;
+};
+
+/** Outcome of applying a scheme to one chip. */
+struct SchemeOutcome
+{
+    bool saved = false;
+    CacheConfig config;
+
+    static SchemeOutcome lost() { return {}; }
+    static SchemeOutcome ok(CacheConfig cfg) { return {true, cfg}; }
+};
+
+/** Abstract yield-aware scheme. */
+class Scheme
+{
+  public:
+    virtual ~Scheme() = default;
+
+    /** Scheme name as used in the paper's tables. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Try to configure the chip to meet the constraints.
+     *
+     * @param timing Full circuit evaluation (regions included).
+     * @param chip Assessment of @p timing against @p constraints.
+     */
+    virtual SchemeOutcome apply(const CacheTiming &timing,
+                                const ChipAssessment &chip,
+                                const YieldConstraints &constraints,
+                                const CycleMapping &mapping) const = 0;
+};
+
+/**
+ * The scheme-less base case: a chip is saved only when it meets the
+ * constraints outright.
+ */
+class BaselineScheme : public Scheme
+{
+  public:
+    std::string name() const override { return "Base"; }
+
+    SchemeOutcome apply(const CacheTiming &timing,
+                        const ChipAssessment &chip,
+                        const YieldConstraints &constraints,
+                        const CycleMapping &mapping) const override;
+};
+
+} // namespace yac
+
+#endif // YAC_YIELD_SCHEME_HH

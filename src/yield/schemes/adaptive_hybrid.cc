@@ -1,0 +1,78 @@
+#include "yield/schemes/adaptive_hybrid.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.hh"
+#include "yield/schemes/hybrid.hh"
+
+namespace yac
+{
+
+AdaptiveHybridScheme::AdaptiveHybridScheme(WorkloadCharacter character,
+                                           int buffer_depth,
+                                           int max_disabled_ways)
+    : character_(character), bufferDepth_(buffer_depth),
+      maxDisabledWays_(max_disabled_ways)
+{
+    yac_assert(buffer_depth >= 0, "buffer depth is negative");
+    yac_assert(max_disabled_ways >= 0, "power-down budget is negative");
+    yac_assert(character_.memoryIntensity >= 0.0 &&
+                   character_.memoryIntensity <= 1.0,
+               "memory intensity must be in [0, 1]");
+}
+
+double
+AdaptiveHybridScheme::estimateMemoryIntensity(double l1_miss_rate,
+                                              double miss_penalty_cycles)
+{
+    yac_assert(l1_miss_rate >= 0.0 && l1_miss_rate <= 1.0,
+               "miss rate must be a fraction");
+    yac_assert(miss_penalty_cycles > 0.0,
+               "miss penalty must be positive");
+    // Cost of capacity loss: losing one of four ways raises the miss
+    // count by roughly a quarter (relative), each miss costing the
+    // penalty. Cost of a slow way: +1 cycle on roughly a quarter of
+    // the hits. Normalize the capacity share into [0, 1].
+    const double capacity_cost =
+        0.25 * l1_miss_rate * miss_penalty_cycles;
+    const double latency_cost = 0.25 * (1.0 - l1_miss_rate);
+    return capacity_cost / (capacity_cost + latency_cost);
+}
+
+SchemeOutcome
+AdaptiveHybridScheme::apply(const CacheTiming &timing,
+                            const ChipAssessment &chip,
+                            const YieldConstraints &constraints,
+                            const CycleMapping &mapping) const
+{
+    // Feasibility (whether the chip is savable, and the forced
+    // power-downs) is exactly the fixed Hybrid's.
+    const HybridScheme fixed(bufferDepth_, maxDisabledWays_);
+    const SchemeOutcome keep_on =
+        fixed.apply(timing, chip, constraints, mapping);
+    if (!keep_on.saved)
+        return keep_on;
+
+    // The adaptive degree of freedom: when the budget is not used up
+    // by a 6-plus-cycle way or a leakage fix, a latency-sensitive
+    // workload prefers trading one 5-cycle way for a 3-way cache.
+    if (character_.prefersCapacity())
+        return keep_on; // memory bound: keep every way enabled
+
+    CacheConfig cfg = keep_on.config;
+    int budget = maxDisabledWays_ - cfg.disabledWays;
+    while (budget > 0 && cfg.ways5 > 0) {
+        // Check the leakage constraint still holds after powering the
+        // slowest remaining 5-cycle way down (it sheds leakage, so it
+        // always does); capacity floor: keep at least one way.
+        if (cfg.enabledWays() <= 1)
+            break;
+        --cfg.ways5;
+        ++cfg.disabledWays;
+        --budget;
+    }
+    return SchemeOutcome::ok(cfg);
+}
+
+} // namespace yac

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Adaptive Hybrid scheme -- the flexible policy the paper describes
+ * in Section 4.4 but does not evaluate: "if two of the ways require 4
+ * cycles and the other two require 5 cycles, the hybrid scheme can
+ * choose to keep both 5-cycle ways enabled ... or it can disable
+ * them ... This choice depends on the behavior of the executed
+ * application. If the application is a memory intensive one,
+ * disabling a way would hurt the performance more than keeping it
+ * enabled and accessing it with 5 cycles."
+ *
+ * This class implements that choice: given a workload character
+ * (memory intensity), it decides per chip whether a 5-cycle way is
+ * worth keeping. Yield is identical to the fixed Hybrid (the same
+ * chips are savable); what changes is the shipped configuration and
+ * hence the CPI cost.
+ */
+
+#ifndef YAC_YIELD_SCHEMES_ADAPTIVE_HYBRID_HH
+#define YAC_YIELD_SCHEMES_ADAPTIVE_HYBRID_HH
+
+#include "yield/scheme.hh"
+
+namespace yac
+{
+
+/** Workload character driving the adaptive decision. */
+struct WorkloadCharacter
+{
+    /**
+     * How much of the workload's performance lives in cache
+     * capacity, in [0, 1]: the L1D miss-rate increase from losing a
+     * way, relative to the cost of +1-cycle hits. Memory-intensive
+     * applications (mcf, art) are near 1; compute-bound ones near 0.
+     */
+    double memoryIntensity = 0.5;
+
+    /**
+     * Decision threshold: keep a 5-cycle way enabled when the
+     * workload's memory intensity exceeds this. The fixed Hybrid of
+     * the paper is threshold 0 ("keep ways on as long as possible");
+     * threshold 1 always powers a 5-cycle way down when legal.
+     */
+    double keepThreshold = 0.5;
+
+    bool
+    prefersCapacity() const
+    {
+        return memoryIntensity >= keepThreshold;
+    }
+};
+
+/**
+ * Hybrid with the per-application power-down choice. Saves exactly
+ * the chips the fixed Hybrid saves; the configuration differs when
+ * the chip allows both options (for example 3-1-0).
+ */
+class AdaptiveHybridScheme : public Scheme
+{
+  public:
+    AdaptiveHybridScheme(WorkloadCharacter character,
+                         int buffer_depth = 1,
+                         int max_disabled_ways = 1);
+
+    std::string name() const override { return "AdaptiveHybrid"; }
+
+    SchemeOutcome apply(const CacheTiming &timing,
+                        const ChipAssessment &chip,
+                        const YieldConstraints &constraints,
+                        const CycleMapping &mapping) const override;
+
+    const WorkloadCharacter &character() const { return character_; }
+
+    /**
+     * Estimate a workload's memory intensity from its profile-level
+     * statistics: the share of load latency cost attributable to
+     * misses (capacity-sensitive) versus hits (latency-sensitive).
+     *
+     * @param l1_miss_rate Baseline L1D miss rate of the workload.
+     * @param miss_penalty_cycles Average miss penalty.
+     */
+    static double estimateMemoryIntensity(double l1_miss_rate,
+                                          double miss_penalty_cycles);
+
+  private:
+    WorkloadCharacter character_;
+    int bufferDepth_;
+    int maxDisabledWays_;
+};
+
+} // namespace yac
+
+#endif // YAC_YIELD_SCHEMES_ADAPTIVE_HYBRID_HH

@@ -1,0 +1,77 @@
+#include "yield/schemes/hyapd.hh"
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+HYapdScheme::HYapdScheme(double peripheral_gating_fraction,
+                         int max_disabled_regions,
+                         std::size_t num_regions)
+    : peripheralFrac_(peripheral_gating_fraction),
+      maxDisabledRegions_(max_disabled_regions),
+      numRegions_(num_regions)
+{
+    yac_assert(peripheralFrac_ >= 0.0 && peripheralFrac_ <= 1.0,
+               "gating fraction must be in [0, 1]");
+    yac_assert(max_disabled_regions >= 0, "power-down budget is negative");
+    yac_assert(num_regions == 0 || num_regions >= 2,
+               "need at least two regions");
+}
+
+SchemeOutcome
+HYapdScheme::apply(const CacheTiming &timing, const ChipAssessment &chip,
+                   const YieldConstraints &constraints,
+                   const CycleMapping &) const
+{
+    const auto num_ways = static_cast<int>(chip.wayCycles.size());
+
+    if (chip.passes()) {
+        CacheConfig cfg;
+        cfg.ways4 = num_ways;
+        return SchemeOutcome::ok(cfg);
+    }
+    if (maxDisabledRegions_ < 1)
+        return SchemeOutcome::lost();
+
+    // Try every horizontal region; one region's power-down must cure
+    // both the delay and the leakage violation simultaneously. Among
+    // feasible regions pick the one with the lowest residual delay
+    // (ties broken by leakage) -- the field procedure would pick the
+    // region the embedded sensors blame.
+    yac_assert(!timing.ways.empty(), "chip has no ways");
+    const std::size_t regions =
+        numRegions_ > 0 ? numRegions_ : timing.ways.front().banks;
+    bool found = false;
+    double best_delay = 0.0;
+    double best_leak = 0.0;
+    for (std::size_t r = 0; r < regions; ++r) {
+        const double delay =
+            timing.delayExcludingRegionOf(r, regions);
+        const double leak = timing.leakageExcludingRegionOf(
+            r, regions, peripheralFrac_);
+        if (delay > constraints.delayLimitPs ||
+            leak > constraints.leakageLimitMw) {
+            continue;
+        }
+        if (!found || delay < best_delay ||
+            (delay == best_delay && leak < best_leak)) {
+            found = true;
+            best_delay = delay;
+            best_leak = leak;
+        }
+    }
+    if (!found)
+        return SchemeOutcome::lost();
+
+    // One horizontal region off: every address sees one fewer way,
+    // so the shipped configuration is the 3-way-equivalent cache.
+    CacheConfig cfg;
+    cfg.ways4 = num_ways - 1;
+    cfg.ways5 = 0;
+    cfg.disabledWays = 1;
+    cfg.horizontalPowerDown = true;
+    return SchemeOutcome::ok(cfg);
+}
+
+} // namespace yac

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Horizontal YAPD (H-YAPD), Section 4.2: power down one horizontal
+ * region (the same physical row range in every way) instead of a
+ * vertical way. Because the reconfigured post-decoders map each
+ * horizontal region to a different address range per way, any address
+ * still sees exactly three ways -- hit/miss behaviour is identical to
+ * YAPD's 3-way cache.
+ *
+ * The leverage over YAPD: under strong inter-way spatial correlation,
+ * the *same* row region tends to violate in all ways, so removing one
+ * region can cure delay violations in several (even all four) ways at
+ * once, where YAPD's single-way budget fails.
+ */
+
+#ifndef YAC_YIELD_SCHEMES_HYAPD_HH
+#define YAC_YIELD_SCHEMES_HYAPD_HH
+
+#include "yield/scheme.hh"
+
+namespace yac
+{
+
+/** Horizontal-region power-down. */
+class HYapdScheme : public Scheme
+{
+  public:
+    /**
+     * @param peripheral_gating_fraction Fraction of the peripheral
+     *        leakage share of a region that can actually be gated
+     *        (parts of the decoder, precharge and sense amps must
+     *        stay on; Section 4.2). 1.0 would be a full Gated-Vdd.
+     * @param max_disabled_regions Power-down budget (paper: 1).
+     * @param num_regions Horizontal-region granularity: 0 means the
+     *        paper's choice (one region per bank = one per way). A
+     *        larger count powers down a thinner slice -- sacrificing
+     *        less capacity and leakage saving per power-down, at the
+     *        decoder-complexity cost the paper holds against
+     *        finer-grained designs (Section 6, Agarwal et al.).
+     */
+    explicit HYapdScheme(double peripheral_gating_fraction = 0.5,
+                         int max_disabled_regions = 1,
+                         std::size_t num_regions = 0);
+
+    std::string name() const override { return "H-YAPD"; }
+
+    SchemeOutcome apply(const CacheTiming &timing,
+                        const ChipAssessment &chip,
+                        const YieldConstraints &constraints,
+                        const CycleMapping &mapping) const override;
+
+    double peripheralGatingFraction() const { return peripheralFrac_; }
+    std::size_t numRegions() const { return numRegions_; }
+
+  private:
+    double peripheralFrac_;
+    int maxDisabledRegions_;
+    std::size_t numRegions_; //!< 0 = bank granularity
+};
+
+} // namespace yac
+
+#endif // YAC_YIELD_SCHEMES_HYAPD_HH

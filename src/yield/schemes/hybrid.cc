@@ -1,0 +1,181 @@
+#include "yield/schemes/hybrid.hh"
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+namespace
+{
+
+/** Count the enabled ways of each latency class into a config. */
+CacheConfig
+configFromCycles(const std::vector<int> &cycles,
+                 const std::vector<bool> &disabled, int base_cycles,
+                 bool horizontal)
+{
+    CacheConfig cfg;
+    cfg.ways4 = 0;
+    cfg.ways5 = 0;
+    for (std::size_t w = 0; w < cycles.size(); ++w) {
+        if (disabled[w]) {
+            ++cfg.disabledWays;
+        } else if (cycles[w] == base_cycles) {
+            ++cfg.ways4;
+        } else {
+            ++cfg.ways5;
+        }
+    }
+    cfg.horizontalPowerDown = horizontal && cfg.disabledWays > 0;
+    return cfg;
+}
+
+} // namespace
+
+HybridScheme::HybridScheme(int buffer_depth, int max_disabled_ways)
+    : bufferDepth_(buffer_depth), maxDisabledWays_(max_disabled_ways)
+{
+    yac_assert(buffer_depth >= 0, "buffer depth is negative");
+    yac_assert(max_disabled_ways >= 0, "power-down budget is negative");
+}
+
+SchemeOutcome
+HybridScheme::apply(const CacheTiming &, const ChipAssessment &chip,
+                    const YieldConstraints &constraints,
+                    const CycleMapping &mapping) const
+{
+    const int max_cycles = mapping.baseCycles + bufferDepth_;
+    std::vector<bool> disabled(chip.wayCycles.size(), false);
+    int budget = maxDisabledWays_;
+    double leak = chip.totalLeakage;
+
+    // Ways beyond the variable-latency reach must be powered down.
+    for (std::size_t w = 0; w < chip.wayCycles.size(); ++w) {
+        if (chip.wayCycles[w] > max_cycles) {
+            if (budget == 0)
+                return SchemeOutcome::lost();
+            disabled[w] = true;
+            leak -= chip.wayLeakages[w];
+            --budget;
+        }
+    }
+
+    // Then fix any remaining power violation by disabling the
+    // leakiest enabled way (keep ways on as long as possible: no
+    // disabling of merely-5-cycle ways for delay reasons).
+    while (leak > constraints.leakageLimitMw) {
+        if (budget == 0)
+            return SchemeOutcome::lost();
+        std::size_t victim = chip.wayLeakages.size();
+        double worst = -1.0;
+        for (std::size_t w = 0; w < chip.wayLeakages.size(); ++w) {
+            if (!disabled[w] && chip.wayLeakages[w] > worst) {
+                worst = chip.wayLeakages[w];
+                victim = w;
+            }
+        }
+        if (victim == chip.wayLeakages.size())
+            return SchemeOutcome::lost();
+        disabled[victim] = true;
+        leak -= chip.wayLeakages[victim];
+        --budget;
+    }
+
+    CacheConfig cfg = configFromCycles(chip.wayCycles, disabled,
+                                       mapping.baseCycles, false);
+    if (cfg.enabledWays() <= 0)
+        return SchemeOutcome::lost();
+    return SchemeOutcome::ok(cfg);
+}
+
+HybridHScheme::HybridHScheme(int buffer_depth,
+                             double peripheral_gating_fraction)
+    : bufferDepth_(buffer_depth),
+      peripheralFrac_(peripheral_gating_fraction)
+{
+    yac_assert(buffer_depth >= 0, "buffer depth is negative");
+    yac_assert(peripheralFrac_ >= 0.0 && peripheralFrac_ <= 1.0,
+               "gating fraction must be in [0, 1]");
+}
+
+SchemeOutcome
+HybridHScheme::apply(const CacheTiming &timing, const ChipAssessment &chip,
+                     const YieldConstraints &constraints,
+                     const CycleMapping &mapping) const
+{
+    const int max_cycles = mapping.baseCycles + bufferDepth_;
+    const std::vector<bool> none(chip.wayCycles.size(), false);
+
+    // Option 1: keep everything on, run as pure VACA.
+    if (chip.totalLeakage <= constraints.leakageLimitMw) {
+        bool feasible = true;
+        for (int c : chip.wayCycles) {
+            if (c > max_cycles) {
+                feasible = false;
+                break;
+            }
+        }
+        if (feasible) {
+            return SchemeOutcome::ok(configFromCycles(
+                chip.wayCycles, none, mapping.baseCycles, true));
+        }
+    }
+
+    // Option 2: power down one horizontal region; each way's latency
+    // is then its worst remaining path, and every way must fit the
+    // variable-latency budget.
+    yac_assert(!timing.ways.empty(), "chip has no ways");
+    const std::size_t regions = timing.ways.front().banks;
+    bool found = false;
+    double best_delay = 0.0;
+    CacheConfig best_cfg;
+    for (std::size_t r = 0; r < regions; ++r) {
+        const double leak =
+            timing.leakageExcludingRegion(r, peripheralFrac_);
+        if (leak > constraints.leakageLimitMw)
+            continue;
+        std::vector<int> cycles;
+        cycles.reserve(timing.ways.size());
+        bool feasible = true;
+        double worst_delay = 0.0;
+        for (const WayTiming &way : timing.ways) {
+            const double d = way.delayExcludingBank(r);
+            const int c = mapping.cyclesFor(d);
+            if (c > max_cycles) {
+                feasible = false;
+                break;
+            }
+            cycles.push_back(c);
+            worst_delay = std::max(worst_delay, d);
+        }
+        if (!feasible)
+            continue;
+        if (!found || worst_delay < best_delay) {
+            found = true;
+            best_delay = worst_delay;
+            // A region power-down removes one way's worth of
+            // associativity for every address.
+            CacheConfig cfg = configFromCycles(
+                cycles, none, mapping.baseCycles, true);
+            cfg.disabledWays = 1;
+            cfg.horizontalPowerDown = true;
+            // One of the enabled latency slots is consumed by the
+            // removed region: report enabled ways minus one, biased
+            // to drop a fast slot last (the disabled region removes
+            // capacity uniformly).
+            if (cfg.ways5 > 0)
+                --cfg.ways5;
+            else
+                --cfg.ways4;
+            best_cfg = cfg;
+        }
+    }
+    if (!found)
+        return SchemeOutcome::lost();
+    return SchemeOutcome::ok(best_cfg);
+}
+
+} // namespace yac

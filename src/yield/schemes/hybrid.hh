@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Hybrid scheme, Section 4.4: VACA's variable latency plus the
+ * power-down mechanism. The paper's fixed policy is implemented: keep
+ * ways on as long as possible -- a way (or horizontal region, for the
+ * H variant) is turned off only when its delay exceeds the 5-cycle
+ * budget or the leakage constraint is violated, and at most one
+ * way/region may be disabled.
+ */
+
+#ifndef YAC_YIELD_SCHEMES_HYBRID_HH
+#define YAC_YIELD_SCHEMES_HYBRID_HH
+
+#include "yield/scheme.hh"
+
+namespace yac
+{
+
+/** Hybrid of VACA and vertical YAPD. */
+class HybridScheme : public Scheme
+{
+  public:
+    /**
+     * @param buffer_depth Load-bypass buffer entries (paper: 1).
+     * @param max_disabled_ways Power-down budget (paper: 1).
+     */
+    explicit HybridScheme(int buffer_depth = 1,
+                          int max_disabled_ways = 1);
+
+    std::string name() const override { return "Hybrid"; }
+
+    SchemeOutcome apply(const CacheTiming &timing,
+                        const ChipAssessment &chip,
+                        const YieldConstraints &constraints,
+                        const CycleMapping &mapping) const override;
+
+  private:
+    int bufferDepth_;
+    int maxDisabledWays_;
+};
+
+/** Hybrid of VACA and horizontal power-down (H-YAPD). */
+class HybridHScheme : public Scheme
+{
+  public:
+    /**
+     * @param buffer_depth Load-bypass buffer entries (paper: 1).
+     * @param peripheral_gating_fraction See HYapdScheme.
+     */
+    explicit HybridHScheme(int buffer_depth = 1,
+                           double peripheral_gating_fraction = 0.5);
+
+    std::string name() const override { return "Hybrid-H"; }
+
+    SchemeOutcome apply(const CacheTiming &timing,
+                        const ChipAssessment &chip,
+                        const YieldConstraints &constraints,
+                        const CycleMapping &mapping) const override;
+
+  private:
+    int bufferDepth_;
+    double peripheralFrac_;
+};
+
+} // namespace yac
+
+#endif // YAC_YIELD_SCHEMES_HYBRID_HH

@@ -1,0 +1,47 @@
+#include "yield/schemes/naive_binning.hh"
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+NaiveBinningScheme::NaiveBinningScheme(int target_cycles)
+    : targetCycles_(target_cycles)
+{
+    yac_assert(target_cycles >= 4, "cannot bin below the base latency");
+}
+
+std::string
+NaiveBinningScheme::name() const
+{
+    return "Bin@" + std::to_string(targetCycles_) + "cy";
+}
+
+SchemeOutcome
+NaiveBinningScheme::apply(const CacheTiming &, const ChipAssessment &chip,
+                          const YieldConstraints &constraints,
+                          const CycleMapping &mapping) const
+{
+    // Binning has no effect on leakage.
+    if (chip.totalLeakage > constraints.leakageLimitMw)
+        return SchemeOutcome::lost();
+
+    for (int c : chip.wayCycles) {
+        if (c > targetCycles_)
+            return SchemeOutcome::lost();
+    }
+
+    // All ways are scheduled at the binned latency, even the fast
+    // ones -- the whole point of the naive approach.
+    CacheConfig cfg;
+    const auto num_ways = static_cast<int>(chip.wayCycles.size());
+    if (targetCycles_ == mapping.baseCycles) {
+        cfg.ways4 = num_ways;
+    } else {
+        cfg.ways4 = 0;
+        cfg.ways5 = num_ways;
+    }
+    return SchemeOutcome::ok(cfg);
+}
+
+} // namespace yac

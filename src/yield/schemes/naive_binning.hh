@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The naive alternative of Section 4.5: re-bin the whole chip so the
+ * scheduler always expects the cache to answer in a fixed, larger
+ * number of cycles (5 or 6). No microarchitectural support is needed,
+ * but *every* load pays the extra latency, which the paper measures
+ * at 6.42% (one extra cycle) and 12.62% (two) average CPI.
+ */
+
+#ifndef YAC_YIELD_SCHEMES_NAIVE_BINNING_HH
+#define YAC_YIELD_SCHEMES_NAIVE_BINNING_HH
+
+#include "yield/scheme.hh"
+
+namespace yac
+{
+
+/** Fixed re-binned cache latency for the whole chip. */
+class NaiveBinningScheme : public Scheme
+{
+  public:
+    /** @param target_cycles Uniform cache latency after binning. */
+    explicit NaiveBinningScheme(int target_cycles = 5);
+
+    std::string name() const override;
+
+    SchemeOutcome apply(const CacheTiming &timing,
+                        const ChipAssessment &chip,
+                        const YieldConstraints &constraints,
+                        const CycleMapping &mapping) const override;
+
+    int targetCycles() const { return targetCycles_; }
+
+  private:
+    int targetCycles_;
+};
+
+} // namespace yac
+
+#endif // YAC_YIELD_SCHEMES_NAIVE_BINNING_HH

@@ -1,0 +1,37 @@
+#include "yield/schemes/vaca.hh"
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+VacaScheme::VacaScheme(int buffer_depth) : bufferDepth_(buffer_depth)
+{
+    yac_assert(buffer_depth >= 0, "buffer depth is negative");
+}
+
+SchemeOutcome
+VacaScheme::apply(const CacheTiming &, const ChipAssessment &chip,
+                  const YieldConstraints &constraints,
+                  const CycleMapping &mapping) const
+{
+    // VACA cannot reduce leakage: a power violation is a loss.
+    if (chip.totalLeakage > constraints.leakageLimitMw)
+        return SchemeOutcome::lost();
+
+    const int max_cycles = mapping.baseCycles + bufferDepth_;
+    CacheConfig cfg;
+    cfg.ways4 = 0;
+    cfg.ways5 = 0;
+    for (int c : chip.wayCycles) {
+        if (c > max_cycles)
+            return SchemeOutcome::lost();
+        if (c == mapping.baseCycles)
+            ++cfg.ways4;
+        else
+            ++cfg.ways5;
+    }
+    return SchemeOutcome::ok(cfg);
+}
+
+} // namespace yac

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Variable-latency Cache Architecture (VACA), Section 4.3: slow ways
+ * stay enabled and are accessed with extra cycles; load-bypass
+ * buffers at the functional-unit inputs let dependants of a delayed
+ * load stall. The paper sizes the buffers at a single entry, so
+ * accesses may take 4 or 5 cycles; ways needing 6+ cycles (and any
+ * leakage violation, which VACA cannot address) remain yield losses.
+ */
+
+#ifndef YAC_YIELD_SCHEMES_VACA_HH
+#define YAC_YIELD_SCHEMES_VACA_HH
+
+#include "yield/scheme.hh"
+
+namespace yac
+{
+
+/** Variable-latency cache scheme. */
+class VacaScheme : public Scheme
+{
+  public:
+    /**
+     * @param buffer_depth Load-bypass buffer entries; depth d allows
+     *        base+d cycles (paper: 1). The depth-vs-yield ablation
+     *        sweeps this.
+     */
+    explicit VacaScheme(int buffer_depth = 1);
+
+    std::string name() const override { return "VACA"; }
+
+    SchemeOutcome apply(const CacheTiming &timing,
+                        const ChipAssessment &chip,
+                        const YieldConstraints &constraints,
+                        const CycleMapping &mapping) const override;
+
+    int bufferDepth() const { return bufferDepth_; }
+
+  private:
+    int bufferDepth_;
+};
+
+} // namespace yac
+
+#endif // YAC_YIELD_SCHEMES_VACA_HH

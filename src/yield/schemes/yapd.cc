@@ -1,0 +1,80 @@
+#include "yield/schemes/yapd.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+YapdScheme::YapdScheme(int max_disabled_ways)
+    : maxDisabledWays_(max_disabled_ways)
+{
+    yac_assert(max_disabled_ways >= 0, "power-down budget is negative");
+}
+
+SchemeOutcome
+YapdScheme::apply(const CacheTiming &, const ChipAssessment &chip,
+                  const YieldConstraints &constraints,
+                  const CycleMapping &) const
+{
+    const auto num_ways = static_cast<int>(chip.wayCycles.size());
+
+    if (chip.passes()) {
+        CacheConfig cfg;
+        cfg.ways4 = num_ways;
+        return SchemeOutcome::ok(cfg);
+    }
+
+    // Greedy power-down within the budget: every delay-violating way
+    // must be disabled (YAPD keeps only full-speed ways); after that,
+    // keep disabling the leakiest way while the power budget is
+    // violated.
+    std::vector<bool> disabled(chip.wayCycles.size(), false);
+    int budget = maxDisabledWays_;
+    double leak = chip.totalLeakage;
+
+    for (std::size_t w = 0; w < chip.wayDelays.size(); ++w) {
+        if (chip.wayDelays[w] > constraints.delayLimitPs) {
+            if (budget == 0)
+                return SchemeOutcome::lost();
+            disabled[w] = true;
+            leak -= chip.wayLeakages[w];
+            --budget;
+        }
+    }
+
+    while (leak > constraints.leakageLimitMw) {
+        if (budget == 0)
+            return SchemeOutcome::lost();
+        // Disable the leakiest still-enabled way.
+        std::size_t victim = chip.wayLeakages.size();
+        double worst = -1.0;
+        for (std::size_t w = 0; w < chip.wayLeakages.size(); ++w) {
+            if (!disabled[w] && chip.wayLeakages[w] > worst) {
+                worst = chip.wayLeakages[w];
+                victim = w;
+            }
+        }
+        if (victim == chip.wayLeakages.size())
+            return SchemeOutcome::lost();
+        disabled[victim] = true;
+        leak -= chip.wayLeakages[victim];
+        --budget;
+    }
+
+    const int off = static_cast<int>(
+        std::count(disabled.begin(), disabled.end(), true));
+    yac_assert(off > 0, "YAPD saved a chip without disabling anything");
+    CacheConfig cfg;
+    cfg.ways4 = num_ways - off;
+    cfg.ways5 = 0;
+    cfg.disabledWays = off;
+    if (cfg.ways4 <= 0)
+        return SchemeOutcome::lost();
+    return SchemeOutcome::ok(cfg);
+}
+
+} // namespace yac

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Yield-Aware Power-Down (YAPD), Section 4.1: Selective Cache Ways +
+ * Gated-Vdd used for yield. At most one way may be turned off (the
+ * 2% average performance-degradation budget of Section 4.2); a
+ * disabled way sheds its entire leakage (decoders, precharge and
+ * sense amps are gated too).
+ */
+
+#ifndef YAC_YIELD_SCHEMES_YAPD_HH
+#define YAC_YIELD_SCHEMES_YAPD_HH
+
+#include "yield/scheme.hh"
+
+namespace yac
+{
+
+/** Vertical (regular) way power-down. */
+class YapdScheme : public Scheme
+{
+  public:
+    /** @param max_disabled_ways Power-down budget (paper: 1). */
+    explicit YapdScheme(int max_disabled_ways = 1);
+
+    std::string name() const override { return "YAPD"; }
+
+    SchemeOutcome apply(const CacheTiming &timing,
+                        const ChipAssessment &chip,
+                        const YieldConstraints &constraints,
+                        const CycleMapping &mapping) const override;
+
+  private:
+    int maxDisabledWays_;
+};
+
+} // namespace yac
+
+#endif // YAC_YIELD_SCHEMES_YAPD_HH

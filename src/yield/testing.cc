@@ -1,0 +1,163 @@
+#include "yield/testing.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+LatencyTester::LatencyTester(double noise_sigma_frac,
+                             double guard_band_frac)
+    : noiseSigma_(noise_sigma_frac), guardBand_(guard_band_frac)
+{
+    yac_assert(noise_sigma_frac >= 0.0, "noise must be non-negative");
+    yac_assert(guard_band_frac >= 0.0,
+               "guard band must be non-negative");
+}
+
+double
+LatencyTester::measureDelay(double true_delay_ps, Rng &rng) const
+{
+    yac_assert(true_delay_ps > 0.0, "delay must be positive");
+    const double noisy =
+        true_delay_ps * (1.0 + rng.normal(0.0, noiseSigma_));
+    return noisy * (1.0 + guardBand_);
+}
+
+std::vector<int>
+LatencyTester::characterize(const CacheTiming &chip,
+                            const CycleMapping &mapping, Rng &rng) const
+{
+    std::vector<int> cycles;
+    cycles.reserve(chip.ways.size());
+    for (std::size_t w = 0; w < chip.ways.size(); ++w) {
+        cycles.push_back(
+            mapping.cyclesFor(measureDelay(chip.wayDelay(w), rng)));
+    }
+    return cycles;
+}
+
+LeakageSensor::LeakageSensor(double error_sigma_ln)
+    : errorSigma_(error_sigma_ln)
+{
+    yac_assert(error_sigma_ln >= 0.0, "sensor error must be >= 0");
+}
+
+double
+LeakageSensor::read(double true_leakage_mw, Rng &rng) const
+{
+    yac_assert(true_leakage_mw >= 0.0, "leakage must be non-negative");
+    return true_leakage_mw * std::exp(rng.normal(0.0, errorSigma_));
+}
+
+double
+LeakageSensor::readAveraged(double true_leakage_mw, int samples,
+                            Rng &rng) const
+{
+    yac_assert(samples >= 1, "need at least one sample");
+    double sum = 0.0;
+    for (int i = 0; i < samples; ++i)
+        sum += read(true_leakage_mw, rng);
+    return sum / static_cast<double>(samples);
+}
+
+FieldConfigurator::FieldConfigurator(LatencyTester tester,
+                                     LeakageSensor sensor,
+                                     int leakage_samples)
+    : tester_(tester), sensor_(sensor), leakageSamples_(leakage_samples)
+{
+    yac_assert(leakage_samples >= 1, "need at least one sample");
+}
+
+ChipAssessment
+FieldConfigurator::measuredAssessment(const CacheTiming &chip,
+                                      const YieldConstraints &constraints,
+                                      const CycleMapping &mapping,
+                                      Rng &rng) const
+{
+    ChipAssessment a;
+    const std::size_t n = chip.ways.size();
+    a.wayDelays.reserve(n);
+    a.wayLeakages.reserve(n);
+    a.wayCycles.reserve(n);
+    double total_leak = 0.0;
+    double worst_delay = 0.0;
+    for (std::size_t w = 0; w < n; ++w) {
+        const double delay =
+            tester_.measureDelay(chip.wayDelay(w), rng);
+        const double leak = sensor_.readAveraged(
+            chip.wayLeakage(w), leakageSamples_, rng);
+        a.wayDelays.push_back(delay);
+        a.wayLeakages.push_back(leak);
+        a.wayCycles.push_back(mapping.cyclesFor(delay));
+        total_leak += leak;
+        worst_delay = std::max(worst_delay, delay);
+    }
+    a.totalLeakage = total_leak;
+    a.cacheDelay = worst_delay;
+    a.leakageViolation = total_leak > constraints.leakageLimitMw;
+    a.delayViolation = worst_delay > constraints.delayLimitPs;
+    return a;
+}
+
+TestFloorVerdict
+FieldConfigurator::configure(const CacheTiming &chip,
+                             const Scheme &scheme,
+                             const YieldConstraints &constraints,
+                             const CycleMapping &mapping,
+                             Rng &rng) const
+{
+    const ChipAssessment measured =
+        measuredAssessment(chip, constraints, mapping, rng);
+    TestFloorVerdict verdict;
+    verdict.decision =
+        scheme.apply(chip, measured, constraints, mapping);
+
+    // Audit: would the shipped configuration really meet the spec?
+    const ChipAssessment truth =
+        assessChip(chip, constraints, mapping);
+    if (verdict.decision.saved) {
+        // Audit whether *some* assignment of the shipped
+        // configuration truly meets the spec: choose which ways to
+        // disable (exhaustively -- at most a handful of ways) so the
+        // remaining ones fit the shipped latency class and the
+        // residual leakage fits the budget.
+        const CacheConfig &cfg = verdict.decision.config;
+        const std::size_t n = truth.wayCycles.size();
+        const int max_cycles =
+            mapping.baseCycles + (cfg.ways5 > 0 ? 1 : 0);
+        const auto want_off =
+            static_cast<std::size_t>(cfg.disabledWays);
+        bool feasible = false;
+        const std::size_t subsets = std::size_t{1} << n;
+        for (std::size_t mask = 0; mask < subsets && !feasible;
+             ++mask) {
+            if (static_cast<std::size_t>(
+                    __builtin_popcountll(mask)) != want_off) {
+                continue;
+            }
+            double leak = 0.0;
+            bool fits = true;
+            for (std::size_t w = 0; w < n; ++w) {
+                if (mask & (std::size_t{1} << w))
+                    continue; // powered down
+                leak += truth.wayLeakages[w];
+                if (truth.wayCycles[w] > max_cycles)
+                    fits = false;
+            }
+            feasible = fits && leak <= constraints.leakageLimitMw;
+        }
+        verdict.trulyMeetsSpec = feasible;
+    } else {
+        // Discarded: overkill when a perfect tester ships it.
+        const SchemeOutcome ideal =
+            scheme.apply(chip, truth, constraints, mapping);
+        verdict.overkill = ideal.saved;
+        verdict.trulyMeetsSpec = false;
+    }
+    return verdict;
+}
+
+} // namespace yac

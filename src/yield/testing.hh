@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The test-floor side of the schemes: the paper configures YAPD /
+ * VACA "during memory testing right after fabrication and/or on the
+ * field using leakage power sensors" (Section 4.1, ref [20]). This
+ * module models that measurement step -- BIST-style way latency
+ * characterization at the target clock and a noisy on-die leakage
+ * sensor -- and a FieldConfigurator that drives a scheme from
+ * *measured* rather than true values, so the cost of measurement
+ * error (mis-binned chips, wasted guard band) can be quantified.
+ */
+
+#ifndef YAC_YIELD_TESTING_HH
+#define YAC_YIELD_TESTING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/cache_model.hh"
+#include "util/rng.hh"
+#include "yield/assessment.hh"
+#include "yield/constraints.hh"
+#include "yield/scheme.hh"
+
+namespace yac
+{
+
+/**
+ * BIST-style latency characterization: each way is exercised at the
+ * shipping clock and classified into a cycle count. The tester sees
+ * the true delay plus gaussian noise (jitter, voltage droop, finite
+ * test vectors) and applies a guard band so marginal ways are binned
+ * conservatively.
+ */
+class LatencyTester
+{
+  public:
+    /**
+     * @param noise_sigma_frac 1-sigma measurement noise as a fraction
+     *        of the true delay (e.g. 0.01 = 1%).
+     * @param guard_band_frac Deterministic margin added to the
+     *        measurement before cycle classification.
+     */
+    LatencyTester(double noise_sigma_frac, double guard_band_frac);
+
+    /** Measured delay of one way [ps]. */
+    double measureDelay(double true_delay_ps, Rng &rng) const;
+
+    /** Measured cycle classification of every way of a chip. */
+    std::vector<int> characterize(const CacheTiming &chip,
+                                  const CycleMapping &mapping,
+                                  Rng &rng) const;
+
+    double noiseSigmaFrac() const { return noiseSigma_; }
+    double guardBandFrac() const { return guardBand_; }
+
+  private:
+    double noiseSigma_;
+    double guardBand_;
+};
+
+/**
+ * On-die leakage sensor (Kim et al. [20]): reads the true leakage
+ * with multiplicative log-normal error (sensors are ratio-accurate,
+ * not absolute-accurate).
+ */
+class LeakageSensor
+{
+  public:
+    /** @param error_sigma_ln 1-sigma of the log-normal reading error. */
+    explicit LeakageSensor(double error_sigma_ln);
+
+    /** One reading of a way's (or the whole cache's) leakage [mW]. */
+    double read(double true_leakage_mw, Rng &rng) const;
+
+    /** Averaging @p samples readings tightens the estimate. */
+    double readAveraged(double true_leakage_mw, int samples,
+                        Rng &rng) const;
+
+  private:
+    double errorSigma_;
+};
+
+/** What the test floor decided for one chip, and the ground truth. */
+struct TestFloorVerdict
+{
+    SchemeOutcome decision;    //!< what was shipped (or not)
+    bool trulyMeetsSpec = false; //!< the shipped config really passes
+
+    /** Shipped a configuration that actually violates the spec. */
+    bool escape() const { return decision.saved && !trulyMeetsSpec; }
+
+    /** Discarded (or under-configured) a chip a perfect tester would
+     *  have shipped at a better configuration. */
+    bool overkill = false;
+};
+
+/**
+ * Drives a yield-aware scheme from measured values, then audits the
+ * decision against the ground truth.
+ */
+class FieldConfigurator
+{
+  public:
+    FieldConfigurator(LatencyTester tester, LeakageSensor sensor,
+                      int leakage_samples = 1);
+
+    /**
+     * Measure the chip, run @p scheme on the measured assessment,
+     * and audit against the true assessment.
+     */
+    TestFloorVerdict configure(const CacheTiming &chip,
+                               const Scheme &scheme,
+                               const YieldConstraints &constraints,
+                               const CycleMapping &mapping,
+                               Rng &rng) const;
+
+    /** The assessment as the tester sees it (exposed for tests). */
+    ChipAssessment measuredAssessment(const CacheTiming &chip,
+                                      const YieldConstraints &constraints,
+                                      const CycleMapping &mapping,
+                                      Rng &rng) const;
+
+  private:
+    LatencyTester tester_;
+    LeakageSensor sensor_;
+    int leakageSamples_;
+};
+
+} // namespace yac
+
+#endif // YAC_YIELD_TESTING_HH

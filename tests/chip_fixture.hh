@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared test helper: build synthetic CacheTiming chips with exact
+ * per-way (or per-path) delays and leakages, so scheme logic can be
+ * pinned down without running the circuit model.
+ */
+
+#ifndef YAC_TESTS_CHIP_FIXTURE_HH
+#define YAC_TESTS_CHIP_FIXTURE_HH
+
+#include <vector>
+
+#include "circuit/cache_model.hh"
+#include "yield/constraints.hh"
+
+namespace yac
+{
+namespace test
+{
+
+/** Fixed reference constraints used by the scheme tests. */
+inline YieldConstraints
+referenceConstraints()
+{
+    YieldConstraints c;
+    c.delayLimitPs = 100.0;
+    c.leakageLimitMw = 40.0;
+    return c;
+}
+
+/** Cycle mapping for the reference constraints (5cy window 125 ps). */
+inline CycleMapping
+referenceMapping()
+{
+    CycleMapping m;
+    m.delayLimitPs = 100.0;
+    m.extraCycleHeadroom = 0.25;
+    return m;
+}
+
+/**
+ * A way whose paths are all at @p base_delay except the paths of
+ * @p hot_bank, which sit at @p hot_delay. Cell leakage is spread
+ * evenly over the groups.
+ */
+inline WayTiming
+makeWay(double base_delay, double leakage_mw,
+        std::size_t hot_bank = ~std::size_t{0},
+        double hot_delay = 0.0, std::size_t banks = 4,
+        std::size_t groups = 2)
+{
+    WayTiming w;
+    w.banks = banks;
+    w.groupsPerBank = groups;
+    w.pathDelays.assign(banks * groups, base_delay);
+    if (hot_bank < banks) {
+        for (std::size_t g = 0; g < groups; ++g)
+            w.pathDelays[w.pathIndex(hot_bank, g)] = hot_delay;
+    }
+    // 80% of the leakage in the cells, 20% peripheral.
+    const double cell = 0.8 * leakage_mw;
+    w.groupCellLeakage.assign(banks * groups,
+                              cell / static_cast<double>(banks * groups));
+    w.peripheralLeakage = 0.2 * leakage_mw;
+    return w;
+}
+
+/** A chip from four (delay, leakage) pairs with flat paths. */
+inline CacheTiming
+makeChip(const std::vector<double> &way_delays,
+         const std::vector<double> &way_leaks)
+{
+    CacheTiming chip;
+    for (std::size_t w = 0; w < way_delays.size(); ++w)
+        chip.ways.push_back(makeWay(way_delays[w], way_leaks[w]));
+    return chip;
+}
+
+/** A healthy chip: all ways fast and cool. */
+inline CacheTiming
+healthyChip()
+{
+    return makeChip({90, 92, 91, 93}, {8, 8, 8, 8});
+}
+
+} // namespace test
+} // namespace yac
+
+#endif // YAC_TESTS_CHIP_FIXTURE_HH

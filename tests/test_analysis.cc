@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests of the loss-table builders and censuses on a real (small)
+ * Monte Carlo population, checking the accounting invariants the
+ * paper's tables rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "yield/analysis.hh"
+#include "yield/monte_carlo.hh"
+#include "yield/schemes/hybrid.hh"
+#include "yield/schemes/vaca.hh"
+#include "yield/schemes/yapd.hh"
+
+namespace yac
+{
+namespace
+{
+
+class AnalysisTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        MonteCarlo mc;
+        result_ = mc.run({400, 2006});
+        constraints_ = result_.constraints(ConstraintPolicy::nominal());
+        mapping_ = result_.cycleMapping(ConstraintPolicy::nominal());
+    }
+
+    MonteCarloResult result_;
+    YieldConstraints constraints_;
+    CycleMapping mapping_;
+    YapdScheme yapd_;
+    VacaScheme vaca_;
+    HybridScheme hybrid_;
+};
+
+TEST_F(AnalysisTest, RowsSumToTotals)
+{
+    const LossTable t = buildLossTable(
+        result_.regular, constraints_, mapping_,
+        {&yapd_, &vaca_, &hybrid_});
+    int base_sum = 0;
+    for (LossReason r : kLossRows)
+        base_sum += t.baseAt(r);
+    EXPECT_EQ(base_sum, t.baseTotal);
+    for (const SchemeLosses &s : t.schemes) {
+        int sum = 0;
+        for (LossReason r : kLossRows)
+            sum += s.at(r);
+        EXPECT_EQ(sum, s.total);
+    }
+}
+
+TEST_F(AnalysisTest, SchemesNeverLoseMoreThanBase)
+{
+    const LossTable t = buildLossTable(
+        result_.regular, constraints_, mapping_,
+        {&yapd_, &vaca_, &hybrid_});
+    for (const SchemeLosses &s : t.schemes) {
+        EXPECT_LE(s.total, t.baseTotal);
+        for (LossReason r : kLossRows)
+            EXPECT_LE(s.at(r), t.baseAt(r));
+    }
+}
+
+TEST_F(AnalysisTest, SchemeOrderings)
+{
+    const LossTable t = buildLossTable(
+        result_.regular, constraints_, mapping_,
+        {&yapd_, &vaca_, &hybrid_});
+    const int yapd = t.schemes[0].total;
+    const int vaca = t.schemes[1].total;
+    const int hybrid = t.schemes[2].total;
+    // Hybrid dominates both constituents (logical superset of saves).
+    EXPECT_LE(hybrid, yapd);
+    EXPECT_LE(hybrid, vaca);
+    // YAPD nullifies single-way delay losses; VACA keeps every
+    // leakage loss.
+    EXPECT_EQ(t.schemes[0].at(LossReason::Delay1), 0);
+    EXPECT_EQ(t.schemes[1].at(LossReason::Leakage),
+              t.baseAt(LossReason::Leakage));
+    // YAPD cannot save multi-way delay losses.
+    EXPECT_EQ(t.schemes[0].at(LossReason::Delay2),
+              t.baseAt(LossReason::Delay2));
+}
+
+TEST_F(AnalysisTest, YieldAndReductionMath)
+{
+    const LossTable t = buildLossTable(result_.regular, constraints_,
+                                       mapping_, {&hybrid_});
+    const double base_yield = t.yieldOf("Base");
+    const double hybrid_yield = t.yieldOf("Hybrid");
+    EXPECT_NEAR(base_yield,
+                1.0 - static_cast<double>(t.baseTotal) / 400.0, 1e-12);
+    EXPECT_GE(hybrid_yield, base_yield);
+    const double reduction = t.lossReductionOf("Hybrid");
+    EXPECT_NEAR(reduction,
+                1.0 - static_cast<double>(t.schemes[0].total) /
+                          static_cast<double>(t.baseTotal),
+                1e-12);
+}
+
+TEST_F(AnalysisTest, SavedCensusMatchesLossTable)
+{
+    const LossTable t = buildLossTable(result_.regular, constraints_,
+                                       mapping_, {&hybrid_});
+    const auto census = savedConfigCensus(result_.regular, constraints_,
+                                          mapping_, hybrid_);
+    int saved = 0;
+    for (const auto &[label, count] : census)
+        saved += count;
+    EXPECT_EQ(saved, t.baseTotal - t.schemes[0].total);
+}
+
+TEST_F(AnalysisTest, LossCensusCoversAllLosses)
+{
+    const LossTable t = buildLossTable(result_.regular, constraints_,
+                                       mapping_, {});
+    const auto census =
+        lossConfigCensus(result_.regular, constraints_, mapping_);
+    int losses = 0;
+    for (const auto &[label, count] : census)
+        losses += count;
+    EXPECT_EQ(losses, t.baseTotal);
+}
+
+TEST_F(AnalysisTest, ScatterNormalizedToUnitMean)
+{
+    const auto points = leakageLatencyScatter(result_.regular);
+    ASSERT_EQ(points.size(), result_.regular.size());
+    double mean = 0.0;
+    for (const ScatterPoint &p : points) {
+        EXPECT_GT(p.latencyPs, 0.0);
+        EXPECT_GT(p.normalizedLeakage, 0.0);
+        mean += p.normalizedLeakage;
+    }
+    mean /= static_cast<double>(points.size());
+    EXPECT_NEAR(mean, 1.0, 1e-9);
+}
+
+TEST_F(AnalysisTest, UnknownSchemeNameDies)
+{
+    const LossTable t = buildLossTable(result_.regular, constraints_,
+                                       mapping_, {&yapd_});
+    EXPECT_DEATH((void)t.yieldOf("nope"), "unknown scheme");
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests of the analytical yield model against the Monte Carlo ground
+ * truth -- including the systematic errors Section 2 of the paper
+ * attributes to analytical approaches.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "yield/analytic.hh"
+#include "yield/analysis.hh"
+#include "yield/monte_carlo.hh"
+
+namespace yac
+{
+namespace
+{
+
+TEST(NormalCdf, KnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.0), 0.841344746, 1e-6);
+    EXPECT_NEAR(normalCdf(-1.0), 0.158655254, 1e-6);
+    EXPECT_NEAR(normalCdf(3.0), 0.998650102, 1e-6);
+}
+
+class AnalyticTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        MonteCarlo mc;
+        result_ = mc.run({1500, 2006});
+        model_ = AnalyticYieldModel::fit(result_.regular);
+    }
+
+    /** True loss fraction of the MC population under a policy. */
+    double
+    trueLoss(const ConstraintPolicy &policy) const
+    {
+        const YieldConstraints c = result_.constraints(policy);
+        const CycleMapping m = result_.cycleMapping(policy);
+        const LossTable t =
+            buildLossTable(result_.regular, c, m, {});
+        return static_cast<double>(t.baseTotal) /
+            static_cast<double>(result_.regular.size());
+    }
+
+    MonteCarloResult result_;
+    AnalyticYieldModel model_;
+};
+
+TEST_F(AnalyticTest, MomentsMatchPopulation)
+{
+    EXPECT_NEAR(model_.delayMean, result_.regularStats.delayMean,
+                1e-9);
+    EXPECT_NEAR(model_.delaySigma, result_.regularStats.delaySigma,
+                1e-9);
+    EXPECT_NEAR(model_.leakMean, result_.regularStats.leakMean, 1e-9);
+}
+
+TEST_F(AnalyticTest, LossFractionsInRange)
+{
+    for (const ConstraintPolicy &p :
+         {ConstraintPolicy::relaxed(), ConstraintPolicy::nominal(),
+          ConstraintPolicy::strict()}) {
+        const double loss = model_.totalLossFraction(p);
+        EXPECT_GT(loss, 0.0);
+        EXPECT_LT(loss, 1.0);
+    }
+}
+
+TEST_F(AnalyticTest, MonotoneInStrictness)
+{
+    EXPECT_LT(model_.totalLossFraction(ConstraintPolicy::relaxed()),
+              model_.totalLossFraction(ConstraintPolicy::nominal()));
+    EXPECT_LT(model_.totalLossFraction(ConstraintPolicy::nominal()),
+              model_.totalLossFraction(ConstraintPolicy::strict()));
+}
+
+TEST_F(AnalyticTest, BallparksTheMonteCarlo)
+{
+    // The analytic estimate lands within a factor of two of the MC
+    // truth at the nominal constraints -- usable for optimization
+    // loops, as the paper says.
+    const double analytic =
+        model_.totalLossFraction(ConstraintPolicy::nominal());
+    const double truth = trueLoss(ConstraintPolicy::nominal());
+    EXPECT_GT(analytic, truth * 0.5);
+    EXPECT_LT(analytic, truth * 2.0);
+}
+
+TEST_F(AnalyticTest, NormalFitUnderestimatesTheSkewedDelayTail)
+{
+    // The documented inaccuracy: the latency population is right-
+    // skewed (max-of-paths, amplified excursions), so a normal fit
+    // puts too much mass just past mean+sigma and too little deep in
+    // the tail. Check the deep-tail underestimate at mean+3sigma.
+    const double deep_limit =
+        model_.delayMean + 3.0 * model_.delaySigma;
+    const double analytic = model_.delayLossFraction(deep_limit);
+    int truly_beyond = 0;
+    for (const CacheTiming &chip : result_.regular) {
+        if (chip.delay() > deep_limit)
+            ++truly_beyond;
+    }
+    const double truth = static_cast<double>(truly_beyond) /
+        static_cast<double>(result_.regular.size());
+    EXPECT_LT(analytic, truth);
+}
+
+TEST_F(AnalyticTest, LognormalLeakageFitIsClose)
+{
+    // Leakage, in contrast, really is log-normal-ish: the fit tracks
+    // the empirical tail within ~35% at the 3x-mean limit.
+    const double limit = 3.0 * model_.leakMean;
+    const double analytic = model_.leakageLossFraction(limit);
+    int truly_beyond = 0;
+    for (const CacheTiming &chip : result_.regular) {
+        if (chip.leakage() > limit)
+            ++truly_beyond;
+    }
+    const double truth = static_cast<double>(truly_beyond) /
+        static_cast<double>(result_.regular.size());
+    EXPECT_NEAR(analytic, truth, truth * 0.35 + 0.01);
+}
+
+} // namespace
+} // namespace yac

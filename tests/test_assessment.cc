@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests of per-chip assessment and loss classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip_fixture.hh"
+#include "yield/assessment.hh"
+
+namespace yac
+{
+namespace
+{
+
+using test::makeChip;
+using test::referenceConstraints;
+using test::referenceMapping;
+
+ChipAssessment
+assess(const CacheTiming &chip)
+{
+    return assessChip(chip, referenceConstraints(), referenceMapping());
+}
+
+TEST(Assessment, HealthyChipPasses)
+{
+    const ChipAssessment a = assess(test::healthyChip());
+    EXPECT_TRUE(a.passes());
+    EXPECT_EQ(a.lossReason(), LossReason::None);
+    EXPECT_EQ(a.slowWays(), 0u);
+    for (int c : a.wayCycles)
+        EXPECT_EQ(c, 4);
+}
+
+TEST(Assessment, SingleSlowWay)
+{
+    const ChipAssessment a =
+        assess(makeChip({90, 90, 90, 110}, {8, 8, 8, 8}));
+    EXPECT_FALSE(a.passes());
+    EXPECT_TRUE(a.delayViolation);
+    EXPECT_FALSE(a.leakageViolation);
+    EXPECT_EQ(a.lossReason(), LossReason::Delay1);
+    EXPECT_EQ(a.slowWays(), 1u);
+    EXPECT_EQ(a.wayCycles[3], 5);
+}
+
+TEST(Assessment, MultiWayClassification)
+{
+    EXPECT_EQ(assess(makeChip({110, 110, 90, 90}, {8, 8, 8, 8}))
+                  .lossReason(),
+              LossReason::Delay2);
+    EXPECT_EQ(assess(makeChip({110, 110, 110, 90}, {8, 8, 8, 8}))
+                  .lossReason(),
+              LossReason::Delay3);
+    EXPECT_EQ(assess(makeChip({110, 130, 160, 110}, {8, 8, 8, 8}))
+                  .lossReason(),
+              LossReason::Delay4);
+}
+
+TEST(Assessment, LeakageViolation)
+{
+    const ChipAssessment a =
+        assess(makeChip({90, 90, 90, 90}, {15, 15, 15, 15}));
+    EXPECT_TRUE(a.leakageViolation);
+    EXPECT_FALSE(a.delayViolation);
+    EXPECT_EQ(a.lossReason(), LossReason::Leakage);
+    EXPECT_DOUBLE_EQ(a.totalLeakage, 60.0);
+}
+
+TEST(Assessment, LeakageFirstClassification)
+{
+    // Violating both: the tables count it under the leakage row.
+    const ChipAssessment a =
+        assess(makeChip({90, 90, 90, 130}, {15, 15, 15, 15}));
+    EXPECT_TRUE(a.leakageViolation);
+    EXPECT_TRUE(a.delayViolation);
+    EXPECT_EQ(a.lossReason(), LossReason::Leakage);
+}
+
+TEST(Assessment, WaysAtAndAbove)
+{
+    const ChipAssessment a =
+        assess(makeChip({90, 110, 130, 160}, {8, 8, 8, 8}));
+    EXPECT_EQ(a.waysAt(4), 1u);
+    EXPECT_EQ(a.waysAt(5), 1u);
+    EXPECT_EQ(a.waysAt(6), 1u);
+    EXPECT_EQ(a.waysAbove(5), 2u);
+    EXPECT_EQ(a.waysAbove(4), 3u);
+}
+
+TEST(Assessment, BoundaryExactlyAtLimitPasses)
+{
+    const ChipAssessment a =
+        assess(makeChip({100, 100, 100, 100}, {10, 10, 10, 10}));
+    EXPECT_TRUE(a.passes());
+}
+
+TEST(Assessment, ReasonNamesAreStable)
+{
+    EXPECT_STREQ(lossReasonName(LossReason::Leakage),
+                 "Leakage Constraint");
+    EXPECT_STREQ(lossReasonName(LossReason::Delay1),
+                 "Delay Constraint (1 Way)");
+    EXPECT_STREQ(lossReasonName(LossReason::Delay4),
+                 "Delay Constraint (4 Ways)");
+}
+
+} // namespace
+} // namespace yac

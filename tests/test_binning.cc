@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests of the speed-binning economics module.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip_fixture.hh"
+#include "yield/binning.hh"
+#include "yield/schemes/hybrid.hh"
+#include "yield/schemes/yapd.hh"
+
+namespace yac
+{
+namespace
+{
+
+using test::makeChip;
+
+BinningAnalysis
+ladder()
+{
+    // fast <= 100 ps at 100, mid <= 115 at 70, value <= 130 at 45;
+    // leakage envelope 40 mW.
+    return BinningAnalysis(BinningAnalysis::standardBins(100.0), 40.0);
+}
+
+TEST(Binning, StandardLadderShape)
+{
+    const auto bins = BinningAnalysis::standardBins(200.0, 50.0);
+    ASSERT_EQ(bins.size(), 3u);
+    EXPECT_DOUBLE_EQ(bins[0].delayLimitPs, 200.0);
+    EXPECT_DOUBLE_EQ(bins[1].delayLimitPs, 230.0);
+    EXPECT_DOUBLE_EQ(bins[2].delayLimitPs, 260.0);
+    EXPECT_DOUBLE_EQ(bins[0].price, 50.0);
+    EXPECT_GT(bins[1].price, bins[2].price);
+}
+
+TEST(Binning, PlainAssignment)
+{
+    const BinningAnalysis b = ladder();
+    EXPECT_EQ(b.assign(test::healthyChip()).binIndex, 0);
+    EXPECT_EQ(
+        b.assign(makeChip({90, 90, 90, 110}, {8, 8, 8, 8})).binIndex,
+        1);
+    EXPECT_EQ(
+        b.assign(makeChip({90, 90, 90, 125}, {8, 8, 8, 8})).binIndex,
+        2);
+    EXPECT_EQ(
+        b.assign(makeChip({90, 90, 90, 200}, {8, 8, 8, 8})).binIndex,
+        -1);
+}
+
+TEST(Binning, LeakageScrapsInEveryBin)
+{
+    const BinningAnalysis b = ladder();
+    EXPECT_EQ(
+        b.assign(makeChip({90, 90, 90, 90}, {15, 15, 15, 15})).binIndex,
+        -1);
+}
+
+TEST(Binning, SchemeLiftsChipIntoFasterBin)
+{
+    // One slow way drops the chip to the mid bin; YAPD powers it down
+    // and recovers the fast bin (minus the configuration discount).
+    const BinningAnalysis b = ladder();
+    YapdScheme yapd;
+    const CacheTiming chip =
+        makeChip({90, 90, 90, 110}, {8, 8, 8, 8});
+    const BinAssignment plain = b.assign(chip);
+    const BinAssignment lifted = b.assign(chip, yapd);
+    EXPECT_EQ(plain.binIndex, 1);
+    EXPECT_EQ(lifted.binIndex, 0);
+    EXPECT_GT(lifted.revenue, plain.revenue);
+    EXPECT_LT(lifted.revenue, 100.0); // discounted vs pristine
+}
+
+TEST(Binning, SchemeNeverReducesRevenue)
+{
+    const BinningAnalysis b = ladder();
+    HybridScheme hybrid;
+    const std::vector<CacheTiming> chips = {
+        test::healthyChip(),
+        makeChip({90, 90, 110, 110}, {8, 8, 8, 8}),
+        makeChip({90, 90, 90, 140}, {8, 8, 8, 8}),
+        makeChip({90, 90, 90, 90}, {8, 10, 16, 10}),
+        makeChip({160, 160, 160, 160}, {8, 8, 8, 8}),
+    };
+    for (const CacheTiming &chip : chips) {
+        EXPECT_GE(b.assign(chip, hybrid).revenue,
+                  b.assign(chip).revenue);
+    }
+}
+
+TEST(Binning, PopulationReportConsistent)
+{
+    const BinningAnalysis b = ladder();
+    const std::vector<CacheTiming> chips = {
+        test::healthyChip(),
+        makeChip({90, 90, 90, 110}, {8, 8, 8, 8}),
+        makeChip({90, 90, 90, 200}, {8, 8, 8, 8}),
+    };
+    const BinningReport r = b.binPopulation(chips);
+    int binned = 0;
+    for (int c : r.binCounts)
+        binned += c;
+    EXPECT_EQ(binned + r.scrapped, 3);
+    EXPECT_EQ(r.scrapped, 1);
+    EXPECT_DOUBLE_EQ(r.totalRevenue, 100.0 + 70.0);
+    EXPECT_NEAR(r.averageRevenue(3), 170.0 / 3.0, 1e-12);
+}
+
+TEST(Binning, SchemeRaisesPopulationRevenue)
+{
+    const BinningAnalysis b = ladder();
+    HybridScheme hybrid;
+    const std::vector<CacheTiming> chips = {
+        makeChip({90, 90, 90, 110}, {8, 8, 8, 8}),
+        makeChip({90, 110, 110, 140}, {8, 8, 8, 8}),
+        makeChip({90, 90, 90, 90}, {8, 10, 16, 10}),
+    };
+    const BinningReport plain = b.binPopulation(chips);
+    const BinningReport with = b.binPopulation(chips, hybrid);
+    EXPECT_GT(with.totalRevenue, plain.totalRevenue);
+    EXPECT_LE(with.scrapped, plain.scrapped);
+}
+
+TEST(BinningDeathTest, RejectsUnorderedBins)
+{
+    EXPECT_DEATH(BinningAnalysis({{"a", 100.0, 50.0},
+                                  {"b", 90.0, 40.0}},
+                                 40.0),
+                 "ordered");
+    EXPECT_DEATH(BinningAnalysis({{"a", 100.0, 50.0},
+                                  {"b", 110.0, 60.0}},
+                                 40.0),
+                 "price");
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests of the whole-cache circuit model and the H-YAPD layout
+ * variant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/cache_model.hh"
+#include "util/rng.hh"
+#include "variation/sampler.hh"
+
+namespace yac
+{
+namespace
+{
+
+class CacheModelTest : public ::testing::Test
+{
+  protected:
+    CacheGeometry geom_;
+    Technology tech_ = defaultTechnology();
+    CacheModel regular_{geom_, tech_, CacheLayout::Regular};
+    CacheModel horizontal_{geom_, tech_, CacheLayout::Horizontal};
+    VariationSampler sampler_{VariationTable(), CorrelationModel(),
+                              geom_.variationGeometry()};
+};
+
+TEST_F(CacheModelTest, GeometryDerivedQuantities)
+{
+    EXPECT_EQ(geom_.numSets(), 128u);
+    EXPECT_EQ(geom_.cellsPerWay(), 32768u);
+    EXPECT_EQ(geom_.cellsPerRowGroup(), 1024u);
+    EXPECT_EQ(geom_.rowsPerBitlineSegment(), 32u);
+}
+
+TEST_F(CacheModelTest, EvaluateProducesFourWays)
+{
+    Rng rng(1);
+    const CacheTiming t = regular_.evaluate(sampler_.sample(rng));
+    ASSERT_EQ(t.ways.size(), 4u);
+    EXPECT_GT(t.delay(), 0.0);
+    EXPECT_GT(t.leakage(), 0.0);
+}
+
+TEST_F(CacheModelTest, CacheDelayIsWorstWay)
+{
+    Rng rng(2);
+    const CacheTiming t = regular_.evaluate(sampler_.sample(rng));
+    double worst = 0.0;
+    double leak = 0.0;
+    for (std::size_t w = 0; w < 4; ++w) {
+        worst = std::max(worst, t.wayDelay(w));
+        leak += t.wayLeakage(w);
+    }
+    EXPECT_DOUBLE_EQ(t.delay(), worst);
+    EXPECT_NEAR(t.leakage(), leak, 1e-9);
+}
+
+TEST_F(CacheModelTest, HorizontalLayoutCostsTwoPointFivePercent)
+{
+    Rng rng(3);
+    const CacheVariationMap map = sampler_.sample(rng);
+    const CacheTiming reg = regular_.evaluate(map);
+    const CacheTiming hor = horizontal_.evaluate(map);
+    EXPECT_NEAR(hor.delay() / reg.delay(), tech_.hyapdDelayFactor,
+                1e-9);
+    // Leakage is unchanged by the decoder reconfiguration.
+    EXPECT_NEAR(hor.leakage(), reg.leakage(), 1e-9);
+    EXPECT_NEAR(horizontal_.nominalDelay() / regular_.nominalDelay(),
+                tech_.hyapdDelayFactor, 1e-9);
+}
+
+TEST_F(CacheModelTest, RegionExclusionNeverHurtsDelay)
+{
+    Rng rng(4);
+    for (int i = 0; i < 20; ++i) {
+        Rng chip = rng.split(i);
+        const CacheTiming t =
+            horizontal_.evaluate(sampler_.sample(chip));
+        for (std::size_t r = 0; r < geom_.banksPerWay; ++r)
+            EXPECT_LE(t.delayExcludingRegion(r), t.delay());
+    }
+}
+
+TEST_F(CacheModelTest, RegionExclusionReducesLeakage)
+{
+    Rng rng(5);
+    const CacheTiming t = horizontal_.evaluate(sampler_.sample(rng));
+    for (std::size_t r = 0; r < geom_.banksPerWay; ++r) {
+        const double with_gating = t.leakageExcludingRegion(r, 0.5);
+        EXPECT_LT(with_gating, t.leakage());
+        // More peripheral gating saves more.
+        EXPECT_LT(t.leakageExcludingRegion(r, 1.0), with_gating);
+        EXPECT_LT(t.leakageExcludingRegion(r, 0.0), t.leakage());
+    }
+}
+
+TEST_F(CacheModelTest, RegionLeakageSavingAtLeastCellShare)
+{
+    Rng rng(6);
+    const CacheTiming t = horizontal_.evaluate(sampler_.sample(rng));
+    double cell_leak = 0.0;
+    for (const WayTiming &w : t.ways)
+        cell_leak += w.bankCellLeakage(0);
+    EXPECT_NEAR(t.leakage() - t.leakageExcludingRegion(0, 0.0),
+                cell_leak, 1e-9);
+}
+
+TEST_F(CacheModelTest, SameDrawBothLayouts)
+{
+    // The paper evaluates both architectures on identical process
+    // draws; way-by-way the two layouts differ by exactly the
+    // constant factor.
+    Rng rng(7);
+    const CacheVariationMap map = sampler_.sample(rng);
+    const CacheTiming reg = regular_.evaluate(map);
+    const CacheTiming hor = horizontal_.evaluate(map);
+    for (std::size_t w = 0; w < 4; ++w) {
+        EXPECT_NEAR(hor.wayDelay(w) / reg.wayDelay(w),
+                    tech_.hyapdDelayFactor, 1e-9);
+    }
+}
+
+TEST_F(CacheModelTest, MismatchedWayCountRejected)
+{
+    Rng rng(8);
+    CacheVariationMap map = sampler_.sample(rng);
+    map.ways.pop_back();
+    EXPECT_DEATH((void)regular_.evaluate(map), "way count");
+}
+
+} // namespace
+} // namespace yac

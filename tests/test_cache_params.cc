@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests of the functional-cache configuration and its validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/params.hh"
+
+namespace yac
+{
+namespace
+{
+
+TEST(CacheParams, DerivedQuantities)
+{
+    CacheParams p;
+    EXPECT_EQ(p.numSets(), 128u);
+    EXPECT_EQ(p.enabledWays(), 4u);
+    EXPECT_EQ(p.worstLatency(), 4);
+    EXPECT_EQ(p.latencyOfWay(2), 4);
+}
+
+TEST(CacheParams, WayLatencyOverrides)
+{
+    CacheParams p;
+    p.wayLatency = {4, 4, 5, 5};
+    EXPECT_EQ(p.latencyOfWay(0), 4);
+    EXPECT_EQ(p.latencyOfWay(3), 5);
+    EXPECT_EQ(p.worstLatency(), 5);
+}
+
+TEST(CacheParams, WorstLatencyIgnoresDisabledWays)
+{
+    CacheParams p;
+    p.wayLatency = {4, 4, 4, 6};
+    p.wayMask = 0x7; // way 3 off
+    EXPECT_EQ(p.worstLatency(), 4);
+    EXPECT_EQ(p.enabledWays(), 3u);
+}
+
+TEST(CacheParams, ValidateAcceptsDefaults)
+{
+    CacheParams p;
+    p.validate();
+    SUCCEED();
+}
+
+TEST(CacheParams, ValidateAcceptsHYapd)
+{
+    CacheParams p;
+    p.horizontalMode = true;
+    p.numHRegions = 4;
+    p.disabledHRegion = 2;
+    p.validate();
+    SUCCEED();
+}
+
+TEST(CacheParamsDeathTest, RejectsBadConfigs)
+{
+    CacheParams p;
+    p.blockBytes = 48; // not a power of two
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "power");
+
+    CacheParams q;
+    q.wayLatency = {4, 4, 4}; // wrong arity
+    EXPECT_EXIT(q.validate(), ::testing::ExitedWithCode(1),
+                "one per way");
+
+    CacheParams r;
+    r.wayLatency = {4, 4, 4, 3}; // faster than base
+    EXPECT_EXIT(r.validate(), ::testing::ExitedWithCode(1), "faster");
+
+    CacheParams s;
+    s.wayMask = 0; // nothing enabled
+    EXPECT_EXIT(s.validate(), ::testing::ExitedWithCode(1), "enabled");
+
+    CacheParams t;
+    t.horizontalMode = true;
+    t.numHRegions = 3; // != numWays
+    EXPECT_EXIT(t.validate(), ::testing::ExitedWithCode(1), "regions");
+}
+
+} // namespace
+} // namespace yac

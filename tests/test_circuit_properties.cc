@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Property tests of the circuit model's parameter sensitivities:
+ * every Table 1 parameter must move the critical path monotonically
+ * (no reversal inside the excursion range), the device parameters
+ * have fixed directions, and leakage responds only to the device
+ * parameters. These pin the monotonic structure the whole yield
+ * analysis rests on.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "circuit/way_model.hh"
+
+namespace yac
+{
+namespace
+{
+
+WayVariation
+scaleEverywhere(const WayVariation &base, ProcessParam p, double factor)
+{
+    WayVariation out = base;
+    auto scale = [&](ProcessParams &params) {
+        params.set(p, params.get(p) * factor);
+    };
+    scale(out.base);
+    scale(out.decoder);
+    scale(out.precharge);
+    scale(out.senseAmp);
+    scale(out.outputDriver);
+    for (auto &bank : out.rowGroups)
+        for (auto &g : bank)
+            scale(g);
+    for (auto &bank : out.worstCell)
+        for (auto &g : bank)
+            scale(g);
+    return out;
+}
+
+class ParamSensitivityTest
+    : public ::testing::TestWithParam<ProcessParam>
+{
+  protected:
+    CacheGeometry geom_;
+    Technology tech_ = defaultTechnology();
+    WayModel model_{geom_, tech_};
+};
+
+TEST_P(ParamSensitivityTest, CriticalPathMonotoneOverTheRange)
+{
+    // Direction depends on the regime (for local wires the model is
+    // capacitance-dominated: a narrower line is a lighter load), but
+    // the response must be monotone with no reversal inside the
+    // Table 1 excursion range -- the structure the spread-widening
+    // exponent and the yield tails rely on.
+    const ProcessParam p = GetParam();
+    const WayVariation nominal = model_.nominalWay();
+    std::vector<double> delays;
+    for (double f : {0.70, 0.85, 1.0, 1.15, 1.30}) {
+        delays.push_back(
+            model_.evaluate(scaleEverywhere(nominal, p, f)).delay());
+    }
+    const bool increasing = delays.back() >= delays.front();
+    for (std::size_t i = 1; i < delays.size(); ++i) {
+        if (increasing)
+            EXPECT_GE(delays[i], delays[i - 1] - 1e-9)
+                << processParamName(p) << " step " << i;
+        else
+            EXPECT_LE(delays[i], delays[i - 1] + 1e-9)
+                << processParamName(p) << " step " << i;
+    }
+}
+
+TEST_P(ParamSensitivityTest, ResponseIsNotFlat)
+{
+    // Every Table 1 parameter must actually move the critical path.
+    const ProcessParam p = GetParam();
+    const WayVariation nominal = model_.nominalWay();
+    const double lo =
+        model_.evaluate(scaleEverywhere(nominal, p, 0.8)).delay();
+    const double hi =
+        model_.evaluate(scaleEverywhere(nominal, p, 1.2)).delay();
+    EXPECT_GT(std::fabs(hi - lo) / model_.nominalDelay(), 1e-3)
+        << processParamName(p);
+}
+
+TEST(CircuitProperties, DeviceDirectionsAreFixed)
+{
+    // The device parameters have regime-independent directions: a
+    // longer channel or a higher threshold always slows the path.
+    const CacheGeometry geom;
+    const Technology tech = defaultTechnology();
+    const WayModel model(geom, tech);
+    const WayVariation nominal = model.nominalWay();
+    const double base = model.evaluate(nominal).delay();
+    EXPECT_GT(model.evaluate(scaleEverywhere(
+                       nominal, ProcessParam::GateLength, 1.08))
+                  .delay(),
+              base);
+    EXPECT_GT(model.evaluate(scaleEverywhere(
+                       nominal, ProcessParam::ThresholdVoltage, 1.15))
+                  .delay(),
+              base);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllParams, ParamSensitivityTest,
+    ::testing::ValuesIn(kAllProcessParams),
+    [](const ::testing::TestParamInfo<ProcessParam> &info) {
+        std::string name = processParamName(info.param);
+        for (char &c : name) {
+            if (c == '_')
+                c = 'x';
+        }
+        return name;
+    });
+
+TEST(CircuitProperties, LeakageMonotoneInVtAndL)
+{
+    const CacheGeometry geom;
+    const Technology tech = defaultTechnology();
+    const WayModel model(geom, tech);
+    const WayVariation nominal = model.nominalWay();
+
+    const WayVariation high_vt = scaleEverywhere(
+        nominal, ProcessParam::ThresholdVoltage, 1.15);
+    EXPECT_LT(model.evaluate(high_vt).leakage(),
+              model.evaluate(nominal).leakage());
+
+    const WayVariation short_l =
+        scaleEverywhere(nominal, ProcessParam::GateLength, 0.92);
+    EXPECT_GT(model.evaluate(short_l).leakage(),
+              model.evaluate(nominal).leakage());
+}
+
+TEST(CircuitProperties, WireParamsDoNotMoveLeakage)
+{
+    const CacheGeometry geom;
+    const Technology tech = defaultTechnology();
+    const WayModel model(geom, tech);
+    const WayVariation nominal = model.nominalWay();
+    const double base_leak = model.evaluate(nominal).leakage();
+    for (ProcessParam p : {ProcessParam::MetalWidth,
+                           ProcessParam::MetalThickness,
+                           ProcessParam::IldThickness}) {
+        const WayVariation w = scaleEverywhere(nominal, p, 0.7);
+        EXPECT_NEAR(model.evaluate(w).leakage(), base_leak, 1e-9)
+            << processParamName(p);
+    }
+}
+
+TEST(CircuitProperties, DelayLeakageTradeoffThroughVt)
+{
+    // The Figure 8 mechanism at the component level: lowering V_t
+    // speeds the path and raises leakage simultaneously.
+    const CacheGeometry geom;
+    const Technology tech = defaultTechnology();
+    const WayModel model(geom, tech);
+    const WayVariation nominal = model.nominalWay();
+    const WayVariation low_vt = scaleEverywhere(
+        nominal, ProcessParam::ThresholdVoltage, 0.88);
+    const WayTiming fast = model.evaluate(low_vt);
+    const WayTiming nom = model.evaluate(nominal);
+    EXPECT_LT(fast.delay(), nom.delay());
+    EXPECT_GT(fast.leakage(), nom.leakage());
+}
+
+} // namespace
+} // namespace yac

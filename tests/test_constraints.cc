@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests of constraint derivation and the delay-to-cycles mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "yield/constraints.hh"
+
+namespace yac
+{
+namespace
+{
+
+TEST(ConstraintPolicy, PaperPolicies)
+{
+    const ConstraintPolicy nom = ConstraintPolicy::nominal();
+    EXPECT_DOUBLE_EQ(nom.delaySigmaFactor, 1.0);
+    EXPECT_DOUBLE_EQ(nom.leakageMeanFactor, 3.0);
+    const ConstraintPolicy rel = ConstraintPolicy::relaxed();
+    EXPECT_DOUBLE_EQ(rel.delaySigmaFactor, 1.5);
+    EXPECT_DOUBLE_EQ(rel.leakageMeanFactor, 4.0);
+    const ConstraintPolicy strict = ConstraintPolicy::strict();
+    EXPECT_DOUBLE_EQ(strict.delaySigmaFactor, 0.5);
+    EXPECT_DOUBLE_EQ(strict.leakageMeanFactor, 2.0);
+}
+
+TEST(YieldConstraints, Derivation)
+{
+    const YieldConstraints c = YieldConstraints::derive(
+        ConstraintPolicy::nominal(), 100.0, 20.0, 5.0);
+    EXPECT_DOUBLE_EQ(c.delayLimitPs, 120.0);
+    EXPECT_DOUBLE_EQ(c.leakageLimitMw, 15.0);
+}
+
+TEST(YieldConstraints, StricterPolicyTightens)
+{
+    const YieldConstraints nom = YieldConstraints::derive(
+        ConstraintPolicy::nominal(), 100.0, 20.0, 5.0);
+    const YieldConstraints strict = YieldConstraints::derive(
+        ConstraintPolicy::strict(), 100.0, 20.0, 5.0);
+    const YieldConstraints relaxed = YieldConstraints::derive(
+        ConstraintPolicy::relaxed(), 100.0, 20.0, 5.0);
+    EXPECT_LT(strict.delayLimitPs, nom.delayLimitPs);
+    EXPECT_LT(nom.delayLimitPs, relaxed.delayLimitPs);
+    EXPECT_LT(strict.leakageLimitMw, nom.leakageLimitMw);
+    EXPECT_LT(nom.leakageLimitMw, relaxed.leakageLimitMw);
+}
+
+class CycleMappingTest : public ::testing::Test
+{
+  protected:
+    CycleMapping map_{100.0, 0.25, 4, 16};
+};
+
+TEST_F(CycleMappingTest, AtOrBelowLimitIsBase)
+{
+    EXPECT_EQ(map_.cyclesFor(50.0), 4);
+    EXPECT_EQ(map_.cyclesFor(100.0), 4);
+}
+
+TEST_F(CycleMappingTest, WithinHeadroomIsFive)
+{
+    EXPECT_EQ(map_.cyclesFor(100.1), 5);
+    EXPECT_EQ(map_.cyclesFor(125.0), 5);
+}
+
+TEST_F(CycleMappingTest, BeyondHeadroomKeepsClimbing)
+{
+    EXPECT_EQ(map_.cyclesFor(125.1), 6);
+    EXPECT_EQ(map_.cyclesFor(150.0), 6);
+    EXPECT_EQ(map_.cyclesFor(151.0), 7);
+}
+
+TEST_F(CycleMappingTest, ClampedAtMax)
+{
+    EXPECT_EQ(map_.cyclesFor(1e6), 16);
+}
+
+TEST_F(CycleMappingTest, LatencyBudgetInvertsCycles)
+{
+    for (int cycles = 4; cycles <= 8; ++cycles) {
+        const double budget = map_.latencyBudget(cycles);
+        EXPECT_EQ(map_.cyclesFor(budget), cycles);
+        EXPECT_EQ(map_.cyclesFor(budget + 0.1), cycles + 1);
+    }
+}
+
+/** Property sweep over headroom values. */
+class HeadroomTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(HeadroomTest, MonotoneAndConsistent)
+{
+    CycleMapping m{200.0, GetParam(), 4, 32};
+    int prev = 0;
+    for (double d = 10.0; d < 900.0; d += 7.0) {
+        const int c = m.cyclesFor(d);
+        EXPECT_GE(c, prev);
+        EXPECT_GE(c, 4);
+        prev = c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Headrooms, HeadroomTest,
+                         ::testing::Values(0.1, 0.25, 0.5, 1.0));
+
+TEST(CycleMappingDeathTest, RequiresInitialization)
+{
+    CycleMapping m;
+    EXPECT_DEATH((void)m.cyclesFor(10.0), "not initialized");
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests of the spatial-correlation factor model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "variation/correlation.hh"
+
+namespace yac
+{
+namespace
+{
+
+TEST(Correlation, MeshRelations)
+{
+    EXPECT_EQ(CorrelationModel::meshRelation(0), MeshRelation::Self);
+    EXPECT_EQ(CorrelationModel::meshRelation(1),
+              MeshRelation::Horizontal);
+    EXPECT_EQ(CorrelationModel::meshRelation(2), MeshRelation::Vertical);
+    EXPECT_EQ(CorrelationModel::meshRelation(3), MeshRelation::Diagonal);
+}
+
+TEST(Correlation, PaperFactors)
+{
+    CorrelationModel m;
+    EXPECT_DOUBLE_EQ(m.wayFactor(0), 0.0);
+    EXPECT_DOUBLE_EQ(m.wayFactor(1), 0.375);
+    EXPECT_DOUBLE_EQ(m.wayFactor(2), 0.45);
+    EXPECT_DOUBLE_EQ(m.wayFactor(3), 0.7125);
+    EXPECT_DOUBLE_EQ(m.rowFactor(), 0.05);
+    EXPECT_DOUBLE_EQ(m.bitFactor(), 0.01);
+}
+
+TEST(Correlation, DiagonalLeastCorrelated)
+{
+    // Higher factor = less correlation (paper's convention).
+    CorrelationModel m;
+    EXPECT_GT(m.wayFactor(3), m.wayFactor(2));
+    EXPECT_GT(m.wayFactor(2), m.wayFactor(1));
+    EXPECT_GT(m.wayFactor(1), m.wayFactor(0));
+}
+
+TEST(Correlation, ScaleWayFactors)
+{
+    CorrelationModel m;
+    m.scaleWayFactors(0.5);
+    EXPECT_DOUBLE_EQ(m.wayFactor(1), 0.1875);
+    EXPECT_DOUBLE_EQ(m.wayFactor(2), 0.225);
+    EXPECT_DOUBLE_EQ(m.wayFactor(3), 0.35625);
+}
+
+TEST(Correlation, ScaleClampsToOne)
+{
+    CorrelationModel m;
+    m.scaleWayFactors(10.0);
+    EXPECT_DOUBLE_EQ(m.wayFactor(1), 1.0);
+    EXPECT_DOUBLE_EQ(m.wayFactor(2), 1.0);
+    EXPECT_DOUBLE_EQ(m.wayFactor(3), 1.0);
+}
+
+TEST(Correlation, Overrides)
+{
+    CorrelationModel m;
+    m.rowFactor(0.2);
+    m.bitFactor(0.1);
+    m.peripheralFactor(0.3);
+    m.regionSystematicFactor(0.8);
+    EXPECT_DOUBLE_EQ(m.rowFactor(), 0.2);
+    EXPECT_DOUBLE_EQ(m.bitFactor(), 0.1);
+    EXPECT_DOUBLE_EQ(m.peripheralFactor(), 0.3);
+    EXPECT_DOUBLE_EQ(m.regionSystematicFactor(), 0.8);
+}
+
+TEST(CorrelationDeathTest, FifthWayRejected)
+{
+    CorrelationModel m;
+    EXPECT_DEATH((void)m.wayFactor(4), "mesh");
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests of the CSV writer.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hh"
+
+namespace yac
+{
+namespace
+{
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+class CsvTest : public ::testing::Test
+{
+  protected:
+    std::string
+    tmpPath() const
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        return ::testing::TempDir() + "yac_csv_" +
+            std::string(info->name()) + ".csv";
+    }
+
+    void TearDown() override { std::remove(tmpPath().c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows)
+{
+    {
+        CsvWriter w(tmpPath(), {"x", "y"});
+        w.writeRow(std::vector<std::string>{"1", "2"});
+        w.writeRow(std::vector<double>{3.5, 4.25});
+    }
+    EXPECT_EQ(readAll(tmpPath()), "x,y\n1,2\n3.5,4.25\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST_F(CsvTest, EscapedFieldRoundTrips)
+{
+    {
+        CsvWriter w(tmpPath(), {"label"});
+        w.writeRow(std::vector<std::string>{"a,b"});
+    }
+    EXPECT_EQ(readAll(tmpPath()), "label\n\"a,b\"\n");
+}
+
+TEST_F(CsvTest, FullPrecisionDoubles)
+{
+    {
+        CsvWriter w(tmpPath(), {"v"});
+        w.writeRow(std::vector<double>{0.1234567891});
+    }
+    EXPECT_NE(readAll(tmpPath()).find("0.1234567891"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests of the dynamic-energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/energy.hh"
+#include "circuit/way_model.hh"
+
+namespace yac
+{
+namespace
+{
+
+class EnergyTest : public ::testing::Test
+{
+  protected:
+    CacheGeometry geom_;
+    Technology tech_ = defaultTechnology();
+    EnergyModel energy_{geom_, tech_};
+    WayModel wayModel_{geom_, tech_};
+    WayVariation nominal_ = wayModel_.nominalWay();
+};
+
+TEST_F(EnergyTest, StagesPositiveAndSumToTotal)
+{
+    const AccessEnergy e = energy_.accessEnergy(nominal_);
+    EXPECT_GT(e.addressBus, 0.0);
+    EXPECT_GT(e.decoder, 0.0);
+    EXPECT_GT(e.wordLine, 0.0);
+    EXPECT_GT(e.bitlines, 0.0);
+    EXPECT_GT(e.senseAmps, 0.0);
+    EXPECT_GT(e.output, 0.0);
+    EXPECT_NEAR(e.total(),
+                e.addressBus + e.decoder + e.wordLine + e.bitlines +
+                    e.senseAmps + e.output,
+                1e-12);
+}
+
+TEST_F(EnergyTest, AccessEnergyPlausible)
+{
+    // Data-array core only (no H-tree or tag arrays): a fraction of
+    // a pJ to a few pJ per way access at 45 nm.
+    const double pj = energy_.accessEnergy(nominal_).total();
+    EXPECT_GT(pj, 0.05);
+    EXPECT_LT(pj, 50.0);
+}
+
+TEST_F(EnergyTest, ColumnCircuitsDominateArrayEnergy)
+{
+    // The per-column structures (bitlines + sense amps, cols of
+    // them) outweigh the shared decoder chain.
+    const AccessEnergy e = energy_.accessEnergy(nominal_);
+    EXPECT_GT(e.bitlines + e.senseAmps, e.decoder);
+    EXPECT_GT(e.bitlines, e.decoder);
+}
+
+TEST_F(EnergyTest, WiderWiresCostMoreEnergy)
+{
+    WayVariation fat = nominal_;
+    for (auto &bank : fat.rowGroups) {
+        for (auto &g : bank)
+            g.ildThickness *= 0.6; // thinner ILD: more capacitance
+    }
+    EXPECT_GT(energy_.accessEnergy(fat).bitlines,
+              energy_.accessEnergy(nominal_).bitlines);
+}
+
+TEST_F(EnergyTest, PowerComposition)
+{
+    const double leakage = 3.0;
+    const double idle =
+        energy_.wayPower(nominal_, leakage, 0.0, 2.0);
+    EXPECT_DOUBLE_EQ(idle, leakage);
+    const double busy =
+        energy_.wayPower(nominal_, leakage, 0.25, 2.0);
+    const double expected_dynamic =
+        energy_.accessEnergy(nominal_).total() * 0.25 * 2.0;
+    EXPECT_NEAR(busy, leakage + expected_dynamic, 1e-9);
+}
+
+TEST_F(EnergyTest, PowerScalesWithFrequencyAndActivity)
+{
+    const double p1 = energy_.wayPower(nominal_, 0.0, 0.2, 1.0);
+    const double p2 = energy_.wayPower(nominal_, 0.0, 0.2, 2.0);
+    const double p3 = energy_.wayPower(nominal_, 0.0, 0.4, 1.0);
+    EXPECT_NEAR(p2, 2.0 * p1, 1e-9);
+    EXPECT_NEAR(p3, 2.0 * p1, 1e-9);
+}
+
+TEST_F(EnergyTest, BadActivityRejected)
+{
+    EXPECT_DEATH(
+        (void)energy_.wayPower(nominal_, 1.0, 1.5, 2.0), "activity");
+}
+
+} // namespace
+} // namespace yac

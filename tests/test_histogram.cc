@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests of the fixed-bin histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.hh"
+
+namespace yac
+{
+namespace
+{
+
+TEST(Histogram, BinAssignment)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(5.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.count(5), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderOverflow)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-0.1);
+    h.add(1.0); // hi edge counts as overflow
+    h.add(2.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinGeometry)
+{
+    Histogram h(10.0, 20.0, 5);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binLow(4), 18.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 11.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(4), 19.0);
+    EXPECT_EQ(h.numBins(), 5u);
+}
+
+TEST(Histogram, BoundaryGoesToUpperBin)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(3.0); // exactly on the edge between bins 2 and 3
+    EXPECT_EQ(h.count(3), 1u);
+    EXPECT_EQ(h.count(2), 0u);
+}
+
+TEST(Histogram, RenderContainsCounts)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(0.6);
+    h.add(1.5);
+    const std::string out = h.render(10);
+    EXPECT_NE(out.find("2"), std::string::npos);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Histogram, RenderEmptyIsSafe)
+{
+    Histogram h(0.0, 1.0, 3);
+    EXPECT_NO_THROW({ auto s = h.render(); (void)s; });
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Property tests of the rotated H-YAPD post-decoder: disabling one
+ * physical region removes exactly one way from every address, and
+ * every way loses exactly one address region -- the structure behind
+ * the paper's claim that H-YAPD's hit/miss behaviour equals a cache
+ * with one fewer way.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hyapd_decoder.hh"
+
+namespace yac
+{
+namespace
+{
+
+TEST(HYapdDecoder, AddressRegionPartition)
+{
+    HYapdDecoder d(128, 4);
+    EXPECT_EQ(d.setsPerRegion(), 32u);
+    EXPECT_EQ(d.addressRegion(0), 0u);
+    EXPECT_EQ(d.addressRegion(31), 0u);
+    EXPECT_EQ(d.addressRegion(32), 1u);
+    EXPECT_EQ(d.addressRegion(127), 3u);
+}
+
+TEST(HYapdDecoder, RotationMatchesFigure5)
+{
+    // Way w stores address region r in physical region (r + w) mod R:
+    // h-way 0 holds lines 0-31 of way 0, lines 96-127 of way 1, ...
+    HYapdDecoder d(128, 4);
+    EXPECT_EQ(d.physicalRegion(0, 0), 0u);
+    EXPECT_EQ(d.physicalRegion(1, 0), 1u);
+    EXPECT_EQ(d.physicalRegion(3, 0), 3u);
+    EXPECT_EQ(d.physicalRegion(1, 96), 0u); // region 3 + way 1
+    EXPECT_EQ(d.physicalRegion(0, 96), 3u);
+}
+
+/** Sweep every disabled region. */
+class DisabledRegionTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(DisabledRegionTest, EveryAddressLosesExactlyOneWay)
+{
+    const std::size_t disabled = GetParam();
+    HYapdDecoder d(128, 4);
+    for (std::size_t set = 0; set < 128; ++set) {
+        std::size_t usable = 0;
+        for (std::size_t w = 0; w < 4; ++w) {
+            if (d.wayUsable(w, set, disabled))
+                ++usable;
+        }
+        EXPECT_EQ(usable, 3u) << "set " << set;
+    }
+}
+
+TEST_P(DisabledRegionTest, EveryWayLosesExactlyOneRegion)
+{
+    const std::size_t disabled = GetParam();
+    HYapdDecoder d(128, 4);
+    for (std::size_t w = 0; w < 4; ++w) {
+        std::size_t lost_sets = 0;
+        for (std::size_t set = 0; set < 128; ++set) {
+            if (!d.wayUsable(w, set, disabled))
+                ++lost_sets;
+        }
+        EXPECT_EQ(lost_sets, 32u) << "way " << w;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Regions, DisabledRegionTest,
+                         ::testing::Values(0u, 1u, 2u, 3u));
+
+TEST(HYapdDecoder, NothingDisabledKeepsAllWays)
+{
+    HYapdDecoder d(128, 4);
+    const std::size_t no_region = ~std::size_t{0};
+    for (std::size_t set = 0; set < 128; set += 13) {
+        for (std::size_t w = 0; w < 4; ++w)
+            EXPECT_TRUE(d.wayUsable(w, set, no_region));
+    }
+}
+
+TEST(HYapdDecoder, DistinctWaysLoseDistinctAddressRegions)
+{
+    // For a fixed disabled physical region, the address region lost
+    // by way w differs for every w (the rotation is a bijection).
+    HYapdDecoder d(128, 4);
+    const std::size_t disabled = 2;
+    std::set<std::size_t> lost_regions;
+    for (std::size_t w = 0; w < 4; ++w) {
+        for (std::size_t set = 0; set < 128; ++set) {
+            if (!d.wayUsable(w, set, disabled))
+                lost_regions.insert(d.addressRegion(set) * 4 + w);
+        }
+    }
+    // 4 ways x 1 address region each = 4 distinct (region, way) pairs.
+    EXPECT_EQ(lost_regions.size(), 4u);
+}
+
+} // namespace
+} // namespace yac

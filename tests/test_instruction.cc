@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tests of the trace instruction record.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/instruction.hh"
+
+namespace yac
+{
+namespace
+{
+
+TEST(Instruction, ClassPredicates)
+{
+    TraceInst load;
+    load.op = OpClass::Load;
+    EXPECT_TRUE(load.isLoad());
+    EXPECT_TRUE(load.isMem());
+    EXPECT_FALSE(load.isStore());
+    EXPECT_FALSE(load.isBranch());
+
+    TraceInst store;
+    store.op = OpClass::Store;
+    EXPECT_TRUE(store.isStore());
+    EXPECT_TRUE(store.isMem());
+
+    TraceInst branch;
+    branch.op = OpClass::Branch;
+    EXPECT_TRUE(branch.isBranch());
+    EXPECT_FALSE(branch.isMem());
+}
+
+TEST(Instruction, LatenciesPositiveExceptLoads)
+{
+    EXPECT_EQ(opLatency(OpClass::IntAlu), 1);
+    EXPECT_EQ(opLatency(OpClass::IntMul), 3);
+    EXPECT_EQ(opLatency(OpClass::FpAlu), 2);
+    EXPECT_EQ(opLatency(OpClass::FpMul), 4);
+    EXPECT_EQ(opLatency(OpClass::Load), 0); // the cache decides
+    EXPECT_EQ(opLatency(OpClass::Branch), 1);
+}
+
+TEST(Instruction, NamesDistinct)
+{
+    std::set<std::string> names;
+    for (OpClass op : {OpClass::IntAlu, OpClass::IntMul, OpClass::FpAlu,
+                       OpClass::FpMul, OpClass::Load, OpClass::Store,
+                       OpClass::Branch}) {
+        names.insert(opClassName(op));
+    }
+    EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(Instruction, DefaultsAreInert)
+{
+    TraceInst i;
+    EXPECT_EQ(i.src1, kNoReg);
+    EXPECT_EQ(i.src2, kNoReg);
+    EXPECT_EQ(i.dst, kNoReg);
+    EXPECT_FALSE(i.mispredicted);
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * End-to-end yield-analysis integration: a real Monte Carlo
+ * population through every scheme, checking the logical dominance
+ * relations and the qualitative results of the paper's evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "yield/analysis.hh"
+#include "yield/monte_carlo.hh"
+#include "yield/schemes/hybrid.hh"
+#include "yield/schemes/hyapd.hh"
+#include "yield/schemes/naive_binning.hh"
+#include "yield/schemes/vaca.hh"
+#include "yield/schemes/yapd.hh"
+
+namespace yac
+{
+namespace
+{
+
+class YieldIntegrationTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        MonteCarlo mc;
+        result_ = new MonteCarloResult(mc.run({800, 2006}));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete result_;
+        result_ = nullptr;
+    }
+
+    void
+    SetUp() override
+    {
+        constraints_ = result_->constraints(ConstraintPolicy::nominal());
+        mapping_ = result_->cycleMapping(ConstraintPolicy::nominal());
+    }
+
+    static MonteCarloResult *result_;
+    YieldConstraints constraints_;
+    CycleMapping mapping_;
+};
+
+MonteCarloResult *YieldIntegrationTest::result_ = nullptr;
+
+TEST_F(YieldIntegrationTest, PerChipDominanceRelations)
+{
+    YapdScheme yapd;
+    VacaScheme vaca;
+    HybridScheme hybrid;
+    BaselineScheme base;
+    for (const CacheTiming &chip : result_->regular) {
+        const ChipAssessment a =
+            assessChip(chip, constraints_, mapping_);
+        const bool base_ok =
+            base.apply(chip, a, constraints_, mapping_).saved;
+        const bool yapd_ok =
+            yapd.apply(chip, a, constraints_, mapping_).saved;
+        const bool vaca_ok =
+            vaca.apply(chip, a, constraints_, mapping_).saved;
+        const bool hybrid_ok =
+            hybrid.apply(chip, a, constraints_, mapping_).saved;
+        // Every scheme saves at least the passing chips.
+        if (base_ok) {
+            EXPECT_TRUE(yapd_ok);
+            EXPECT_TRUE(vaca_ok);
+            EXPECT_TRUE(hybrid_ok);
+        }
+        // Hybrid dominates both of its constituents.
+        if (yapd_ok || vaca_ok) {
+            EXPECT_TRUE(hybrid_ok);
+        }
+    }
+}
+
+TEST_F(YieldIntegrationTest, HorizontalDominance)
+{
+    HYapdScheme hyapd;
+    HybridHScheme hybrid_h;
+    BaselineScheme base;
+    for (const CacheTiming &chip : result_->horizontal) {
+        const ChipAssessment a =
+            assessChip(chip, constraints_, mapping_);
+        if (base.apply(chip, a, constraints_, mapping_).saved) {
+            EXPECT_TRUE(
+                hyapd.apply(chip, a, constraints_, mapping_).saved);
+        }
+        if (hyapd.apply(chip, a, constraints_, mapping_).saved) {
+            EXPECT_TRUE(
+                hybrid_h.apply(chip, a, constraints_, mapping_).saved);
+        }
+    }
+}
+
+TEST_F(YieldIntegrationTest, PaperQualitativeResults)
+{
+    YapdScheme yapd;
+    VacaScheme vaca;
+    HybridScheme hybrid;
+    const LossTable t = buildLossTable(result_->regular, constraints_,
+                                       mapping_,
+                                       {&yapd, &vaca, &hybrid});
+    // The base parametric loss is substantial (paper: ~17%).
+    EXPECT_GT(t.baseTotal, 800 * 0.08);
+    EXPECT_LT(t.baseTotal, 800 * 0.30);
+    // YAPD roughly halves the loss or better; VACA cuts it less;
+    // Hybrid is the best of the three (Section 5.1 ordering).
+    const int yapd_l = t.schemes[0].total;
+    const int vaca_l = t.schemes[1].total;
+    const int hybrid_l = t.schemes[2].total;
+    EXPECT_LT(yapd_l, vaca_l);
+    EXPECT_LE(hybrid_l, yapd_l);
+    EXPECT_GT(t.yieldOf("Hybrid"), 0.90);
+    // YAPD nullifies the single-way delay row.
+    EXPECT_EQ(t.schemes[0].at(LossReason::Delay1), 0);
+}
+
+TEST_F(YieldIntegrationTest, HyapdBeatsYapdOnLeakage)
+{
+    // H-YAPD picks the leakiest horizontal region (correlated across
+    // ways), saving at least as many leakage-limited chips as YAPD
+    // saves on the same draws (paper: 26 vs 33 residual losses).
+    YapdScheme yapd;
+    const LossTable reg = buildLossTable(result_->regular, constraints_,
+                                         mapping_, {&yapd});
+    HYapdScheme hyapd;
+    const LossTable hor = buildLossTable(result_->horizontal,
+                                         constraints_, mapping_,
+                                         {&hyapd});
+    EXPECT_LE(hor.schemes[0].at(LossReason::Leakage),
+              reg.schemes[0].at(LossReason::Leakage) + 5);
+}
+
+TEST_F(YieldIntegrationTest, HorizontalArchLosesMoreAtBase)
+{
+    // The 2.5% slower H-YAPD layout fails the same absolute delay
+    // limit more often (362 vs 339 in the paper).
+    const LossTable reg =
+        buildLossTable(result_->regular, constraints_, mapping_, {});
+    const LossTable hor =
+        buildLossTable(result_->horizontal, constraints_, mapping_, {});
+    EXPECT_GE(hor.baseTotal, reg.baseTotal);
+}
+
+TEST_F(YieldIntegrationTest, StricterConstraintsLoseMore)
+{
+    const YieldConstraints relaxed =
+        result_->constraints(ConstraintPolicy::relaxed());
+    const YieldConstraints strict =
+        result_->constraints(ConstraintPolicy::strict());
+    const CycleMapping m_rel =
+        result_->cycleMapping(ConstraintPolicy::relaxed());
+    const CycleMapping m_str =
+        result_->cycleMapping(ConstraintPolicy::strict());
+    const LossTable rel =
+        buildLossTable(result_->regular, relaxed, m_rel, {});
+    const LossTable nom =
+        buildLossTable(result_->regular, constraints_, mapping_, {});
+    const LossTable str =
+        buildLossTable(result_->regular, strict, m_str, {});
+    EXPECT_LT(rel.baseTotal, nom.baseTotal);
+    EXPECT_LT(nom.baseTotal, str.baseTotal);
+}
+
+TEST_F(YieldIntegrationTest, DeeperBuffersOnlyHelp)
+{
+    // The paper's discarded extension: 2-entry buffers (6/7-cycle
+    // ways) must save a superset of the 1-entry VACA.
+    VacaScheme depth1(1);
+    VacaScheme depth2(2);
+    const LossTable t = buildLossTable(result_->regular, constraints_,
+                                       mapping_, {&depth1, &depth2});
+    EXPECT_LE(t.schemes[1].total, t.schemes[0].total);
+}
+
+TEST_F(YieldIntegrationTest, BinningOrderedByReach)
+{
+    NaiveBinningScheme bin5(5);
+    NaiveBinningScheme bin6(6);
+    VacaScheme vaca;
+    const LossTable t = buildLossTable(
+        result_->regular, constraints_, mapping_, {&bin5, &bin6, &vaca});
+    // Bin@6 saves a superset of Bin@5; Bin@5 saves exactly what VACA
+    // saves (both tolerate <= 5-cycle ways, neither fixes leakage).
+    EXPECT_LE(t.schemes[1].total, t.schemes[0].total);
+    EXPECT_EQ(t.schemes[0].total, t.schemes[2].total);
+}
+
+} // namespace
+} // namespace yac

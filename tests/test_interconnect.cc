@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests of the interconnect R/C and Elmore-delay model, including the
+ * paper's coupled-line dependences (wider line -> narrower space ->
+ * more sidewall coupling).
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/interconnect.hh"
+
+namespace yac
+{
+namespace
+{
+
+class WireTest : public ::testing::Test
+{
+  protected:
+    Technology tech_ = defaultTechnology();
+    WireModel wire_{tech_};
+    ProcessParams nominal_ = VariationTable().nominalParams();
+};
+
+TEST_F(WireTest, ResistanceInverseInCrossSection)
+{
+    ProcessParams wide = nominal_;
+    wide.metalWidth *= 2.0;
+    EXPECT_LT(wire_.resistancePerUm(wide),
+              wire_.resistancePerUm(nominal_));
+
+    ProcessParams thick = nominal_;
+    thick.metalThickness *= 2.0;
+    EXPECT_LT(wire_.resistancePerUm(thick),
+              wire_.resistancePerUm(nominal_));
+}
+
+TEST_F(WireTest, ThinnerDielectricMoreCapacitance)
+{
+    ProcessParams thin_ild = nominal_;
+    thin_ild.ildThickness *= 0.7;
+    EXPECT_GT(wire_.capacitancePerUm(thin_ild),
+              wire_.capacitancePerUm(nominal_));
+}
+
+TEST_F(WireTest, WiderLineCouplesMore)
+{
+    // Pitch is fixed: a wider line narrows the space and raises the
+    // sidewall term even as plate capacitance also grows.
+    ProcessParams wide = nominal_;
+    wide.metalWidth *= 1.3;
+    EXPECT_GT(wire_.capacitancePerUm(wide),
+              wire_.capacitancePerUm(nominal_));
+}
+
+TEST_F(WireTest, CouplingFactorRaisesCap)
+{
+    EXPECT_GT(wire_.capacitancePerUm(nominal_, 2.0),
+              wire_.capacitancePerUm(nominal_, 1.0));
+}
+
+TEST_F(WireTest, TotalsScaleWithLength)
+{
+    EXPECT_NEAR(wire_.wireCap(nominal_, 100.0),
+                100.0 * wire_.capacitancePerUm(nominal_), 1e-9);
+    EXPECT_NEAR(wire_.wireRes(nominal_, 100.0),
+                100.0 * wire_.resistancePerUm(nominal_), 1e-12);
+}
+
+TEST_F(WireTest, ElmoreDelayMonotoneInLength)
+{
+    const double d50 = wire_.elmoreDelay(nominal_, 0.2, 50.0, 5.0);
+    const double d100 = wire_.elmoreDelay(nominal_, 0.2, 100.0, 5.0);
+    const double d200 = wire_.elmoreDelay(nominal_, 0.2, 200.0, 5.0);
+    EXPECT_GT(d100, d50);
+    EXPECT_GT(d200, d100);
+    // Distributed RC grows superlinearly with length.
+    EXPECT_GT(d200 - d100, d100 - d50);
+}
+
+TEST_F(WireTest, ElmoreZeroLengthIsDriverOnly)
+{
+    const double d = wire_.elmoreDelay(nominal_, 0.5, 0.0, 10.0);
+    EXPECT_NEAR(d, 0.69 * 0.5 * 10.0, 1e-9);
+}
+
+TEST_F(WireTest, ElmoreMonotoneInDriverAndLoad)
+{
+    EXPECT_GT(wire_.elmoreDelay(nominal_, 0.4, 100.0, 5.0),
+              wire_.elmoreDelay(nominal_, 0.2, 100.0, 5.0));
+    EXPECT_GT(wire_.elmoreDelay(nominal_, 0.2, 100.0, 10.0),
+              wire_.elmoreDelay(nominal_, 0.2, 100.0, 5.0));
+}
+
+TEST_F(WireTest, ExtremeDrawsStayFinite)
+{
+    ProcessParams extreme = nominal_;
+    extreme.metalWidth = 0.49; // nearly closes the space
+    extreme.ildThickness = 1e-6;
+    EXPECT_GT(wire_.capacitancePerUm(extreme), 0.0);
+    EXPECT_LT(wire_.capacitancePerUm(extreme), 1e3);
+    extreme.metalWidth = 1e-6;
+    extreme.metalThickness = 1e-6;
+    EXPECT_LT(wire_.resistancePerUm(extreme), 1e3);
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Death tests for the panic/fatal/assert helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+namespace
+{
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(yac_panic("boom ", 42), "panic: boom 42");
+}
+
+TEST(LoggingDeathTest, FatalExits)
+{
+    EXPECT_EXIT(yac_fatal("bad config"),
+                ::testing::ExitedWithCode(1), "fatal: bad config");
+}
+
+TEST(LoggingDeathTest, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(yac_assert(1 == 2, "math broke"),
+                 "assertion '1 == 2' failed: math broke");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    yac_assert(2 + 2 == 4, "never shown");
+    SUCCEED();
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    yac_warn("just a warning ", 1);
+    yac_inform("status ", 2);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests of the Monte Carlo driver: determinism, substream stability,
+ * population statistics and constraint derivation.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/statistics.hh"
+#include "yield/monte_carlo.hh"
+
+namespace yac
+{
+namespace
+{
+
+TEST(MonteCarlo, DeterministicInSeed)
+{
+    MonteCarlo mc;
+    const MonteCarloResult a = mc.run({100, 7});
+    const MonteCarloResult b = mc.run({100, 7});
+    ASSERT_EQ(a.regular.size(), 100u);
+    for (std::size_t i = 0; i < 100; i += 17) {
+        EXPECT_DOUBLE_EQ(a.regular[i].delay(), b.regular[i].delay());
+        EXPECT_DOUBLE_EQ(a.regular[i].leakage(),
+                         b.regular[i].leakage());
+    }
+}
+
+TEST(MonteCarlo, ChipPrefixStableUnderPopulationSize)
+{
+    // Chip i is identical whether 50 or 200 chips are drawn -- the
+    // per-chip substreams decouple the draws.
+    MonteCarlo mc;
+    const MonteCarloResult small = mc.run({50, 11});
+    const MonteCarloResult large = mc.run({200, 11});
+    for (std::size_t i = 0; i < 50; i += 7) {
+        EXPECT_DOUBLE_EQ(small.regular[i].delay(),
+                         large.regular[i].delay());
+    }
+}
+
+TEST(MonteCarlo, DifferentSeedsDiffer)
+{
+    MonteCarlo mc;
+    const MonteCarloResult a = mc.run({50, 1});
+    const MonteCarloResult b = mc.run({50, 2});
+    EXPECT_NE(a.regular[0].delay(), b.regular[0].delay());
+}
+
+TEST(MonteCarlo, HorizontalLayoutSlowerByFactor)
+{
+    MonteCarlo mc;
+    const MonteCarloResult r = mc.run({50, 3});
+    const double factor = mc.technology().hyapdDelayFactor;
+    for (std::size_t i = 0; i < 50; ++i) {
+        EXPECT_NEAR(r.horizontal[i].delay() / r.regular[i].delay(),
+                    factor, 1e-9);
+    }
+    EXPECT_NEAR(r.horizontalStats.delayMean / r.regularStats.delayMean,
+                factor, 1e-6);
+}
+
+TEST(MonteCarlo, StatsAreConsistent)
+{
+    MonteCarlo mc;
+    const MonteCarloResult r = mc.run({300, 5});
+    EXPECT_GT(r.regularStats.delayMean, 0.0);
+    EXPECT_GT(r.regularStats.delaySigma, 0.0);
+    EXPECT_GT(r.regularStats.leakMean, 0.0);
+    // The leakage distribution is heavily right-skewed at 45 nm.
+    EXPECT_GT(r.regularStats.leakSigma, r.regularStats.leakMean * 0.5);
+}
+
+TEST(MonteCarlo, ConstraintsFromRegularPopulation)
+{
+    MonteCarlo mc;
+    const MonteCarloResult r = mc.run({200, 9});
+    const YieldConstraints nom =
+        r.constraints(ConstraintPolicy::nominal());
+    EXPECT_NEAR(nom.delayLimitPs,
+                r.regularStats.delayMean + r.regularStats.delaySigma,
+                1e-9);
+    EXPECT_NEAR(nom.leakageLimitMw, 3.0 * r.regularStats.leakMean,
+                1e-9);
+    const CycleMapping m = r.cycleMapping(ConstraintPolicy::nominal());
+    EXPECT_DOUBLE_EQ(m.delayLimitPs, nom.delayLimitPs);
+    EXPECT_EQ(m.cyclesFor(nom.delayLimitPs), 4);
+}
+
+TEST(MonteCarlo, FastChipsLeakMore)
+{
+    // Figure 8's inverse relation: latency and leakage are negatively
+    // correlated (low V_t / short L is fast and leaky).
+    MonteCarlo mc;
+    const MonteCarloResult r = mc.run({400, 13});
+    std::vector<double> delays, leaks;
+    for (const CacheTiming &chip : r.regular) {
+        delays.push_back(chip.delay());
+        leaks.push_back(std::log(chip.leakage()));
+    }
+    EXPECT_LT(pearsonCorrelation(delays, leaks), -0.3);
+}
+
+TEST(MonteCarloDeathTest, NeedsTwoChips)
+{
+    MonteCarlo mc;
+    EXPECT_DEATH((void)mc.run({1, 1}), "at least two");
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests of the whole-chip multi-cache yield composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "yield/multi_cache.hh"
+#include "yield/schemes/hybrid.hh"
+
+namespace yac
+{
+namespace
+{
+
+std::vector<ChipComponent>
+l1iPlusL1d()
+{
+    ChipComponent l1d;
+    l1d.name = "L1D";
+    l1d.geometry = CacheGeometry(); // 16 KB / 4-way / 32 B
+    l1d.baseCycles = 4;
+
+    ChipComponent l1i;
+    l1i.name = "L1I";
+    l1i.geometry = CacheGeometry();
+    l1i.geometry.blockBytes = 64;
+    l1i.baseCycles = 2;
+
+    return {l1d, l1i};
+}
+
+class MultiCacheTest : public ::testing::Test
+{
+  protected:
+    MultiCacheYield chip_{l1iPlusL1d(), defaultTechnology()};
+    HybridScheme hybrid_;
+};
+
+TEST_F(MultiCacheTest, CompositionBoundsSingleComponentYield)
+{
+    const MultiCacheReport r = chip_.run(
+        600, 11, {nullptr, nullptr}, ConstraintPolicy::nominal());
+    EXPECT_EQ(r.chips, 600u);
+    // The chip passes only if both components do: chip yield is at
+    // most each component's own yield.
+    for (std::size_t c = 0; c < 2; ++c) {
+        const double comp_yield = 1.0 -
+            static_cast<double>(r.componentBaseFail[c]) / 600.0;
+        EXPECT_LE(r.baseYield(), comp_yield + 1e-12);
+    }
+    EXPECT_GT(r.baseYield(), 0.4);
+    EXPECT_LT(r.baseYield(), 1.0);
+}
+
+TEST_F(MultiCacheTest, SharedDieMakesFailuresCorrelated)
+{
+    // If component failures were independent, chip yield would be
+    // the product of component yields; the shared die draw makes
+    // them co-fail, so the composed yield exceeds the product.
+    const MultiCacheReport r = chip_.run(
+        1200, 12, {nullptr, nullptr}, ConstraintPolicy::nominal());
+    const double y0 = 1.0 -
+        static_cast<double>(r.componentBaseFail[0]) / 1200.0;
+    const double y1 = 1.0 -
+        static_cast<double>(r.componentBaseFail[1]) / 1200.0;
+    EXPECT_GT(r.baseYield(), y0 * y1);
+}
+
+TEST_F(MultiCacheTest, SchemesRaiseChipYield)
+{
+    const MultiCacheReport plain = chip_.run(
+        600, 13, {nullptr, nullptr}, ConstraintPolicy::nominal());
+    const MultiCacheReport saved = chip_.run(
+        600, 13, {&hybrid_, &hybrid_}, ConstraintPolicy::nominal());
+    EXPECT_EQ(plain.basePass, saved.basePass);
+    EXPECT_GT(saved.schemeYield(), plain.schemeYield());
+    EXPECT_GE(saved.shippable, saved.basePass);
+    for (std::size_t c = 0; c < 2; ++c)
+        EXPECT_LE(saved.componentUnsaved[c],
+                  saved.componentBaseFail[c]);
+}
+
+TEST_F(MultiCacheTest, SchemeOnOneComponentOnly)
+{
+    const MultiCacheReport one = chip_.run(
+        600, 14, {&hybrid_, nullptr}, ConstraintPolicy::nominal());
+    const MultiCacheReport both = chip_.run(
+        600, 14, {&hybrid_, &hybrid_}, ConstraintPolicy::nominal());
+    EXPECT_LE(one.shippable, both.shippable);
+}
+
+TEST_F(MultiCacheTest, DeterministicInSeed)
+{
+    const MultiCacheReport a = chip_.run(
+        300, 15, {&hybrid_, &hybrid_}, ConstraintPolicy::nominal());
+    const MultiCacheReport b = chip_.run(
+        300, 15, {&hybrid_, &hybrid_}, ConstraintPolicy::nominal());
+    EXPECT_EQ(a.basePass, b.basePass);
+    EXPECT_EQ(a.shippable, b.shippable);
+}
+
+TEST_F(MultiCacheTest, MismatchedSchemeCountRejected)
+{
+    EXPECT_DEATH((void)chip_.run(100, 1, {&hybrid_},
+                                 ConstraintPolicy::nominal()),
+                 "one scheme slot");
+}
+
+} // namespace
+} // namespace yac

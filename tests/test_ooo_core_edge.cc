@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Edge-case tests of the out-of-order core: event-wheel wraparound
+ * under memory-latency loads, replay chains behind misses, ROB
+ * back-pressure, long-run stability and measurement-window math.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/memory_hierarchy.hh"
+#include "sim/ooo_core.hh"
+#include "util/rng.hh"
+#include "workload/instruction.hh"
+
+namespace yac
+{
+namespace
+{
+
+/** Pseudo-random but deterministic mixed workload source. */
+class MixedTrace : public TraceSource
+{
+  public:
+    explicit MixedTrace(std::uint64_t seed, double load_frac = 0.3,
+                        double far_frac = 0.05)
+        : rng_(seed), loadFrac_(load_frac), farFrac_(far_frac)
+    {
+    }
+
+    TraceInst
+    next() override
+    {
+        TraceInst inst;
+        inst.pc = 0x400000 + (rng_.uniformInt(4096) & ~3ull);
+        if (rng_.uniform() < loadFrac_) {
+            inst.op = OpClass::Load;
+            inst.dst = static_cast<std::int16_t>(rng_.uniformInt(32));
+            inst.src1 =
+                static_cast<std::int16_t>(rng_.uniformInt(32));
+            // Mostly hot, some far (miss to memory: 375 cycles).
+            inst.addr = rng_.uniform() < farFrac_
+                ? 0x50000000 + rng_.uniformInt(1 << 26)
+                : 0x7fff0000 + rng_.uniformInt(4096);
+        } else {
+            inst.op = OpClass::IntAlu;
+            inst.dst = static_cast<std::int16_t>(rng_.uniformInt(32));
+            inst.src1 =
+                static_cast<std::int16_t>(rng_.uniformInt(32));
+            inst.src2 =
+                static_cast<std::int16_t>(rng_.uniformInt(32));
+        }
+        return inst;
+    }
+
+  private:
+    Rng rng_;
+    double loadFrac_;
+    double farFrac_;
+};
+
+TEST(OooCoreEdge, SurvivesMemoryLatencyWheelWrap)
+{
+    // 375-cycle memory completions repeatedly cross the event-wheel
+    // modulus; the core must neither lose events nor deadlock.
+    MemoryHierarchy mem(HierarchyParams::baseline());
+    MixedTrace trace(1, 0.35, 0.20); // very miss-heavy
+    OooCore core(CoreParams(), mem, trace);
+    core.run(100000);
+    // Commit-width batching may overshoot by up to commitWidth-1.
+    EXPECT_GE(core.committedTotal(), 100000u);
+    EXPECT_LE(core.committedTotal(), 100003u);
+    EXPECT_GT(mem.l2().stats().misses, 100u);
+}
+
+TEST(OooCoreEdge, ReplayChainsBehindMissesResolve)
+{
+    // Every load feeds the next: a miss replays the whole chain; the
+    // core must make forward progress and count replays.
+    MemoryHierarchy mem(HierarchyParams::baseline());
+    class ChainTrace : public TraceSource
+    {
+      public:
+        TraceInst
+        next() override
+        {
+            TraceInst inst;
+            inst.pc = 0x400000;
+            if (++n_ % 2 == 0) {
+                inst.op = OpClass::Load;
+                inst.dst = 1;
+                inst.src1 = 2;
+                inst.addr = 0x50000000 + (n_ % 64) * 4096;
+            } else {
+                inst.op = OpClass::IntAlu;
+                inst.dst = 2;
+                inst.src1 = 1;
+                inst.src2 = 1;
+            }
+            return inst;
+        }
+
+      private:
+        std::uint64_t n_ = 0;
+    } trace;
+    OooCore core(CoreParams(), mem, trace);
+    core.run(5000);
+    EXPECT_EQ(core.committedTotal(), 5000u);
+    EXPECT_GT(core.stats().replays, 100u);
+}
+
+TEST(OooCoreEdge, RobBackPressureBoundsOccupancy)
+{
+    // With far misses at the head, occupancy presses against the ROB
+    // limit but never exceeds it.
+    MemoryHierarchy mem(HierarchyParams::baseline());
+    MixedTrace trace(2, 0.3, 0.10);
+    OooCore core(CoreParams(), mem, trace);
+    core.run(2000); // warm
+    core.beginMeasurement();
+    core.run(30000);
+    const SimStats s = core.stats();
+    EXPECT_LE(s.avgRobOccupancy(), 256.0);
+    EXPECT_GT(s.avgRobOccupancy(), 64.0);
+    EXPECT_LE(s.avgIqOccupancy(), 128.0);
+}
+
+TEST(OooCoreEdge, TinyStructuresStillCorrect)
+{
+    CoreParams tiny;
+    tiny.iqSize = 4;
+    tiny.robSize = 8;
+    tiny.issueWidth = 1;
+    tiny.dispatchWidth = 1;
+    tiny.commitWidth = 1;
+    MemoryHierarchy mem(HierarchyParams::baseline());
+    MixedTrace trace(3);
+    OooCore core(tiny, mem, trace);
+    core.run(5000);
+    EXPECT_EQ(core.committedTotal(), 5000u);
+    // Width-1 machine: at least one cycle per instruction.
+    EXPECT_GE(core.now(), 5000u);
+}
+
+TEST(OooCoreEdge, BackToBackMeasurementWindows)
+{
+    MemoryHierarchy mem(HierarchyParams::baseline());
+    MixedTrace trace(4);
+    OooCore core(CoreParams(), mem, trace);
+    core.run(1000);
+    core.beginMeasurement();
+    core.run(10000);
+    const SimStats first = core.stats();
+    core.beginMeasurement();
+    core.run(10000);
+    const SimStats second = core.stats();
+    EXPECT_GE(first.instructions, 10000u);
+    EXPECT_GE(second.instructions, 10000u);
+    // Windows are disjoint: cache accesses were reset in between.
+    EXPECT_LT(second.l1d.accesses, first.l1d.accesses + 10000);
+}
+
+TEST(OooCoreEdge, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        MemoryHierarchy mem(HierarchyParams::baseline());
+        MixedTrace trace(5);
+        OooCore core(CoreParams(), mem, trace);
+        core.run(40000);
+        return core.now();
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace
+} // namespace yac

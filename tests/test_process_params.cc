@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests of the Table 1 parameter specification and sampling.
+ */
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+#include "util/statistics.hh"
+#include "variation/process_params.hh"
+
+namespace yac
+{
+namespace
+{
+
+TEST(VariationTable, Table1Defaults)
+{
+    VariationTable t;
+    EXPECT_DOUBLE_EQ(t.spec(ProcessParam::GateLength).nominal, 45.0);
+    EXPECT_DOUBLE_EQ(t.spec(ProcessParam::GateLength).threeSigmaPct,
+                     0.10);
+    EXPECT_DOUBLE_EQ(t.spec(ProcessParam::ThresholdVoltage).nominal,
+                     220.0);
+    EXPECT_DOUBLE_EQ(
+        t.spec(ProcessParam::ThresholdVoltage).threeSigmaPct, 0.18);
+    EXPECT_DOUBLE_EQ(t.spec(ProcessParam::MetalWidth).nominal, 0.25);
+    EXPECT_DOUBLE_EQ(t.spec(ProcessParam::MetalWidth).threeSigmaPct,
+                     0.33);
+    EXPECT_DOUBLE_EQ(t.spec(ProcessParam::MetalThickness).nominal,
+                     0.55);
+    EXPECT_DOUBLE_EQ(t.spec(ProcessParam::IldThickness).nominal, 0.15);
+    EXPECT_DOUBLE_EQ(t.spec(ProcessParam::IldThickness).threeSigmaPct,
+                     0.35);
+}
+
+TEST(VariationTable, SigmaIsThirdOfRange)
+{
+    VariationTable t;
+    const VariationSpec &vt = t.spec(ProcessParam::ThresholdVoltage);
+    EXPECT_NEAR(vt.sigma(), 220.0 * 0.18 / 3.0, 1e-12);
+}
+
+TEST(ProcessParams, GetSetRoundTrip)
+{
+    ProcessParams p;
+    double v = 1.0;
+    for (ProcessParam param : kAllProcessParams) {
+        p.set(param, v);
+        EXPECT_DOUBLE_EQ(p.get(param), v);
+        v += 1.0;
+    }
+}
+
+TEST(ProcessParams, NamesDistinct)
+{
+    std::set<std::string> names;
+    for (ProcessParam param : kAllProcessParams)
+        names.insert(processParamName(param));
+    EXPECT_EQ(names.size(), kNumProcessParams);
+}
+
+TEST(VariationTable, NominalParamsMatchSpecs)
+{
+    VariationTable t;
+    const ProcessParams nominal = t.nominalParams();
+    for (ProcessParam p : kAllProcessParams)
+        EXPECT_DOUBLE_EQ(nominal.get(p), t.spec(p).nominal);
+}
+
+TEST(VariationTable, SampleAroundZeroScalePinsToMean)
+{
+    VariationTable t;
+    Rng rng(1);
+    ProcessParams mean = t.nominalParams();
+    mean.gateLength = 47.0;
+    const ProcessParams draw = t.sampleAround(rng, mean, 0.0);
+    EXPECT_EQ(draw, mean);
+}
+
+TEST(VariationTable, SampleAroundStatistics)
+{
+    VariationTable t;
+    Rng rng(2);
+    const ProcessParams mean = t.nominalParams();
+    RunningStats vt_stats;
+    for (int i = 0; i < 50000; ++i) {
+        const ProcessParams d = t.sampleAround(rng, mean, 1.0);
+        vt_stats.add(d.thresholdVoltage);
+    }
+    const double expected_sigma =
+        t.spec(ProcessParam::ThresholdVoltage).sigma();
+    EXPECT_NEAR(vt_stats.mean(), 220.0, 0.3);
+    // Truncation at 3 sigma trims a little variance.
+    EXPECT_NEAR(vt_stats.stddev(), expected_sigma,
+                expected_sigma * 0.05);
+}
+
+TEST(VariationTable, SampleRespectsTruncation)
+{
+    VariationTable t;
+    Rng rng(3);
+    const ProcessParams mean = t.nominalParams();
+    for (int i = 0; i < 20000; ++i) {
+        const ProcessParams d = t.sampleAround(rng, mean, 1.0);
+        for (ProcessParam p : kAllProcessParams) {
+            const double sigma = t.spec(p).sigma();
+            ASSERT_LE(std::abs(d.get(p) - mean.get(p)),
+                      3.0 * sigma + 1e-9);
+            ASSERT_GT(d.get(p), 0.0);
+        }
+    }
+}
+
+TEST(VariationTable, SpecOverride)
+{
+    VariationTable t;
+    t.spec(ProcessParam::GateLength, {32.0, 0.15});
+    EXPECT_DOUBLE_EQ(t.spec(ProcessParam::GateLength).nominal, 32.0);
+    EXPECT_DOUBLE_EQ(t.nominalParams().gateLength, 32.0);
+}
+
+TEST(VariationTableDeathTest, RejectsBadSpec)
+{
+    VariationTable t;
+    EXPECT_DEATH(t.spec(ProcessParam::GateLength, {-1.0, 0.1}),
+                 "nominal");
+    EXPECT_DEATH(t.spec(ProcessParam::GateLength, {45.0, 1.5}),
+                 "3-sigma");
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests of the SPEC2000-like benchmark profiles, including a
+ * parameterized sanity sweep over the entire suite.
+ */
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "workload/profile.hh"
+
+namespace yac
+{
+namespace
+{
+
+TEST(Profiles, SuiteComposition)
+{
+    const auto &suite = spec2000Profiles();
+    EXPECT_EQ(suite.size(), 24u);
+    int fp = 0, integer = 0;
+    std::set<std::string> names;
+    for (const BenchmarkProfile &p : suite) {
+        (p.isFp ? fp : integer) += 1;
+        names.insert(p.name);
+    }
+    EXPECT_EQ(fp, 13);     // the paper simulates 13 FP apps
+    EXPECT_EQ(integer, 11); // ... and 11 integer apps
+    EXPECT_EQ(names.size(), 24u);
+}
+
+TEST(Profiles, LookupByName)
+{
+    EXPECT_EQ(profileByName("mcf").name, "mcf");
+    EXPECT_TRUE(profileByName("swim").isFp);
+    EXPECT_FALSE(profileByName("gcc").isFp);
+}
+
+TEST(ProfilesDeathTest, UnknownNameFatals)
+{
+    EXPECT_EXIT((void)profileByName("quake3"),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+TEST(Profiles, MemoryBoundCharacters)
+{
+    // mcf and art are the memory-bound poles of the suite.
+    const double mcf = profileByName("mcf").expectedL1MissRate();
+    const double gzip = profileByName("gzip").expectedL1MissRate();
+    const double art = profileByName("art").expectedL1MissRate();
+    EXPECT_GT(mcf, 4.0 * gzip);
+    EXPECT_GT(art, 3.0 * gzip);
+}
+
+/** Sanity sweep over every profile. */
+class ProfileSweep
+    : public ::testing::TestWithParam<BenchmarkProfile>
+{
+};
+
+TEST_P(ProfileSweep, FractionsWellFormed)
+{
+    const BenchmarkProfile &p = GetParam();
+    EXPECT_GT(p.loadFrac, 0.0);
+    EXPECT_LT(p.loadFrac, 0.5);
+    EXPECT_GE(p.storeFrac, 0.0);
+    EXPECT_GT(p.branchFrac, 0.0);
+    EXPECT_GT(p.computeFrac(), 0.2);
+    EXPECT_GT(p.hotFrac(), 0.3);
+    EXPECT_GE(p.mispredictRate, 0.0);
+    EXPECT_LE(p.mispredictRate, 0.2);
+}
+
+TEST_P(ProfileSweep, LocalityWellFormed)
+{
+    const BenchmarkProfile &p = GetParam();
+    EXPECT_GE(p.streamFrac, 0.0);
+    EXPECT_GE(p.l2Frac, 0.0);
+    EXPECT_GE(p.farFrac, 0.0);
+    // Expected L1 miss rates within the realistic SPEC2000 band.
+    EXPECT_GT(p.expectedL1MissRate(), 0.001);
+    EXPECT_LT(p.expectedL1MissRate(), 0.35);
+    EXPECT_GE(p.workingSetKb, 512u);
+    EXPECT_GE(p.l2RegionKb, 64u);
+    EXPECT_LE(p.l2RegionKb, 512u); // must fit the 512 KB L2
+}
+
+TEST_P(ProfileSweep, DependencyKnobsWellFormed)
+{
+    const BenchmarkProfile &p = GetParam();
+    EXPECT_GT(p.depP, 0.5);
+    EXPECT_LE(p.depP, 1.0);
+    EXPECT_GE(p.chaseFrac, 0.0);
+    EXPECT_LE(p.chaseFrac, 1.0);
+    EXPECT_GE(p.parallelChains, 1u);
+    EXPECT_LE(p.parallelChains, 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, ProfileSweep,
+    ::testing::ValuesIn(spec2000Profiles()),
+    [](const ::testing::TestParamInfo<BenchmarkProfile> &info) {
+        return info.param.name;
+    });
+
+} // namespace
+} // namespace yac

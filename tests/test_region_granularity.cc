@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests of the generalized horizontal-region granularity: the
+ * circuit-side region exclusion at arbitrary region counts, its
+ * consistency with the bank-granular baseline, the finer-grained
+ * H-YAPD scheme, and the functional cache with more regions than
+ * ways.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc_cache.hh"
+#include "chip_fixture.hh"
+#include "util/rng.hh"
+#include "yield/analysis.hh"
+#include "yield/monte_carlo.hh"
+#include "yield/schemes/hyapd.hh"
+
+namespace yac
+{
+namespace
+{
+
+TEST(RegionGranularity, BankCountReproducesBankExclusion)
+{
+    const CacheTiming chip = test::makeChip({90, 95, 92, 91},
+                                            {8, 8, 8, 8});
+    for (std::size_t r = 0; r < 4; ++r) {
+        EXPECT_DOUBLE_EQ(chip.delayExcludingRegionOf(r, 4),
+                         chip.delayExcludingRegion(r));
+        EXPECT_DOUBLE_EQ(chip.leakageExcludingRegionOf(r, 4, 0.5),
+                         chip.leakageExcludingRegion(r, 0.5));
+    }
+}
+
+TEST(RegionGranularity, FinerRegionsExciseLess)
+{
+    // A chip whose violation lives in one bank: excluding the whole
+    // bank (4 regions) and excluding just the hot half of it (8
+    // regions) both cure the delay, but the finer cut sheds less
+    // leakage.
+    CacheTiming chip;
+    for (int w = 0; w < 4; ++w)
+        chip.ways.push_back(test::makeWay(90.0, 8.0, 1, 130.0));
+    // Bank 1 = paths [2, 4) = 8-region regions 2 and 3.
+    EXPECT_LE(chip.delayExcludingRegionOf(1, 4), 90.0 + 1e-9);
+    const double both_halves =
+        std::max(chip.delayExcludingRegionOf(2, 8),
+                 chip.delayExcludingRegionOf(3, 8));
+    EXPECT_GT(both_halves, 100.0); // one half alone leaves the other
+    const double coarse = chip.leakageExcludingRegionOf(1, 4, 0.5);
+    const double fine = chip.leakageExcludingRegionOf(2, 8, 0.5);
+    EXPECT_GT(fine, coarse); // finer cut removes less leakage
+}
+
+TEST(RegionGranularity, WayLevelHelpersValidate)
+{
+    const WayTiming way = test::makeWay(90.0, 8.0);
+    EXPECT_DEATH((void)way.delayExcludingRegion(0, 3), "divide");
+    EXPECT_DEATH((void)way.delayExcludingRegion(5, 4),
+                 "out of range");
+    EXPECT_DEATH((void)way.regionCellLeakage(0, 64), "divide");
+}
+
+TEST(RegionGranularity, RegionLeakageSumsToCellLeakage)
+{
+    const WayTiming way = test::makeWay(90.0, 12.0);
+    for (std::size_t regions : {2u, 4u, 8u}) {
+        double sum = 0.0;
+        for (std::size_t r = 0; r < regions; ++r)
+            sum += way.regionCellLeakage(r, regions);
+        EXPECT_NEAR(sum, way.cellLeakage(), 1e-9);
+    }
+}
+
+TEST(RegionGranularity, FinerHyapdTradesLeakageForDelayCoverage)
+{
+    // On a real population: finer regions cure fewer leakage chips
+    // (thinner slice) but the delay-cure coverage stays comparable
+    // when violations are region-localized.
+    MonteCarlo mc;
+    const MonteCarloResult result = mc.run({600, 5});
+    const YieldConstraints c =
+        result.constraints(ConstraintPolicy::nominal());
+    const CycleMapping m =
+        result.cycleMapping(ConstraintPolicy::nominal());
+    HYapdScheme coarse(0.5, 1, 4);
+    HYapdScheme fine(0.5, 1, 16);
+    const LossTable t = buildLossTable(result.horizontal, c, m,
+                                       {&coarse, &fine});
+    // The thinner power-down saves fewer leakage-limited chips.
+    EXPECT_GE(t.schemes[1].at(LossReason::Leakage),
+              t.schemes[0].at(LossReason::Leakage));
+    // Both save a nontrivial share overall.
+    EXPECT_LT(t.schemes[0].total, t.baseTotal);
+    EXPECT_LT(t.schemes[1].total, t.baseTotal);
+}
+
+TEST(RegionGranularity, FunctionalCacheWithEightRegions)
+{
+    // numHRegions = 8 on a 4-way cache: disabling one physical
+    // region removes exactly one way from half the sets and none
+    // from the rest.
+    CacheParams p;
+    p.sizeBytes = 1024;
+    p.numWays = 4;
+    p.blockBytes = 32;
+    p.hitLatency = 4;
+    p.horizontalMode = true;
+    p.numHRegions = 8;
+    p.disabledHRegion = 3;
+    p.validate();
+    SetAssocCache cache(p);
+    std::size_t reduced_sets = 0;
+    for (std::size_t set = 0; set < p.numSets(); ++set) {
+        std::size_t usable = 0;
+        for (std::size_t w = 0; w < 4; ++w) {
+            if (cache.wayUsable(w, set))
+                ++usable;
+        }
+        EXPECT_GE(usable, 3u);
+        if (usable == 3)
+            ++reduced_sets;
+    }
+    EXPECT_EQ(reduced_sets, p.numSets() / 2);
+}
+
+TEST(RegionGranularity, CoarserThanWaysRejected)
+{
+    CacheParams p;
+    p.horizontalMode = true;
+    p.numHRegions = 2; // would remove two ways from some addresses
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "regions");
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests of the hierarchical variation sampler, including the
+ * statistical properties the yield analysis relies on: way deltas
+ * ordered by mesh factor, chip-common region offsets, and the
+ * worst-cell extreme draw.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+#include "util/statistics.hh"
+#include "variation/sampler.hh"
+
+namespace yac
+{
+namespace
+{
+
+VariationSampler
+defaultSampler()
+{
+    return VariationSampler();
+}
+
+TEST(Sampler, MapHasConfiguredShape)
+{
+    VariationGeometry g;
+    g.numWays = 4;
+    g.banksPerWay = 4;
+    g.rowGroupsPerBank = 8;
+    VariationSampler s(VariationTable(), CorrelationModel(), g);
+    Rng rng(1);
+    const CacheVariationMap map = s.sample(rng);
+    ASSERT_EQ(map.ways.size(), 4u);
+    for (const WayVariation &w : map.ways) {
+        ASSERT_EQ(w.rowGroups.size(), 4u);
+        for (const auto &bank : w.rowGroups)
+            ASSERT_EQ(bank.size(), 8u);
+        ASSERT_EQ(w.worstCell.size(), 4u);
+    }
+}
+
+TEST(Sampler, DeterministicInRngState)
+{
+    VariationSampler s = defaultSampler();
+    Rng a(7), b(7);
+    const CacheVariationMap m1 = s.sample(a);
+    const CacheVariationMap m2 = s.sample(b);
+    EXPECT_EQ(m1.ways[0].base, m2.ways[0].base);
+    EXPECT_EQ(m1.ways[3].decoder, m2.ways[3].decoder);
+    EXPECT_EQ(m1.ways[2].rowGroups[1][3], m2.ways[2].rowGroups[1][3]);
+}
+
+TEST(Sampler, Way0CarriesTheDieDraw)
+{
+    // Way 0 has factor 0: its base equals the die draw, and across
+    // chips it spans the full Table 1 range.
+    VariationSampler s = defaultSampler();
+    Rng rng(3);
+    RunningStats vt;
+    for (int i = 0; i < 4000; ++i) {
+        Rng chip = rng.split(i);
+        vt.add(s.sample(chip).ways[0].base.thresholdVoltage);
+    }
+    const double sigma =
+        VariationTable().spec(ProcessParam::ThresholdVoltage).sigma();
+    EXPECT_NEAR(vt.mean(), 220.0, 1.0);
+    EXPECT_NEAR(vt.stddev(), sigma, sigma * 0.08);
+}
+
+TEST(Sampler, WayDeltasOrderedByMeshFactor)
+{
+    // The diagonal way (0.7125) must deviate more from way 0 than the
+    // vertical (0.45), which deviates more than the horizontal
+    // (0.375).
+    VariationSampler s = defaultSampler();
+    Rng rng(4);
+    std::array<RunningStats, 4> delta;
+    for (int i = 0; i < 4000; ++i) {
+        Rng chip = rng.split(i);
+        const CacheVariationMap m = s.sample(chip);
+        for (std::size_t w = 1; w < 4; ++w) {
+            delta[w].add(m.ways[w].base.thresholdVoltage -
+                         m.ways[0].base.thresholdVoltage);
+        }
+    }
+    EXPECT_GT(delta[3].stddev(), delta[2].stddev());
+    EXPECT_GT(delta[2].stddev(), delta[1].stddev());
+    const double sigma =
+        VariationTable().spec(ProcessParam::ThresholdVoltage).sigma();
+    EXPECT_NEAR(delta[1].stddev(), 0.375 * sigma, 0.375 * sigma * 0.1);
+    EXPECT_NEAR(delta[3].stddev(), 0.7125 * sigma,
+                0.7125 * sigma * 0.1);
+}
+
+TEST(Sampler, RegionOffsetsSharedAcrossWays)
+{
+    // The systematic component of a bank's deviation is chip-common:
+    // bank b's offset in way 0 correlates strongly with bank b's
+    // offset in way 3, and essentially not with another bank's.
+    VariationSampler s = defaultSampler();
+    Rng rng(5);
+    std::vector<double> w0_b0, w3_b0, w3_b2;
+    for (int i = 0; i < 3000; ++i) {
+        Rng chip = rng.split(i);
+        const CacheVariationMap m = s.sample(chip);
+        auto offset = [&](std::size_t way, std::size_t bank) {
+            return m.ways[way].rowGroups[bank][0].thresholdVoltage -
+                m.ways[way].base.thresholdVoltage;
+        };
+        w0_b0.push_back(offset(0, 0));
+        w3_b0.push_back(offset(3, 0));
+        w3_b2.push_back(offset(3, 2));
+    }
+    EXPECT_GT(pearsonCorrelation(w0_b0, w3_b0), 0.8);
+    EXPECT_LT(std::fabs(pearsonCorrelation(w0_b0, w3_b2)), 0.1);
+}
+
+TEST(Sampler, WorstCellIsSlower)
+{
+    // The worst cell of a group carries a higher V_t (weaker read
+    // current) than the group average, by roughly the expected
+    // extreme of the RDF distribution.
+    VariationTable table;
+    VariationSampler s(table, CorrelationModel(), VariationGeometry());
+    Rng rng(6);
+    RunningStats extra;
+    for (int i = 0; i < 500; ++i) {
+        Rng chip = rng.split(i);
+        const CacheVariationMap m = s.sample(chip);
+        for (const WayVariation &w : m.ways) {
+            for (std::size_t b = 0; b < w.rowGroups.size(); ++b) {
+                for (std::size_t g = 0; g < w.rowGroups[b].size();
+                     ++g) {
+                    extra.add(w.worstCell[b][g].thresholdVoltage -
+                              w.rowGroups[b][g].thresholdVoltage);
+                }
+            }
+        }
+    }
+    // Expected extreme of 1024 draws is about 3.1 sigma.
+    EXPECT_NEAR(extra.mean(), 3.1 * table.randomDopantSigmaMv,
+                0.2 * table.randomDopantSigmaMv);
+    EXPECT_GT(extra.min(), 0.0);
+}
+
+TEST(Sampler, RowNoiseSmallerThanWayNoise)
+{
+    VariationSampler s = defaultSampler();
+    Rng rng(7);
+    RunningStats row_delta, way_delta;
+    for (int i = 0; i < 2000; ++i) {
+        Rng chip = rng.split(i);
+        const CacheVariationMap m = s.sample(chip);
+        // Two groups in the same bank differ only by row noise.
+        row_delta.add(m.ways[0].rowGroups[0][0].gateLength -
+                      m.ways[0].rowGroups[0][1].gateLength);
+        way_delta.add(m.ways[3].base.gateLength -
+                      m.ways[0].base.gateLength);
+    }
+    EXPECT_LT(row_delta.stddev(), way_delta.stddev());
+}
+
+TEST(SamplerDeathTest, RejectsTooManyWays)
+{
+    VariationGeometry g;
+    g.numWays = 5;
+    EXPECT_DEATH(VariationSampler(VariationTable(), CorrelationModel(),
+                                  g),
+                 "mesh");
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests of the scheme-to-simulation scenario builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/scenarios.hh"
+
+namespace yac
+{
+namespace
+{
+
+TEST(Scenarios, BaselineIsHealthy)
+{
+    const SimConfig cfg = baselineScenario();
+    cfg.hierarchy.l1d.validate();
+    EXPECT_EQ(cfg.hierarchy.l1d.enabledWays(), 4u);
+    EXPECT_EQ(cfg.core.assumedLoadLatency, 4);
+}
+
+TEST(Scenarios, YapdDisablesWays)
+{
+    const SimConfig cfg = yapdScenario(1);
+    cfg.hierarchy.l1d.validate();
+    EXPECT_EQ(cfg.hierarchy.l1d.enabledWays(), 3u);
+    EXPECT_EQ(yapdScenario(2).hierarchy.l1d.enabledWays(), 2u);
+}
+
+TEST(Scenarios, HyapdUsesRotatedDecoder)
+{
+    const SimConfig cfg = hyapdScenario(1);
+    cfg.hierarchy.l1d.validate();
+    EXPECT_TRUE(cfg.hierarchy.l1d.horizontalMode);
+    EXPECT_EQ(cfg.hierarchy.l1d.disabledHRegion, 1u);
+    EXPECT_EQ(cfg.hierarchy.l1d.enabledWays(), 4u); // mask untouched
+}
+
+TEST(Scenarios, VacaSetsWayLatencies)
+{
+    const SimConfig cfg = vacaScenario(2);
+    cfg.hierarchy.l1d.validate();
+    ASSERT_EQ(cfg.hierarchy.l1d.wayLatency.size(), 4u);
+    EXPECT_EQ(cfg.hierarchy.l1d.wayLatency[0], 4);
+    EXPECT_EQ(cfg.hierarchy.l1d.wayLatency[3], 5);
+    EXPECT_EQ(cfg.hierarchy.l1d.wayLatency[2], 5);
+    EXPECT_EQ(cfg.core.loadBypassDepth, 1);
+    EXPECT_EQ(cfg.core.assumedLoadLatency, 4);
+}
+
+TEST(Scenarios, HybridOffCombinesBoth)
+{
+    const SimConfig cfg = hybridOffScenario(1);
+    cfg.hierarchy.l1d.validate();
+    EXPECT_EQ(cfg.hierarchy.l1d.enabledWays(), 3u);
+    EXPECT_EQ(cfg.hierarchy.l1d.wayLatency[2], 5);
+    EXPECT_EQ(cfg.hierarchy.l1d.wayLatency[0], 4);
+}
+
+TEST(Scenarios, BinningRaisesAssumption)
+{
+    const SimConfig cfg = binningScenario(5);
+    cfg.hierarchy.l1d.validate();
+    EXPECT_EQ(cfg.core.assumedLoadLatency, 5);
+    EXPECT_EQ(cfg.core.loadBypassDepth, 0);
+    for (int lat : cfg.hierarchy.l1d.wayLatency)
+        EXPECT_EQ(lat, 5);
+}
+
+TEST(Scenarios, Table6Mapping)
+{
+    // The rows of Table 6 and which scheme can run them.
+    EXPECT_EQ(table6Scenario("3-1-0", "VACA").hierarchy.l1d
+                  .wayLatency[3],
+              5);
+    EXPECT_EQ(table6Scenario("3-1-0", "Hybrid").hierarchy.l1d
+                  .enabledWays(),
+              4u); // keeps the slow way on
+    EXPECT_EQ(table6Scenario("3-0-1", "Hybrid").hierarchy.l1d
+                  .enabledWays(),
+              3u); // powers the 6-cycle way down
+    EXPECT_EQ(table6Scenario("4-0-0", "YAPD").hierarchy.l1d
+                  .enabledWays(),
+              3u); // leakage-limited: one way off
+    EXPECT_EQ(table6Scenario("2-1-1", "Hybrid").hierarchy.l1d
+                  .wayLatency[2],
+              5);
+}
+
+TEST(ScenariosDeathTest, InvalidCombinationsFatal)
+{
+    EXPECT_EXIT((void)table6Scenario("2-2-0", "YAPD"),
+                ::testing::ExitedWithCode(1), "YAPD cannot");
+    EXPECT_EXIT((void)table6Scenario("3-0-1", "VACA"),
+                ::testing::ExitedWithCode(1), "VACA cannot");
+    EXPECT_EXIT((void)table6Scenario("4-0-0", "VACA"),
+                ::testing::ExitedWithCode(1), "VACA cannot");
+    EXPECT_EXIT((void)table6Scenario("2-0-2", "Hybrid"),
+                ::testing::ExitedWithCode(1), "Hybrid cannot");
+    EXPECT_EXIT((void)table6Scenario("9-1-0", "VACA"),
+                ::testing::ExitedWithCode(1), "bad Table 6");
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Population-wide structural invariants of every scheme's output:
+ * whatever a scheme ships must be a well-formed configuration that
+ * the simulator can actually run. Catches config-accounting bugs
+ * that the per-scheme unit tests (which check specific chips) miss.
+ */
+
+#include <gtest/gtest.h>
+
+#include "yield/analysis.hh"
+#include "yield/monte_carlo.hh"
+#include "yield/schemes/adaptive_hybrid.hh"
+#include "yield/schemes/hybrid.hh"
+#include "yield/schemes/hyapd.hh"
+#include "yield/schemes/naive_binning.hh"
+#include "yield/schemes/vaca.hh"
+#include "yield/schemes/yapd.hh"
+
+namespace yac
+{
+namespace
+{
+
+class SchemeInvariantTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        MonteCarlo mc;
+        result_ = new MonteCarloResult(mc.run({600, 99}));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete result_;
+        result_ = nullptr;
+    }
+
+    void
+    checkScheme(const Scheme &scheme,
+                const std::vector<CacheTiming> &chips)
+    {
+        const YieldConstraints c =
+            result_->constraints(ConstraintPolicy::nominal());
+        const CycleMapping m =
+            result_->cycleMapping(ConstraintPolicy::nominal());
+        for (const CacheTiming &chip : chips) {
+            const ChipAssessment a = assessChip(chip, c, m);
+            const SchemeOutcome out = scheme.apply(chip, a, c, m);
+            if (!out.saved)
+                continue;
+            const CacheConfig &cfg = out.config;
+            // Well-formed partition of the four ways.
+            EXPECT_GE(cfg.ways4, 0);
+            EXPECT_GE(cfg.ways5, 0);
+            EXPECT_GE(cfg.disabledWays, 0);
+            EXPECT_EQ(cfg.ways4 + cfg.ways5 + cfg.disabledWays, 4)
+                << scheme.name() << " shipped " << cfg.label();
+            // At least one way stays enabled.
+            EXPECT_GE(cfg.enabledWays(), 1);
+            // A horizontal flag only appears with a power-down.
+            if (cfg.horizontalPowerDown) {
+                EXPECT_GT(cfg.disabledWays, 0);
+            }
+            // Label round-trips the fields.
+            EXPECT_EQ(cfg.label(),
+                      std::to_string(cfg.ways4) + "-" +
+                          std::to_string(cfg.ways5) + "-" +
+                          std::to_string(cfg.disabledWays));
+        }
+    }
+
+    static MonteCarloResult *result_;
+};
+
+MonteCarloResult *SchemeInvariantTest::result_ = nullptr;
+
+TEST_F(SchemeInvariantTest, Yapd)
+{
+    checkScheme(YapdScheme(), result_->regular);
+}
+
+TEST_F(SchemeInvariantTest, HYapd)
+{
+    checkScheme(HYapdScheme(), result_->horizontal);
+}
+
+TEST_F(SchemeInvariantTest, Vaca)
+{
+    checkScheme(VacaScheme(), result_->regular);
+    checkScheme(VacaScheme(2), result_->regular);
+}
+
+TEST_F(SchemeInvariantTest, Hybrid)
+{
+    checkScheme(HybridScheme(), result_->regular);
+}
+
+TEST_F(SchemeInvariantTest, HybridH)
+{
+    checkScheme(HybridHScheme(), result_->horizontal);
+}
+
+TEST_F(SchemeInvariantTest, AdaptiveHybridBothCharacters)
+{
+    checkScheme(AdaptiveHybridScheme({0.9, 0.5}), result_->regular);
+    checkScheme(AdaptiveHybridScheme({0.1, 0.5}), result_->regular);
+}
+
+TEST_F(SchemeInvariantTest, NaiveBinning)
+{
+    checkScheme(NaiveBinningScheme(5), result_->regular);
+    checkScheme(NaiveBinningScheme(6), result_->regular);
+}
+
+TEST_F(SchemeInvariantTest, SchemesAreDeterministic)
+{
+    // apply() is a pure function of its inputs.
+    const YieldConstraints c =
+        result_->constraints(ConstraintPolicy::nominal());
+    const CycleMapping m =
+        result_->cycleMapping(ConstraintPolicy::nominal());
+    HybridScheme hybrid;
+    for (std::size_t i = 0; i < result_->regular.size(); i += 37) {
+        const CacheTiming &chip = result_->regular[i];
+        const ChipAssessment a = assessChip(chip, c, m);
+        const SchemeOutcome first = hybrid.apply(chip, a, c, m);
+        const SchemeOutcome second = hybrid.apply(chip, a, c, m);
+        EXPECT_EQ(first.saved, second.saved);
+        EXPECT_EQ(first.config, second.config);
+    }
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests of the adaptive Hybrid policy (Section 4.4's per-application
+ * choice).
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip_fixture.hh"
+#include "yield/schemes/adaptive_hybrid.hh"
+#include "yield/schemes/hybrid.hh"
+
+namespace yac
+{
+namespace
+{
+
+using test::makeChip;
+
+SchemeOutcome
+apply(const Scheme &scheme, const CacheTiming &chip)
+{
+    const YieldConstraints c = test::referenceConstraints();
+    const CycleMapping m = test::referenceMapping();
+    return scheme.apply(chip, assessChip(chip, c, m), c, m);
+}
+
+WorkloadCharacter
+memoryBound()
+{
+    return {0.9, 0.5};
+}
+
+WorkloadCharacter
+computeBound()
+{
+    return {0.1, 0.5};
+}
+
+TEST(AdaptiveHybrid, SavesExactlyWhatFixedHybridSaves)
+{
+    const HybridScheme fixed;
+    const AdaptiveHybridScheme adaptive(computeBound());
+    const std::vector<CacheTiming> chips = {
+        test::healthyChip(),
+        makeChip({90, 90, 90, 110}, {8, 8, 8, 8}),
+        makeChip({90, 90, 110, 140}, {8, 8, 8, 8}),
+        makeChip({90, 90, 140, 140}, {8, 8, 8, 8}),
+        makeChip({90, 90, 90, 90}, {15, 15, 15, 15}),
+        makeChip({90, 90, 90, 90}, {8, 10, 16, 10}),
+    };
+    for (const CacheTiming &chip : chips) {
+        EXPECT_EQ(apply(fixed, chip).saved,
+                  apply(adaptive, chip).saved);
+    }
+}
+
+TEST(AdaptiveHybrid, MemoryBoundKeepsTheSlowWay)
+{
+    const AdaptiveHybridScheme adaptive(memoryBound());
+    const SchemeOutcome out =
+        apply(adaptive, makeChip({90, 90, 90, 110}, {8, 8, 8, 8}));
+    ASSERT_TRUE(out.saved);
+    EXPECT_EQ(out.config.label(), "3-1-0"); // VACA-like: capacity kept
+}
+
+TEST(AdaptiveHybrid, ComputeBoundPowersTheSlowWayDown)
+{
+    const AdaptiveHybridScheme adaptive(computeBound());
+    const SchemeOutcome out =
+        apply(adaptive, makeChip({90, 90, 90, 110}, {8, 8, 8, 8}));
+    ASSERT_TRUE(out.saved);
+    EXPECT_EQ(out.config.label(), "3-0-1"); // YAPD-like: latency kept
+}
+
+TEST(AdaptiveHybrid, BudgetAlreadySpentLeavesNoChoice)
+{
+    // The 6-cycle way consumes the single power-down; even a
+    // compute-bound workload must keep the 5-cycle way on.
+    const AdaptiveHybridScheme adaptive(computeBound());
+    const SchemeOutcome out =
+        apply(adaptive, makeChip({90, 90, 110, 140}, {8, 8, 8, 8}));
+    ASSERT_TRUE(out.saved);
+    EXPECT_EQ(out.config.ways5, 1);
+    EXPECT_EQ(out.config.disabledWays, 1);
+}
+
+TEST(AdaptiveHybrid, NeverDisablesBelowOneWay)
+{
+    AdaptiveHybridScheme adaptive(computeBound(), 1, 4);
+    const SchemeOutcome out =
+        apply(adaptive, makeChip({110, 110, 110, 110}, {8, 8, 8, 8}));
+    ASSERT_TRUE(out.saved);
+    EXPECT_GE(out.config.enabledWays(), 1);
+}
+
+TEST(AdaptiveHybrid, IntensityEstimator)
+{
+    // mcf-like: high miss rate -> capacity matters.
+    const double mcf =
+        AdaptiveHybridScheme::estimateMemoryIntensity(0.25, 25.0);
+    // gzip-like: low miss rate -> latency matters.
+    const double gzip =
+        AdaptiveHybridScheme::estimateMemoryIntensity(0.02, 25.0);
+    EXPECT_GT(mcf, 0.5); // prefers capacity: keep ways on
+    EXPECT_LT(gzip, 0.5); // prefers latency: power the slow way down
+    EXPECT_GT(mcf, gzip);
+    EXPECT_GE(gzip, 0.0);
+    EXPECT_LE(mcf, 1.0);
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests of H-YAPD: horizontal-region power-down cures violations that
+ * are localized to the same physical region across ways -- including
+ * multi-way violations that defeat YAPD -- but not violations spread
+ * over every region.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip_fixture.hh"
+#include "yield/schemes/hyapd.hh"
+
+namespace yac
+{
+namespace
+{
+
+using test::makeWay;
+
+SchemeOutcome
+apply(const HYapdScheme &scheme, const CacheTiming &chip)
+{
+    const YieldConstraints c = test::referenceConstraints();
+    const CycleMapping m = test::referenceMapping();
+    return scheme.apply(chip, assessChip(chip, c, m), c, m);
+}
+
+/** Chip whose delay violations all live in bank @p bank. */
+CacheTiming
+regionLocalizedChip(std::size_t bank, double hot_delay,
+                    std::size_t slow_ways)
+{
+    CacheTiming chip;
+    for (std::size_t w = 0; w < 4; ++w) {
+        const bool slow = w < slow_ways;
+        chip.ways.push_back(
+            makeWay(90.0, 8.0, slow ? bank : ~std::size_t{0},
+                    hot_delay));
+    }
+    return chip;
+}
+
+TEST(HYapd, PassingChipKeptWhole)
+{
+    HYapdScheme hyapd;
+    const SchemeOutcome out = apply(hyapd, test::healthyChip());
+    EXPECT_TRUE(out.saved);
+    EXPECT_EQ(out.config.disabledWays, 0);
+}
+
+TEST(HYapd, SingleWayRegionViolationCured)
+{
+    HYapdScheme hyapd;
+    const SchemeOutcome out =
+        apply(hyapd, regionLocalizedChip(2, 130.0, 1));
+    EXPECT_TRUE(out.saved);
+    EXPECT_TRUE(out.config.horizontalPowerDown);
+    EXPECT_EQ(out.config.ways4, 3);
+    EXPECT_EQ(out.config.disabledWays, 1);
+}
+
+TEST(HYapd, AllFourWaysCuredWhenSameRegion)
+{
+    // The H-YAPD headline: all ways violate, but the common cause is
+    // one horizontal region -- a single region power-down saves the
+    // chip where YAPD's one-way budget cannot.
+    HYapdScheme hyapd;
+    const SchemeOutcome out =
+        apply(hyapd, regionLocalizedChip(1, 140.0, 4));
+    EXPECT_TRUE(out.saved);
+}
+
+TEST(HYapd, ViolationsInTwoRegionsLost)
+{
+    HYapdScheme hyapd;
+    CacheTiming chip;
+    chip.ways.push_back(makeWay(90, 8, 0, 130.0));
+    chip.ways.push_back(makeWay(90, 8, 1, 130.0));
+    chip.ways.push_back(makeWay(90, 8));
+    chip.ways.push_back(makeWay(90, 8));
+    EXPECT_FALSE(apply(hyapd, chip).saved);
+}
+
+TEST(HYapd, FlatViolationUncurable)
+{
+    // Every path of one way violates: no region removal helps.
+    HYapdScheme hyapd;
+    CacheTiming chip = test::makeChip({90, 90, 90, 130}, {8, 8, 8, 8});
+    EXPECT_FALSE(apply(hyapd, chip).saved);
+}
+
+TEST(HYapd, LeakageCuredByRegionPowerDown)
+{
+    // 4 ways x 10.4 mW = 41.6 > 40. One region carries 1/4 of the
+    // cell leakage in every way: removing it sheds
+    // 4 * 0.25 * 8.32 = 8.32 mW of cells plus gated periphery.
+    HYapdScheme hyapd;
+    const CacheTiming chip =
+        test::makeChip({90, 90, 90, 90}, {10.4, 10.4, 10.4, 10.4});
+    const SchemeOutcome out = apply(hyapd, chip);
+    EXPECT_TRUE(out.saved);
+    EXPECT_TRUE(out.config.horizontalPowerDown);
+}
+
+TEST(HYapd, GatingFractionMatters)
+{
+    // Total 52 mW; a region power-down sheds 20% of the cell leakage
+    // (10.4 mW). With full peripheral gating (+2.6 mW) the chip
+    // squeaks under the 40 mW budget; with no peripheral gating it
+    // stays above.
+    const CacheTiming chip =
+        test::makeChip({90, 90, 90, 90}, {13.0, 13.0, 13.0, 13.0});
+    EXPECT_TRUE(apply(HYapdScheme(1.0), chip).saved);
+    EXPECT_FALSE(apply(HYapdScheme(0.0), chip).saved);
+}
+
+TEST(HYapd, ZeroBudgetOnlyPassing)
+{
+    HYapdScheme none(0.5, 0);
+    EXPECT_TRUE(apply(none, test::healthyChip()).saved);
+    EXPECT_FALSE(apply(none, regionLocalizedChip(0, 130.0, 1)).saved);
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests of the Hybrid scheme (VACA + power-down) and its horizontal
+ * variant, pinning the Table 6 configuration logic: "keep ways on as
+ * long as possible; turn one off only for a 6-plus-cycle delay or a
+ * leakage violation".
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip_fixture.hh"
+#include "yield/schemes/hybrid.hh"
+
+namespace yac
+{
+namespace
+{
+
+using test::makeChip;
+using test::makeWay;
+
+template <typename SchemeT>
+SchemeOutcome
+apply(const SchemeT &scheme, const CacheTiming &chip)
+{
+    const YieldConstraints c = test::referenceConstraints();
+    const CycleMapping m = test::referenceMapping();
+    return scheme.apply(chip, assessChip(chip, c, m), c, m);
+}
+
+TEST(Hybrid, KeepsFiveCycleWaysOn)
+{
+    // 3-1-0: the paper's policy keeps the slow way enabled (VACA
+    // behaviour), not powered down.
+    HybridScheme hybrid;
+    const SchemeOutcome out =
+        apply(hybrid, makeChip({90, 90, 90, 110}, {8, 8, 8, 8}));
+    EXPECT_TRUE(out.saved);
+    EXPECT_EQ(out.config.label(), "3-1-0");
+}
+
+TEST(Hybrid, SixCycleWayPoweredDown)
+{
+    // 2-1-1: two fast ways, one 5-cycle way kept on, the 6-plus-cycle
+    // way disabled.
+    HybridScheme hybrid;
+    const SchemeOutcome out =
+        apply(hybrid, makeChip({90, 90, 110, 140}, {8, 8, 8, 8}));
+    EXPECT_TRUE(out.saved);
+    EXPECT_EQ(out.config.ways4, 2);
+    EXPECT_EQ(out.config.ways5, 1);
+    EXPECT_EQ(out.config.disabledWays, 1);
+}
+
+TEST(Hybrid, ZeroThreeOneConfiguration)
+{
+    HybridScheme hybrid;
+    const SchemeOutcome out =
+        apply(hybrid, makeChip({110, 110, 110, 140}, {8, 8, 8, 8}));
+    EXPECT_TRUE(out.saved);
+    EXPECT_EQ(out.config.ways4, 0);
+    EXPECT_EQ(out.config.ways5, 3);
+    EXPECT_EQ(out.config.disabledWays, 1);
+}
+
+TEST(Hybrid, TwoSixCycleWaysLost)
+{
+    HybridScheme hybrid;
+    EXPECT_FALSE(
+        apply(hybrid, makeChip({90, 90, 140, 140}, {8, 8, 8, 8}))
+            .saved);
+}
+
+TEST(Hybrid, LeakageOnlyDisablesLeakiest)
+{
+    HybridScheme hybrid;
+    const SchemeOutcome out =
+        apply(hybrid, makeChip({90, 90, 90, 90}, {8, 10, 16, 10}));
+    EXPECT_TRUE(out.saved);
+    EXPECT_EQ(out.config.label(), "3-0-1");
+}
+
+TEST(Hybrid, LeakAndSixCycleNeedTheSameWay)
+{
+    // The 6-cycle way is also leaky enough that disabling it fixes
+    // both; saved. If the leak lives elsewhere, the single budget
+    // fails.
+    HybridScheme hybrid;
+    EXPECT_TRUE(
+        apply(hybrid, makeChip({90, 90, 90, 140}, {10, 10, 10, 15}))
+            .saved);
+    EXPECT_FALSE(
+        apply(hybrid, makeChip({90, 90, 90, 140}, {15, 15, 15, 2}))
+            .saved);
+}
+
+TEST(Hybrid, FiveCycleWithLeakage)
+{
+    // Ways at 5 cycles are fine; the leakage violation is cured by
+    // disabling the leakiest (a fast way), leaving 2-1 enabled.
+    HybridScheme hybrid;
+    const SchemeOutcome out =
+        apply(hybrid, makeChip({90, 90, 110, 90}, {16, 9, 9, 9}));
+    EXPECT_TRUE(out.saved);
+    EXPECT_EQ(out.config.ways4, 2);
+    EXPECT_EQ(out.config.ways5, 1);
+    EXPECT_EQ(out.config.disabledWays, 1);
+}
+
+TEST(HybridH, PureVacaPathPreferred)
+{
+    HybridHScheme hybrid_h;
+    const SchemeOutcome out =
+        apply(hybrid_h, makeChip({90, 90, 110, 110}, {8, 8, 8, 8}));
+    EXPECT_TRUE(out.saved);
+    EXPECT_EQ(out.config.disabledWays, 0);
+    EXPECT_EQ(out.config.ways5, 2);
+}
+
+TEST(HybridH, RegionPowerDownPlusVariableLatency)
+{
+    // One region pushes every way to 6+ cycles; removing it leaves
+    // flat 110 ps ways -- 5-cycle VACA operation.
+    HybridHScheme hybrid_h;
+    CacheTiming chip;
+    for (int w = 0; w < 4; ++w)
+        chip.ways.push_back(makeWay(110.0, 8.0, 2, 140.0));
+    const SchemeOutcome out = apply(hybrid_h, chip);
+    EXPECT_TRUE(out.saved);
+    EXPECT_TRUE(out.config.horizontalPowerDown);
+    EXPECT_EQ(out.config.disabledWays, 1);
+    // Three way-slots remain, all at 5 cycles.
+    EXPECT_EQ(out.config.ways4, 0);
+    EXPECT_EQ(out.config.ways5, 3);
+}
+
+TEST(HybridH, UnfixableSpreadLost)
+{
+    HybridHScheme hybrid_h;
+    CacheTiming chip;
+    chip.ways.push_back(makeWay(140.0, 8.0)); // flat 6-cycle way
+    chip.ways.push_back(makeWay(90.0, 8.0));
+    chip.ways.push_back(makeWay(90.0, 8.0));
+    chip.ways.push_back(makeWay(90.0, 8.0));
+    EXPECT_FALSE(apply(hybrid_h, chip).saved);
+}
+
+TEST(HybridH, LeakageViaRegion)
+{
+    HybridHScheme hybrid_h;
+    const CacheTiming chip =
+        makeChip({90, 90, 90, 90}, {10.4, 10.4, 10.4, 10.4});
+    const SchemeOutcome out = apply(hybrid_h, chip);
+    EXPECT_TRUE(out.saved);
+    EXPECT_TRUE(out.config.horizontalPowerDown);
+}
+
+TEST(Hybrid, DominatesYapdAndVaca)
+{
+    // Anything YAPD or VACA can run, Hybrid can run.
+    const std::vector<CacheTiming> chips = {
+        test::healthyChip(),
+        makeChip({90, 90, 90, 110}, {8, 8, 8, 8}),
+        makeChip({90, 90, 90, 120}, {8, 8, 8, 8}),
+        makeChip({110, 110, 110, 110}, {8, 8, 8, 8}),
+        makeChip({90, 90, 90, 90}, {8, 10, 16, 10}),
+    };
+    HybridScheme hybrid;
+    for (const CacheTiming &chip : chips)
+        EXPECT_TRUE(apply(hybrid, chip).saved);
+}
+
+} // namespace
+} // namespace yac

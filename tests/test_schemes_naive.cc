@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests of the naive binning alternative (Section 4.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip_fixture.hh"
+#include "yield/schemes/naive_binning.hh"
+
+namespace yac
+{
+namespace
+{
+
+using test::makeChip;
+
+SchemeOutcome
+apply(const NaiveBinningScheme &scheme, const CacheTiming &chip)
+{
+    const YieldConstraints c = test::referenceConstraints();
+    const CycleMapping m = test::referenceMapping();
+    return scheme.apply(chip, assessChip(chip, c, m), c, m);
+}
+
+TEST(NaiveBinning, FiveCycleBinSavesFiveCycleChips)
+{
+    NaiveBinningScheme bin5(5);
+    const SchemeOutcome out =
+        apply(bin5, makeChip({90, 110, 110, 110}, {8, 8, 8, 8}));
+    EXPECT_TRUE(out.saved);
+    // Everyone pays the binned latency, including the fast way.
+    EXPECT_EQ(out.config.ways4, 0);
+    EXPECT_EQ(out.config.ways5, 4);
+}
+
+TEST(NaiveBinning, SixCycleChipNeedsSixCycleBin)
+{
+    const CacheTiming chip = makeChip({90, 90, 90, 140}, {8, 8, 8, 8});
+    EXPECT_FALSE(apply(NaiveBinningScheme(5), chip).saved);
+    EXPECT_TRUE(apply(NaiveBinningScheme(6), chip).saved);
+}
+
+TEST(NaiveBinning, LeakageIsUntouchable)
+{
+    NaiveBinningScheme bin6(6);
+    EXPECT_FALSE(
+        apply(bin6, makeChip({90, 90, 90, 90}, {15, 15, 15, 15}))
+            .saved);
+}
+
+TEST(NaiveBinning, BaseBinKeepsFourCycles)
+{
+    NaiveBinningScheme bin4(4);
+    const SchemeOutcome out = apply(bin4, test::healthyChip());
+    EXPECT_TRUE(out.saved);
+    EXPECT_EQ(out.config.ways4, 4);
+    EXPECT_EQ(out.config.ways5, 0);
+}
+
+TEST(NaiveBinning, NameReflectsBin)
+{
+    EXPECT_EQ(NaiveBinningScheme(5).name(), "Bin@5cy");
+    EXPECT_EQ(NaiveBinningScheme(6).name(), "Bin@6cy");
+}
+
+} // namespace
+} // namespace yac

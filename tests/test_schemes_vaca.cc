@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests of the VACA scheme: 5-cycle ways are tolerated, 6-plus-cycle
+ * ways and leakage violations are losses, and the load-bypass buffer
+ * depth sweeps the reach.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip_fixture.hh"
+#include "yield/schemes/vaca.hh"
+
+namespace yac
+{
+namespace
+{
+
+using test::makeChip;
+
+SchemeOutcome
+apply(const VacaScheme &scheme, const CacheTiming &chip)
+{
+    const YieldConstraints c = test::referenceConstraints();
+    const CycleMapping m = test::referenceMapping();
+    return scheme.apply(chip, assessChip(chip, c, m), c, m);
+}
+
+TEST(Vaca, PassingChipIsAllFourCycle)
+{
+    VacaScheme vaca;
+    const SchemeOutcome out = apply(vaca, test::healthyChip());
+    EXPECT_TRUE(out.saved);
+    EXPECT_EQ(out.config.label(), "4-0-0");
+}
+
+TEST(Vaca, FiveCycleWaysKeptEnabled)
+{
+    VacaScheme vaca;
+    const SchemeOutcome out =
+        apply(vaca, makeChip({90, 90, 110, 120}, {8, 8, 8, 8}));
+    EXPECT_TRUE(out.saved);
+    EXPECT_EQ(out.config.ways4, 2);
+    EXPECT_EQ(out.config.ways5, 2);
+    EXPECT_EQ(out.config.disabledWays, 0);
+    EXPECT_EQ(out.config.label(), "2-2-0");
+}
+
+TEST(Vaca, AllWaysSlowStillSaved)
+{
+    VacaScheme vaca;
+    const SchemeOutcome out =
+        apply(vaca, makeChip({110, 110, 110, 110}, {8, 8, 8, 8}));
+    EXPECT_TRUE(out.saved);
+    EXPECT_EQ(out.config.label(), "0-4-0");
+}
+
+TEST(Vaca, SixCycleWayIsALoss)
+{
+    VacaScheme vaca;
+    EXPECT_FALSE(
+        apply(vaca, makeChip({90, 90, 90, 130}, {8, 8, 8, 8})).saved);
+}
+
+TEST(Vaca, LeakageCannotBeFixed)
+{
+    VacaScheme vaca;
+    EXPECT_FALSE(
+        apply(vaca, makeChip({90, 90, 90, 90}, {15, 15, 15, 15}))
+            .saved);
+    // Even when the delays are all fine.
+    EXPECT_FALSE(
+        apply(vaca, makeChip({90, 90, 90, 110}, {15, 15, 15, 15}))
+            .saved);
+}
+
+TEST(Vaca, DeeperBuffersReachFurther)
+{
+    // 130 ps = 6 cycles: lost with depth 1, saved with depth 2 (the
+    // paper's discarded 6-or-7-cycle extension).
+    const CacheTiming chip = makeChip({90, 90, 90, 130}, {8, 8, 8, 8});
+    EXPECT_FALSE(apply(VacaScheme(1), chip).saved);
+    EXPECT_TRUE(apply(VacaScheme(2), chip).saved);
+}
+
+TEST(Vaca, ZeroDepthIsBaseline)
+{
+    VacaScheme rigid(0);
+    EXPECT_TRUE(apply(rigid, test::healthyChip()).saved);
+    EXPECT_FALSE(
+        apply(rigid, makeChip({90, 90, 90, 110}, {8, 8, 8, 8})).saved);
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests of the YAPD scheme against hand-built chips: single-way delay
+ * violations are cured by disabling that way; multi-way violations
+ * exceed the one-way budget; leakage violations disable the leakiest
+ * way.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip_fixture.hh"
+#include "yield/schemes/yapd.hh"
+
+namespace yac
+{
+namespace
+{
+
+using test::makeChip;
+using test::referenceConstraints;
+using test::referenceMapping;
+
+SchemeOutcome
+apply(const YapdScheme &scheme, const CacheTiming &chip)
+{
+    const YieldConstraints c = test::referenceConstraints();
+    const CycleMapping m = test::referenceMapping();
+    return scheme.apply(chip, assessChip(chip, c, m), c, m);
+}
+
+TEST(Yapd, PassingChipKeptWhole)
+{
+    YapdScheme yapd;
+    const SchemeOutcome out = apply(yapd, test::healthyChip());
+    EXPECT_TRUE(out.saved);
+    EXPECT_EQ(out.config.ways4, 4);
+    EXPECT_EQ(out.config.disabledWays, 0);
+}
+
+TEST(Yapd, SingleSlowWayDisabled)
+{
+    YapdScheme yapd;
+    const SchemeOutcome out =
+        apply(yapd, makeChip({90, 90, 90, 120}, {8, 8, 8, 8}));
+    EXPECT_TRUE(out.saved);
+    EXPECT_EQ(out.config.ways4, 3);
+    EXPECT_EQ(out.config.ways5, 0);
+    EXPECT_EQ(out.config.disabledWays, 1);
+    EXPECT_EQ(out.config.label(), "3-0-1");
+}
+
+TEST(Yapd, TwoSlowWaysLost)
+{
+    YapdScheme yapd;
+    EXPECT_FALSE(
+        apply(yapd, makeChip({90, 90, 120, 120}, {8, 8, 8, 8})).saved);
+}
+
+TEST(Yapd, LeakageCuredByDroppingLeakiest)
+{
+    // Total 44 > 40; dropping the 16 mW way leaves 28.
+    YapdScheme yapd;
+    const SchemeOutcome out =
+        apply(yapd, makeChip({90, 90, 90, 90}, {8, 10, 16, 10}));
+    EXPECT_TRUE(out.saved);
+    EXPECT_EQ(out.config.label(), "3-0-1");
+}
+
+TEST(Yapd, HopelessLeakageLost)
+{
+    // Even without the worst way, 3 x 18 = 54 > 40.
+    YapdScheme yapd;
+    EXPECT_FALSE(
+        apply(yapd, makeChip({90, 90, 90, 90}, {18, 18, 18, 18}))
+            .saved);
+}
+
+TEST(Yapd, CombinedViolationNeedsBothFixed)
+{
+    // Slow way 3 is also the leakiest: one power-down cures both.
+    YapdScheme yapd;
+    const SchemeOutcome out =
+        apply(yapd, makeChip({90, 90, 90, 130}, {10, 10, 10, 15}));
+    EXPECT_TRUE(out.saved);
+
+    // Slow way is cool; the leak stays above the budget after the
+    // forced disable of the slow way, and the budget is exhausted.
+    EXPECT_FALSE(
+        apply(yapd, makeChip({90, 90, 90, 130}, {15, 15, 15, 5}))
+            .saved);
+}
+
+TEST(Yapd, BiggerBudgetSavesMore)
+{
+    YapdScheme two_ways(2);
+    const SchemeOutcome out =
+        apply(two_ways, makeChip({90, 90, 120, 120}, {8, 8, 8, 8}));
+    EXPECT_TRUE(out.saved);
+    EXPECT_EQ(out.config.ways4, 2);
+    EXPECT_EQ(out.config.disabledWays, 2);
+}
+
+TEST(Yapd, ZeroBudgetSavesOnlyPassing)
+{
+    YapdScheme none(0);
+    EXPECT_TRUE(apply(none, test::healthyChip()).saved);
+    EXPECT_FALSE(
+        apply(none, makeChip({90, 90, 90, 120}, {8, 8, 8, 8})).saved);
+}
+
+TEST(Yapd, CannotDisableEverything)
+{
+    YapdScheme four_ways(4);
+    EXPECT_FALSE(
+        apply(four_ways, makeChip({120, 120, 120, 120}, {8, 8, 8, 8}))
+            .saved);
+}
+
+} // namespace
+} // namespace yac

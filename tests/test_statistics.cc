@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit and property tests of the statistics utilities.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+#include "util/statistics.hh"
+
+namespace yac
+{
+namespace
+{
+
+TEST(RunningStats, Empty)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(4.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 4.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, KnownValues)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    Rng rng(3);
+    RunningStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(2.0, 3.0);
+        all.add(x);
+        (i % 3 == 0 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-7);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+/** Merge equivalence under random partitions. */
+class MergePropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MergePropertyTest, ArbitrarySplit)
+{
+    Rng rng(GetParam());
+    RunningStats whole;
+    std::vector<RunningStats> parts(4);
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.uniform(-10, 10);
+        whole.add(x);
+        parts[rng.uniformInt(4)].add(x);
+    }
+    RunningStats merged;
+    for (auto &p : parts)
+        merged.merge(p);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(merged.variance(), whole.variance(), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergePropertyTest,
+                         ::testing::Range(1, 9));
+
+TEST(SampleSummary, Quantiles)
+{
+    SampleSummary s({1.0, 2.0, 3.0, 4.0, 5.0});
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.125), 1.5);
+}
+
+TEST(SampleSummary, SingleElement)
+{
+    SampleSummary s({7.0});
+    EXPECT_DOUBLE_EQ(s.quantile(0.3), 7.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+}
+
+TEST(SampleSummary, FractionAbove)
+{
+    SampleSummary s({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(s.fractionAbove(2.5), 0.5);
+    EXPECT_DOUBLE_EQ(s.fractionAbove(4.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.fractionAbove(0.0), 1.0);
+    // Strictly greater: the boundary sample is not counted.
+    EXPECT_DOUBLE_EQ(s.fractionAbove(2.0), 0.5);
+}
+
+TEST(Correlation, PerfectPositive)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    std::vector<double> ys{2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearsonCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Correlation, PerfectNegative)
+{
+    std::vector<double> xs{1, 2, 3, 4};
+    std::vector<double> ys{8, 6, 4, 2};
+    EXPECT_NEAR(pearsonCorrelation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantSeriesIsZero)
+{
+    std::vector<double> xs{1, 1, 1};
+    std::vector<double> ys{1, 2, 3};
+    EXPECT_DOUBLE_EQ(pearsonCorrelation(xs, ys), 0.0);
+}
+
+TEST(Correlation, IndependentNearZero)
+{
+    Rng rng(4);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20000; ++i) {
+        xs.push_back(rng.normal());
+        ys.push_back(rng.normal());
+    }
+    EXPECT_LT(std::fabs(pearsonCorrelation(xs, ys)), 0.03);
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests of the ASCII table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace yac
+{
+namespace
+{
+
+TEST(TextTable, RendersHeadersAndRows)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"bb", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"longvalue", "x"});
+    const std::string out = t.render();
+    // Every rendered line has the same width.
+    std::size_t width = 0;
+    std::size_t start = 0;
+    while (start < out.size()) {
+        const std::size_t end = out.find('\n', start);
+        const std::size_t len = end - start;
+        if (width == 0)
+            width = len;
+        EXPECT_EQ(len, width);
+        start = end + 1;
+    }
+}
+
+TEST(TextTable, TitlePrinted)
+{
+    TextTable t({"x"});
+    t.title("Table 2. Sources of yield loss");
+    EXPECT_NE(t.render().find("Table 2."), std::string::npos);
+}
+
+TEST(TextTable, SeparatorAddsRule)
+{
+    TextTable t({"x"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    const std::string out = t.render();
+    // 3 rules around content plus the separator = 4 "+--" lines.
+    std::size_t rules = 0;
+    for (std::size_t pos = 0; (pos = out.find("+-", pos)) !=
+         std::string::npos; ++pos) {
+        ++rules;
+    }
+    EXPECT_EQ(rules, 4u);
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(3.0, 0), "3");
+    EXPECT_EQ(TextTable::num(static_cast<long long>(42)), "42");
+    EXPECT_EQ(TextTable::percent(0.123, 1), "12.3%");
+    EXPECT_EQ(TextTable::percent(1.0, 0), "100%");
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests of the test-floor models: latency BIST, leakage sensor and
+ * the field configurator's escape/overkill audit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip_fixture.hh"
+#include "util/rng.hh"
+#include "util/statistics.hh"
+#include "yield/schemes/yapd.hh"
+#include "yield/testing.hh"
+
+namespace yac
+{
+namespace
+{
+
+TEST(LatencyTester, NoiselessIsExact)
+{
+    LatencyTester tester(0.0, 0.0);
+    Rng rng(1);
+    EXPECT_DOUBLE_EQ(tester.measureDelay(100.0, rng), 100.0);
+}
+
+TEST(LatencyTester, GuardBandBiasesUp)
+{
+    LatencyTester tester(0.0, 0.05);
+    Rng rng(2);
+    EXPECT_DOUBLE_EQ(tester.measureDelay(100.0, rng), 105.0);
+}
+
+TEST(LatencyTester, NoiseStatistics)
+{
+    LatencyTester tester(0.02, 0.0);
+    Rng rng(3);
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i)
+        stats.add(tester.measureDelay(100.0, rng));
+    EXPECT_NEAR(stats.mean(), 100.0, 0.1);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(LatencyTester, CharacterizeClassifiesEveryWay)
+{
+    LatencyTester tester(0.0, 0.0);
+    Rng rng(4);
+    const CacheTiming chip =
+        test::makeChip({90, 105, 130, 160}, {8, 8, 8, 8});
+    const std::vector<int> cycles =
+        tester.characterize(chip, test::referenceMapping(), rng);
+    ASSERT_EQ(cycles.size(), 4u);
+    EXPECT_EQ(cycles[0], 4);
+    EXPECT_EQ(cycles[1], 5);
+    EXPECT_EQ(cycles[2], 6);
+    EXPECT_EQ(cycles[3], 7);
+}
+
+TEST(LatencyTester, GuardBandPushesMarginalWaysUpACycle)
+{
+    // A way just under the limit classifies as 5-cycle once the
+    // guard band is applied -- conservative binning.
+    LatencyTester tester(0.0, 0.03);
+    Rng rng(5);
+    const CacheTiming chip =
+        test::makeChip({99, 90, 90, 90}, {8, 8, 8, 8});
+    const std::vector<int> cycles =
+        tester.characterize(chip, test::referenceMapping(), rng);
+    EXPECT_EQ(cycles[0], 5);
+}
+
+TEST(LeakageSensor, UnbiasedInMedianAndAveragable)
+{
+    LeakageSensor sensor(0.10);
+    Rng rng(6);
+    std::vector<double> single, averaged;
+    for (int i = 0; i < 4000; ++i) {
+        single.push_back(sensor.read(10.0, rng));
+        averaged.push_back(sensor.readAveraged(10.0, 16, rng));
+    }
+    SampleSummary s1(std::move(single));
+    SampleSummary s16(std::move(averaged));
+    EXPECT_NEAR(s1.quantile(0.5), 10.0, 0.2);
+    // Averaging tightens the spread substantially.
+    EXPECT_LT(s16.stddev(), s1.stddev() * 0.5);
+}
+
+TEST(FieldConfigurator, PerfectTesterMatchesGroundTruth)
+{
+    FieldConfigurator perfect(LatencyTester(0.0, 0.0),
+                              LeakageSensor(0.0));
+    YapdScheme yapd;
+    Rng rng(7);
+    const YieldConstraints c = test::referenceConstraints();
+    const CycleMapping m = test::referenceMapping();
+
+    // A chip YAPD saves: shipped, and the audit agrees.
+    const CacheTiming fixable =
+        test::makeChip({90, 90, 90, 120}, {8, 8, 8, 8});
+    const TestFloorVerdict good =
+        perfect.configure(fixable, yapd, c, m, rng);
+    EXPECT_TRUE(good.decision.saved);
+    EXPECT_TRUE(good.trulyMeetsSpec);
+    EXPECT_FALSE(good.escape());
+    EXPECT_FALSE(good.overkill);
+
+    // A chip YAPD cannot save: correctly discarded.
+    const CacheTiming hopeless =
+        test::makeChip({120, 120, 90, 90}, {8, 8, 8, 8});
+    const TestFloorVerdict bad =
+        perfect.configure(hopeless, yapd, c, m, rng);
+    EXPECT_FALSE(bad.decision.saved);
+    EXPECT_FALSE(bad.overkill);
+}
+
+TEST(FieldConfigurator, NoisyTesterCanOverkill)
+{
+    // Large noise with a marginal chip: sometimes the tester sees
+    // two slow ways where there is one, and discards a savable chip.
+    FieldConfigurator noisy(LatencyTester(0.08, 0.0),
+                            LeakageSensor(0.0));
+    YapdScheme yapd;
+    const YieldConstraints c = test::referenceConstraints();
+    const CycleMapping m = test::referenceMapping();
+    const CacheTiming marginal =
+        test::makeChip({98, 98, 98, 120}, {8, 8, 8, 8});
+    Rng rng(8);
+    int overkills = 0;
+    for (int i = 0; i < 400; ++i) {
+        const TestFloorVerdict v =
+            noisy.configure(marginal, yapd, c, m, rng);
+        if (v.overkill)
+            ++overkills;
+    }
+    EXPECT_GT(overkills, 0);
+}
+
+TEST(FieldConfigurator, GuardBandSuppressesEscapes)
+{
+    // Without a guard band, noise lets truly-slow ways slip through;
+    // a guard band trades those escapes for overkill.
+    YapdScheme yapd;
+    const YieldConstraints c = test::referenceConstraints();
+    const CycleMapping m = test::referenceMapping();
+    const CacheTiming sly =
+        test::makeChip({90, 90, 101, 120}, {8, 8, 8, 8});
+
+    int escapes_no_band = 0, escapes_band = 0;
+    FieldConfigurator no_band(LatencyTester(0.03, 0.0),
+                              LeakageSensor(0.0));
+    FieldConfigurator band(LatencyTester(0.03, 0.05),
+                           LeakageSensor(0.0));
+    Rng rng1(9), rng2(9);
+    for (int i = 0; i < 500; ++i) {
+        if (no_band.configure(sly, yapd, c, m, rng1).escape())
+            ++escapes_no_band;
+        if (band.configure(sly, yapd, c, m, rng2).escape())
+            ++escapes_band;
+    }
+    EXPECT_LT(escapes_band, escapes_no_band);
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests of the synthetic trace generator: determinism, instruction
+ * mix fidelity, address-region structure and dependency shape --
+ * parameterized over the whole benchmark suite.
+ */
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "workload/profile.hh"
+#include "workload/trace_generator.hh"
+
+namespace yac
+{
+namespace
+{
+
+TEST(TraceGenerator, DeterministicInSeed)
+{
+    const BenchmarkProfile &p = profileByName("gcc");
+    TraceGenerator a(p, 5), b(p, 5);
+    for (int i = 0; i < 5000; ++i) {
+        const TraceInst x = a.next();
+        const TraceInst y = b.next();
+        ASSERT_EQ(static_cast<int>(x.op), static_cast<int>(y.op));
+        ASSERT_EQ(x.addr, y.addr);
+        ASSERT_EQ(x.src1, y.src1);
+        ASSERT_EQ(x.dst, y.dst);
+    }
+}
+
+TEST(TraceGenerator, BenchmarksHaveDistinctStreams)
+{
+    // Same seed, different benchmarks: the name is folded into the
+    // stream, so the instruction tuples diverge (the address-space
+    // layout is shared, so raw addresses may still collide).
+    TraceGenerator a(profileByName("gcc"), 5);
+    TraceGenerator b(profileByName("gzip"), 5);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const TraceInst x = a.next();
+        const TraceInst y = b.next();
+        if (x.op == y.op && x.addr == y.addr && x.src1 == y.src1 &&
+            x.dst == y.dst) {
+            ++same;
+        }
+    }
+    EXPECT_LT(same, 100);
+}
+
+class TraceSweep : public ::testing::TestWithParam<BenchmarkProfile>
+{
+  protected:
+    static constexpr int kN = 60000;
+};
+
+TEST_P(TraceSweep, MixMatchesProfile)
+{
+    const BenchmarkProfile &p = GetParam();
+    TraceGenerator gen(p, 1);
+    std::map<OpClass, int> counts;
+    int mispredicts = 0;
+    for (int i = 0; i < kN; ++i) {
+        const TraceInst inst = gen.next();
+        ++counts[inst.op];
+        if (inst.isBranch() && inst.mispredicted)
+            ++mispredicts;
+    }
+    const double n = kN;
+    EXPECT_NEAR(counts[OpClass::Load] / n, p.loadFrac, 0.01);
+    EXPECT_NEAR(counts[OpClass::Store] / n, p.storeFrac, 0.01);
+    EXPECT_NEAR(counts[OpClass::Branch] / n, p.branchFrac, 0.01);
+    if (counts[OpClass::Branch] > 0) {
+        EXPECT_NEAR(static_cast<double>(mispredicts) /
+                        counts[OpClass::Branch],
+                    p.mispredictRate, 0.02);
+    }
+    // FP share of compute operations.
+    const int fp_ops = counts[OpClass::FpAlu] + counts[OpClass::FpMul];
+    const int compute = fp_ops + counts[OpClass::IntAlu] +
+        counts[OpClass::IntMul];
+    EXPECT_NEAR(static_cast<double>(fp_ops) / compute, p.fpOpFrac,
+                0.03);
+}
+
+TEST_P(TraceSweep, MemoryOpsCarryAddressesAndDeps)
+{
+    TraceGenerator gen(GetParam(), 2);
+    for (int i = 0; i < 5000; ++i) {
+        const TraceInst inst = gen.next();
+        if (inst.isMem()) {
+            EXPECT_GT(inst.addr, 0u);
+            EXPECT_NE(inst.src1, kNoReg);
+        }
+        if (inst.isLoad()) {
+            EXPECT_NE(inst.dst, kNoReg);
+        }
+        if (inst.isStore() || inst.isBranch()) {
+            EXPECT_EQ(inst.dst, kNoReg);
+        }
+    }
+}
+
+TEST_P(TraceSweep, PcWalksTheFootprint)
+{
+    const BenchmarkProfile &p = GetParam();
+    TraceGenerator gen(p, 3);
+    std::uint64_t min_pc = ~0ull, max_pc = 0;
+    for (int i = 0; i < kN; ++i) {
+        const std::uint64_t pc = gen.next().pc;
+        min_pc = std::min(min_pc, pc);
+        max_pc = std::max(max_pc, pc);
+    }
+    EXPECT_GE(min_pc, 0x400000u);
+    // The walk reaches a good part of the configured footprint but
+    // does not escape far beyond it (sequential runs may overshoot a
+    // little past the last jump target).
+    EXPECT_GT(max_pc - min_pc, p.instFootprintKb * 1024 / 4);
+    EXPECT_LT(max_pc - min_pc, p.instFootprintKb * 1024 * 2);
+}
+
+TEST_P(TraceSweep, HotRegionShareApproximatelyRight)
+{
+    const BenchmarkProfile &p = GetParam();
+    TraceGenerator gen(p, 4);
+    int mem = 0, hot = 0;
+    for (int i = 0; i < kN; ++i) {
+        const TraceInst inst = gen.next();
+        if (!inst.isMem())
+            continue;
+        ++mem;
+        if (inst.addr >= 0x7fff0000ull)
+            ++hot;
+    }
+    ASSERT_GT(mem, 0);
+    EXPECT_NEAR(static_cast<double>(hot) / mem, p.hotFrac(), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, TraceSweep,
+    ::testing::ValuesIn(spec2000Profiles()),
+    [](const ::testing::TestParamInfo<BenchmarkProfile> &info) {
+        return info.param.name;
+    });
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests of trace recording and replay.
+ */
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "workload/profile.hh"
+#include "workload/trace_generator.hh"
+#include "workload/trace_io.hh"
+
+namespace yac
+{
+namespace
+{
+
+class TraceIoTest : public ::testing::Test
+{
+  protected:
+    std::string
+    path() const
+    {
+        // Unique per test case: ctest runs cases in parallel.
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        return ::testing::TempDir() + "yac_trace_" +
+            std::string(info->name()) + ".bin";
+    }
+
+    void TearDown() override { std::remove(path().c_str()); }
+};
+
+TEST_F(TraceIoTest, RoundTripPreservesEveryField)
+{
+    TraceGenerator gen(profileByName("gcc"), 11);
+    std::vector<TraceInst> original;
+    {
+        TraceWriter writer(path());
+        for (int i = 0; i < 2000; ++i) {
+            const TraceInst inst = gen.next();
+            original.push_back(inst);
+            writer.write(inst);
+        }
+        EXPECT_EQ(writer.written(), 2000u);
+    }
+    TraceReader reader(path(), /*wrap=*/false);
+    ASSERT_EQ(reader.size(), 2000u);
+    for (const TraceInst &expect : original) {
+        const TraceInst got = reader.next();
+        ASSERT_EQ(static_cast<int>(got.op),
+                  static_cast<int>(expect.op));
+        ASSERT_EQ(got.addr, expect.addr);
+        ASSERT_EQ(got.pc, expect.pc);
+        ASSERT_EQ(got.src1, expect.src1);
+        ASSERT_EQ(got.src2, expect.src2);
+        ASSERT_EQ(got.dst, expect.dst);
+        ASSERT_EQ(got.mispredicted, expect.mispredicted);
+    }
+}
+
+TEST_F(TraceIoTest, RecordHelperPullsFromSource)
+{
+    TraceGenerator gen(profileByName("swim"), 3);
+    {
+        TraceWriter writer(path());
+        writer.record(gen, 500);
+    }
+    TraceReader reader(path());
+    EXPECT_EQ(reader.size(), 500u);
+}
+
+TEST_F(TraceIoTest, WrapRestartsFromBeginning)
+{
+    {
+        TraceWriter writer(path());
+        TraceGenerator gen(profileByName("gzip"), 5);
+        writer.record(gen, 10);
+    }
+    TraceReader reader(path(), /*wrap=*/true);
+    std::vector<std::uint64_t> first_pass;
+    for (int i = 0; i < 10; ++i)
+        first_pass.push_back(reader.next().addr);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(reader.next().addr, first_pass[i]);
+    EXPECT_EQ(reader.served(), 20u);
+}
+
+TEST_F(TraceIoTest, NoWrapFatalsAtEnd)
+{
+    {
+        TraceWriter writer(path());
+        TraceGenerator gen(profileByName("gzip"), 5);
+        writer.record(gen, 3);
+    }
+    TraceReader reader(path(), /*wrap=*/false);
+    reader.next();
+    reader.next();
+    reader.next();
+    EXPECT_EXIT((void)reader.next(), ::testing::ExitedWithCode(1),
+                "exhausted");
+}
+
+TEST_F(TraceIoTest, RejectsGarbageFiles)
+{
+    {
+        std::ofstream junk(path(), std::ios::binary);
+        junk << "this is not a trace";
+    }
+    EXPECT_EXIT(TraceReader reader(path()),
+                ::testing::ExitedWithCode(1), "not a yac trace");
+}
+
+TEST_F(TraceIoTest, ReplayDrivesTheCore)
+{
+    // A recorded trace replayed through the reader is a full
+    // TraceSource: statistics match the mix of the recording.
+    {
+        TraceWriter writer(path());
+        TraceGenerator gen(profileByName("mcf"), 9);
+        writer.record(gen, 5000);
+    }
+    TraceReader reader(path());
+    int loads = 0;
+    for (int i = 0; i < 5000; ++i)
+        loads += reader.next().isLoad() ? 1 : 0;
+    EXPECT_NEAR(loads / 5000.0, profileByName("mcf").loadFrac, 0.02);
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests of the analytical device model: monotone dependences on the
+ * varied parameters and the leakage sensitivities the paper cites.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/transistor.hh"
+
+namespace yac
+{
+namespace
+{
+
+class DeviceTest : public ::testing::Test
+{
+  protected:
+    Technology tech_ = defaultTechnology();
+    DeviceModel dev_{tech_};
+    ProcessParams nominal_ = VariationTable().nominalParams();
+};
+
+TEST_F(DeviceTest, OnCurrentScalesWithWidth)
+{
+    const double i1 = dev_.onCurrent(nominal_, 1.0);
+    const double i2 = dev_.onCurrent(nominal_, 2.0);
+    EXPECT_NEAR(i2, 2.0 * i1, 1e-9);
+}
+
+TEST_F(DeviceTest, OnCurrentDecreasesWithVt)
+{
+    ProcessParams high_vt = nominal_;
+    high_vt.thresholdVoltage += 50.0;
+    EXPECT_LT(dev_.onCurrent(high_vt, 1.0),
+              dev_.onCurrent(nominal_, 1.0));
+}
+
+TEST_F(DeviceTest, LongerChannelIsSlower)
+{
+    ProcessParams long_l = nominal_;
+    long_l.gateLength *= 1.1;
+    EXPECT_LT(dev_.onCurrent(long_l, 1.0),
+              dev_.onCurrent(nominal_, 1.0));
+}
+
+TEST_F(DeviceTest, ShortChannelLowersEffectiveVt)
+{
+    ProcessParams short_l = nominal_;
+    short_l.gateLength *= 0.9;
+    EXPECT_LT(dev_.effectiveVt(short_l), dev_.effectiveVt(nominal_));
+    EXPECT_NEAR(dev_.effectiveVt(nominal_), 0.220, 1e-12);
+}
+
+TEST_F(DeviceTest, LeakageExponentialInVt)
+{
+    // One subthreshold swing of V_t change cuts leakage by e.
+    ProcessParams up = nominal_;
+    up.thresholdVoltage += tech_.subthresholdSwing * 1000.0;
+    const double ratio = dev_.subthresholdLeak(nominal_, 1.0) /
+        dev_.subthresholdLeak(up, 1.0);
+    EXPECT_NEAR(ratio, std::exp(1.0), 0.03);
+}
+
+TEST_F(DeviceTest, ShortChannelLeaksMore)
+{
+    // The paper: ~10% shorter channel -> multi-fold leakage increase.
+    ProcessParams short_l = nominal_;
+    short_l.gateLength *= 0.9;
+    const double ratio = dev_.subthresholdLeak(short_l, 1.0) /
+        dev_.subthresholdLeak(nominal_, 1.0);
+    EXPECT_GT(ratio, 3.0);
+}
+
+TEST_F(DeviceTest, TotalLeakIncludesGateFloor)
+{
+    // Even a very high V_t device keeps the (flat) gate leakage.
+    ProcessParams high_vt = nominal_;
+    high_vt.thresholdVoltage = 500.0;
+    const double gate_floor = tech_.gateLeakFraction *
+        dev_.subthresholdLeak(nominal_, 1.0);
+    EXPECT_GE(dev_.totalLeak(high_vt, 1.0), gate_floor * 0.99);
+}
+
+TEST_F(DeviceTest, GateDelayPositiveAndMonotoneInLoad)
+{
+    const double d1 = dev_.gateDelay(nominal_, 2.0, 5.0);
+    const double d2 = dev_.gateDelay(nominal_, 2.0, 10.0);
+    EXPECT_GT(d1, 0.0);
+    EXPECT_GT(d2, d1);
+}
+
+TEST_F(DeviceTest, WiderDriverIsFaster)
+{
+    const double narrow = dev_.gateDelay(nominal_, 1.0, 10.0);
+    const double wide = dev_.gateDelay(nominal_, 4.0, 10.0);
+    EXPECT_LT(wide, narrow);
+}
+
+TEST_F(DeviceTest, DriveResistanceConsistentWithCurrent)
+{
+    const double r = dev_.driveResistance(nominal_, 2.0);
+    const double i = dev_.onCurrent(nominal_, 2.0);
+    EXPECT_NEAR(r * i, 1000.0 * tech_.vdd, 1e-6);
+}
+
+TEST_F(DeviceTest, CapsScaleWithWidth)
+{
+    EXPECT_DOUBLE_EQ(dev_.gateCap(2.0), 2.0 * tech_.gateCapPerUm);
+    EXPECT_DOUBLE_EQ(dev_.junctionCap(3.0),
+                     3.0 * tech_.junctionCapPerUm);
+}
+
+TEST_F(DeviceTest, OverdriveClampKeepsCurrentsFinite)
+{
+    ProcessParams extreme = nominal_;
+    extreme.thresholdVoltage = 2000.0; // above Vdd
+    EXPECT_GT(dev_.onCurrent(extreme, 1.0), 0.0);
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests of the per-way circuit model: stage structure, bank
+ * asymmetry, region exclusion and the spread-widening exponent.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/way_model.hh"
+#include "util/rng.hh"
+#include "variation/sampler.hh"
+
+namespace yac
+{
+namespace
+{
+
+class WayModelTest : public ::testing::Test
+{
+  protected:
+    CacheGeometry geom_;
+    Technology tech_ = defaultTechnology();
+    WayModel model_{geom_, tech_};
+};
+
+TEST_F(WayModelTest, NominalDelayPositiveAndStable)
+{
+    const double d = model_.nominalDelay();
+    EXPECT_GT(d, 10.0);
+    EXPECT_LT(d, 1000.0);
+    EXPECT_DOUBLE_EQ(model_.nominalDelay(), d);
+}
+
+TEST_F(WayModelTest, StageBreakdownSumsToPath)
+{
+    const WayVariation nominal = model_.nominalWay();
+    const StageDelays s = model_.stageBreakdown(nominal, 2, 3);
+    EXPECT_GT(s.addressBus, 0.0);
+    EXPECT_GT(s.predecode, 0.0);
+    EXPECT_GT(s.globalWordLine, 0.0);
+    EXPECT_GT(s.localWordLine, 0.0);
+    EXPECT_GT(s.bitline, 0.0);
+    EXPECT_GT(s.senseAmp, 0.0);
+    EXPECT_GT(s.output, 0.0);
+    EXPECT_NEAR(
+        s.total(),
+        s.addressBus + s.predecode + s.globalWordLine +
+            s.localWordLine + s.bitline + s.senseAmp + s.output,
+        1e-12);
+}
+
+TEST_F(WayModelTest, FartherBanksAreSlower)
+{
+    // The global word line grows with the bank index, so the nominal
+    // critical path lives in the last bank.
+    const WayVariation nominal = model_.nominalWay();
+    double prev = 0.0;
+    for (std::size_t b = 0; b < geom_.banksPerWay; ++b) {
+        const double d = model_.stageBreakdown(nominal, b, 0).total();
+        EXPECT_GT(d, prev);
+        prev = d;
+    }
+}
+
+TEST_F(WayModelTest, EvaluateShape)
+{
+    const WayTiming t = model_.evaluate(model_.nominalWay());
+    EXPECT_EQ(t.banks, geom_.banksPerWay);
+    EXPECT_EQ(t.groupsPerBank, geom_.rowGroupsPerBank);
+    EXPECT_EQ(t.pathDelays.size(),
+              geom_.banksPerWay * geom_.rowGroupsPerBank);
+    EXPECT_EQ(t.groupCellLeakage.size(), t.pathDelays.size());
+    EXPECT_GT(t.peripheralLeakage, 0.0);
+}
+
+TEST_F(WayModelTest, NominalEvaluationEqualsNominalDelay)
+{
+    const WayTiming t = model_.evaluate(model_.nominalWay());
+    EXPECT_NEAR(t.delay(), model_.nominalDelay(), 1e-9);
+}
+
+TEST_F(WayModelTest, ExcludingCriticalBankReducesDelay)
+{
+    const WayTiming t = model_.evaluate(model_.nominalWay());
+    const std::size_t last = geom_.banksPerWay - 1;
+    EXPECT_LT(t.delayExcludingBank(last), t.delay());
+    // Excluding a non-critical bank leaves the critical path alone.
+    EXPECT_DOUBLE_EQ(t.delayExcludingBank(0), t.delay());
+}
+
+TEST_F(WayModelTest, LeakageDecomposition)
+{
+    const WayTiming t = model_.evaluate(model_.nominalWay());
+    double bank_sum = 0.0;
+    for (std::size_t b = 0; b < t.banks; ++b)
+        bank_sum += t.bankCellLeakage(b);
+    EXPECT_NEAR(bank_sum, t.cellLeakage(), 1e-9);
+    EXPECT_NEAR(t.leakage(), t.cellLeakage() + t.peripheralLeakage,
+                1e-9);
+}
+
+TEST_F(WayModelTest, HigherVtWayLeaksLess)
+{
+    WayVariation way = model_.nominalWay();
+    const double base_leak = model_.evaluate(way).leakage();
+    for (auto &bank : way.rowGroups) {
+        for (auto &grp : bank)
+            grp.thresholdVoltage += 30.0;
+    }
+    EXPECT_LT(model_.evaluate(way).cellLeakage(),
+              model_.evaluate(model_.nominalWay()).cellLeakage());
+    (void)base_leak;
+}
+
+TEST_F(WayModelTest, SlowerCellSlowsOnlyItsGroup)
+{
+    WayVariation way = model_.nominalWay();
+    way.worstCell[1][2].thresholdVoltage += 100.0;
+    const WayTiming t = model_.evaluate(way);
+    const WayTiming nom = model_.evaluate(model_.nominalWay());
+    EXPECT_GT(t.pathDelays[t.pathIndex(1, 2)],
+              nom.pathDelays[nom.pathIndex(1, 2)]);
+    EXPECT_NEAR(t.pathDelays[t.pathIndex(0, 0)],
+                nom.pathDelays[nom.pathIndex(0, 0)], 1e-9);
+}
+
+TEST_F(WayModelTest, SensitivityExponentWidensSpread)
+{
+    Technology flat = tech_;
+    flat.delaySensitivity = 1.0;
+    Technology wide = tech_;
+    wide.delaySensitivity = 3.0;
+    WayModel m1(geom_, flat);
+    WayModel m3(geom_, wide);
+
+    VariationSampler sampler(VariationTable(), CorrelationModel(),
+                             geom_.variationGeometry());
+    Rng rng(11);
+    const CacheVariationMap map = sampler.sample(rng);
+
+    const double nominal = m1.nominalDelay();
+    const double d1 = m1.evaluate(map.ways[0]).delay();
+    const double d3 = m3.evaluate(map.ways[0]).delay();
+    // Same draw, same direction, amplified magnitude.
+    const double rel1 = d1 / nominal - 1.0;
+    const double rel3 = d3 / nominal - 1.0;
+    EXPECT_GT(std::abs(rel3), std::abs(rel1));
+    EXPECT_GT(rel1 * rel3, 0.0);
+}
+
+TEST_F(WayModelTest, MismatchedMapRejected)
+{
+    WayVariation way = model_.nominalWay();
+    way.rowGroups.pop_back();
+    EXPECT_DEATH((void)model_.evaluate(way), "bank count");
+}
+
+} // namespace
+} // namespace yac

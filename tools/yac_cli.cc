@@ -1,0 +1,367 @@
+/**
+ * @file
+ * yac -- the command-line front end to the library.
+ *
+ *   yac yield    [--chips N] [--seed S] [--policy P] [--layout L]
+ *   yac simulate --benchmark B [--config C] [--insts N]
+ *   yac advise   --ways c,c,c,c --leak R
+ *   yac trace    --benchmark B --out FILE [--insts N]
+ *   yac list
+ *
+ * Run `yac help` (or any subcommand with --help) for details.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/scenarios.hh"
+#include "util/table.hh"
+#include "workload/profile.hh"
+#include "workload/trace_generator.hh"
+#include "workload/trace_io.hh"
+#include "yield/analysis.hh"
+#include "yield/monte_carlo.hh"
+#include "yield/schemes/hybrid.hh"
+#include "yield/schemes/hyapd.hh"
+#include "yield/schemes/naive_binning.hh"
+#include "yield/schemes/vaca.hh"
+#include "yield/schemes/yapd.hh"
+
+using namespace yac;
+
+namespace
+{
+
+/** Tiny --key value parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int start)
+    {
+        for (int i = start; i < argc; ++i) {
+            const std::string key = argv[i];
+            if (key.size() > 2 && key.rfind("--", 0) == 0 &&
+                i + 1 < argc) {
+                values_.emplace(key.substr(2), argv[++i]);
+            } else if (key == "--help" || key == "-h") {
+                // emplace rather than operator[]= : works around the
+                // GCC 12 -Wrestrict false positive (PR105651).
+                values_.emplace("help", "1");
+            } else {
+                std::fprintf(stderr, "unknown argument: %s\n",
+                             argv[i]);
+                std::exit(2);
+            }
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    long
+    getInt(const std::string &key, long fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback
+                                   : std::atol(it->second.c_str());
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback
+                                   : std::atof(it->second.c_str());
+    }
+
+    bool has(const std::string &key) const
+    {
+        return values_.count(key) > 0;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+ConstraintPolicy
+policyByName(const std::string &name)
+{
+    if (name == "nominal")
+        return ConstraintPolicy::nominal();
+    if (name == "relaxed")
+        return ConstraintPolicy::relaxed();
+    if (name == "strict")
+        return ConstraintPolicy::strict();
+    yac_fatal("unknown policy '", name,
+              "' (nominal | relaxed | strict)");
+}
+
+int
+cmdYield(const Args &args)
+{
+    if (args.has("help")) {
+        std::puts("yac yield [--chips N=2000] [--seed S=2006] "
+                  "[--policy nominal|relaxed|strict] "
+                  "[--layout regular|horizontal]");
+        return 0;
+    }
+    const auto chips =
+        static_cast<std::size_t>(args.getInt("chips", 2000));
+    const auto seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 2006));
+    const ConstraintPolicy policy =
+        policyByName(args.get("policy", "nominal"));
+    const std::string layout = args.get("layout", "regular");
+
+    MonteCarlo mc;
+    const MonteCarloResult result = mc.run({chips, seed});
+    const YieldConstraints c = result.constraints(policy);
+    const CycleMapping m = result.cycleMapping(policy);
+
+    YapdScheme yapd;
+    HYapdScheme hyapd;
+    VacaScheme vaca;
+    HybridScheme hybrid;
+    HybridHScheme hybrid_h;
+
+    const bool horizontal = layout == "horizontal";
+    const std::vector<const Scheme *> schemes = horizontal
+        ? std::vector<const Scheme *>{&hyapd, &vaca, &hybrid_h}
+        : std::vector<const Scheme *>{&yapd, &vaca, &hybrid};
+    const LossTable t = buildLossTable(
+        horizontal ? result.horizontal : result.regular, c, m,
+        schemes);
+
+    std::printf("%zu chips, %s constraints, %s layout\n", chips,
+                policy.name.c_str(), layout.c_str());
+    std::printf("delay limit %.1f ps, leakage limit %.2f mW\n\n",
+                c.delayLimitPs, c.leakageLimitMw);
+    std::vector<std::string> headers = {"Reason", "# Chips"};
+    for (const SchemeLosses &s : t.schemes)
+        headers.push_back(s.scheme);
+    TextTable out(headers);
+    for (LossReason r : kLossRows) {
+        std::vector<std::string> row = {
+            lossReasonName(r),
+            TextTable::num(static_cast<long long>(t.baseAt(r)))};
+        for (const SchemeLosses &s : t.schemes)
+            row.push_back(
+                TextTable::num(static_cast<long long>(s.at(r))));
+        out.addRow(row);
+    }
+    out.addSeparator();
+    std::vector<std::string> total = {
+        "Total", TextTable::num(static_cast<long long>(t.baseTotal))};
+    for (const SchemeLosses &s : t.schemes)
+        total.push_back(TextTable::num(static_cast<long long>(s.total)));
+    out.addRow(total);
+    out.print();
+    std::printf("\nyield: base %s",
+                TextTable::percent(t.yieldOf("Base")).c_str());
+    for (const SchemeLosses &s : t.schemes)
+        std::printf(", %s %s", s.scheme.c_str(),
+                    TextTable::percent(t.yieldOf(s.scheme)).c_str());
+    std::printf("\n");
+    return 0;
+}
+
+SimConfig
+configByName(const std::string &name)
+{
+    if (name == "base")
+        return baselineScenario();
+    if (name == "yapd")
+        return yapdScenario(1);
+    if (name == "hyapd")
+        return hyapdScenario(0);
+    if (name.rfind("vaca", 0) == 0 && name.size() == 5)
+        return vacaScenario(name[4] - '0');
+    if (name.rfind("hybrid", 0) == 0 && name.size() == 7)
+        return hybridOffScenario(name[6] - '0');
+    if (name.rfind("bin", 0) == 0 && name.size() == 4)
+        return binningScenario(name[3] - '0');
+    yac_fatal("unknown config '", name,
+              "' (base | yapd | hyapd | vacaN | hybridN | binN)");
+}
+
+int
+cmdSimulate(const Args &args)
+{
+    if (args.has("help") || !args.has("benchmark")) {
+        std::puts("yac simulate --benchmark B [--config base] "
+                  "[--insts N=200000] [--seed S=1]\n"
+                  "configs: base yapd hyapd vaca<0-4> hybrid<0-3> "
+                  "bin<5-8>");
+        return args.has("help") ? 0 : 2;
+    }
+    const BenchmarkProfile &profile =
+        profileByName(args.get("benchmark", ""));
+    SimConfig cfg = configByName(args.get("config", "base"));
+    cfg.measureInsts =
+        static_cast<std::uint64_t>(args.getInt("insts", 200000));
+    cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+
+    const SimStats s = simulateBenchmark(profile, cfg);
+    std::printf("%s on %s: CPI %.4f (IPC %.3f)\n",
+                profile.name.c_str(), cfg.label.c_str(), s.cpi(),
+                s.ipc());
+    std::printf("L1D %.2f%% miss, %llu slow-way hits | replays %llu "
+                "| bypass stalls %llu\n",
+                100.0 * s.l1d.missRate(),
+                static_cast<unsigned long long>(s.slowWayLoads),
+                static_cast<unsigned long long>(s.replays),
+                static_cast<unsigned long long>(s.loadBypassStalls));
+    return 0;
+}
+
+int
+cmdAdvise(const Args &args)
+{
+    if (args.has("help") || !args.has("ways")) {
+        std::puts("yac advise --ways 4,4,4,5 --leak 0.8\n"
+                  "  ways: measured latency (cycles) of each way\n"
+                  "  leak: measured leakage / leakage limit");
+        return args.has("help") ? 0 : 2;
+    }
+    std::vector<int> cycles;
+    const std::string ways = args.get("ways", "");
+    for (std::size_t pos = 0; pos < ways.size();) {
+        cycles.push_back(std::atoi(ways.c_str() + pos));
+        const std::size_t comma = ways.find(',', pos);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (cycles.size() != 4)
+        yac_fatal("--ways needs four comma-separated cycle counts");
+    const double leak = args.getDouble("leak", 0.8);
+
+    CycleMapping mapping;
+    mapping.delayLimitPs = 100.0;
+    YieldConstraints limits{100.0, 1.0};
+    CacheTiming timing;
+    for (int c : cycles) {
+        WayTiming way;
+        way.banks = 4;
+        way.groupsPerBank = 2;
+        const double d = c <= 4 ? 95.0
+                                : mapping.latencyBudget(c) * 0.999;
+        way.pathDelays.assign(8, d);
+        way.groupCellLeakage.assign(8, leak / 4.0 * 0.8 / 8.0);
+        way.peripheralLeakage = leak / 4.0 * 0.2;
+        timing.ways.push_back(way);
+    }
+    const ChipAssessment a = assessChip(timing, limits, mapping);
+    if (a.passes()) {
+        std::puts("chip passes: ship as-is");
+        return 0;
+    }
+    std::printf("base screening: REJECT (%s)\n",
+                lossReasonName(a.lossReason()));
+    YapdScheme yapd;
+    VacaScheme vaca;
+    HybridScheme hybrid;
+    NaiveBinningScheme bin5(5), bin6(6);
+    bool any = false;
+    for (const Scheme *s : std::vector<const Scheme *>{
+             &yapd, &vaca, &hybrid, &bin5, &bin6}) {
+        const SchemeOutcome out = s->apply(timing, a, limits, mapping);
+        if (out.saved) {
+            any = true;
+            std::printf("  %-7s ships as %s\n", s->name().c_str(),
+                        out.config.label().c_str());
+        }
+    }
+    if (!any)
+        std::puts("  unsalvageable: parametric yield loss");
+    return 0;
+}
+
+int
+cmdTrace(const Args &args)
+{
+    if (args.has("help") || !args.has("benchmark") ||
+        !args.has("out")) {
+        std::puts("yac trace --benchmark B --out FILE "
+                  "[--insts N=1000000] [--seed S=1]");
+        return args.has("help") ? 0 : 2;
+    }
+    const BenchmarkProfile &profile =
+        profileByName(args.get("benchmark", ""));
+    TraceGenerator gen(profile,
+                       static_cast<std::uint64_t>(
+                           args.getInt("seed", 1)));
+    TraceWriter writer(args.get("out", ""));
+    writer.record(gen, static_cast<std::uint64_t>(
+                           args.getInt("insts", 1000000)));
+    std::printf("wrote %llu instructions of '%s' to %s\n",
+                static_cast<unsigned long long>(writer.written()),
+                profile.name.c_str(), args.get("out", "").c_str());
+    return 0;
+}
+
+int
+cmdList()
+{
+    TextTable out({"Benchmark", "Type", "loads", "exp. L1D miss"});
+    for (const BenchmarkProfile &p : spec2000Profiles()) {
+        out.addRow({p.name, p.isFp ? "FP" : "INT",
+                    TextTable::percent(p.loadFrac, 0),
+                    TextTable::percent(p.expectedL1MissRate(), 1)});
+    }
+    out.print();
+    return 0;
+}
+
+void
+usage()
+{
+    std::puts(
+        "yac -- yield-aware cache architectures (MICRO 2006 repro)\n"
+        "\n"
+        "  yac yield     Monte Carlo yield analysis with all schemes\n"
+        "  yac simulate  run a benchmark on a cache configuration\n"
+        "  yac advise    scheme feasibility for a measured chip\n"
+        "  yac trace     record a benchmark trace to a file\n"
+        "  yac list      list the benchmark suite\n"
+        "\n"
+        "Each subcommand accepts --help.");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    const Args args(argc, argv, 2);
+    if (cmd == "yield")
+        return cmdYield(args);
+    if (cmd == "simulate")
+        return cmdSimulate(args);
+    if (cmd == "advise")
+        return cmdAdvise(args);
+    if (cmd == "trace")
+        return cmdTrace(args);
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+        usage();
+        return 0;
+    }
+    std::fprintf(stderr, "unknown command: %s\n\n", cmd.c_str());
+    usage();
+    return 2;
+}
