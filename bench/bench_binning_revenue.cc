@@ -20,11 +20,14 @@
 using namespace yac;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    const bench::WallTimer timer;
     std::printf("Speed-binning economics with yield-aware schemes "
-                "(2000 chips)\n\n");
-    const MonteCarloResult mc = bench::paperMonteCarlo();
+                "(%zu chips)\n\n", opts.chips);
+    const MonteCarloResult mc =
+        bench::paperMonteCarlo(opts.chips, opts.seed);
     const YieldConstraints nominal =
         mc.constraints(ConstraintPolicy::nominal());
 
@@ -74,5 +77,7 @@ main()
     std::printf("expected shape: schemes both rescue scrap AND lift "
                 "mid-bin chips into the fast bin -- the revenue gain "
                 "exceeds the pure yield gain.\n");
+    bench::reportCampaignTiming("binning_revenue", opts.chips,
+                                timer.seconds());
     return 0;
 }

@@ -8,11 +8,16 @@
 #ifndef YAC_BENCH_BENCH_COMMON_HH
 #define YAC_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "sim/simulation.hh"
+#include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/table.hh"
 #include "workload/profile.hh"
 #include "yield/analysis.hh"
@@ -23,12 +28,98 @@ namespace yac
 namespace bench
 {
 
-/** The paper's campaign: 2000 chips, fixed seed. */
+/** Campaign knobs every bench accepts on its command line. */
+struct BenchOptions
+{
+    std::size_t chips = 2000;   //!< the paper's population size
+    std::uint64_t seed = 2006;  //!< the paper's seed
+};
+
+/**
+ * Parse `--chips=N`, `--threads=N` and `--seed=S`. `--threads`
+ * applies globally (same effect as YAC_THREADS); anything else is a
+ * usage error. Benches stay argument-free by default.
+ */
+inline BenchOptions
+parseOptions(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const auto value = [arg](const char *prefix) -> const char * {
+            const std::size_t len = std::strlen(prefix);
+            return std::strncmp(arg, prefix, len) == 0 ? arg + len
+                                                       : nullptr;
+        };
+        char *end = nullptr;
+        if (const char *v = value("--chips=")) {
+            opts.chips = std::strtoull(v, &end, 10);
+            if (end == v || *end != '\0' || opts.chips < 2)
+                yac_fatal("--chips wants an integer >= 2, got '", v,
+                          "'");
+        } else if (const char *v = value("--threads=")) {
+            const unsigned long long t = std::strtoull(v, &end, 10);
+            if (end == v || *end != '\0')
+                yac_fatal("--threads wants an integer >= 0, got '", v,
+                          "'");
+            parallel::setThreads(static_cast<std::size_t>(t));
+        } else if (const char *v = value("--seed=")) {
+            opts.seed = std::strtoull(v, &end, 10);
+            if (end == v || *end != '\0')
+                yac_fatal("--seed wants an integer, got '", v, "'");
+        } else {
+            yac_fatal("unknown argument '", arg,
+                      "' (usage: [--chips=N] [--threads=N] "
+                      "[--seed=S])");
+        }
+    }
+    return opts;
+}
+
+/** Wall-clock stopwatch for campaign timing. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Emit the machine-readable timing line tracked across PRs:
+ *
+ *   BENCH_<name>.json {"bench":...,"chips":...,"threads":...,
+ *                      "wall_s":...,"chips_per_s":...}
+ */
+inline void
+reportCampaignTiming(const std::string &name, std::size_t chips,
+                     double wall_seconds)
+{
+    std::printf("BENCH_%s.json {\"bench\":\"%s\",\"chips\":%zu,"
+                "\"threads\":%zu,\"wall_s\":%.3f,"
+                "\"chips_per_s\":%.1f}\n",
+                name.c_str(), name.c_str(), chips,
+                parallel::threads(), wall_seconds,
+                wall_seconds > 0.0
+                    ? static_cast<double>(chips) / wall_seconds
+                    : 0.0);
+}
+
+/** The paper's campaign: 2000 chips, fixed seed, by default. */
 inline MonteCarloResult
-paperMonteCarlo()
+paperMonteCarlo(std::size_t chips = 2000, std::uint64_t seed = 2006)
 {
     MonteCarlo mc;
-    return mc.run({2000, 2006});
+    return mc.run({chips, seed});
 }
 
 /** Render a Tables-2/3-shaped loss table. */
@@ -81,17 +172,19 @@ benchSim(SimConfig cfg)
 
 /**
  * Baseline CPI of every benchmark in the suite, computed once and
- * reused across configurations.
+ * reused across configurations. The 24 trace-driven simulations are
+ * independent and run concurrently, one benchmark per task.
  */
 inline std::vector<double>
 baselineCpis(const SimConfig &baseline)
 {
-    std::vector<double> cpis;
-    for (const BenchmarkProfile &p : spec2000Profiles()) {
-        std::fprintf(stderr, "  base %-8s\r", p.name.c_str());
-        cpis.push_back(simulateBenchmark(p, baseline).cpi());
-    }
-    std::fprintf(stderr, "%24s\r", "");
+    const auto &suite = spec2000Profiles();
+    std::fprintf(stderr, "  base (%zu benchmarks)...\r", suite.size());
+    std::vector<double> cpis(suite.size());
+    parallel::forEach(suite.size(), [&](std::size_t i) {
+        cpis[i] = simulateBenchmark(suite[i], baseline).cpi();
+    });
+    std::fprintf(stderr, "%32s\r", "");
     return cpis;
 }
 
@@ -100,14 +193,14 @@ inline std::vector<double>
 degradationsVs(const std::vector<double> &base_cpis,
                const SimConfig &config)
 {
-    std::vector<double> out;
     const auto &suite = spec2000Profiles();
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-        std::fprintf(stderr, "  %s %-8s\r", config.label.c_str(),
-                     suite[i].name.c_str());
+    std::fprintf(stderr, "  %s (%zu benchmarks)...\r",
+                 config.label.c_str(), suite.size());
+    std::vector<double> out(suite.size());
+    parallel::forEach(suite.size(), [&](std::size_t i) {
         const double cpi = simulateBenchmark(suite[i], config).cpi();
-        out.push_back(100.0 * (cpi / base_cpis[i] - 1.0));
-    }
+        out[i] = 100.0 * (cpi / base_cpis[i] - 1.0);
+    });
     std::fprintf(stderr, "%32s\r", "");
     return out;
 }

@@ -14,11 +14,14 @@
 using namespace yac;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    const bench::WallTimer timer;
     std::printf("Table 2: sources of yield loss for regular "
-                "power-down (2000 chips)\n\n");
-    const MonteCarloResult mc = bench::paperMonteCarlo();
+                "power-down (%zu chips)\n\n", opts.chips);
+    const MonteCarloResult mc =
+        bench::paperMonteCarlo(opts.chips, opts.seed);
     const YieldConstraints constraints =
         mc.constraints(ConstraintPolicy::nominal());
     const CycleMapping mapping =
@@ -35,5 +38,7 @@ main()
                 "138/126/36/23/16 total 339; YAPD 33/0/36/23/16 "
                 "t108; VACA 138/34/20/19/15 t226; Hybrid "
                 "33/0/7/11/13 t64\n");
+    bench::reportCampaignTiming("table2_regular", opts.chips,
+                                timer.seconds());
     return 0;
 }

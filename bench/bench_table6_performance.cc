@@ -16,6 +16,7 @@
 #include "bench_common.hh"
 #include "sim/scenarios.hh"
 #include "util/csv.hh"
+#include "util/parallel.hh"
 #include "yield/schemes/hybrid.hh"
 #include "yield/schemes/vaca.hh"
 #include "yield/schemes/yapd.hh"
@@ -31,36 +32,9 @@ const std::vector<std::string> kSignatures = {
     "2-1-1", "1-2-1", "0-3-1", "4-0-0",
 };
 
-/** Suite-average degradation [%] for a scenario, memoized by label. */
-class DegradationCache
-{
-  public:
-    explicit DegradationCache(const std::vector<double> &base_cpis)
-        : baseCpis_(base_cpis)
-    {
-    }
-
-    double
-    average(const SimConfig &cfg)
-    {
-        auto it = cache_.find(cfg.label);
-        if (it != cache_.end())
-            return it->second;
-        const double avg =
-            meanOf(bench::degradationsVs(baseCpis_, cfg));
-        cache_.emplace(cfg.label, avg);
-        return avg;
-    }
-
-  private:
-    const std::vector<double> &baseCpis_;
-    std::map<std::string, double> cache_;
-};
-
-/** Degradation of a scheme on a signature, or nullopt for N/A. */
-std::optional<double>
-degradationFor(const std::string &signature, const std::string &scheme,
-               DegradationCache &cache)
+/** Scenario of a scheme on a signature, or nullopt for N/A. */
+std::optional<SimConfig>
+scenarioFor(const std::string &signature, const std::string &scheme)
 {
     int n4 = 0, n5 = 0, n6 = 0;
     std::sscanf(signature.c_str(), "%d-%d-%d", &n4, &n5, &n6);
@@ -70,21 +44,23 @@ degradationFor(const std::string &signature, const std::string &scheme,
         return std::nullopt;
     if (scheme == "Hybrid" && n6 > 1)
         return std::nullopt;
-    return cache.average(
-        bench::benchSim(table6Scenario(signature, scheme)));
+    return bench::benchSim(table6Scenario(signature, scheme));
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    const bench::WallTimer timer;
     std::printf("Table 6: performance degradation per saved cache "
                 "configuration (24 traces x 9 configs)\n\n");
 
     // 1. Chip frequencies: how often each signature occurs among the
     //    chips each scheme converts from loss to gain.
-    const MonteCarloResult mc = bench::paperMonteCarlo();
+    const MonteCarloResult mc =
+        bench::paperMonteCarlo(opts.chips, opts.seed);
     const YieldConstraints constraints =
         mc.constraints(ConstraintPolicy::nominal());
     const CycleMapping mapping =
@@ -115,11 +91,33 @@ main()
             ++hybrid_freq[sig];
     }
 
-    // 2. Performance degradations per (signature, scheme).
+    // 2. Performance degradations per (signature, scheme). The
+    //    distinct scenarios are independent trace-driven simulations;
+    //    fan them out concurrently (deduplicated by scenario label --
+    //    several signatures share one configuration), each worker
+    //    running its own 24-benchmark sweep inline.
     std::fprintf(stderr, "simulating baselines...\n");
     const SimConfig base = bench::benchSim(baselineScenario());
     const std::vector<double> base_cpis = bench::baselineCpis(base);
-    DegradationCache cache(base_cpis);
+
+    std::vector<SimConfig> jobs;
+    std::map<std::string, std::size_t> job_of_label;
+    for (const std::string &sig : kSignatures) {
+        for (const auto &[name, scheme] : schemes) {
+            const std::optional<SimConfig> cfg = scenarioFor(sig, name);
+            if (cfg && job_of_label.find(cfg->label) ==
+                           job_of_label.end()) {
+                job_of_label.emplace(cfg->label, jobs.size());
+                jobs.push_back(*cfg);
+            }
+        }
+    }
+    std::fprintf(stderr, "simulating %zu scenarios on %zu threads...\n",
+                 jobs.size(), parallel::threads());
+    std::vector<double> job_avg(jobs.size());
+    parallel::forEach(jobs.size(), [&](std::size_t i) {
+        job_avg[i] = meanOf(bench::degradationsVs(base_cpis, jobs[i]));
+    });
 
     TextTable out({"Config (4cy-5cy-6cy+)", "Chip freq", "YAPD [%]",
                    "VACA [%]", "Hybrid [%]"});
@@ -134,12 +132,12 @@ main()
         std::vector<std::string> csv_row = {
             sig, std::to_string(hybrid_freq[sig])};
         for (const auto &[name, scheme] : schemes) {
-            const std::optional<double> d =
-                degradationFor(sig, name, cache);
-            if (d) {
-                degr[name][sig] = *d;
-                row.push_back(TextTable::num(*d, 2));
-                csv_row.push_back(TextTable::num(*d, 3));
+            const std::optional<SimConfig> cfg = scenarioFor(sig, name);
+            if (cfg) {
+                const double d = job_avg[job_of_label.at(cfg->label)];
+                degr[name][sig] = d;
+                row.push_back(TextTable::num(d, 2));
+                csv_row.push_back(TextTable::num(d, 3));
             } else {
                 row.push_back("N/A");
                 csv_row.push_back("");
@@ -180,5 +178,7 @@ main()
                 "grows with slow ways; Hybrid tracks VACA on n6=0 "
                 "rows and YAPD-plus-one-5cy-way on n6=1 rows.\n");
     std::printf("wrote table6_performance.csv\n");
+    bench::reportCampaignTiming("table6_performance", opts.chips,
+                                timer.seconds());
     return 0;
 }

@@ -18,10 +18,12 @@
 using namespace yac;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    const bench::WallTimer timer;
     std::printf("Whole-chip yield: L1I + L1D on a shared die "
-                "(2000 chips)\n\n");
+                "(%zu chips)\n\n", opts.chips);
 
     ChipComponent l1d;
     l1d.name = "L1D";
@@ -56,7 +58,8 @@ main()
     };
     for (const Case &c : cases) {
         const MultiCacheReport r = chip.run(
-            2000, 2006, {c.d, c.i}, ConstraintPolicy::nominal());
+            opts.chips, opts.seed, {c.d, c.i},
+            ConstraintPolicy::nominal());
         out.addRow({c.name, TextTable::percent(r.baseYield()),
                     TextTable::percent(r.schemeYield()),
                     TextTable::num(static_cast<long long>(
@@ -70,5 +73,7 @@ main()
                 "loss; the full benefit needs every variation-"
                 "critical component covered -- the paper's own "
                 "motivation for future whole-chip work.\n");
+    bench::reportCampaignTiming("whole_chip", opts.chips,
+                                timer.seconds());
     return 0;
 }

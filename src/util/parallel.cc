@@ -1,0 +1,230 @@
+#include "util/parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+namespace parallel
+{
+
+namespace
+{
+
+/** Set while a thread executes a chunk body; nested loops go serial. */
+thread_local bool tls_in_parallel = false;
+
+/** Execute every chunk in order on the calling thread. */
+void
+runSerial(std::size_t n, std::size_t chunk_size, const ChunkBody &body)
+{
+    std::size_t chunk = 0;
+    for (std::size_t begin = 0; begin < n; begin += chunk_size, ++chunk)
+        body(chunk, begin, std::min(n, begin + chunk_size));
+}
+
+/**
+ * A persistent pool of worker threads executing one chunked loop at
+ * a time. The calling thread participates in the loop, so a pool of
+ * size T spawns T-1 workers. All job state lives under one mutex;
+ * chunk claiming is a mutex-guarded counter (chunks are coarse, so
+ * the lock is uncontended relative to the work).
+ */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(std::size_t num_threads)
+        : threads_(std::max<std::size_t>(1, num_threads))
+    {
+        workers_.reserve(threads_ - 1);
+        for (std::size_t i = 0; i + 1 < threads_; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        for (std::thread &t : workers_)
+            t.join();
+    }
+
+    std::size_t threadCount() const { return threads_; }
+
+    void
+    forChunks(std::size_t n, std::size_t chunk_size,
+              const ChunkBody &body)
+    {
+        // One loop at a time; concurrent callers queue up here.
+        std::lock_guard<std::mutex> call_lock(callMutex_);
+        std::unique_lock<std::mutex> lock(mutex_);
+        body_ = &body;
+        jobN_ = n;
+        jobChunkSize_ = chunk_size;
+        numChunks_ = chunkCount(n, chunk_size);
+        nextChunk_ = 0;
+        chunksDone_ = 0;
+        error_ = nullptr;
+        wake_.notify_all();
+        drain(lock);
+        done_.wait(lock, [this] { return chunksDone_ == numChunks_; });
+        body_ = nullptr;
+        if (error_)
+            std::rethrow_exception(error_);
+    }
+
+  private:
+    /** Claim and run chunks until none remain. @p lock is held. */
+    void
+    drain(std::unique_lock<std::mutex> &lock)
+    {
+        while (nextChunk_ < numChunks_) {
+            const std::size_t chunk = nextChunk_++;
+            const ChunkBody *body = body_;
+            const std::size_t begin = chunk * jobChunkSize_;
+            const std::size_t end =
+                std::min(jobN_, begin + jobChunkSize_);
+            lock.unlock();
+            tls_in_parallel = true;
+            try {
+                (*body)(chunk, begin, end);
+            } catch (...) {
+                std::lock_guard<std::mutex> elock(mutex_);
+                if (!error_)
+                    error_ = std::current_exception();
+            }
+            tls_in_parallel = false;
+            lock.lock();
+            if (++chunksDone_ == numChunks_)
+                done_.notify_all();
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            wake_.wait(lock, [this] {
+                return stop_ || nextChunk_ < numChunks_;
+            });
+            if (stop_)
+                return;
+            drain(lock);
+        }
+    }
+
+    std::size_t threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex callMutex_; //!< serializes whole loops
+    std::mutex mutex_;     //!< protects all job state below
+    std::condition_variable wake_; //!< workers: a job arrived
+    std::condition_variable done_; //!< caller: all chunks finished
+
+    const ChunkBody *body_ = nullptr;
+    std::size_t jobN_ = 0;
+    std::size_t jobChunkSize_ = 1;
+    std::size_t numChunks_ = 0;
+    std::size_t nextChunk_ = 0;
+    std::size_t chunksDone_ = 0;
+    std::exception_ptr error_;
+    bool stop_ = false;
+};
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+std::size_t g_requested = 0; // 0 = automatic
+
+std::size_t
+autoThreads()
+{
+    if (const char *env = std::getenv("YAC_THREADS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<std::size_t>(v);
+        yac_warn("ignoring invalid YAC_THREADS='", env,
+                 "' (want a positive integer)");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool &
+globalPool()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (!g_pool) {
+        g_pool = std::make_unique<ThreadPool>(
+            g_requested > 0 ? g_requested : autoThreads());
+    }
+    return *g_pool;
+}
+
+} // namespace
+
+std::size_t
+chunkCount(std::size_t n, std::size_t chunk_size)
+{
+    yac_assert(chunk_size > 0, "chunk size must be positive");
+    return (n + chunk_size - 1) / chunk_size;
+}
+
+std::size_t
+threads()
+{
+    return globalPool().threadCount();
+}
+
+void
+setThreads(std::size_t n)
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    g_requested = n;
+    g_pool.reset(); // rebuilt lazily at the new size
+}
+
+void
+forChunks(std::size_t n, std::size_t chunk_size, const ChunkBody &body)
+{
+    if (n == 0) {
+        yac_assert(chunk_size > 0, "chunk size must be positive");
+        return;
+    }
+    if (tls_in_parallel || chunkCount(n, chunk_size) == 1) {
+        runSerial(n, chunk_size, body);
+        return;
+    }
+    ThreadPool &pool = globalPool();
+    if (pool.threadCount() == 1) {
+        runSerial(n, chunk_size, body);
+        return;
+    }
+    pool.forChunks(n, chunk_size, body);
+}
+
+void
+forEach(std::size_t n, const std::function<void(std::size_t)> &body)
+{
+    forChunks(n, 1,
+              [&body](std::size_t, std::size_t begin, std::size_t end) {
+                  for (std::size_t i = begin; i < end; ++i)
+                      body(i);
+              });
+}
+
+} // namespace parallel
+} // namespace yac

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic chunked parallelism for Monte Carlo campaigns.
+ *
+ * Every campaign hot path in yac iterates over independent chips
+ * (each chip draws from its own Rng substream), so the sweeps are
+ * embarrassingly parallel. The one thing threads must not change is
+ * the *result*: yac's contract is that every experiment is exactly
+ * reproducible from a single seed, byte-identical at any thread
+ * count.
+ *
+ * The utility here enforces that by construction:
+ *
+ *  - Work is split into fixed-size chunks of contiguous indices
+ *    (kStatChunk by default). The chunk boundaries depend only on the
+ *    problem size, never on the thread count.
+ *  - Each chunk writes only its own output slots (indexed by chip or
+ *    by chunk), so the stored per-chip results are trivially
+ *    identical to a serial run.
+ *  - Reductions (RunningStats, revenue sums, counters) are
+ *    accumulated per chunk and merged *in chunk order* after the
+ *    loop. Floating-point addition is not associative, so this fixed
+ *    merge tree is what makes the statistics bit-stable across 1, 2
+ *    or N threads -- the serial fallback executes the exact same
+ *    chunked accumulation.
+ *
+ * The worker count comes from setThreads(), the YAC_THREADS
+ * environment variable, or std::thread::hardware_concurrency(), in
+ * that order of precedence. With one thread (or a nested call from
+ * inside a parallel region) everything runs inline on the calling
+ * thread with no pool machinery at all.
+ */
+
+#ifndef YAC_UTIL_PARALLEL_HH
+#define YAC_UTIL_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace yac
+{
+namespace parallel
+{
+
+/**
+ * Default chunk size for campaign loops. Small enough that a
+ * 2000-chip campaign load-balances across many workers, large enough
+ * that chunk dispatch overhead is negligible next to one chip's
+ * circuit evaluation. Reductions chunked at this size are part of
+ * the deterministic contract: changing it changes the (last-ulp)
+ * statistics, so treat it like a file-format constant.
+ */
+inline constexpr std::size_t kStatChunk = 64;
+
+/** Loop body over one chunk: half-open index range [begin, end). */
+using ChunkBody =
+    std::function<void(std::size_t chunk, std::size_t begin,
+                       std::size_t end)>;
+
+/** Number of chunks [0, n) splits into at the given chunk size. */
+std::size_t chunkCount(std::size_t n, std::size_t chunk_size);
+
+/**
+ * Worker count of the global pool (>= 1). Resolved on first use from
+ * setThreads() / YAC_THREADS / hardware_concurrency().
+ */
+std::size_t threads();
+
+/**
+ * Override the worker count; 0 restores automatic selection. The
+ * existing pool is torn down and lazily rebuilt. Must not be called
+ * while a parallel loop is running on another thread.
+ */
+void setThreads(std::size_t n);
+
+/**
+ * Run @p body over every chunk of [0, n). Chunks execute
+ * concurrently in unspecified order; the body must only write state
+ * owned by its own chunk or index range. Blocks until all chunks
+ * complete; the first exception thrown by a body is rethrown on the
+ * calling thread. Calls from inside a parallel region run serially
+ * inline (no nested parallelism, no deadlock).
+ */
+void forChunks(std::size_t n, std::size_t chunk_size,
+               const ChunkBody &body);
+
+/**
+ * Per-index convenience for coarse tasks (each index is one unit of
+ * scheduling): forChunks with a chunk size of 1. Use forChunks with
+ * kStatChunk for fine-grained campaign loops instead.
+ */
+void forEach(std::size_t n,
+             const std::function<void(std::size_t)> &body);
+
+} // namespace parallel
+} // namespace yac
+
+#endif // YAC_UTIL_PARALLEL_HH

@@ -45,6 +45,13 @@ VariationSampler::VariationSampler(VariationTable table,
     yac_assert(geometry_.banksPerWay > 0, "need at least one bank");
     yac_assert(geometry_.rowGroupsPerBank > 0,
                "need at least one row group");
+    // normalExtreme() degenerates below two cells (log log n of a
+    // one-cell group is undefined); reject the geometry up front with
+    // a clear message instead of deep inside the sampling loop.
+    yac_assert(geometry_.cellsPerRowGroup >= 2,
+               "cellsPerRowGroup must be >= 2: the worst-cell "
+               "extreme-value statistics need at least two cells "
+               "per row group (got ", geometry_.cellsPerRowGroup, ")");
 }
 
 VariationSampler::VariationSampler()

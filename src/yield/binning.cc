@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "yield/assessment.hh"
 
 namespace yac
@@ -102,16 +103,35 @@ BinningReport
 binAll(const std::vector<CacheTiming> &chips, std::size_t num_bins,
        AssignFn &&assign_fn)
 {
+    // Chips shard across workers; per-chunk reports merge in chunk
+    // order so the revenue sum (floating point) is bit-stable at any
+    // thread count.
+    std::vector<BinningReport> shards(
+        parallel::chunkCount(chips.size(), parallel::kStatChunk));
+    for (BinningReport &s : shards)
+        s.binCounts.assign(num_bins, 0);
+    parallel::forChunks(
+        chips.size(), parallel::kStatChunk,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+            BinningReport &s = shards[chunk];
+            for (std::size_t i = begin; i < end; ++i) {
+                const BinAssignment a = assign_fn(chips[i]);
+                if (a.binIndex < 0) {
+                    ++s.scrapped;
+                } else {
+                    ++s.binCounts[static_cast<std::size_t>(a.binIndex)];
+                    s.totalRevenue += a.revenue;
+                }
+            }
+        });
+
     BinningReport report;
     report.binCounts.assign(num_bins, 0);
-    for (const CacheTiming &chip : chips) {
-        const BinAssignment a = assign_fn(chip);
-        if (a.binIndex < 0) {
-            ++report.scrapped;
-        } else {
-            ++report.binCounts[static_cast<std::size_t>(a.binIndex)];
-            report.totalRevenue += a.revenue;
-        }
+    for (const BinningReport &s : shards) {
+        report.scrapped += s.scrapped;
+        report.totalRevenue += s.totalRevenue;
+        for (std::size_t b = 0; b < num_bins; ++b)
+            report.binCounts[b] += s.binCounts[b];
     }
     return report;
 }

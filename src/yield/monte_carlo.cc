@@ -1,6 +1,7 @@
 #include "yield/monte_carlo.hh"
 
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/rng.hh"
 #include "util/statistics.hh"
 
@@ -10,14 +11,15 @@ namespace yac
 namespace
 {
 
-PopulationStats
-computeStats(const std::vector<CacheTiming> &chips)
+/** Per-chunk accumulators for both layouts' populations. */
+struct ShardStats
 {
-    RunningStats delay, leak;
-    for (const CacheTiming &chip : chips) {
-        delay.add(chip.delay());
-        leak.add(chip.leakage());
-    }
+    RunningStats regDelay, regLeak, horDelay, horLeak;
+};
+
+PopulationStats
+statsOf(const RunningStats &delay, const RunningStats &leak)
+{
     PopulationStats s;
     s.delayMean = delay.mean();
     s.delaySigma = delay.stddev();
@@ -71,20 +73,42 @@ MonteCarlo::run(const MonteCarloConfig &config) const
 {
     yac_assert(config.numChips > 1, "need at least two chips for stats");
     MonteCarloResult result;
-    result.regular.reserve(config.numChips);
-    result.horizontal.reserve(config.numChips);
+    result.regular.resize(config.numChips);
+    result.horizontal.resize(config.numChips);
 
-    Rng rng(config.seed);
-    for (std::size_t i = 0; i < config.numChips; ++i) {
-        // Each chip gets an independent substream so that chip i is
-        // identical regardless of how many chips are drawn.
-        Rng chip_rng = rng.split(i);
-        const CacheVariationMap map = sampler_.sample(chip_rng);
-        result.regular.push_back(regularModel_.evaluate(map));
-        result.horizontal.push_back(horizontalModel_.evaluate(map));
+    // Chips shard across workers: each chip gets an independent
+    // substream (split never advances the shared parent), writes only
+    // its own output slot, and folds into its chunk's accumulator.
+    // Chunk boundaries are fixed by kStatChunk, so the chunk-order
+    // merge below is bit-identical at any thread count.
+    const Rng rng(config.seed);
+    std::vector<ShardStats> shards(
+        parallel::chunkCount(config.numChips, parallel::kStatChunk));
+    parallel::forChunks(
+        config.numChips, parallel::kStatChunk,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+            ShardStats &s = shards[chunk];
+            for (std::size_t i = begin; i < end; ++i) {
+                Rng chip_rng = rng.split(i);
+                const CacheVariationMap map = sampler_.sample(chip_rng);
+                result.regular[i] = regularModel_.evaluate(map);
+                result.horizontal[i] = horizontalModel_.evaluate(map);
+                s.regDelay.add(result.regular[i].delay());
+                s.regLeak.add(result.regular[i].leakage());
+                s.horDelay.add(result.horizontal[i].delay());
+                s.horLeak.add(result.horizontal[i].leakage());
+            }
+        });
+
+    ShardStats total;
+    for (const ShardStats &s : shards) {
+        total.regDelay.merge(s.regDelay);
+        total.regLeak.merge(s.regLeak);
+        total.horDelay.merge(s.horDelay);
+        total.horLeak.merge(s.horLeak);
     }
-    result.regularStats = computeStats(result.regular);
-    result.horizontalStats = computeStats(result.horizontal);
+    result.regularStats = statsOf(total.regDelay, total.regLeak);
+    result.horizontalStats = statsOf(total.horDelay, total.horLeak);
     return result;
 }
 

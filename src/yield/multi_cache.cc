@@ -1,6 +1,7 @@
 #include "yield/multi_cache.hh"
 
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/rng.hh"
 #include "util/statistics.hh"
 
@@ -33,27 +34,49 @@ MultiCacheYield::run(std::size_t num_chips, std::uint64_t seed,
                "one scheme slot per component");
 
     // Pass 1: evaluate every (chip, component) timing with a shared
-    // die draw per chip; accumulate per-component statistics.
+    // die draw per chip; accumulate per-component statistics. Chips
+    // shard across workers with fixed chunk boundaries, and the
+    // per-chunk accumulators merge in chunk order, so the statistics
+    // are bit-identical at any thread count.
     const std::size_t n_comp = components_.size();
     std::vector<std::vector<CacheTiming>> timings(n_comp);
+    for (std::vector<CacheTiming> &t : timings)
+        t.resize(num_chips);
+    const std::size_t n_chunks =
+        parallel::chunkCount(num_chips, parallel::kStatChunk);
+    std::vector<std::vector<RunningStats>> chunk_delay(
+        n_chunks, std::vector<RunningStats>(n_comp));
+    std::vector<std::vector<RunningStats>> chunk_leak(
+        n_chunks, std::vector<RunningStats>(n_comp));
+    const Rng rng(seed);
+    const VariationTable table;
+    parallel::forChunks(
+        num_chips, parallel::kStatChunk,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                Rng chip_rng = rng.split(i);
+                const ProcessParams die = table.sampleDie(chip_rng, 1.0);
+                for (std::size_t c = 0; c < n_comp; ++c) {
+                    // The component's placement shifts its local mean
+                    // away from the die draw.
+                    const ProcessParams center = table.sampleAround(
+                        chip_rng, die, components_[c].placementFactor);
+                    const CacheVariationMap map =
+                        samplers_[c].sampleWithDie(chip_rng, center);
+                    CacheTiming t = models_[c].evaluate(map);
+                    chunk_delay[chunk][c].add(t.delay());
+                    chunk_leak[chunk][c].add(t.leakage());
+                    timings[c][i] = std::move(t);
+                }
+            }
+        });
+
     std::vector<RunningStats> delay_stats(n_comp);
     std::vector<RunningStats> leak_stats(n_comp);
-    Rng rng(seed);
-    const VariationTable table;
-    for (std::size_t i = 0; i < num_chips; ++i) {
-        Rng chip_rng = rng.split(i);
-        const ProcessParams die = table.sampleDie(chip_rng, 1.0);
+    for (std::size_t chunk = 0; chunk < n_chunks; ++chunk) {
         for (std::size_t c = 0; c < n_comp; ++c) {
-            // The component's placement shifts its local mean away
-            // from the die draw.
-            const ProcessParams center = table.sampleAround(
-                chip_rng, die, components_[c].placementFactor);
-            const CacheVariationMap map =
-                samplers_[c].sampleWithDie(chip_rng, center);
-            CacheTiming t = models_[c].evaluate(map);
-            delay_stats[c].add(t.delay());
-            leak_stats[c].add(t.leakage());
-            timings[c].push_back(std::move(t));
+            delay_stats[c].merge(chunk_delay[chunk][c]);
+            leak_stats[c].merge(chunk_leak[chunk][c]);
         }
     }
 
@@ -68,36 +91,63 @@ MultiCacheYield::run(std::size_t num_chips, std::uint64_t seed,
         mappings[c].baseCycles = components_[c].baseCycles;
     }
 
-    // Pass 2: assess and compose.
+    // Pass 2: assess and compose, sharded the same way; the counters
+    // are integers, summed in chunk order.
+    struct PassShard
+    {
+        std::size_t basePass = 0;
+        std::size_t shippable = 0;
+        std::vector<std::size_t> baseFail;
+        std::vector<std::size_t> unsaved;
+    };
+    std::vector<PassShard> pass_shards(n_chunks);
+    for (PassShard &s : pass_shards) {
+        s.baseFail.assign(n_comp, 0);
+        s.unsaved.assign(n_comp, 0);
+    }
+    parallel::forChunks(
+        num_chips, parallel::kStatChunk,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+            PassShard &s = pass_shards[chunk];
+            for (std::size_t i = begin; i < end; ++i) {
+                MultiChipOutcome outcome;
+                outcome.components.resize(n_comp);
+                for (std::size_t c = 0; c < n_comp; ++c) {
+                    const CacheTiming &t = timings[c][i];
+                    const ChipAssessment a =
+                        assessChip(t, constraints[c], mappings[c]);
+                    ComponentOutcome &co = outcome.components[c];
+                    co.basePasses = a.passes();
+                    if (!co.basePasses) {
+                        ++s.baseFail[c];
+                        if (schemes[c] != nullptr) {
+                            const SchemeOutcome so = schemes[c]->apply(
+                                t, a, constraints[c], mappings[c]);
+                            co.savedByScheme = so.saved;
+                            co.config = so.config;
+                        }
+                        if (!co.savedByScheme)
+                            ++s.unsaved[c];
+                    }
+                }
+                if (outcome.chipPasses())
+                    ++s.basePass;
+                if (outcome.chipShips())
+                    ++s.shippable;
+            }
+        });
+
     MultiCacheReport report;
     report.chips = num_chips;
     report.componentBaseFail.assign(n_comp, 0);
     report.componentUnsaved.assign(n_comp, 0);
-    for (std::size_t i = 0; i < num_chips; ++i) {
-        MultiChipOutcome outcome;
-        outcome.components.resize(n_comp);
+    for (const PassShard &s : pass_shards) {
+        report.basePass += s.basePass;
+        report.shippable += s.shippable;
         for (std::size_t c = 0; c < n_comp; ++c) {
-            const CacheTiming &t = timings[c][i];
-            const ChipAssessment a =
-                assessChip(t, constraints[c], mappings[c]);
-            ComponentOutcome &co = outcome.components[c];
-            co.basePasses = a.passes();
-            if (!co.basePasses) {
-                ++report.componentBaseFail[c];
-                if (schemes[c] != nullptr) {
-                    const SchemeOutcome so = schemes[c]->apply(
-                        t, a, constraints[c], mappings[c]);
-                    co.savedByScheme = so.saved;
-                    co.config = so.config;
-                }
-                if (!co.savedByScheme)
-                    ++report.componentUnsaved[c];
-            }
+            report.componentBaseFail[c] += s.baseFail[c];
+            report.componentUnsaved[c] += s.unsaved[c];
         }
-        if (outcome.chipPasses())
-            ++report.basePass;
-        if (outcome.chipShips())
-            ++report.shippable;
     }
     return report;
 }

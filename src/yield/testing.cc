@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace yac
 {
@@ -158,6 +160,45 @@ FieldConfigurator::configure(const CacheTiming &chip,
         verdict.trulyMeetsSpec = false;
     }
     return verdict;
+}
+
+TestFloorReport
+FieldConfigurator::configurePopulation(
+    const std::vector<CacheTiming> &chips, const Scheme &scheme,
+    const YieldConstraints &constraints, const CycleMapping &mapping,
+    std::uint64_t seed) const
+{
+    // Chips shard across workers; each chip's tester noise comes from
+    // its own substream, and the integer counters merge in chunk
+    // order -- the report is identical at any thread count.
+    const Rng rng(seed);
+    std::vector<TestFloorReport> shards(
+        parallel::chunkCount(chips.size(), parallel::kStatChunk));
+    parallel::forChunks(
+        chips.size(), parallel::kStatChunk,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+            TestFloorReport &s = shards[chunk];
+            for (std::size_t i = begin; i < end; ++i) {
+                Rng chip_rng = rng.split(i);
+                const TestFloorVerdict v = configure(
+                    chips[i], scheme, constraints, mapping, chip_rng);
+                if (v.decision.saved)
+                    ++s.shipped;
+                if (v.escape())
+                    ++s.escapes;
+                if (v.overkill)
+                    ++s.overkill;
+            }
+        });
+
+    TestFloorReport report;
+    report.chips = chips.size();
+    for (const TestFloorReport &s : shards) {
+        report.shipped += s.shipped;
+        report.escapes += s.escapes;
+        report.overkill += s.overkill;
+    }
+    return report;
 }
 
 } // namespace yac

@@ -95,6 +95,15 @@ struct TestFloorVerdict
     bool overkill = false;
 };
 
+/** Aggregate test-floor outcome over a chip population. */
+struct TestFloorReport
+{
+    std::size_t chips = 0;    //!< population size
+    std::size_t shipped = 0;  //!< scheme shipped a configuration
+    std::size_t escapes = 0;  //!< shipped but truly violating
+    std::size_t overkill = 0; //!< discarded though truly savable
+};
+
 /**
  * Drives a yield-aware scheme from measured values, then audits the
  * decision against the ground truth.
@@ -114,6 +123,19 @@ class FieldConfigurator
                                const YieldConstraints &constraints,
                                const CycleMapping &mapping,
                                Rng &rng) const;
+
+    /**
+     * Run the test floor over a whole population. Chip i's
+     * measurement noise is drawn from Rng(seed).split(i), so the
+     * report is deterministic in @p seed, independent of the thread
+     * count and of the population ordering of any other chip.
+     */
+    TestFloorReport
+    configurePopulation(const std::vector<CacheTiming> &chips,
+                        const Scheme &scheme,
+                        const YieldConstraints &constraints,
+                        const CycleMapping &mapping,
+                        std::uint64_t seed) const;
 
     /** The assessment as the tester sees it (exposed for tests). */
     ChipAssessment measuredAssessment(const CacheTiming &chip,

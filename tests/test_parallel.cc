@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests of the deterministic parallel campaign engine: the chunked
+ * thread-pool utility itself, the hard byte-identical contract of
+ * parallel vs serial Monte Carlo campaigns at several thread counts,
+ * and the sharded RunningStats merge against one-pass accumulation.
+ */
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.hh"
+#include "util/rng.hh"
+#include "util/statistics.hh"
+#include "yield/monte_carlo.hh"
+#include "yield/multi_cache.hh"
+#include "yield/schemes/hybrid.hh"
+#include "yield/testing.hh"
+
+namespace yac
+{
+namespace
+{
+
+/** Restores automatic thread selection when a test exits. */
+struct ThreadsGuard
+{
+    ~ThreadsGuard() { parallel::setThreads(0); }
+};
+
+TEST(Parallel, ChunkCount)
+{
+    EXPECT_EQ(parallel::chunkCount(0, 64), 0u);
+    EXPECT_EQ(parallel::chunkCount(1, 64), 1u);
+    EXPECT_EQ(parallel::chunkCount(64, 64), 1u);
+    EXPECT_EQ(parallel::chunkCount(65, 64), 2u);
+    EXPECT_EQ(parallel::chunkCount(1000, 1), 1000u);
+}
+
+TEST(Parallel, CoversEveryIndexExactlyOnce)
+{
+    ThreadsGuard guard;
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        parallel::setThreads(threads);
+        const std::size_t n = 1000;
+        std::vector<std::atomic<int>> hits(n);
+        parallel::forChunks(
+            n, 7,
+            [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                EXPECT_EQ(begin, chunk * 7);
+                EXPECT_LE(end, n);
+                for (std::size_t i = begin; i < end; ++i)
+                    ++hits[i];
+            });
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(Parallel, ChunkBoundariesIndependentOfThreadCount)
+{
+    ThreadsGuard guard;
+    std::vector<std::vector<std::size_t>> begins;
+    for (std::size_t threads : {1u, 4u}) {
+        parallel::setThreads(threads);
+        std::vector<std::size_t> b(parallel::chunkCount(300, 64));
+        parallel::forChunks(300, 64,
+                            [&](std::size_t chunk, std::size_t begin,
+                                std::size_t) { b[chunk] = begin; });
+        begins.push_back(std::move(b));
+    }
+    EXPECT_EQ(begins[0], begins[1]);
+}
+
+TEST(Parallel, NestedCallsRunInline)
+{
+    ThreadsGuard guard;
+    parallel::setThreads(4);
+    std::vector<std::atomic<int>> hits(64);
+    parallel::forEach(8, [&](std::size_t outer) {
+        // A nested loop inside a parallel region must complete
+        // serially inline rather than deadlock on the pool.
+        parallel::forEach(8, [&](std::size_t inner) {
+            ++hits[outer * 8 + inner];
+        });
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, ExceptionPropagatesToCaller)
+{
+    ThreadsGuard guard;
+    parallel::setThreads(4);
+    EXPECT_THROW(
+        parallel::forEach(100,
+                          [](std::size_t i) {
+                              if (i == 37)
+                                  throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+    // The pool must still be usable afterwards.
+    std::atomic<int> count{0};
+    parallel::forEach(100, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 100);
+}
+
+/** Exact (bitwise) equality of two evaluated chip populations. */
+void
+expectIdenticalPopulations(const std::vector<CacheTiming> &a,
+                           const std::vector<CacheTiming> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].ways.size(), b[i].ways.size());
+        EXPECT_EQ(a[i].delay(), b[i].delay()) << "chip " << i;
+        EXPECT_EQ(a[i].leakage(), b[i].leakage()) << "chip " << i;
+        for (std::size_t w = 0; w < a[i].ways.size(); ++w) {
+            EXPECT_EQ(a[i].ways[w].pathDelays, b[i].ways[w].pathDelays)
+                << "chip " << i << " way " << w;
+            EXPECT_EQ(a[i].ways[w].groupCellLeakage,
+                      b[i].ways[w].groupCellLeakage)
+                << "chip " << i << " way " << w;
+            EXPECT_EQ(a[i].ways[w].peripheralLeakage,
+                      b[i].ways[w].peripheralLeakage)
+                << "chip " << i << " way " << w;
+        }
+    }
+}
+
+TEST(Parallel, MonteCarloByteIdenticalAcrossThreadCounts)
+{
+    ThreadsGuard guard;
+    const MonteCarloConfig config{500, 42};
+    MonteCarlo mc;
+
+    parallel::setThreads(1);
+    const MonteCarloResult serial = mc.run(config);
+
+    for (std::size_t threads : {2u, 8u}) {
+        parallel::setThreads(threads);
+        const MonteCarloResult par = mc.run(config);
+        expectIdenticalPopulations(serial.regular, par.regular);
+        expectIdenticalPopulations(serial.horizontal, par.horizontal);
+        // Statistics must match exactly too: the chunk-order merge
+        // makes them independent of the thread count.
+        EXPECT_EQ(serial.regularStats.delayMean,
+                  par.regularStats.delayMean);
+        EXPECT_EQ(serial.regularStats.delaySigma,
+                  par.regularStats.delaySigma);
+        EXPECT_EQ(serial.regularStats.leakMean,
+                  par.regularStats.leakMean);
+        EXPECT_EQ(serial.regularStats.leakSigma,
+                  par.regularStats.leakSigma);
+        EXPECT_EQ(serial.horizontalStats.delayMean,
+                  par.horizontalStats.delayMean);
+        EXPECT_EQ(serial.horizontalStats.leakSigma,
+                  par.horizontalStats.leakSigma);
+    }
+}
+
+TEST(Parallel, MultiCacheIdenticalAcrossThreadCounts)
+{
+    ThreadsGuard guard;
+    ChipComponent l1d;
+    l1d.name = "L1D";
+    ChipComponent l1i;
+    l1i.name = "L1I";
+    l1i.baseCycles = 2;
+    MultiCacheYield chip({l1d, l1i}, defaultTechnology());
+    HybridScheme hybrid;
+    const std::vector<const Scheme *> schemes = {&hybrid, &hybrid};
+
+    parallel::setThreads(1);
+    const MultiCacheReport serial =
+        chip.run(300, 2006, schemes, ConstraintPolicy::nominal());
+
+    for (std::size_t threads : {2u, 8u}) {
+        parallel::setThreads(threads);
+        const MultiCacheReport par =
+            chip.run(300, 2006, schemes, ConstraintPolicy::nominal());
+        EXPECT_EQ(serial.basePass, par.basePass);
+        EXPECT_EQ(serial.shippable, par.shippable);
+        EXPECT_EQ(serial.componentBaseFail, par.componentBaseFail);
+        EXPECT_EQ(serial.componentUnsaved, par.componentUnsaved);
+    }
+}
+
+TEST(Parallel, TestFloorSweepIdenticalAcrossThreadCounts)
+{
+    ThreadsGuard guard;
+    MonteCarlo mc;
+    parallel::setThreads(1);
+    const MonteCarloResult r = mc.run({300, 7});
+    const YieldConstraints c =
+        r.constraints(ConstraintPolicy::nominal());
+    const CycleMapping m = r.cycleMapping(ConstraintPolicy::nominal());
+    HybridScheme hybrid;
+    const FieldConfigurator configurator(LatencyTester(0.03, 0.03),
+                                         LeakageSensor(0.10));
+
+    const TestFloorReport serial =
+        configurator.configurePopulation(r.regular, hybrid, c, m, 777);
+    EXPECT_EQ(serial.chips, 300u);
+
+    for (std::size_t threads : {2u, 8u}) {
+        parallel::setThreads(threads);
+        const TestFloorReport par = configurator.configurePopulation(
+            r.regular, hybrid, c, m, 777);
+        EXPECT_EQ(serial.shipped, par.shipped);
+        EXPECT_EQ(serial.escapes, par.escapes);
+        EXPECT_EQ(serial.overkill, par.overkill);
+    }
+}
+
+TEST(Parallel, ShardedMergeMatchesOnePassAccumulation)
+{
+    // Sharded Welford + merge must agree with one-pass accumulation
+    // to tight tolerance (they are different summation orders, so
+    // exact equality is not expected -- that is precisely why the
+    // campaign code fixes its chunk boundaries).
+    Rng rng(99);
+    std::vector<double> samples(10'000);
+    for (double &x : samples)
+        x = rng.lognormal(0.0, 1.5);
+
+    RunningStats one_pass;
+    for (double x : samples)
+        one_pass.add(x);
+
+    for (std::size_t chunk_size : {1u, 7u, 64u, 1000u}) {
+        RunningStats merged;
+        for (std::size_t begin = 0; begin < samples.size();
+             begin += chunk_size) {
+            RunningStats shard;
+            const std::size_t end =
+                std::min(samples.size(), begin + chunk_size);
+            for (std::size_t i = begin; i < end; ++i)
+                shard.add(samples[i]);
+            merged.merge(shard);
+        }
+        EXPECT_EQ(merged.count(), one_pass.count());
+        EXPECT_EQ(merged.min(), one_pass.min());
+        EXPECT_EQ(merged.max(), one_pass.max());
+        EXPECT_NEAR(merged.mean(), one_pass.mean(),
+                    1e-12 * std::abs(one_pass.mean()));
+        EXPECT_NEAR(merged.variance(), one_pass.variance(),
+                    1e-12 * one_pass.variance());
+    }
+}
+
+TEST(Parallel, ThreadCountOverride)
+{
+    ThreadsGuard guard;
+    parallel::setThreads(3);
+    EXPECT_EQ(parallel::threads(), 3u);
+    parallel::setThreads(1);
+    EXPECT_EQ(parallel::threads(), 1u);
+}
+
+} // namespace
+} // namespace yac

@@ -174,5 +174,16 @@ TEST(SamplerDeathTest, RejectsTooManyWays)
                  "mesh");
 }
 
+TEST(SamplerDeathTest, RejectsDegenerateRowGroups)
+{
+    // normalExtreme needs n >= 2; the constructor must reject the
+    // geometry up front instead of failing mid-campaign.
+    VariationGeometry g;
+    g.cellsPerRowGroup = 1;
+    EXPECT_DEATH(VariationSampler(VariationTable(), CorrelationModel(),
+                                  g),
+                 "cellsPerRowGroup");
+}
+
 } // namespace
 } // namespace yac
