@@ -20,8 +20,9 @@
 using namespace yac;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
     std::printf("Adaptive Hybrid (Section 4.4 extension): per-"
                 "benchmark choice for a 3-1-0 chip\n\n");
     const SimConfig base = bench::benchSim(baselineScenario());
@@ -33,7 +34,9 @@ main()
 
     TextTable out({"Benchmark", "mem intensity", "keep@5cy [%]",
                    "power down [%]", "adaptive pick", "adaptive [%]"});
-    CsvWriter csv("adaptive_hybrid.csv",
+    const std::string csv_path =
+        bench::outPath(opts, "adaptive_hybrid.csv");
+    CsvWriter csv(csv_path,
                   {"benchmark", "memory_intensity", "keep_pct",
                    "off_pct", "adaptive_pct", "oracle_pct"});
     const auto &suite = spec2000Profiles();
@@ -70,6 +73,6 @@ main()
                 fixed_sum / n, adaptive_sum / n, oracle_sum / n);
     std::printf("yield is identical under all three policies; the "
                 "adaptive choice only re-prices the saved chips.\n");
-    std::printf("wrote adaptive_hybrid.csv\n");
+    std::printf("wrote %s\n", csv_path.c_str());
     return 0;
 }

@@ -12,10 +12,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "sim/simulation.hh"
+#include "util/bench_report.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 #include "util/table.hh"
@@ -33,12 +35,13 @@ struct BenchOptions
 {
     std::size_t chips = 2000;   //!< the paper's population size
     std::uint64_t seed = 2006;  //!< the paper's seed
+    std::string outDir = "out"; //!< where CSV artifacts land
 };
 
 /**
- * Parse `--chips=N`, `--threads=N` and `--seed=S`. `--threads`
- * applies globally (same effect as YAC_THREADS); anything else is a
- * usage error. Benches stay argument-free by default.
+ * Parse `--chips=N`, `--threads=N`, `--seed=S` and `--out-dir=D`.
+ * `--threads` applies globally (same effect as YAC_THREADS); anything
+ * else is a usage error. Benches stay argument-free by default.
  */
 inline BenchOptions
 parseOptions(int argc, char **argv)
@@ -67,13 +70,29 @@ parseOptions(int argc, char **argv)
             opts.seed = std::strtoull(v, &end, 10);
             if (end == v || *end != '\0')
                 yac_fatal("--seed wants an integer, got '", v, "'");
+        } else if (const char *v = value("--out-dir=")) {
+            if (*v == '\0')
+                yac_fatal("--out-dir wants a directory name");
+            opts.outDir = v;
         } else {
             yac_fatal("unknown argument '", arg,
                       "' (usage: [--chips=N] [--threads=N] "
-                      "[--seed=S])");
+                      "[--seed=S] [--out-dir=D])");
         }
     }
     return opts;
+}
+
+/**
+ * Path for a CSV (or other) artifact under the bench output
+ * directory; creates the directory on first use so benches never
+ * litter the repository root.
+ */
+inline std::string
+outPath(const BenchOptions &opts, const std::string &file)
+{
+    std::filesystem::create_directories(opts.outDir);
+    return (std::filesystem::path(opts.outDir) / file).string();
 }
 
 /** Wall-clock stopwatch for campaign timing. */
@@ -104,14 +123,12 @@ inline void
 reportCampaignTiming(const std::string &name, std::size_t chips,
                      double wall_seconds)
 {
-    std::printf("BENCH_%s.json {\"bench\":\"%s\",\"chips\":%zu,"
-                "\"threads\":%zu,\"wall_s\":%.3f,"
-                "\"chips_per_s\":%.1f}\n",
-                name.c_str(), name.c_str(), chips,
-                parallel::threads(), wall_seconds,
-                wall_seconds > 0.0
-                    ? static_cast<double>(chips) / wall_seconds
-                    : 0.0);
+    BenchReport report;
+    report.bench = name;
+    report.chips = chips;
+    report.threads = parallel::threads();
+    report.wallSeconds = wall_seconds;
+    std::printf("%s\n", formatBenchReportLine(report).c_str());
 }
 
 /** The paper's campaign: 2000 chips, fixed seed, by default. */

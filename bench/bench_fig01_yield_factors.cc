@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "util/csv.hh"
 #include "util/table.hh"
 
@@ -45,13 +46,16 @@ const YieldFactorRow kRows[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
     std::printf("Figure 1: yield factors for different process "
                 "technologies [18]\n\n");
     TextTable table({"Process", "Defect Density [%]",
                      "Lithography [%]", "Parametric [%]", "Yield [%]"});
-    CsvWriter csv("fig01_yield_factors.csv",
+    const std::string csv_path =
+        bench::outPath(opts, "fig01_yield_factors.csv");
+    CsvWriter csv(csv_path,
                   {"node", "defect_density_pct", "lithography_pct",
                    "parametric_pct", "yield_pct"});
     for (const YieldFactorRow &r : kRows) {
@@ -66,7 +70,7 @@ main()
                       TextTable::num(r.yield(), 1)});
     }
     table.print();
-    std::printf("\nwrote fig01_yield_factors.csv\n");
+    std::printf("\nwrote %s\n", csv_path.c_str());
     std::printf("shape check: parametric loss grows monotonically and "
                 "dominates at 90 nm; nominal yield falls toward ~50%%.\n");
     return 0;

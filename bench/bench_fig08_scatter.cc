@@ -18,15 +18,19 @@
 using namespace yac;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
     std::printf("Figure 8: normalized leakage vs cache access latency "
-                "(2000 chips, 45 nm)\n\n");
-    const MonteCarloResult mc = bench::paperMonteCarlo();
+                "(%zu chips, 45 nm)\n\n", opts.chips);
+    const MonteCarloResult mc =
+        bench::paperMonteCarlo(opts.chips, opts.seed);
     const std::vector<ScatterPoint> points =
         leakageLatencyScatter(mc.regular);
 
-    CsvWriter csv("fig08_scatter.csv",
+    const std::string csv_path =
+        bench::outPath(opts, "fig08_scatter.csv");
+    CsvWriter csv(csv_path,
                   {"latency_ps", "normalized_leakage"});
     std::vector<double> delays, leaks, log_leaks;
     for (const ScatterPoint &p : points) {
@@ -76,6 +80,7 @@ main()
                 "leakage limit: %.1f%%\n",
                 100.0 * delay_sum.fractionAbove(c.delayLimitPs),
                 100.0 * leak_sum.fractionAbove(3.0));
-    std::printf("\nwrote fig08_scatter.csv (2000 points)\n");
+    std::printf("\nwrote %s (%zu points)\n", csv_path.c_str(),
+                points.size());
     return 0;
 }

@@ -15,8 +15,9 @@
 using namespace yac;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
     std::printf("Figure 9: CPI increase for configuration 3-1-0, "
                 "YAPD vs VACA(=Hybrid)\n\n");
     const SimConfig base = bench::benchSim(baselineScenario());
@@ -27,7 +28,9 @@ main()
         base_cpis, bench::benchSim(vacaScenario(1)));
 
     TextTable out({"Benchmark", "YAPD [%]", "VACA/Hybrid [%]"});
-    CsvWriter csv("fig09_cpi_310.csv",
+    const std::string csv_path =
+        bench::outPath(opts, "fig09_cpi_310.csv");
+    CsvWriter csv(csv_path,
                   {"benchmark", "yapd_pct", "vaca_pct"});
     const auto &suite = spec2000Profiles();
     for (std::size_t i = 0; i < suite.size(); ++i) {
@@ -45,6 +48,6 @@ main()
                 "(mcf, art) pay more for the lost way (YAPD), "
                 "compute-bound ones pay more for the slow way "
                 "(VACA).\n");
-    std::printf("wrote fig09_cpi_310.csv\n");
+    std::printf("wrote %s\n", csv_path.c_str());
     return 0;
 }

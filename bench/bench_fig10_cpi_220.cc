@@ -15,8 +15,9 @@
 using namespace yac;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
     std::printf("Figure 10: CPI increase for configuration 2-2-0, "
                 "VACA(=Hybrid)\n\n");
     const SimConfig base = bench::benchSim(baselineScenario());
@@ -25,7 +26,9 @@ main()
         base_cpis, bench::benchSim(vacaScenario(2)));
 
     TextTable out({"Benchmark", "VACA/Hybrid [%]"});
-    CsvWriter csv("fig10_cpi_220.csv", {"benchmark", "vaca_pct"});
+    const std::string csv_path =
+        bench::outPath(opts, "fig10_cpi_220.csv");
+    CsvWriter csv(csv_path, {"benchmark", "vaca_pct"});
     const auto &suite = spec2000Profiles();
     for (std::size_t i = 0; i < suite.size(); ++i) {
         out.addRow({suite[i].name, TextTable::num(vaca[i], 2)});
@@ -38,6 +41,6 @@ main()
                 "roughly double the 3-1-0 VACA cost (twice the slow "
                 "hits), with the same per-benchmark ordering as "
                 "Figure 9's VACA series.\n");
-    std::printf("wrote fig10_cpi_220.csv\n");
+    std::printf("wrote %s\n", csv_path.c_str());
     return 0;
 }

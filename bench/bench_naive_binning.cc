@@ -15,8 +15,9 @@
 using namespace yac;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
     std::printf("Section 4.5: naive binning overhead "
                 "(24 SPEC2000-like traces)\n\n");
     const SimConfig base = bench::benchSim(baselineScenario());
@@ -28,7 +29,9 @@ main()
 
     TextTable out({"Benchmark", "base CPI", "+1 cycle (Bin@5) [%]",
                    "+2 cycles (Bin@6) [%]"});
-    CsvWriter csv("naive_binning.csv",
+    const std::string csv_path =
+        bench::outPath(opts, "naive_binning.csv");
+    CsvWriter csv(csv_path,
                   {"benchmark", "base_cpi", "bin5_pct", "bin6_pct"});
     const auto &suite = spec2000Profiles();
     for (std::size_t i = 0; i < suite.size(); ++i) {
@@ -46,6 +49,6 @@ main()
     std::printf("\npaper reference: 6.42%% (one extra cycle), "
                 "12.62%% (two extra cycles); shape check: +2 cycles "
                 "costs ~2x of +1 cycle, uniformly across the suite.\n");
-    std::printf("wrote naive_binning.csv\n");
+    std::printf("wrote %s\n", csv_path.c_str());
     return 0;
 }

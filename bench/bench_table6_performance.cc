@@ -121,7 +121,9 @@ main(int argc, char **argv)
 
     TextTable out({"Config (4cy-5cy-6cy+)", "Chip freq", "YAPD [%]",
                    "VACA [%]", "Hybrid [%]"});
-    CsvWriter csv("table6_performance.csv",
+    const std::string csv_path =
+        bench::outPath(opts, "table6_performance.csv");
+    CsvWriter csv(csv_path,
                   {"config", "chip_freq", "yapd_pct", "vaca_pct",
                    "hybrid_pct"});
     std::map<std::string, std::map<std::string, double>> degr;
@@ -177,7 +179,7 @@ main(int argc, char **argv)
     std::printf("shape check: YAPD flat at its 3-way cost; VACA "
                 "grows with slow ways; Hybrid tracks VACA on n6=0 "
                 "rows and YAPD-plus-one-5cy-way on n6=1 rows.\n");
-    std::printf("wrote table6_performance.csv\n");
+    std::printf("wrote %s\n", csv_path.c_str());
     bench::reportCampaignTiming("table6_performance", opts.chips,
                                 timer.seconds());
     return 0;

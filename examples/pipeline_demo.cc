@@ -14,6 +14,7 @@
  */
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "cache/memory_hierarchy.hh"
@@ -96,7 +97,8 @@ main(int argc, char **argv)
 
     // Trace archival: record 100k instructions, replay them from the
     // file, and confirm the cycle counts agree exactly.
-    const std::string trace_path = "pipeline_demo_trace.bin";
+    std::filesystem::create_directories("out");
+    const std::string trace_path = "out/pipeline_demo_trace.bin";
     {
         TraceGenerator gen(profile, /*seed=*/1);
         TraceWriter writer(trace_path);

@@ -5,12 +5,17 @@
  * 5x mean leakage) and chart how each scheme's yield responds --
  * a generalization of the paper's relaxed/nominal/strict triple.
  *
- * Writes yield_explorer.csv with the full sweep for plotting.
+ * Writes out/yield_explorer.csv with the full sweep for plotting
+ * (override the directory with --out-dir=D).
  */
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
 
 #include "util/csv.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 #include "yield/analysis.hh"
 #include "yield/monte_carlo.hh"
@@ -21,8 +26,18 @@
 using namespace yac;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string out_dir = "out";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--out-dir=", 10) == 0 &&
+            argv[i][10] != '\0')
+            out_dir = argv[i] + 10;
+        else
+            yac_fatal("unknown argument '", argv[i],
+                      "' (usage: [--out-dir=D])");
+    }
+
     MonteCarlo mc;
     const MonteCarloResult result = mc.run({1000, 7});
 
@@ -31,7 +46,10 @@ main()
     HybridScheme hybrid;
     const std::vector<const Scheme *> schemes = {&yapd, &vaca, &hybrid};
 
-    CsvWriter csv("yield_explorer.csv",
+    std::filesystem::create_directories(out_dir);
+    const std::string csv_path =
+        (std::filesystem::path(out_dir) / "yield_explorer.csv").string();
+    CsvWriter csv(csv_path,
                   {"delay_sigma_factor", "leak_mean_factor",
                    "base_yield", "yapd_yield", "vaca_yield",
                    "hybrid_yield"});
@@ -82,6 +100,6 @@ main()
                 "power sweep (it cannot shed leakage); YAPD and "
                 "Hybrid decouple from it. The stricter the limits, "
                 "the larger every scheme's absolute saving.\n"
-                "wrote yield_explorer.csv\n");
+                "wrote %s\n", csv_path.c_str());
     return 0;
 }

@@ -1,0 +1,153 @@
+#include "check/check.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+namespace check
+{
+
+namespace
+{
+
+std::string (*g_test_name_provider)() = nullptr;
+std::string g_binary_name = "<test binary>";
+
+/** SplitMix64 finalizer: the case-seed mixing function. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Parse a u64; returns false on trailing garbage/empty input. */
+bool
+parseU64(const char *text, std::uint64_t *out)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+Options &
+options()
+{
+    static Options opts;
+    return opts;
+}
+
+void
+initFromEnvironment()
+{
+    Options &opts = options();
+    if (const char *seed = std::getenv("YAC_CHECK_SEED")) {
+        std::uint64_t v = 0;
+        if (parseU64(seed, &v)) {
+            opts.replay = true;
+            opts.replaySeed = v;
+        } else {
+            yac_warn("ignoring malformed YAC_CHECK_SEED='", seed, "'");
+        }
+    }
+    if (const char *iters = std::getenv("YAC_CHECK_ITERS")) {
+        std::uint64_t v = 0;
+        if (parseU64(iters, &v) && v >= 1) {
+            opts.iterScale = static_cast<std::size_t>(v);
+        } else {
+            yac_warn("ignoring malformed YAC_CHECK_ITERS='", iters,
+                     "' (want an integer >= 1)");
+        }
+    }
+}
+
+bool
+consumeFlag(const char *arg)
+{
+    if (arg == nullptr)
+        return false;
+    if (std::strncmp(arg, "--seed=", 7) == 0) {
+        std::uint64_t v = 0;
+        if (!parseU64(arg + 7, &v))
+            yac_fatal("--seed wants a decimal u64, got '", arg + 7,
+                      "'");
+        options().replay = true;
+        options().replaySeed = v;
+        return true;
+    }
+    if (std::strncmp(arg, "--iters=", 8) == 0) {
+        std::uint64_t v = 0;
+        if (!parseU64(arg + 8, &v) || v < 1)
+            yac_fatal("--iters wants an integer >= 1, got '", arg + 8,
+                      "'");
+        options().iterScale = static_cast<std::size_t>(v);
+        return true;
+    }
+    return false;
+}
+
+void
+setTestNameProvider(std::string (*provider)())
+{
+    g_test_name_provider = provider;
+}
+
+void
+setBinaryName(const std::string &name)
+{
+    g_binary_name = name;
+}
+
+std::uint64_t
+deriveCaseSeed(std::uint64_t run_seed, std::size_t index)
+{
+    // Golden-ratio stride over the index, mixed with the run seed:
+    // bijective per run seed, so distinct cases never collide.
+    return mix64(run_seed +
+                 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1));
+}
+
+namespace detail
+{
+
+std::string
+formatFailure(const std::string &property, std::size_t case_index,
+              std::size_t cases_total, std::uint64_t case_seed,
+              const std::string &counterexample,
+              const std::string &original, std::size_t shrink_steps,
+              const std::string &reason)
+{
+    std::ostringstream os;
+    os << "yac::check: property '" << property << "' FAILED\n";
+    os << "  case " << (case_index + 1) << " of " << cases_total
+       << "\n";
+    os << "  counterexample: " << counterexample << "\n";
+    if (shrink_steps > 0 && original != counterexample)
+        os << "  (shrunk " << shrink_steps
+           << " steps from: " << original << ")\n";
+    os << "  reason: " << reason << "\n";
+
+    std::string test = g_test_name_provider ? g_test_name_provider()
+                                            : std::string();
+    os << "  replay: " << g_binary_name;
+    if (!test.empty())
+        os << " --gtest_filter=" << test;
+    os << " --seed=" << case_seed;
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace check
+} // namespace yac

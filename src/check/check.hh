@@ -1,0 +1,225 @@
+/**
+ * @file
+ * yac::check -- a small, dependency-free property-based testing
+ * runner with seed-reproducible failures.
+ *
+ * A property is a function from a generated value to a Verdict
+ * (std::nullopt = pass, a message = fail). forAll() draws N cases,
+ * each from its own single-u64 case seed, runs the property, and on
+ * failure greedily shrinks the counterexample and formats a report
+ * whose last line is one copy-pastable `--seed=<u64>` replay line:
+ * re-running the same test binary with that flag re-executes exactly
+ * the failing case (same draw, same shrink path) and nothing else.
+ *
+ * Knobs (flag > environment > default):
+ *  - `--seed=<u64>` / YAC_CHECK_SEED: replay one case by case seed.
+ *  - `--iters=<n>` / YAC_CHECK_ITERS: multiply every property's
+ *    iteration count (the nightly CI job runs at 10x).
+ *
+ * The test binaries link yac::check_main, a gtest main that consumes
+ * these flags before gtest sees them.
+ */
+
+#ifndef YAC_CHECK_CHECK_HH
+#define YAC_CHECK_CHECK_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "check/gen.hh"
+#include "util/rng.hh"
+
+namespace yac
+{
+namespace check
+{
+
+/** Outcome of one property evaluation: nullopt passes. */
+using Verdict = std::optional<std::string>;
+
+/** Convenience pass verdict. */
+inline Verdict
+pass()
+{
+    return std::nullopt;
+}
+
+/** Convenience fail verdict. */
+inline Verdict
+fail(std::string message)
+{
+    return Verdict(std::move(message));
+}
+
+/** Default run seed: fixed so plain ctest runs are deterministic. */
+inline constexpr std::uint64_t kDefaultRunSeed = 0x9ac2006ULL;
+
+/** Global configuration of the running test binary. */
+struct Options
+{
+    std::uint64_t runSeed = kDefaultRunSeed;
+    bool replay = false;         //!< run exactly one case...
+    std::uint64_t replaySeed = 0; //!< ...with this case seed
+    std::size_t iterScale = 1;   //!< iteration multiplier
+};
+
+/** Mutable global options (set by check_main / environment). */
+Options &options();
+
+/** Load YAC_CHECK_SEED / YAC_CHECK_ITERS into options(). */
+void initFromEnvironment();
+
+/**
+ * Consume a `--seed=<u64>` or `--iters=<n>` flag. Returns true when
+ * the argument was recognized (and applied); unknown flags are left
+ * for gtest.
+ */
+bool consumeFlag(const char *arg);
+
+/**
+ * Provider of the currently running test's name (installed by
+ * check_main from gtest; returns "" outside a test).
+ */
+void setTestNameProvider(std::string (*provider)());
+
+/** Binary path for the replay line (argv[0], set by check_main). */
+void setBinaryName(const std::string &name);
+
+/** Derive the single-u64 case seed of iteration @p index. */
+std::uint64_t deriveCaseSeed(std::uint64_t run_seed, std::size_t index);
+
+/** Result of one forAll() run. */
+struct Result
+{
+    bool ok = true;
+    std::size_t casesRun = 0;
+    std::string report; //!< failure report ("" when ok)
+};
+
+namespace detail
+{
+
+/** Assemble the failure report (implemented in check.cc). */
+std::string formatFailure(const std::string &property,
+                          std::size_t case_index, std::size_t cases_total,
+                          std::uint64_t case_seed,
+                          const std::string &counterexample,
+                          const std::string &original,
+                          std::size_t shrink_steps,
+                          const std::string &reason);
+
+/** Cap on shrink candidate evaluations per failure. */
+inline constexpr std::size_t kMaxShrinkEvals = 2000;
+
+} // namespace detail
+
+/**
+ * Run @p property on @p base_iterations (scaled by --iters) values
+ * drawn from @p gen. Stops at the first failure, shrinks it, and
+ * returns a report with the replay line. In replay mode
+ * (`--seed=<u64>`), runs exactly one case from that seed.
+ *
+ * @param property Name shown in the report.
+ * @param gen Value generator.
+ * @param property_fn Callable: (const T &) -> Verdict.
+ * @param base_iterations Cases at scale 1.
+ */
+template <typename T, typename PropertyFn>
+Result
+forAll(const std::string &property, const Gen<T> &gen,
+       PropertyFn &&property_fn, std::size_t base_iterations = 100)
+{
+    const Options &opts = options();
+    const std::size_t iterations = opts.replay
+        ? 1
+        : base_iterations * opts.iterScale;
+
+    Result result;
+    for (std::size_t i = 0; i < iterations; ++i) {
+        const std::uint64_t case_seed = opts.replay
+            ? opts.replaySeed
+            : deriveCaseSeed(opts.runSeed, i);
+        Rng rng(case_seed);
+        T value = gen.generate(rng);
+        Verdict verdict = property_fn(value);
+        ++result.casesRun;
+        if (!verdict)
+            continue;
+
+        // Failure: greedy shrink while the property keeps failing.
+        const std::string original = gen.print(value);
+        std::size_t steps = 0;
+        std::size_t evals = 0;
+        bool progressed = true;
+        while (progressed && evals < detail::kMaxShrinkEvals) {
+            progressed = false;
+            for (T &candidate : gen.shrinks(value)) {
+                if (++evals > detail::kMaxShrinkEvals)
+                    break;
+                Verdict v = property_fn(candidate);
+                if (v) {
+                    value = std::move(candidate);
+                    verdict = std::move(v);
+                    ++steps;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+
+        result.ok = false;
+        result.report = detail::formatFailure(
+            property, i, iterations, case_seed, gen.print(value),
+            original, steps, *verdict);
+        return result;
+    }
+    return result;
+}
+
+} // namespace check
+} // namespace yac
+
+/**
+ * Early-return a failing Verdict when @p cond does not hold. Use
+ * inside property lambdas declared `-> yac::check::Verdict`; the
+ * streamed message becomes the report's reason line.
+ */
+#define YAC_PROP_EXPECT(cond, ...)                                      \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            std::ostringstream yac_prop_os_;                            \
+            yac_prop_os_ << "'" #cond "' violated";                     \
+            yac_prop_os_ << ::yac::check::propDetail(__VA_ARGS__);      \
+            return ::yac::check::fail(yac_prop_os_.str());              \
+        }                                                               \
+    } while (0)
+
+namespace yac
+{
+namespace check
+{
+
+/** Fold streamable detail arguments into ": a b c" (empty for none). */
+template <typename... Args>
+std::string
+propDetail(Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return "";
+    } else {
+        std::ostringstream os;
+        os << ": ";
+        ((os << args << ' '), ...);
+        std::string s = os.str();
+        s.pop_back();
+        return s;
+    }
+}
+
+} // namespace check
+} // namespace yac
+
+#endif // YAC_CHECK_CHECK_HH

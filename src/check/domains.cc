@@ -1,0 +1,300 @@
+#include "check/domains.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace yac
+{
+namespace check
+{
+
+std::string
+CampaignCase::describe() const
+{
+    std::ostringstream os;
+    os << "{ways=" << geometry.numWays
+       << " banks=" << geometry.banksPerWay
+       << " rows=" << geometry.rowsPerBank
+       << " cols=" << geometry.colsPerBank
+       << " groups=" << geometry.rowGroupsPerBank
+       << " chips=" << chips << " seed=" << seed
+       << " delaySens=" << tech.delaySensitivity
+       << " vtRolloff=" << tech.vtRolloffPerL << "}";
+    return os.str();
+}
+
+namespace domains
+{
+
+Gen<CacheGeometry>
+cacheGeometry()
+{
+    return Gen<CacheGeometry>(
+        [](Rng &rng) {
+            CacheGeometry g;
+            g.numWays = 1 + rng.uniformInt(4);
+            g.banksPerWay = 1 + rng.uniformInt(4);
+            const std::size_t rows_choices[] = {16, 32, 64};
+            const std::size_t cols_choices[] = {32, 64, 128};
+            g.rowsPerBank = rows_choices[rng.uniformInt(3)];
+            g.colsPerBank = cols_choices[rng.uniformInt(3)];
+            // WayModel needs >= 2 row groups per bank.
+            const std::size_t groups_choices[] = {2, 4, 8};
+            g.rowGroupsPerBank = groups_choices[rng.uniformInt(3)];
+            g.bitlineSplit = rng.bernoulli(0.5);
+            // Derived capacity keeps numSets consistent with the
+            // physical array (sets scale with rows x banks).
+            g.blockBytes = 32;
+            g.sizeBytes = g.numWays * g.banksPerWay * g.rowsPerBank *
+                g.colsPerBank / 8;
+            return g;
+        },
+        {},
+        [](const CacheGeometry &g) {
+            std::ostringstream os;
+            os << "{ways=" << g.numWays << " banks=" << g.banksPerWay
+               << " rows=" << g.rowsPerBank << " cols=" << g.colsPerBank
+               << " groups=" << g.rowGroupsPerBank << "}";
+            return os.str();
+        });
+}
+
+Gen<Technology>
+technology()
+{
+    return Gen<Technology>(
+        [](Rng &rng) {
+            Technology t = defaultTechnology();
+            t.vdd = rng.uniform(0.9, 1.1);
+            t.alpha = rng.uniform(1.2, 1.4);
+            t.vtRolloffPerL = rng.uniform(0.5, 1.5);
+            t.onCurrentPerUm = rng.uniform(700.0, 1100.0);
+            t.leakRefPerUm = rng.uniform(30.0, 70.0);
+            t.delaySensitivity = rng.uniform(0.8, 1.3);
+            t.hyapdDelayFactor = rng.uniform(1.0, 1.05);
+            return t;
+        },
+        {},
+        [](const Technology &t) {
+            std::ostringstream os;
+            os << "{vdd=" << t.vdd << " alpha=" << t.alpha
+               << " delaySens=" << t.delaySensitivity
+               << " vtRolloff=" << t.vtRolloffPerL << "}";
+            return os.str();
+        });
+}
+
+Gen<CorrelationModel>
+correlationModel()
+{
+    return Gen<CorrelationModel>([](Rng &rng) {
+        CorrelationModel c;
+        c.verticalFactor(rng.uniform(0.1, 1.0));
+        c.horizontalFactor(rng.uniform(0.1, 1.0));
+        c.diagonalFactor(rng.uniform(0.1, 1.0));
+        c.rowFactor(rng.uniform(0.01, 0.2));
+        c.bitFactor(rng.uniform(0.005, 0.05));
+        c.peripheralFactor(rng.uniform(0.1, 1.0));
+        c.regionSystematicFactor(rng.uniform(0.2, 1.0));
+        return c;
+    });
+}
+
+Gen<CampaignCase>
+campaignCase()
+{
+    const Gen<CacheGeometry> geom = cacheGeometry();
+    const Gen<Technology> tech = technology();
+    const Gen<CorrelationModel> corr = correlationModel();
+    return Gen<CampaignCase>(
+        [geom, tech, corr](Rng &rng) {
+            CampaignCase c;
+            c.geometry = geom.generate(rng);
+            c.tech = tech.generate(rng);
+            c.correlation = corr.generate(rng);
+            // 66..320 chips: always crosses at least one kStatChunk
+            // (64) boundary, so chunked reductions really merge.
+            c.chips = 66 + rng.uniformInt(255);
+            c.seed = rng.next();
+            return c;
+        },
+        [](const CampaignCase &c) {
+            std::vector<CampaignCase> out;
+            // Fewer chips first (fastest shrink), then a simpler
+            // geometry, then the calibrated default technology.
+            if (c.chips > 66) {
+                CampaignCase d = c;
+                d.chips = std::max<std::size_t>(66, c.chips / 2);
+                out.push_back(d);
+            }
+            if (c.geometry.banksPerWay > 1 ||
+                c.geometry.rowGroupsPerBank > 1) {
+                CampaignCase d = c;
+                d.geometry.banksPerWay = 1;
+                d.geometry.rowGroupsPerBank = 1;
+                d.geometry.sizeBytes = d.geometry.numWays *
+                    d.geometry.rowsPerBank * d.geometry.colsPerBank / 8;
+                out.push_back(d);
+            }
+            if (c.geometry.numWays > 1) {
+                CampaignCase d = c;
+                d.geometry.numWays = 1;
+                d.geometry.sizeBytes = d.geometry.banksPerWay *
+                    d.geometry.rowsPerBank * d.geometry.colsPerBank / 8;
+                out.push_back(d);
+            }
+            {
+                CampaignCase d = c;
+                d.tech = defaultTechnology();
+                if (d.tech.delaySensitivity !=
+                        c.tech.delaySensitivity ||
+                    d.tech.vdd != c.tech.vdd)
+                    out.push_back(d);
+            }
+            return out;
+        },
+        [](const CampaignCase &c) { return c.describe(); });
+}
+
+Gen<ConstraintPolicy>
+constraintPolicy()
+{
+    return Gen<ConstraintPolicy>(
+        [](Rng &rng) {
+            ConstraintPolicy p;
+            p.name = "random";
+            p.delaySigmaFactor = rng.uniform(0.25, 2.0);
+            p.leakageMeanFactor = rng.uniform(1.5, 5.0);
+            return p;
+        },
+        [](const ConstraintPolicy &p) {
+            std::vector<ConstraintPolicy> out;
+            if (p.delaySigmaFactor != 1.0 || p.leakageMeanFactor != 3.0)
+                out.push_back(ConstraintPolicy::nominal());
+            return out;
+        },
+        [](const ConstraintPolicy &p) {
+            std::ostringstream os;
+            os << "{k=" << p.delaySigmaFactor
+               << " m=" << p.leakageMeanFactor << "}";
+            return os.str();
+        });
+}
+
+Gen<CacheParams>
+cacheParams()
+{
+    return Gen<CacheParams>(
+        [](Rng &rng) {
+            CacheParams p;
+            p.name = "gen";
+            p.numWays = 1 + rng.uniformInt(8);
+            const std::size_t block_choices[] = {16, 32, 64};
+            p.blockBytes = block_choices[rng.uniformInt(3)];
+            // Power-of-two set count in [16, 256].
+            const std::size_t sets = std::size_t{16}
+                << rng.uniformInt(5);
+            p.sizeBytes = sets * p.blockBytes * p.numWays;
+            p.hitLatency = 1 + static_cast<int>(rng.uniformInt(6));
+            // Optionally VACA-style per-way latencies (never faster
+            // than the base).
+            if (rng.bernoulli(0.5)) {
+                p.wayLatency.resize(p.numWays);
+                for (int &lat : p.wayLatency)
+                    lat = p.hitLatency +
+                        static_cast<int>(rng.uniformInt(3));
+            }
+            // Random mask with at least one enabled way.
+            p.wayMask = 0;
+            for (std::size_t w = 0; w < p.numWays; ++w) {
+                if (rng.bernoulli(0.75))
+                    p.wayMask |= (1u << w);
+            }
+            if (p.wayMask == 0)
+                p.wayMask = 1;
+            if (rng.bernoulli(0.3) && sets >= p.numWays) {
+                p.horizontalMode = true;
+                // numHRegions must divide sets and be >= numWays;
+                // sets is a power of two >= numWays rounded up.
+                std::size_t regions = 4;
+                while (regions < p.numWays)
+                    regions *= 2;
+                while (sets % regions != 0)
+                    regions *= 2;
+                p.numHRegions = regions;
+                p.disabledHRegion = rng.bernoulli(0.5)
+                    ? rng.uniformInt(regions)
+                    : CacheParams::kNoRegion;
+            }
+            return p;
+        },
+        {},
+        [](const CacheParams &p) {
+            std::ostringstream os;
+            os << "{ways=" << p.numWays << " size=" << p.sizeBytes
+               << " block=" << p.blockBytes << " lat=" << p.hitLatency
+               << " mask=0x" << std::hex << p.wayMask << std::dec
+               << (p.horizontalMode ? " hmode" : "") << "}";
+            return os.str();
+        });
+}
+
+Gen<BenchmarkProfile>
+benchmarkProfile()
+{
+    return Gen<BenchmarkProfile>(
+        [](Rng &rng) {
+            BenchmarkProfile p;
+            p.name = "synthetic";
+            p.isFp = rng.bernoulli(0.5);
+            p.loadFrac = rng.uniform(0.1, 0.35);
+            p.storeFrac = rng.uniform(0.05, 0.15);
+            p.branchFrac = rng.uniform(0.05, 0.2);
+            p.mulFrac = rng.uniform(0.0, 0.2);
+            p.fpOpFrac = p.isFp ? rng.uniform(0.2, 0.8) : 0.0;
+            p.mispredictRate = rng.uniform(0.0, 0.12);
+            p.streamFrac = rng.uniform(0.0, 0.2);
+            p.l2Frac = rng.uniform(0.0, 0.08);
+            p.farFrac = rng.uniform(0.0, 0.02);
+            p.chaseFrac = rng.uniform(0.0, 1.0);
+            p.depP = rng.uniform(0.3, 0.95);
+            p.parallelChains = 1 + rng.uniformInt(8);
+            const std::size_t ws_choices[] = {1024, 4096, 8192};
+            p.workingSetKb = ws_choices[rng.uniformInt(3)];
+            p.streamLoopKb = 64 + rng.uniformInt(192);
+            p.l2RegionKb = 128 + rng.uniformInt(256);
+            return p;
+        },
+        [](const BenchmarkProfile &p) {
+            std::vector<BenchmarkProfile> out;
+            // Shrink toward the default profile's memory behaviour
+            // (keeps the instruction mix, drops the hostile parts).
+            if (p.mispredictRate > 0.0 || p.farFrac > 0.0) {
+                BenchmarkProfile d = p;
+                d.mispredictRate = 0.0;
+                d.farFrac = 0.0;
+                out.push_back(d);
+            }
+            if (p.streamFrac > 0.0 || p.l2Frac > 0.0) {
+                BenchmarkProfile d = p;
+                d.streamFrac = 0.0;
+                d.l2Frac = 0.0;
+                out.push_back(d);
+            }
+            return out;
+        },
+        [](const BenchmarkProfile &p) {
+            std::ostringstream os;
+            os << "{load=" << p.loadFrac << " store=" << p.storeFrac
+               << " branch=" << p.branchFrac
+               << " mispred=" << p.mispredictRate
+               << " stream=" << p.streamFrac << " l2=" << p.l2Frac
+               << " far=" << p.farFrac << " chase=" << p.chaseFrac
+               << " chains=" << p.parallelChains << "}";
+            return os.str();
+        });
+}
+
+} // namespace domains
+} // namespace check
+} // namespace yac

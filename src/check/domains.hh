@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Domain generators: random-but-valid instances of yac's core
+ * configuration types for property tests. Every generator only
+ * produces values the constructors/validators accept, so properties
+ * test behaviour, not input rejection (input rejection has its own
+ * death tests).
+ */
+
+#ifndef YAC_CHECK_DOMAINS_HH
+#define YAC_CHECK_DOMAINS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cache/params.hh"
+#include "check/gen.hh"
+#include "circuit/geometry.hh"
+#include "circuit/technology.hh"
+#include "variation/correlation.hh"
+#include "workload/profile.hh"
+#include "yield/constraints.hh"
+
+namespace yac
+{
+namespace check
+{
+
+/**
+ * One randomized Monte Carlo campaign: a consistent (geometry,
+ * technology, correlation) triple plus population size and seed.
+ * Sized so a single campaign evaluates in well under a second.
+ */
+struct CampaignCase
+{
+    CacheGeometry geometry;
+    Technology tech;
+    CorrelationModel correlation;
+    std::size_t chips = 100;
+    std::uint64_t seed = 0;
+
+    std::string describe() const;
+};
+
+namespace domains
+{
+
+/** Valid CacheGeometry (sampler-compatible: 1-4 ways, >= 2 cells per
+ *  row group). */
+Gen<CacheGeometry> cacheGeometry();
+
+/** Technology perturbed around the calibrated default. */
+Gen<Technology> technology();
+
+/** Correlation model with randomized factors in [0, 1]. */
+Gen<CorrelationModel> correlationModel();
+
+/** Full campaign case; shrinks toward fewer chips / smaller
+ *  geometry. */
+Gen<CampaignCase> campaignCase();
+
+/** Constraint policy with k in [0.25, 2], m in [1.5, 5]; shrinks
+ *  toward the paper's nominal policy. */
+Gen<ConstraintPolicy> constraintPolicy();
+
+/** Valid functional/timing cache parameters (validate() passes),
+ *  including randomized VACA way latencies and YAPD way masks. */
+Gen<CacheParams> cacheParams();
+
+/** Synthetic benchmark profile within the SPEC2000-like envelope. */
+Gen<BenchmarkProfile> benchmarkProfile();
+
+} // namespace domains
+} // namespace check
+} // namespace yac
+
+#endif // YAC_CHECK_DOMAINS_HH

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Value generators for yac::check property tests.
+ *
+ * A Gen<T> bundles three functions: generate a random T from a
+ * yac::Rng, propose shrunk candidates of a failing T, and print a T
+ * for the counterexample report. Generators are plain values --
+ * compose them freely in test files. All randomness flows through
+ * yac::Rng, so every generated case is reproducible from the single
+ * case seed that the runner prints on failure.
+ */
+
+#ifndef YAC_CHECK_GEN_HH
+#define YAC_CHECK_GEN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace yac
+{
+namespace check
+{
+
+/**
+ * A generator of values of type T with integrated shrinking and
+ * printing. Shrinking is optional: a generator without a shrink
+ * function reports the originally drawn counterexample.
+ */
+template <typename T>
+class Gen
+{
+  public:
+    using GenerateFn = std::function<T(Rng &)>;
+    using ShrinkFn = std::function<std::vector<T>(const T &)>;
+    using PrintFn = std::function<std::string(const T &)>;
+
+    explicit Gen(GenerateFn generate)
+        : generate_(std::move(generate))
+    {
+    }
+
+    Gen(GenerateFn generate, ShrinkFn shrink, PrintFn print)
+        : generate_(std::move(generate)), shrink_(std::move(shrink)),
+          print_(std::move(print))
+    {
+    }
+
+    /** Draw one value. */
+    T generate(Rng &rng) const { return generate_(rng); }
+
+    /** Shrink candidates for a failing value, simplest first. */
+    std::vector<T> shrinks(const T &value) const
+    {
+        if (!shrink_)
+            return {};
+        return shrink_(value);
+    }
+
+    /** Render a value for the failure report. */
+    std::string print(const T &value) const
+    {
+        if (print_)
+            return print_(value);
+        if constexpr (std::is_arithmetic_v<T>) {
+            std::ostringstream os;
+            os << value;
+            return os.str();
+        } else {
+            return "<value>";
+        }
+    }
+
+    /** Copy of this generator with a (replacement) shrink function. */
+    Gen withShrink(ShrinkFn shrink) const
+    {
+        Gen g = *this;
+        g.shrink_ = std::move(shrink);
+        return g;
+    }
+
+    /** Copy of this generator with a (replacement) printer. */
+    Gen withPrint(PrintFn print) const
+    {
+        Gen g = *this;
+        g.print_ = std::move(print);
+        return g;
+    }
+
+    /**
+     * Generator of f(x) for x drawn from this generator. Shrinking
+     * does not transport through an arbitrary map; the mapped
+     * generator starts without a shrink function.
+     */
+    template <typename F>
+    auto map(F f) const -> Gen<std::decay_t<decltype(f(std::declval<T>()))>>
+    {
+        using U = std::decay_t<decltype(f(std::declval<T>()))>;
+        GenerateFn inner = generate_;
+        return Gen<U>([inner, f](Rng &rng) { return f(inner(rng)); });
+    }
+
+  private:
+    GenerateFn generate_;
+    ShrinkFn shrink_;
+    PrintFn print_;
+};
+
+namespace gen
+{
+
+namespace detail
+{
+
+/** Halving ladder from @p value toward @p target (target first). */
+template <typename T>
+std::vector<T>
+shrinkTowards(T value, T target)
+{
+    std::vector<T> out;
+    if (value == target)
+        return out;
+    out.push_back(target);
+    // Walk the midpoints: target + (value-target)/2, 3/4, ... keeps
+    // the candidate list short while converging exponentially.
+    T delta = value - target;
+    while (true) {
+        delta = delta / 2;
+        const T cand = static_cast<T>(value - delta);
+        if (cand == value || cand == target || delta == T{})
+            break;
+        out.push_back(cand);
+    }
+    return out;
+}
+
+} // namespace detail
+
+/** Uniform integer in [lo, hi], shrinking toward lo. */
+inline Gen<std::uint64_t>
+uintRange(std::uint64_t lo, std::uint64_t hi)
+{
+    return Gen<std::uint64_t>(
+        [lo, hi](Rng &rng) { return lo + rng.uniformInt(hi - lo + 1); },
+        [lo](const std::uint64_t &v) {
+            return detail::shrinkTowards(v, lo);
+        },
+        [](const std::uint64_t &v) { return std::to_string(v); });
+}
+
+/** Uniform int in [lo, hi], shrinking toward lo. */
+inline Gen<int>
+intRange(int lo, int hi)
+{
+    return Gen<int>(
+        [lo, hi](Rng &rng) {
+            return lo + static_cast<int>(rng.uniformInt(
+                            static_cast<std::uint64_t>(hi - lo + 1)));
+        },
+        [lo](const int &v) { return detail::shrinkTowards(v, lo); },
+        [](const int &v) { return std::to_string(v); });
+}
+
+/** Uniform size_t in [lo, hi], shrinking toward lo. */
+inline Gen<std::size_t>
+sizeRange(std::size_t lo, std::size_t hi)
+{
+    return Gen<std::size_t>(
+        [lo, hi](Rng &rng) { return lo + rng.uniformInt(hi - lo + 1); },
+        [lo](const std::size_t &v) {
+            return detail::shrinkTowards(v, lo);
+        },
+        [](const std::size_t &v) { return std::to_string(v); });
+}
+
+/** Uniform double in [lo, hi), shrinking toward lo. */
+inline Gen<double>
+doubleRange(double lo, double hi)
+{
+    return Gen<double>(
+        [lo, hi](Rng &rng) { return rng.uniform(lo, hi); },
+        [lo](const double &v) {
+            std::vector<double> out;
+            if (v == lo)
+                return out;
+            out.push_back(lo);
+            const double mid = lo + (v - lo) / 2.0;
+            if (mid != v && mid != lo)
+                out.push_back(mid);
+            return out;
+        },
+        [](const double &v) {
+            std::ostringstream os;
+            os.precision(17);
+            os << v;
+            return os.str();
+        });
+}
+
+/** Fair coin. */
+inline Gen<bool>
+boolean()
+{
+    return Gen<bool>([](Rng &rng) { return rng.bernoulli(0.5); },
+                     [](const bool &v) {
+                         return v ? std::vector<bool>{false}
+                                  : std::vector<bool>{};
+                     },
+                     [](const bool &v) {
+                         return std::string(v ? "true" : "false");
+                     });
+}
+
+/** One of the given values, shrinking toward earlier entries. */
+template <typename T>
+Gen<T>
+element(std::vector<T> choices)
+{
+    auto shared =
+        std::make_shared<const std::vector<T>>(std::move(choices));
+    return Gen<T>([shared](Rng &rng) {
+               return (*shared)[rng.uniformInt(shared->size())];
+           })
+        .withShrink([shared](const T &v) {
+            std::vector<T> out;
+            for (const T &c : *shared) {
+                if (c == v)
+                    break;
+                out.push_back(c);
+            }
+            return out;
+        });
+}
+
+/**
+ * Vector of [min_size, max_size] elements. Shrinks by halving the
+ * length (dropping the tail), then by dropping single elements, then
+ * by shrinking individual elements.
+ */
+template <typename T>
+Gen<std::vector<T>>
+vectorOf(std::size_t min_size, std::size_t max_size, Gen<T> elem)
+{
+    auto e = std::make_shared<const Gen<T>>(std::move(elem));
+    return Gen<std::vector<T>>(
+        [min_size, max_size, e](Rng &rng) {
+            const std::size_t n =
+                min_size + rng.uniformInt(max_size - min_size + 1);
+            std::vector<T> v;
+            v.reserve(n);
+            for (std::size_t i = 0; i < n; ++i)
+                v.push_back(e->generate(rng));
+            return v;
+        },
+        [min_size, e](const std::vector<T> &v) {
+            std::vector<std::vector<T>> out;
+            if (v.size() > min_size) {
+                // Keep the first half (but never below the minimum).
+                const std::size_t half =
+                    std::max(min_size, v.size() / 2);
+                if (half < v.size())
+                    out.emplace_back(v.begin(), v.begin() + half);
+                // Drop one element at a time.
+                for (std::size_t i = 0; i < v.size(); ++i) {
+                    std::vector<T> d;
+                    d.reserve(v.size() - 1);
+                    for (std::size_t j = 0; j < v.size(); ++j) {
+                        if (j != i)
+                            d.push_back(v[j]);
+                    }
+                    out.push_back(std::move(d));
+                }
+            }
+            // Shrink each element in place (first candidate only, to
+            // bound the fan-out).
+            for (std::size_t i = 0; i < v.size(); ++i) {
+                const std::vector<T> cands = e->shrinks(v[i]);
+                if (!cands.empty()) {
+                    std::vector<T> d = v;
+                    d[i] = cands.front();
+                    out.push_back(std::move(d));
+                }
+            }
+            return out;
+        },
+        [e](const std::vector<T> &v) {
+            std::ostringstream os;
+            os << "[";
+            for (std::size_t i = 0; i < v.size(); ++i) {
+                if (i > 0)
+                    os << ", ";
+                os << e->print(v[i]);
+            }
+            os << "]";
+            return os.str();
+        });
+}
+
+} // namespace gen
+} // namespace check
+} // namespace yac
+
+#endif // YAC_CHECK_GEN_HH

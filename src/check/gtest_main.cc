@@ -1,0 +1,52 @@
+/**
+ * @file
+ * gtest main for yac::check property-test binaries.
+ *
+ * Identical to gtest_main plus the yac::check flag protocol: the
+ * `--seed=<u64>` and `--iters=<n>` flags printed in failure reports
+ * are consumed here (before gtest parses the command line) and the
+ * YAC_CHECK_SEED / YAC_CHECK_ITERS environment fallbacks are loaded.
+ * The current-test-name provider is installed so failure reports can
+ * print a --gtest_filter that re-runs only the failing property.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hh"
+
+namespace
+{
+
+std::string
+currentTestName()
+{
+    const ::testing::TestInfo *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    if (info == nullptr)
+        return "";
+    return std::string(info->test_suite_name()) + "." + info->name();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    yac::check::initFromEnvironment();
+
+    // Pull out the yac::check flags; everything else goes to gtest.
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (!yac::check::consumeFlag(argv[i]))
+            argv[kept++] = argv[i];
+    }
+    argc = kept;
+    argv[argc] = nullptr;
+
+    ::testing::InitGoogleTest(&argc, argv);
+    yac::check::setBinaryName(argv[0]);
+    yac::check::setTestNameProvider(&currentTestName);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,105 @@
+#include "sim/inorder_ref.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "workload/trace_generator.hh"
+
+namespace yac
+{
+
+namespace
+{
+
+/** Fetch granularity: one L1I block per group of instructions. */
+constexpr std::uint64_t kFetchBlockBytes = 64;
+
+} // namespace
+
+InOrderRefCore::InOrderRefCore(const CoreParams &params,
+                               MemoryHierarchy &hierarchy,
+                               TraceSource &trace)
+    : params_(params), hierarchy_(hierarchy), trace_(trace),
+      regReady_(static_cast<std::size_t>(2 * kNumLogicalRegs), 0)
+{
+}
+
+void
+InOrderRefCore::run(std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const TraceInst inst = trace_.next();
+
+        // Fetch: serialize an instruction-cache access per block.
+        const std::uint64_t block = inst.pc / kFetchBlockBytes;
+        if (block != currentFetchBlock_) {
+            const int lat = hierarchy_.instFetch(inst.pc);
+            if (lat > 1)
+                now_ += static_cast<std::uint64_t>(lat - 1);
+            currentFetchBlock_ = block;
+        }
+
+        // Issue: block until both sources are ready (stall-on-issue,
+        // strictly more conservative than stall-on-use).
+        std::uint64_t start = now_;
+        if (inst.src1 != kNoReg)
+            start = std::max(start,
+                             regReady_[static_cast<std::size_t>(inst.src1)]);
+        if (inst.src2 != kNoReg)
+            start = std::max(start,
+                             regReady_[static_cast<std::size_t>(inst.src2)]);
+
+        // Execute: loads pay the full hierarchy latency; stores retire
+        // through an ideal store buffer but still update cache state.
+        std::uint64_t complete = start;
+        if (inst.isLoad()) {
+            const MemAccessOutcome out =
+                hierarchy_.dataAccess(inst.addr, false);
+            complete = start + static_cast<std::uint64_t>(
+                                   std::max(1, out.latency));
+        } else if (inst.isStore()) {
+            (void)hierarchy_.dataAccess(inst.addr, true);
+            complete = start + 1;
+        } else {
+            complete = start + static_cast<std::uint64_t>(
+                                   std::max(1, opLatency(inst.op)));
+        }
+
+        if (inst.dst != kNoReg)
+            regReady_[static_cast<std::size_t>(inst.dst)] = complete;
+
+        // One instruction per cycle leaves the scalar pipe; a
+        // mispredicted branch additionally drains and redirects.
+        now_ = start + 1;
+        if (inst.isBranch() && inst.mispredicted)
+            now_ = complete +
+                static_cast<std::uint64_t>(params_.redirectPenalty);
+
+        ++committed_;
+    }
+}
+
+void
+InOrderRefCore::beginMeasurement()
+{
+    windowStartCycle_ = now_;
+    windowStartInsts_ = committed_;
+}
+
+double
+inOrderReferenceCpi(const BenchmarkProfile &profile, const CoreParams &core,
+                    const HierarchyParams &hierarchy, std::uint64_t seed,
+                    std::uint64_t warmup_insts, std::uint64_t measure_insts)
+{
+    yac_assert(measure_insts > 0, "nothing to measure");
+    MemoryHierarchy mem(hierarchy);
+    TraceGenerator trace(profile, seed);
+    InOrderRefCore ref(core, mem, trace);
+    if (warmup_insts > 0)
+        ref.run(warmup_insts);
+    ref.beginMeasurement();
+    ref.run(measure_insts);
+    return ref.cpi();
+}
+
+} // namespace yac

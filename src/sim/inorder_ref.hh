@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Scalar in-order reference core: the independent timing oracle the
+ * property tests differentially check the out-of-order model against.
+ *
+ * The model is deliberately simple and conservatively slow -- a
+ * one-wide, stall-on-use, in-order pipeline sharing the trace format
+ * and memory hierarchy of OooCore but none of its machinery (no issue
+ * queue, no speculative wakeup, no replay, no ports). Because the
+ * machine it models is strictly less capable than the paper's 4-wide
+ * out-of-order core, its CPI on any trace bounds the OooCore's CPI
+ * from above; the property suite asserts that bounded-ratio invariant
+ * across randomized benchmark profiles (see docs/TESTING.md).
+ */
+
+#ifndef YAC_SIM_INORDER_REF_HH
+#define YAC_SIM_INORDER_REF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/memory_hierarchy.hh"
+#include "sim/core_params.hh"
+#include "workload/instruction.hh"
+#include "workload/profile.hh"
+
+namespace yac
+{
+
+/** One-wide in-order reference pipeline. */
+class InOrderRefCore
+{
+  public:
+    /**
+     * @param params Core configuration (only the latency-relevant
+     *        fields are used: schedToExec, redirectPenalty).
+     * @param hierarchy Memory hierarchy (not owned).
+     * @param trace Instruction source (not owned).
+     */
+    InOrderRefCore(const CoreParams &params, MemoryHierarchy &hierarchy,
+                   TraceSource &trace);
+
+    /** Run @p n further instructions. */
+    void run(std::uint64_t n);
+
+    /** Reset the measurement window (state stays warm). */
+    void beginMeasurement();
+
+    /** Committed instructions in the measurement window. */
+    std::uint64_t instructions() const
+    {
+        return committed_ - windowStartInsts_;
+    }
+
+    /** Cycles elapsed in the measurement window. */
+    std::uint64_t cycles() const { return now_ - windowStartCycle_; }
+
+    /** Cycles per instruction of the measurement window. */
+    double cpi() const
+    {
+        return instructions() == 0
+            ? 0.0
+            : static_cast<double>(cycles()) /
+              static_cast<double>(instructions());
+    }
+
+  private:
+    CoreParams params_;
+    MemoryHierarchy &hierarchy_;
+    TraceSource &trace_;
+
+    /** Ready cycle of every logical register. */
+    std::vector<std::uint64_t> regReady_;
+
+    std::uint64_t now_ = 0;
+    std::uint64_t committed_ = 0;
+    std::uint64_t currentFetchBlock_ = ~std::uint64_t{0};
+
+    std::uint64_t windowStartCycle_ = 0;
+    std::uint64_t windowStartInsts_ = 0;
+};
+
+/**
+ * Reference CPI of a benchmark profile on a hierarchy/core
+ * configuration: same warmup/measure protocol as simulateBenchmark,
+ * same deterministic trace, independent timing model.
+ */
+double inOrderReferenceCpi(const BenchmarkProfile &profile,
+                           const CoreParams &core,
+                           const HierarchyParams &hierarchy,
+                           std::uint64_t seed,
+                           std::uint64_t warmup_insts,
+                           std::uint64_t measure_insts);
+
+} // namespace yac
+
+#endif // YAC_SIM_INORDER_REF_HH

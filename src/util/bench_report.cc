@@ -1,0 +1,191 @@
+#include "util/bench_report.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+namespace
+{
+
+/** Cursor over the line being parsed; fails by setting *error once. */
+struct Cursor
+{
+    const std::string &line;
+    std::size_t pos = 0;
+    std::string *error = nullptr;
+    bool failed = false;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (!failed && error)
+            *error = what + " at offset " + std::to_string(pos);
+        failed = true;
+        return false;
+    }
+
+    /** Consume @p token exactly. */
+    bool
+    expect(const std::string &token)
+    {
+        if (failed)
+            return false;
+        if (line.compare(pos, token.size(), token) != 0)
+            return fail("expected '" + token + "'");
+        pos += token.size();
+        return true;
+    }
+
+    /** Consume [A-Za-z0-9_]+. */
+    bool
+    ident(std::string &out)
+    {
+        if (failed)
+            return false;
+        const std::size_t start = pos;
+        while (pos < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(line[pos])) ||
+                line[pos] == '_'))
+            ++pos;
+        if (pos == start)
+            return fail("expected identifier");
+        out = line.substr(start, pos - start);
+        return true;
+    }
+
+    /** Consume a non-negative decimal integer. */
+    bool
+    integer(std::size_t &out)
+    {
+        if (failed)
+            return false;
+        const std::size_t start = pos;
+        while (pos < line.size() &&
+               std::isdigit(static_cast<unsigned char>(line[pos])))
+            ++pos;
+        if (pos == start)
+            return fail("expected integer");
+        out = std::strtoull(line.substr(start, pos - start).c_str(),
+                            nullptr, 10);
+        return true;
+    }
+
+    /** Consume a non-negative fixed-point number (digits[.digits]). */
+    bool
+    number(double &out)
+    {
+        if (failed)
+            return false;
+        const std::size_t start = pos;
+        while (pos < line.size() &&
+               std::isdigit(static_cast<unsigned char>(line[pos])))
+            ++pos;
+        if (pos == start)
+            return fail("expected number");
+        if (pos < line.size() && line[pos] == '.') {
+            ++pos;
+            const std::size_t frac = pos;
+            while (pos < line.size() &&
+                   std::isdigit(static_cast<unsigned char>(line[pos])))
+                ++pos;
+            if (pos == frac)
+                return fail("expected digits after '.'");
+        }
+        out = std::strtod(line.substr(start, pos - start).c_str(), nullptr);
+        return true;
+    }
+};
+
+} // namespace
+
+double
+BenchReport::chipsPerSecond() const
+{
+    return wallSeconds > 0.0
+        ? static_cast<double>(chips) / wallSeconds
+        : 0.0;
+}
+
+bool
+isValidBenchName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (char c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+            return false;
+    }
+    return true;
+}
+
+std::string
+formatBenchReportLine(const BenchReport &report)
+{
+    yac_assert(isValidBenchName(report.bench),
+               "bench name must be [A-Za-z0-9_]+");
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "BENCH_%s.json {\"bench\":\"%s\",\"chips\":%zu,"
+                  "\"threads\":%zu,\"wall_s\":%.3f,"
+                  "\"chips_per_s\":%.1f}",
+                  report.bench.c_str(), report.bench.c_str(), report.chips,
+                  report.threads, report.wallSeconds,
+                  report.chipsPerSecond());
+    return buf;
+}
+
+std::optional<BenchReport>
+parseBenchReportLine(const std::string &line, std::string *error)
+{
+    Cursor c{line, 0, error};
+    BenchReport r;
+    std::string file_name, json_name;
+    c.expect("BENCH_");
+    c.ident(file_name);
+    c.expect(".json {\"bench\":\"");
+    c.ident(json_name);
+    c.expect("\",\"chips\":");
+    c.integer(r.chips);
+    c.expect(",\"threads\":");
+    c.integer(r.threads);
+    c.expect(",\"wall_s\":");
+    c.number(r.wallSeconds);
+    c.expect(",\"chips_per_s\":");
+    double chips_per_s = 0.0;
+    c.number(chips_per_s);
+    c.expect("}");
+    if (c.failed)
+        return std::nullopt;
+    if (c.pos != line.size()) {
+        c.fail("trailing characters");
+        return std::nullopt;
+    }
+    if (file_name != json_name) {
+        c.fail("file name '" + file_name + "' != bench field '" +
+               json_name + "'");
+        return std::nullopt;
+    }
+    r.bench = json_name;
+    // The throughput field is derived. Both printed numbers are
+    // rounded (wall_s to 3 decimals, chips_per_s to 1), so accept any
+    // value within the error band those roundings induce; a wall_s
+    // that rounded to 0.000 makes the true ratio unrecoverable.
+    if (r.wallSeconds > 0.0) {
+        const double expected = r.chipsPerSecond();
+        const double tol =
+            0.05 + expected * (0.0005 / r.wallSeconds) + 1e-9 * expected;
+        if (std::abs(chips_per_s - expected) > tol) {
+            c.fail("chips_per_s inconsistent with chips/wall_s");
+            return std::nullopt;
+        }
+    }
+    return r;
+}
+
+} // namespace yac

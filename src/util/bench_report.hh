@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The machine-readable timing line every bench binary emits:
+ *
+ *   BENCH_<name>.json {"bench":"<name>","chips":N,"threads":T,
+ *                      "wall_s":S,"chips_per_s":R}
+ *
+ * Downstream tooling greps these lines out of bench logs and tracks
+ * them across PRs, so the schema is golden: formatting and parsing
+ * live here, in one place, and the property suite round-trips random
+ * reports through both directions (tests/prop_bench_schema.cc).
+ */
+
+#ifndef YAC_UTIL_BENCH_REPORT_HH
+#define YAC_UTIL_BENCH_REPORT_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace yac
+{
+
+/** One bench timing record. */
+struct BenchReport
+{
+    std::string bench;        //!< bench name, [A-Za-z0-9_]+
+    std::size_t chips = 0;    //!< campaign population
+    std::size_t threads = 0;  //!< worker threads used
+    double wallSeconds = 0.0; //!< wall-clock time [s]
+
+    /** Derived throughput [chips/s] (0 when wallSeconds is 0). */
+    double chipsPerSecond() const;
+};
+
+/** True iff @p name is a legal bench name ([A-Za-z0-9_]+). */
+bool isValidBenchName(const std::string &name);
+
+/**
+ * Render the full `BENCH_<name>.json {...}` line (no trailing
+ * newline). @pre isValidBenchName(report.bench)
+ */
+std::string formatBenchReportLine(const BenchReport &report);
+
+/**
+ * Parse and validate one bench report line. Returns std::nullopt on
+ * any schema violation (wrong prefix, bench/name mismatch, missing or
+ * reordered keys, non-numeric fields, negative values, or a
+ * chips_per_s inconsistent with chips/wall_s); when @p error is
+ * non-null it receives a description of the first violation.
+ */
+std::optional<BenchReport> parseBenchReportLine(const std::string &line,
+                                                std::string *error = nullptr);
+
+} // namespace yac
+
+#endif // YAC_UTIL_BENCH_REPORT_HH

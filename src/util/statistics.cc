@@ -8,6 +8,28 @@
 namespace yac
 {
 
+namespace
+{
+
+/**
+ * One Neumaier-compensated summation step: folds @p x into the
+ * running (@p sum, @p comp) pair. Unlike classic Kahan, the
+ * compensation survives when the new term is larger than the sum,
+ * which happens routinely when merging shard accumulators.
+ */
+void
+neumaierAdd(double &sum, double &comp, double x)
+{
+    const double t = sum + x;
+    if (std::abs(sum) >= std::abs(x))
+        comp += (sum - t) + x;
+    else
+        comp += (x - t) + sum;
+    sum = t;
+}
+
+} // namespace
+
 void
 RunningStats::add(double x)
 {
@@ -22,6 +44,7 @@ RunningStats::add(double x)
     const double delta = x - mean_;
     mean_ += delta / static_cast<double>(count_);
     m2_ += delta * (x - mean_);
+    neumaierAdd(sum_, comp_, x);
 }
 
 void
@@ -42,6 +65,8 @@ RunningStats::merge(const RunningStats &other)
     count_ += other.count_;
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
+    neumaierAdd(sum_, comp_, other.sum_);
+    neumaierAdd(sum_, comp_, other.comp_);
 }
 
 double

@@ -44,8 +44,8 @@ class RunningStats
     /** Largest sample seen. */
     double max() const { return max_; }
 
-    /** Sum of all samples. */
-    double sum() const { return mean_ * static_cast<double>(count_); }
+    /** Sum of all samples (Kahan-compensated, exact to ~1 ulp). */
+    double sum() const { return sum_ + comp_; }
 
   private:
     std::size_t count_ = 0;
@@ -53,6 +53,8 @@ class RunningStats
     double m2_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+    double sum_ = 0.0;
+    double comp_ = 0.0; //!< Kahan compensation term for sum_
 };
 
 /**

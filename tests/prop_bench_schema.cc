@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Golden-schema validation of the BENCH_<name>.json timing lines:
+ * random reports round-trip through format -> parse losslessly, the
+ * parser rejects every structural mutation of a valid line, and never
+ * accepts a line whose printed throughput contradicts chips/wall_s.
+ * Downstream tooling greps these lines out of CI logs, so the format
+ * is frozen here rather than in each bench binary.
+ */
+
+#include <cmath>
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hh"
+#include "util/bench_report.hh"
+#include "util/rng.hh"
+
+namespace yac
+{
+namespace
+{
+
+using check::forAll;
+using check::Gen;
+using check::Verdict;
+namespace gen = check::gen;
+
+Gen<BenchReport>
+benchReport()
+{
+    return Gen<BenchReport>([](Rng &rng) {
+        static const char alphabet[] =
+            "abcdefghijklmnopqrstuvwxyz"
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+        BenchReport r;
+        const std::size_t len = 1 + rng.uniformInt(24);
+        for (std::size_t i = 0; i < len; ++i)
+            r.bench += alphabet[rng.uniformInt(sizeof(alphabet) - 1)];
+        r.chips = 1 + rng.uniformInt(2'000'000);
+        r.threads = 1 + rng.uniformInt(64);
+        // 0 included deliberately: instant benches print wall_s 0.000.
+        r.wallSeconds =
+            rng.bernoulli(0.05) ? 0.0 : rng.uniform(0.0, 5000.0);
+        return r;
+    });
+}
+
+TEST(PropBenchSchema, FormatParseRoundTripIsLossless)
+{
+    const auto r = forAll(
+        "parse(format(r)) == r", benchReport(),
+        [](const BenchReport &in) -> Verdict {
+            const std::string line = formatBenchReportLine(in);
+            std::string error;
+            const std::optional<BenchReport> out =
+                parseBenchReportLine(line, &error);
+            YAC_PROP_EXPECT(out.has_value(), "line", line, "error",
+                            error);
+            YAC_PROP_EXPECT(out->bench == in.bench);
+            YAC_PROP_EXPECT(out->chips == in.chips);
+            YAC_PROP_EXPECT(out->threads == in.threads);
+            // wall_s is printed at millisecond resolution.
+            YAC_PROP_EXPECT(
+                std::abs(out->wallSeconds - in.wallSeconds) <=
+                    5e-4 + 1e-9 * in.wallSeconds,
+                "wall", in.wallSeconds, "parsed", out->wallSeconds);
+            return check::pass();
+        },
+        200);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropBenchSchema, StructuralMutationsAreRejected)
+{
+    // Deleting any single character from a valid line must never
+    // yield a *different* accepted report: either the parse fails, or
+    // (for redundant characters such as a digit of a rounded field)
+    // it still agrees with the original on the integer fields.
+    const auto r = forAll(
+        "single-char deletions never corrupt silently", benchReport(),
+        [](const BenchReport &in) -> Verdict {
+            const std::string line = formatBenchReportLine(in);
+            Rng rng(in.chips * 131 + in.threads);
+            for (int trial = 0; trial < 20; ++trial) {
+                const std::size_t at = rng.uniformInt(line.size());
+                std::string mutated = line;
+                mutated.erase(at, 1);
+                std::string error;
+                const std::optional<BenchReport> out =
+                    parseBenchReportLine(mutated, &error);
+                if (!out)
+                    continue;
+                // Accepted: must still be internally consistent and
+                // must not have invented a different bench name
+                // (bench appears twice, so one deletion cannot alter
+                // both copies consistently).
+                YAC_PROP_EXPECT(out->bench == in.bench, "deleting",
+                                at, "gave bench", out->bench, "from",
+                                mutated);
+            }
+            return check::pass();
+        },
+        100);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropBenchSchema, MalformedLinesAreRejected)
+{
+    const BenchReport ref{"fig01_yield", 2000, 8, 12.345};
+    const std::string good = formatBenchReportLine(ref);
+    ASSERT_TRUE(parseBenchReportLine(good).has_value()) << good;
+
+    const char *bad[] = {
+        // Wrong or missing prefix.
+        "BENCH fig01_yield.json {\"bench\":\"fig01_yield\",\"chips\":1,"
+        "\"threads\":1,\"wall_s\":1.000,\"chips_per_s\":1.0}",
+        "fig01_yield.json {\"bench\":\"fig01_yield\",\"chips\":1,"
+        "\"threads\":1,\"wall_s\":1.000,\"chips_per_s\":1.0}",
+        // File name and bench field disagree.
+        "BENCH_other.json {\"bench\":\"fig01_yield\",\"chips\":1,"
+        "\"threads\":1,\"wall_s\":1.000,\"chips_per_s\":1.0}",
+        // Missing key.
+        "BENCH_a.json {\"bench\":\"a\",\"chips\":1,"
+        "\"wall_s\":1.000,\"chips_per_s\":1.0}",
+        // Reordered keys.
+        "BENCH_a.json {\"chips\":1,\"bench\":\"a\","
+        "\"threads\":1,\"wall_s\":1.000,\"chips_per_s\":1.0}",
+        // Non-numeric field.
+        "BENCH_a.json {\"bench\":\"a\",\"chips\":x,"
+        "\"threads\":1,\"wall_s\":1.000,\"chips_per_s\":1.0}",
+        // Negative wall clock.
+        "BENCH_a.json {\"bench\":\"a\",\"chips\":1,"
+        "\"threads\":1,\"wall_s\":-1.000,\"chips_per_s\":1.0}",
+        // Throughput contradicts chips/wall_s by 10x.
+        "BENCH_a.json {\"bench\":\"a\",\"chips\":1000,"
+        "\"threads\":1,\"wall_s\":1.000,\"chips_per_s\":100.0}",
+        // Trailing junk.
+        "BENCH_a.json {\"bench\":\"a\",\"chips\":1,"
+        "\"threads\":1,\"wall_s\":1.000,\"chips_per_s\":1.0} extra",
+        // Empty line.
+        "",
+    };
+    for (const char *line : bad) {
+        std::string error;
+        EXPECT_FALSE(parseBenchReportLine(line, &error).has_value())
+            << "accepted: " << line;
+        if (line[0] != '\0')
+            EXPECT_FALSE(error.empty()) << line;
+    }
+}
+
+TEST(PropBenchSchema, BenchNameValidation)
+{
+    EXPECT_TRUE(isValidBenchName("fig01_yield_factors"));
+    EXPECT_TRUE(isValidBenchName("a"));
+    EXPECT_TRUE(isValidBenchName("Table6"));
+    EXPECT_FALSE(isValidBenchName(""));
+    EXPECT_FALSE(isValidBenchName("has space"));
+    EXPECT_FALSE(isValidBenchName("has-dash"));
+    EXPECT_FALSE(isValidBenchName("dot.json"));
+}
+
+TEST(PropBenchSchema, ThroughputFieldIsConsistent)
+{
+    const auto r = forAll(
+        "printed chips_per_s matches chips/wall_s", benchReport(),
+        [](const BenchReport &in) -> Verdict {
+            const std::string line = formatBenchReportLine(in);
+            const std::optional<BenchReport> out =
+                parseBenchReportLine(line);
+            YAC_PROP_EXPECT(out.has_value(), line);
+            if (in.wallSeconds > 0.0) {
+                const double expected =
+                    static_cast<double>(in.chips) / in.wallSeconds;
+                // %.1f rendering plus wall_s rounding slack.
+                const double tol = 0.06 +
+                    expected * (5e-4 / in.wallSeconds) +
+                    1e-9 * expected;
+                YAC_PROP_EXPECT(
+                    std::abs(out->chipsPerSecond() - expected) <=
+                        tol * 1.2 + 1e-6,
+                    "throughput", out->chipsPerSecond(), "expected",
+                    expected);
+            } else {
+                YAC_PROP_EXPECT(out->chipsPerSecond() == 0.0);
+            }
+            return check::pass();
+        },
+        200);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+} // namespace
+} // namespace yac

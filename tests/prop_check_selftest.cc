@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Self-tests of the yac::check harness: the seed-replay contract
+ * (every failure report ends in a --seed line whose replay reproduces
+ * the identical counterexample), deterministic case-seed derivation,
+ * greedy shrinking, and the iteration-scale knob. These run in
+ * process by manipulating check::options() directly, so the whole
+ * protocol is covered without spawning binaries.
+ */
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hh"
+#include "check/domains.hh"
+
+namespace yac
+{
+namespace
+{
+
+using check::forAll;
+using check::Options;
+using check::options;
+using check::Result;
+using check::Verdict;
+namespace gen = check::gen;
+namespace domains = check::domains;
+
+/** Restore the global options on scope exit. */
+struct OptionsGuard
+{
+    Options saved = options();
+    ~OptionsGuard() { options() = saved; }
+};
+
+/** Pull the u64 out of the report's trailing `--seed=<u64>`. */
+std::uint64_t
+extractReplaySeed(const std::string &report)
+{
+    const std::size_t pos = report.rfind("--seed=");
+    EXPECT_NE(pos, std::string::npos) << report;
+    return std::strtoull(report.c_str() + pos + 7, nullptr, 10);
+}
+
+/** Pull the printed counterexample line out of a report. */
+std::string
+extractCounterexample(const std::string &report)
+{
+    const std::string tag = "counterexample: ";
+    const std::size_t pos = report.find(tag);
+    EXPECT_NE(pos, std::string::npos) << report;
+    const std::size_t end = report.find('\n', pos);
+    return report.substr(pos + tag.size(), end - (pos + tag.size()));
+}
+
+/** Fails for every value >= 50; minimal counterexample is 50. */
+Verdict
+below50(const std::uint64_t &v)
+{
+    if (v >= 50)
+        return check::fail("value >= 50");
+    return check::pass();
+}
+
+TEST(CheckSelftest, PassingPropertyRunsAllCases)
+{
+    OptionsGuard guard;
+    options() = Options{};
+    const Result r = forAll(
+        "always true", gen::uintRange(0, 1000),
+        [](const std::uint64_t &) { return check::pass(); }, 123);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.casesRun, 123u);
+    EXPECT_TRUE(r.report.empty());
+}
+
+TEST(CheckSelftest, FailureReportEndsInOneSeedLine)
+{
+    OptionsGuard guard;
+    options() = Options{};
+    const Result r =
+        forAll("below 50", gen::uintRange(0, 1000), below50, 100);
+    ASSERT_FALSE(r.ok);
+    // Exactly one replay line, at the end of the report.
+    const std::size_t first = r.report.find("--seed=");
+    const std::size_t last = r.report.rfind("--seed=");
+    EXPECT_EQ(first, last) << r.report;
+    EXPECT_EQ(r.report.find('\n', first), std::string::npos)
+        << "the --seed line must be the last line:\n" << r.report;
+    EXPECT_NE(r.report.find("reason: "), std::string::npos);
+}
+
+TEST(CheckSelftest, ShrinkingFindsTheMinimalCounterexample)
+{
+    OptionsGuard guard;
+    options() = Options{};
+    const Result r =
+        forAll("below 50", gen::uintRange(0, 1000), below50, 100);
+    ASSERT_FALSE(r.ok);
+    // The halving ladder from any failing draw bottoms out at exactly
+    // the property's boundary.
+    EXPECT_EQ(extractCounterexample(r.report), "50") << r.report;
+}
+
+TEST(CheckSelftest, ReplayReproducesTheIdenticalFailure)
+{
+    OptionsGuard guard;
+    options() = Options{};
+    const Result first =
+        forAll("below 50", gen::uintRange(0, 1000), below50, 100);
+    ASSERT_FALSE(first.ok);
+    const std::uint64_t seed = extractReplaySeed(first.report);
+
+    // Re-run with the reported seed, as `--seed=<u64>` would.
+    options().replay = true;
+    options().replaySeed = seed;
+    const Result replay =
+        forAll("below 50", gen::uintRange(0, 1000), below50, 100);
+    ASSERT_FALSE(replay.ok);
+    EXPECT_EQ(replay.casesRun, 1u);
+    EXPECT_EQ(extractCounterexample(replay.report),
+              extractCounterexample(first.report));
+    EXPECT_EQ(extractReplaySeed(replay.report), seed);
+}
+
+TEST(CheckSelftest, ReplayOfAPassingSeedPasses)
+{
+    OptionsGuard guard;
+    options() = Options{};
+    options().replay = true;
+    options().replaySeed = 7; // Rng(7) draws some value < 1000
+    const Result r = forAll(
+        "below 1001", gen::uintRange(0, 1000),
+        [](const std::uint64_t &v) {
+            return v <= 1000 ? check::pass()
+                             : check::fail("out of range");
+        },
+        100);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.casesRun, 1u);
+}
+
+TEST(CheckSelftest, IterScaleMultipliesTheCaseCount)
+{
+    OptionsGuard guard;
+    options() = Options{};
+    options().iterScale = 7;
+    const Result r = forAll(
+        "always true", gen::uintRange(0, 10),
+        [](const std::uint64_t &) { return check::pass(); }, 10);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.casesRun, 70u);
+}
+
+TEST(CheckSelftest, CaseSeedsAreDeterministicAndDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (std::size_t i = 0; i < 4096; ++i) {
+        const std::uint64_t s = check::deriveCaseSeed(42, i);
+        EXPECT_EQ(s, check::deriveCaseSeed(42, i));
+        seeds.insert(s);
+    }
+    EXPECT_EQ(seeds.size(), 4096u);
+    EXPECT_NE(check::deriveCaseSeed(42, 0), check::deriveCaseSeed(43, 0));
+}
+
+TEST(CheckSelftest, FlagProtocolParsesSeedAndIters)
+{
+    OptionsGuard guard;
+    options() = Options{};
+    EXPECT_TRUE(check::consumeFlag("--seed=12345"));
+    EXPECT_TRUE(options().replay);
+    EXPECT_EQ(options().replaySeed, 12345u);
+    EXPECT_TRUE(check::consumeFlag("--iters=10"));
+    EXPECT_EQ(options().iterScale, 10u);
+    // gtest flags pass through untouched.
+    EXPECT_FALSE(check::consumeFlag("--gtest_filter=Foo.Bar"));
+    EXPECT_FALSE(check::consumeFlag("positional"));
+}
+
+TEST(CheckSelftest, DomainGeneratorsProduceValidValues)
+{
+    OptionsGuard guard;
+    options() = Options{};
+    // validate() yac_fatals (aborts) on an invalid configuration, so
+    // surviving the loop is the assertion.
+    const Result params = forAll(
+        "cacheParams are valid", domains::cacheParams(),
+        [](const CacheParams &p) {
+            p.validate();
+            return check::pass();
+        },
+        200);
+    EXPECT_TRUE(params.ok) << params.report;
+
+    const Result geom = forAll(
+        "cacheGeometry is sampler-compatible", domains::cacheGeometry(),
+        [](const CacheGeometry &g) -> Verdict {
+            YAC_PROP_EXPECT(g.numWays >= 1 && g.numWays <= 4);
+            YAC_PROP_EXPECT(g.cellsPerRowGroup() >= 2);
+            YAC_PROP_EXPECT(g.numSets() >= 1);
+            return check::pass();
+        },
+        200);
+    EXPECT_TRUE(geom.ok) << geom.report;
+
+    const Result profile = forAll(
+        "benchmarkProfile fractions are sane",
+        domains::benchmarkProfile(),
+        [](const BenchmarkProfile &p) -> Verdict {
+            const double mix =
+                p.loadFrac + p.storeFrac + p.branchFrac + p.mulFrac;
+            YAC_PROP_EXPECT(mix < 1.0, "mix", mix);
+            YAC_PROP_EXPECT(p.mispredictRate >= 0.0 &&
+                            p.mispredictRate <= 0.2);
+            return check::pass();
+        },
+        200);
+    EXPECT_TRUE(profile.ok) << profile.report;
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Monotonicity of the circuit model in the device parameters, across
+ * RANDOMIZED geometries, technologies and excursion pairs: a longer
+ * channel or a higher threshold always slows the way and always
+ * reduces its leakage. The yield tails (and therefore every table in
+ * the paper) rest on these directions; test_circuit_properties.cc
+ * pins them at five fixed factors on the default configuration, this
+ * suite walks the configuration space.
+ */
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hh"
+#include "check/domains.hh"
+#include "circuit/way_model.hh"
+
+namespace yac
+{
+namespace
+{
+
+using check::forAll;
+using check::Gen;
+using check::Verdict;
+namespace domains = check::domains;
+namespace gen = check::gen;
+
+/** Scale one process parameter uniformly across the whole way. */
+WayVariation
+scaleEverywhere(const WayVariation &base, ProcessParam p, double factor)
+{
+    WayVariation out = base;
+    auto scale = [&](ProcessParams &params) {
+        params.set(p, params.get(p) * factor);
+    };
+    scale(out.base);
+    scale(out.decoder);
+    scale(out.precharge);
+    scale(out.senseAmp);
+    scale(out.outputDriver);
+    for (auto &bank : out.rowGroups)
+        for (auto &g : bank)
+            scale(g);
+    for (auto &bank : out.worstCell)
+        for (auto &g : bank)
+            scale(g);
+    return out;
+}
+
+/** A model configuration plus an ordered excursion pair. */
+struct MonotoneCase
+{
+    CacheGeometry geometry;
+    Technology tech;
+    double lo = 1.0; //!< smaller scale factor
+    double hi = 1.0; //!< larger scale factor
+};
+
+Gen<MonotoneCase>
+monotoneCase()
+{
+    const Gen<CacheGeometry> geom = domains::cacheGeometry();
+    const Gen<Technology> tech = domains::technology();
+    return Gen<MonotoneCase>([geom, tech](Rng &rng) {
+        MonotoneCase c;
+        c.geometry = geom.generate(rng);
+        c.tech = tech.generate(rng);
+        // Table 1 excursion range: up to +-30% around nominal.
+        const double f1 = rng.uniform(0.70, 1.30);
+        const double f2 = rng.uniform(0.70, 1.30);
+        c.lo = std::min(f1, f2);
+        c.hi = std::max(f1, f2);
+        return c;
+    });
+}
+
+Verdict
+checkParam(const MonotoneCase &c, ProcessParam p)
+{
+    const WayModel model(c.geometry, c.tech);
+    const WayVariation nominal = model.nominalWay();
+    const WayTiming at_lo =
+        model.evaluate(scaleEverywhere(nominal, p, c.lo));
+    const WayTiming at_hi =
+        model.evaluate(scaleEverywhere(nominal, p, c.hi));
+    // A longer channel / higher threshold never speeds the way up and
+    // never leaks more. Tolerances are absolute rounding slack only.
+    YAC_PROP_EXPECT(at_hi.delay() >= at_lo.delay() - 1e-9,
+                    processParamName(p), "delay", at_lo.delay(), "@",
+                    c.lo, "->", at_hi.delay(), "@", c.hi);
+    YAC_PROP_EXPECT(at_hi.leakage() <= at_lo.leakage() + 1e-12,
+                    processParamName(p), "leakage", at_lo.leakage(),
+                    "@", c.lo, "->", at_hi.leakage(), "@", c.hi);
+    return check::pass();
+}
+
+TEST(PropCircuitMonotone, DelayAndLeakageMonotoneInGateLength)
+{
+    const auto r = forAll(
+        "L_gate: delay up, leakage down", monotoneCase(),
+        [](const MonotoneCase &c) {
+            return checkParam(c, ProcessParam::GateLength);
+        },
+        60);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropCircuitMonotone, DelayAndLeakageMonotoneInThreshold)
+{
+    const auto r = forAll(
+        "V_t: delay up, leakage down", monotoneCase(),
+        [](const MonotoneCase &c) {
+            return checkParam(c, ProcessParam::ThresholdVoltage);
+        },
+        60);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropCircuitMonotone, JointExcursionIsBoundedByTheCorners)
+{
+    // Scaling L_gate and V_t together lands between the two pure
+    // excursions for delay: the joint slowdown is at least each
+    // individual slowdown (both directions align).
+    const auto r = forAll(
+        "joint L_gate+V_t excursion dominates each alone",
+        monotoneCase(),
+        [](const MonotoneCase &c) -> Verdict {
+            const WayModel model(c.geometry, c.tech);
+            const WayVariation nominal = model.nominalWay();
+            const double f = c.hi;
+            if (f < 1.0)
+                return check::pass(); // only the slow corner is ordered
+            const double d_l =
+                model
+                    .evaluate(scaleEverywhere(
+                        nominal, ProcessParam::GateLength, f))
+                    .delay();
+            const double d_v =
+                model
+                    .evaluate(scaleEverywhere(
+                        nominal, ProcessParam::ThresholdVoltage, f))
+                    .delay();
+            const WayVariation joint = scaleEverywhere(
+                scaleEverywhere(nominal, ProcessParam::GateLength, f),
+                ProcessParam::ThresholdVoltage, f);
+            const double d_j = model.evaluate(joint).delay();
+            YAC_PROP_EXPECT(d_j >= std::max(d_l, d_v) - 1e-9,
+                            "joint", d_j, "vs", d_l, d_v, "@", f);
+            return check::pass();
+        },
+        40);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropCircuitMonotone, WayDelayIsTheMaxOverItsPaths)
+{
+    // Structural invariant the H-YAPD analysis depends on: the way's
+    // delay is exactly its slowest path, and excluding any bank can
+    // only reduce it.
+    const auto r = forAll(
+        "delay() == max(pathDelays); bank exclusion only helps",
+        monotoneCase(),
+        [](const MonotoneCase &c) -> Verdict {
+            const WayModel model(c.geometry, c.tech);
+            const WayTiming t = model.evaluate(model.nominalWay());
+            double worst = 0.0;
+            for (double d : t.pathDelays)
+                worst = std::max(worst, d);
+            YAC_PROP_EXPECT(t.delay() == worst);
+            if (t.banks < 2)
+                return check::pass(); // nothing to exclude
+            for (std::size_t b = 0; b < t.banks; ++b) {
+                YAC_PROP_EXPECT(t.delayExcludingBank(b) <=
+                                    t.delay() + 1e-12,
+                                "bank", b);
+            }
+            return check::pass();
+        },
+        40);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+} // namespace
+} // namespace yac

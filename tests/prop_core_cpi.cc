@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Differential oracle for the out-of-order core: on RANDOMIZED
+ * benchmark profiles its CPI is sandwiched between the machine's
+ * ideal throughput (1/issueWidth) and the CPI of the independent
+ * one-wide in-order reference pipeline (src/sim/inorder_ref.*) --
+ * a strictly less capable machine running the identical deterministic
+ * trace on an identical hierarchy. Also the yield-scheme performance
+ * invariant of Section 5: disabling cache ways never lowers CPI.
+ *
+ * Simulations are kept short (5k warmup / 20k measured) so the whole
+ * suite fits the check-label time budget on one core.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hh"
+#include "check/domains.hh"
+#include "sim/inorder_ref.hh"
+#include "sim/simulation.hh"
+
+namespace yac
+{
+namespace
+{
+
+using check::forAll;
+using check::Gen;
+using check::Verdict;
+namespace domains = check::domains;
+namespace gen = check::gen;
+
+constexpr std::uint64_t kWarmup = 5'000;
+constexpr std::uint64_t kMeasure = 20'000;
+
+/** A profile plus a trace seed. */
+struct CpiCase
+{
+    BenchmarkProfile profile;
+    std::uint64_t seed = 1;
+};
+
+Gen<CpiCase>
+cpiCase()
+{
+    const Gen<BenchmarkProfile> prof = domains::benchmarkProfile();
+    return Gen<CpiCase>([prof](Rng &rng) {
+        return CpiCase{prof.generate(rng), 1 + rng.uniformInt(1 << 20)};
+    });
+}
+
+SimStats
+runOoo(const CpiCase &c, std::uint32_t way_mask)
+{
+    SimConfig cfg;
+    cfg.warmupInsts = kWarmup;
+    cfg.measureInsts = kMeasure;
+    cfg.seed = c.seed;
+    cfg.hierarchy.l1d.wayMask = way_mask;
+    return simulateBenchmark(c.profile, cfg);
+}
+
+TEST(PropCoreCpi, OooCpiIsBoundedByTheInOrderReference)
+{
+    const auto r = forAll(
+        "1/width <= CPI_ooo <= CPI_inorder", cpiCase(),
+        [](const CpiCase &c) -> Verdict {
+            const SimConfig cfg; // default core: 4-wide
+            const double cpi_ooo = runOoo(c, ~0u).cpi();
+            const double cpi_ref = inOrderReferenceCpi(
+                c.profile, cfg.core, cfg.hierarchy, c.seed, kWarmup,
+                kMeasure);
+            YAC_PROP_EXPECT(cpi_ooo > 0.0 && cpi_ref > 0.0);
+            // Ideal machine bound: no more than issueWidth commits
+            // per cycle.
+            YAC_PROP_EXPECT(
+                cpi_ooo >= 1.0 / cfg.core.issueWidth - 1e-12,
+                "cpi_ooo", cpi_ooo);
+            // The scalar stall-on-use pipe is strictly less capable;
+            // the margin covers measurement-window edge effects only.
+            YAC_PROP_EXPECT(cpi_ooo <= cpi_ref * 1.02,
+                            "cpi_ooo", cpi_ooo, "cpi_ref", cpi_ref);
+            // Sanity on the oracle itself: a one-wide machine can
+            // never beat one instruction per cycle.
+            YAC_PROP_EXPECT(cpi_ref >= 1.0 - 1e-12, "cpi_ref",
+                            cpi_ref);
+            return check::pass();
+        },
+        12);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropCoreCpi, DisabledWaysNeverImproveCpi)
+{
+    // Section 4.1/5.3: power-down trades performance for yield.
+    // Fewer enabled L1D ways means a strictly smaller reachable cache
+    // (LRU stack property), so on the identical trace CPI must not
+    // drop. The 0.5% slack absorbs scheduling micro-noise from
+    // different fill ways.
+    struct MaskCase
+    {
+        CpiCase base;
+        std::uint32_t mask = ~0u;
+    };
+    const Gen<MaskCase> cases = Gen<MaskCase>([](Rng &rng) {
+        static const Gen<CpiCase> inner = cpiCase();
+        MaskCase m;
+        m.base = inner.generate(rng);
+        // 1-3 of 4 ways disabled; way 0 always stays on.
+        const std::uint32_t off = 1 + rng.uniformInt(3);
+        std::uint32_t mask = 0xFu;
+        std::uint32_t cleared = 0;
+        while (cleared < off) {
+            const std::uint32_t w = 1 + rng.uniformInt(3);
+            if (mask & (1u << w)) {
+                mask &= ~(1u << w);
+                ++cleared;
+            }
+        }
+        m.mask = mask;
+        return m;
+    });
+    const auto r = forAll(
+        "CPI(masked ways) >= CPI(all ways)", cases,
+        [](const MaskCase &m) -> Verdict {
+            const double full = runOoo(m.base, ~0u).cpi();
+            const double masked = runOoo(m.base, m.mask).cpi();
+            YAC_PROP_EXPECT(masked >= full * 0.995, "full", full,
+                            "masked", masked, "mask", m.mask);
+            return check::pass();
+        },
+        10);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropCoreCpi, SlowWaysCostLessThanDisabledWays)
+{
+    // The VACA-vs-YAPD performance ordering of Table 6: keeping a way
+    // at 5 cycles degrades CPI less than powering the same way down
+    // (capacity loss beats one extra cycle on a fraction of hits).
+    const auto r = forAll(
+        "CPI(way at +1 cycle) <= CPI(way off)", cpiCase(),
+        [](const CpiCase &c) -> Verdict {
+            SimConfig slow;
+            slow.warmupInsts = kWarmup;
+            slow.measureInsts = kMeasure;
+            slow.seed = c.seed;
+            slow.hierarchy.l1d.wayLatency.assign(4, 4);
+            slow.hierarchy.l1d.wayLatency[3] = 5;
+            const double cpi_slow =
+                simulateBenchmark(c.profile, slow).cpi();
+            const double cpi_off = runOoo(c, 0x7u).cpi();
+            YAC_PROP_EXPECT(cpi_slow <= cpi_off * 1.01, "slow",
+                            cpi_slow, "off", cpi_off);
+            return check::pass();
+        },
+        8);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropCoreCpi, SimulationIsDeterministicInTheSeed)
+{
+    const auto r = forAll(
+        "identical config + seed => identical stats", cpiCase(),
+        [](const CpiCase &c) -> Verdict {
+            const SimStats a = runOoo(c, ~0u);
+            const SimStats b = runOoo(c, ~0u);
+            YAC_PROP_EXPECT(a.instructions == b.instructions);
+            YAC_PROP_EXPECT(a.cycles == b.cycles);
+            YAC_PROP_EXPECT(a.loads == b.loads);
+            YAC_PROP_EXPECT(a.mispredicts == b.mispredicts);
+            YAC_PROP_EXPECT(a.l1d.misses == b.l1d.misses);
+            return check::pass();
+        },
+        6);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Differential oracle for the deterministic parallel engine: on
+ * RANDOMIZED campaign configurations, a Monte Carlo run must be
+ * byte-identical at 1, 2 and 8 threads -- every per-chip timing,
+ * every population statistic, bit for bit. The fixed-config variant
+ * of this check lives in test_parallel.cc; here the generator walks
+ * the whole (geometry, technology, correlation, population) space so
+ * chunk-boundary and merge-order bugs cannot hide behind one lucky
+ * configuration.
+ */
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hh"
+#include "check/domains.hh"
+#include "util/parallel.hh"
+#include "util/statistics.hh"
+#include "yield/monte_carlo.hh"
+
+namespace yac
+{
+namespace
+{
+
+using check::CampaignCase;
+using check::forAll;
+using check::Verdict;
+namespace domains = check::domains;
+
+/** Restore the global worker count on scope exit. */
+struct ThreadGuard
+{
+    std::size_t saved = parallel::threads();
+    ~ThreadGuard() { parallel::setThreads(saved); }
+};
+
+/** Bitwise equality of two evaluated populations. */
+bool
+identicalTimings(const std::vector<CacheTiming> &a,
+                 const std::vector<CacheTiming> &b, std::string *why)
+{
+    if (a.size() != b.size()) {
+        *why = "population sizes differ";
+        return false;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const CacheTiming &x = a[i];
+        const CacheTiming &y = b[i];
+        if (x.ways.size() != y.ways.size()) {
+            *why = "chip " + std::to_string(i) + ": way counts differ";
+            return false;
+        }
+        for (std::size_t w = 0; w < x.ways.size(); ++w) {
+            if (x.ways[w].pathDelays != y.ways[w].pathDelays ||
+                x.ways[w].groupCellLeakage !=
+                    y.ways[w].groupCellLeakage ||
+                x.ways[w].peripheralLeakage !=
+                    y.ways[w].peripheralLeakage) {
+                *why = "chip " + std::to_string(i) + " way " +
+                       std::to_string(w) + ": timings differ";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+identicalStats(const PopulationStats &a, const PopulationStats &b)
+{
+    return a.delayMean == b.delayMean && a.delaySigma == b.delaySigma &&
+        a.leakMean == b.leakMean && a.leakSigma == b.leakSigma;
+}
+
+MonteCarloResult
+runCampaign(const CampaignCase &c, std::size_t threads)
+{
+    parallel::setThreads(threads);
+    const VariationSampler sampler(VariationTable{}, c.correlation,
+                                   c.geometry.variationGeometry());
+    const MonteCarlo mc(sampler, c.geometry, c.tech);
+    return mc.run({c.chips, c.seed});
+}
+
+TEST(PropEngine, ParallelCampaignsAreByteIdenticalToSerial)
+{
+    ThreadGuard guard;
+    const auto r = forAll(
+        "Monte Carlo result is thread-count invariant",
+        domains::campaignCase(),
+        [](const CampaignCase &c) -> Verdict {
+            const MonteCarloResult serial = runCampaign(c, 1);
+            std::string why;
+            for (std::size_t threads : {2u, 8u}) {
+                const MonteCarloResult parallel_run =
+                    runCampaign(c, threads);
+                if (!identicalTimings(serial.regular,
+                                      parallel_run.regular, &why))
+                    return check::fail("regular layout @" +
+                                       std::to_string(threads) +
+                                       " threads: " + why);
+                if (!identicalTimings(serial.horizontal,
+                                      parallel_run.horizontal, &why))
+                    return check::fail("horizontal layout @" +
+                                       std::to_string(threads) +
+                                       " threads: " + why);
+                YAC_PROP_EXPECT(
+                    identicalStats(serial.regularStats,
+                                   parallel_run.regularStats),
+                    "regular stats @", threads, "threads");
+                YAC_PROP_EXPECT(
+                    identicalStats(serial.horizontalStats,
+                                   parallel_run.horizontalStats),
+                    "horizontal stats @", threads, "threads");
+            }
+            return check::pass();
+        },
+        8);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropEngine, RerunWithSameSeedIsIdentical)
+{
+    ThreadGuard guard;
+    const auto r = forAll(
+        "campaigns are deterministic in the seed",
+        domains::campaignCase(),
+        [](const CampaignCase &c) -> Verdict {
+            const MonteCarloResult a = runCampaign(c, 2);
+            const MonteCarloResult b = runCampaign(c, 2);
+            std::string why;
+            YAC_PROP_EXPECT(
+                identicalTimings(a.regular, b.regular, &why), why);
+            YAC_PROP_EXPECT(identicalStats(a.regularStats,
+                                           b.regularStats));
+            return check::pass();
+        },
+        5);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropEngine, ChunkedReductionIsThreadCountInvariant)
+{
+    // The primitive underneath the campaign: chunk-order merges of
+    // RunningStats must not depend on the worker count even for
+    // awkward (non-multiple-of-chunk) sizes.
+    ThreadGuard guard;
+    const auto r = forAll(
+        "forChunks reduction is invariant",
+        check::gen::sizeRange(1, 1000),
+        [](const std::size_t &n) -> Verdict {
+            auto reduce = [n](std::size_t threads) {
+                parallel::setThreads(threads);
+                const std::size_t chunks =
+                    parallel::chunkCount(n, parallel::kStatChunk);
+                std::vector<RunningStats> shards(chunks);
+                parallel::forChunks(
+                    n, parallel::kStatChunk,
+                    [&](std::size_t chunk, std::size_t begin,
+                        std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i)
+                            shards[chunk].add(
+                                std::sin(static_cast<double>(i)) *
+                                1e6);
+                    });
+                RunningStats total;
+                for (const RunningStats &s : shards)
+                    total.merge(s);
+                return total;
+            };
+            const RunningStats t1 = reduce(1);
+            for (std::size_t threads : {2u, 8u}) {
+                const RunningStats tn = reduce(threads);
+                YAC_PROP_EXPECT(t1.count() == tn.count());
+                YAC_PROP_EXPECT(t1.mean() == tn.mean(),
+                                "mean @", threads);
+                YAC_PROP_EXPECT(t1.variance() == tn.variance(),
+                                "variance @", threads);
+                YAC_PROP_EXPECT(t1.sum() == tn.sum(), "sum @", threads);
+            }
+            return check::pass();
+        },
+        30);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+} // namespace
+} // namespace yac

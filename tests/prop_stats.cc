@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Properties of RunningStats, centered on the compensated sum(): the
+ * accumulated sum must track a long-double reference even for
+ * pathological magnitude spreads (the old mean*count implementation
+ * drifted by ~1e-9 relative on 1e7 tiny samples), and chunked
+ * merge-trees must agree with sequential accumulation -- the property
+ * the deterministic parallel engine rests on.
+ */
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hh"
+#include "util/rng.hh"
+#include "util/statistics.hh"
+
+namespace yac
+{
+namespace
+{
+
+using check::forAll;
+using check::Gen;
+using check::Verdict;
+namespace gen = check::gen;
+
+/** Samples spanning ~12 decades of magnitude with mixed signs. */
+Gen<std::vector<double>>
+hostileSamples()
+{
+    return gen::vectorOf(
+        2, 400, Gen<double>([](Rng &rng) {
+            const double mag =
+                std::pow(10.0, rng.uniform(-6.0, 6.0));
+            return rng.bernoulli(0.5) ? mag : -mag;
+        }));
+}
+
+TEST(PropStats, SumTracksLongDoubleReference)
+{
+    const auto r = forAll(
+        "sum() matches long-double accumulation", hostileSamples(),
+        [](const std::vector<double> &xs) -> Verdict {
+            RunningStats stats;
+            long double ref = 0.0L;
+            for (double x : xs) {
+                stats.add(x);
+                ref += static_cast<long double>(x);
+            }
+            // Scale-aware tolerance: compensated summation is exact
+            // to ~1 ulp of the largest intermediate magnitude.
+            long double scale = 1.0L;
+            for (double x : xs)
+                scale += std::abs(static_cast<long double>(x));
+            const double err = static_cast<double>(
+                std::abs(static_cast<long double>(stats.sum()) - ref) /
+                scale);
+            YAC_PROP_EXPECT(err < 1e-15, "relative error", err);
+            return check::pass();
+        },
+        150);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropStats, ChunkedMergeMatchesSequential)
+{
+    struct Case
+    {
+        std::vector<double> xs;
+        std::size_t chunk = 1;
+    };
+    const Gen<Case> cases = Gen<Case>([](Rng &rng) {
+        Case c;
+        const std::size_t n = 3 + rng.uniformInt(300);
+        c.xs.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            c.xs.push_back(rng.normal(0.0, 1.0) *
+                           std::pow(10.0, rng.uniform(-3.0, 3.0)));
+        c.chunk = 1 + rng.uniformInt(64);
+        return c;
+    });
+    const auto r = forAll(
+        "merge() of chunks equals sequential add()", cases,
+        [](const Case &c) -> Verdict {
+            RunningStats seq;
+            for (double x : c.xs)
+                seq.add(x);
+            RunningStats merged;
+            for (std::size_t i = 0; i < c.xs.size(); i += c.chunk) {
+                RunningStats shard;
+                for (std::size_t j = i;
+                     j < std::min(i + c.chunk, c.xs.size()); ++j)
+                    shard.add(c.xs[j]);
+                merged.merge(shard);
+            }
+            YAC_PROP_EXPECT(merged.count() == seq.count());
+            YAC_PROP_EXPECT(merged.min() == seq.min());
+            YAC_PROP_EXPECT(merged.max() == seq.max());
+            const double mtol =
+                1e-12 * (1.0 + std::abs(seq.mean()));
+            YAC_PROP_EXPECT(
+                std::abs(merged.mean() - seq.mean()) < mtol,
+                "means", merged.mean(), "vs", seq.mean());
+            const double stol =
+                1e-9 * (1.0 + std::abs(seq.sum()));
+            YAC_PROP_EXPECT(std::abs(merged.sum() - seq.sum()) < stol,
+                            "sums", merged.sum(), "vs", seq.sum());
+            const double vtol =
+                1e-9 * (1.0 + seq.variance());
+            YAC_PROP_EXPECT(
+                std::abs(merged.variance() - seq.variance()) < vtol,
+                "variances", merged.variance(), "vs", seq.variance());
+            return check::pass();
+        },
+        100);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropStats, TenMillionTinySamplesSumExactly)
+{
+    // The regression the satellite fix targets: adding 1e7 samples of
+    // 1e-10 on top of 1.0. mean*count loses the small samples'
+    // contribution to rounding of the running mean; the compensated
+    // sum stays within a few ulps of the long-double reference.
+    constexpr std::size_t kN = 10'000'000;
+    constexpr double kTiny = 1e-10;
+    RunningStats stats;
+    stats.add(1.0);
+    for (std::size_t i = 0; i < kN; ++i)
+        stats.add(kTiny);
+    // Reference by multiplication: a naive long-double loop would
+    // itself drift by ~n*eps_ld (~5e-13), more than the compensated
+    // double sum's error.
+    const long double ref = 1.0L +
+        static_cast<long double>(kTiny) * static_cast<long double>(kN);
+    const double err = static_cast<double>(
+        std::abs(static_cast<long double>(stats.sum()) - ref) / ref);
+    EXPECT_LT(err, 1e-15) << "sum " << stats.sum() << " vs reference "
+                          << static_cast<double>(ref);
+    EXPECT_EQ(stats.count(), kN + 1);
+}
+
+TEST(PropStats, SumIsIndependentOfMeanRounding)
+{
+    // Alternating +x/-x pairs: the true sum is exactly zero, which
+    // mean*count only approximates once the running mean has been
+    // rounded through 2n divisions.
+    RunningStats stats;
+    for (int i = 0; i < 100'000; ++i) {
+        const double x = 1.0 + 1e-3 * i;
+        stats.add(x);
+        stats.add(-x);
+    }
+    EXPECT_EQ(stats.sum(), 0.0);
+}
+
+} // namespace
+} // namespace yac

@@ -178,5 +178,94 @@ TEST(Rng, TruncatedNormalZeroSigma)
     EXPECT_DOUBLE_EQ(r.truncatedNormal(3.0, 0.0), 3.0);
 }
 
+/** Chi-square statistic of pairs binned on a cells x cells grid. */
+double
+pairChiSquare(const std::vector<double> &xs, const std::vector<double> &ys,
+              std::size_t cells)
+{
+    std::vector<double> counts(cells * cells, 0.0);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const auto bx = static_cast<std::size_t>(
+            xs[i] * static_cast<double>(cells));
+        const auto by = static_cast<std::size_t>(
+            ys[i] * static_cast<double>(cells));
+        counts[bx * cells + by] += 1.0;
+    }
+    const double expected = static_cast<double>(xs.size()) /
+        static_cast<double>(cells * cells);
+    double chi2 = 0.0;
+    for (double c : counts)
+        chi2 += (c - expected) * (c - expected) / expected;
+    return chi2;
+}
+
+TEST(Rng, SplitSubstreamsPassOverlappingPairChiSquare)
+{
+    // Independence across stream ids: the sequence of first draws of
+    // consecutive substreams, tested on overlapping pairs
+    // (u_s, u_{s+1}) binned 8x8. Any structural coupling between
+    // split(s) and split(s+1) shows up as off-diagonal imbalance.
+    Rng parent(2024);
+    constexpr std::size_t kStreams = 20000;
+    std::vector<double> first;
+    first.reserve(kStreams);
+    for (std::size_t s = 0; s < kStreams; ++s)
+        first.push_back(parent.split(s).uniform());
+    std::vector<double> xs(first.begin(), first.end() - 1);
+    std::vector<double> ys(first.begin() + 1, first.end());
+    // df = 63; mean 63, sigma ~11.2. 130 is ~6 sigma: deterministic
+    // seed, so a failure means structure, not bad luck.
+    EXPECT_LT(pairChiSquare(xs, ys, 8), 130.0);
+}
+
+TEST(Rng, SplitSubstreamsIndependentOfParentStream)
+{
+    // Independence between a substream and its parent's own draws:
+    // pairs (parent.uniform(), split(s).uniform()) on the same grid.
+    Rng parent(77);
+    std::vector<double> xs, ys;
+    for (std::size_t s = 0; s < 20000; ++s) {
+        Rng child = parent.split(s);
+        xs.push_back(parent.uniform());
+        ys.push_back(child.uniform());
+    }
+    EXPECT_LT(pairChiSquare(xs, ys, 8), 130.0);
+}
+
+TEST(Rng, TruncatedNormalTailMatchesNormalInsideTheCut)
+{
+    // With a 4-sigma cut, the renormalization is ~6e-5: the 2-sigma
+    // and 3-sigma tail masses must match the untruncated normal.
+    Rng r(16);
+    constexpr int kN = 200000;
+    int beyond2 = 0, beyond3 = 0;
+    for (int i = 0; i < kN; ++i) {
+        const double x = r.truncatedNormal(0.0, 1.0, 4.0);
+        ASSERT_LE(std::fabs(x), 4.0 + 1e-12);
+        beyond2 += std::fabs(x) > 2.0;
+        beyond3 += std::fabs(x) > 3.0;
+    }
+    // Two-sided tails: 2 * (1 - Phi(2)) and 2 * (1 - Phi(3)).
+    EXPECT_NEAR(beyond2 / static_cast<double>(kN), 0.0455, 0.003);
+    EXPECT_NEAR(beyond3 / static_cast<double>(kN), 0.0027, 0.0008);
+}
+
+TEST(Rng, TruncatedNormalRenormalizesIntoTheBody)
+{
+    // With a 2-sigma cut the clipped 4.55% of mass is pushed back
+    // into the body: the [1.5, 2] sigma band holds its normal share
+    // divided by Phi-band(2) = 0.9545.
+    Rng r(17);
+    constexpr int kN = 200000;
+    int band = 0;
+    for (int i = 0; i < kN; ++i) {
+        const double x = r.truncatedNormal(0.0, 1.0, 2.0);
+        ASSERT_LE(std::fabs(x), 2.0 + 1e-12);
+        band += std::fabs(x) > 1.5;
+    }
+    // 2 * (Phi(2) - Phi(1.5)) / 0.9545 = 0.0923.
+    EXPECT_NEAR(band / static_cast<double>(kN), 0.0923, 0.004);
+}
+
 } // namespace
 } // namespace yac

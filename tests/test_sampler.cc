@@ -165,6 +165,42 @@ TEST(Sampler, RowNoiseSmallerThanWayNoise)
     EXPECT_LT(row_delta.stddev(), way_delta.stddev());
 }
 
+TEST(Sampler, WorstCellExcessGrowsWithGroupSize)
+{
+    // The worst-cell V_t excess is the expected extreme of n RDF
+    // draws, E = a_n * sigma with a_n ~ sqrt(2 ln n): 2.20 sigma at
+    // n = 64, 3.51 sigma at n = 4096. The growth with n is what makes
+    // taller row groups slower, the knob behind the geometry sweeps.
+    VariationTable table;
+    auto meanExcess = [&](std::size_t cells) {
+        VariationGeometry geom;
+        geom.numWays = 1;
+        geom.banksPerWay = 1;
+        geom.rowGroupsPerBank = 2;
+        geom.cellsPerRowGroup = cells;
+        VariationSampler s(table, CorrelationModel(), geom);
+        Rng rng(8);
+        RunningStats extra;
+        for (int i = 0; i < 400; ++i) {
+            Rng chip = rng.split(i);
+            const CacheVariationMap m = s.sample(chip);
+            for (std::size_t g = 0; g < 2; ++g) {
+                extra.add(m.ways[0].worstCell[0][g].thresholdVoltage -
+                          m.ways[0].rowGroups[0][g].thresholdVoltage);
+            }
+        }
+        return extra.mean();
+    };
+    const double small = meanExcess(64);
+    const double large = meanExcess(4096);
+    EXPECT_NEAR(small, 2.20 * table.randomDopantSigmaMv,
+                0.22 * table.randomDopantSigmaMv);
+    EXPECT_NEAR(large, 3.51 * table.randomDopantSigmaMv,
+                0.35 * table.randomDopantSigmaMv);
+    // sqrt(ln 4096 / ln 64) = sqrt(2) growth, well above noise.
+    EXPECT_GT(large, small * 1.25);
+}
+
 TEST(SamplerDeathTest, RejectsTooManyWays)
 {
     VariationGeometry g;
