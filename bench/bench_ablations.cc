@@ -52,7 +52,7 @@ bufferDepthSweep(const MonteCarloResult &mc)
 }
 
 void
-hyapdOverheadSweep()
+hyapdOverheadSweep(const bench::BenchOptions &opts)
 {
     std::printf("Ablation 2: H-YAPD layout delay overhead\n");
     TextTable out({"Overhead", "Base lost (h-arch)", "H-YAPD lost",
@@ -64,7 +64,7 @@ hyapdOverheadSweep()
         VariationSampler sampler(VariationTable(), CorrelationModel(),
                                  geom.variationGeometry());
         MonteCarlo mc(sampler, geom, tech);
-        const MonteCarloResult r = mc.run({2000, 2006});
+        const MonteCarloResult r = mc.run({opts.chips, opts.seed});
         const YieldConstraints c =
             r.constraints(ConstraintPolicy::nominal());
         const CycleMapping m =
@@ -87,7 +87,7 @@ hyapdOverheadSweep()
 }
 
 void
-correlationSweep()
+correlationSweep(const bench::BenchOptions &opts)
 {
     std::printf("Ablation 3: inter-way spatial correlation "
                 "(scaling the paper's 0.375/0.45/0.7125 factors; "
@@ -101,7 +101,7 @@ correlationSweep()
         VariationSampler sampler(VariationTable(), corr,
                                  geom.variationGeometry());
         MonteCarlo mc(sampler, geom, defaultTechnology());
-        const MonteCarloResult r = mc.run({2000, 2006});
+        const MonteCarloResult r = mc.run({opts.chips, opts.seed});
         const YieldConstraints c =
             r.constraints(ConstraintPolicy::nominal());
         const CycleMapping m =
@@ -188,15 +188,21 @@ budgetSweep(const MonteCarloResult &mc)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Design-choice ablations (2000-chip Monte Carlo "
-                "sweeps)\n\n");
-    const MonteCarloResult mc = bench::paperMonteCarlo();
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    trace::Session trace_session(opts.traceOut);
+    const bench::WallTimer timer;
+    std::printf("Design-choice ablations (%zu-chip Monte Carlo "
+                "sweeps)\n\n", opts.chips);
+    const MonteCarloResult mc =
+        bench::paperMonteCarlo(opts.chips, opts.seed);
     bufferDepthSweep(mc);
-    hyapdOverheadSweep();
-    correlationSweep();
+    hyapdOverheadSweep(opts);
+    correlationSweep(opts);
     regionGranularitySweep(mc);
     budgetSweep(mc);
+    bench::reportCampaignTiming("ablations", opts.chips,
+                                timer.seconds());
     return 0;
 }

@@ -23,6 +23,8 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    trace::Session trace_session(opts.traceOut);
+    const bench::WallTimer timer;
     std::printf("Adaptive Hybrid (Section 4.4 extension): per-"
                 "benchmark choice for a 3-1-0 chip\n\n");
     const SimConfig base = bench::benchSim(baselineScenario());
@@ -74,5 +76,7 @@ main(int argc, char **argv)
     std::printf("yield is identical under all three policies; the "
                 "adaptive choice only re-prices the saved chips.\n");
     std::printf("wrote %s\n", csv_path.c_str());
+    bench::reportCampaignTiming("adaptive_hybrid", opts.chips,
+                                timer.seconds());
     return 0;
 }

@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    trace::Session trace_session(opts.traceOut);
     const bench::WallTimer timer;
     std::printf("Speed-binning economics with yield-aware schemes "
                 "(%zu chips)\n\n", opts.chips);

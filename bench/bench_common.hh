@@ -11,14 +11,16 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
 
 #include "sim/simulation.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 #include "util/bench_report.hh"
 #include "util/logging.hh"
+#include "util/options.hh"
 #include "util/parallel.hh"
 #include "util/table.hh"
 #include "workload/profile.hh"
@@ -30,57 +32,27 @@ namespace yac
 namespace bench
 {
 
-/** Campaign knobs every bench accepts on its command line. */
-struct BenchOptions
-{
-    std::size_t chips = 2000;   //!< the paper's population size
-    std::uint64_t seed = 2006;  //!< the paper's seed
-    std::string outDir = "out"; //!< where CSV artifacts land
-};
+/** Campaign knobs every bench accepts (shared with the CLI). */
+using BenchOptions = CampaignOptions;
 
 /**
- * Parse `--chips=N`, `--threads=N`, `--seed=S` and `--out-dir=D`.
- * `--threads` applies globally (same effect as YAC_THREADS); anything
- * else is a usage error. Benches stay argument-free by default.
+ * Parse the shared campaign flags (--chips/--threads/--seed/
+ * --out-dir/--trace-out). --threads applies globally (same effect as
+ * YAC_THREADS); anything else is a usage error. Benches stay
+ * argument-free by default. Pair with a trace::Session constructed
+ * from opts.traceOut to honor --trace-out.
  */
 inline BenchOptions
 parseOptions(int argc, char **argv)
 {
-    BenchOptions opts;
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        const auto value = [arg](const char *prefix) -> const char * {
-            const std::size_t len = std::strlen(prefix);
-            return std::strncmp(arg, prefix, len) == 0 ? arg + len
-                                                       : nullptr;
-        };
-        char *end = nullptr;
-        if (const char *v = value("--chips=")) {
-            opts.chips = std::strtoull(v, &end, 10);
-            if (end == v || *end != '\0' || opts.chips < 2)
-                yac_fatal("--chips wants an integer >= 2, got '", v,
-                          "'");
-        } else if (const char *v = value("--threads=")) {
-            const unsigned long long t = std::strtoull(v, &end, 10);
-            if (end == v || *end != '\0')
-                yac_fatal("--threads wants an integer >= 0, got '", v,
-                          "'");
-            parallel::setThreads(static_cast<std::size_t>(t));
-        } else if (const char *v = value("--seed=")) {
-            opts.seed = std::strtoull(v, &end, 10);
-            if (end == v || *end != '\0')
-                yac_fatal("--seed wants an integer, got '", v, "'");
-        } else if (const char *v = value("--out-dir=")) {
-            if (*v == '\0')
-                yac_fatal("--out-dir wants a directory name");
-            opts.outDir = v;
-        } else {
-            yac_fatal("unknown argument '", arg,
-                      "' (usage: [--chips=N] [--threads=N] "
-                      "[--seed=S] [--out-dir=D])");
-        }
-    }
-    return opts;
+    return parseCampaignOptions(argc, argv);
+}
+
+/** CampaignConfig for the runners, from the parsed options. */
+inline CampaignConfig
+campaign(const BenchOptions &opts)
+{
+    return campaignFromOptions(opts);
 }
 
 /**
@@ -117,7 +89,13 @@ class WallTimer
  * Emit the machine-readable timing line tracked across PRs:
  *
  *   BENCH_<name>.json {"bench":...,"chips":...,"threads":...,
- *                      "wall_s":...,"chips_per_s":...}
+ *                      "wall_s":...,"chips_per_s":...,
+ *                      "phases":{...},"counters":{...}}
+ *
+ * The phase-time breakdown and counter snapshot come from the
+ * process-global trace::Metrics registry, so the line reflects
+ * everything the binary ran since start (or the last
+ * Metrics::reset()). Zero-valued entries are dropped.
  */
 inline void
 reportCampaignTiming(const std::string &name, std::size_t chips,
@@ -128,6 +106,16 @@ reportCampaignTiming(const std::string &name, std::size_t chips,
     report.chips = chips;
     report.threads = parallel::threads();
     report.wallSeconds = wall_seconds;
+    const trace::MetricsSnapshot snap =
+        trace::Metrics::instance().snapshot();
+    for (const auto &[phase, seconds] : snap.phaseSeconds) {
+        if (seconds > 0.0)
+            report.phaseSeconds[phase] = seconds;
+    }
+    for (const auto &[counter, value] : snap.counters) {
+        if (value > 0)
+            report.counters[counter] = value;
+    }
     std::printf("%s\n", formatBenchReportLine(report).c_str());
 }
 

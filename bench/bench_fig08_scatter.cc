@@ -21,6 +21,8 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    trace::Session trace_session(opts.traceOut);
+    const bench::WallTimer timer;
     std::printf("Figure 8: normalized leakage vs cache access latency "
                 "(%zu chips, 45 nm)\n\n", opts.chips);
     const MonteCarloResult mc =
@@ -82,5 +84,7 @@ main(int argc, char **argv)
                 100.0 * leak_sum.fractionAbove(3.0));
     std::printf("\nwrote %s (%zu points)\n", csv_path.c_str(),
                 points.size());
+    bench::reportCampaignTiming("fig08_scatter", opts.chips,
+                                timer.seconds());
     return 0;
 }

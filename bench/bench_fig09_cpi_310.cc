@@ -18,6 +18,8 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    trace::Session trace_session(opts.traceOut);
+    const bench::WallTimer timer;
     std::printf("Figure 9: CPI increase for configuration 3-1-0, "
                 "YAPD vs VACA(=Hybrid)\n\n");
     const SimConfig base = bench::benchSim(baselineScenario());
@@ -49,5 +51,7 @@ main(int argc, char **argv)
                 "compute-bound ones pay more for the slow way "
                 "(VACA).\n");
     std::printf("wrote %s\n", csv_path.c_str());
+    bench::reportCampaignTiming("fig09_cpi_310", opts.chips,
+                                timer.seconds());
     return 0;
 }

@@ -18,6 +18,8 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    trace::Session trace_session(opts.traceOut);
+    const bench::WallTimer timer;
     std::printf("Figure 10: CPI increase for configuration 2-2-0, "
                 "VACA(=Hybrid)\n\n");
     const SimConfig base = bench::benchSim(baselineScenario());
@@ -42,5 +44,7 @@ main(int argc, char **argv)
                 "hits), with the same per-benchmark ordering as "
                 "Figure 9's VACA series.\n");
     std::printf("wrote %s\n", csv_path.c_str());
+    bench::reportCampaignTiming("fig10_cpi_220", opts.chips,
+                                timer.seconds());
     return 0;
 }

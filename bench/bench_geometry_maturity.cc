@@ -37,7 +37,8 @@ struct SweepResult
  * process got worse); otherwise limits derive from this population.
  */
 SweepResult
-runCampaign(const CacheGeometry &geom, double variation_scale,
+runCampaign(const bench::BenchOptions &opts, const CacheGeometry &geom,
+            double variation_scale,
             const YieldConstraints *fixed_constraints = nullptr)
 {
     VariationTable table;
@@ -50,7 +51,7 @@ runCampaign(const CacheGeometry &geom, double variation_scale,
     VariationSampler sampler(table, CorrelationModel(),
                              geom.variationGeometry());
     MonteCarlo mc(sampler, geom, defaultTechnology());
-    const MonteCarloResult r = mc.run({2000, 2006});
+    const MonteCarloResult r = mc.run({opts.chips, opts.seed});
     const YieldConstraints c = fixed_constraints
         ? *fixed_constraints
         : r.constraints(ConstraintPolicy::nominal());
@@ -80,10 +81,13 @@ geometryOf(std::size_t size_kb, std::size_t ways)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Sweep 1: cache geometry (2000 chips each; losses "
-                "out of 2000)\n\n");
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    trace::Session trace_session(opts.traceOut);
+    const bench::WallTimer timer;
+    std::printf("Sweep 1: cache geometry (%zu chips each; losses "
+                "out of %zu)\n\n", opts.chips, opts.chips);
     TextTable geo({"Geometry", "Base lost", "YAPD lost",
                    "Hybrid lost"});
     const struct
@@ -99,7 +103,7 @@ main()
         {"32 KB, 4-way", 32, 4},
     };
     for (const auto &g : geos) {
-        const SweepResult r = runCampaign(geometryOf(g.kb, g.ways), 1.0);
+        const SweepResult r = runCampaign(opts, geometryOf(g.kb, g.ways), 1.0);
         geo.addRow({g.name,
                     TextTable::num(static_cast<long long>(r.base)),
                     TextTable::num(static_cast<long long>(r.yapd)),
@@ -117,18 +121,19 @@ main()
     // The market spec comes from the nominal (scale 1.0) process.
     MonteCarlo nominal_mc;
     const YieldConstraints spec =
-        nominal_mc.run({2000, 2006})
+        nominal_mc.run({opts.chips, opts.seed})
             .constraints(ConstraintPolicy::nominal());
     TextTable mat({"Variation scale", "Base lost", "YAPD lost",
                    "Hybrid lost", "Hybrid yield"});
     for (double scale : {0.5, 0.75, 1.0, 1.25, 1.5}) {
         const SweepResult r =
-            runCampaign(CacheGeometry(), scale, &spec);
+            runCampaign(opts, CacheGeometry(), scale, &spec);
         mat.addRow({TextTable::num(scale, 2),
                     TextTable::num(static_cast<long long>(r.base)),
                     TextTable::num(static_cast<long long>(r.yapd)),
                     TextTable::num(static_cast<long long>(r.hybrid)),
-                    TextTable::percent(1.0 - r.hybrid / 2000.0)});
+                    TextTable::percent(1.0 - static_cast<double>(r.hybrid) /
+                              static_cast<double>(opts.chips))});
     }
     mat.print();
     std::printf("expected shape: losses grow superlinearly with the "
@@ -136,5 +141,7 @@ main()
                 "schemes' absolute savings grow with them -- "
                 "yield-aware microarchitecture matters more every "
                 "generation.\n");
+    bench::reportCampaignTiming("geometry_maturity", opts.chips,
+                                timer.seconds());
     return 0;
 }

@@ -11,6 +11,7 @@
 #include "circuit/cache_model.hh"
 #include "sim/ooo_core.hh"
 #include "sim/scenarios.hh"
+#include "trace/trace.hh"
 #include "util/rng.hh"
 #include "variation/sampler.hh"
 #include "workload/trace_generator.hh"
@@ -81,6 +82,36 @@ BM_TraceGeneration(benchmark::State &state)
         benchmark::DoNotOptimize(gen.next());
 }
 BENCHMARK(BM_TraceGeneration);
+
+void
+BM_DisabledSpan(benchmark::State &state)
+{
+    // The observability hot path with no recorder installed: a span
+    // must cost two relaxed atomic loads -- no clock read and no
+    // allocation -- so instrumented loops run at traced-off speed.
+    for (auto _ : state) {
+        trace::Span span("bench", "micro");
+        benchmark::DoNotOptimize(span.recording());
+    }
+}
+BENCHMARK(BM_DisabledSpan);
+
+void
+BM_EnabledSpan(benchmark::State &state)
+{
+    // Reference point: the cost of a recorded span (two clock reads
+    // plus one mutex-guarded event append).
+    trace::Recorder recorder;
+    trace::Recorder *previous = trace::Recorder::exchangeCurrent(&recorder);
+    for (auto _ : state) {
+        trace::Span span("bench", "micro");
+        benchmark::DoNotOptimize(span.recording());
+    }
+    trace::Recorder::exchangeCurrent(previous);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(recorder.eventCount()));
+}
+BENCHMARK(BM_EnabledSpan);
 
 void
 BM_PipelineSimulation(benchmark::State &state)

@@ -18,6 +18,8 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    trace::Session trace_session(opts.traceOut);
+    const bench::WallTimer timer;
     std::printf("Section 4.5: naive binning overhead "
                 "(24 SPEC2000-like traces)\n\n");
     const SimConfig base = bench::benchSim(baselineScenario());
@@ -50,5 +52,7 @@ main(int argc, char **argv)
                 "12.62%% (two extra cycles); shape check: +2 cycles "
                 "costs ~2x of +1 cycle, uniformly across the suite.\n");
     std::printf("wrote %s\n", csv_path.c_str());
+    bench::reportCampaignTiming("naive_binning", opts.chips,
+                                timer.seconds());
     return 0;
 }

@@ -17,10 +17,13 @@
 using namespace yac;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    trace::Session trace_session(opts.traceOut);
+    const bench::WallTimer timer;
     std::printf("Cache power breakdown at 2 GHz, 30%% access "
-                "activity (2000 chips)\n\n");
+                "activity (%zu chips)\n\n", opts.chips);
     const CacheGeometry geom;
     const Technology tech = defaultTechnology();
     const EnergyModel energy(geom, tech);
@@ -32,9 +35,9 @@ main()
     const double freq_ghz = 2.0;
 
     RunningStats leak, dynamic, total;
-    Rng rng(2006);
-    const int chips = 2000;
-    for (int i = 0; i < chips; ++i) {
+    Rng rng(opts.seed);
+    const std::size_t chips = opts.chips;
+    for (std::size_t i = 0; i < chips; ++i) {
         Rng chip_rng = rng.split(static_cast<std::uint64_t>(i));
         const CacheVariationMap map = sampler.sample(chip_rng);
         const CacheTiming timing = model.evaluate(map);
@@ -83,5 +86,7 @@ main()
                 dynamic.stddev() > 0.0
                     ? leak.stddev() / dynamic.stddev()
                     : 0.0);
+    bench::reportCampaignTiming("power_breakdown", opts.chips,
+                                timer.seconds());
     return 0;
 }

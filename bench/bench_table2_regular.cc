@@ -17,6 +17,7 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    trace::Session trace_session(opts.traceOut);
     const bench::WallTimer timer;
     std::printf("Table 2: sources of yield loss for regular "
                 "power-down (%zu chips)\n\n", opts.chips);

@@ -15,11 +15,15 @@
 using namespace yac;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    trace::Session trace_session(opts.traceOut);
+    const bench::WallTimer timer;
     std::printf("Table 3: sources of yield loss for horizontal "
-                "power-down (2000 chips)\n\n");
-    const MonteCarloResult mc = bench::paperMonteCarlo();
+                "power-down (%zu chips)\n\n", opts.chips);
+    const MonteCarloResult mc =
+        bench::paperMonteCarlo(opts.chips, opts.seed);
     // Constraints come from the regular architecture's population:
     // the shipping spec does not move with the slower layout.
     const YieldConstraints constraints =
@@ -38,5 +42,7 @@ main()
                 "138/142/33/29/20 total 362; H-YAPD 26/0/33/24/17 "
                 "t100; VACA 138/38/17/21/19 t233; Hybrid "
                 "26/0/6/12/16 t60\n");
+    bench::reportCampaignTiming("table3_horizontal", opts.chips,
+                                timer.seconds());
     return 0;
 }

@@ -14,11 +14,16 @@
 using namespace yac;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    trace::Session trace_session(opts.traceOut);
+    const bench::WallTimer timer;
     std::printf("Table 4: total losses, relaxed and strict "
-                "constraints, regular power-down (2000 chips)\n\n");
-    const MonteCarloResult mc = bench::paperMonteCarlo();
+                "constraints, regular power-down (%zu chips)\n\n",
+                opts.chips);
+    const MonteCarloResult mc =
+        bench::paperMonteCarlo(opts.chips, opts.seed);
 
     YapdScheme yapd;
     VacaScheme vaca;
@@ -47,5 +52,7 @@ main()
     std::printf("\npaper reference: relaxed 184 / 51 / 124 / 25; "
                 "strict 727 / 234 / 503 / 144 (Hybrid yield 98.8%% "
                 "relaxed, ~92.8%% strict)\n");
+    bench::reportCampaignTiming("table4_relaxed_strict_regular",
+                                opts.chips, timer.seconds());
     return 0;
 }

@@ -14,11 +14,16 @@
 using namespace yac;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    trace::Session trace_session(opts.traceOut);
+    const bench::WallTimer timer;
     std::printf("Table 5: total losses, relaxed and strict "
-                "constraints, horizontal power-down (2000 chips)\n\n");
-    const MonteCarloResult mc = bench::paperMonteCarlo();
+                "constraints, horizontal power-down (%zu chips)\n\n",
+                opts.chips);
+    const MonteCarloResult mc =
+        bench::paperMonteCarlo(opts.chips, opts.seed);
 
     HYapdScheme hyapd;
     VacaScheme vaca;
@@ -44,5 +49,7 @@ main()
     out.print();
     std::printf("\npaper reference: relaxed 191 / 51 / 131 / 25; "
                 "strict 752 / 224 / 516 / 146\n");
+    bench::reportCampaignTiming("table5_relaxed_strict_horizontal",
+                                opts.chips, timer.seconds());
     return 0;
 }

@@ -53,6 +53,7 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    trace::Session trace_session(opts.traceOut);
     const bench::WallTimer timer;
     std::printf("Table 6: performance degradation per saved cache "
                 "configuration (24 traces x 9 configs)\n\n");

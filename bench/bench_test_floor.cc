@@ -21,6 +21,7 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    trace::Session trace_session(opts.traceOut);
     const bench::WallTimer timer;
     std::printf("Test-floor noise vs configuration quality "
                 "(Hybrid scheme, %zu chips)\n\n", opts.chips);

@@ -21,6 +21,7 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    trace::Session trace_session(opts.traceOut);
     const bench::WallTimer timer;
     std::printf("Whole-chip yield: L1I + L1D on a shared die "
                 "(%zu chips)\n\n", opts.chips);
@@ -58,7 +59,7 @@ main(int argc, char **argv)
     };
     for (const Case &c : cases) {
         const MultiCacheReport r = chip.run(
-            opts.chips, opts.seed, {c.d, c.i},
+            {opts.chips, opts.seed}, {c.d, c.i},
             ConstraintPolicy::nominal());
         out.addRow({c.name, TextTable::percent(r.baseYield()),
                     TextTable::percent(r.schemeYield()),

@@ -20,13 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/scenarios.hh"
-#include "util/table.hh"
-#include "workload/profile.hh"
-#include "yield/schemes/hybrid.hh"
-#include "yield/schemes/naive_binning.hh"
-#include "yield/schemes/vaca.hh"
-#include "yield/schemes/yapd.hh"
+#include "yac.hh"
 
 using namespace yac;
 

@@ -17,13 +17,7 @@
 #include <filesystem>
 #include <string>
 
-#include "cache/memory_hierarchy.hh"
-#include "sim/ooo_core.hh"
-#include "sim/scenarios.hh"
-#include "util/table.hh"
-#include "workload/profile.hh"
-#include "workload/trace_generator.hh"
-#include "workload/trace_io.hh"
+#include "yac.hh"
 
 using namespace yac;
 

@@ -16,13 +16,7 @@
 
 #include <cstdio>
 
-#include "util/table.hh"
-#include "yield/analysis.hh"
-#include "yield/monte_carlo.hh"
-#include "yield/schemes/hybrid.hh"
-#include "yield/schemes/hyapd.hh"
-#include "yield/schemes/vaca.hh"
-#include "yield/schemes/yapd.hh"
+#include "yac.hh"
 
 using namespace yac;
 

@@ -9,11 +9,7 @@
 
 #include <cstdio>
 
-#include "circuit/cache_model.hh"
-#include "util/rng.hh"
-#include "util/statistics.hh"
-#include "util/table.hh"
-#include "variation/sampler.hh"
+#include "yac.hh"
 
 using namespace yac;
 

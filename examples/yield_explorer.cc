@@ -6,40 +6,32 @@
  * a generalization of the paper's relaxed/nominal/strict triple.
  *
  * Writes out/yield_explorer.csv with the full sweep for plotting
- * (override the directory with --out-dir=D).
+ * (override the directory with --out-dir=D; the shared campaign
+ * flags --chips/--threads/--seed/--trace-out also apply).
  */
 
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <string>
 
-#include "util/csv.hh"
-#include "util/logging.hh"
-#include "util/table.hh"
-#include "yield/analysis.hh"
-#include "yield/monte_carlo.hh"
-#include "yield/schemes/hybrid.hh"
-#include "yield/schemes/vaca.hh"
-#include "yield/schemes/yapd.hh"
+#include "yac.hh"
 
 using namespace yac;
 
 int
 main(int argc, char **argv)
 {
-    std::string out_dir = "out";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--out-dir=", 10) == 0 &&
-            argv[i][10] != '\0')
-            out_dir = argv[i] + 10;
-        else
-            yac_fatal("unknown argument '", argv[i],
-                      "' (usage: [--out-dir=D])");
-    }
+    CampaignOptions opts;
+    opts.chips = 1000;
+    opts.seed = 7;
+    OptionParser parser("yield_explorer [options]");
+    addCampaignOptions(parser, opts);
+    parser.parse(argc, argv);
+    const std::string out_dir = opts.outDir;
+    trace::Session trace_session(opts.traceOut);
 
     MonteCarlo mc;
-    const MonteCarloResult result = mc.run({1000, 7});
+    const MonteCarloResult result = mc.run(campaignFromOptions(opts));
 
     YapdScheme yapd;
     VacaScheme vaca;

@@ -1,6 +1,7 @@
 #include "sim/simulation.hh"
 
 #include "sim/ooo_core.hh"
+#include "trace/metrics.hh"
 #include "util/logging.hh"
 #include "workload/trace_generator.hh"
 
@@ -11,6 +12,14 @@ SimStats
 simulateBenchmark(const BenchmarkProfile &profile, const SimConfig &config)
 {
     yac_assert(config.measureInsts > 0, "nothing to measure");
+    trace::Span span("sim.run", "sim");
+    span.arg("benchmark", profile.name).arg("config", config.label);
+    trace::Metrics &metrics = trace::Metrics::instance();
+    trace::ScopedPhase timing(metrics.phase("sim"));
+    metrics.counter("sim_runs").add(1);
+    metrics.counter("sim_insts").add(config.warmupInsts +
+                                     config.measureInsts);
+
     MemoryHierarchy hierarchy(config.hierarchy);
     TraceGenerator trace(profile, config.seed);
     OooCore core(config.core, hierarchy, trace);

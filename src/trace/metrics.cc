@@ -1,0 +1,63 @@
+#include "trace/metrics.hh"
+
+namespace yac
+{
+namespace trace
+{
+
+Metrics &
+Metrics::instance()
+{
+    static Metrics m;
+    return m;
+}
+
+Counter &
+Metrics::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_[name];
+}
+
+Gauge &
+Metrics::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return gauges_[name];
+}
+
+PhaseTimer &
+Metrics::phase(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return phases_[name];
+}
+
+MetricsSnapshot
+Metrics::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto &[name, counter] : counters_)
+        snap.counters[name] = counter.value();
+    for (const auto &[name, gauge] : gauges_)
+        snap.gauges[name] = gauge.value();
+    for (const auto &[name, phase] : phases_)
+        snap.phaseSeconds[name] = phase.seconds();
+    return snap;
+}
+
+void
+Metrics::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, counter] : counters_)
+        counter.reset();
+    for (auto &[name, gauge] : gauges_)
+        gauge.reset();
+    for (auto &[name, phase] : phases_)
+        phase.reset();
+}
+
+} // namespace trace
+} // namespace yac

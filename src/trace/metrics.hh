@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Always-on campaign metrics: named atomic counters, gauges and
+ * phase-time accumulators. Unlike span recording (see trace.hh),
+ * metrics are cheap enough to leave on unconditionally -- one
+ * relaxed atomic add per update -- and they feed the phase/counter
+ * sections of the BENCH_*.json lines (util/bench_report.hh).
+ *
+ * Registry entries are created on first use and never destroyed, so
+ * the references returned by counter()/gauge()/phase() stay valid
+ * for the process lifetime and can be cached by hot loops.
+ */
+
+#ifndef YAC_TRACE_METRICS_HH
+#define YAC_TRACE_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace yac
+{
+namespace trace
+{
+
+/** Monotonic event count (chips sampled, schemes applied, ...). */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value (yield %, headroom, ...). */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Accumulated time in one campaign phase across all threads.
+ * Workers accumulate locally per chunk and publish once, so the
+ * atomic is touched O(chunks) times, not O(chips).
+ */
+class PhaseTimer
+{
+  public:
+    void addNanos(std::int64_t ns)
+    {
+        nanos_.fetch_add(ns, std::memory_order_relaxed);
+    }
+
+    std::int64_t nanos() const
+    {
+        return nanos_.load(std::memory_order_relaxed);
+    }
+
+    double seconds() const { return 1e-9 * double(nanos()); }
+
+    void reset() { nanos_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> nanos_{0};
+};
+
+/**
+ * RAII helper adding the scope's elapsed time to a PhaseTimer.
+ * Always on; a clock read at each end and one atomic add. Use per
+ * chunk or per campaign pass, not per chip.
+ */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(PhaseTimer &timer)
+        : timer_(timer), startNs_(nowNanos())
+    {
+    }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+    ~ScopedPhase() { timer_.addNanos(nowNanos() - startNs_); }
+
+  private:
+    PhaseTimer &timer_;
+    std::int64_t startNs_;
+};
+
+/** Point-in-time copy of every registered metric. */
+struct MetricsSnapshot
+{
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, double> phaseSeconds;
+};
+
+/** Process-global named-metric registry. */
+class Metrics
+{
+  public:
+    static Metrics &instance();
+
+    /** Find-or-create; the reference is valid forever. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    PhaseTimer &phase(const std::string &name);
+
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every registered metric (benches call between configs). */
+    void reset();
+
+  private:
+    Metrics() = default;
+
+    mutable std::mutex mutex_;
+    // node-based maps: element addresses are stable across inserts.
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, PhaseTimer> phases_;
+};
+
+} // namespace trace
+} // namespace yac
+
+#endif // YAC_TRACE_METRICS_HH

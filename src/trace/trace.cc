@@ -1,0 +1,273 @@
+#include "trace/trace.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+
+namespace yac
+{
+namespace trace
+{
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Process-wide epoch so all timestamps share one origin. */
+Clock::time_point
+epoch()
+{
+    static const Clock::time_point t0 = Clock::now();
+    return t0;
+}
+
+std::mutex &
+threadNameMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/** tid -> name; survives recorder swaps (see setThreadName docs). */
+std::map<std::uint32_t, std::string> &
+threadNames()
+{
+    static std::map<std::uint32_t, std::string> names;
+    return names;
+}
+
+void
+appendEventJson(std::string &out, const TraceEvent &e)
+{
+    out += "{\"name\":\"";
+    out += jsonEscape(e.name);
+    out += "\",\"cat\":\"";
+    out += jsonEscape(e.category);
+    out += "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"ts\":";
+    out += std::to_string(e.tsUs);
+    if (e.phase == 'X') {
+        out += ",\"dur\":";
+        out += std::to_string(e.durUs);
+    }
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    if (!e.args.empty()) {
+        out += ",\"args\":{";
+        bool first = true;
+        for (const auto &[key, value] : e.args) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += '"';
+            out += jsonEscape(key);
+            out += "\":";
+            out += value; // pre-rendered JSON value
+        }
+        out += '}';
+    }
+    out += '}';
+}
+
+} // namespace
+
+std::atomic<Recorder *> Recorder::current_{nullptr};
+
+std::int64_t
+nowMicros()
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - epoch())
+        .count();
+}
+
+std::int64_t
+nowNanos()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - epoch())
+        .count();
+}
+
+std::uint32_t
+threadId()
+{
+    static std::atomic<std::uint32_t> next{0};
+    thread_local const std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+void
+setThreadName(const std::string &name)
+{
+    const std::uint32_t tid = threadId();
+    std::lock_guard<std::mutex> lock(threadNameMutex());
+    threadNames()[tid] = name;
+}
+
+void
+Recorder::record(TraceEvent event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+void
+Recorder::recordCounter(const std::string &name, double value)
+{
+    TraceEvent e;
+    e.name = name;
+    e.category = "metrics";
+    e.phase = 'C';
+    e.tsUs = nowMicros();
+    e.tid = threadId();
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    e.args.emplace_back("value", buf);
+    record(std::move(e));
+}
+
+std::size_t
+Recorder::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::vector<TraceEvent>
+Recorder::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+std::string
+Recorder::toJson() const
+{
+    const std::vector<TraceEvent> snapshot = events();
+
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    {
+        // Thread-name metadata first, so viewers label every lane.
+        std::lock_guard<std::mutex> lock(threadNameMutex());
+        for (const auto &[tid, name] : threadNames()) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                   "\"tid\":";
+            out += std::to_string(tid);
+            out += ",\"args\":{\"name\":\"";
+            out += jsonEscape(name);
+            out += "\"}}";
+        }
+    }
+    for (const TraceEvent &e : snapshot) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendEventJson(out, e);
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+void
+Recorder::writeFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "yac: trace: cannot open '%s' for write\n",
+                     path.c_str());
+        std::abort();
+    }
+    out << toJson();
+    if (!out) {
+        std::fprintf(stderr, "yac: trace: write to '%s' failed\n",
+                     path.c_str());
+        std::abort();
+    }
+}
+
+Span &
+Span::arg(const char *key, const std::string &value)
+{
+    if (rec_ != nullptr)
+        args_.emplace_back(key, '"' + jsonEscape(value) + '"');
+    return *this;
+}
+
+void
+Span::finish() noexcept
+{
+    TraceEvent e;
+    e.name = name_;
+    e.category = category_;
+    e.phase = 'X';
+    e.tsUs = startUs_;
+    e.durUs = nowMicros() - startUs_;
+    e.tid = threadId();
+    e.args = std::move(args_);
+    rec_->record(std::move(e));
+}
+
+Session::Session(std::string path) : path_(std::move(path))
+{
+    if (path_.empty())
+        return;
+    recorder_ = std::make_unique<Recorder>();
+    setThreadName("main");
+    previous_ = Recorder::exchangeCurrent(recorder_.get());
+}
+
+Session::~Session()
+{
+    if (!recorder_)
+        return;
+    Recorder::exchangeCurrent(previous_);
+    recorder_->writeFile(path_);
+}
+
+std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace trace
+} // namespace yac

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Campaign observability: a span recorder emitting Chrome Trace
+ * Event Format JSON (load the file in chrome://tracing or Perfetto).
+ *
+ * Design constraints, in order:
+ *
+ *  1. Tracing off must cost nothing on the hot path. A Span whose
+ *     recorder is inactive is two relaxed atomic loads in the
+ *     constructor and a null check in the destructor -- no clock
+ *     read, no allocation, no lock.
+ *  2. Recording must be thread-safe: campaign chunks run on the
+ *     yac::parallel workers, and each finished span locks the
+ *     recorder exactly once. Spans are coarse (phases, chunks,
+ *     scenario simulations), so one mutex is not a bottleneck.
+ *  3. Recording must never change results. Spans only read the
+ *     clock; they touch no Rng and no campaign state, so campaign
+ *     outputs are byte-identical with tracing on or off (asserted in
+ *     tests/test_parallel.cc).
+ *
+ * The process has one *current* recorder (an atomic pointer).
+ * Campaign runners install the CampaignConfig's sink for the
+ * duration of a run; bench binaries install a trace::Session for the
+ * whole process when --trace-out is given. Code that emits spans
+ * never needs plumbing: Span finds the current recorder itself.
+ */
+
+#ifndef YAC_TRACE_TRACE_HH
+#define YAC_TRACE_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace yac
+{
+namespace trace
+{
+
+/** Microseconds since the process's trace epoch (first use). */
+std::int64_t nowMicros();
+
+/** Nanosecond monotonic clock for phase accounting. */
+std::int64_t nowNanos();
+
+/**
+ * Stable small id of the calling thread (0 for the first thread that
+ * asks, then 1, 2, ...). Used as the Chrome trace "tid".
+ */
+std::uint32_t threadId();
+
+/**
+ * Register a human-readable name for the calling thread ("main",
+ * "worker-3"). Names live in a process-global registry so they
+ * survive recorder swaps; every recorder emits them as thread_name
+ * metadata events when serializing.
+ */
+void setThreadName(const std::string &name);
+
+/** One recorded event (Chrome trace "X", "C" or "i" phase). */
+struct TraceEvent
+{
+    std::string name;
+    std::string category;
+    char phase = 'X';       //!< 'X' complete, 'C' counter, 'i' instant
+    std::int64_t tsUs = 0;  //!< start timestamp [us since epoch]
+    std::int64_t durUs = 0; //!< duration [us], 'X' only
+    std::uint32_t tid = 0;
+
+    /** Pre-rendered JSON values keyed by arg name ("42", "\"mcf\""). */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/**
+ * Thread-safe span/event sink. Instantiable (tests record into a
+ * private recorder); at most one recorder is *current* at a time.
+ */
+class Recorder
+{
+  public:
+    Recorder() = default;
+    Recorder(const Recorder &) = delete;
+    Recorder &operator=(const Recorder &) = delete;
+
+    /** Cheap hot-path check; recording is on by default. */
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    /** Append one event. Thread-safe. */
+    void record(TraceEvent event);
+
+    /** Convenience: record a counter sample at the current time. */
+    void recordCounter(const std::string &name, double value);
+
+    std::size_t eventCount() const;
+
+    /** Snapshot of everything recorded so far. */
+    std::vector<TraceEvent> events() const;
+
+    /**
+     * Full Chrome Trace Event Format document: all recorded events
+     * plus thread_name metadata for every registered thread.
+     */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; yac_fatal on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+    /** The process-wide current recorder (nullptr = tracing off). */
+    static Recorder *current()
+    {
+        return current_.load(std::memory_order_acquire);
+    }
+
+    /** Install @p recorder as current; returns the previous one. */
+    static Recorder *exchangeCurrent(Recorder *recorder)
+    {
+        return current_.exchange(recorder, std::memory_order_acq_rel);
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+    std::atomic<bool> enabled_{true};
+
+    static std::atomic<Recorder *> current_;
+};
+
+/** The current recorder iff it is enabled, else nullptr. */
+inline Recorder *
+activeRecorder()
+{
+    Recorder *r = Recorder::current();
+    return (r != nullptr && r->enabled()) ? r : nullptr;
+}
+
+/** True iff spans created right now would be recorded. */
+inline bool
+active()
+{
+    return activeRecorder() != nullptr;
+}
+
+/**
+ * RAII span: times the enclosing scope and records one complete
+ * event on destruction. When no recorder is active at construction
+ * the span is fully inert -- no clock read, no allocation.
+ *
+ * @p name and @p category must outlive the span (string literals).
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name, const char *category = "yac") noexcept
+        : rec_(activeRecorder()), name_(name), category_(category),
+          startUs_(rec_ != nullptr ? nowMicros() : 0)
+    {
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    ~Span()
+    {
+        if (rec_ != nullptr)
+            finish();
+    }
+
+    /** Attach a numeric argument (no-op when inert). */
+    Span &
+    arg(const char *key, std::int64_t value)
+    {
+        if (rec_ != nullptr)
+            args_.emplace_back(key, std::to_string(value));
+        return *this;
+    }
+
+    /** Attach a string argument (no-op when inert). */
+    Span &arg(const char *key, const std::string &value);
+
+    bool recording() const { return rec_ != nullptr; }
+
+  private:
+    void finish() noexcept;
+
+    Recorder *rec_;
+    const char *name_;
+    const char *category_;
+    std::int64_t startUs_;
+    std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/**
+ * Scoped trace session: owns a Recorder, installs it as current for
+ * its lifetime, and writes the Chrome trace file on destruction.
+ * Constructed with an empty path it is inactive and costs nothing --
+ * bench binaries construct one unconditionally from --trace-out.
+ */
+class Session
+{
+  public:
+    explicit Session(std::string path);
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    bool active() const { return recorder_ != nullptr; }
+
+    /** The session's recorder, or nullptr when inactive. */
+    Recorder *recorder() { return recorder_.get(); }
+
+  private:
+    std::string path_;
+    std::unique_ptr<Recorder> recorder_;
+    Recorder *previous_ = nullptr;
+};
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &raw);
+
+} // namespace trace
+} // namespace yac
+
+#endif // YAC_TRACE_TRACE_HH

@@ -133,11 +133,43 @@ formatBenchReportLine(const BenchReport &report)
     std::snprintf(buf, sizeof(buf),
                   "BENCH_%s.json {\"bench\":\"%s\",\"chips\":%zu,"
                   "\"threads\":%zu,\"wall_s\":%.3f,"
-                  "\"chips_per_s\":%.1f}",
+                  "\"chips_per_s\":%.1f",
                   report.bench.c_str(), report.bench.c_str(), report.chips,
                   report.threads, report.wallSeconds,
                   report.chipsPerSecond());
-    return buf;
+    std::string line = buf;
+    // std::map iterates keys in ascending order, which the parser
+    // requires; empty sections are omitted entirely.
+    if (!report.phaseSeconds.empty()) {
+        line += ",\"phases\":{";
+        bool first = true;
+        for (const auto &[name, seconds] : report.phaseSeconds) {
+            yac_assert(isValidBenchName(name),
+                       "phase name must be [A-Za-z0-9_]+");
+            yac_assert(seconds >= 0.0, "phase time must be >= 0");
+            std::snprintf(buf, sizeof(buf), "%s\"%s\":%.6f",
+                          first ? "" : ",", name.c_str(), seconds);
+            line += buf;
+            first = false;
+        }
+        line += '}';
+    }
+    if (!report.counters.empty()) {
+        line += ",\"counters\":{";
+        bool first = true;
+        for (const auto &[name, value] : report.counters) {
+            yac_assert(isValidBenchName(name),
+                       "counter name must be [A-Za-z0-9_]+");
+            std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu",
+                          first ? "" : ",", name.c_str(),
+                          static_cast<unsigned long long>(value));
+            line += buf;
+            first = false;
+        }
+        line += '}';
+    }
+    line += '}';
+    return line;
 }
 
 std::optional<BenchReport>
@@ -159,6 +191,49 @@ parseBenchReportLine(const std::string &line, std::string *error)
     c.expect(",\"chips_per_s\":");
     double chips_per_s = 0.0;
     c.number(chips_per_s);
+
+    // Optional trailing sections, fixed order: phases then counters.
+    // Keys are strictly ascending so the section is canonical -- a
+    // reordered or duplicated key is a schema violation.
+    const auto section = [&](const char *header, auto consume_value) {
+        if (c.failed ||
+            line.compare(c.pos, std::string(header).size(), header) != 0)
+            return;
+        c.expect(header);
+        std::string prev_key;
+        for (bool first = true;; first = false) {
+            if (!first && !c.expect(","))
+                return;
+            c.expect("\"");
+            std::string key;
+            c.ident(key);
+            c.expect("\":");
+            if (c.failed)
+                return;
+            if (!first && key <= prev_key) {
+                c.fail("section keys must be strictly ascending");
+                return;
+            }
+            prev_key = key;
+            consume_value(key);
+            if (c.failed)
+                return;
+            if (c.pos < line.size() && line[c.pos] == '}') {
+                ++c.pos;
+                return;
+            }
+        }
+    };
+    section(",\"phases\":{", [&](const std::string &key) {
+        double seconds = 0.0;
+        if (c.number(seconds))
+            r.phaseSeconds[key] = seconds;
+    });
+    section(",\"counters\":{", [&](const std::string &key) {
+        std::size_t value = 0;
+        if (c.integer(value))
+            r.counters[key] = value;
+    });
     c.expect("}");
     if (c.failed)
         return std::nullopt;

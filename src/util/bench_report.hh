@@ -3,7 +3,16 @@
  * The machine-readable timing line every bench binary emits:
  *
  *   BENCH_<name>.json {"bench":"<name>","chips":N,"threads":T,
- *                      "wall_s":S,"chips_per_s":R}
+ *                      "wall_s":S,"chips_per_s":R
+ *                      [,"phases":{"<k>":S,...}]
+ *                      [,"counters":{"<k>":N,...}]}
+ *
+ * The optional trailing sections carry the campaign's phase-time
+ * breakdown (sample/evaluate/classify/sim/test, seconds summed
+ * across worker threads) and a counter snapshot from the
+ * trace::Metrics registry. Keys are [A-Za-z0-9_]+ in strictly
+ * ascending order; empty sections are omitted, so pre-observability
+ * lines stay valid.
  *
  * Downstream tooling greps these lines out of bench logs and tracks
  * them across PRs, so the schema is golden: formatting and parsing
@@ -15,6 +24,8 @@
 #define YAC_UTIL_BENCH_REPORT_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 
@@ -28,6 +39,12 @@ struct BenchReport
     std::size_t chips = 0;    //!< campaign population
     std::size_t threads = 0;  //!< worker threads used
     double wallSeconds = 0.0; //!< wall-clock time [s]
+
+    /** Per-phase CPU seconds (summed across threads); may be empty. */
+    std::map<std::string, double> phaseSeconds;
+
+    /** Counter snapshot at the end of the run; may be empty. */
+    std::map<std::string, std::uint64_t> counters;
 
     /** Derived throughput [chips/s] (0 when wallSeconds is 0). */
     double chipsPerSecond() const;

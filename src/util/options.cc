@@ -1,0 +1,157 @@
+#include "util/options.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+#include "util/parallel.hh"
+
+namespace yac
+{
+
+namespace
+{
+
+std::uint64_t
+parseUnsigned(const std::string &name, const std::string &value,
+              std::uint64_t min)
+{
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || v < min) {
+        yac_fatal("--", name, " wants an integer >= ", min, ", got '",
+                  value, "'");
+    }
+    return v;
+}
+
+} // namespace
+
+OptionParser::OptionParser(std::string usage) : usage_(std::move(usage))
+{
+}
+
+void
+OptionParser::addUnsigned(const std::string &name,
+                          const std::string &help,
+                          std::function<void(std::uint64_t)> store,
+                          std::uint64_t min)
+{
+    add(name, help,
+        [name, store = std::move(store), min](const std::string &value) {
+            store(parseUnsigned(name, value, min));
+        });
+}
+
+void
+OptionParser::add(const std::string &name, const std::string &help,
+                  std::string *out, bool allow_empty)
+{
+    add(name, help, [name, out, allow_empty](const std::string &value) {
+        if (value.empty() && !allow_empty)
+            yac_fatal("--", name, " wants a non-empty value");
+        *out = value;
+    });
+}
+
+void
+OptionParser::add(const std::string &name, const std::string &help,
+                  std::function<void(const std::string &value)> consume)
+{
+    yac_assert(find(name) == nullptr, "duplicate flag --", name);
+    flags_.push_back({name, help, std::move(consume)});
+}
+
+const OptionParser::Flag *
+OptionParser::find(const std::string &name) const
+{
+    for (const Flag &f : flags_) {
+        if (f.name == name)
+            return &f;
+    }
+    return nullptr;
+}
+
+void
+OptionParser::printHelp() const
+{
+    std::printf("usage: %s\n\noptions:\n", usage_.c_str());
+    for (const Flag &f : flags_) {
+        std::printf("  --%-12s %s\n", f.name.c_str(), f.help.c_str());
+    }
+    std::printf("  --%-12s %s\n", "help", "show this message");
+}
+
+void
+OptionParser::parse(int argc, char **argv) const
+{
+    std::vector<std::string> args;
+    args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    parse(args);
+}
+
+void
+OptionParser::parse(const std::vector<std::string> &args) const
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--help" || arg == "-h") {
+            printHelp();
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0)
+            yac_fatal("unknown argument '", arg, "' (try --help)");
+
+        // --name=value or --name value.
+        const std::size_t eq = arg.find('=');
+        const std::string name = arg.substr(2, eq - 2);
+        const Flag *flag = find(name);
+        if (flag == nullptr)
+            yac_fatal("unknown flag '--", name, "' (try --help)");
+        std::string value;
+        if (eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+        } else {
+            if (i + 1 >= args.size())
+                yac_fatal("--", name, " wants a value");
+            value = args[++i];
+        }
+        flag->consume(value);
+    }
+}
+
+void
+addCampaignOptions(OptionParser &parser, CampaignOptions &opts)
+{
+    parser.add("chips", "campaign population size (default 2000)",
+               &opts.chips, 2);
+    parser.add("threads",
+               "worker threads; 0 = automatic (default YAC_THREADS "
+               "or hardware)",
+               &opts.threads);
+    parser.add("seed", "campaign RNG seed (default 2006)", &opts.seed);
+    parser.add("out-dir", "directory for CSV artifacts (default out)",
+               &opts.outDir);
+    parser.add("trace-out",
+               "write a Chrome Trace Event JSON file "
+               "(load in chrome://tracing)",
+               &opts.traceOut);
+}
+
+CampaignOptions
+parseCampaignOptions(int argc, char **argv)
+{
+    CampaignOptions opts;
+    OptionParser parser(
+        std::string(argc > 0 ? argv[0] : "bench") + " [options]");
+    addCampaignOptions(parser, opts);
+    parser.parse(argc, argv);
+    if (opts.threads != 0)
+        parallel::setThreads(opts.threads);
+    return opts;
+}
+
+} // namespace yac

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Shared command-line option parsing for benches, examples, and the
+ * CLI. One parser, one flag vocabulary:
+ *
+ *   --chips=N --threads=N --seed=S --out-dir=D --trace-out=FILE
+ *
+ * Both `--flag=value` and `--flag value` spellings are accepted;
+ * `--help`/`-h` prints the registered flags and exits. Unknown
+ * arguments are fatal -- campaign tooling must never silently ignore
+ * a typo'd knob.
+ */
+
+#ifndef YAC_UTIL_OPTIONS_HH
+#define YAC_UTIL_OPTIONS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace yac
+{
+
+/** The campaign knobs every yield binary accepts. */
+struct CampaignOptions
+{
+    std::size_t chips = 2000;   //!< the paper's population size
+    std::uint64_t seed = 2006;  //!< the paper's seed
+    std::size_t threads = 0;    //!< 0 = automatic (YAC_THREADS / cores)
+    std::string outDir = "out"; //!< where CSV artifacts land
+    std::string traceOut;       //!< Chrome trace path; empty = off
+};
+
+/**
+ * Minimal declarative flag parser. Register flags, then parse();
+ * values land directly in caller-owned storage.
+ */
+class OptionParser
+{
+  public:
+    /** @param usage One-line usage summary shown by --help. */
+    explicit OptionParser(std::string usage);
+
+    /** Register `--name` taking an unsigned integer >= @p min. */
+    template <typename UInt,
+              typename = std::enable_if_t<std::is_unsigned_v<UInt>>>
+    void
+    add(const std::string &name, const std::string &help, UInt *out,
+        std::uint64_t min = 0)
+    {
+        addUnsigned(name, help,
+                    [out](std::uint64_t v) {
+                        *out = static_cast<UInt>(v);
+                    },
+                    min);
+    }
+
+    /** Register `--name` taking a (possibly empty) string. */
+    void add(const std::string &name, const std::string &help,
+             std::string *out, bool allow_empty = false);
+
+    /**
+     * Register `--name VALUE` with a custom consumer; the consumer
+     * yac_fatals on invalid input.
+     */
+    void add(const std::string &name, const std::string &help,
+             std::function<void(const std::string &value)> consume);
+
+    /**
+     * Parse all of argv. Fatal on unknown flags or bad values;
+     * prints help and exits 0 on --help/-h.
+     */
+    void parse(int argc, char **argv) const;
+
+    /**
+     * Parse a plain argv vector (no argv[0]); used by the CLI whose
+     * subcommand name is stripped before option parsing.
+     */
+    void parse(const std::vector<std::string> &args) const;
+
+    /** Print the registered flags to stdout. */
+    void printHelp() const;
+
+  private:
+    void addUnsigned(const std::string &name, const std::string &help,
+                     std::function<void(std::uint64_t)> store,
+                     std::uint64_t min);
+
+    struct Flag
+    {
+        std::string name; //!< without the leading "--"
+        std::string help;
+        std::function<void(const std::string &value)> consume;
+    };
+
+    const Flag *find(const std::string &name) const;
+
+    std::string usage_;
+    std::vector<Flag> flags_;
+};
+
+/**
+ * Register the shared campaign flags (--chips/--threads/--seed/
+ * --out-dir/--trace-out) writing into @p opts.
+ */
+void addCampaignOptions(OptionParser &parser, CampaignOptions &opts);
+
+/**
+ * One-call convenience for bench/example main(): parse the shared
+ * campaign flags and apply opts.threads to the global worker pool
+ * (0 leaves the YAC_THREADS / automatic setting untouched).
+ */
+CampaignOptions parseCampaignOptions(int argc, char **argv);
+
+} // namespace yac
+
+#endif // YAC_UTIL_OPTIONS_HH

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "trace/trace.hh"
 #include "util/logging.hh"
 
 namespace yac
@@ -23,13 +24,29 @@ namespace
 /** Set while a thread executes a chunk body; nested loops go serial. */
 thread_local bool tls_in_parallel = false;
 
+/**
+ * Run one chunk body under a trace span, so campaign fan-outs show
+ * per-thread chunk attribution in the trace viewer. Inert (no clock,
+ * no allocation) when tracing is off.
+ */
+void
+runChunk(const ChunkBody &body, std::size_t chunk, std::size_t begin,
+         std::size_t end)
+{
+    trace::Span span("chunk", "parallel");
+    span.arg("chunk", std::int64_t(chunk))
+        .arg("begin", std::int64_t(begin))
+        .arg("end", std::int64_t(end));
+    body(chunk, begin, end);
+}
+
 /** Execute every chunk in order on the calling thread. */
 void
 runSerial(std::size_t n, std::size_t chunk_size, const ChunkBody &body)
 {
     std::size_t chunk = 0;
     for (std::size_t begin = 0; begin < n; begin += chunk_size, ++chunk)
-        body(chunk, begin, std::min(n, begin + chunk_size));
+        runChunk(body, chunk, begin, std::min(n, begin + chunk_size));
 }
 
 /**
@@ -46,8 +63,12 @@ class ThreadPool
         : threads_(std::max<std::size_t>(1, num_threads))
     {
         workers_.reserve(threads_ - 1);
-        for (std::size_t i = 0; i + 1 < threads_; ++i)
-            workers_.emplace_back([this] { workerLoop(); });
+        for (std::size_t i = 0; i + 1 < threads_; ++i) {
+            workers_.emplace_back([this, i] {
+                trace::setThreadName("worker-" + std::to_string(i + 1));
+                workerLoop();
+            });
+        }
     }
 
     ~ThreadPool()
@@ -99,7 +120,7 @@ class ThreadPool
             lock.unlock();
             tls_in_parallel = true;
             try {
-                (*body)(chunk, begin, end);
+                runChunk(*body, chunk, begin, end);
             } catch (...) {
                 std::lock_guard<std::mutex> elock(mutex_);
                 if (!error_)

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Umbrella public header: the stable API surface of the yield-aware
+ * cache library. Examples and external consumers include this one
+ * header and link yac::yac; internal code keeps including the
+ * fine-grained headers it actually uses.
+ *
+ * Exported surface:
+ *  - campaign configuration and runners (CampaignConfig, MonteCarlo,
+ *    MultiCacheYield, analytic model)
+ *  - yield machinery (constraints, assessment, analysis, binning,
+ *    test floor)
+ *  - the paper's schemes (YAPD, H-YAPD, VACA, Hybrid, adaptive
+ *    hybrid, naive binning)
+ *  - circuit + variation models the campaigns are built from
+ *  - the pipeline/memory simulator used for CPI impact
+ *  - observability (trace spans and sessions, metrics registry)
+ *  - shared utilities (options parsing, parallel loops, RNG, stats)
+ */
+
+#ifndef YAC_YAC_HH
+#define YAC_YAC_HH
+
+// Observability.
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
+
+// Shared utilities.
+#include "util/bench_report.hh"
+#include "util/csv.hh"
+#include "util/histogram.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+#include "util/parallel.hh"
+#include "util/rng.hh"
+#include "util/statistics.hh"
+#include "util/table.hh"
+
+// Process variation and circuit models.
+#include "circuit/cache_model.hh"
+#include "circuit/geometry.hh"
+#include "circuit/technology.hh"
+#include "variation/correlation.hh"
+#include "variation/process_params.hh"
+#include "variation/sampler.hh"
+
+// Yield campaigns.
+#include "yield/analysis.hh"
+#include "yield/analytic.hh"
+#include "yield/assessment.hh"
+#include "yield/binning.hh"
+#include "yield/campaign.hh"
+#include "yield/constraints.hh"
+#include "yield/monte_carlo.hh"
+#include "yield/multi_cache.hh"
+#include "yield/scheme.hh"
+#include "yield/testing.hh"
+
+// The paper's schemes.
+#include "yield/schemes/adaptive_hybrid.hh"
+#include "yield/schemes/hyapd.hh"
+#include "yield/schemes/hybrid.hh"
+#include "yield/schemes/naive_binning.hh"
+#include "yield/schemes/vaca.hh"
+#include "yield/schemes/yapd.hh"
+
+// Performance simulation.
+#include "cache/memory_hierarchy.hh"
+#include "cache/set_assoc_cache.hh"
+#include "sim/core_params.hh"
+#include "sim/ooo_core.hh"
+#include "sim/scenarios.hh"
+#include "sim/sim_stats.hh"
+#include "sim/simulation.hh"
+#include "workload/profile.hh"
+#include "workload/trace_generator.hh"
+#include "workload/trace_io.hh"
+
+#endif // YAC_YAC_HH

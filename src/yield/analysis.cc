@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "trace/metrics.hh"
 #include "util/logging.hh"
 #include "util/statistics.hh"
 
@@ -61,6 +62,13 @@ buildLossTable(const std::vector<CacheTiming> &chips,
                const CycleMapping &mapping,
                const std::vector<const Scheme *> &schemes)
 {
+    trace::Span span("loss_table.build", "campaign");
+    span.arg("chips", std::int64_t(chips.size()))
+        .arg("schemes", std::int64_t(schemes.size()));
+    trace::Metrics &metrics = trace::Metrics::instance();
+    trace::ScopedPhase timing(metrics.phase("classify"));
+    trace::Counter &applied = metrics.counter("schemes_applied");
+
     LossTable table;
     table.totalChips = static_cast<int>(chips.size());
     table.schemes.reserve(schemes.size());
@@ -83,6 +91,7 @@ buildLossTable(const std::vector<CacheTiming> &chips,
                 ++table.schemes[i].total;
             }
         }
+        applied.add(schemes.size());
     }
     return table;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/metrics.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 #include "yield/assessment.hh"
@@ -103,6 +104,12 @@ BinningReport
 binAll(const std::vector<CacheTiming> &chips, std::size_t num_bins,
        AssignFn &&assign_fn)
 {
+    trace::Span span("binning.assign", "campaign");
+    span.arg("chips", std::int64_t(chips.size()));
+    trace::Metrics &metrics = trace::Metrics::instance();
+    trace::ScopedPhase timing(metrics.phase("classify"));
+    metrics.counter("chips_binned").add(chips.size());
+
     // Chips shard across workers; per-chunk reports merge in chunk
     // order so the revenue sum (floating point) is bit-stable at any
     // thread count.

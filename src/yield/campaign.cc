@@ -1,0 +1,41 @@
+#include "yield/campaign.hh"
+
+#include "util/parallel.hh"
+
+namespace yac
+{
+
+CampaignScope::CampaignScope(const char *name,
+                             const CampaignConfig &config)
+    : config_(config)
+{
+    if (config_.threads != 0)
+        parallel::setThreads(config_.threads);
+    if (config_.traceSink != nullptr) {
+        previous_ = trace::Recorder::exchangeCurrent(config_.traceSink);
+        swapped_ = true;
+    }
+    // After the sink swap, so the span lands in the config's sink.
+    span_.emplace(name, "campaign");
+    span_->arg("chips", std::int64_t(config_.numChips))
+        .arg("seed", std::int64_t(config_.seed));
+}
+
+CampaignScope::~CampaignScope()
+{
+    span_.reset(); // record while the sink is still installed
+    if (swapped_)
+        trace::Recorder::exchangeCurrent(previous_);
+}
+
+void
+CampaignScope::tick(std::size_t chips)
+{
+    if (!config_.progress)
+        return;
+    std::lock_guard<std::mutex> lock(progressMutex_);
+    done_ += chips;
+    config_.progress(done_, config_.numChips);
+}
+
+} // namespace yac

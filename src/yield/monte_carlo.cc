@@ -1,5 +1,6 @@
 #include "yield/monte_carlo.hh"
 
+#include "trace/metrics.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 #include "util/rng.hh"
@@ -69,9 +70,15 @@ MonteCarlo::MonteCarlo()
 }
 
 MonteCarloResult
-MonteCarlo::run(const MonteCarloConfig &config) const
+MonteCarlo::run(const CampaignConfig &config) const
 {
     yac_assert(config.numChips > 1, "need at least two chips for stats");
+    CampaignScope scope("monte_carlo.run", config);
+    trace::Metrics &metrics = trace::Metrics::instance();
+    trace::PhaseTimer &sample_phase = metrics.phase("sample");
+    trace::PhaseTimer &evaluate_phase = metrics.phase("evaluate");
+    trace::Counter &chips_sampled = metrics.counter("chips_sampled");
+
     MonteCarloResult result;
     result.regular.resize(config.numChips);
     result.horizontal.resize(config.numChips);
@@ -88,16 +95,26 @@ MonteCarlo::run(const MonteCarloConfig &config) const
         config.numChips, parallel::kStatChunk,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
             ShardStats &s = shards[chunk];
+            std::int64_t sample_ns = 0, evaluate_ns = 0;
             for (std::size_t i = begin; i < end; ++i) {
                 Rng chip_rng = rng.split(i);
+                const std::int64_t t0 = trace::nowNanos();
                 const CacheVariationMap map = sampler_.sample(chip_rng);
+                const std::int64_t t1 = trace::nowNanos();
                 result.regular[i] = regularModel_.evaluate(map);
                 result.horizontal[i] = horizontalModel_.evaluate(map);
+                evaluate_ns += trace::nowNanos() - t1;
+                sample_ns += t1 - t0;
                 s.regDelay.add(result.regular[i].delay());
                 s.regLeak.add(result.regular[i].leakage());
                 s.horDelay.add(result.horizontal[i].delay());
                 s.horLeak.add(result.horizontal[i].leakage());
             }
+            // One atomic add per chunk, not per chip.
+            sample_phase.addNanos(sample_ns);
+            evaluate_phase.addNanos(evaluate_ns);
+            chips_sampled.add(end - begin);
+            scope.tick(end - begin);
         });
 
     ShardStats total;

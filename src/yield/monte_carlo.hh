@@ -16,17 +16,15 @@
 #include "circuit/geometry.hh"
 #include "circuit/technology.hh"
 #include "variation/sampler.hh"
+#include "yield/campaign.hh"
 #include "yield/constraints.hh"
 
 namespace yac
 {
 
-/** Monte Carlo run parameters. */
-struct MonteCarloConfig
-{
-    std::size_t numChips = 2000; //!< the paper's population size
-    std::uint64_t seed = 2006;
-};
+/** Campaign parameters; kept as an alias after the CampaignConfig
+ *  unification so older call sites still read naturally. */
+using MonteCarloConfig = CampaignConfig;
 
 /** Population statistics of one layout. */
 struct PopulationStats
@@ -67,8 +65,11 @@ class MonteCarlo
     /** Paper-default setup (16 KB 4-way cache, Table 1 variation). */
     MonteCarlo();
 
-    /** Run the campaign. Deterministic in config.seed. */
-    MonteCarloResult run(const MonteCarloConfig &config) const;
+    /**
+     * Run the campaign. Deterministic in config.seed: results are
+     * byte-identical at any thread count and with tracing on or off.
+     */
+    MonteCarloResult run(const CampaignConfig &config) const;
 
     const VariationSampler &sampler() const { return sampler_; }
     const CacheGeometry &geometry() const { return geom_; }

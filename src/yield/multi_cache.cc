@@ -1,5 +1,6 @@
 #include "yield/multi_cache.hh"
 
+#include "trace/metrics.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 #include "util/rng.hh"
@@ -25,13 +26,21 @@ MultiCacheYield::MultiCacheYield(std::vector<ChipComponent> components,
 }
 
 MultiCacheReport
-MultiCacheYield::run(std::size_t num_chips, std::uint64_t seed,
+MultiCacheYield::run(const CampaignConfig &config,
                      const std::vector<const Scheme *> &schemes,
                      const ConstraintPolicy &policy) const
 {
+    const std::size_t num_chips = config.numChips;
     yac_assert(num_chips > 1, "need at least two chips");
     yac_assert(schemes.size() == components_.size(),
                "one scheme slot per component");
+    CampaignScope scope("multi_cache.run", config);
+    trace::Metrics &metrics = trace::Metrics::instance();
+    trace::PhaseTimer &evaluate_phase = metrics.phase("evaluate");
+    trace::PhaseTimer &classify_phase = metrics.phase("classify");
+    trace::Counter &chips_evaluated =
+        metrics.counter("multi_cache_chips");
+    trace::Counter &saved_counter = metrics.counter("schemes_saved");
 
     // Pass 1: evaluate every (chip, component) timing with a shared
     // die draw per chip; accumulate per-component statistics. Chips
@@ -48,28 +57,35 @@ MultiCacheYield::run(std::size_t num_chips, std::uint64_t seed,
         n_chunks, std::vector<RunningStats>(n_comp));
     std::vector<std::vector<RunningStats>> chunk_leak(
         n_chunks, std::vector<RunningStats>(n_comp));
-    const Rng rng(seed);
+    const Rng rng(config.seed);
     const VariationTable table;
-    parallel::forChunks(
-        num_chips, parallel::kStatChunk,
-        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-            for (std::size_t i = begin; i < end; ++i) {
-                Rng chip_rng = rng.split(i);
-                const ProcessParams die = table.sampleDie(chip_rng, 1.0);
-                for (std::size_t c = 0; c < n_comp; ++c) {
-                    // The component's placement shifts its local mean
-                    // away from the die draw.
-                    const ProcessParams center = table.sampleAround(
-                        chip_rng, die, components_[c].placementFactor);
-                    const CacheVariationMap map =
-                        samplers_[c].sampleWithDie(chip_rng, center);
-                    CacheTiming t = models_[c].evaluate(map);
-                    chunk_delay[chunk][c].add(t.delay());
-                    chunk_leak[chunk][c].add(t.leakage());
-                    timings[c][i] = std::move(t);
+    {
+        trace::Span pass1("multi_cache.evaluate", "campaign");
+        trace::ScopedPhase timing(evaluate_phase);
+        parallel::forChunks(
+            num_chips, parallel::kStatChunk,
+            [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                    Rng chip_rng = rng.split(i);
+                    const ProcessParams die =
+                        table.sampleDie(chip_rng, 1.0);
+                    for (std::size_t c = 0; c < n_comp; ++c) {
+                        // The component's placement shifts its local
+                        // mean away from the die draw.
+                        const ProcessParams center = table.sampleAround(
+                            chip_rng, die,
+                            components_[c].placementFactor);
+                        const CacheVariationMap map =
+                            samplers_[c].sampleWithDie(chip_rng, center);
+                        CacheTiming t = models_[c].evaluate(map);
+                        chunk_delay[chunk][c].add(t.delay());
+                        chunk_leak[chunk][c].add(t.leakage());
+                        timings[c][i] = std::move(t);
+                    }
                 }
-            }
-        });
+                chips_evaluated.add(end - begin);
+            });
+    }
 
     std::vector<RunningStats> delay_stats(n_comp);
     std::vector<RunningStats> leak_stats(n_comp);
@@ -105,37 +121,48 @@ MultiCacheYield::run(std::size_t num_chips, std::uint64_t seed,
         s.baseFail.assign(n_comp, 0);
         s.unsaved.assign(n_comp, 0);
     }
-    parallel::forChunks(
-        num_chips, parallel::kStatChunk,
-        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-            PassShard &s = pass_shards[chunk];
-            for (std::size_t i = begin; i < end; ++i) {
-                MultiChipOutcome outcome;
-                outcome.components.resize(n_comp);
-                for (std::size_t c = 0; c < n_comp; ++c) {
-                    const CacheTiming &t = timings[c][i];
-                    const ChipAssessment a =
-                        assessChip(t, constraints[c], mappings[c]);
-                    ComponentOutcome &co = outcome.components[c];
-                    co.basePasses = a.passes();
-                    if (!co.basePasses) {
-                        ++s.baseFail[c];
-                        if (schemes[c] != nullptr) {
-                            const SchemeOutcome so = schemes[c]->apply(
-                                t, a, constraints[c], mappings[c]);
-                            co.savedByScheme = so.saved;
-                            co.config = so.config;
+    {
+        trace::Span pass2("multi_cache.classify", "campaign");
+        trace::ScopedPhase timing(classify_phase);
+        parallel::forChunks(
+            num_chips, parallel::kStatChunk,
+            [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                PassShard &s = pass_shards[chunk];
+                std::uint64_t saved = 0;
+                for (std::size_t i = begin; i < end; ++i) {
+                    MultiChipOutcome outcome;
+                    outcome.components.resize(n_comp);
+                    for (std::size_t c = 0; c < n_comp; ++c) {
+                        const CacheTiming &t = timings[c][i];
+                        const ChipAssessment a =
+                            assessChip(t, constraints[c], mappings[c]);
+                        ComponentOutcome &co = outcome.components[c];
+                        co.basePasses = a.passes();
+                        if (!co.basePasses) {
+                            ++s.baseFail[c];
+                            if (schemes[c] != nullptr) {
+                                const SchemeOutcome so =
+                                    schemes[c]->apply(t, a,
+                                                      constraints[c],
+                                                      mappings[c]);
+                                co.savedByScheme = so.saved;
+                                co.config = so.config;
+                            }
+                            if (co.savedByScheme)
+                                ++saved;
+                            else
+                                ++s.unsaved[c];
                         }
-                        if (!co.savedByScheme)
-                            ++s.unsaved[c];
                     }
+                    if (outcome.chipPasses())
+                        ++s.basePass;
+                    if (outcome.chipShips())
+                        ++s.shippable;
                 }
-                if (outcome.chipPasses())
-                    ++s.basePass;
-                if (outcome.chipShips())
-                    ++s.shippable;
-            }
-        });
+                saved_counter.add(saved);
+                scope.tick(end - begin);
+            });
+    }
 
     MultiCacheReport report;
     report.chips = num_chips;

@@ -22,6 +22,7 @@
 #include "circuit/technology.hh"
 #include "variation/sampler.hh"
 #include "yield/assessment.hh"
+#include "yield/campaign.hh"
 #include "yield/constraints.hh"
 #include "yield/scheme.hh"
 
@@ -116,13 +117,15 @@ class MultiCacheYield
                     const Technology &tech);
 
     /**
-     * Run the campaign.
+     * Run the campaign. Deterministic in config.seed; byte-identical
+     * at any thread count and with tracing on or off.
      *
+     * @param config Campaign parameters (chips, seed, trace sink).
      * @param schemes One scheme per component (non-owning; nullptr =
      *        no scheme for that component).
      * @param policy Constraint policy applied to every component.
      */
-    MultiCacheReport run(std::size_t num_chips, std::uint64_t seed,
+    MultiCacheReport run(const CampaignConfig &config,
                          const std::vector<const Scheme *> &schemes,
                          const ConstraintPolicy &policy) const;
 

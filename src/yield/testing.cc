@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "trace/metrics.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
@@ -168,6 +169,13 @@ FieldConfigurator::configurePopulation(
     const YieldConstraints &constraints, const CycleMapping &mapping,
     std::uint64_t seed) const
 {
+    trace::Span span("test_floor.configure", "campaign");
+    span.arg("chips", std::int64_t(chips.size()))
+        .arg("scheme", scheme.name());
+    trace::Metrics &metrics = trace::Metrics::instance();
+    trace::ScopedPhase timing(metrics.phase("test"));
+    metrics.counter("chips_tested").add(chips.size());
+
     // Chips shard across workers; each chip's tester noise comes from
     // its own substream, and the integer counters merge in chunk
     // order -- the report is identical at any thread count.

@@ -45,6 +45,24 @@ benchReport()
         // 0 included deliberately: instant benches print wall_s 0.000.
         r.wallSeconds =
             rng.bernoulli(0.05) ? 0.0 : rng.uniform(0.0, 5000.0);
+        // Optional observability sections; std::map keeps the keys
+        // in the ascending order the schema demands, and duplicate
+        // draws simply collapse.
+        const auto key = [&rng] {
+            std::string k;
+            const std::size_t n = 1 + rng.uniformInt(12);
+            for (std::size_t i = 0; i < n; ++i)
+                k += alphabet[rng.uniformInt(sizeof(alphabet) - 1)];
+            return k;
+        };
+        const std::size_t phases = rng.uniformInt(4);
+        for (std::size_t i = 0; i < phases; ++i)
+            r.phaseSeconds[key()] = rng.bernoulli(0.1)
+                ? 0.0
+                : rng.uniform(0.0, 500.0);
+        const std::size_t counters = rng.uniformInt(4);
+        for (std::size_t i = 0; i < counters; ++i)
+            r.counters[key()] = rng.uniformInt(1'000'000'000);
         return r;
     });
 }
@@ -68,6 +86,24 @@ TEST(PropBenchSchema, FormatParseRoundTripIsLossless)
                 std::abs(out->wallSeconds - in.wallSeconds) <=
                     5e-4 + 1e-9 * in.wallSeconds,
                 "wall", in.wallSeconds, "parsed", out->wallSeconds);
+            // Phase times are printed at microsecond resolution;
+            // counters are exact.
+            YAC_PROP_EXPECT(out->phaseSeconds.size() ==
+                                in.phaseSeconds.size(),
+                            "line", line);
+            for (const auto &[name, seconds] : in.phaseSeconds) {
+                const auto it = out->phaseSeconds.find(name);
+                YAC_PROP_EXPECT(it != out->phaseSeconds.end(),
+                                "missing phase", name);
+                if (it != out->phaseSeconds.end()) {
+                    YAC_PROP_EXPECT(
+                        std::abs(it->second - seconds) <= 5e-7,
+                        "phase", name, "in", seconds, "out",
+                        it->second);
+                }
+            }
+            YAC_PROP_EXPECT(out->counters == in.counters, "line",
+                            line);
             return check::pass();
         },
         200);
@@ -110,7 +146,7 @@ TEST(PropBenchSchema, StructuralMutationsAreRejected)
 
 TEST(PropBenchSchema, MalformedLinesAreRejected)
 {
-    const BenchReport ref{"fig01_yield", 2000, 8, 12.345};
+    const BenchReport ref{"fig01_yield", 2000, 8, 12.345, {}, {}};
     const std::string good = formatBenchReportLine(ref);
     ASSERT_TRUE(parseBenchReportLine(good).has_value()) << good;
 
@@ -141,6 +177,31 @@ TEST(PropBenchSchema, MalformedLinesAreRejected)
         // Trailing junk.
         "BENCH_a.json {\"bench\":\"a\",\"chips\":1,"
         "\"threads\":1,\"wall_s\":1.000,\"chips_per_s\":1.0} extra",
+        // Phase keys out of order.
+        "BENCH_a.json {\"bench\":\"a\",\"chips\":1,"
+        "\"threads\":1,\"wall_s\":1.000,\"chips_per_s\":1.0,"
+        "\"phases\":{\"b\":1.000000,\"a\":1.000000}}",
+        // Duplicate counter key.
+        "BENCH_a.json {\"bench\":\"a\",\"chips\":1,"
+        "\"threads\":1,\"wall_s\":1.000,\"chips_per_s\":1.0,"
+        "\"counters\":{\"k\":1,\"k\":2}}",
+        // Counters before phases (sections are order-fixed, so the
+        // trailing phases object is trailing junk).
+        "BENCH_a.json {\"bench\":\"a\",\"chips\":1,"
+        "\"threads\":1,\"wall_s\":1.000,\"chips_per_s\":1.0,"
+        "\"counters\":{\"k\":1},\"phases\":{\"p\":1.000000}}",
+        // Empty phases object (empty sections must be omitted).
+        "BENCH_a.json {\"bench\":\"a\",\"chips\":1,"
+        "\"threads\":1,\"wall_s\":1.000,\"chips_per_s\":1.0,"
+        "\"phases\":{}}",
+        // Fractional counter value.
+        "BENCH_a.json {\"bench\":\"a\",\"chips\":1,"
+        "\"threads\":1,\"wall_s\":1.000,\"chips_per_s\":1.0,"
+        "\"counters\":{\"k\":1.5}}",
+        // Unterminated phases object.
+        "BENCH_a.json {\"bench\":\"a\",\"chips\":1,"
+        "\"threads\":1,\"wall_s\":1.000,\"chips_per_s\":1.0,"
+        "\"phases\":{\"p\":1.000000",
         // Empty line.
         "",
     };
@@ -148,8 +209,9 @@ TEST(PropBenchSchema, MalformedLinesAreRejected)
         std::string error;
         EXPECT_FALSE(parseBenchReportLine(line, &error).has_value())
             << "accepted: " << line;
-        if (line[0] != '\0')
+        if (line[0] != '\0') {
             EXPECT_FALSE(error.empty()) << line;
+        }
     }
 }
 

@@ -40,7 +40,7 @@ class MultiCacheTest : public ::testing::Test
 TEST_F(MultiCacheTest, CompositionBoundsSingleComponentYield)
 {
     const MultiCacheReport r = chip_.run(
-        600, 11, {nullptr, nullptr}, ConstraintPolicy::nominal());
+        {600, 11}, {nullptr, nullptr}, ConstraintPolicy::nominal());
     EXPECT_EQ(r.chips, 600u);
     // The chip passes only if both components do: chip yield is at
     // most each component's own yield.
@@ -59,7 +59,7 @@ TEST_F(MultiCacheTest, SharedDieMakesFailuresCorrelated)
     // the product of component yields; the shared die draw makes
     // them co-fail, so the composed yield exceeds the product.
     const MultiCacheReport r = chip_.run(
-        1200, 12, {nullptr, nullptr}, ConstraintPolicy::nominal());
+        {1200, 12}, {nullptr, nullptr}, ConstraintPolicy::nominal());
     const double y0 = 1.0 -
         static_cast<double>(r.componentBaseFail[0]) / 1200.0;
     const double y1 = 1.0 -
@@ -70,9 +70,9 @@ TEST_F(MultiCacheTest, SharedDieMakesFailuresCorrelated)
 TEST_F(MultiCacheTest, SchemesRaiseChipYield)
 {
     const MultiCacheReport plain = chip_.run(
-        600, 13, {nullptr, nullptr}, ConstraintPolicy::nominal());
+        {600, 13}, {nullptr, nullptr}, ConstraintPolicy::nominal());
     const MultiCacheReport saved = chip_.run(
-        600, 13, {&hybrid_, &hybrid_}, ConstraintPolicy::nominal());
+        {600, 13}, {&hybrid_, &hybrid_}, ConstraintPolicy::nominal());
     EXPECT_EQ(plain.basePass, saved.basePass);
     EXPECT_GT(saved.schemeYield(), plain.schemeYield());
     EXPECT_GE(saved.shippable, saved.basePass);
@@ -84,25 +84,25 @@ TEST_F(MultiCacheTest, SchemesRaiseChipYield)
 TEST_F(MultiCacheTest, SchemeOnOneComponentOnly)
 {
     const MultiCacheReport one = chip_.run(
-        600, 14, {&hybrid_, nullptr}, ConstraintPolicy::nominal());
+        {600, 14}, {&hybrid_, nullptr}, ConstraintPolicy::nominal());
     const MultiCacheReport both = chip_.run(
-        600, 14, {&hybrid_, &hybrid_}, ConstraintPolicy::nominal());
+        {600, 14}, {&hybrid_, &hybrid_}, ConstraintPolicy::nominal());
     EXPECT_LE(one.shippable, both.shippable);
 }
 
 TEST_F(MultiCacheTest, DeterministicInSeed)
 {
     const MultiCacheReport a = chip_.run(
-        300, 15, {&hybrid_, &hybrid_}, ConstraintPolicy::nominal());
+        {300, 15}, {&hybrid_, &hybrid_}, ConstraintPolicy::nominal());
     const MultiCacheReport b = chip_.run(
-        300, 15, {&hybrid_, &hybrid_}, ConstraintPolicy::nominal());
+        {300, 15}, {&hybrid_, &hybrid_}, ConstraintPolicy::nominal());
     EXPECT_EQ(a.basePass, b.basePass);
     EXPECT_EQ(a.shippable, b.shippable);
 }
 
 TEST_F(MultiCacheTest, MismatchedSchemeCountRejected)
 {
-    EXPECT_DEATH((void)chip_.run(100, 1, {&hybrid_},
+    EXPECT_DEATH((void)chip_.run({100, 1}, {&hybrid_},
                                  ConstraintPolicy::nominal()),
                  "one scheme slot");
 }

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "trace/trace.hh"
 #include "util/parallel.hh"
 #include "util/rng.hh"
 #include "util/statistics.hh"
@@ -177,12 +178,12 @@ TEST(Parallel, MultiCacheIdenticalAcrossThreadCounts)
 
     parallel::setThreads(1);
     const MultiCacheReport serial =
-        chip.run(300, 2006, schemes, ConstraintPolicy::nominal());
+        chip.run({300, 2006}, schemes, ConstraintPolicy::nominal());
 
     for (std::size_t threads : {2u, 8u}) {
         parallel::setThreads(threads);
         const MultiCacheReport par =
-            chip.run(300, 2006, schemes, ConstraintPolicy::nominal());
+            chip.run({300, 2006}, schemes, ConstraintPolicy::nominal());
         EXPECT_EQ(serial.basePass, par.basePass);
         EXPECT_EQ(serial.shippable, par.shippable);
         EXPECT_EQ(serial.componentBaseFail, par.componentBaseFail);
@@ -214,6 +215,100 @@ TEST(Parallel, TestFloorSweepIdenticalAcrossThreadCounts)
         EXPECT_EQ(serial.shipped, par.shipped);
         EXPECT_EQ(serial.escapes, par.escapes);
         EXPECT_EQ(serial.overkill, par.overkill);
+    }
+}
+
+TEST(Parallel, MonteCarloByteIdenticalWithTracingOnOrOff)
+{
+    // Observability must never change results: a traced campaign is
+    // byte-identical to the untraced one at every thread count.
+    ThreadsGuard guard;
+    MonteCarlo mc;
+    parallel::setThreads(1);
+    const MonteCarloResult untraced = mc.run({400, 42});
+
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        trace::Recorder recorder;
+        CampaignConfig config;
+        config.numChips = 400;
+        config.seed = 42;
+        config.threads = threads;
+        config.traceSink = &recorder;
+        const MonteCarloResult traced = mc.run(config);
+
+        expectIdenticalPopulations(untraced.regular, traced.regular);
+        expectIdenticalPopulations(untraced.horizontal,
+                                   traced.horizontal);
+        EXPECT_EQ(untraced.regularStats.delayMean,
+                  traced.regularStats.delayMean);
+        EXPECT_EQ(untraced.regularStats.delaySigma,
+                  traced.regularStats.delaySigma);
+        EXPECT_EQ(untraced.regularStats.leakMean,
+                  traced.regularStats.leakMean);
+        EXPECT_EQ(untraced.horizontalStats.leakSigma,
+                  traced.horizontalStats.leakSigma);
+
+        // The campaign actually traced: a top-level campaign span
+        // plus one span per chunk.
+        EXPECT_GE(recorder.eventCount(),
+                  1 + parallel::chunkCount(400, 64))
+            << "threads " << threads;
+        // And the sink was restored on exit.
+        EXPECT_NE(trace::Recorder::current(), &recorder);
+    }
+}
+
+TEST(Parallel, MultiCacheIdenticalWithTracingOnOrOff)
+{
+    ThreadsGuard guard;
+    ChipComponent l1d;
+    l1d.name = "L1D";
+    MultiCacheYield chip({l1d}, defaultTechnology());
+    HybridScheme hybrid;
+    const std::vector<const Scheme *> schemes = {&hybrid};
+
+    parallel::setThreads(1);
+    const MultiCacheReport untraced =
+        chip.run({300, 2006}, schemes, ConstraintPolicy::nominal());
+
+    trace::Recorder recorder;
+    CampaignConfig config;
+    config.numChips = 300;
+    config.seed = 2006;
+    config.threads = 8;
+    config.traceSink = &recorder;
+    const MultiCacheReport traced =
+        chip.run(config, schemes, ConstraintPolicy::nominal());
+    EXPECT_EQ(untraced.basePass, traced.basePass);
+    EXPECT_EQ(untraced.shippable, traced.shippable);
+    EXPECT_EQ(untraced.componentBaseFail, traced.componentBaseFail);
+    EXPECT_EQ(untraced.componentUnsaved, traced.componentUnsaved);
+    EXPECT_GT(recorder.eventCount(), 0u);
+}
+
+TEST(Parallel, ProgressCallbackReportsEveryChipOnce)
+{
+    ThreadsGuard guard;
+    for (std::size_t threads : {1u, 8u}) {
+        std::size_t calls = 0;
+        std::size_t last_done = 0;
+        std::size_t reported_total = 0;
+        CampaignConfig config;
+        config.numChips = 300;
+        config.seed = 11;
+        config.threads = threads;
+        config.progress = [&](std::size_t done, std::size_t total) {
+            // Serialized by the campaign, so plain locals are safe.
+            ++calls;
+            EXPECT_GT(done, last_done);
+            last_done = done;
+            reported_total = total;
+        };
+        MonteCarlo mc;
+        mc.run(config);
+        EXPECT_EQ(calls, parallel::chunkCount(300, 64));
+        EXPECT_EQ(last_done, 300u);
+        EXPECT_EQ(reported_total, 300u);
     }
 }
 

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests of the observability layer (yac::trace): span recording and
+ * nesting well-formedness, Chrome Trace Event JSON structure and
+ * escaping, the zero-cost contract of disabled spans, the metrics
+ * registry under concurrency, and the Session RAII bracket.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
+#include "util/parallel.hh"
+
+namespace yac
+{
+namespace
+{
+
+/** Installs a recorder as current for one test, restoring after. */
+struct RecorderGuard
+{
+    trace::Recorder recorder;
+    trace::Recorder *previous;
+
+    RecorderGuard()
+        : previous(trace::Recorder::exchangeCurrent(&recorder))
+    {
+    }
+
+    ~RecorderGuard() { trace::Recorder::exchangeCurrent(previous); }
+};
+
+TEST(Trace, SpanRecordsCompleteEvent)
+{
+    RecorderGuard guard;
+    {
+        trace::Span span("unit_span", "test");
+        span.arg("answer", std::int64_t(42)).arg("label", "x\"y");
+        EXPECT_TRUE(span.recording());
+    }
+    const std::vector<trace::TraceEvent> events =
+        guard.recorder.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "unit_span");
+    EXPECT_EQ(events[0].category, "test");
+    EXPECT_EQ(events[0].phase, 'X');
+    EXPECT_GE(events[0].durUs, 0);
+    ASSERT_EQ(events[0].args.size(), 2u);
+    EXPECT_EQ(events[0].args[0].first, "answer");
+    EXPECT_EQ(events[0].args[0].second, "42");
+    EXPECT_EQ(events[0].args[1].second, "\"x\\\"y\"");
+}
+
+TEST(Trace, DisabledSpanRecordsNothing)
+{
+    ASSERT_EQ(trace::Recorder::current(), nullptr)
+        << "tests must not leak an installed recorder";
+    EXPECT_FALSE(trace::active());
+    trace::Span span("inert", "test");
+    span.arg("k", std::int64_t(1)).arg("s", std::string("v"));
+    EXPECT_FALSE(span.recording());
+}
+
+TEST(Trace, DisabledRecorderIgnoresSpans)
+{
+    RecorderGuard guard;
+    guard.recorder.setEnabled(false);
+    {
+        trace::Span span("off", "test");
+        EXPECT_FALSE(span.recording());
+    }
+    EXPECT_EQ(guard.recorder.eventCount(), 0u);
+}
+
+TEST(Trace, SpanNestingIsWellFormed)
+{
+    // A child span must close before its parent and be contained in
+    // the parent's [ts, ts+dur] interval on the same thread -- the
+    // property chrome://tracing needs to render a stack.
+    RecorderGuard guard;
+    {
+        trace::Span outer("outer", "test");
+        {
+            trace::Span middle("middle", "test");
+            trace::Span inner("inner", "test");
+        }
+    }
+    const std::vector<trace::TraceEvent> events =
+        guard.recorder.events();
+    ASSERT_EQ(events.size(), 3u);
+    // Spans are recorded at destruction: innermost first.
+    EXPECT_EQ(events[0].name, "inner");
+    EXPECT_EQ(events[1].name, "middle");
+    EXPECT_EQ(events[2].name, "outer");
+    for (std::size_t child = 0; child + 1 < events.size(); ++child) {
+        const trace::TraceEvent &c = events[child];
+        const trace::TraceEvent &p = events[child + 1];
+        EXPECT_EQ(c.tid, p.tid);
+        EXPECT_GE(c.tsUs, p.tsUs);
+        EXPECT_LE(c.tsUs + c.durUs, p.tsUs + p.durUs);
+    }
+}
+
+TEST(Trace, ParallelChunksAttributeWorkerThreads)
+{
+    RecorderGuard guard;
+    parallel::setThreads(4);
+    parallel::forChunks(256, 64,
+                        [](std::size_t, std::size_t, std::size_t) {});
+    parallel::setThreads(0);
+
+    const std::vector<trace::TraceEvent> events =
+        guard.recorder.events();
+    ASSERT_EQ(events.size(), 4u);
+    std::vector<std::int64_t> begins;
+    for (const trace::TraceEvent &e : events) {
+        EXPECT_EQ(e.name, "chunk");
+        EXPECT_EQ(e.category, "parallel");
+        ASSERT_EQ(e.args.size(), 3u);
+        EXPECT_EQ(e.args[0].first, "chunk");
+        EXPECT_EQ(e.args[1].first, "begin");
+        begins.push_back(std::stoll(e.args[1].second));
+    }
+    std::sort(begins.begin(), begins.end());
+    EXPECT_EQ(begins, (std::vector<std::int64_t>{0, 64, 128, 192}));
+}
+
+TEST(Trace, JsonDocumentIsWellFormed)
+{
+    RecorderGuard guard;
+    trace::setThreadName("main");
+    {
+        trace::Span span("json_span", "test");
+        span.arg("note", "line1\nline2\t\"quoted\"");
+    }
+    const std::string json = guard.recorder.toJson();
+    // Structural checks a JSON parser would make: balanced braces
+    // and brackets, expected top-level keys, no raw control chars.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"json_span\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+    for (char c : json)
+        EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n')
+            << "raw control character in JSON";
+    EXPECT_EQ(json.find('\n'), json.size() - 1)
+        << "document is a single line plus trailing newline";
+}
+
+TEST(Trace, JsonEscape)
+{
+    EXPECT_EQ(trace::jsonEscape("plain"), "plain");
+    EXPECT_EQ(trace::jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(trace::jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(trace::jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(trace::jsonEscape(std::string{'a', '\x01', 'b'}),
+              "a\\u0001b");
+}
+
+TEST(Trace, CounterEventsAppearInJson)
+{
+    RecorderGuard guard;
+    guard.recorder.recordCounter("yield_pct", 87.5);
+    const std::string json = guard.recorder.toJson();
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("yield_pct"), std::string::npos);
+}
+
+TEST(Trace, SessionWritesLoadableFile)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "yac_trace_test.json")
+            .string();
+    std::filesystem::remove(path);
+    {
+        trace::Session session(path);
+        ASSERT_TRUE(session.active());
+        EXPECT_EQ(trace::Recorder::current(), session.recorder());
+        trace::Span span("session_span", "test");
+    }
+    EXPECT_EQ(trace::Recorder::current(), nullptr);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string json = buffer.str();
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("session_span"), std::string::npos);
+    std::filesystem::remove(path);
+}
+
+TEST(Trace, InactiveSessionInstallsNothing)
+{
+    trace::Session session("");
+    EXPECT_FALSE(session.active());
+    EXPECT_EQ(session.recorder(), nullptr);
+    EXPECT_EQ(trace::Recorder::current(), nullptr);
+}
+
+TEST(Trace, RecorderIsThreadSafe)
+{
+    RecorderGuard guard;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < 200; ++i)
+                trace::Span span("concurrent", "test");
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(guard.recorder.eventCount(), 8u * 200u);
+}
+
+TEST(Metrics, CounterGaugePhaseRegistry)
+{
+    trace::Metrics &metrics = trace::Metrics::instance();
+    metrics.reset();
+
+    trace::Counter &c = metrics.counter("test_counter");
+    c.add();
+    c.add(9);
+    EXPECT_EQ(c.value(), 10u);
+    // Find-or-create returns the same object.
+    EXPECT_EQ(&metrics.counter("test_counter"), &c);
+
+    metrics.gauge("test_gauge").set(3.25);
+    metrics.phase("test_phase").addNanos(2'000'000'000);
+
+    const trace::MetricsSnapshot snap = metrics.snapshot();
+    EXPECT_EQ(snap.counters.at("test_counter"), 10u);
+    EXPECT_EQ(snap.gauges.at("test_gauge"), 3.25);
+    EXPECT_DOUBLE_EQ(snap.phaseSeconds.at("test_phase"), 2.0);
+
+    metrics.reset();
+    EXPECT_EQ(metrics.counter("test_counter").value(), 0u);
+}
+
+TEST(Metrics, ConcurrentUpdatesAreLossless)
+{
+    trace::Metrics &metrics = trace::Metrics::instance();
+    metrics.reset();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&metrics, t] {
+            // Mix of pre-registered and registry-path updates.
+            trace::Counter &mine = metrics.counter(
+                "concurrent_" + std::to_string(t % 2));
+            for (int i = 0; i < 10'000; ++i) {
+                mine.add();
+                metrics.phase("concurrent_phase").addNanos(1);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const trace::MetricsSnapshot snap = metrics.snapshot();
+    EXPECT_EQ(snap.counters.at("concurrent_0") +
+                  snap.counters.at("concurrent_1"),
+              80'000u);
+    EXPECT_DOUBLE_EQ(snap.phaseSeconds.at("concurrent_phase"),
+                     80'000 * 1e-9);
+    metrics.reset();
+}
+
+TEST(Metrics, ScopedPhaseAccumulates)
+{
+    trace::PhaseTimer timer;
+    {
+        trace::ScopedPhase scope(timer);
+    }
+    {
+        trace::ScopedPhase scope(timer);
+    }
+    EXPECT_GE(timer.nanos(), 0);
+    timer.reset();
+    EXPECT_EQ(timer.nanos(), 0);
+}
+
+} // namespace
+} // namespace yac

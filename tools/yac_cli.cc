@@ -3,93 +3,30 @@
  * yac -- the command-line front end to the library.
  *
  *   yac yield    [--chips N] [--seed S] [--policy P] [--layout L]
+ *                [--threads N] [--trace-out FILE]
  *   yac simulate --benchmark B [--config C] [--insts N]
  *   yac advise   --ways c,c,c,c --leak R
  *   yac trace    --benchmark B --out FILE [--insts N]
  *   yac list
  *
- * Run `yac help` (or any subcommand with --help) for details.
+ * All subcommands share the OptionParser flag vocabulary of the
+ * bench binaries (both `--flag=value` and `--flag value` work). Run
+ * `yac help` (or any subcommand with --help) for details.
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <map>
 #include <string>
 #include <vector>
 
-#include "sim/scenarios.hh"
-#include "util/table.hh"
-#include "workload/profile.hh"
-#include "workload/trace_generator.hh"
-#include "workload/trace_io.hh"
-#include "yield/analysis.hh"
-#include "yield/monte_carlo.hh"
-#include "yield/schemes/hybrid.hh"
-#include "yield/schemes/hyapd.hh"
-#include "yield/schemes/naive_binning.hh"
-#include "yield/schemes/vaca.hh"
-#include "yield/schemes/yapd.hh"
+#include "yac.hh"
 
 using namespace yac;
 
 namespace
 {
 
-/** Tiny --key value parser. */
-class Args
-{
-  public:
-    Args(int argc, char **argv, int start)
-    {
-        for (int i = start; i < argc; ++i) {
-            const std::string key = argv[i];
-            if (key.size() > 2 && key.rfind("--", 0) == 0 &&
-                i + 1 < argc) {
-                values_.emplace(key.substr(2), argv[++i]);
-            } else if (key == "--help" || key == "-h") {
-                // emplace rather than operator[]= : works around the
-                // GCC 12 -Wrestrict false positive (PR105651).
-                values_.emplace("help", "1");
-            } else {
-                std::fprintf(stderr, "unknown argument: %s\n",
-                             argv[i]);
-                std::exit(2);
-            }
-        }
-    }
-
-    std::string
-    get(const std::string &key, const std::string &fallback) const
-    {
-        const auto it = values_.find(key);
-        return it == values_.end() ? fallback : it->second;
-    }
-
-    long
-    getInt(const std::string &key, long fallback) const
-    {
-        const auto it = values_.find(key);
-        return it == values_.end() ? fallback
-                                   : std::atol(it->second.c_str());
-    }
-
-    double
-    getDouble(const std::string &key, double fallback) const
-    {
-        const auto it = values_.find(key);
-        return it == values_.end() ? fallback
-                                   : std::atof(it->second.c_str());
-    }
-
-    bool has(const std::string &key) const
-    {
-        return values_.count(key) > 0;
-    }
-
-  private:
-    std::map<std::string, std::string> values_;
-};
+using Argv = std::vector<std::string>;
 
 ConstraintPolicy
 policyByName(const std::string &name)
@@ -105,24 +42,28 @@ policyByName(const std::string &name)
 }
 
 int
-cmdYield(const Args &args)
+cmdYield(const Argv &args)
 {
-    if (args.has("help")) {
-        std::puts("yac yield [--chips N=2000] [--seed S=2006] "
-                  "[--policy nominal|relaxed|strict] "
-                  "[--layout regular|horizontal]");
-        return 0;
-    }
-    const auto chips =
-        static_cast<std::size_t>(args.getInt("chips", 2000));
-    const auto seed =
-        static_cast<std::uint64_t>(args.getInt("seed", 2006));
-    const ConstraintPolicy policy =
-        policyByName(args.get("policy", "nominal"));
-    const std::string layout = args.get("layout", "regular");
+    CampaignOptions opts;
+    std::string policy_name = "nominal";
+    std::string layout = "regular";
+    OptionParser parser(
+        "yac yield [--chips N=2000] [--seed S=2006] "
+        "[--policy nominal|relaxed|strict] "
+        "[--layout regular|horizontal] [--trace-out FILE]");
+    addCampaignOptions(parser, opts);
+    parser.add("policy", "constraint policy (nominal|relaxed|strict)",
+               &policy_name);
+    parser.add("layout", "cache layout (regular|horizontal)", &layout);
+    parser.parse(args);
+    const ConstraintPolicy policy = policyByName(policy_name);
+    if (layout != "regular" && layout != "horizontal")
+        yac_fatal("unknown layout '", layout,
+                  "' (regular | horizontal)");
+    trace::Session session(opts.traceOut);
 
     MonteCarlo mc;
-    const MonteCarloResult result = mc.run({chips, seed});
+    const MonteCarloResult result = mc.run(campaignFromOptions(opts));
     const YieldConstraints c = result.constraints(policy);
     const CycleMapping m = result.cycleMapping(policy);
 
@@ -140,7 +81,7 @@ cmdYield(const Args &args)
         horizontal ? result.horizontal : result.regular, c, m,
         schemes);
 
-    std::printf("%zu chips, %s constraints, %s layout\n", chips,
+    std::printf("%zu chips, %s constraints, %s layout\n", opts.chips,
                 policy.name.c_str(), layout.c_str());
     std::printf("delay limit %.1f ps, leakage limit %.2f mW\n\n",
                 c.delayLimitPs, c.leakageLimitMw);
@@ -193,21 +134,35 @@ configByName(const std::string &name)
 }
 
 int
-cmdSimulate(const Args &args)
+cmdSimulate(const Argv &args)
 {
-    if (args.has("help") || !args.has("benchmark")) {
-        std::puts("yac simulate --benchmark B [--config base] "
-                  "[--insts N=200000] [--seed S=1]\n"
-                  "configs: base yapd hyapd vaca<0-4> hybrid<0-3> "
-                  "bin<5-8>");
-        return args.has("help") ? 0 : 2;
+    std::string benchmark;
+    std::string config_name = "base";
+    std::uint64_t insts = 200'000;
+    std::uint64_t seed = 1;
+    std::string trace_out;
+    OptionParser parser(
+        "yac simulate --benchmark B [--config base] "
+        "[--insts N=200000] [--seed S=1] [--trace-out FILE]\n"
+        "configs: base yapd hyapd vaca<0-4> hybrid<0-3> bin<5-8>");
+    parser.add("benchmark", "benchmark name (see `yac list`)",
+               &benchmark);
+    parser.add("config", "cache configuration to simulate",
+               &config_name);
+    parser.add("insts", "instructions to measure", &insts, 1);
+    parser.add("seed", "trace generator seed", &seed);
+    parser.add("trace-out", "write a Chrome Trace Event JSON file",
+               &trace_out);
+    parser.parse(args);
+    if (benchmark.empty()) {
+        parser.printHelp();
+        return 2;
     }
-    const BenchmarkProfile &profile =
-        profileByName(args.get("benchmark", ""));
-    SimConfig cfg = configByName(args.get("config", "base"));
-    cfg.measureInsts =
-        static_cast<std::uint64_t>(args.getInt("insts", 200000));
-    cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+    trace::Session session(trace_out);
+    const BenchmarkProfile &profile = profileByName(benchmark);
+    SimConfig cfg = configByName(config_name);
+    cfg.measureInsts = insts;
+    cfg.seed = seed;
 
     const SimStats s = simulateBenchmark(profile, cfg);
     std::printf("%s on %s: CPI %.4f (IPC %.3f)\n",
@@ -223,16 +178,31 @@ cmdSimulate(const Args &args)
 }
 
 int
-cmdAdvise(const Args &args)
+cmdAdvise(const Argv &args)
 {
-    if (args.has("help") || !args.has("ways")) {
-        std::puts("yac advise --ways 4,4,4,5 --leak 0.8\n"
-                  "  ways: measured latency (cycles) of each way\n"
-                  "  leak: measured leakage / leakage limit");
-        return args.has("help") ? 0 : 2;
+    std::string ways;
+    double leak = 0.8;
+    OptionParser parser(
+        "yac advise --ways 4,4,4,5 --leak 0.8\n"
+        "  ways: measured latency (cycles) of each way\n"
+        "  leak: measured leakage / leakage limit");
+    parser.add("ways", "four comma-separated way latencies [cycles]",
+               &ways);
+    parser.add("leak", "measured leakage / leakage limit",
+               [&leak](const std::string &value) {
+                   char *end = nullptr;
+                   leak = std::strtod(value.c_str(), &end);
+                   if (end == value.c_str() || *end != '\0' ||
+                       leak < 0.0)
+                       yac_fatal("--leak wants a non-negative number, "
+                                 "got '", value, "'");
+               });
+    parser.parse(args);
+    if (ways.empty()) {
+        parser.printHelp();
+        return 2;
     }
     std::vector<int> cycles;
-    const std::string ways = args.get("ways", "");
     for (std::size_t pos = 0; pos < ways.size();) {
         cycles.push_back(std::atoi(ways.c_str() + pos));
         const std::size_t comma = ways.find(',', pos);
@@ -242,7 +212,6 @@ cmdAdvise(const Args &args)
     }
     if (cycles.size() != 4)
         yac_fatal("--ways needs four comma-separated cycle counts");
-    const double leak = args.getDouble("leak", 0.8);
 
     CycleMapping mapping;
     mapping.delayLimitPs = 100.0;
@@ -286,25 +255,31 @@ cmdAdvise(const Args &args)
 }
 
 int
-cmdTrace(const Args &args)
+cmdTrace(const Argv &args)
 {
-    if (args.has("help") || !args.has("benchmark") ||
-        !args.has("out")) {
-        std::puts("yac trace --benchmark B --out FILE "
-                  "[--insts N=1000000] [--seed S=1]");
-        return args.has("help") ? 0 : 2;
+    std::string benchmark;
+    std::string out_path;
+    std::uint64_t insts = 1'000'000;
+    std::uint64_t seed = 1;
+    OptionParser parser("yac trace --benchmark B --out FILE "
+                        "[--insts N=1000000] [--seed S=1]");
+    parser.add("benchmark", "benchmark name (see `yac list`)",
+               &benchmark);
+    parser.add("out", "instruction trace output file", &out_path);
+    parser.add("insts", "instructions to record", &insts, 1);
+    parser.add("seed", "trace generator seed", &seed);
+    parser.parse(args);
+    if (benchmark.empty() || out_path.empty()) {
+        parser.printHelp();
+        return 2;
     }
-    const BenchmarkProfile &profile =
-        profileByName(args.get("benchmark", ""));
-    TraceGenerator gen(profile,
-                       static_cast<std::uint64_t>(
-                           args.getInt("seed", 1)));
-    TraceWriter writer(args.get("out", ""));
-    writer.record(gen, static_cast<std::uint64_t>(
-                           args.getInt("insts", 1000000)));
+    const BenchmarkProfile &profile = profileByName(benchmark);
+    TraceGenerator gen(profile, seed);
+    TraceWriter writer(out_path);
+    writer.record(gen, insts);
     std::printf("wrote %llu instructions of '%s' to %s\n",
                 static_cast<unsigned long long>(writer.written()),
-                profile.name.c_str(), args.get("out", "").c_str());
+                profile.name.c_str(), out_path.c_str());
     return 0;
 }
 
@@ -346,7 +321,9 @@ main(int argc, char **argv)
         return 2;
     }
     const std::string cmd = argv[1];
-    const Args args(argc, argv, 2);
+    Argv args;
+    for (int i = 2; i < argc; ++i)
+        args.emplace_back(argv[i]);
     if (cmd == "yield")
         return cmdYield(args);
     if (cmd == "simulate")
