@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/sim_cache.hh"
 #include "sim/simulation.hh"
 #include "trace/metrics.hh"
 #include "trace/trace.hh"
@@ -37,15 +38,20 @@ using BenchOptions = CampaignOptions;
 
 /**
  * Parse the shared campaign flags (--chips/--threads/--seed/
- * --out-dir/--trace-out). --threads applies globally (same effect as
- * YAC_THREADS); anything else is a usage error. Benches stay
- * argument-free by default. Pair with a trace::Session constructed
- * from opts.traceOut to honor --trace-out.
+ * --out-dir/--trace-out/--sim-cache). --threads applies globally
+ * (same effect as YAC_THREADS); --sim-cache=FILE loads the persisted
+ * simulation memo cache now and saves it back at exit; anything else
+ * is a usage error. Benches stay argument-free by default. Pair with
+ * a trace::Session constructed from opts.traceOut to honor
+ * --trace-out.
  */
 inline BenchOptions
 parseOptions(int argc, char **argv)
 {
-    return parseCampaignOptions(argc, argv);
+    BenchOptions opts = parseCampaignOptions(argc, argv);
+    if (!opts.simCache.empty())
+        SimCache::instance().persistTo(opts.simCache);
+    return opts;
 }
 
 /** CampaignConfig for the runners, from the parsed options. */
@@ -178,7 +184,9 @@ benchSim(SimConfig cfg)
 /**
  * Baseline CPI of every benchmark in the suite, computed once and
  * reused across configurations. The 24 trace-driven simulations are
- * independent and run concurrently, one benchmark per task.
+ * independent and run concurrently, one benchmark per task; each
+ * simulation goes through the SimCache memo, so repeated scenarios
+ * (within a run or, with --sim-cache, across runs) simulate once.
  */
 inline std::vector<double>
 baselineCpis(const SimConfig &baseline)
@@ -187,7 +195,7 @@ baselineCpis(const SimConfig &baseline)
     std::fprintf(stderr, "  base (%zu benchmarks)...\r", suite.size());
     std::vector<double> cpis(suite.size());
     parallel::forEach(suite.size(), [&](std::size_t i) {
-        cpis[i] = simulateBenchmark(suite[i], baseline).cpi();
+        cpis[i] = simulateBenchmarkCached(suite[i], baseline).cpi();
     });
     std::fprintf(stderr, "%32s\r", "");
     return cpis;
@@ -203,7 +211,8 @@ degradationsVs(const std::vector<double> &base_cpis,
                  config.label.c_str(), suite.size());
     std::vector<double> out(suite.size());
     parallel::forEach(suite.size(), [&](std::size_t i) {
-        const double cpi = simulateBenchmark(suite[i], config).cpi();
+        const double cpi =
+            simulateBenchmarkCached(suite[i], config).cpi();
         out[i] = 100.0 * (cpi / base_cpis[i] - 1.0);
     });
     std::fprintf(stderr, "%32s\r", "");

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Microbenchmark of the simulation memo cache: the cost of a full
+ * trace-driven simulation (a miss) versus a content-addressed lookup
+ * (a hit), and the end-to-end effect on a Table-6-shaped sweep that
+ * revisits the same scenarios. Emits:
+ *
+ *   BENCH_sim_cache_miss.json {...}   -- cold pass, all misses
+ *   BENCH_sim_cache_hit.json  {...}   -- warm pass, all hits
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+#include "sim/sim_cache.hh"
+#include "util/parallel.hh"
+
+using namespace yac;
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    trace::Session trace_session(opts.traceOut);
+    const auto &suite = spec2000Profiles();
+    const SimConfig base = bench::benchSim(SimConfig{});
+    std::printf("sim-cache microbenchmark: %zu benchmark simulations, "
+                "cold vs warm\n\n",
+                suite.size());
+
+    SimCache::instance().clear();
+    std::vector<double> cold_cpis(suite.size());
+    trace::Metrics::instance().reset();
+    const bench::WallTimer cold_timer;
+    parallel::forEach(suite.size(), [&](std::size_t i) {
+        cold_cpis[i] = simulateBenchmarkCached(suite[i], base).cpi();
+    });
+    const double cold_s = cold_timer.seconds();
+    bench::reportCampaignTiming("sim_cache_miss", suite.size(), cold_s);
+
+    std::vector<double> warm_cpis(suite.size());
+    trace::Metrics::instance().reset();
+    const bench::WallTimer warm_timer;
+    parallel::forEach(suite.size(), [&](std::size_t i) {
+        warm_cpis[i] = simulateBenchmarkCached(suite[i], base).cpi();
+    });
+    const double warm_s = warm_timer.seconds();
+    bench::reportCampaignTiming("sim_cache_hit", suite.size(), warm_s);
+
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        if (cold_cpis[i] != warm_cpis[i]) {
+            std::printf("FAIL: %s CPI changed on a cache hit\n",
+                        suite[i].name.c_str());
+            return 1;
+        }
+    }
+
+    std::printf("\ncold (miss): %.3f s   warm (hit): %.6f s   "
+                "speedup: %.0fx (CPIs bitwise identical)\n",
+                cold_s, warm_s, cold_s / warm_s);
+    return 0;
+}

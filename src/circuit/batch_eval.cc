@@ -1,0 +1,238 @@
+#include "circuit/batch_eval.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+BatchChipEvaluator::BatchChipEvaluator(const CacheGeometry &geom,
+                                       const Technology &tech)
+    : geom_(geom), tech_(tech), device_(tech_), wire_(tech_),
+      wayModel_(geom_, tech_)
+{
+    // Every constant below is the exact subexpression the scalar
+    // WayModel computes per path, evaluated once. No reassociation:
+    // hoisting a value the scalar path also computes as one
+    // expression keeps the batched result bitwise identical.
+    halfBankWidth_ = 0.5 * geom_.bankWidthUm();
+    bankWidth_ = geom_.bankWidthUm();
+    capPre1x2_ = device_.gateCap(WayModel::kPredecode1Width) * 2.0;
+    capPre2_ = device_.gateCap(WayModel::kPredecode2Width);
+    capGwl_ = device_.gateCap(WayModel::kGwlDriverWidth);
+    capLwl_ = device_.gateCap(WayModel::kLwlDriverWidth);
+    wlLoad_ = static_cast<double>(geom_.colsPerBank) *
+        device_.gateCap(WayModel::kCellAccessWidth);
+
+    const std::size_t seg_rows = geom_.rowsPerBitlineSegment();
+    segLen_ = static_cast<double>(seg_rows) * geom_.cellHeightUm;
+    cBlJunction_ = static_cast<double>(seg_rows) *
+        device_.junctionCap(WayModel::kCellAccessWidth);
+    busLen_ = 0.5 * geom_.bankWidthUm();
+    cells_ = static_cast<double>(geom_.cellsPerRowGroup());
+    cellGateLeak_ = device_.gateLeak(WayModel::kCellLeakWidth);
+
+    gwlLen_.resize(geom_.banksPerWay);
+    for (std::size_t b = 0; b < geom_.banksPerWay; ++b) {
+        gwlLen_[b] =
+            (static_cast<double>(b) + 0.5) * geom_.bankHeightUm();
+    }
+
+    const std::size_t groups_per_seg = geom_.bitlineSplit
+        ? geom_.rowGroupsPerBank / 2
+        : geom_.rowGroupsPerBank;
+    segLenDist_.resize(geom_.rowGroupsPerBank);
+    for (std::size_t g = 0; g < geom_.rowGroupsPerBank; ++g) {
+        const std::size_t pos_in_seg =
+            g % std::max<std::size_t>(groups_per_seg, 1);
+        const double dist_frac =
+            (static_cast<double>(pos_in_seg) + 0.5) /
+            static_cast<double>(std::max<std::size_t>(groups_per_seg, 1));
+        segLenDist_[g] = segLen_ * dist_frac;
+    }
+
+    // Peripheral leak widths, as in WayModel::peripheralLeakage.
+    const double rows = static_cast<double>(geom_.rowsPerBank) *
+        static_cast<double>(geom_.banksPerWay);
+    const double cols = static_cast<double>(geom_.colsPerBank);
+    const double banks = static_cast<double>(geom_.banksPerWay);
+    const double sa_per_bank = geom_.bitlineSplit ? 2.0 * cols : cols;
+    decoderWidth_ = rows * WayModel::kLwlDriverWidth +
+        32.0 * WayModel::kPredecode2Width +
+        banks * WayModel::kGwlDriverWidth;
+    prechargeWidth_ = banks * cols * 3.0 * 0.3;
+    senseampWidth_ = banks * sa_per_bank * WayModel::kSenseAmpWidth;
+    driverWidth_ = 64.0 * WayModel::kOutDriverWidth;
+    decoderGateLeak_ = device_.gateLeak(decoderWidth_);
+    prechargeGateLeak_ = device_.gateLeak(prechargeWidth_);
+    senseampGateLeak_ = device_.gateLeak(senseampWidth_);
+    driverGateLeak_ = device_.gateLeak(driverWidth_);
+}
+
+void
+BatchChipEvaluator::prepareTiming(CacheTiming &timing,
+                                  CacheLayout layout) const
+{
+    timing.layout = layout;
+    timing.ways.resize(geom_.numWays);
+    const std::size_t paths =
+        geom_.banksPerWay * geom_.rowGroupsPerBank;
+    for (WayTiming &way : timing.ways) {
+        way.banks = geom_.banksPerWay;
+        way.groupsPerBank = geom_.rowGroupsPerBank;
+        way.pathDelays.resize(paths);
+        way.groupCellLeakage.resize(paths);
+    }
+}
+
+void
+BatchChipEvaluator::evaluateWay(const ChipBatchSoa &soa,
+                                std::size_t chip, std::size_t w,
+                                WayTiming &out) const
+{
+    const ProcessParams dec =
+        soa.load(chip, soa.peripheralSlot(w, 0));
+    const ProcessParams pre =
+        soa.load(chip, soa.peripheralSlot(w, 1));
+    const ProcessParams sa = soa.load(chip, soa.peripheralSlot(w, 2));
+    const ProcessParams drv =
+        soa.load(chip, soa.peripheralSlot(w, 3));
+
+    // Way-level stage delays: identical formulas to
+    // WayModel::stageBreakdown, computed once per way instead of once
+    // per path (they do not depend on the row group).
+    const double f_dec = device_.driveFactor(dec);
+    const double t_addr = wire_.elmoreDelay(
+        dec,
+        device_.driveResistanceFromFactor(f_dec, dec,
+                                          WayModel::kAddrDriverWidth),
+        halfBankWidth_, capPre1x2_, /*coupling=*/1.5);
+    const double t_pre =
+        device_.gateDelayFromFactor(f_dec, dec,
+                                    WayModel::kPredecode1Width,
+                                    capPre2_) +
+        device_.gateDelayFromFactor(f_dec, dec,
+                                    WayModel::kPredecode2Width,
+                                    capGwl_);
+    const double r_gwl = device_.driveResistanceFromFactor(
+        f_dec, dec, WayModel::kGwlDriverWidth);
+
+    const double f_sa = device_.driveFactor(sa);
+    const double t_sa = device_.gateDelayFromFactor(
+        f_sa, sa, WayModel::kSenseAmpWidth, 6.0);
+
+    const double f_drv = device_.driveFactor(drv);
+    ProcessParams bus = drv;
+    bus.metalWidth *= 2.0;
+    const double t_out = wire_.elmoreDelay(
+        bus,
+        device_.driveResistanceFromFactor(f_drv, drv,
+                                          WayModel::kOutDriverWidth),
+        busLen_, 8.0);
+
+    const double s = tech_.delaySensitivity;
+    const std::vector<double> &nominal = wayModel_.nominalRawDelays();
+    for (std::size_t b = 0; b < geom_.banksPerWay; ++b) {
+        const double t_gwl = wire_.elmoreDelay(dec, r_gwl, gwlLen_[b],
+                                               capLwl_,
+                                               /*coupling=*/1.5);
+        for (std::size_t g = 0; g < geom_.rowGroupsPerBank; ++g) {
+            const ProcessParams grp =
+                soa.load(chip, soa.rowGroupSlot(w, b, g));
+            const ProcessParams cell =
+                soa.load(chip, soa.worstCellSlot(w, b, g));
+
+            const double f_grp = device_.driveFactor(grp);
+            const double t_lwl = wire_.elmoreDelay(
+                grp,
+                device_.driveResistanceFromFactor(
+                    f_grp, grp, WayModel::kLwlDriverWidth),
+                bankWidth_, wlLoad_);
+
+            const double c_bl =
+                cBlJunction_ + wire_.wireCap(grp, segLen_,
+                                             /*coupling=*/1.2);
+            const double i_cell = 0.45 *
+                device_.onCurrentFromFactor(
+                    device_.driveFactor(cell), cell,
+                    WayModel::kCellPullWidth);
+            double t_bl = 1000.0 * WayModel::kBitlineSwingFrac *
+                tech_.vdd * c_bl / i_cell;
+            t_bl +=
+                0.69 * wire_.wireRes(grp, segLenDist_[g]) * c_bl;
+
+            StageDelays stages;
+            stages.addressBus = t_addr;
+            stages.predecode = t_pre;
+            stages.globalWordLine = t_gwl;
+            stages.localWordLine = t_lwl;
+            stages.bitline = t_bl;
+            stages.senseAmp = t_sa;
+            stages.output = t_out;
+            const double raw = stages.total();
+
+            const std::size_t idx = out.pathIndex(b, g);
+            const double nom = nominal[idx];
+            out.pathDelays[idx] = nom * std::pow(raw / nom, s);
+
+            const double per_cell_ua =
+                device_.subthresholdLeak(grp,
+                                         WayModel::kCellLeakWidth) +
+                cellGateLeak_;
+            out.groupCellLeakage[idx] =
+                per_cell_ua * cells_ * tech_.vdd / 1000.0;
+        }
+    }
+
+    const double leak_ua =
+        (device_.subthresholdLeak(dec, decoderWidth_) +
+         decoderGateLeak_) +
+        (device_.subthresholdLeak(pre, prechargeWidth_) +
+         prechargeGateLeak_) +
+        (device_.subthresholdLeak(sa, senseampWidth_) +
+         senseampGateLeak_) +
+        (device_.subthresholdLeak(drv, driverWidth_) +
+         driverGateLeak_);
+    out.peripheralLeakage = leak_ua * tech_.vdd / 1000.0;
+}
+
+void
+BatchChipEvaluator::evaluateChip(const ChipBatchSoa &soa,
+                                 std::size_t chip,
+                                 CacheTiming &regular,
+                                 CacheTiming *horizontal) const
+{
+    yac_assert(soa.geometry.numWays == geom_.numWays &&
+                   soa.geometry.banksPerWay == geom_.banksPerWay &&
+                   soa.geometry.rowGroupsPerBank ==
+                       geom_.rowGroupsPerBank,
+               "SoA batch geometry mismatch");
+    yac_assert(regular.ways.size() == geom_.numWays,
+               "regular output not prepared");
+    const double layout_factor = tech_.hyapdDelayFactor;
+    for (std::size_t w = 0; w < geom_.numWays; ++w) {
+        WayTiming &reg = regular.ways[w];
+        evaluateWay(soa, chip, w, reg);
+        if (horizontal == nullptr)
+            continue;
+        yac_assert(horizontal->ways.size() == geom_.numWays,
+                   "horizontal output not prepared");
+        WayTiming &hor = horizontal->ways[w];
+        // The H-YAPD layout reuses the same draw; CacheModel scales
+        // the regular path delays by hyapdDelayFactor (skipped when
+        // it is exactly 1.0, like the scalar path), leakage is
+        // unchanged.
+        if (layout_factor != 1.0) {
+            for (std::size_t i = 0; i < reg.pathDelays.size(); ++i)
+                hor.pathDelays[i] = reg.pathDelays[i] * layout_factor;
+        } else {
+            hor.pathDelays = reg.pathDelays;
+        }
+        hor.groupCellLeakage = reg.groupCellLeakage;
+        hor.peripheralLeakage = reg.peripheralLeakage;
+    }
+}
+
+} // namespace yac

@@ -20,14 +20,26 @@ DeviceModel::effectiveVt(const ProcessParams &p) const
 }
 
 double
-DeviceModel::onCurrent(const ProcessParams &p, double width_um) const
+DeviceModel::driveFactor(const ProcessParams &p) const
 {
-    yac_assert(width_um > 0.0, "device width must be positive");
     const double overdrive =
         std::max(0.05, tech_.vdd - effectiveVt(p));
+    return std::pow(overdrive, tech_.alpha);
+}
+
+double
+DeviceModel::onCurrentFromFactor(double factor, const ProcessParams &p,
+                                 double width_um) const
+{
+    yac_assert(width_um > 0.0, "device width must be positive");
     const double l_norm = p.gateLength / nominalGateLengthNm_;
-    return tech_.onCurrentPerUm * width_um *
-        std::pow(overdrive, tech_.alpha) / l_norm;
+    return tech_.onCurrentPerUm * width_um * factor / l_norm;
+}
+
+double
+DeviceModel::onCurrent(const ProcessParams &p, double width_um) const
+{
+    return onCurrentFromFactor(driveFactor(p), p, width_um);
 }
 
 double
@@ -40,33 +52,53 @@ DeviceModel::subthresholdLeak(const ProcessParams &p,
 }
 
 double
-DeviceModel::totalLeak(const ProcessParams &p, double width_um) const
+DeviceModel::gateLeak(double width_um) const
 {
     // Gate leakage at nominal parameters: t_ox is not a Table 1
     // parameter, so this component does not vary.
     const double nominal_vt = 0.220;
-    const double gate_leak = tech_.gateLeakFraction *
-        tech_.leakRefPerUm * width_um *
+    return tech_.gateLeakFraction * tech_.leakRefPerUm * width_um *
         std::exp(-nominal_vt / tech_.subthresholdSwing);
-    return subthresholdLeak(p, width_um) + gate_leak;
+}
+
+double
+DeviceModel::totalLeak(const ProcessParams &p, double width_um) const
+{
+    return subthresholdLeak(p, width_um) + gateLeak(width_um);
+}
+
+double
+DeviceModel::gateDelayFromFactor(double factor, const ProcessParams &p,
+                                 double width_um, double load_ff) const
+{
+    const double total_load = load_ff + junctionCap(width_um);
+    // ps = 1000 * fF * V / uA; 0.69 for the 50% crossing of an RC.
+    return 0.69 * 1000.0 * total_load * tech_.vdd /
+        onCurrentFromFactor(factor, p, width_um);
 }
 
 double
 DeviceModel::gateDelay(const ProcessParams &p, double width_um,
                        double load_ff) const
 {
-    const double total_load = load_ff + junctionCap(width_um);
-    // ps = 1000 * fF * V / uA; 0.69 for the 50% crossing of an RC.
-    return 0.69 * 1000.0 * total_load * tech_.vdd /
-        onCurrent(p, width_um);
+    return gateDelayFromFactor(driveFactor(p), p, width_um, load_ff);
+}
+
+double
+DeviceModel::driveResistanceFromFactor(double factor,
+                                       const ProcessParams &p,
+                                       double width_um) const
+{
+    // R_eq = Vdd / I_on, expressed in kOhm so kOhm * fF = ps.
+    return 1000.0 * tech_.vdd /
+        onCurrentFromFactor(factor, p, width_um);
 }
 
 double
 DeviceModel::driveResistance(const ProcessParams &p,
                              double width_um) const
 {
-    // R_eq = Vdd / I_on, expressed in kOhm so kOhm * fF = ps.
-    return 1000.0 * tech_.vdd / onCurrent(p, width_um);
+    return driveResistanceFromFactor(driveFactor(p), p, width_um);
 }
 
 double

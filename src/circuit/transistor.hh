@@ -36,10 +36,31 @@ class DeviceModel
     double onCurrent(const ProcessParams &p, double width_um) const;
 
     /**
+     * The width-independent drive factor max(0.05, Vdd - Vt_eff)^alpha
+     * of onCurrent(). It is the expensive part (one pow), so callers
+     * evaluating several device widths in the same process region can
+     * hoist it once and use the *FromFactor variants below, which are
+     * bitwise identical to their plain counterparts when
+     * @p factor == driveFactor(p).
+     */
+    double driveFactor(const ProcessParams &p) const;
+
+    /** onCurrent() with a precomputed driveFactor(p). */
+    double onCurrentFromFactor(double factor, const ProcessParams &p,
+                               double width_um) const;
+
+    /**
      * Subthreshold leakage current [uA] of an *off* device of
      * @p width_um: I ~ W/L * exp(-Vt_eff / (n v_T)).
      */
     double subthresholdLeak(const ProcessParams &p, double width_um) const;
+
+    /**
+     * The width-independent gate leakage [uA] of a device of
+     * @p width_um: t_ox is not varied, so this component depends only
+     * on the width and is hoistable out of per-region loops.
+     */
+    double gateLeak(double width_um) const;
 
     /**
      * Total static leakage [uA] including the flat gate-leakage
@@ -55,12 +76,21 @@ class DeviceModel
     double gateDelay(const ProcessParams &p, double width_um,
                      double load_ff) const;
 
+    /** gateDelay() with a precomputed driveFactor(p). */
+    double gateDelayFromFactor(double factor, const ProcessParams &p,
+                               double width_um, double load_ff) const;
+
     /**
      * Equivalent switching resistance [kOhm] of a driver of
      * @p width_um, for use as the source resistance of Elmore
      * ladders (kOhm * fF = ps).
      */
     double driveResistance(const ProcessParams &p, double width_um) const;
+
+    /** driveResistance() with a precomputed driveFactor(p). */
+    double driveResistanceFromFactor(double factor,
+                                     const ProcessParams &p,
+                                     double width_um) const;
 
     /** Input capacitance [fF] of a gate of @p width_um. */
     double gateCap(double width_um) const;

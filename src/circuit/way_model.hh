@@ -128,6 +128,31 @@ class WayModel
      *  and tools can evaluate the nominal design point). */
     WayVariation nominalWay() const;
 
+    /** Raw (unwidened) delay of every all-nominal path, cached at
+     *  construction; shared with the batched evaluator so both paths
+     *  widen against the exact same reference. */
+    const std::vector<double> &nominalRawDelays() const
+    {
+        return nominalRawDelay_;
+    }
+
+    // Representative transistor widths [um] for each stage. Public so
+    // the batched fast path (circuit/batch_eval) evaluates the exact
+    // same devices.
+    static constexpr double kAddrDriverWidth = 8.0;
+    static constexpr double kPredecode1Width = 2.0;
+    static constexpr double kPredecode2Width = 4.0;
+    static constexpr double kGwlDriverWidth = 4.0;
+    static constexpr double kLwlDriverWidth = 4.0;
+    static constexpr double kCellAccessWidth = 0.12;
+    static constexpr double kCellPullWidth = 0.15;
+    static constexpr double kSenseAmpWidth = 1.5;
+    static constexpr double kOutDriverWidth = 8.0;
+    static constexpr double kBitlineSwingFrac = 0.12;
+
+    // Effective leaking width of one 6T cell [um].
+    static constexpr double kCellLeakWidth = 0.15;
+
   private:
     /** Unwidened analytical delay of path (bank, group) [ps]. */
     double rawPathDelay(const WayVariation &way, std::size_t bank,
@@ -147,21 +172,6 @@ class WayModel
 
     /** Raw delay of each all-nominal path, cached at construction. */
     std::vector<double> nominalRawDelay_;
-
-    // Representative transistor widths [um] for each stage.
-    static constexpr double kAddrDriverWidth = 8.0;
-    static constexpr double kPredecode1Width = 2.0;
-    static constexpr double kPredecode2Width = 4.0;
-    static constexpr double kGwlDriverWidth = 4.0;
-    static constexpr double kLwlDriverWidth = 4.0;
-    static constexpr double kCellAccessWidth = 0.12;
-    static constexpr double kCellPullWidth = 0.15;
-    static constexpr double kSenseAmpWidth = 1.5;
-    static constexpr double kOutDriverWidth = 8.0;
-    static constexpr double kBitlineSwingFrac = 0.12;
-
-    // Effective leaking width of one 6T cell [um].
-    static constexpr double kCellLeakWidth = 0.15;
 };
 
 } // namespace yac

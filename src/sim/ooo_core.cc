@@ -167,9 +167,11 @@ OooCore::processEvents()
     std::sort(slot.begin(), slot.end(),
               [](const Event &a, const Event &b) { return a.seq < b.seq; });
     // Events may append to future slots; this slot is drained once.
-    std::vector<Event> events;
-    events.swap(slot);
-    for (const Event &ev : events) {
+    // The scratch vector keeps the drained slot's capacity alive
+    // across cycles, so neither vector reallocates in steady state.
+    eventScratch_.clear();
+    eventScratch_.swap(slot);
+    for (const Event &ev : eventScratch_) {
         DynInst &di = inst(ev.seq);
         if (di.seq != ev.seq)
             continue; // instruction squashed/recycled

@@ -110,6 +110,9 @@ class OooCore
     std::vector<std::int64_t> renameTable_;
 
     std::vector<std::vector<Event>> wheel_;
+    /** Drain scratch for processEvents(); reused every cycle so the
+     *  swap-out of a wheel slot never allocates in steady state. */
+    std::vector<Event> eventScratch_;
     std::uint64_t now_ = 0;
 
     // Per-cycle functional-unit port usage (reset each cycle).

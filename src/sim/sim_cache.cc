@@ -1,0 +1,338 @@
+#include "sim/sim_cache.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "trace/metrics.hh"
+#include "util/logging.hh"
+
+namespace yac
+{
+
+namespace
+{
+
+// The persisted entries are raw SimStats bytes; any change to the
+// struct must bump kFormatVersion (the sizeof check below catches
+// most accidental drift).
+static_assert(std::is_trivially_copyable<SimStats>::value,
+              "SimStats must stay trivially copyable for the "
+              "sim-cache binary format");
+
+constexpr char kMagic[8] = {'Y', 'A', 'C', 'S', 'I', 'M', 'C', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+/** FNV-1a, the canonical-byte-stream hasher behind SimCache::key. */
+class Fnv1a
+{
+  public:
+    void bytes(const void *data, std::size_t n)
+    {
+        const unsigned char *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 0x100000001b3ull;
+        }
+    }
+
+    void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+
+    void f64(double v)
+    {
+        // Hash the bit pattern: distinguishes -0.0/
+        // denormals/everything the value itself would conflate.
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+void
+hashProfile(Fnv1a &h, const BenchmarkProfile &p)
+{
+    // The name is semantic: TraceGenerator folds it into the stream
+    // seed, so equal numbers under different names are different
+    // traces.
+    h.str(p.name);
+    h.u64(p.isFp ? 1 : 0);
+    h.f64(p.loadFrac);
+    h.f64(p.storeFrac);
+    h.f64(p.branchFrac);
+    h.f64(p.mulFrac);
+    h.f64(p.fpOpFrac);
+    h.f64(p.mispredictRate);
+    h.f64(p.streamFrac);
+    h.f64(p.l2Frac);
+    h.f64(p.farFrac);
+    h.u64(p.streamLoopKb);
+    h.u64(p.l2RegionKb);
+    h.u64(p.workingSetKb);
+    h.u64(p.instFootprintKb);
+    h.f64(p.hotJumpFrac);
+    h.f64(p.depP);
+    h.f64(p.chaseFrac);
+    h.u64(p.parallelChains);
+}
+
+void
+hashCache(Fnv1a &h, const CacheParams &c)
+{
+    // CacheParams::name is cosmetic and deliberately excluded.
+    h.u64(c.sizeBytes);
+    h.u64(c.numWays);
+    h.u64(c.blockBytes);
+    h.u64(static_cast<std::uint64_t>(c.hitLatency));
+    h.u64(c.wayLatency.size());
+    for (int lat : c.wayLatency)
+        h.u64(static_cast<std::uint64_t>(lat));
+    h.u64(c.wayMask);
+    h.u64(c.horizontalMode ? 1 : 0);
+    h.u64(c.numHRegions);
+    h.u64(c.disabledHRegion);
+}
+
+void
+hashConfig(Fnv1a &h, const SimConfig &c)
+{
+    // SimConfig::label is cosmetic and deliberately excluded: two
+    // schemes reaching the same degraded configuration share the
+    // entry.
+    h.u64(static_cast<std::uint64_t>(c.core.fetchWidth));
+    h.u64(static_cast<std::uint64_t>(c.core.dispatchWidth));
+    h.u64(static_cast<std::uint64_t>(c.core.issueWidth));
+    h.u64(static_cast<std::uint64_t>(c.core.commitWidth));
+    h.u64(static_cast<std::uint64_t>(c.core.iqSize));
+    h.u64(static_cast<std::uint64_t>(c.core.robSize));
+    h.u64(static_cast<std::uint64_t>(c.core.schedToExec));
+    h.u64(static_cast<std::uint64_t>(c.core.intPorts));
+    h.u64(static_cast<std::uint64_t>(c.core.fpPorts));
+    h.u64(static_cast<std::uint64_t>(c.core.memPorts));
+    h.u64(static_cast<std::uint64_t>(c.core.loadBypassDepth));
+    h.u64(static_cast<std::uint64_t>(c.core.assumedLoadLatency));
+    h.u64(static_cast<std::uint64_t>(c.core.redirectPenalty));
+    hashCache(h, c.hierarchy.l1i);
+    hashCache(h, c.hierarchy.l1d);
+    hashCache(h, c.hierarchy.l2);
+    h.u64(static_cast<std::uint64_t>(c.hierarchy.memoryLatency));
+    h.u64(c.warmupInsts);
+    h.u64(c.measureInsts);
+    h.u64(c.seed);
+}
+
+void
+saveAtExit()
+{
+    SimCache::instance().saveIfPersisting();
+}
+
+} // namespace
+
+SimCache &
+SimCache::instance()
+{
+    static SimCache cache;
+    return cache;
+}
+
+std::uint64_t
+SimCache::key(const BenchmarkProfile &profile, const SimConfig &config)
+{
+    Fnv1a h;
+    h.u64(kFormatVersion);
+    hashProfile(h, profile);
+    hashConfig(h, config);
+    return h.value();
+}
+
+bool
+SimCache::enabled() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return enabled_;
+}
+
+void
+SimCache::setEnabled(bool on)
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    enabled_ = on;
+}
+
+bool
+SimCache::lookup(std::uint64_t key, SimStats *out) const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+void
+SimCache::insert(std::uint64_t key, const SimStats &stats)
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    entries_[key] = stats;
+}
+
+void
+SimCache::clear()
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    entries_.clear();
+}
+
+std::size_t
+SimCache::size() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return entries_.size();
+}
+
+bool
+SimCache::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+
+    char magic[sizeof kMagic];
+    std::uint32_t version = 0;
+    std::uint32_t stats_bytes = 0;
+    std::uint64_t count = 0;
+    in.read(magic, sizeof magic);
+    in.read(reinterpret_cast<char *>(&version), sizeof version);
+    in.read(reinterpret_cast<char *>(&stats_bytes), sizeof stats_bytes);
+    in.read(reinterpret_cast<char *>(&count), sizeof count);
+    if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0 ||
+        version != kFormatVersion || stats_bytes != sizeof(SimStats)) {
+        yac_warn("sim-cache: rejecting ", path,
+                " (bad header); starting cold");
+        return false;
+    }
+
+    // Entries, then a trailing checksum over their bytes.
+    std::vector<std::pair<std::uint64_t, SimStats>> loaded;
+    loaded.reserve(static_cast<std::size_t>(count));
+    Fnv1a check;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t key = 0;
+        SimStats stats;
+        in.read(reinterpret_cast<char *>(&key), sizeof key);
+        in.read(reinterpret_cast<char *>(&stats), sizeof stats);
+        if (!in) {
+            yac_warn("sim-cache: rejecting ", path,
+                    " (truncated); starting cold");
+            return false;
+        }
+        check.u64(key);
+        check.bytes(&stats, sizeof stats);
+        loaded.emplace_back(key, stats);
+    }
+    std::uint64_t checksum = 0;
+    in.read(reinterpret_cast<char *>(&checksum), sizeof checksum);
+    if (!in || checksum != check.value()) {
+        yac_warn("sim-cache: rejecting ", path,
+                " (checksum mismatch); starting cold");
+        return false;
+    }
+
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    for (const auto &[key, stats] : loaded)
+        entries_[key] = stats;
+    return true;
+}
+
+bool
+SimCache::save(const std::string &path) const
+{
+    std::vector<std::pair<std::uint64_t, SimStats>> snapshot;
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        snapshot.assign(entries_.begin(), entries_.end());
+    }
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    const std::uint32_t version = kFormatVersion;
+    const std::uint32_t stats_bytes = sizeof(SimStats);
+    const std::uint64_t count = snapshot.size();
+    out.write(kMagic, sizeof kMagic);
+    out.write(reinterpret_cast<const char *>(&version), sizeof version);
+    out.write(reinterpret_cast<const char *>(&stats_bytes),
+              sizeof stats_bytes);
+    out.write(reinterpret_cast<const char *>(&count), sizeof count);
+    Fnv1a check;
+    for (const auto &[key, stats] : snapshot) {
+        out.write(reinterpret_cast<const char *>(&key), sizeof key);
+        out.write(reinterpret_cast<const char *>(&stats), sizeof stats);
+        check.u64(key);
+        check.bytes(&stats, sizeof stats);
+    }
+    const std::uint64_t checksum = check.value();
+    out.write(reinterpret_cast<const char *>(&checksum),
+              sizeof checksum);
+    return static_cast<bool>(out);
+}
+
+void
+SimCache::persistTo(const std::string &path)
+{
+    load(path); // cold start on missing/corrupt is fine
+    static std::once_flag registered;
+    std::call_once(registered, [] { std::atexit(saveAtExit); });
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    persistPath_ = path;
+}
+
+void
+SimCache::saveIfPersisting() const
+{
+    std::string path;
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        path = persistPath_;
+    }
+    if (!path.empty() && !save(path))
+        yac_warn("sim-cache: failed to save ", path);
+}
+
+SimStats
+simulateBenchmarkCached(const BenchmarkProfile &profile,
+                        const SimConfig &config)
+{
+    SimCache &cache = SimCache::instance();
+    if (!cache.enabled())
+        return simulateBenchmark(profile, config);
+
+    trace::Metrics &metrics = trace::Metrics::instance();
+    const std::uint64_t key = SimCache::key(profile, config);
+    SimStats stats;
+    if (cache.lookup(key, &stats)) {
+        metrics.counter("sim_cache_hits").add(1);
+        return stats;
+    }
+    stats = simulateBenchmark(profile, config);
+    cache.insert(key, stats);
+    metrics.counter("sim_cache_misses").add(1);
+    return stats;
+}
+
+} // namespace yac

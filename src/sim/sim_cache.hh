@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Content-addressed memo cache for simulation results. The same
+ * (benchmark profile, SimConfig) pair always produces the same
+ * SimStats -- traces are deterministic in (profile name, seed) and
+ * the pipeline model has no other state -- so scenarios that recur
+ * across benches and schemes (the Table 6 baseline CPIs, identical
+ * degraded configurations reached by different schemes) need to
+ * simulate only once.
+ *
+ * The key is a canonical FNV-1a hash over every semantically
+ * significant field of the profile and configuration: all profile
+ * numbers plus its name (the trace generator folds the name into the
+ * stream seed), the core parameters, each cache level's geometry and
+ * yield knobs, the memory latency, the instruction windows and the
+ * trace seed. Cosmetic fields (SimConfig::label, CacheParams::name)
+ * are excluded so identically-shaped scenarios that differ only in
+ * their display label share one entry.
+ *
+ * Optionally persists to disk (--sim-cache=FILE): a versioned binary
+ * header (magic, format version, sizeof(SimStats)) guards against
+ * format or ABI drift, and a checksum rejects truncated or corrupt
+ * files -- a bad file is ignored, never trusted.
+ */
+
+#ifndef YAC_SIM_SIM_CACHE_HH
+#define YAC_SIM_SIM_CACHE_HH
+
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sim/sim_stats.hh"
+#include "sim/simulation.hh"
+#include "workload/profile.hh"
+
+namespace yac
+{
+
+/** Process-wide, thread-safe simulation memo cache. */
+class SimCache
+{
+  public:
+    static SimCache &instance();
+
+    /** Canonical content hash of one simulation's inputs. */
+    static std::uint64_t key(const BenchmarkProfile &profile,
+                             const SimConfig &config);
+
+    /** Memoization on/off (on by default; results are identical
+     *  either way, only the wall time differs). */
+    bool enabled() const;
+    void setEnabled(bool on);
+
+    /** Look up a result; true and *out filled on a hit. */
+    bool lookup(std::uint64_t key, SimStats *out) const;
+
+    /** Store a result (last writer wins; all writers agree). */
+    void insert(std::uint64_t key, const SimStats &stats);
+
+    /** Drop every entry (does not touch the persistence path). */
+    void clear();
+
+    std::size_t size() const;
+
+    /**
+     * Merge entries persisted at @p path into the cache. Returns
+     * false -- leaving the cache untouched -- if the file is missing,
+     * has the wrong magic/version/layout, or fails its checksum.
+     */
+    bool load(const std::string &path);
+
+    /** Write the cache to @p path. Returns false on I/O failure. */
+    bool save(const std::string &path) const;
+
+    /**
+     * What --sim-cache=FILE does: load @p path now (a missing or
+     * corrupt file just starts cold) and save the cache back to it
+     * at process exit.
+     */
+    void persistTo(const std::string &path);
+
+    /** Save to the persistTo() path, if one is set. */
+    void saveIfPersisting() const;
+
+  private:
+    SimCache() = default;
+
+    mutable std::shared_mutex mutex_;
+    std::unordered_map<std::uint64_t, SimStats> entries_;
+    bool enabled_ = true;
+    std::string persistPath_;
+};
+
+/**
+ * simulateBenchmark through the memo cache: returns the cached
+ * SimStats on a hit, otherwise simulates and stores. Bitwise
+ * identical to simulateBenchmark (the cache stores the raw struct).
+ * Maintains the `sim_cache_hits` / `sim_cache_misses` counters.
+ */
+SimStats simulateBenchmarkCached(const BenchmarkProfile &profile,
+                                 const SimConfig &config);
+
+} // namespace yac
+
+#endif // YAC_SIM_SIM_CACHE_HH

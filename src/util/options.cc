@@ -139,6 +139,10 @@ addCampaignOptions(OptionParser &parser, CampaignOptions &opts)
                "write a Chrome Trace Event JSON file "
                "(load in chrome://tracing)",
                &opts.traceOut);
+    parser.add("sim-cache",
+               "persist the simulation memo cache to FILE "
+               "(loaded on start, saved on exit)",
+               &opts.simCache);
 }
 
 CampaignOptions

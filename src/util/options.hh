@@ -31,6 +31,7 @@ struct CampaignOptions
     std::size_t threads = 0;    //!< 0 = automatic (YAC_THREADS / cores)
     std::string outDir = "out"; //!< where CSV artifacts land
     std::string traceOut;       //!< Chrome trace path; empty = off
+    std::string simCache;       //!< sim memo cache file; empty = RAM only
 };
 
 /**

@@ -21,12 +21,6 @@ splitMix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -41,22 +35,6 @@ Rng::Rng(std::uint64_t seed)
     }
 }
 
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
-    const std::uint64_t t = state_[1] << 17;
-
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-
-    return result;
-}
-
 Rng
 Rng::split(std::uint64_t stream_id) const
 {
@@ -64,19 +42,6 @@ Rng::split(std::uint64_t stream_id) const
     std::uint64_t s = state_[0] ^ rotl(state_[2], 17) ^
         (stream_id * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL);
     return Rng(splitMix64(s));
-}
-
-double
-Rng::uniform()
-{
-    // 53 random mantissa bits -> double in [0, 1).
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-double
-Rng::uniform(double lo, double hi)
-{
-    return lo + (hi - lo) * uniform();
 }
 
 std::uint64_t
@@ -89,44 +54,6 @@ Rng::uniformInt(std::uint64_t n)
         std::uint64_t r = next();
         if (r >= threshold)
             return r % n;
-    }
-}
-
-double
-Rng::normal()
-{
-    if (hasSpare_) {
-        hasSpare_ = false;
-        return spareNormal_;
-    }
-    double u1 = 0.0;
-    // Avoid log(0).
-    while (u1 == 0.0)
-        u1 = uniform();
-    const double u2 = uniform();
-    const double radius = std::sqrt(-2.0 * std::log(u1));
-    const double theta = 2.0 * M_PI * u2;
-    spareNormal_ = radius * std::sin(theta);
-    hasSpare_ = true;
-    return radius * std::cos(theta);
-}
-
-double
-Rng::normal(double mean, double sigma)
-{
-    return mean + sigma * normal();
-}
-
-double
-Rng::truncatedNormal(double mean, double sigma, double cut)
-{
-    yac_assert(cut > 0.0, "truncation window must be positive");
-    if (sigma == 0.0)
-        return mean;
-    for (;;) {
-        const double z = normal();
-        if (std::fabs(z) <= cut)
-            return mean + sigma * z;
     }
 }
 

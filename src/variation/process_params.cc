@@ -19,32 +19,6 @@ processParamName(ProcessParam p)
     yac_panic("unknown ProcessParam");
 }
 
-double
-ProcessParams::get(ProcessParam p) const
-{
-    switch (p) {
-      case ProcessParam::GateLength: return gateLength;
-      case ProcessParam::ThresholdVoltage: return thresholdVoltage;
-      case ProcessParam::MetalWidth: return metalWidth;
-      case ProcessParam::MetalThickness: return metalThickness;
-      case ProcessParam::IldThickness: return ildThickness;
-    }
-    yac_panic("unknown ProcessParam");
-}
-
-void
-ProcessParams::set(ProcessParam p, double value)
-{
-    switch (p) {
-      case ProcessParam::GateLength: gateLength = value; return;
-      case ProcessParam::ThresholdVoltage: thresholdVoltage = value; return;
-      case ProcessParam::MetalWidth: metalWidth = value; return;
-      case ProcessParam::MetalThickness: metalThickness = value; return;
-      case ProcessParam::IldThickness: ildThickness = value; return;
-    }
-    yac_panic("unknown ProcessParam");
-}
-
 VariationTable::VariationTable()
 {
     // Table 1: nominal and 3-sigma variation for the 45 nm node.

@@ -58,11 +58,38 @@ struct ProcessParams
     double metalThickness = 0.0;   //!< T [um]
     double ildThickness = 0.0;     //!< H [um]
 
-    /** Access by enumerator. */
-    double get(ProcessParam p) const;
+    /**
+     * Access by enumerator. Inline: the SoA batch path scatters and
+     * gathers every region draw through get/set, so these sit on the
+     * campaign hot path and must fold into plain loads and stores.
+     */
+    double get(ProcessParam p) const
+    {
+        switch (p) {
+          case ProcessParam::GateLength: return gateLength;
+          case ProcessParam::ThresholdVoltage: return thresholdVoltage;
+          case ProcessParam::MetalWidth: return metalWidth;
+          case ProcessParam::MetalThickness: return metalThickness;
+          case ProcessParam::IldThickness: return ildThickness;
+        }
+        return 0.0; // unreachable for valid enumerators
+    }
 
     /** Mutate by enumerator. */
-    void set(ProcessParam p, double value);
+    void set(ProcessParam p, double value)
+    {
+        switch (p) {
+          case ProcessParam::GateLength: gateLength = value; return;
+          case ProcessParam::ThresholdVoltage:
+            thresholdVoltage = value;
+            return;
+          case ProcessParam::MetalWidth: metalWidth = value; return;
+          case ProcessParam::MetalThickness:
+            metalThickness = value;
+            return;
+          case ProcessParam::IldThickness: ildThickness = value; return;
+        }
+    }
 
     bool operator==(const ProcessParams &other) const = default;
 };

@@ -52,6 +52,9 @@ VariationSampler::VariationSampler(VariationTable table,
                "cellsPerRowGroup must be >= 2: the worst-cell "
                "extreme-value statistics need at least two cells "
                "per row group (got ", geometry_.cellsPerRowGroup, ")");
+    const ExtremeStats ex = normalExtreme(geometry_.cellsPerRowGroup);
+    extremeLocation_ = ex.location;
+    extremeScale_ = ex.scale;
 }
 
 VariationSampler::VariationSampler()
@@ -69,6 +72,47 @@ VariationSampler::sample(Rng &rng) const
     return sampleWithDie(rng, table_.sampleDie(rng, 1.0));
 }
 
+namespace
+{
+
+/** AoS sink: writes draws into a CacheVariationMap with pre-sized
+ *  nested vectors. */
+struct MapSink
+{
+    CacheVariationMap &map;
+
+    void base(std::size_t w, const ProcessParams &p)
+    {
+        map.ways[w].base = p;
+    }
+
+    void peripheral(std::size_t w, std::size_t blk,
+                    const ProcessParams &p)
+    {
+        WayVariation &way = map.ways[w];
+        switch (blk) {
+        case 0: way.decoder = p; break;
+        case 1: way.precharge = p; break;
+        case 2: way.senseAmp = p; break;
+        default: way.outputDriver = p; break;
+        }
+    }
+
+    void rowGroup(std::size_t w, std::size_t b, std::size_t g,
+                  const ProcessParams &p)
+    {
+        map.ways[w].rowGroups[b][g] = p;
+    }
+
+    void worstCell(std::size_t w, std::size_t b, std::size_t g,
+                   const ProcessParams &p)
+    {
+        map.ways[w].worstCell[b][g] = p;
+    }
+};
+
+} // namespace
+
 CacheVariationMap
 VariationSampler::sampleWithDie(Rng &rng,
                                 const ProcessParams &die_base) const
@@ -76,66 +120,18 @@ VariationSampler::sampleWithDie(Rng &rng,
     CacheVariationMap map;
     map.geometry = geometry_;
     map.ways.resize(geometry_.numWays);
-
-    // Chip-common systematic offset of each horizontal region: the
-    // same physical row range deviates consistently in every way
-    // (layout-position dependent systematic variation, Section 2).
-    std::vector<ProcessParams> region_offset(geometry_.banksPerWay);
-    for (std::size_t b = 0; b < geometry_.banksPerWay; ++b) {
-        const ProcessParams draw = table_.sampleAround(
-            rng, die_base, correlation_.regionSystematicFactor());
-        ProcessParams offset;
-        for (ProcessParam p : kAllProcessParams)
-            offset.set(p, draw.get(p) - die_base.get(p));
-        region_offset[b] = offset;
-    }
-
-    for (std::size_t w = 0; w < geometry_.numWays; ++w) {
-        WayVariation &way = map.ways[w];
-        const double way_factor = correlation_.wayFactor(w);
-        way.base = (way_factor == 0.0)
-            ? die_base
-            : table_.sampleAround(rng, die_base, way_factor);
-
-        const double peri = correlation_.peripheralFactor();
-        way.decoder = table_.sampleAround(rng, way.base, peri);
-        way.precharge = table_.sampleAround(rng, way.base, peri);
-        way.senseAmp = table_.sampleAround(rng, way.base, peri);
-        way.outputDriver = table_.sampleAround(rng, way.base, peri);
-
+    for (WayVariation &way : map.ways) {
         way.rowGroups.resize(geometry_.banksPerWay);
         way.worstCell.resize(geometry_.banksPerWay);
         for (std::size_t b = 0; b < geometry_.banksPerWay; ++b) {
             way.rowGroups[b].resize(geometry_.rowGroupsPerBank);
             way.worstCell[b].resize(geometry_.rowGroupsPerBank);
-            // The group mean combines the way's systematic component
-            // with the region's chip-common systematic offset.
-            ProcessParams bank_mean = way.base;
-            for (ProcessParam p : kAllProcessParams) {
-                bank_mean.set(p, bank_mean.get(p) +
-                                 region_offset[b].get(p));
-            }
-            for (std::size_t g = 0; g < geometry_.rowGroupsPerBank; ++g) {
-                const ProcessParams group = table_.sampleAround(
-                    rng, bank_mean, correlation_.rowFactor());
-                way.rowGroups[b][g] = group;
-                // The slowest cell in the group: a draw at the bit
-                // factor around the group parameters, plus the Gumbel
-                // extreme of the group's random-dopant V_t mismatch
-                // (the read-current-limiting cell of the row group).
-                ProcessParams worst = table_.sampleAround(
-                    rng, group, correlation_.bitFactor());
-                const ExtremeStats ex =
-                    normalExtreme(geometry_.cellsPerRowGroup);
-                const double u = rng.uniform(1e-12, 1.0);
-                const double gumbel = -std::log(-std::log(u));
-                const double vt_drop = table_.randomDopantSigmaMv *
-                    (ex.location + ex.scale * (gumbel - 0.5772156649));
-                worst.thresholdVoltage += vt_drop;
-                way.worstCell[b][g] = worst;
-            }
         }
     }
+
+    MapSink sink{map};
+    std::vector<ProcessParams> region_scratch;
+    sampleWithDieTo(rng, die_base, sink, region_scratch);
     return map;
 }
 

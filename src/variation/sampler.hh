@@ -11,16 +11,16 @@
 #ifndef YAC_VARIATION_SAMPLER_HH
 #define YAC_VARIATION_SAMPLER_HH
 
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
+#include "util/rng.hh"
 #include "variation/correlation.hh"
 #include "variation/process_params.hh"
 
 namespace yac
 {
-
-class Rng;
 
 /** Physical granularity of the variation map. */
 struct VariationGeometry
@@ -93,6 +93,29 @@ class VariationSampler
     CacheVariationMap sampleWithDie(Rng &rng,
                                     const ProcessParams &die_base) const;
 
+    /**
+     * The one sampling implementation: draws a chip's regions in the
+     * canonical order and hands each draw to @p sink instead of
+     * materializing a CacheVariationMap. Both the scalar
+     * sampleWithDie() (AoS sink) and the batched SoA fast path
+     * (soa_batch.hh) funnel through this template, which structurally
+     * guarantees they consume the Rng stream identically -- the
+     * foundation of the scalar-vs-batched bitwise-identity contract.
+     *
+     * The sink receives, in draw order per way:
+     *   base(w, p), peripheral(w, 0..3, p)  [decoder, precharge,
+     *   senseAmp, outputDriver], then per (bank, group):
+     *   rowGroup(w, b, g, p) and worstCell(w, b, g, p).
+     *
+     * @p region_scratch is caller-owned scratch (resized to
+     * banksPerWay); reusing it across chips keeps the hot path free
+     * of heap allocations.
+     */
+    template <typename Sink>
+    void sampleWithDieTo(Rng &rng, const ProcessParams &die_base,
+                         Sink &&sink,
+                         std::vector<ProcessParams> &region_scratch) const;
+
     const VariationTable &table() const { return table_; }
     const CorrelationModel &correlation() const { return correlation_; }
     const VariationGeometry &geometry() const { return geometry_; }
@@ -101,7 +124,78 @@ class VariationSampler
     VariationTable table_;
     CorrelationModel correlation_;
     VariationGeometry geometry_;
+
+    /**
+     * Gumbel extreme-value constants of normalExtreme(cellsPerRowGroup)
+     * -- a pure function of the geometry, computed once here instead
+     * of a log/sqrt pair per row group in the sampling loop.
+     */
+    double extremeLocation_ = 0.0;
+    double extremeScale_ = 0.0;
 };
+
+template <typename Sink>
+void
+VariationSampler::sampleWithDieTo(
+    Rng &rng, const ProcessParams &die_base, Sink &&sink,
+    std::vector<ProcessParams> &region_scratch) const
+{
+    // Chip-common systematic offset of each horizontal region: the
+    // same physical row range deviates consistently in every way
+    // (layout-position dependent systematic variation, Section 2).
+    region_scratch.resize(geometry_.banksPerWay);
+    for (std::size_t b = 0; b < geometry_.banksPerWay; ++b) {
+        const ProcessParams draw = table_.sampleAround(
+            rng, die_base, correlation_.regionSystematicFactor());
+        ProcessParams offset;
+        for (ProcessParam p : kAllProcessParams)
+            offset.set(p, draw.get(p) - die_base.get(p));
+        region_scratch[b] = offset;
+    }
+
+    for (std::size_t w = 0; w < geometry_.numWays; ++w) {
+        const double way_factor = correlation_.wayFactor(w);
+        const ProcessParams base = (way_factor == 0.0)
+            ? die_base
+            : table_.sampleAround(rng, die_base, way_factor);
+        sink.base(w, base);
+
+        const double peri = correlation_.peripheralFactor();
+        for (std::size_t blk = 0; blk < 4; ++blk) {
+            const ProcessParams p = table_.sampleAround(rng, base, peri);
+            sink.peripheral(w, blk, p);
+        }
+
+        for (std::size_t b = 0; b < geometry_.banksPerWay; ++b) {
+            // The group mean combines the way's systematic component
+            // with the region's chip-common systematic offset.
+            ProcessParams bank_mean = base;
+            for (ProcessParam p : kAllProcessParams) {
+                bank_mean.set(p, bank_mean.get(p) +
+                                 region_scratch[b].get(p));
+            }
+            for (std::size_t g = 0; g < geometry_.rowGroupsPerBank;
+                 ++g) {
+                const ProcessParams group = table_.sampleAround(
+                    rng, bank_mean, correlation_.rowFactor());
+                sink.rowGroup(w, b, g, group);
+                // The slowest cell in the group: a draw at the bit
+                // factor around the group parameters, plus the Gumbel
+                // extreme of the group's random-dopant V_t mismatch
+                // (the read-current-limiting cell of the row group).
+                ProcessParams worst = table_.sampleAround(
+                    rng, group, correlation_.bitFactor());
+                const double u = rng.uniform(1e-12, 1.0);
+                const double gumbel = -std::log(-std::log(u));
+                const double vt_drop = table_.randomDopantSigmaMv *
+                    (extremeLocation_ +
+                     extremeScale_ * (gumbel - 0.5772156649));
+                worst.thresholdVoltage += vt_drop;
+                sink.worstCell(w, b, g, worst);
+            }
+        }
+    }
+}
 
 } // namespace yac
 

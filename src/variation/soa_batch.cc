@@ -1,0 +1,37 @@
+#include "variation/soa_batch.hh"
+
+namespace yac
+{
+
+namespace
+{
+
+bool
+sameGeometry(const VariationGeometry &a, const VariationGeometry &b)
+{
+    return a.numWays == b.numWays && a.banksPerWay == b.banksPerWay &&
+        a.rowGroupsPerBank == b.rowGroupsPerBank &&
+        a.cellsPerRowGroup == b.cellsPerRowGroup;
+}
+
+} // namespace
+
+void
+ChipBatchSoa::ensure(const VariationGeometry &g, std::size_t chips)
+{
+    if (sameGeometry(geometry, g) && capacity >= chips &&
+        slotsPerChip != 0)
+        return;
+    geometry = g;
+    slotsPerWay = 5 + 2 * g.rowGroupsPerWay();
+    slotsPerChip = g.numWays * slotsPerWay;
+    capacity = chips > capacity ? chips : capacity;
+    for (std::vector<double> &pl : plane) {
+        if (pl.size() < capacity * slotsPerChip)
+            pl.resize(capacity * slotsPerChip);
+    }
+    if (regionScratch.size() < g.banksPerWay)
+        regionScratch.resize(g.banksPerWay);
+}
+
+} // namespace yac

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Structure-of-arrays chip batches for the fast sampling/evaluation
+ * path. One ChipBatchSoa holds the variation draws of up to
+ * `capacity` chips (a kStatChunk-aligned chunk in practice) as five
+ * contiguous parameter planes -- one per varied process parameter
+ * (L, V_t, W, T, H) -- instead of per-chip trees of small vectors.
+ *
+ * The batch is filled through VariationSampler::sampleWithDieTo with
+ * an SoA sink, so it consumes the Rng stream exactly like the scalar
+ * sampleWithDie() path: the two are bitwise identical by
+ * construction (and by test: tests/test_soa_batch.cc).
+ *
+ * Buffers only ever grow (ensure() is a no-op once warm), which makes
+ * the steady-state per-chunk hot path allocation-free -- see the
+ * counting-allocator test in tests/test_soa_batch.cc.
+ */
+
+#ifndef YAC_VARIATION_SOA_BATCH_HH
+#define YAC_VARIATION_SOA_BATCH_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "variation/process_params.hh"
+#include "variation/sampler.hh"
+
+namespace yac
+{
+
+/**
+ * SoA storage of sampled variation draws for a batch of chips.
+ *
+ * Each chip occupies `slotsPerChip` consecutive slots per plane; a
+ * slot is one sampled circuit region. Per-way slot layout:
+ *
+ *   0: way base            (systematic component)
+ *   1: decoder   2: precharge   3: senseAmp   4: outputDriver
+ *   5 + b*G + g:           row group (b, g)
+ *   5 + B*G + b*G + g:     worst cell of row group (b, g)
+ *
+ * Plane p stores parameter kAllProcessParams[p] of every slot:
+ * plane[p][chip * slotsPerChip + slot].
+ */
+struct ChipBatchSoa
+{
+    VariationGeometry geometry;
+    std::size_t capacity = 0;     //!< chips the planes can hold
+    std::size_t slotsPerWay = 0;  //!< 5 + 2 * banks * groups
+    std::size_t slotsPerChip = 0; //!< numWays * slotsPerWay
+
+    /** Parameter planes, indexed [param][chip * slotsPerChip + slot]. */
+    std::array<std::vector<double>, kNumProcessParams> plane;
+
+    /** Region-offset scratch reused across chips by the sampler. */
+    std::vector<ProcessParams> regionScratch;
+
+    /**
+     * Size the planes for @p chips chips of geometry @p g. Only
+     * reallocates when the geometry changes or the capacity grows, so
+     * repeated calls from a worker's per-chunk loop are free.
+     */
+    void ensure(const VariationGeometry &g, std::size_t chips);
+
+    std::size_t baseSlot(std::size_t w) const
+    {
+        return w * slotsPerWay;
+    }
+
+    /** blk: 0 decoder, 1 precharge, 2 senseAmp, 3 outputDriver. */
+    std::size_t peripheralSlot(std::size_t w, std::size_t blk) const
+    {
+        return w * slotsPerWay + 1 + blk;
+    }
+
+    std::size_t rowGroupSlot(std::size_t w, std::size_t b,
+                             std::size_t g) const
+    {
+        return w * slotsPerWay + 5 + b * geometry.rowGroupsPerBank + g;
+    }
+
+    std::size_t worstCellSlot(std::size_t w, std::size_t b,
+                              std::size_t g) const
+    {
+        return w * slotsPerWay + 5 + geometry.rowGroupsPerWay() +
+            b * geometry.rowGroupsPerBank + g;
+    }
+
+    /** Scatter one region's draw across the parameter planes. */
+    void store(std::size_t chip, std::size_t slot,
+               const ProcessParams &v)
+    {
+        const std::size_t at = chip * slotsPerChip + slot;
+        for (std::size_t p = 0; p < kNumProcessParams; ++p)
+            plane[p][at] = v.get(kAllProcessParams[p]);
+    }
+
+    /** Gather one region's draw back from the parameter planes. */
+    ProcessParams load(std::size_t chip, std::size_t slot) const
+    {
+        const std::size_t at = chip * slotsPerChip + slot;
+        ProcessParams v;
+        for (std::size_t p = 0; p < kNumProcessParams; ++p)
+            v.set(kAllProcessParams[p], plane[p][at]);
+        return v;
+    }
+};
+
+/** Write-side adapter: VariationSampler sink filling one SoA chip. */
+class SoaChipSink
+{
+  public:
+    SoaChipSink(ChipBatchSoa &soa, std::size_t chip)
+        : soa_(soa), chip_(chip)
+    {
+    }
+
+    void base(std::size_t w, const ProcessParams &p)
+    {
+        soa_.store(chip_, soa_.baseSlot(w), p);
+    }
+
+    void peripheral(std::size_t w, std::size_t blk,
+                    const ProcessParams &p)
+    {
+        soa_.store(chip_, soa_.peripheralSlot(w, blk), p);
+    }
+
+    void rowGroup(std::size_t w, std::size_t b, std::size_t g,
+                  const ProcessParams &p)
+    {
+        soa_.store(chip_, soa_.rowGroupSlot(w, b, g), p);
+    }
+
+    void worstCell(std::size_t w, std::size_t b, std::size_t g,
+                   const ProcessParams &p)
+    {
+        soa_.store(chip_, soa_.worstCellSlot(w, b, g), p);
+    }
+
+  private:
+    ChipBatchSoa &soa_;
+    std::size_t chip_;
+};
+
+/**
+ * Sample one chip around an external die draw into SoA slot @p chip.
+ * Allocation-free once the batch is warm; bitwise identical draws to
+ * VariationSampler::sampleWithDie.
+ */
+inline void
+sampleChipWithDieSoa(const VariationSampler &sampler, Rng &rng,
+                     const ProcessParams &die_base, ChipBatchSoa &soa,
+                     std::size_t chip)
+{
+    SoaChipSink sink(soa, chip);
+    sampler.sampleWithDieTo(rng, die_base, sink, soa.regionScratch);
+}
+
+/**
+ * Sample one chip with its own die draw (the MonteCarlo::run per-chip
+ * sequence) into SoA slot @p chip. Matches VariationSampler::sample.
+ */
+inline void
+sampleChipSoa(const VariationSampler &sampler, Rng &rng,
+              ChipBatchSoa &soa, std::size_t chip)
+{
+    const ProcessParams die = sampler.table().sampleDie(rng, 1.0);
+    sampleChipWithDieSoa(sampler, rng, die, soa, chip);
+}
+
+} // namespace yac
+
+#endif // YAC_VARIATION_SOA_BATCH_HH

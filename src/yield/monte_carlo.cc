@@ -1,6 +1,7 @@
 #include "yield/monte_carlo.hh"
 
 #include "trace/metrics.hh"
+#include "variation/soa_batch.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 #include "util/rng.hh"
@@ -51,9 +52,7 @@ MonteCarloResult::cycleMapping(const ConstraintPolicy &policy,
 
 MonteCarlo::MonteCarlo(const VariationSampler &sampler,
                        const CacheGeometry &geom, const Technology &tech)
-    : sampler_(sampler), geom_(geom), tech_(tech),
-      regularModel_(geom_, tech_, CacheLayout::Regular),
-      horizontalModel_(geom_, tech_, CacheLayout::Horizontal)
+    : sampler_(sampler), geom_(geom), tech_(tech), batch_(geom_, tech_)
 {
     yac_assert(sampler_.geometry().numWays == geom_.numWays &&
                sampler_.geometry().banksPerWay == geom_.banksPerWay &&
@@ -88,6 +87,12 @@ MonteCarlo::run(const CampaignConfig &config) const
     // its own output slot, and folds into its chunk's accumulator.
     // Chunk boundaries are fixed by kStatChunk, so the chunk-order
     // merge below is bit-identical at any thread count.
+    //
+    // Each worker owns one reusable SoA arena: a chunk is first
+    // batch-filled with all its chips' draws (the "sample" phase,
+    // allocation-free once the arena is warm), then evaluated through
+    // the batched fast path, which is bitwise identical to the scalar
+    // sample+evaluate pipeline (tests/test_soa_batch.cc).
     const Rng rng(config.seed);
     std::vector<ShardStats> shards(
         parallel::chunkCount(config.numChips, parallel::kStatChunk));
@@ -95,24 +100,30 @@ MonteCarlo::run(const CampaignConfig &config) const
         config.numChips, parallel::kStatChunk,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
             ShardStats &s = shards[chunk];
-            std::int64_t sample_ns = 0, evaluate_ns = 0;
+            static thread_local ChipBatchSoa arena;
+            const std::int64_t t0 = trace::nowNanos();
+            arena.ensure(sampler_.geometry(), end - begin);
             for (std::size_t i = begin; i < end; ++i) {
                 Rng chip_rng = rng.split(i);
-                const std::int64_t t0 = trace::nowNanos();
-                const CacheVariationMap map = sampler_.sample(chip_rng);
-                const std::int64_t t1 = trace::nowNanos();
-                result.regular[i] = regularModel_.evaluate(map);
-                result.horizontal[i] = horizontalModel_.evaluate(map);
-                evaluate_ns += trace::nowNanos() - t1;
-                sample_ns += t1 - t0;
+                sampleChipSoa(sampler_, chip_rng, arena, i - begin);
+            }
+            const std::int64_t t1 = trace::nowNanos();
+            for (std::size_t i = begin; i < end; ++i) {
+                batch_.prepareTiming(result.regular[i],
+                                     CacheLayout::Regular);
+                batch_.prepareTiming(result.horizontal[i],
+                                     CacheLayout::Horizontal);
+                batch_.evaluateChip(arena, i - begin,
+                                    result.regular[i],
+                                    &result.horizontal[i]);
                 s.regDelay.add(result.regular[i].delay());
                 s.regLeak.add(result.regular[i].leakage());
                 s.horDelay.add(result.horizontal[i].delay());
                 s.horLeak.add(result.horizontal[i].leakage());
             }
             // One atomic add per chunk, not per chip.
-            sample_phase.addNanos(sample_ns);
-            evaluate_phase.addNanos(evaluate_ns);
+            sample_phase.addNanos(t1 - t0);
+            evaluate_phase.addNanos(trace::nowNanos() - t1);
             chips_sampled.add(end - begin);
             scope.tick(end - begin);
         });

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "circuit/batch_eval.hh"
 #include "circuit/cache_model.hh"
 #include "circuit/geometry.hh"
 #include "circuit/technology.hh"
@@ -68,6 +69,11 @@ class MonteCarlo
     /**
      * Run the campaign. Deterministic in config.seed: results are
      * byte-identical at any thread count and with tracing on or off.
+     *
+     * Internally runs the batched SoA fast path
+     * (circuit/batch_eval.hh), which is bitwise identical to sampling
+     * and evaluating each chip through the scalar
+     * VariationSampler::sample + CacheModel::evaluate pipeline.
      */
     MonteCarloResult run(const CampaignConfig &config) const;
 
@@ -79,8 +85,7 @@ class MonteCarlo
     VariationSampler sampler_;
     CacheGeometry geom_;
     Technology tech_;
-    CacheModel regularModel_;
-    CacheModel horizontalModel_;
+    BatchChipEvaluator batch_;
 };
 
 } // namespace yac

@@ -1,6 +1,7 @@
 #include "yield/multi_cache.hh"
 
 #include "trace/metrics.hh"
+#include "variation/soa_batch.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 #include "util/rng.hh"
@@ -14,12 +15,12 @@ MultiCacheYield::MultiCacheYield(std::vector<ChipComponent> components,
     : components_(std::move(components)), tech_(tech)
 {
     yac_assert(!components_.empty(), "need at least one component");
-    models_.reserve(components_.size());
+    batchers_.reserve(components_.size());
     samplers_.reserve(components_.size());
     for (const ChipComponent &c : components_) {
         yac_assert(c.placementFactor >= 0.0 && c.placementFactor <= 1.0,
                    c.name, ": placement factor must be in [0, 1]");
-        models_.emplace_back(c.geometry, tech_, CacheLayout::Regular);
+        batchers_.emplace_back(c.geometry, tech_);
         samplers_.emplace_back(VariationTable(), CorrelationModel(),
                                c.geometry.variationGeometry());
     }
@@ -65,6 +66,15 @@ MultiCacheYield::run(const CampaignConfig &config,
         parallel::forChunks(
             num_chips, parallel::kStatChunk,
             [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                // One reusable single-chip SoA arena per component per
+                // worker: the batched fast path avoids the per-chip
+                // AoS allocations and hoists the per-way stage work,
+                // bitwise identical to the scalar pipeline.
+                static thread_local std::vector<ChipBatchSoa> arenas;
+                if (arenas.size() < n_comp)
+                    arenas.resize(n_comp);
+                for (std::size_t c = 0; c < n_comp; ++c)
+                    arenas[c].ensure(samplers_[c].geometry(), 1);
                 for (std::size_t i = begin; i < end; ++i) {
                     Rng chip_rng = rng.split(i);
                     const ProcessParams die =
@@ -75,12 +85,15 @@ MultiCacheYield::run(const CampaignConfig &config,
                         const ProcessParams center = table.sampleAround(
                             chip_rng, die,
                             components_[c].placementFactor);
-                        const CacheVariationMap map =
-                            samplers_[c].sampleWithDie(chip_rng, center);
-                        CacheTiming t = models_[c].evaluate(map);
+                        sampleChipWithDieSoa(samplers_[c], chip_rng,
+                                             center, arenas[c], 0);
+                        CacheTiming &t = timings[c][i];
+                        batchers_[c].prepareTiming(
+                            t, CacheLayout::Regular);
+                        batchers_[c].evaluateChip(arenas[c], 0, t,
+                                                  nullptr);
                         chunk_delay[chunk][c].add(t.delay());
                         chunk_leak[chunk][c].add(t.leakage());
-                        timings[c][i] = std::move(t);
                     }
                 }
                 chips_evaluated.add(end - begin);

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "circuit/batch_eval.hh"
 #include "circuit/cache_model.hh"
 #include "circuit/geometry.hh"
 #include "circuit/technology.hh"
@@ -137,7 +138,7 @@ class MultiCacheYield
   private:
     std::vector<ChipComponent> components_;
     Technology tech_;
-    std::vector<CacheModel> models_;
+    std::vector<BatchChipEvaluator> batchers_;
     std::vector<VariationSampler> samplers_;
 };
 

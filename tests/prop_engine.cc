@@ -125,6 +125,48 @@ TEST(PropEngine, ParallelCampaignsAreByteIdenticalToSerial)
     EXPECT_TRUE(r.ok) << r.report;
 }
 
+TEST(PropEngine, BatchedPathIsByteIdenticalToScalarPipeline)
+{
+    // The campaign engine's batched SoA fast path versus the scalar
+    // AoS pipeline (sample a CacheVariationMap, evaluate it through
+    // CacheModel), across randomized geometries/technologies: the
+    // optimization must be invisible down to the last bit.
+    ThreadGuard guard;
+    const auto r = forAll(
+        "batched evaluation equals the scalar pipeline",
+        domains::campaignCase(),
+        [](const CampaignCase &c) -> Verdict {
+            const VariationSampler sampler(
+                VariationTable{}, c.correlation,
+                c.geometry.variationGeometry());
+            const CacheModel regular(c.geometry, c.tech,
+                                     CacheLayout::Regular);
+            const CacheModel horizontal(c.geometry, c.tech,
+                                        CacheLayout::Horizontal);
+            MonteCarloResult ref;
+            ref.regular.resize(c.chips);
+            ref.horizontal.resize(c.chips);
+            const Rng rng(c.seed);
+            for (std::size_t i = 0; i < c.chips; ++i) {
+                Rng chip_rng = rng.split(i);
+                const CacheVariationMap map = sampler.sample(chip_rng);
+                ref.regular[i] = regular.evaluate(map);
+                ref.horizontal[i] = horizontal.evaluate(map);
+            }
+
+            const MonteCarloResult batched = runCampaign(c, 2);
+            std::string why;
+            if (!identicalTimings(ref.regular, batched.regular, &why))
+                return check::fail("regular layout: " + why);
+            if (!identicalTimings(ref.horizontal, batched.horizontal,
+                                  &why))
+                return check::fail("horizontal layout: " + why);
+            return check::pass();
+        },
+        8);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
 TEST(PropEngine, RerunWithSameSeedIsIdentical)
 {
     ThreadGuard guard;

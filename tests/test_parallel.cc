@@ -133,6 +133,38 @@ expectIdenticalPopulations(const std::vector<CacheTiming> &a,
     }
 }
 
+TEST(Parallel, BatchedCampaignByteIdenticalToScalarReference)
+{
+    // The campaign engine now runs the batched SoA fast path; it must
+    // reproduce the scalar AoS pipeline (sample a CacheVariationMap,
+    // evaluate it through CacheModel) bit for bit.
+    ThreadsGuard guard;
+    const std::size_t chips = 300;
+    const std::uint64_t seed = 2006;
+    const VariationSampler sampler;
+    const CacheGeometry geom;
+    const Technology tech = defaultTechnology();
+    const CacheModel regular(geom, tech, CacheLayout::Regular);
+    const CacheModel horizontal(geom, tech, CacheLayout::Horizontal);
+
+    std::vector<CacheTiming> ref_regular(chips), ref_horizontal(chips);
+    const Rng rng(seed);
+    for (std::size_t i = 0; i < chips; ++i) {
+        Rng chip_rng = rng.split(i);
+        const CacheVariationMap map = sampler.sample(chip_rng);
+        ref_regular[i] = regular.evaluate(map);
+        ref_horizontal[i] = horizontal.evaluate(map);
+    }
+
+    for (std::size_t threads : {1u, 8u}) {
+        parallel::setThreads(threads);
+        MonteCarlo mc;
+        const MonteCarloResult r = mc.run({chips, seed});
+        expectIdenticalPopulations(ref_regular, r.regular);
+        expectIdenticalPopulations(ref_horizontal, r.horizontal);
+    }
+}
+
 TEST(Parallel, MonteCarloByteIdenticalAcrossThreadCounts)
 {
     ThreadsGuard guard;

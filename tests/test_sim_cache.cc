@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests of the content-addressed simulation memo cache: key
+ * canonicalization (semantic fields in, cosmetic fields out), hit
+ * transparency (cached results are the same bits as fresh ones), the
+ * versioned on-disk format with corrupt-file rejection, and the
+ * campaign-level guarantee that results are byte-identical with the
+ * cache cold, warm, or disabled at any thread count.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/sim_cache.hh"
+#include "sim/simulation.hh"
+#include "util/parallel.hh"
+#include "workload/profile.hh"
+#include "yield/monte_carlo.hh"
+#include "yield/multi_cache.hh"
+#include "yield/schemes/hybrid.hh"
+
+namespace yac
+{
+namespace
+{
+
+/** Clears the process-global cache around each test. */
+struct CacheGuard
+{
+    CacheGuard() { SimCache::instance().clear(); }
+    ~CacheGuard()
+    {
+        SimCache::instance().clear();
+        SimCache::instance().setEnabled(true);
+    }
+};
+
+/** Restores automatic thread selection when a test exits. */
+struct ThreadsGuard
+{
+    ~ThreadsGuard() { parallel::setThreads(0); }
+};
+
+SimConfig
+quickConfig()
+{
+    SimConfig cfg;
+    cfg.warmupInsts = 2'000;
+    cfg.measureInsts = 10'000;
+    return cfg;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+bool
+sameStats(const SimStats &a, const SimStats &b)
+{
+    return std::memcmp(&a, &b, sizeof(SimStats)) == 0;
+}
+
+TEST(SimCacheKey, StableAndSensitiveToSemanticFields)
+{
+    const BenchmarkProfile &prof = spec2000Profiles().front();
+    const SimConfig base = quickConfig();
+    const std::uint64_t k = SimCache::key(prof, base);
+    EXPECT_EQ(k, SimCache::key(prof, base)); // deterministic
+
+    SimConfig seed = base;
+    seed.seed = base.seed + 1;
+    EXPECT_NE(k, SimCache::key(prof, seed));
+
+    SimConfig insts = base;
+    insts.measureInsts += 1;
+    EXPECT_NE(k, SimCache::key(prof, insts));
+
+    SimConfig lat = base;
+    lat.hierarchy.l1d.wayLatency.assign(lat.hierarchy.l1d.numWays, 5);
+    EXPECT_NE(k, SimCache::key(prof, lat));
+
+    SimConfig mask = base;
+    mask.hierarchy.l1d.wayMask = 0x7;
+    EXPECT_NE(k, SimCache::key(prof, mask));
+
+    BenchmarkProfile other = prof;
+    other.name += "-renamed"; // the trace generator seeds on the name
+    EXPECT_NE(k, SimCache::key(other, base));
+}
+
+TEST(SimCacheKey, IgnoresCosmeticLabels)
+{
+    const BenchmarkProfile &prof = spec2000Profiles().front();
+    SimConfig a = quickConfig();
+    SimConfig b = a;
+    b.label = "some-other-scheme";
+    b.hierarchy.l1d.name = "renamed-l1d";
+    EXPECT_EQ(SimCache::key(prof, a), SimCache::key(prof, b));
+}
+
+TEST(SimCache, HitReturnsIdenticalStats)
+{
+    CacheGuard guard;
+    const BenchmarkProfile &prof = spec2000Profiles().front();
+    const SimConfig cfg = quickConfig();
+
+    const SimStats fresh = simulateBenchmark(prof, cfg);
+    const SimStats miss = simulateBenchmarkCached(prof, cfg);
+    EXPECT_TRUE(sameStats(fresh, miss));
+    EXPECT_EQ(SimCache::instance().size(), 1u);
+
+    const SimStats hit = simulateBenchmarkCached(prof, cfg);
+    EXPECT_TRUE(sameStats(fresh, hit));
+    EXPECT_EQ(SimCache::instance().size(), 1u);
+}
+
+TEST(SimCache, DisabledBypassesTheCache)
+{
+    CacheGuard guard;
+    const BenchmarkProfile &prof = spec2000Profiles().front();
+    const SimConfig cfg = quickConfig();
+
+    SimCache::instance().setEnabled(false);
+    const SimStats a = simulateBenchmarkCached(prof, cfg);
+    EXPECT_EQ(SimCache::instance().size(), 0u);
+    SimCache::instance().setEnabled(true);
+    const SimStats b = simulateBenchmarkCached(prof, cfg);
+    EXPECT_TRUE(sameStats(a, b));
+}
+
+TEST(SimCache, PersistenceRoundTrip)
+{
+    CacheGuard guard;
+    const std::string path = tempPath("yac_sim_cache_roundtrip.bin");
+    const BenchmarkProfile &prof = spec2000Profiles().front();
+    const SimConfig cfg = quickConfig();
+
+    const SimStats fresh = simulateBenchmarkCached(prof, cfg);
+    ASSERT_TRUE(SimCache::instance().save(path));
+
+    SimCache::instance().clear();
+    ASSERT_EQ(SimCache::instance().size(), 0u);
+    ASSERT_TRUE(SimCache::instance().load(path));
+    EXPECT_EQ(SimCache::instance().size(), 1u);
+
+    SimStats loaded;
+    ASSERT_TRUE(SimCache::instance().lookup(SimCache::key(prof, cfg),
+                                            &loaded));
+    EXPECT_TRUE(sameStats(fresh, loaded));
+    std::filesystem::remove(path);
+}
+
+TEST(SimCache, RejectsMissingAndCorruptFiles)
+{
+    CacheGuard guard;
+    EXPECT_FALSE(
+        SimCache::instance().load(tempPath("yac_no_such_cache.bin")));
+
+    const BenchmarkProfile &prof = spec2000Profiles().front();
+    const SimConfig cfg = quickConfig();
+    simulateBenchmarkCached(prof, cfg);
+
+    // Wrong magic.
+    const std::string bad_magic = tempPath("yac_sim_cache_magic.bin");
+    {
+        std::ofstream out(bad_magic, std::ios::binary);
+        out << "NOTACACHEFILE.................";
+    }
+    EXPECT_FALSE(SimCache::instance().load(bad_magic));
+
+    // Flip one payload byte of a valid file: checksum must catch it.
+    const std::string corrupt = tempPath("yac_sim_cache_corrupt.bin");
+    ASSERT_TRUE(SimCache::instance().save(corrupt));
+    {
+        std::fstream f(corrupt,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekp(32);
+        char byte = 0;
+        f.seekg(32);
+        f.read(&byte, 1);
+        byte = static_cast<char>(byte ^ 0x5a);
+        f.seekp(32);
+        f.write(&byte, 1);
+    }
+    EXPECT_FALSE(SimCache::instance().load(corrupt));
+
+    // Truncated file: must be rejected, not half-read.
+    const std::string truncated = tempPath("yac_sim_cache_trunc.bin");
+    ASSERT_TRUE(SimCache::instance().save(truncated));
+    std::filesystem::resize_file(
+        truncated, std::filesystem::file_size(truncated) / 2);
+    EXPECT_FALSE(SimCache::instance().load(truncated));
+
+    std::filesystem::remove(bad_magic);
+    std::filesystem::remove(corrupt);
+    std::filesystem::remove(truncated);
+}
+
+TEST(SimCache, ThreadSafeUnderConcurrentMixedAccess)
+{
+    CacheGuard guard;
+    const auto &suite = spec2000Profiles();
+    const SimConfig cfg = quickConfig();
+    // Every worker simulates the same handful of scenarios; all must
+    // agree with the serial answer regardless of who fills the cache.
+    std::vector<SimStats> serial(4);
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        serial[i] = simulateBenchmark(suite[i], cfg);
+    std::vector<SimStats> out(32);
+    parallel::forEach(out.size(), [&](std::size_t i) {
+        out[i] = simulateBenchmarkCached(suite[i % serial.size()], cfg);
+    });
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_TRUE(sameStats(out[i], serial[i % serial.size()]))
+            << "task " << i;
+}
+
+/**
+ * Campaign regression (the cache must be invisible): MonteCarlo::run
+ * and MultiCacheYield::run produce byte-identical results with the
+ * sim cache cold, warm, or disabled, at 1/2/8 threads.
+ */
+TEST(SimCache, CampaignsAreByteIdenticalColdWarmDisabled)
+{
+    CacheGuard cache_guard;
+    ThreadsGuard threads_guard;
+
+    MonteCarlo mc;
+    ChipComponent l1d;
+    l1d.name = "L1D";
+    MultiCacheYield chip({l1d}, defaultTechnology());
+    HybridScheme hybrid;
+    const std::vector<const Scheme *> schemes = {&hybrid};
+
+    parallel::setThreads(1);
+    SimCache::instance().setEnabled(false);
+    const MonteCarloResult mc_ref = mc.run({200, 2006});
+    const MultiCacheReport multi_ref =
+        chip.run({200, 2006}, schemes, ConstraintPolicy::nominal());
+
+    // Warm the cache with some unrelated simulation results.
+    SimCache::instance().setEnabled(true);
+    simulateBenchmarkCached(spec2000Profiles().front(), quickConfig());
+
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        for (bool enabled : {false, true}) {
+            parallel::setThreads(threads);
+            SimCache::instance().setEnabled(enabled);
+            const MonteCarloResult r = mc.run({200, 2006});
+            EXPECT_EQ(mc_ref.regularStats.delayMean,
+                      r.regularStats.delayMean);
+            EXPECT_EQ(mc_ref.regularStats.delaySigma,
+                      r.regularStats.delaySigma);
+            EXPECT_EQ(mc_ref.horizontalStats.leakMean,
+                      r.horizontalStats.leakMean);
+            for (std::size_t i = 0; i < r.regular.size(); ++i) {
+                ASSERT_EQ(mc_ref.regular[i].delay(),
+                          r.regular[i].delay());
+                ASSERT_EQ(mc_ref.horizontal[i].leakage(),
+                          r.horizontal[i].leakage());
+            }
+            const MultiCacheReport m = chip.run(
+                {200, 2006}, schemes, ConstraintPolicy::nominal());
+            EXPECT_EQ(multi_ref.basePass, m.basePass);
+            EXPECT_EQ(multi_ref.shippable, m.shippable);
+            EXPECT_EQ(multi_ref.componentBaseFail,
+                      m.componentBaseFail);
+            EXPECT_EQ(multi_ref.componentUnsaved, m.componentUnsaved);
+        }
+    }
+}
+
+} // namespace
+} // namespace yac

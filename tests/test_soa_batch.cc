@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Byte-identity contract of the batched SoA fast path against the
+ * scalar AoS pipeline, plus the zero-allocation guarantee of the warm
+ * per-worker arenas. The batched path must not merely be close -- it
+ * must produce the *same bits* as sampling a CacheVariationMap and
+ * evaluating it through CacheModel, at every seed.
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "circuit/batch_eval.hh"
+#include "circuit/cache_model.hh"
+#include "circuit/geometry.hh"
+#include "circuit/technology.hh"
+#include "util/rng.hh"
+#include "variation/sampler.hh"
+#include "variation/soa_batch.hh"
+
+// ---------------------------------------------------------------------
+// Counting allocator: global operator new/delete instrumented with an
+// allocation counter, so tests can assert a code region performs zero
+// heap allocations. Only this test binary overrides the operators.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::atomic<std::size_t> g_allocs{0};
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    ++g_allocs;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    ++g_allocs;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+namespace yac
+{
+namespace
+{
+
+void
+expectSameParams(const ProcessParams &a, const ProcessParams &b,
+                 const char *what)
+{
+    for (ProcessParam p : kAllProcessParams)
+        EXPECT_EQ(a.get(p), b.get(p)) << what;
+}
+
+TEST(SoaBatch, SamplingMatchesScalarMapBitwise)
+{
+    const VariationSampler sampler;
+    const VariationGeometry &g = sampler.geometry();
+    for (std::uint64_t seed : {1u, 42u, 2006u, 31337u}) {
+        Rng scalar_rng(seed);
+        Rng soa_rng(seed);
+        const CacheVariationMap map = sampler.sample(scalar_rng);
+        ChipBatchSoa soa;
+        soa.ensure(g, 1);
+        sampleChipSoa(sampler, soa_rng, soa, 0);
+
+        ASSERT_EQ(map.ways.size(), g.numWays);
+        for (std::size_t w = 0; w < g.numWays; ++w) {
+            const WayVariation &way = map.ways[w];
+            expectSameParams(way.base, soa.load(0, soa.baseSlot(w)),
+                             "base");
+            expectSameParams(way.decoder,
+                             soa.load(0, soa.peripheralSlot(w, 0)),
+                             "decoder");
+            expectSameParams(way.precharge,
+                             soa.load(0, soa.peripheralSlot(w, 1)),
+                             "precharge");
+            expectSameParams(way.senseAmp,
+                             soa.load(0, soa.peripheralSlot(w, 2)),
+                             "senseAmp");
+            expectSameParams(way.outputDriver,
+                             soa.load(0, soa.peripheralSlot(w, 3)),
+                             "outputDriver");
+            for (std::size_t b = 0; b < g.banksPerWay; ++b) {
+                for (std::size_t gr = 0; gr < g.rowGroupsPerBank;
+                     ++gr) {
+                    expectSameParams(
+                        way.rowGroups[b][gr],
+                        soa.load(0, soa.rowGroupSlot(w, b, gr)),
+                        "rowGroup");
+                    expectSameParams(
+                        way.worstCell[b][gr],
+                        soa.load(0, soa.worstCellSlot(w, b, gr)),
+                        "worstCell");
+                }
+            }
+        }
+    }
+}
+
+TEST(SoaBatch, SamplingWithExternalDieMatchesScalarBitwise)
+{
+    // The multi-cache path: an externally supplied die/center draw.
+    const VariationSampler sampler;
+    const VariationTable table;
+    for (std::uint64_t seed : {7u, 99u, 2025u}) {
+        Rng scalar_rng(seed);
+        Rng soa_rng(seed);
+        const ProcessParams die_a = table.sampleDie(scalar_rng, 1.0);
+        const ProcessParams die_b = table.sampleDie(soa_rng, 1.0);
+        expectSameParams(die_a, die_b, "die");
+
+        const CacheVariationMap map =
+            sampler.sampleWithDie(scalar_rng, die_a);
+        ChipBatchSoa soa;
+        soa.ensure(sampler.geometry(), 1);
+        sampleChipWithDieSoa(sampler, soa_rng, die_b, soa, 0);
+
+        for (std::size_t w = 0; w < map.ways.size(); ++w) {
+            expectSameParams(map.ways[w].base,
+                             soa.load(0, soa.baseSlot(w)), "base");
+            expectSameParams(map.ways[w].worstCell[0][0],
+                             soa.load(0, soa.worstCellSlot(w, 0, 0)),
+                             "worstCell");
+        }
+    }
+}
+
+void
+expectSameTiming(const CacheTiming &scalar, const CacheTiming &batched)
+{
+    ASSERT_EQ(scalar.ways.size(), batched.ways.size());
+    EXPECT_EQ(scalar.layout, batched.layout);
+    EXPECT_EQ(scalar.delay(), batched.delay());
+    EXPECT_EQ(scalar.leakage(), batched.leakage());
+    for (std::size_t w = 0; w < scalar.ways.size(); ++w) {
+        EXPECT_EQ(scalar.ways[w].pathDelays, batched.ways[w].pathDelays)
+            << "way " << w;
+        EXPECT_EQ(scalar.ways[w].groupCellLeakage,
+                  batched.ways[w].groupCellLeakage)
+            << "way " << w;
+        EXPECT_EQ(scalar.ways[w].peripheralLeakage,
+                  batched.ways[w].peripheralLeakage)
+            << "way " << w;
+    }
+}
+
+TEST(SoaBatch, EvaluationMatchesScalarCacheModelBitwise)
+{
+    const CacheGeometry geom;
+    const Technology tech = defaultTechnology();
+    const VariationSampler sampler;
+    const CacheModel regular(geom, tech, CacheLayout::Regular);
+    const CacheModel horizontal(geom, tech, CacheLayout::Horizontal);
+    const BatchChipEvaluator batch(geom, tech);
+
+    ChipBatchSoa soa;
+    const std::size_t chips = 16;
+    soa.ensure(sampler.geometry(), chips);
+    std::vector<CacheVariationMap> maps(chips);
+    {
+        Rng scalar_rng(2006);
+        Rng soa_rng(2006);
+        for (std::size_t i = 0; i < chips; ++i) {
+            Rng a = scalar_rng.split(i);
+            Rng b = soa_rng.split(i);
+            maps[i] = sampler.sample(a);
+            sampleChipSoa(sampler, b, soa, i);
+        }
+    }
+
+    for (std::size_t i = 0; i < chips; ++i) {
+        const CacheTiming scalar_reg = regular.evaluate(maps[i]);
+        const CacheTiming scalar_hor = horizontal.evaluate(maps[i]);
+        CacheTiming batched_reg, batched_hor;
+        batch.prepareTiming(batched_reg, CacheLayout::Regular);
+        batch.prepareTiming(batched_hor, CacheLayout::Horizontal);
+        batch.evaluateChip(soa, i, batched_reg, &batched_hor);
+        expectSameTiming(scalar_reg, batched_reg);
+        expectSameTiming(scalar_hor, batched_hor);
+    }
+}
+
+TEST(SoaBatch, RegularOnlyEvaluationMatchesDualLayout)
+{
+    // The multi-cache path evaluates Regular only (horizontal ==
+    // nullptr); that must not change the Regular bits.
+    const CacheGeometry geom;
+    const Technology tech = defaultTechnology();
+    const VariationSampler sampler;
+    const BatchChipEvaluator batch(geom, tech);
+
+    ChipBatchSoa soa;
+    soa.ensure(sampler.geometry(), 1);
+    Rng rng(1234);
+    sampleChipSoa(sampler, rng, soa, 0);
+
+    CacheTiming dual_reg, dual_hor, only_reg;
+    batch.prepareTiming(dual_reg, CacheLayout::Regular);
+    batch.prepareTiming(dual_hor, CacheLayout::Horizontal);
+    batch.prepareTiming(only_reg, CacheLayout::Regular);
+    batch.evaluateChip(soa, 0, dual_reg, &dual_hor);
+    batch.evaluateChip(soa, 0, only_reg, nullptr);
+    expectSameTiming(dual_reg, only_reg);
+}
+
+TEST(SoaBatch, NonDefaultGeometryMatchesScalarBitwise)
+{
+    // A second geometry (the multi-cache L1I shape differs only by
+    // name here, so vary the real knobs): fewer banks, more groups.
+    CacheGeometry geom;
+    geom.banksPerWay = 2;
+    geom.rowGroupsPerBank = 16;
+    const Technology tech = defaultTechnology();
+    const VariationSampler sampler(VariationTable(), CorrelationModel(),
+                                   geom.variationGeometry());
+    const CacheModel regular(geom, tech, CacheLayout::Regular);
+    const BatchChipEvaluator batch(geom, tech);
+
+    ChipBatchSoa soa;
+    soa.ensure(sampler.geometry(), 1);
+    for (std::uint64_t seed : {3u, 17u}) {
+        Rng scalar_rng(seed);
+        Rng soa_rng(seed);
+        const CacheVariationMap map = sampler.sample(scalar_rng);
+        sampleChipSoa(sampler, soa_rng, soa, 0);
+        CacheTiming batched;
+        batch.prepareTiming(batched, CacheLayout::Regular);
+        batch.evaluateChip(soa, 0, batched, nullptr);
+        expectSameTiming(regular.evaluate(map), batched);
+    }
+}
+
+TEST(SoaBatch, EnsureIsGrowOnly)
+{
+    const VariationSampler sampler;
+    ChipBatchSoa soa;
+    soa.ensure(sampler.geometry(), 64);
+    const std::size_t slots = soa.slotsPerChip;
+    ASSERT_GT(slots, 0u);
+    const double *data = soa.plane[0].data();
+    // Shrinking requests reuse the existing buffers.
+    soa.ensure(sampler.geometry(), 8);
+    EXPECT_EQ(soa.plane[0].data(), data);
+    EXPECT_EQ(soa.slotsPerChip, slots);
+    soa.ensure(sampler.geometry(), 64);
+    EXPECT_EQ(soa.plane[0].data(), data);
+}
+
+TEST(SoaBatch, WarmSampleEvaluateLoopIsAllocationFree)
+{
+    const CacheGeometry geom;
+    const Technology tech = defaultTechnology();
+    const VariationSampler sampler;
+    const BatchChipEvaluator batch(geom, tech);
+    const std::size_t chips = 64;
+
+    ChipBatchSoa soa;
+    std::vector<CacheTiming> regular(chips), horizontal(chips);
+    // Warm-up pass: arena growth and output sizing happen here.
+    Rng rng(2006);
+    soa.ensure(sampler.geometry(), chips);
+    for (std::size_t i = 0; i < chips; ++i) {
+        Rng chip_rng = rng.split(i);
+        sampleChipSoa(sampler, chip_rng, soa, i);
+        batch.prepareTiming(regular[i], CacheLayout::Regular);
+        batch.prepareTiming(horizontal[i], CacheLayout::Horizontal);
+        batch.evaluateChip(soa, i, regular[i], &horizontal[i]);
+    }
+
+    // Steady state: the same loop must not touch the heap at all.
+    const std::size_t before = g_allocs.load();
+    for (std::size_t round = 0; round < 3; ++round) {
+        soa.ensure(sampler.geometry(), chips);
+        for (std::size_t i = 0; i < chips; ++i) {
+            Rng chip_rng = rng.split(i + 1);
+            sampleChipSoa(sampler, chip_rng, soa, i);
+            batch.prepareTiming(regular[i], CacheLayout::Regular);
+            batch.prepareTiming(horizontal[i], CacheLayout::Horizontal);
+            batch.evaluateChip(soa, i, regular[i], &horizontal[i]);
+        }
+    }
+    EXPECT_EQ(g_allocs.load(), before)
+        << "warm sample+evaluate loop allocated";
+}
+
+} // namespace
+} // namespace yac
