@@ -38,7 +38,8 @@ bufferDepthSweep(const MonteCarloResult &mc)
         VacaScheme vaca(depth);
         HybridScheme hybrid(depth);
         const LossTable t =
-            buildLossTable(mc.regular, c, m, {&vaca, &hybrid});
+            buildLossTable(mc.regular, mc.weights, c, m,
+                           {&vaca, &hybrid});
         out.addRow({TextTable::num(static_cast<long long>(depth)),
                     std::to_string(4 + depth) + " cycles",
                     TextTable::num(
@@ -72,7 +73,8 @@ hyapdOverheadSweep(const bench::BenchOptions &opts)
         HYapdScheme hyapd;
         HybridHScheme hybrid_h;
         const LossTable t =
-            buildLossTable(r.horizontal, c, m, {&hyapd, &hybrid_h});
+            buildLossTable(r.horizontal, r.weights, c, m,
+                           {&hyapd, &hybrid_h});
         out.addRow({TextTable::percent(overhead, 1),
                     TextTable::num(
                         static_cast<long long>(t.baseTotal)),
@@ -108,10 +110,11 @@ correlationSweep(const bench::BenchOptions &opts)
             r.cycleMapping(ConstraintPolicy::nominal());
         YapdScheme yapd;
         const LossTable reg =
-            buildLossTable(r.regular, c, m, {&yapd});
+            buildLossTable(r.regular, r.weights, c, m, {&yapd});
         HYapdScheme hyapd;
         const LossTable hor =
-            buildLossTable(r.horizontal, c, m, {&hyapd});
+            buildLossTable(r.horizontal, r.weights, c, m,
+                           {&hyapd});
         out.addRow({TextTable::num(scale, 2),
                     TextTable::num(
                         static_cast<long long>(reg.baseTotal)),
@@ -140,7 +143,8 @@ regionGranularitySweep(const MonteCarloResult &mc)
     for (std::size_t regions : {2u, 4u, 8u, 16u, 32u}) {
         HYapdScheme hyapd(0.5, 1, regions);
         const LossTable t =
-            buildLossTable(mc.horizontal, c, m, {&hyapd});
+            buildLossTable(mc.horizontal, mc.weights, c, m,
+                           {&hyapd});
         const int leak = t.schemes[0].at(LossReason::Leakage);
         out.addRow({TextTable::num(static_cast<long long>(regions)),
                     TextTable::num(
@@ -170,7 +174,8 @@ budgetSweep(const MonteCarloResult &mc)
         YapdScheme yapd(budget);
         HybridScheme hybrid(1, budget);
         const LossTable t =
-            buildLossTable(mc.regular, c, m, {&yapd, &hybrid});
+            buildLossTable(mc.regular, mc.weights, c, m,
+                           {&yapd, &hybrid});
         out.addRow({TextTable::num(static_cast<long long>(budget)),
                     TextTable::num(
                         static_cast<long long>(t.schemes[0].total)),

@@ -52,15 +52,17 @@ main(int argc, char **argv)
                     TextTable::num(static_cast<long long>(
                         r.binCounts[2])),
                     TextTable::num(static_cast<long long>(r.scrapped)),
-                    TextTable::num(r.averageRevenue(mc.regular.size()),
-                                   2)});
+                    TextTable::num(r.averageRevenue(), 2)});
     };
-    const BinningReport plain = binning.binPopulation(mc.regular);
+    const BinningReport plain =
+        binning.binPopulation(mc.regular, mc.weights);
     add_row("binning only", plain);
-    add_row("binning + YAPD", binning.binPopulation(mc.regular, yapd));
-    add_row("binning + VACA", binning.binPopulation(mc.regular, vaca));
+    add_row("binning + YAPD",
+            binning.binPopulation(mc.regular, mc.weights, yapd));
+    add_row("binning + VACA",
+            binning.binPopulation(mc.regular, mc.weights, vaca));
     const BinningReport with_hybrid =
-        binning.binPopulation(mc.regular, hybrid);
+        binning.binPopulation(mc.regular, mc.weights, hybrid);
     add_row("binning + Hybrid", with_hybrid);
     out.print();
 

@@ -161,11 +161,14 @@ printLossTable(const std::string &title, const LossTable &table)
     out.print();
 
     std::printf("\n");
-    std::printf("overall yield: base %s",
-                TextTable::percent(table.yieldOf("Base")).c_str());
+    const YieldEstimate base = table.yieldOf("Base");
+    std::printf("overall yield: base %s (+/-%s)",
+                TextTable::percent(base.value).c_str(),
+                TextTable::percent(base.stdErr).c_str());
     for (const SchemeLosses &s : table.schemes) {
+        const YieldEstimate e = table.yieldOf(s.scheme);
         std::printf(" | %s %s (loss -%s)", s.scheme.c_str(),
-                    TextTable::percent(table.yieldOf(s.scheme)).c_str(),
+                    TextTable::percent(e.value).c_str(),
                     TextTable::percent(
                         table.lossReductionOf(s.scheme)).c_str());
     }

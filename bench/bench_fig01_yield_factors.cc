@@ -86,10 +86,11 @@ main(int argc, char **argv)
     const MonteCarloResult result =
         bench::paperMonteCarlo(opts.chips, opts.seed);
     const ConstraintPolicy policy = ConstraintPolicy::nominal();
-    const LossTable t =
-        buildLossTable(result.regular, result.constraints(policy),
-                       result.cycleMapping(policy), {});
-    const double parametric_loss = 100.0 * (1.0 - t.yieldOf("Base"));
+    const LossTable t = buildLossTable(
+        result.regular, result.weights, result.constraints(policy),
+        result.cycleMapping(policy), {});
+    const double parametric_loss =
+        100.0 * (1.0 - t.yieldOf("Base").value);
     std::printf("\nmodel cross-check: %zu-chip Monte Carlo campaign "
                 "loses %.1f%% of chips to parametric violations under "
                 "nominal constraints (figure's 90 nm share: %.0f%%).\n",

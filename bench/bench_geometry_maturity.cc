@@ -60,7 +60,7 @@ runCampaign(const bench::BenchOptions &opts, const CacheGeometry &geom,
     YapdScheme yapd;
     HybridScheme hybrid;
     const LossTable t =
-        buildLossTable(r.regular, c, m, {&yapd, &hybrid});
+        buildLossTable(r.regular, r.weights, c, m, {&yapd, &hybrid});
     return {t.baseTotal, t.schemes[0].total, t.schemes[1].total};
 }
 

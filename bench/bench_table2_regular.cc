@@ -32,7 +32,8 @@ main(int argc, char **argv)
     VacaScheme vaca;
     HybridScheme hybrid;
     const LossTable table = buildLossTable(
-        mc.regular, constraints, mapping, {&yapd, &vaca, &hybrid});
+        mc.regular, mc.weights, constraints, mapping,
+        {&yapd, &vaca, &hybrid});
     bench::printLossTable("Losses with scheme:", table);
 
     std::printf("paper reference (2000 chips): base "

@@ -35,7 +35,8 @@ main(int argc, char **argv)
     VacaScheme vaca;
     HybridHScheme hybrid_h;
     const LossTable table = buildLossTable(
-        mc.horizontal, constraints, mapping, {&hyapd, &vaca, &hybrid_h});
+        mc.horizontal, mc.weights, constraints, mapping,
+        {&hyapd, &vaca, &hybrid_h});
     bench::printLossTable("Losses with scheme:", table);
 
     std::printf("paper reference (2000 chips): base "

@@ -34,8 +34,8 @@ main(int argc, char **argv)
          {ConstraintPolicy::relaxed(), ConstraintPolicy::strict()}) {
         const YieldConstraints c = mc.constraints(policy);
         const CycleMapping m = mc.cycleMapping(policy);
-        const LossTable t = buildLossTable(mc.regular, c, m,
-                                           {&yapd, &vaca, &hybrid});
+        const LossTable t = buildLossTable(
+            mc.regular, mc.weights, c, m, {&yapd, &vaca, &hybrid});
         out.addRow({policy.name,
                     TextTable::num(static_cast<long long>(t.baseTotal)),
                     TextTable::num(
@@ -45,7 +45,7 @@ main(int argc, char **argv)
                     TextTable::num(
                         static_cast<long long>(t.schemes[2].total))});
         std::printf("%s: Hybrid yield %s\n", policy.name.c_str(),
-                    TextTable::percent(t.yieldOf("Hybrid")).c_str());
+                    TextTable::percent(t.yieldOf("Hybrid").value).c_str());
     }
     std::printf("\n");
     out.print();

@@ -35,8 +35,9 @@ main(int argc, char **argv)
          {ConstraintPolicy::relaxed(), ConstraintPolicy::strict()}) {
         const YieldConstraints c = mc.constraints(policy);
         const CycleMapping m = mc.cycleMapping(policy);
-        const LossTable t = buildLossTable(mc.horizontal, c, m,
-                                           {&hyapd, &vaca, &hybrid_h});
+        const LossTable t = buildLossTable(
+            mc.horizontal, mc.weights, c, m,
+            {&hyapd, &vaca, &hybrid_h});
         out.addRow({policy.name,
                     TextTable::num(static_cast<long long>(t.baseTotal)),
                     TextTable::num(

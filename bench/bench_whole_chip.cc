@@ -61,8 +61,9 @@ main(int argc, char **argv)
         const MultiCacheReport r = chip.run(
             {opts.chips, opts.seed}, {c.d, c.i},
             ConstraintPolicy::nominal());
-        out.addRow({c.name, TextTable::percent(r.baseYield()),
-                    TextTable::percent(r.schemeYield()),
+        out.addRow({c.name,
+                    TextTable::percent(r.baseYield().value),
+                    TextTable::percent(r.schemeYield().value),
                     TextTable::num(static_cast<long long>(
                         r.componentUnsaved[0])),
                     TextTable::num(static_cast<long long>(

@@ -47,30 +47,39 @@ main()
     YapdScheme yapd;
     VacaScheme vaca;
     HybridScheme hybrid;
-    const LossTable regular = buildLossTable(
-        result.regular, limits, cycles, {&yapd, &vaca, &hybrid});
+    const LossTable regular =
+        buildLossTable(result.regular, result.weights, limits, cycles,
+                       {&yapd, &vaca, &hybrid});
     HYapdScheme hyapd;
     const LossTable horizontal = buildLossTable(
-        result.horizontal, limits, cycles, {&hyapd});
+        result.horizontal, result.weights, limits, cycles, {&hyapd});
 
+    // yieldOf returns a YieldEstimate: the value plus its Monte Carlo
+    // standard error and effective sample size.
     TextTable out({"Scheme", "Chips lost", "Yield", "Loss reduction"});
     out.addRow({"none (base)",
                 TextTable::num(static_cast<long long>(regular.baseTotal)),
-                TextTable::percent(regular.yieldOf("Base")), "-"});
+                TextTable::percent(regular.yieldOf("Base").value), "-"});
     for (const SchemeLosses &s : regular.schemes) {
         out.addRow({s.scheme,
                     TextTable::num(static_cast<long long>(s.total)),
-                    TextTable::percent(regular.yieldOf(s.scheme)),
+                    TextTable::percent(regular.yieldOf(s.scheme).value),
                     TextTable::percent(
                         regular.lossReductionOf(s.scheme))});
     }
     out.addRow({"H-YAPD (h-layout)",
                 TextTable::num(static_cast<long long>(
                     horizontal.schemes[0].total)),
-                TextTable::percent(horizontal.yieldOf("H-YAPD")),
+                TextTable::percent(horizontal.yieldOf("H-YAPD").value),
                 TextTable::percent(
                     horizontal.lossReductionOf("H-YAPD"))});
     out.print();
+
+    const YieldEstimate base = regular.yieldOf("Base");
+    std::printf("\nbase yield %.1f%% +/- %.1f%% (ESS %.0f of %zu "
+                "chips)\n",
+                100.0 * base.value, 100.0 * base.stdErr, base.ess,
+                base.chips);
 
     std::printf("\nHybrid = VACA's 5-cycle tolerance + one power-down:"
                 " the best of both, as in the paper.\n");

@@ -54,16 +54,17 @@ main(int argc, char **argv)
         ConstraintPolicy policy{"sweep", k, 3.0};
         const YieldConstraints c = result.constraints(policy);
         const CycleMapping m = result.cycleMapping(policy);
-        const LossTable t =
-            buildLossTable(result.regular, c, m, schemes);
-        delay_table.addRow({"mean+" + TextTable::num(k, 2) + "s",
-                            TextTable::percent(t.yieldOf("Base")),
-                            TextTable::percent(t.yieldOf("YAPD")),
-                            TextTable::percent(t.yieldOf("VACA")),
-                            TextTable::percent(t.yieldOf("Hybrid"))});
+        const LossTable t = buildLossTable(result.regular,
+                                           result.weights, c, m, schemes);
+        delay_table.addRow(
+            {"mean+" + TextTable::num(k, 2) + "s",
+             TextTable::percent(t.yieldOf("Base").value),
+             TextTable::percent(t.yieldOf("YAPD").value),
+             TextTable::percent(t.yieldOf("VACA").value),
+             TextTable::percent(t.yieldOf("Hybrid").value)});
         csv.writeRow(std::vector<double>{
-            k, 3.0, t.yieldOf("Base"), t.yieldOf("YAPD"),
-            t.yieldOf("VACA"), t.yieldOf("Hybrid")});
+            k, 3.0, t.yieldOf("Base").value, t.yieldOf("YAPD").value,
+            t.yieldOf("VACA").value, t.yieldOf("Hybrid").value});
     }
     delay_table.print();
 
@@ -75,16 +76,17 @@ main(int argc, char **argv)
         ConstraintPolicy policy{"sweep", 1.0, f};
         const YieldConstraints c = result.constraints(policy);
         const CycleMapping m = result.cycleMapping(policy);
-        const LossTable t =
-            buildLossTable(result.regular, c, m, schemes);
-        leak_table.addRow({TextTable::num(f, 1) + "x mean",
-                           TextTable::percent(t.yieldOf("Base")),
-                           TextTable::percent(t.yieldOf("YAPD")),
-                           TextTable::percent(t.yieldOf("VACA")),
-                           TextTable::percent(t.yieldOf("Hybrid"))});
+        const LossTable t = buildLossTable(result.regular,
+                                           result.weights, c, m, schemes);
+        leak_table.addRow(
+            {TextTable::num(f, 1) + "x mean",
+             TextTable::percent(t.yieldOf("Base").value),
+             TextTable::percent(t.yieldOf("YAPD").value),
+             TextTable::percent(t.yieldOf("VACA").value),
+             TextTable::percent(t.yieldOf("Hybrid").value)});
         csv.writeRow(std::vector<double>{
-            1.0, f, t.yieldOf("Base"), t.yieldOf("YAPD"),
-            t.yieldOf("VACA"), t.yieldOf("Hybrid")});
+            1.0, f, t.yieldOf("Base").value, t.yieldOf("YAPD").value,
+            t.yieldOf("VACA").value, t.yieldOf("Hybrid").value});
     }
     leak_table.print();
 

@@ -1,5 +1,6 @@
 #include "util/options.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -52,6 +53,20 @@ OptionParser::add(const std::string &name, const std::string &help,
         if (value.empty() && !allow_empty)
             yac_fatal("--", name, " wants a non-empty value");
         *out = value;
+    });
+}
+
+void
+OptionParser::add(const std::string &name, const std::string &help,
+                  double *out)
+{
+    add(name, help, [name, out](const std::string &value) {
+        char *end = nullptr;
+        const double v = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0' || !std::isfinite(v))
+            yac_fatal("--", name, " wants a finite number, got '", value,
+                      "'");
+        *out = v;
     });
 }
 
@@ -143,6 +158,23 @@ addCampaignOptions(OptionParser &parser, CampaignOptions &opts)
                "persist the simulation memo cache to FILE "
                "(loaded on start, saved on exit)",
                &opts.simCache);
+    parser.add("sampling",
+               "sampling plan: naive (default) or tilted "
+               "(importance sampling)",
+               [&opts](const std::string &value) {
+                   if (value != "naive" && value != "tilted") {
+                       yac_fatal("--sampling wants naive or tilted, "
+                                 "got '", value, "'");
+                   }
+                   opts.sampling = value;
+               });
+    parser.add("tilt",
+               "tilted only: die-mean shift toward the slow corner "
+               "in sigma units (default 2.0)",
+               &opts.tilt);
+    parser.add("sigma-scale",
+               "tilted only: die-sigma multiplier (default 1.0)",
+               &opts.sigmaScale);
 }
 
 CampaignOptions

@@ -32,6 +32,15 @@ struct CampaignOptions
     std::string outDir = "out"; //!< where CSV artifacts land
     std::string traceOut;       //!< Chrome trace path; empty = off
     std::string simCache;       //!< sim memo cache file; empty = RAM only
+
+    /** Sampling-plan knobs (--sampling/--tilt/--sigma-scale). The
+     *  tilt/sigmaScale defaults only matter when sampling=="tilted";
+     *  ~2 sigma along the unit delay-gradient direction is the sweet
+     *  spot for the paper's deep Delay3/Delay4 tail yields (see
+     *  docs/SAMPLING.md). */
+    std::string sampling = "naive"; //!< naive | tilted
+    double tilt = 2.0;              //!< die-mean shift [sigma units]
+    double sigmaScale = 1.0;        //!< die-sigma multiplier
 };
 
 /**
@@ -61,6 +70,10 @@ class OptionParser
     /** Register `--name` taking a (possibly empty) string. */
     void add(const std::string &name, const std::string &help,
              std::string *out, bool allow_empty = false);
+
+    /** Register `--name` taking a finite floating-point value. */
+    void add(const std::string &name, const std::string &help,
+             double *out);
 
     /**
      * Register `--name VALUE` with a custom consumer; the consumer

@@ -8,28 +8,6 @@
 namespace yac
 {
 
-namespace
-{
-
-/**
- * One Neumaier-compensated summation step: folds @p x into the
- * running (@p sum, @p comp) pair. Unlike classic Kahan, the
- * compensation survives when the new term is larger than the sum,
- * which happens routinely when merging shard accumulators.
- */
-void
-neumaierAdd(double &sum, double &comp, double x)
-{
-    const double t = sum + x;
-    if (std::abs(sum) >= std::abs(x))
-        comp += (sum - t) + x;
-    else
-        comp += (x - t) + sum;
-    sum = t;
-}
-
-} // namespace
-
 void
 RunningStats::add(double x)
 {
@@ -81,6 +59,89 @@ double
 RunningStats::stddev() const
 {
     return std::sqrt(variance());
+}
+
+void
+WeightedRunningStats::add(double x, double w)
+{
+    yac_assert(std::isfinite(w) && w > 0.0,
+               "importance weight must be positive and finite");
+    ++count_;
+    const double w_new = weightSum() + w;
+    const double delta = x - mean_;
+    mean_ += delta * (w / w_new);
+    s_ += w * delta * (x - mean_);
+    neumaierAdd(w_, wComp_, w);
+    neumaierAdd(w2_, w2Comp_, w * w);
+    neumaierAdd(w2x_, w2xComp_, w * w * x);
+    neumaierAdd(w2xx_, w2xxComp_, w * w * x * x);
+}
+
+void
+WeightedRunningStats::merge(const WeightedRunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double w1 = weightSum();
+    const double w2 = other.weightSum();
+    const double total = w1 + w2;
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * (w2 / total);
+    s_ += other.s_ + delta * delta * w1 * (w2 / total);
+    count_ += other.count_;
+    neumaierAdd(w_, wComp_, other.w_);
+    neumaierAdd(w_, wComp_, other.wComp_);
+    neumaierAdd(w2_, w2Comp_, other.w2_);
+    neumaierAdd(w2_, w2Comp_, other.w2Comp_);
+    neumaierAdd(w2x_, w2xComp_, other.w2x_);
+    neumaierAdd(w2x_, w2xComp_, other.w2xComp_);
+    neumaierAdd(w2xx_, w2xxComp_, other.w2xx_);
+    neumaierAdd(w2xx_, w2xxComp_, other.w2xxComp_);
+}
+
+double
+WeightedRunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double w = weightSum();
+    const double denom = w - weightSqSum() / w;
+    if (denom <= 0.0)
+        return 0.0;
+    return s_ / denom;
+}
+
+double
+WeightedRunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+WeightedRunningStats::meanStdErr() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double w = weightSum();
+    // sum of w_i^2 (x_i - mean)^2, expanded so it folds into the
+    // mergeable compensated power sums.
+    const double ss = weightSqSum() * mean_ * mean_ -
+                      2.0 * mean_ * (w2x_ + w2xComp_) +
+                      (w2xx_ + w2xxComp_);
+    return std::sqrt(std::max(0.0, ss)) / w;
+}
+
+double
+WeightedRunningStats::ess() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double w = weightSum();
+    return w * w / weightSqSum();
 }
 
 SampleSummary::SampleSummary(std::vector<double> samples)

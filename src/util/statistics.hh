@@ -7,11 +7,31 @@
 #ifndef YAC_UTIL_STATISTICS_HH
 #define YAC_UTIL_STATISTICS_HH
 
+#include <cmath>
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace yac
 {
+
+/**
+ * One Neumaier-compensated summation step: folds @p x into the
+ * running (@p sum, @p comp) pair. Unlike classic Kahan, the
+ * compensation survives when the new term is larger than the sum,
+ * which happens routinely when merging shard accumulators. The
+ * compensated total is sum + comp.
+ */
+inline void
+neumaierAdd(double &sum, double &comp, double x)
+{
+    const double t = sum + x;
+    if (std::fabs(sum) >= std::fabs(x))
+        comp += (sum - t) + x;
+    else
+        comp += (x - t) + sum;
+    sum = t;
+}
 
 /**
  * Single-pass accumulator for mean/variance (Welford's algorithm),
@@ -38,11 +58,19 @@ class RunningStats
     /** Unbiased sample standard deviation. */
     double stddev() const;
 
-    /** Smallest sample seen. */
-    double min() const { return min_; }
+    /** Smallest sample seen (NaN if empty). */
+    double min() const
+    {
+        return count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
+                           : min_;
+    }
 
-    /** Largest sample seen. */
-    double max() const { return max_; }
+    /** Largest sample seen (NaN if empty). */
+    double max() const
+    {
+        return count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
+                           : max_;
+    }
 
     /** Sum of all samples (Kahan-compensated, exact to ~1 ulp). */
     double sum() const { return sum_ + comp_; }
@@ -55,6 +83,75 @@ class RunningStats
     double max_ = 0.0;
     double sum_ = 0.0;
     double comp_ = 0.0; //!< Kahan compensation term for sum_
+};
+
+/**
+ * Single-pass accumulator for importance-weighted samples: weighted
+ * mean/variance (West's incremental algorithm), Neumaier-compensated
+ * weight sums, and the Kish effective sample size. The workhorse of
+ * tilted (importance-sampled) yield campaigns, where each chip
+ * carries a likelihood-ratio weight; with unit weights it reduces to
+ * the plain RunningStats estimates (mean, unbiased variance,
+ * ESS == count), though not bitwise -- the naive campaign path keeps
+ * using RunningStats for exactly that reason.
+ */
+class WeightedRunningStats
+{
+  public:
+    /** Fold one sample with weight @p w. @pre w > 0 and finite */
+    void add(double x, double w);
+
+    /** Fold another accumulator into this one. */
+    void merge(const WeightedRunningStats &other);
+
+    /** Number of samples observed (not the weight total). */
+    std::size_t count() const { return count_; }
+
+    /** Weighted mean (0 if empty). */
+    double mean() const { return mean_; }
+
+    /**
+     * Unbiased weighted variance under the reliability-weights
+     * convention: s / (W - W2/W), which reduces to the familiar
+     * s / (n - 1) for unit weights. 0 if fewer than two samples.
+     */
+    double variance() const;
+
+    /** Square root of variance(). */
+    double stddev() const;
+
+    /**
+     * Delta-method standard error of the weighted mean,
+     * sqrt(sum w_i^2 (x_i - mean)^2) / W. This is the plug-in
+     * stderr of the self-normalized importance-sampling estimator.
+     */
+    double meanStdErr() const;
+
+    /**
+     * Kish effective sample size (sum w)^2 / (sum w^2): the number of
+     * equally weighted samples carrying the same estimator variance.
+     * Always <= count(); equality iff all weights are equal.
+     */
+    double ess() const;
+
+    /** Total weight, Neumaier-compensated. */
+    double weightSum() const { return w_ + wComp_; }
+
+    /** Total squared weight, Neumaier-compensated. */
+    double weightSqSum() const { return w2_ + w2Comp_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double s_ = 0.0;       //!< West's weighted sum of squared deviations
+    double w_ = 0.0;       //!< sum of weights
+    double wComp_ = 0.0;   //!< Neumaier compensation for w_
+    double w2_ = 0.0;      //!< sum of squared weights
+    double w2Comp_ = 0.0;  //!< Neumaier compensation for w2_
+    double w2x_ = 0.0;     //!< sum of w^2 * x (for meanStdErr)
+    double w2xComp_ = 0.0;
+    double w2xx_ = 0.0;    //!< sum of w^2 * x^2 (for meanStdErr)
+    double w2xxComp_ = 0.0;
 };
 
 /**

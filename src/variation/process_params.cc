@@ -1,10 +1,26 @@
 #include "variation/process_params.hh"
 
+#include <cmath>
+
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "variation/sampling_plan.hh"
 
 namespace yac
 {
+
+namespace
+{
+
+/** P(a <= Z <= b) for a standard normal Z. */
+double
+normalMass(double a, double b)
+{
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    return 0.5 * (std::erf(b * inv_sqrt2) - std::erf(a * inv_sqrt2));
+}
+
+} // namespace
 
 const char *
 processParamName(ProcessParam p)
@@ -75,6 +91,63 @@ ProcessParams
 VariationTable::sampleDie(Rng &rng, double sigma_scale) const
 {
     return sampleAround(rng, nominalParams(), sigma_scale);
+}
+
+ProcessParams
+VariationTable::sampleDie(Rng &rng, const SamplingPlan &plan,
+                          double &weight) const
+{
+    if (plan.isNaive()) {
+        weight = 1.0;
+        return sampleDie(rng, 1.0);
+    }
+
+    // The naive die draw truncates every parameter at +/-3 sigma; the
+    // tilted proposal is restricted by rejection to that same window,
+    // so p and q share a support and p/q is strictly positive. The
+    // per-parameter density ratio, with zq the accepted proposal
+    // z-score and zp = (x - nominal)/sigma:
+    //
+    //   p/q = sigmaScale * (Zq/Zp) * exp((zq^2 - zp^2) / 2)
+    //
+    // where Zp and Zq are the normal masses of the acceptance windows.
+    // Accumulated in log space: five factors spanning orders of
+    // magnitude would otherwise lose precision.
+    constexpr double kCut = 3.0;
+    const double naive_mass = normalMass(-kCut, kCut);
+    ProcessParams out;
+    double log_weight = 0.0;
+    for (ProcessParam p : kAllProcessParams) {
+        const VariationSpec &s = spec(p);
+        const double sigma = s.sigma();
+        if (sigma == 0.0) {
+            // No variation: both distributions are the same point
+            // mass. Match the naive path and consume no randomness.
+            out.set(p, s.nominal);
+            continue;
+        }
+        const double shift = plan.tilt * tiltDirection(p);
+        const double a = (-kCut - shift) / plan.sigmaScale;
+        const double b = (kCut - shift) / plan.sigmaScale;
+        double zq = 0.0;
+        for (;;) {
+            zq = rng.normal();
+            if (zq >= a && zq <= b)
+                break;
+        }
+        const double value =
+            (s.nominal + shift * sigma) + (plan.sigmaScale * sigma) * zq;
+        // z-score of the draw under the naive distribution, computed
+        // in z space (not from `value`) so a zero-tilt unit-scale plan
+        // yields weight == 1.0 exactly, not merely to rounding.
+        const double zp = shift + plan.sigmaScale * zq;
+        log_weight += std::log(plan.sigmaScale) +
+                      std::log(normalMass(a, b) / naive_mass) +
+                      0.5 * (zq * zq - zp * zp);
+        out.set(p, value);
+    }
+    weight = std::exp(log_weight);
+    return out;
 }
 
 } // namespace yac

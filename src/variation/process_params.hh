@@ -20,6 +20,7 @@ namespace yac
 {
 
 class Rng;
+struct SamplingPlan;
 
 /** The five sources of variation, in Table 1 order. */
 enum class ProcessParam
@@ -149,6 +150,20 @@ class VariationTable
 
     /** Draw a top-level (die) parameter set around nominal. */
     ProcessParams sampleDie(Rng &rng, double sigma_scale = 1.0) const;
+
+    /**
+     * Draw a die parameter set under a sampling plan, producing the
+     * likelihood-ratio weight p/q of the draw in @p weight.
+     *
+     * A naive plan delegates to sampleDie(rng) -- identical Rng
+     * consumption, identical values, weight exactly 1.0. A tilted
+     * plan draws each parameter from a mean-shifted, sigma-scaled
+     * normal truncated to the *naive* +/-3-sigma window, so the
+     * proposal support equals the naive support and the weight is
+     * always finite and strictly positive.
+     */
+    ProcessParams sampleDie(Rng &rng, const SamplingPlan &plan,
+                            double &weight) const;
 
   private:
     std::array<VariationSpec, kNumProcessParams> specs_;

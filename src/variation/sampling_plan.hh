@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Sampling plans for the Monte Carlo yield campaigns: how the
+ * die-level process draw is distributed, and the likelihood-ratio
+ * bookkeeping that keeps tilted (importance-sampled) campaigns
+ * unbiased.
+ *
+ * The naive plan reproduces today's pipeline exactly -- same draws,
+ * same Rng stream, unit weights. The tilted plan shifts the die-level
+ * mean of every varied parameter toward the slow corner (in sigma
+ * units) and optionally widens the die sigma, while restricting the
+ * proposal to the naive +/-3-sigma support so every chip carries a
+ * strictly positive, finite importance weight p(x)/q(x). Tail events
+ * like 3- and 4-way delay losses are driven by the die-level
+ * systematic component, so tilting only the die draw concentrates
+ * chips in the tail while the within-die hierarchy (conditioned on
+ * the die) stays exactly the paper's model -- its densities cancel in
+ * the likelihood ratio.
+ */
+
+#ifndef YAC_VARIATION_SAMPLING_PLAN_HH
+#define YAC_VARIATION_SAMPLING_PLAN_HH
+
+#include <string>
+
+#include "variation/process_params.hh"
+
+namespace yac
+{
+
+/** How a campaign draws its die-level process parameters. */
+enum class SamplingMode
+{
+    Naive,  //!< the paper's distribution; unit weights
+    Tilted, //!< mean-shifted / sigma-scaled importance sampling
+};
+
+/** Printable name of a sampling mode ("naive" / "tilted"). */
+const char *samplingModeName(SamplingMode mode);
+
+/**
+ * A variance-reduction plan threaded through every campaign runner
+ * via CampaignConfig::sampling.
+ *
+ * `tilt` is the die-mean shift in sigma units along the unit-norm
+ * slow-corner direction (tiltDirection), so its magnitude is the
+ * effective z-space displacement: positive tilt concentrates chips in
+ * the delay tail (Delay3/Delay4 losses), negative tilt in the fast,
+ * leaky corner (strict leakage losses). `sigmaScale` widens (>1) or
+ * narrows (<1) the die-level sigma.
+ *
+ * The tilted proposal is truncated to the naive +/-3-sigma window, so
+ * its support equals the naive support: weights are strictly
+ * positive, the estimator is unbiased for every population
+ * functional, and tilted(0, 1) degenerates to the naive draw
+ * sequence bit-for-bit.
+ */
+struct SamplingPlan
+{
+    SamplingMode mode = SamplingMode::Naive;
+    double tilt = 0.0;       //!< die-mean shift [sigma units]
+    double sigmaScale = 1.0; //!< die-sigma multiplier
+
+    bool isNaive() const { return mode == SamplingMode::Naive; }
+
+    /** yac_asserts the plan is runnable (finite tilt in [-3, 3],
+     *  sigmaScale in [0.25, 4]); naive plans always validate. */
+    void validate() const;
+
+    /** One-line human-readable description for logs and tables. */
+    std::string describe() const;
+
+    static SamplingPlan naive() { return {}; }
+
+    static SamplingPlan
+    tilted(double tilt, double sigma_scale = 1.0)
+    {
+        SamplingPlan plan;
+        plan.mode = SamplingMode::Tilted;
+        plan.tilt = tilt;
+        plan.sigmaScale = sigma_scale;
+        return plan;
+    }
+};
+
+/**
+ * Component of the unit-norm slow-corner direction for one parameter:
+ * the circuit model's access-delay gradient in die z space, normalized
+ * to unit length. Gate length dominates (+0.89); in this model wider
+ * and thicker wires also slow the cache (fixed-pitch coupling
+ * capacitance beats the resistance win) while the ILD is nearly
+ * inert. Because the direction has unit norm, a plan's `tilt` is an
+ * effective tilt-sigma mean shift straight along the delay gradient:
+ * positive tilt concentrates chips in the delay tail, negative tilt
+ * in the fast (short-channel, leaky) corner.
+ */
+double tiltDirection(ProcessParam p);
+
+/**
+ * Build a plan from the shared command-line vocabulary
+ * (--sampling=naive|tilted --tilt=T --sigma-scale=S). Fatal on an
+ * unknown mode name.
+ */
+SamplingPlan samplingPlanFromName(const std::string &mode, double tilt,
+                                  double sigma_scale);
+
+} // namespace yac
+
+#endif // YAC_VARIATION_SAMPLING_PLAN_HH

@@ -30,6 +30,8 @@ ChipBatchSoa::ensure(const VariationGeometry &g, std::size_t chips)
         if (pl.size() < capacity * slotsPerChip)
             pl.resize(capacity * slotsPerChip);
     }
+    if (weight.size() < capacity)
+        weight.resize(capacity, 1.0);
     if (regionScratch.size() < g.banksPerWay)
         regionScratch.resize(g.banksPerWay);
 }

@@ -25,6 +25,7 @@
 
 #include "variation/process_params.hh"
 #include "variation/sampler.hh"
+#include "variation/sampling_plan.hh"
 
 namespace yac
 {
@@ -52,6 +53,13 @@ struct ChipBatchSoa
 
     /** Parameter planes, indexed [param][chip * slotsPerChip + slot]. */
     std::array<std::vector<double>, kNumProcessParams> plane;
+
+    /**
+     * Likelihood-ratio weight of each chip's die draw, indexed
+     * [chip]. Exactly 1.0 for every chip sampled under a naive
+     * SamplingPlan; strictly positive always.
+     */
+    std::vector<double> weight;
 
     /** Region-offset scratch reused across chips by the sampler. */
     std::vector<ProcessParams> regionScratch;
@@ -160,13 +168,19 @@ sampleChipWithDieSoa(const VariationSampler &sampler, Rng &rng,
 
 /**
  * Sample one chip with its own die draw (the MonteCarlo::run per-chip
- * sequence) into SoA slot @p chip. Matches VariationSampler::sample.
+ * sequence) into SoA slot @p chip, recording its likelihood-ratio
+ * weight in soa.weight[chip]. Matches VariationSampler::sample under
+ * the default (naive) plan -- same draws, weight exactly 1.0.
  */
 inline void
 sampleChipSoa(const VariationSampler &sampler, Rng &rng,
-              ChipBatchSoa &soa, std::size_t chip)
+              ChipBatchSoa &soa, std::size_t chip,
+              const SamplingPlan &plan = {})
 {
-    const ProcessParams die = sampler.table().sampleDie(rng, 1.0);
+    double weight = 1.0;
+    const ProcessParams die =
+        sampler.table().sampleDie(rng, plan, weight);
+    soa.weight[chip] = weight;
     sampleChipWithDieSoa(sampler, rng, die, soa, chip);
 }
 

@@ -23,21 +23,15 @@ LossTable::baseAt(LossReason reason) const
     return it == baseByReason.end() ? 0 : it->second;
 }
 
-double
+YieldEstimate
 LossTable::yieldOf(const std::string &scheme_name) const
 {
     yac_assert(totalChips > 0, "empty loss table");
-    if (scheme_name == "Base") {
-        return 1.0 -
-            static_cast<double>(baseTotal) /
-            static_cast<double>(totalChips);
-    }
+    if (scheme_name == "Base")
+        return complementEstimate(population, baseLoss);
     for (const SchemeLosses &s : schemes) {
-        if (s.scheme == scheme_name) {
-            return 1.0 -
-                static_cast<double>(s.total) /
-                static_cast<double>(totalChips);
-        }
+        if (s.scheme == scheme_name)
+            return complementEstimate(population, s.lossTally);
     }
     yac_panic("unknown scheme in loss table: ", scheme_name);
 }
@@ -47,21 +41,35 @@ LossTable::lossReductionOf(const std::string &scheme_name) const
 {
     yac_assert(baseTotal > 0, "no base losses to reduce");
     for (const SchemeLosses &s : schemes) {
-        if (s.scheme == scheme_name) {
-            return 1.0 -
-                static_cast<double>(s.total) /
-                static_cast<double>(baseTotal);
-        }
+        if (s.scheme == scheme_name)
+            return 1.0 - s.lossTally.sum() / baseLoss.sum();
     }
     yac_panic("unknown scheme in loss table: ", scheme_name);
 }
 
+YieldEstimate
+LossTable::baseLossEstimate(
+    std::initializer_list<LossReason> reasons) const
+{
+    yac_assert(totalChips > 0, "empty loss table");
+    WeightTally combined;
+    for (LossReason reason : reasons) {
+        const auto it = baseTallyByReason.find(reason);
+        if (it != baseTallyByReason.end())
+            combined.merge(it->second);
+    }
+    return fractionEstimate(population, combined);
+}
+
 LossTable
 buildLossTable(const std::vector<CacheTiming> &chips,
+               const std::vector<double> &weights,
                const YieldConstraints &constraints,
                const CycleMapping &mapping,
                const std::vector<const Scheme *> &schemes)
 {
+    yac_assert(weights.empty() || weights.size() == chips.size(),
+               "weights must be empty (naive) or one per chip");
     trace::Span span("loss_table.build", "campaign");
     span.arg("chips", std::int64_t(chips.size()))
         .arg("schemes", std::int64_t(schemes.size()));
@@ -73,9 +81,12 @@ buildLossTable(const std::vector<CacheTiming> &chips,
     table.totalChips = static_cast<int>(chips.size());
     table.schemes.reserve(schemes.size());
     for (const Scheme *s : schemes)
-        table.schemes.push_back({s->name(), {}, 0});
+        table.schemes.push_back({s->name(), {}, 0, {}});
 
-    for (const CacheTiming &chip : chips) {
+    for (std::size_t c = 0; c < chips.size(); ++c) {
+        const CacheTiming &chip = chips[c];
+        const double w = weights.empty() ? 1.0 : weights[c];
+        table.population.add(w);
         const ChipAssessment assessment =
             assessChip(chip, constraints, mapping);
         const LossReason reason = assessment.lossReason();
@@ -83,12 +94,15 @@ buildLossTable(const std::vector<CacheTiming> &chips,
             continue;
         ++table.baseByReason[reason];
         ++table.baseTotal;
+        table.baseLoss.add(w);
+        table.baseTallyByReason[reason].add(w);
         for (std::size_t i = 0; i < schemes.size(); ++i) {
             const SchemeOutcome outcome = schemes[i]->apply(
                 chip, assessment, constraints, mapping);
             if (!outcome.saved) {
                 ++table.schemes[i].byReason[reason];
                 ++table.schemes[i].total;
+                table.schemes[i].lossTally.add(w);
             }
         }
         applied.add(schemes.size());

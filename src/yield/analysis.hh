@@ -17,6 +17,7 @@
 #include "circuit/cache_model.hh"
 #include "yield/assessment.hh"
 #include "yield/constraints.hh"
+#include "yield/estimate.hh"
 #include "yield/scheme.hh"
 
 namespace yac
@@ -34,12 +35,20 @@ struct SchemeLosses
     std::string scheme;
     std::map<LossReason, int> byReason;
     int total = 0;
+    WeightTally lossTally; //!< weighted losses (== total when naive)
 
     /** Losses in one row (0 when the reason never occurs). */
     int at(LossReason reason) const;
 };
 
-/** A full loss-source table (the shape of Tables 2 and 3). */
+/**
+ * A full loss-source table (the shape of Tables 2 and 3).
+ *
+ * Raw chip counts stay integers -- they are what the paper's tables
+ * print -- while every *fraction* (yields, loss reductions, tail
+ * losses) goes through the importance-weight tallies so tilted
+ * campaigns produce unbiased estimates with honest standard errors.
+ */
 struct LossTable
 {
     int totalChips = 0;
@@ -47,23 +56,40 @@ struct LossTable
     int baseTotal = 0;
     std::vector<SchemeLosses> schemes;
 
+    WeightTally population;   //!< every chip in the table
+    WeightTally baseLoss;     //!< base-case losers, any reason
+    std::map<LossReason, WeightTally> baseTallyByReason;
+
     /** Base losses in one row. */
     int baseAt(LossReason reason) const;
 
-    /** Overall yield under a scheme (or "Base"). */
-    double yieldOf(const std::string &scheme_name) const;
+    /** Overall yield under a scheme (or "Base"), with uncertainty. */
+    YieldEstimate yieldOf(const std::string &scheme_name) const;
 
     /** Reduction in parametric yield loss vs base, as a fraction. */
     double lossReductionOf(const std::string &scheme_name) const;
+
+    /**
+     * Estimated population fraction lost to any of @p reasons in the
+     * base case -- the rare-event query importance sampling exists
+     * for, e.g. baseLossEstimate({LossReason::Delay3,
+     * LossReason::Delay4}) for the deep delay tail.
+     */
+    YieldEstimate
+    baseLossEstimate(std::initializer_list<LossReason> reasons) const;
 };
 
 /**
  * Classify every chip and apply every scheme.
  *
  * @param chips Evaluated chip population (one layout).
+ * @param weights Per-chip likelihood-ratio weights
+ *        (MonteCarloResult::weights). Empty means unit weights (a
+ *        naive campaign); otherwise must be chips.size() long.
  * @param schemes Schemes to evaluate (non-owning).
  */
 LossTable buildLossTable(const std::vector<CacheTiming> &chips,
+                         const std::vector<double> &weights,
                          const YieldConstraints &constraints,
                          const CycleMapping &mapping,
                          const std::vector<const Scheme *> &schemes);

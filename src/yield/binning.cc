@@ -101,9 +101,12 @@ namespace
 
 template <typename AssignFn>
 BinningReport
-binAll(const std::vector<CacheTiming> &chips, std::size_t num_bins,
+binAll(const std::vector<CacheTiming> &chips,
+       const std::vector<double> &weights, std::size_t num_bins,
        AssignFn &&assign_fn)
 {
+    yac_assert(weights.empty() || weights.size() == chips.size(),
+               "weights must be empty (naive) or one per chip");
     trace::Span span("binning.assign", "campaign");
     span.arg("chips", std::int64_t(chips.size()));
     trace::Metrics &metrics = trace::Metrics::instance();
@@ -122,12 +125,15 @@ binAll(const std::vector<CacheTiming> &chips, std::size_t num_bins,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
             BinningReport &s = shards[chunk];
             for (std::size_t i = begin; i < end; ++i) {
+                const double w = weights.empty() ? 1.0 : weights[i];
+                s.population.add(w);
                 const BinAssignment a = assign_fn(chips[i]);
                 if (a.binIndex < 0) {
                     ++s.scrapped;
                 } else {
                     ++s.binCounts[static_cast<std::size_t>(a.binIndex)];
-                    s.totalRevenue += a.revenue;
+                    s.sold.add(w);
+                    s.totalRevenue += a.revenue * w;
                 }
             }
         });
@@ -137,6 +143,8 @@ binAll(const std::vector<CacheTiming> &chips, std::size_t num_bins,
     for (const BinningReport &s : shards) {
         report.scrapped += s.scrapped;
         report.totalRevenue += s.totalRevenue;
+        report.population.merge(s.population);
+        report.sold.merge(s.sold);
         for (std::size_t b = 0; b < num_bins; ++b)
             report.binCounts[b] += s.binCounts[b];
     }
@@ -146,19 +154,19 @@ binAll(const std::vector<CacheTiming> &chips, std::size_t num_bins,
 } // namespace
 
 BinningReport
-BinningAnalysis::binPopulation(
-    const std::vector<CacheTiming> &chips) const
+BinningAnalysis::binPopulation(const std::vector<CacheTiming> &chips,
+                               const std::vector<double> &weights) const
 {
-    return binAll(chips, bins_.size(), [this](const CacheTiming &c) {
-        return assign(c);
-    });
+    return binAll(chips, weights, bins_.size(),
+                  [this](const CacheTiming &c) { return assign(c); });
 }
 
 BinningReport
 BinningAnalysis::binPopulation(const std::vector<CacheTiming> &chips,
+                               const std::vector<double> &weights,
                                const Scheme &scheme) const
 {
-    return binAll(chips, bins_.size(),
+    return binAll(chips, weights, bins_.size(),
                   [this, &scheme](const CacheTiming &c) {
                       return assign(c, scheme);
                   });

@@ -17,6 +17,7 @@
 
 #include "circuit/cache_model.hh"
 #include "yield/constraints.hh"
+#include "yield/estimate.hh"
 #include "yield/scheme.hh"
 
 namespace yac
@@ -43,14 +44,34 @@ struct BinningReport
 {
     std::vector<int> binCounts; //!< per bin, in bin order
     int scrapped = 0;
+
+    /**
+     * Weight-scaled revenue: each chip contributes revenue * weight,
+     * so under a tilted campaign this estimates the naive population's
+     * revenue. Under unit weights it is the plain revenue sum.
+     */
     double totalRevenue = 0.0;
 
-    double
-    averageRevenue(std::size_t population) const
+    WeightTally population; //!< every chip binned (incl. scrapped)
+    WeightTally sold;       //!< chips that landed in some bin
+
+    /** Fraction of the population that sells in any bin. */
+    YieldEstimate sellableYield() const
     {
-        return population == 0
-            ? 0.0
-            : totalRevenue / static_cast<double>(population);
+        return fractionEstimate(population, sold);
+    }
+
+    /** Estimated revenue per manufactured chip: the direct
+     *  importance-sampling estimator sum(w_i rev_i) / n, matching the
+     *  YieldEstimate convention (weights are exactly normalized
+     *  density ratios, so dividing by the chip count is unbiased). */
+    double
+    averageRevenue() const
+    {
+        return population.count == 0
+                   ? 0.0
+                   : totalRevenue /
+                         static_cast<double>(population.count);
     }
 };
 
@@ -80,12 +101,18 @@ class BinningAnalysis
     BinAssignment assign(const CacheTiming &chip,
                          const Scheme &scheme) const;
 
-    /** Bin a whole population (scheme-less). */
-    BinningReport binPopulation(
-        const std::vector<CacheTiming> &chips) const;
+    /**
+     * Bin a whole population (scheme-less).
+     *
+     * @param weights Per-chip likelihood-ratio weights
+     *        (MonteCarloResult::weights); empty = unit weights.
+     */
+    BinningReport binPopulation(const std::vector<CacheTiming> &chips,
+                                const std::vector<double> &weights) const;
 
     /** Bin a whole population with a scheme. */
     BinningReport binPopulation(const std::vector<CacheTiming> &chips,
+                                const std::vector<double> &weights,
                                 const Scheme &scheme) const;
 
     const std::vector<FrequencyBin> &bins() const { return bins_; }

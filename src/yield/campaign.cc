@@ -9,6 +9,7 @@ CampaignScope::CampaignScope(const char *name,
                              const CampaignConfig &config)
     : config_(config)
 {
+    config_.sampling.validate();
     if (config_.threads != 0)
         parallel::setThreads(config_.threads);
     if (config_.traceSink != nullptr) {
@@ -18,7 +19,8 @@ CampaignScope::CampaignScope(const char *name,
     // After the sink swap, so the span lands in the config's sink.
     span_.emplace(name, "campaign");
     span_->arg("chips", std::int64_t(config_.numChips))
-        .arg("seed", std::int64_t(config_.seed));
+        .arg("seed", std::int64_t(config_.seed))
+        .arg("sampling", config_.sampling.describe());
 }
 
 CampaignScope::~CampaignScope()

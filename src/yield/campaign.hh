@@ -22,6 +22,7 @@
 
 #include "trace/trace.hh"
 #include "util/options.hh"
+#include "variation/sampling_plan.hh"
 
 namespace yac
 {
@@ -65,6 +66,15 @@ struct CampaignConfig
      * a callback installed).
      */
     std::function<void(std::size_t done, std::size_t total)> progress;
+
+    /**
+     * How die-level process parameters are drawn. The default naive
+     * plan is bitwise-identical to the historical pipeline at any
+     * thread count; a tilted plan importance-samples the process tail
+     * and every chip carries a likelihood-ratio weight that the
+     * YieldEstimate machinery folds back in. See docs/SAMPLING.md.
+     */
+    SamplingPlan sampling;
 };
 
 /**
@@ -79,6 +89,8 @@ campaignFromOptions(const CampaignOptions &opts)
     config.numChips = opts.chips;
     config.seed = opts.seed;
     config.threads = opts.threads;
+    config.sampling =
+        samplingPlanFromName(opts.sampling, opts.tilt, opts.sigmaScale);
     return config;
 }
 

@@ -1,0 +1,81 @@
+#include "yield/estimate.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+double
+YieldEstimate::relStdErr() const
+{
+    if (value == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return stdErr / std::fabs(value);
+}
+
+YieldEstimate
+YieldEstimate::complement() const
+{
+    return {1.0 - value, stdErr, ess, chips};
+}
+
+namespace
+{
+
+/**
+ * Sample standard error of the direct estimator S/n with per-chip
+ * terms x_i = w_i I_i: sqrt(S2 - S^2/n) / n, since sum x_i^2 is the
+ * subset's sumSq (I^2 == I). Reduces to the binomial
+ * sqrt(v(1-v)/n) under unit weights. max(0, .) guards the last-ulp
+ * cancellation when every chip is in the subset.
+ */
+double
+fractionStdErr(const WeightTally &population, const WeightTally &subset)
+{
+    const double n = static_cast<double>(population.count);
+    const double s = subset.sum();
+    const double s2 = subset.sumSq();
+    return std::sqrt(std::max(0.0, s2 - s * s / n)) / n;
+}
+
+double
+populationEss(const WeightTally &population)
+{
+    const double w = population.sum();
+    const double w2 = population.sumSq();
+    return w2 > 0.0 ? w * w / w2 : 0.0;
+}
+
+} // namespace
+
+YieldEstimate
+fractionEstimate(const WeightTally &population, const WeightTally &subset)
+{
+    yac_assert(subset.count <= population.count,
+               "fraction subset larger than its population");
+    if (population.count == 0)
+        return {};
+    const double v =
+        subset.sum() / static_cast<double>(population.count);
+    return {v, fractionStdErr(population, subset),
+            populationEss(population), population.count};
+}
+
+YieldEstimate
+complementEstimate(const WeightTally &population, const WeightTally &lost)
+{
+    yac_assert(lost.count <= population.count,
+               "loss subset larger than its population");
+    if (population.count == 0)
+        return {};
+    const double l =
+        lost.sum() / static_cast<double>(population.count);
+    return {1.0 - l, fractionStdErr(population, lost),
+            populationEss(population), population.count};
+}
+
+} // namespace yac

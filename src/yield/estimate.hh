@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Yield estimates with uncertainty: the result type every yield
+ * calculation in src/yield/ returns, and the weight tallies that
+ * produce it.
+ *
+ * Under naive sampling every chip has weight 1.0 and a YieldEstimate
+ * degenerates to the familiar pass-count fraction with a binomial
+ * standard error. Under a tilted SamplingPlan the chips carry
+ * likelihood-ratio weights and the same machinery yields the direct
+ * (unnormalized) importance-sampling estimator with its sample
+ * standard error -- call sites cannot tell the difference.
+ */
+
+#ifndef YAC_YIELD_ESTIMATE_HH
+#define YAC_YIELD_ESTIMATE_HH
+
+#include <cstddef>
+
+#include "util/statistics.hh"
+
+namespace yac
+{
+
+/**
+ * A yield (or any population fraction) together with its sampling
+ * uncertainty.
+ *
+ * `value` is the direct estimate sum(w_i I_i)/n; `stdErr` its
+ * sample standard error (binomial for unit weights); `ess` the Kish effective sample size of the campaign that
+ * produced it; `chips` the number of Monte Carlo chips actually
+ * simulated. ess/chips is the weight-efficiency of the sampling plan;
+ * ess == chips exactly when the plan was naive.
+ */
+struct YieldEstimate
+{
+    double value = 0.0;  //!< estimated fraction in [0, 1]
+    double stdErr = 0.0; //!< one-sigma uncertainty of value
+    double ess = 0.0;    //!< Kish effective sample size
+    std::size_t chips = 0; //!< chips simulated
+
+    /** stdErr / value; infinity when the estimate is zero. */
+    double relStdErr() const;
+
+    /** The complementary fraction 1 - value with the same stdErr. */
+    YieldEstimate complement() const;
+};
+
+/**
+ * Count + compensated first and second weight moments of a chip
+ * subset. The atom of weighted yield accounting: one tally for the
+ * whole population and one per event of interest (base pass, each
+ * loss reason, shippable, sold bin, ...) are enough to produce a
+ * YieldEstimate for any fraction.
+ *
+ * Sums of unit weights are exact integer doubles (Neumaier
+ * compensation never fires), which is what keeps naive-mode estimates
+ * bitwise identical to the historical integer-count divisions.
+ */
+struct WeightTally
+{
+    std::size_t count = 0;
+
+    /** Fold one chip of weight @p w into the tally. */
+    void add(double w)
+    {
+        ++count;
+        neumaierAdd(w_, wComp_, w);
+        neumaierAdd(w2_, w2Comp_, w * w);
+    }
+
+    /** Fold another tally into this one. */
+    void merge(const WeightTally &other)
+    {
+        count += other.count;
+        neumaierAdd(w_, wComp_, other.w_);
+        neumaierAdd(w_, wComp_, other.wComp_);
+        neumaierAdd(w2_, w2Comp_, other.w2_);
+        neumaierAdd(w2_, w2Comp_, other.w2Comp_);
+    }
+
+    /** Total weight. */
+    double sum() const { return w_ + wComp_; }
+
+    /** Total squared weight. */
+    double sumSq() const { return w2_ + w2Comp_; }
+
+  private:
+    double w_ = 0.0;
+    double wComp_ = 0.0;
+    double w2_ = 0.0;
+    double w2Comp_ = 0.0;
+};
+
+/**
+ * Estimate the population fraction belonging to @p subset.
+ *
+ * value = subset.sum()/n, the direct importance-sampling estimator:
+ * the tilted weights are exactly normalized density ratios
+ * (E_q[w] = 1), so dividing by the chip count n -- not by sum(w) --
+ * is unbiased, and for rare subsets its variance comes only from the
+ * small, stable tail weights. The self-normalized ratio S/sum(w)
+ * would drag in the huge center weights through the denominator,
+ * which both inflates the variance and biases small-n estimates.
+ * stdErr = sqrt(S2 - S^2/n)/n, the sample standard error of the
+ * per-chip terms w_i I_i; it reduces to the binomial sqrt(v(1-v)/n)
+ * under unit weights. @p subset must tally a subset of the chips
+ * tallied by @p population.
+ */
+YieldEstimate fractionEstimate(const WeightTally &population,
+                               const WeightTally &subset);
+
+/**
+ * Estimate 1 - (fraction in @p lost): yield as the complement of a
+ * loss fraction, computed as 1.0 - lost/n so that naive-mode results
+ * reproduce the historical `1 - losses/chips` expression bit for bit.
+ * Same standard error as fractionEstimate(population, lost).
+ */
+YieldEstimate complementEstimate(const WeightTally &population,
+                                 const WeightTally &lost);
+
+} // namespace yac
+
+#endif // YAC_YIELD_ESTIMATE_HH

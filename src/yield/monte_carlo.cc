@@ -13,14 +13,33 @@ namespace yac
 namespace
 {
 
-/** Per-chunk accumulators for both layouts' populations. */
+/**
+ * Per-chunk accumulators for both layouts' populations. The naive
+ * plan uses the historical RunningStats path so its results stay
+ * bitwise identical; a tilted plan uses the weighted accumulators,
+ * which estimate the same true-population moments through the
+ * likelihood-ratio weights.
+ */
 struct ShardStats
 {
     RunningStats regDelay, regLeak, horDelay, horLeak;
+    WeightedRunningStats wRegDelay, wRegLeak, wHorDelay, wHorLeak;
 };
 
 PopulationStats
 statsOf(const RunningStats &delay, const RunningStats &leak)
+{
+    PopulationStats s;
+    s.delayMean = delay.mean();
+    s.delaySigma = delay.stddev();
+    s.leakMean = leak.mean();
+    s.leakSigma = leak.stddev();
+    return s;
+}
+
+PopulationStats
+statsOf(const WeightedRunningStats &delay,
+        const WeightedRunningStats &leak)
 {
     PopulationStats s;
     s.delayMean = delay.mean();
@@ -81,6 +100,9 @@ MonteCarlo::run(const CampaignConfig &config) const
     MonteCarloResult result;
     result.regular.resize(config.numChips);
     result.horizontal.resize(config.numChips);
+    result.weights.resize(config.numChips);
+    result.sampling = config.sampling;
+    const bool naive = config.sampling.isNaive();
 
     // Chips shard across workers: each chip gets an independent
     // substream (split never advances the shared parent), writes only
@@ -105,7 +127,9 @@ MonteCarlo::run(const CampaignConfig &config) const
             arena.ensure(sampler_.geometry(), end - begin);
             for (std::size_t i = begin; i < end; ++i) {
                 Rng chip_rng = rng.split(i);
-                sampleChipSoa(sampler_, chip_rng, arena, i - begin);
+                sampleChipSoa(sampler_, chip_rng, arena, i - begin,
+                              config.sampling);
+                result.weights[i] = arena.weight[i - begin];
             }
             const std::int64_t t1 = trace::nowNanos();
             for (std::size_t i = begin; i < end; ++i) {
@@ -116,10 +140,18 @@ MonteCarlo::run(const CampaignConfig &config) const
                 batch_.evaluateChip(arena, i - begin,
                                     result.regular[i],
                                     &result.horizontal[i]);
-                s.regDelay.add(result.regular[i].delay());
-                s.regLeak.add(result.regular[i].leakage());
-                s.horDelay.add(result.horizontal[i].delay());
-                s.horLeak.add(result.horizontal[i].leakage());
+                if (naive) {
+                    s.regDelay.add(result.regular[i].delay());
+                    s.regLeak.add(result.regular[i].leakage());
+                    s.horDelay.add(result.horizontal[i].delay());
+                    s.horLeak.add(result.horizontal[i].leakage());
+                } else {
+                    const double w = result.weights[i];
+                    s.wRegDelay.add(result.regular[i].delay(), w);
+                    s.wRegLeak.add(result.regular[i].leakage(), w);
+                    s.wHorDelay.add(result.horizontal[i].delay(), w);
+                    s.wHorLeak.add(result.horizontal[i].leakage(), w);
+                }
             }
             // One atomic add per chunk, not per chip.
             sample_phase.addNanos(t1 - t0);
@@ -130,13 +162,27 @@ MonteCarlo::run(const CampaignConfig &config) const
 
     ShardStats total;
     for (const ShardStats &s : shards) {
-        total.regDelay.merge(s.regDelay);
-        total.regLeak.merge(s.regLeak);
-        total.horDelay.merge(s.horDelay);
-        total.horLeak.merge(s.horLeak);
+        if (naive) {
+            total.regDelay.merge(s.regDelay);
+            total.regLeak.merge(s.regLeak);
+            total.horDelay.merge(s.horDelay);
+            total.horLeak.merge(s.horLeak);
+        } else {
+            total.wRegDelay.merge(s.wRegDelay);
+            total.wRegLeak.merge(s.wRegLeak);
+            total.wHorDelay.merge(s.wHorDelay);
+            total.wHorLeak.merge(s.wHorLeak);
+        }
     }
-    result.regularStats = statsOf(total.regDelay, total.regLeak);
-    result.horizontalStats = statsOf(total.horDelay, total.horLeak);
+    if (naive) {
+        result.regularStats = statsOf(total.regDelay, total.regLeak);
+        result.horizontalStats =
+            statsOf(total.horDelay, total.horLeak);
+    } else {
+        result.regularStats = statsOf(total.wRegDelay, total.wRegLeak);
+        result.horizontalStats =
+            statsOf(total.wHorDelay, total.wHorLeak);
+    }
     return result;
 }
 

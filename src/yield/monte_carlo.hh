@@ -41,6 +41,25 @@ struct MonteCarloResult
 {
     std::vector<CacheTiming> regular;    //!< per-chip, regular layout
     std::vector<CacheTiming> horizontal; //!< same chips, H-YAPD layout
+
+    /**
+     * Per-chip likelihood-ratio weights, parallel to regular/
+     * horizontal. All exactly 1.0 under the naive plan; strictly
+     * positive always. Every yield fraction computed from these chips
+     * must be weight-aware -- pass this vector to buildLossTable /
+     * binPopulation so tilted campaigns stay unbiased.
+     */
+    std::vector<double> weights;
+
+    /** The plan that produced the chips (echoed from the config). */
+    SamplingPlan sampling;
+
+    /**
+     * True-population statistics. Under a tilted plan these are
+     * importance-weighted estimates of the *naive* population's
+     * moments, so constraint derivation (mean + k sigma of the
+     * shipping population) stays meaningful regardless of plan.
+     */
     PopulationStats regularStats;
     PopulationStats horizontalStats;
 

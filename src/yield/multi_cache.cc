@@ -58,6 +58,15 @@ MultiCacheYield::run(const CampaignConfig &config,
         n_chunks, std::vector<RunningStats>(n_comp));
     std::vector<std::vector<RunningStats>> chunk_leak(
         n_chunks, std::vector<RunningStats>(n_comp));
+    // Tilted campaigns estimate the constraint-defining population
+    // moments through the likelihood-ratio weights; the naive plan
+    // keeps the historical unweighted accumulators bit-for-bit.
+    const bool naive = config.sampling.isNaive();
+    std::vector<std::vector<WeightedRunningStats>> chunk_wdelay(
+        naive ? 0 : n_chunks, std::vector<WeightedRunningStats>(n_comp));
+    std::vector<std::vector<WeightedRunningStats>> chunk_wleak(
+        naive ? 0 : n_chunks, std::vector<WeightedRunningStats>(n_comp));
+    std::vector<double> weights(num_chips, 1.0);
     const Rng rng(config.seed);
     const VariationTable table;
     {
@@ -77,8 +86,10 @@ MultiCacheYield::run(const CampaignConfig &config,
                     arenas[c].ensure(samplers_[c].geometry(), 1);
                 for (std::size_t i = begin; i < end; ++i) {
                     Rng chip_rng = rng.split(i);
+                    double w = 1.0;
                     const ProcessParams die =
-                        table.sampleDie(chip_rng, 1.0);
+                        table.sampleDie(chip_rng, config.sampling, w);
+                    weights[i] = w;
                     for (std::size_t c = 0; c < n_comp; ++c) {
                         // The component's placement shifts its local
                         // mean away from the die draw.
@@ -92,8 +103,13 @@ MultiCacheYield::run(const CampaignConfig &config,
                             t, CacheLayout::Regular);
                         batchers_[c].evaluateChip(arenas[c], 0, t,
                                                   nullptr);
-                        chunk_delay[chunk][c].add(t.delay());
-                        chunk_leak[chunk][c].add(t.leakage());
+                        if (naive) {
+                            chunk_delay[chunk][c].add(t.delay());
+                            chunk_leak[chunk][c].add(t.leakage());
+                        } else {
+                            chunk_wdelay[chunk][c].add(t.delay(), w);
+                            chunk_wleak[chunk][c].add(t.leakage(), w);
+                        }
                     }
                 }
                 chips_evaluated.add(end - begin);
@@ -102,10 +118,17 @@ MultiCacheYield::run(const CampaignConfig &config,
 
     std::vector<RunningStats> delay_stats(n_comp);
     std::vector<RunningStats> leak_stats(n_comp);
+    std::vector<WeightedRunningStats> wdelay_stats(naive ? 0 : n_comp);
+    std::vector<WeightedRunningStats> wleak_stats(naive ? 0 : n_comp);
     for (std::size_t chunk = 0; chunk < n_chunks; ++chunk) {
         for (std::size_t c = 0; c < n_comp; ++c) {
-            delay_stats[c].merge(chunk_delay[chunk][c]);
-            leak_stats[c].merge(chunk_leak[chunk][c]);
+            if (naive) {
+                delay_stats[c].merge(chunk_delay[chunk][c]);
+                leak_stats[c].merge(chunk_leak[chunk][c]);
+            } else {
+                wdelay_stats[c].merge(chunk_wdelay[chunk][c]);
+                wleak_stats[c].merge(chunk_wleak[chunk][c]);
+            }
         }
     }
 
@@ -113,9 +136,14 @@ MultiCacheYield::run(const CampaignConfig &config,
     std::vector<YieldConstraints> constraints(n_comp);
     std::vector<CycleMapping> mappings(n_comp);
     for (std::size_t c = 0; c < n_comp; ++c) {
-        constraints[c] = YieldConstraints::derive(
-            policy, delay_stats[c].mean(), delay_stats[c].stddev(),
-            leak_stats[c].mean());
+        const double d_mean =
+            naive ? delay_stats[c].mean() : wdelay_stats[c].mean();
+        const double d_sigma =
+            naive ? delay_stats[c].stddev() : wdelay_stats[c].stddev();
+        const double l_mean =
+            naive ? leak_stats[c].mean() : wleak_stats[c].mean();
+        constraints[c] =
+            YieldConstraints::derive(policy, d_mean, d_sigma, l_mean);
         mappings[c].delayLimitPs = constraints[c].delayLimitPs;
         mappings[c].baseCycles = components_[c].baseCycles;
     }
@@ -128,6 +156,9 @@ MultiCacheYield::run(const CampaignConfig &config,
         std::size_t shippable = 0;
         std::vector<std::size_t> baseFail;
         std::vector<std::size_t> unsaved;
+        WeightTally population;
+        WeightTally basePassTally;
+        WeightTally shippableTally;
     };
     std::vector<PassShard> pass_shards(n_chunks);
     for (PassShard &s : pass_shards) {
@@ -167,10 +198,15 @@ MultiCacheYield::run(const CampaignConfig &config,
                                 ++s.unsaved[c];
                         }
                     }
-                    if (outcome.chipPasses())
+                    s.population.add(weights[i]);
+                    if (outcome.chipPasses()) {
                         ++s.basePass;
-                    if (outcome.chipShips())
+                        s.basePassTally.add(weights[i]);
+                    }
+                    if (outcome.chipShips()) {
                         ++s.shippable;
+                        s.shippableTally.add(weights[i]);
+                    }
                 }
                 saved_counter.add(saved);
                 scope.tick(end - begin);
@@ -184,6 +220,9 @@ MultiCacheYield::run(const CampaignConfig &config,
     for (const PassShard &s : pass_shards) {
         report.basePass += s.basePass;
         report.shippable += s.shippable;
+        report.population.merge(s.population);
+        report.basePassTally.merge(s.basePassTally);
+        report.shippableTally.merge(s.shippableTally);
         for (std::size_t c = 0; c < n_comp; ++c) {
             report.componentBaseFail[c] += s.baseFail[c];
             report.componentUnsaved[c] += s.unsaved[c];

@@ -25,6 +25,7 @@
 #include "yield/assessment.hh"
 #include "yield/campaign.hh"
 #include "yield/constraints.hh"
+#include "yield/estimate.hh"
 #include "yield/scheme.hh"
 
 namespace yac
@@ -85,20 +86,20 @@ struct MultiCacheReport
     std::vector<std::size_t> componentBaseFail; //!< per component
     std::vector<std::size_t> componentUnsaved;  //!< per component
 
-    double baseYield() const
+    WeightTally population;     //!< all chips, weighted
+    WeightTally basePassTally;  //!< weighted basePass
+    WeightTally shippableTally; //!< weighted shippable
+
+    /** Fraction of chips whose components all pass unaided. */
+    YieldEstimate baseYield() const
     {
-        return chips == 0
-            ? 0.0
-            : static_cast<double>(basePass) /
-              static_cast<double>(chips);
+        return fractionEstimate(population, basePassTally);
     }
 
-    double schemeYield() const
+    /** Fraction of chips shippable after the schemes. */
+    YieldEstimate schemeYield() const
     {
-        return chips == 0
-            ? 0.0
-            : static_cast<double>(shippable) /
-              static_cast<double>(chips);
+        return fractionEstimate(population, shippableTally);
     }
 };
 

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Properties of the importance-sampled (tilted) campaign path.
+ *
+ * The contract under test, over RANDOMIZED tilt/sigma-scale plans:
+ * a tilted campaign must estimate the same base yield as the naive
+ * campaign (within combined standard errors), its likelihood-ratio
+ * weights must be strictly positive, deterministic in the seed and
+ * byte-identical at 1/2/8 threads, its effective sample size can
+ * never exceed the chip count, and the two degenerate spellings of
+ * "no tilt" -- the default-constructed plan and tilted(0, 1) -- must
+ * reproduce the naive pipeline bit for bit.
+ */
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hh"
+#include "check/gen.hh"
+#include "util/parallel.hh"
+#include "variation/sampling_plan.hh"
+#include "yield/analysis.hh"
+#include "yield/monte_carlo.hh"
+
+namespace yac
+{
+namespace
+{
+
+using check::forAll;
+using check::Gen;
+using check::Verdict;
+
+/** Restore the global worker count on scope exit. */
+struct ThreadGuard
+{
+    std::size_t saved = parallel::threads();
+    ~ThreadGuard() { parallel::setThreads(saved); }
+};
+
+/**
+ * Random valid tilted plan (both tail directions, scaled spread).
+ * The tilt applies to all five die parameters at once, so the
+ * effective shift in 5-D z space is ~sqrt(5) times larger; |tilt| is
+ * kept moderate so the importance weights keep a healthy effective
+ * sample size and the delta-method stderr stays trustworthy.
+ */
+Gen<SamplingPlan>
+tiltedPlan()
+{
+    return Gen<SamplingPlan>([](Rng &rng) {
+               return SamplingPlan::tilted(rng.uniform(-0.7, 0.7),
+                                           rng.uniform(0.85, 1.4));
+           })
+        .withPrint(
+            [](const SamplingPlan &p) { return p.describe(); });
+}
+
+MonteCarloResult
+runPlan(const SamplingPlan &plan, std::size_t chips,
+        std::uint64_t seed, std::size_t threads)
+{
+    parallel::setThreads(threads);
+    CampaignConfig config{chips, seed};
+    config.sampling = plan;
+    MonteCarlo mc;
+    return mc.run(config);
+}
+
+/** Bitwise equality of two evaluated populations. */
+bool
+identicalTimings(const std::vector<CacheTiming> &a,
+                 const std::vector<CacheTiming> &b, std::string *why)
+{
+    if (a.size() != b.size()) {
+        *why = "population sizes differ";
+        return false;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].ways.size() != b[i].ways.size()) {
+            *why = "chip " + std::to_string(i) + ": way counts differ";
+            return false;
+        }
+        for (std::size_t w = 0; w < a[i].ways.size(); ++w) {
+            if (a[i].ways[w].pathDelays != b[i].ways[w].pathDelays ||
+                a[i].ways[w].groupCellLeakage !=
+                    b[i].ways[w].groupCellLeakage ||
+                a[i].ways[w].peripheralLeakage !=
+                    b[i].ways[w].peripheralLeakage) {
+                *why = "chip " + std::to_string(i) + " way " +
+                       std::to_string(w) + ": timings differ";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+TEST(PropImportanceSampling, TiltedAgreesWithNaiveWithinStderr)
+{
+    ThreadGuard guard;
+    // Constraints come from one naive reference campaign so both
+    // estimators target exactly the same yield quantity.
+    const MonteCarloResult naive =
+        runPlan(SamplingPlan::naive(), 2000, 2006, 2);
+    const YieldConstraints c =
+        naive.constraints(ConstraintPolicy::nominal());
+    const CycleMapping m =
+        naive.cycleMapping(ConstraintPolicy::nominal());
+    const LossTable naive_table =
+        buildLossTable(naive.regular, naive.weights, c, m, {});
+    const YieldEstimate naive_yield = naive_table.yieldOf("Base");
+
+    const auto r = forAll(
+        "tilted base yield is an unbiased naive-yield estimate",
+        tiltedPlan(),
+        [&](const SamplingPlan &plan) -> Verdict {
+            const MonteCarloResult tilted = runPlan(plan, 2000, 77, 2);
+            const LossTable t = buildLossTable(
+                tilted.regular, tilted.weights, c, m, {});
+            const YieldEstimate y = t.yieldOf("Base");
+            const double tol =
+                5.0 * std::sqrt(naive_yield.stdErr * naive_yield.stdErr +
+                                y.stdErr * y.stdErr) +
+                1e-6;
+            YAC_PROP_EXPECT(std::fabs(y.value - naive_yield.value) <=
+                                tol,
+                            "yields", naive_yield.value, y.value,
+                            "tol", tol);
+            return check::pass();
+        },
+        8);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropImportanceSampling, WeightsPositiveSeedStableThreadInvariant)
+{
+    ThreadGuard guard;
+    const auto r = forAll(
+        "weights are positive, seed-stable and thread-invariant",
+        tiltedPlan(),
+        [](const SamplingPlan &plan) -> Verdict {
+            const MonteCarloResult serial = runPlan(plan, 400, 9, 1);
+            YAC_PROP_EXPECT(serial.weights.size() == 400u);
+            for (double w : serial.weights)
+                YAC_PROP_EXPECT(std::isfinite(w) && w > 0.0,
+                                "weight", w);
+            std::string why;
+            for (std::size_t threads : {2u, 8u}) {
+                const MonteCarloResult par =
+                    runPlan(plan, 400, 9, threads);
+                YAC_PROP_EXPECT(par.weights == serial.weights,
+                                "weights differ @", threads,
+                                "threads");
+                if (!identicalTimings(serial.regular, par.regular,
+                                      &why))
+                    return check::fail(
+                        "timings @" + std::to_string(threads) +
+                        " threads: " + why);
+            }
+            // Same seed, same plan: the rerun is the same campaign.
+            const MonteCarloResult again = runPlan(plan, 400, 9, 2);
+            YAC_PROP_EXPECT(again.weights == serial.weights,
+                            "rerun weights differ");
+            return check::pass();
+        },
+        6);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropImportanceSampling, EssNeverExceedsChipCount)
+{
+    ThreadGuard guard;
+    const auto r = forAll(
+        "Kish ESS is at most the number of chips", tiltedPlan(),
+        [](const SamplingPlan &plan) -> Verdict {
+            const MonteCarloResult mc = runPlan(plan, 600, 3, 2);
+            const YieldConstraints c =
+                mc.constraints(ConstraintPolicy::nominal());
+            const CycleMapping m =
+                mc.cycleMapping(ConstraintPolicy::nominal());
+            const LossTable t =
+                buildLossTable(mc.regular, mc.weights, c, m, {});
+            const YieldEstimate y = t.yieldOf("Base");
+            YAC_PROP_EXPECT(y.chips == 600u);
+            YAC_PROP_EXPECT(y.ess > 0.0 && y.ess <= 600.0 + 1e-9,
+                            "ess", y.ess);
+            return check::pass();
+        },
+        6);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropImportanceSampling, ExplicitNaivePlanIsBitwiseDefault)
+{
+    ThreadGuard guard;
+    parallel::setThreads(2);
+    MonteCarlo mc;
+    const MonteCarloResult legacy = mc.run({500, 42});
+    const MonteCarloResult explicit_naive =
+        runPlan(SamplingPlan::naive(), 500, 42, 2);
+    std::string why;
+    ASSERT_TRUE(identicalTimings(legacy.regular,
+                                 explicit_naive.regular, &why))
+        << why;
+    ASSERT_TRUE(identicalTimings(legacy.horizontal,
+                                 explicit_naive.horizontal, &why))
+        << why;
+    for (double w : legacy.weights)
+        ASSERT_EQ(w, 1.0);
+    ASSERT_EQ(legacy.weights, explicit_naive.weights);
+}
+
+TEST(PropImportanceSampling, ZeroTiltUnitScaleDegeneratesToNaive)
+{
+    // tilted(0, 1) proposes exactly the naive distribution: the
+    // rejection window, the draw expression and the weight all
+    // collapse to the naive spellings, so the campaign must be
+    // byte-identical -- not merely statistically equivalent.
+    ThreadGuard guard;
+    const MonteCarloResult naive =
+        runPlan(SamplingPlan::naive(), 500, 42, 2);
+    const MonteCarloResult zero =
+        runPlan(SamplingPlan::tilted(0.0, 1.0), 500, 42, 2);
+    std::string why;
+    ASSERT_TRUE(identicalTimings(naive.regular, zero.regular, &why))
+        << why;
+    ASSERT_TRUE(
+        identicalTimings(naive.horizontal, zero.horizontal, &why))
+        << why;
+    for (double w : zero.weights)
+        ASSERT_EQ(w, 1.0);
+}
+
+TEST(PropImportanceSampling, TiltConcentratesChipsInTheTail)
+{
+    // A positive tilt pushes the proposal toward the slow corner:
+    // the tilted population's (unweighted) delay tail mass past the
+    // naive population's nominal delay limit must exceed the naive
+    // one's, which is what buys the stderr reduction.
+    ThreadGuard guard;
+    const MonteCarloResult naive =
+        runPlan(SamplingPlan::naive(), 1500, 5, 2);
+    const YieldConstraints c =
+        naive.constraints(ConstraintPolicy::nominal());
+    const MonteCarloResult tilted =
+        runPlan(SamplingPlan::tilted(2.0), 1500, 5, 2);
+    auto tail_count = [&](const MonteCarloResult &mc) {
+        std::size_t n = 0;
+        for (const CacheTiming &chip : mc.regular)
+            if (chip.delay() > c.delayLimitPs)
+                ++n;
+        return n;
+    };
+    EXPECT_GT(tail_count(tilted), 2 * tail_count(naive));
+}
+
+} // namespace
+} // namespace yac

@@ -215,23 +215,24 @@ TEST(PropSchemes, HybridYieldBoundsOnThePaperConfig)
             const HybridScheme hybrid;
             const std::vector<const Scheme *> regular_schemes = {
                 &yapd, &vaca, &hybrid};
-            const LossTable reg = buildLossTable(mc.regular, c, m,
-                                                 regular_schemes);
-            const double y_yapd = reg.yieldOf("YAPD");
-            const double y_vaca = reg.yieldOf("VACA");
-            const double y_hybrid = reg.yieldOf("Hybrid");
+            const LossTable reg = buildLossTable(mc.regular, mc.weights,
+                                                 c, m, regular_schemes);
+            const double y_yapd = reg.yieldOf("YAPD").value;
+            const double y_vaca = reg.yieldOf("VACA").value;
+            const double y_hybrid = reg.yieldOf("Hybrid").value;
             YAC_PROP_EXPECT(y_hybrid >=
                                 std::max(y_yapd, y_vaca) - 1e-12,
                             "yields", y_yapd, y_vaca, y_hybrid);
-            YAC_PROP_EXPECT(reg.yieldOf("Base") <= y_yapd + 1e-12);
+            YAC_PROP_EXPECT(reg.yieldOf("Base").value <=
+                            y_yapd + 1e-12);
 
             const HYapdScheme hyapd;
             const std::vector<const Scheme *> horizontal_schemes = {
                 &hyapd};
             const LossTable hor = buildLossTable(
-                mc.horizontal, c, m, horizontal_schemes);
-            YAC_PROP_EXPECT(hor.yieldOf("H-YAPD") >=
-                                hor.yieldOf("Base") - 1e-12);
+                mc.horizontal, mc.weights, c, m, horizontal_schemes);
+            YAC_PROP_EXPECT(hor.yieldOf("H-YAPD").value >=
+                                hor.yieldOf("Base").value - 1e-12);
             return check::pass();
         },
         15);

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "yield/analysis.hh"
 #include "yield/monte_carlo.hh"
 #include "yield/schemes/hybrid.hh"
@@ -41,7 +43,7 @@ class AnalysisTest : public ::testing::Test
 TEST_F(AnalysisTest, RowsSumToTotals)
 {
     const LossTable t = buildLossTable(
-        result_.regular, constraints_, mapping_,
+        result_.regular, result_.weights, constraints_, mapping_,
         {&yapd_, &vaca_, &hybrid_});
     int base_sum = 0;
     for (LossReason r : kLossRows)
@@ -58,7 +60,7 @@ TEST_F(AnalysisTest, RowsSumToTotals)
 TEST_F(AnalysisTest, SchemesNeverLoseMoreThanBase)
 {
     const LossTable t = buildLossTable(
-        result_.regular, constraints_, mapping_,
+        result_.regular, result_.weights, constraints_, mapping_,
         {&yapd_, &vaca_, &hybrid_});
     for (const SchemeLosses &s : t.schemes) {
         EXPECT_LE(s.total, t.baseTotal);
@@ -70,7 +72,7 @@ TEST_F(AnalysisTest, SchemesNeverLoseMoreThanBase)
 TEST_F(AnalysisTest, SchemeOrderings)
 {
     const LossTable t = buildLossTable(
-        result_.regular, constraints_, mapping_,
+        result_.regular, result_.weights, constraints_, mapping_,
         {&yapd_, &vaca_, &hybrid_});
     const int yapd = t.schemes[0].total;
     const int vaca = t.schemes[1].total;
@@ -90,24 +92,30 @@ TEST_F(AnalysisTest, SchemeOrderings)
 
 TEST_F(AnalysisTest, YieldAndReductionMath)
 {
-    const LossTable t = buildLossTable(result_.regular, constraints_,
-                                       mapping_, {&hybrid_});
-    const double base_yield = t.yieldOf("Base");
-    const double hybrid_yield = t.yieldOf("Hybrid");
-    EXPECT_NEAR(base_yield,
+    const LossTable t = buildLossTable(result_.regular, result_.weights,
+                                       constraints_, mapping_, {&hybrid_});
+    const YieldEstimate base_yield = t.yieldOf("Base");
+    const YieldEstimate hybrid_yield = t.yieldOf("Hybrid");
+    EXPECT_NEAR(base_yield.value,
                 1.0 - static_cast<double>(t.baseTotal) / 400.0, 1e-12);
-    EXPECT_GE(hybrid_yield, base_yield);
+    EXPECT_GE(hybrid_yield.value, base_yield.value);
     const double reduction = t.lossReductionOf("Hybrid");
     EXPECT_NEAR(reduction,
                 1.0 - static_cast<double>(t.schemes[0].total) /
                           static_cast<double>(t.baseTotal),
                 1e-12);
+    // Naive campaign: binomial standard error and full ESS.
+    const double v = base_yield.value;
+    EXPECT_NEAR(base_yield.stdErr, std::sqrt(v * (1.0 - v) / 400.0),
+                1e-12);
+    EXPECT_NEAR(base_yield.ess, 400.0, 1e-9);
+    EXPECT_EQ(base_yield.chips, 400u);
 }
 
 TEST_F(AnalysisTest, SavedCensusMatchesLossTable)
 {
-    const LossTable t = buildLossTable(result_.regular, constraints_,
-                                       mapping_, {&hybrid_});
+    const LossTable t = buildLossTable(result_.regular, result_.weights,
+                                       constraints_, mapping_, {&hybrid_});
     const auto census = savedConfigCensus(result_.regular, constraints_,
                                           mapping_, hybrid_);
     int saved = 0;
@@ -118,8 +126,8 @@ TEST_F(AnalysisTest, SavedCensusMatchesLossTable)
 
 TEST_F(AnalysisTest, LossCensusCoversAllLosses)
 {
-    const LossTable t = buildLossTable(result_.regular, constraints_,
-                                       mapping_, {});
+    const LossTable t = buildLossTable(result_.regular, result_.weights,
+                                       constraints_, mapping_, {});
     const auto census =
         lossConfigCensus(result_.regular, constraints_, mapping_);
     int losses = 0;
@@ -144,8 +152,8 @@ TEST_F(AnalysisTest, ScatterNormalizedToUnitMean)
 
 TEST_F(AnalysisTest, UnknownSchemeNameDies)
 {
-    const LossTable t = buildLossTable(result_.regular, constraints_,
-                                       mapping_, {&yapd_});
+    const LossTable t = buildLossTable(result_.regular, result_.weights,
+                                       constraints_, mapping_, {&yapd_});
     EXPECT_DEATH((void)t.yieldOf("nope"), "unknown scheme");
 }
 

@@ -44,7 +44,7 @@ class AnalyticTest : public ::testing::Test
         const YieldConstraints c = result_.constraints(policy);
         const CycleMapping m = result_.cycleMapping(policy);
         const LossTable t =
-            buildLossTable(result_.regular, c, m, {});
+            buildLossTable(result_.regular, result_.weights, c, m, {});
         return static_cast<double>(t.baseTotal) /
             static_cast<double>(result_.regular.size());
     }

@@ -100,14 +100,39 @@ TEST(Binning, PopulationReportConsistent)
         makeChip({90, 90, 90, 110}, {8, 8, 8, 8}),
         makeChip({90, 90, 90, 200}, {8, 8, 8, 8}),
     };
-    const BinningReport r = b.binPopulation(chips);
+    const BinningReport r = b.binPopulation(chips, {});
     int binned = 0;
     for (int c : r.binCounts)
         binned += c;
     EXPECT_EQ(binned + r.scrapped, 3);
     EXPECT_EQ(r.scrapped, 1);
     EXPECT_DOUBLE_EQ(r.totalRevenue, 100.0 + 70.0);
-    EXPECT_NEAR(r.averageRevenue(3), 170.0 / 3.0, 1e-12);
+    EXPECT_NEAR(r.averageRevenue(), 170.0 / 3.0, 1e-12);
+    // Unit-weight tallies: sellable yield is a plain binomial count.
+    const YieldEstimate sellable = r.sellableYield();
+    EXPECT_NEAR(sellable.value, 2.0 / 3.0, 1e-12);
+    EXPECT_EQ(sellable.chips, 3u);
+    EXPECT_NEAR(sellable.ess, 3.0, 1e-12);
+}
+
+TEST(Binning, WeightedPopulationScalesRevenue)
+{
+    const BinningAnalysis b = ladder();
+    const std::vector<CacheTiming> chips = {
+        test::healthyChip(),
+        makeChip({90, 90, 90, 110}, {8, 8, 8, 8}),
+        makeChip({90, 90, 90, 200}, {8, 8, 8, 8}),
+    };
+    // Importance weights (likelihood ratios): the fast chip stands
+    // for 2x its count, the others for half. The direct estimator
+    // divides weighted tallies by the chip count, not the weight sum.
+    const std::vector<double> weights = {2.0, 0.5, 0.5};
+    const BinningReport r = b.binPopulation(chips, weights);
+    EXPECT_DOUBLE_EQ(r.totalRevenue, 2.0 * 100.0 + 0.5 * 70.0);
+    EXPECT_NEAR(r.averageRevenue(), 235.0 / 3.0, 1e-12);
+    EXPECT_NEAR(r.sellableYield().value, 2.5 / 3.0, 1e-12);
+    // Unequal weights shrink the effective sample size below count.
+    EXPECT_LT(r.sellableYield().ess, 3.0);
 }
 
 TEST(Binning, SchemeRaisesPopulationRevenue)
@@ -119,8 +144,8 @@ TEST(Binning, SchemeRaisesPopulationRevenue)
         makeChip({90, 110, 110, 140}, {8, 8, 8, 8}),
         makeChip({90, 90, 90, 90}, {8, 10, 16, 10}),
     };
-    const BinningReport plain = b.binPopulation(chips);
-    const BinningReport with = b.binPopulation(chips, hybrid);
+    const BinningReport plain = b.binPopulation(chips, {});
+    const BinningReport with = b.binPopulation(chips, {}, hybrid);
     EXPECT_GT(with.totalRevenue, plain.totalRevenue);
     EXPECT_LE(with.scrapped, plain.scrapped);
 }

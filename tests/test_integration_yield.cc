@@ -105,9 +105,9 @@ TEST_F(YieldIntegrationTest, PaperQualitativeResults)
     YapdScheme yapd;
     VacaScheme vaca;
     HybridScheme hybrid;
-    const LossTable t = buildLossTable(result_->regular, constraints_,
-                                       mapping_,
-                                       {&yapd, &vaca, &hybrid});
+    const LossTable t = buildLossTable(
+        result_->regular, result_->weights, constraints_, mapping_,
+        {&yapd, &vaca, &hybrid});
     // The base parametric loss is substantial (paper: ~17%).
     EXPECT_GT(t.baseTotal, 800 * 0.08);
     EXPECT_LT(t.baseTotal, 800 * 0.30);
@@ -118,7 +118,7 @@ TEST_F(YieldIntegrationTest, PaperQualitativeResults)
     const int hybrid_l = t.schemes[2].total;
     EXPECT_LT(yapd_l, vaca_l);
     EXPECT_LE(hybrid_l, yapd_l);
-    EXPECT_GT(t.yieldOf("Hybrid"), 0.90);
+    EXPECT_GT(t.yieldOf("Hybrid").value, 0.90);
     // YAPD nullifies the single-way delay row.
     EXPECT_EQ(t.schemes[0].at(LossReason::Delay1), 0);
 }
@@ -129,12 +129,13 @@ TEST_F(YieldIntegrationTest, HyapdBeatsYapdOnLeakage)
     // ways), saving at least as many leakage-limited chips as YAPD
     // saves on the same draws (paper: 26 vs 33 residual losses).
     YapdScheme yapd;
-    const LossTable reg = buildLossTable(result_->regular, constraints_,
-                                         mapping_, {&yapd});
+    const LossTable reg = buildLossTable(
+        result_->regular, result_->weights, constraints_, mapping_,
+        {&yapd});
     HYapdScheme hyapd;
-    const LossTable hor = buildLossTable(result_->horizontal,
-                                         constraints_, mapping_,
-                                         {&hyapd});
+    const LossTable hor = buildLossTable(
+        result_->horizontal, result_->weights, constraints_, mapping_,
+        {&hyapd});
     EXPECT_LE(hor.schemes[0].at(LossReason::Leakage),
               reg.schemes[0].at(LossReason::Leakage) + 5);
 }
@@ -143,10 +144,11 @@ TEST_F(YieldIntegrationTest, HorizontalArchLosesMoreAtBase)
 {
     // The 2.5% slower H-YAPD layout fails the same absolute delay
     // limit more often (362 vs 339 in the paper).
-    const LossTable reg =
-        buildLossTable(result_->regular, constraints_, mapping_, {});
-    const LossTable hor =
-        buildLossTable(result_->horizontal, constraints_, mapping_, {});
+    const LossTable reg = buildLossTable(
+        result_->regular, result_->weights, constraints_, mapping_, {});
+    const LossTable hor = buildLossTable(
+        result_->horizontal, result_->weights, constraints_, mapping_,
+        {});
     EXPECT_GE(hor.baseTotal, reg.baseTotal);
 }
 
@@ -160,12 +162,12 @@ TEST_F(YieldIntegrationTest, StricterConstraintsLoseMore)
         result_->cycleMapping(ConstraintPolicy::relaxed());
     const CycleMapping m_str =
         result_->cycleMapping(ConstraintPolicy::strict());
-    const LossTable rel =
-        buildLossTable(result_->regular, relaxed, m_rel, {});
-    const LossTable nom =
-        buildLossTable(result_->regular, constraints_, mapping_, {});
-    const LossTable str =
-        buildLossTable(result_->regular, strict, m_str, {});
+    const LossTable rel = buildLossTable(
+        result_->regular, result_->weights, relaxed, m_rel, {});
+    const LossTable nom = buildLossTable(
+        result_->regular, result_->weights, constraints_, mapping_, {});
+    const LossTable str = buildLossTable(
+        result_->regular, result_->weights, strict, m_str, {});
     EXPECT_LT(rel.baseTotal, nom.baseTotal);
     EXPECT_LT(nom.baseTotal, str.baseTotal);
 }
@@ -176,8 +178,9 @@ TEST_F(YieldIntegrationTest, DeeperBuffersOnlyHelp)
     // ways) must save a superset of the 1-entry VACA.
     VacaScheme depth1(1);
     VacaScheme depth2(2);
-    const LossTable t = buildLossTable(result_->regular, constraints_,
-                                       mapping_, {&depth1, &depth2});
+    const LossTable t = buildLossTable(
+        result_->regular, result_->weights, constraints_, mapping_,
+        {&depth1, &depth2});
     EXPECT_LE(t.schemes[1].total, t.schemes[0].total);
 }
 
@@ -187,7 +190,8 @@ TEST_F(YieldIntegrationTest, BinningOrderedByReach)
     NaiveBinningScheme bin6(6);
     VacaScheme vaca;
     const LossTable t = buildLossTable(
-        result_->regular, constraints_, mapping_, {&bin5, &bin6, &vaca});
+        result_->regular, result_->weights, constraints_, mapping_,
+        {&bin5, &bin6, &vaca});
     // Bin@6 saves a superset of Bin@5; Bin@5 saves exactly what VACA
     // saves (both tolerate <= 5-cycle ways, neither fixes leakage).
     EXPECT_LE(t.schemes[1].total, t.schemes[0].total);

@@ -47,10 +47,10 @@ TEST_F(MultiCacheTest, CompositionBoundsSingleComponentYield)
     for (std::size_t c = 0; c < 2; ++c) {
         const double comp_yield = 1.0 -
             static_cast<double>(r.componentBaseFail[c]) / 600.0;
-        EXPECT_LE(r.baseYield(), comp_yield + 1e-12);
+        EXPECT_LE(r.baseYield().value, comp_yield + 1e-12);
     }
-    EXPECT_GT(r.baseYield(), 0.4);
-    EXPECT_LT(r.baseYield(), 1.0);
+    EXPECT_GT(r.baseYield().value, 0.4);
+    EXPECT_LT(r.baseYield().value, 1.0);
 }
 
 TEST_F(MultiCacheTest, SharedDieMakesFailuresCorrelated)
@@ -64,7 +64,7 @@ TEST_F(MultiCacheTest, SharedDieMakesFailuresCorrelated)
         static_cast<double>(r.componentBaseFail[0]) / 1200.0;
     const double y1 = 1.0 -
         static_cast<double>(r.componentBaseFail[1]) / 1200.0;
-    EXPECT_GT(r.baseYield(), y0 * y1);
+    EXPECT_GT(r.baseYield().value, y0 * y1);
 }
 
 TEST_F(MultiCacheTest, SchemesRaiseChipYield)
@@ -74,7 +74,7 @@ TEST_F(MultiCacheTest, SchemesRaiseChipYield)
     const MultiCacheReport saved = chip_.run(
         {600, 13}, {&hybrid_, &hybrid_}, ConstraintPolicy::nominal());
     EXPECT_EQ(plain.basePass, saved.basePass);
-    EXPECT_GT(saved.schemeYield(), plain.schemeYield());
+    EXPECT_GT(saved.schemeYield().value, plain.schemeYield().value);
     EXPECT_GE(saved.shippable, saved.basePass);
     for (std::size_t c = 0; c < 2; ++c)
         EXPECT_LE(saved.componentUnsaved[c],

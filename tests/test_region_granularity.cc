@@ -86,7 +86,8 @@ TEST(RegionGranularity, FinerHyapdTradesLeakageForDelayCoverage)
         result.cycleMapping(ConstraintPolicy::nominal());
     HYapdScheme coarse(0.5, 1, 4);
     HYapdScheme fine(0.5, 1, 16);
-    const LossTable t = buildLossTable(result.horizontal, c, m,
+    const LossTable t = buildLossTable(result.horizontal,
+                                       result.weights, c, m,
                                        {&coarse, &fine});
     // The thinner power-down saves fewer leakage-limited chips.
     EXPECT_GE(t.schemes[1].at(LossReason::Leakage),

@@ -4,6 +4,7 @@
  */
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -21,6 +22,9 @@ TEST(RunningStats, Empty)
     EXPECT_EQ(s.count(), 0u);
     EXPECT_DOUBLE_EQ(s.mean(), 0.0);
     EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    // An empty accumulator has no extrema; 0.0 would be a lie.
+    EXPECT_TRUE(std::isnan(s.min()));
+    EXPECT_TRUE(std::isnan(s.max()));
 }
 
 TEST(RunningStats, SingleSample)
@@ -70,9 +74,119 @@ TEST(RunningStats, MergeWithEmpty)
     a.add(3.0);
     a.merge(b);
     EXPECT_EQ(a.count(), 2u);
+    // Merging an empty side must not poison the extrema with the
+    // empty accumulator's sentinel values.
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
     b.merge(a);
     EXPECT_EQ(b.count(), 2u);
     EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(b.min(), 1.0);
+    EXPECT_DOUBLE_EQ(b.max(), 3.0);
+}
+
+TEST(RunningStats, MergeTwoEmptiesStaysEmpty)
+{
+    RunningStats a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_TRUE(std::isnan(a.min()));
+    EXPECT_TRUE(std::isnan(a.max()));
+}
+
+TEST(WeightedRunningStats, Empty)
+{
+    WeightedRunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.weightSum(), 0.0);
+    EXPECT_DOUBLE_EQ(s.ess(), 0.0);
+}
+
+TEST(WeightedRunningStats, UnitWeightsMatchRunningStats)
+{
+    Rng rng(11);
+    RunningStats plain;
+    WeightedRunningStats weighted;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.normal(5.0, 2.0);
+        plain.add(x);
+        weighted.add(x, 1.0);
+    }
+    EXPECT_EQ(weighted.count(), plain.count());
+    EXPECT_NEAR(weighted.mean(), plain.mean(), 1e-9);
+    EXPECT_NEAR(weighted.variance(), plain.variance(), 1e-7);
+    EXPECT_NEAR(weighted.weightSum(), 500.0, 1e-9);
+    // Equal weights: the effective sample size is the sample count.
+    EXPECT_NEAR(weighted.ess(), 500.0, 1e-9);
+}
+
+TEST(WeightedRunningStats, KnownWeightedMoments)
+{
+    // Duplicating a sample k times equals weighting it by k, for the
+    // mean (the reliability-weights variance intentionally differs).
+    WeightedRunningStats w;
+    w.add(2.0, 3.0);
+    w.add(6.0, 1.0);
+    EXPECT_DOUBLE_EQ(w.weightSum(), 4.0);
+    EXPECT_NEAR(w.mean(), 3.0, 1e-12);
+    // s = sum w (x - mean)^2 = 3*1 + 1*9 = 12; W - W2/W = 4 - 10/4.
+    EXPECT_NEAR(w.variance(), 12.0 / (4.0 - 10.0 / 4.0), 1e-12);
+    // ESS = W^2 / W2 = 16 / 10.
+    EXPECT_NEAR(w.ess(), 1.6, 1e-12);
+}
+
+TEST(WeightedRunningStats, MergeMatchesSequential)
+{
+    Rng rng(12);
+    WeightedRunningStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(1.0, 4.0);
+        const double w = std::exp(rng.uniform(-2.0, 2.0));
+        all.add(x, w);
+        (i % 3 == 0 ? a : b).add(x, w);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-7);
+    EXPECT_NEAR(a.weightSum(), all.weightSum(), 1e-9);
+    EXPECT_NEAR(a.weightSqSum(), all.weightSqSum(), 1e-9);
+    EXPECT_NEAR(a.ess(), all.ess(), 1e-7);
+}
+
+TEST(WeightedRunningStats, MergeWithEmpty)
+{
+    WeightedRunningStats a, b;
+    a.add(1.0, 2.0);
+    a.add(3.0, 2.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(b.weightSum(), 4.0);
+}
+
+TEST(WeightedRunningStats, EssNeverExceedsCount)
+{
+    Rng rng(13);
+    WeightedRunningStats s;
+    for (int i = 0; i < 300; ++i) {
+        s.add(rng.normal(), std::exp(rng.normal(0.0, 1.5)));
+        EXPECT_LE(s.ess(), static_cast<double>(s.count()) + 1e-9);
+    }
+}
+
+TEST(WeightedRunningStatsDeathTest, RejectsBadWeights)
+{
+    WeightedRunningStats s;
+    EXPECT_DEATH(s.add(1.0, 0.0), "");
+    EXPECT_DEATH(s.add(1.0, -1.0), "");
+    EXPECT_DEATH(s.add(1.0, std::numeric_limits<double>::infinity()),
+                 "");
 }
 
 /** Merge equivalence under random partitions. */

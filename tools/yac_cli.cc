@@ -78,8 +78,8 @@ cmdYield(const Argv &args)
         ? std::vector<const Scheme *>{&hyapd, &vaca, &hybrid_h}
         : std::vector<const Scheme *>{&yapd, &vaca, &hybrid};
     const LossTable t = buildLossTable(
-        horizontal ? result.horizontal : result.regular, c, m,
-        schemes);
+        horizontal ? result.horizontal : result.regular,
+        result.weights, c, m, schemes);
 
     std::printf("%zu chips, %s constraints, %s layout\n", opts.chips,
                 policy.name.c_str(), layout.c_str());
@@ -106,10 +106,11 @@ cmdYield(const Argv &args)
     out.addRow(total);
     out.print();
     std::printf("\nyield: base %s",
-                TextTable::percent(t.yieldOf("Base")).c_str());
+                TextTable::percent(t.yieldOf("Base").value).c_str());
     for (const SchemeLosses &s : t.schemes)
         std::printf(", %s %s", s.scheme.c_str(),
-                    TextTable::percent(t.yieldOf(s.scheme)).c_str());
+                    TextTable::percent(
+                        t.yieldOf(s.scheme).value).c_str());
     std::printf("\n");
     return 0;
 }
