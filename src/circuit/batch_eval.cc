@@ -52,6 +52,12 @@ BatchChipEvaluator::BatchChipEvaluator(const CacheGeometry &geom,
             static_cast<double>(std::max<std::size_t>(groups_per_seg, 1));
         segLenDist_[g] = segLen_ * dist_frac;
     }
+    segLenDistByPath_.resize(geom_.banksPerWay *
+                             geom_.rowGroupsPerBank);
+    for (std::size_t b = 0; b < geom_.banksPerWay; ++b)
+        for (std::size_t g = 0; g < geom_.rowGroupsPerBank; ++g)
+            segLenDistByPath_[b * geom_.rowGroupsPerBank + g] =
+                segLenDist_[g];
 
     // Peripheral leak widths, as in WayModel::peripheralLeakage.
     const double rows = static_cast<double>(geom_.rowsPerBank) *
@@ -87,56 +93,77 @@ BatchChipEvaluator::prepareTiming(CacheTiming &timing,
     }
 }
 
+BatchChipEvaluator::WayStages
+BatchChipEvaluator::wayStages(const ChipBatchSoa &soa,
+                              std::size_t chip, std::size_t w) const
+{
+    WayStages st;
+    st.dec = soa.load(chip, soa.peripheralSlot(w, 0));
+    st.pre = soa.load(chip, soa.peripheralSlot(w, 1));
+    st.sa = soa.load(chip, soa.peripheralSlot(w, 2));
+    st.drv = soa.load(chip, soa.peripheralSlot(w, 3));
+
+    // Way-level stage delays: identical formulas to
+    // WayModel::stageBreakdown, computed once per way instead of once
+    // per path (they do not depend on the row group).
+    const double f_dec = device_.driveFactor(st.dec);
+    st.tAddr = wire_.elmoreDelay(
+        st.dec,
+        device_.driveResistanceFromFactor(f_dec, st.dec,
+                                          WayModel::kAddrDriverWidth),
+        halfBankWidth_, capPre1x2_, /*coupling=*/1.5);
+    st.tPre =
+        device_.gateDelayFromFactor(f_dec, st.dec,
+                                    WayModel::kPredecode1Width,
+                                    capPre2_) +
+        device_.gateDelayFromFactor(f_dec, st.dec,
+                                    WayModel::kPredecode2Width,
+                                    capGwl_);
+    st.rGwl = device_.driveResistanceFromFactor(
+        f_dec, st.dec, WayModel::kGwlDriverWidth);
+
+    const double f_sa = device_.driveFactor(st.sa);
+    st.tSa = device_.gateDelayFromFactor(
+        f_sa, st.sa, WayModel::kSenseAmpWidth, 6.0);
+
+    const double f_drv = device_.driveFactor(st.drv);
+    ProcessParams bus = st.drv;
+    bus.metalWidth *= 2.0;
+    st.tOut = wire_.elmoreDelay(
+        bus,
+        device_.driveResistanceFromFactor(f_drv, st.drv,
+                                          WayModel::kOutDriverWidth),
+        busLen_, 8.0);
+    return st;
+}
+
+double
+BatchChipEvaluator::peripheralLeakage(const WayStages &st) const
+{
+    const double leak_ua =
+        (device_.subthresholdLeak(st.dec, decoderWidth_) +
+         decoderGateLeak_) +
+        (device_.subthresholdLeak(st.pre, prechargeWidth_) +
+         prechargeGateLeak_) +
+        (device_.subthresholdLeak(st.sa, senseampWidth_) +
+         senseampGateLeak_) +
+        (device_.subthresholdLeak(st.drv, driverWidth_) +
+         driverGateLeak_);
+    return leak_ua * tech_.vdd / 1000.0;
+}
+
 void
 BatchChipEvaluator::evaluateWay(const ChipBatchSoa &soa,
                                 std::size_t chip, std::size_t w,
                                 WayTiming &out) const
 {
-    const ProcessParams dec =
-        soa.load(chip, soa.peripheralSlot(w, 0));
-    const ProcessParams pre =
-        soa.load(chip, soa.peripheralSlot(w, 1));
-    const ProcessParams sa = soa.load(chip, soa.peripheralSlot(w, 2));
-    const ProcessParams drv =
-        soa.load(chip, soa.peripheralSlot(w, 3));
-
-    // Way-level stage delays: identical formulas to
-    // WayModel::stageBreakdown, computed once per way instead of once
-    // per path (they do not depend on the row group).
-    const double f_dec = device_.driveFactor(dec);
-    const double t_addr = wire_.elmoreDelay(
-        dec,
-        device_.driveResistanceFromFactor(f_dec, dec,
-                                          WayModel::kAddrDriverWidth),
-        halfBankWidth_, capPre1x2_, /*coupling=*/1.5);
-    const double t_pre =
-        device_.gateDelayFromFactor(f_dec, dec,
-                                    WayModel::kPredecode1Width,
-                                    capPre2_) +
-        device_.gateDelayFromFactor(f_dec, dec,
-                                    WayModel::kPredecode2Width,
-                                    capGwl_);
-    const double r_gwl = device_.driveResistanceFromFactor(
-        f_dec, dec, WayModel::kGwlDriverWidth);
-
-    const double f_sa = device_.driveFactor(sa);
-    const double t_sa = device_.gateDelayFromFactor(
-        f_sa, sa, WayModel::kSenseAmpWidth, 6.0);
-
-    const double f_drv = device_.driveFactor(drv);
-    ProcessParams bus = drv;
-    bus.metalWidth *= 2.0;
-    const double t_out = wire_.elmoreDelay(
-        bus,
-        device_.driveResistanceFromFactor(f_drv, drv,
-                                          WayModel::kOutDriverWidth),
-        busLen_, 8.0);
+    const WayStages st = wayStages(soa, chip, w);
 
     const double s = tech_.delaySensitivity;
     const std::vector<double> &nominal = wayModel_.nominalRawDelays();
     for (std::size_t b = 0; b < geom_.banksPerWay; ++b) {
-        const double t_gwl = wire_.elmoreDelay(dec, r_gwl, gwlLen_[b],
-                                               capLwl_,
+        const double t_gwl = wire_.elmoreDelay(st.dec, st.rGwl,
+                                               gwlLen_[b], capLwl_,
                                                /*coupling=*/1.5);
         for (std::size_t g = 0; g < geom_.rowGroupsPerBank; ++g) {
             const ProcessParams grp =
@@ -154,28 +181,28 @@ BatchChipEvaluator::evaluateWay(const ChipBatchSoa &soa,
             const double c_bl =
                 cBlJunction_ + wire_.wireCap(grp, segLen_,
                                              /*coupling=*/1.2);
+            const double f_cell = device_.driveFactor(cell);
             const double i_cell = 0.45 *
                 device_.onCurrentFromFactor(
-                    device_.driveFactor(cell), cell,
-                    WayModel::kCellPullWidth);
+                    f_cell, cell, WayModel::kCellPullWidth);
             double t_bl = 1000.0 * WayModel::kBitlineSwingFrac *
                 tech_.vdd * c_bl / i_cell;
             t_bl +=
                 0.69 * wire_.wireRes(grp, segLenDist_[g]) * c_bl;
 
             StageDelays stages;
-            stages.addressBus = t_addr;
-            stages.predecode = t_pre;
+            stages.addressBus = st.tAddr;
+            stages.predecode = st.tPre;
             stages.globalWordLine = t_gwl;
             stages.localWordLine = t_lwl;
             stages.bitline = t_bl;
-            stages.senseAmp = t_sa;
-            stages.output = t_out;
+            stages.senseAmp = st.tSa;
+            stages.output = st.tOut;
             const double raw = stages.total();
 
             const std::size_t idx = out.pathIndex(b, g);
-            const double nom = nominal[idx];
-            out.pathDelays[idx] = nom * std::pow(raw / nom, s);
+            out.pathDelays[idx] =
+                sensitivityScaledDelay(raw, nominal[idx], s);
 
             const double per_cell_ua =
                 device_.subthresholdLeak(grp,
@@ -186,23 +213,212 @@ BatchChipEvaluator::evaluateWay(const ChipBatchSoa &soa,
         }
     }
 
-    const double leak_ua =
-        (device_.subthresholdLeak(dec, decoderWidth_) +
-         decoderGateLeak_) +
-        (device_.subthresholdLeak(pre, prechargeWidth_) +
-         prechargeGateLeak_) +
-        (device_.subthresholdLeak(sa, senseampWidth_) +
-         senseampGateLeak_) +
-        (device_.subthresholdLeak(drv, driverWidth_) +
-         driverGateLeak_);
-    out.peripheralLeakage = leak_ua * tech_.vdd / 1000.0;
+    out.peripheralLeakage = peripheralLeakage(st);
 }
+
+#if YAC_VECMATH_X86
+
+/**
+ * 4-wide variant of evaluateWay. The way-level preamble and the
+ * peripheral leakage are the shared scalar helpers above; the
+ * per-path work runs four paths per instruction over the contiguous
+ * SoA row-group and worst-cell plane ranges (soa_batch.hh slot
+ * layout: both are `paths` consecutive slots per way).
+ *
+ * The formulas mirror DeviceModel/WireModel exactly but are freely
+ * reassociated for FMA (e.g. drive resistance as
+ * (1000 vdd / (I_per_um W)) * l_norm / factor instead of the scalar
+ * chain of divisions): this path is tolerance-verified against the
+ * scalar reference (prop_simd_engine), never bitwise. Requires
+ * paths >= 4; the tail (paths % 4) is handled by re-running the last
+ * full 4-lane window, which recomputes -- deterministically -- a few
+ * already-written paths.
+ */
+YAC_SIMD_TARGET void
+BatchChipEvaluator::evaluateWayAvx2(const ChipBatchSoa &soa,
+                                    std::size_t chip, std::size_t w,
+                                    WayTiming &out) const
+{
+    const WayStages st = wayStages(soa, chip, w);
+    const std::size_t groups = geom_.rowGroupsPerBank;
+    const std::size_t paths = geom_.banksPerWay * groups;
+
+    // Per-path row-group-independent delay sum (t_gwl depends on the
+    // bank, so this is not one scalar). Reused across calls.
+    static thread_local std::vector<double> way_base;
+    way_base.resize(paths);
+    for (std::size_t b = 0; b < geom_.banksPerWay; ++b) {
+        const double t_gwl = wire_.elmoreDelay(st.dec, st.rGwl,
+                                               gwlLen_[b], capLwl_,
+                                               /*coupling=*/1.5);
+        const double base =
+            st.tAddr + st.tPre + t_gwl + st.tSa + st.tOut;
+        for (std::size_t g = 0; g < groups; ++g)
+            way_base[b * groups + g] = base;
+    }
+
+    // Contiguous per-way plane ranges (kAllProcessParams order:
+    // L, Vt, W, T, H).
+    const std::size_t at = chip * soa.slotsPerChip;
+    const double *rg_l = soa.plane[0].data() + at +
+        soa.rowGroupSlot(w, 0, 0);
+    const double *rg_vt = soa.plane[1].data() + at +
+        soa.rowGroupSlot(w, 0, 0);
+    const double *rg_w = soa.plane[2].data() + at +
+        soa.rowGroupSlot(w, 0, 0);
+    const double *rg_t = soa.plane[3].data() + at +
+        soa.rowGroupSlot(w, 0, 0);
+    const double *rg_h = soa.plane[4].data() + at +
+        soa.rowGroupSlot(w, 0, 0);
+    const double *wc_l = soa.plane[0].data() + at +
+        soa.worstCellSlot(w, 0, 0);
+    const double *wc_vt = soa.plane[1].data() + at +
+        soa.worstCellSlot(w, 0, 0);
+    const double *nominal = wayModel_.nominalRawDelays().data();
+
+    const double l_nom = 45.0; // DeviceModel nominalGateLengthNm_
+    const __m256d v_lnom = _mm256_set1_pd(l_nom);
+    const __m256d v_mv = _mm256_set1_pd(1e-3);
+    const __m256d v_roll = _mm256_set1_pd(tech_.vtRolloffPerL);
+    const __m256d v_vdd = _mm256_set1_pd(tech_.vdd);
+    const __m256d v_od_floor = _mm256_set1_pd(0.05);
+    const __m256d v_alpha = _mm256_set1_pd(tech_.alpha);
+    const __m256d v_s = _mm256_set1_pd(tech_.delaySensitivity);
+    const __m256d v_geo_floor = _mm256_set1_pd(1e-3);
+    const __m256d v_eps = _mm256_set1_pd(tech_.permittivityFfPerUm);
+    const __m256d v_fringe =
+        _mm256_set1_pd(tech_.permittivityFfPerUm * 1.1);
+    const __m256d v_pitch = _mm256_set1_pd(tech_.wirePitchUm);
+    const __m256d v_space_floor = _mm256_set1_pd(0.05);
+    const __m256d v_rho =
+        _mm256_set1_pd(tech_.wireResistivityOhmUm * 1e-3);
+    // R_drv of the LWL driver: 1000 vdd l_norm / (I_per_um W f).
+    const __m256d v_rdrv_lwl = _mm256_set1_pd(
+        1000.0 * tech_.vdd /
+        (tech_.onCurrentPerUm * WayModel::kLwlDriverWidth));
+    const __m256d v_bank_len = _mm256_set1_pd(bankWidth_);
+    const __m256d v_wl_load = _mm256_set1_pd(wlLoad_);
+    const __m256d v_seg_len = _mm256_set1_pd(segLen_);
+    const __m256d v_cbl_junc = _mm256_set1_pd(cBlJunction_);
+    const __m256d v_icell_k = _mm256_set1_pd(
+        0.45 * tech_.onCurrentPerUm * WayModel::kCellPullWidth);
+    const __m256d v_swing = _mm256_set1_pd(
+        1000.0 * WayModel::kBitlineSwingFrac * tech_.vdd);
+    const __m256d v_c069 = _mm256_set1_pd(0.69);
+    const __m256d v_c038 = _mm256_set1_pd(0.38);
+    const __m256d v_leak_ref = _mm256_set1_pd(
+        tech_.leakRefPerUm * WayModel::kCellLeakWidth);
+    const __m256d v_inv_swing =
+        _mm256_set1_pd(-1.0 / tech_.subthresholdSwing);
+    const __m256d v_cell_gate = _mm256_set1_pd(cellGateLeak_);
+    const __m256d v_leak_scale =
+        _mm256_set1_pd(cells_ * tech_.vdd / 1000.0);
+
+    const std::size_t last = paths - 4;
+    for (std::size_t i = 0;; i = i + 4 > last ? last : i + 4) {
+        // Row-group draw and its derived device/wire quantities.
+        const __m256d lg = _mm256_loadu_pd(rg_l + i);
+        const __m256d vt = _mm256_loadu_pd(rg_vt + i);
+        const __m256d l_frac = _mm256_div_pd(
+            _mm256_sub_pd(v_lnom, lg), v_lnom);
+        const __m256d vt_eff = _mm256_fnmadd_pd(
+            v_roll, l_frac, _mm256_mul_pd(vt, v_mv));
+        const __m256d od = _mm256_max_pd(
+            v_od_floor, _mm256_sub_pd(v_vdd, vt_eff));
+        const __m256d f_grp = vecmath::pow4(od, v_alpha);
+        const __m256d l_norm = _mm256_div_pd(lg, v_lnom);
+
+        const __m256d mw = _mm256_max_pd(v_geo_floor,
+                                         _mm256_loadu_pd(rg_w + i));
+        const __m256d mt = _mm256_max_pd(v_geo_floor,
+                                         _mm256_loadu_pd(rg_t + i));
+        const __m256d mh = _mm256_max_pd(v_geo_floor,
+                                         _mm256_loadu_pd(rg_h + i));
+        const __m256d space = _mm256_max_pd(
+            v_space_floor, _mm256_sub_pd(v_pitch, mw));
+        // c/um = eps w/h + eps 1.1 + 2 eps t/space * coupling;
+        // r/um = rho / (w t).
+        const __m256d plate = _mm256_div_pd(
+            _mm256_mul_pd(v_eps, mw), mh);
+        const __m256d side = _mm256_div_pd(
+            _mm256_mul_pd(_mm256_add_pd(v_eps, v_eps), mt), space);
+        const __m256d cap_base =
+            _mm256_add_pd(_mm256_add_pd(plate, v_fringe), side);
+        const __m256d r_per_um =
+            _mm256_div_pd(v_rho, _mm256_mul_pd(mw, mt));
+
+        // Local word line Elmore (coupling 1.0).
+        const __m256d r_drv = _mm256_div_pd(
+            _mm256_mul_pd(v_rdrv_lwl, l_norm), f_grp);
+        const __m256d c_wl =
+            _mm256_mul_pd(cap_base, v_bank_len);
+        const __m256d r_wl = _mm256_mul_pd(r_per_um, v_bank_len);
+        __m256d t_lwl = _mm256_mul_pd(
+            _mm256_mul_pd(v_c069, r_drv),
+            _mm256_add_pd(c_wl, v_wl_load));
+        t_lwl = _mm256_fmadd_pd(
+            _mm256_mul_pd(v_c038, r_wl), c_wl, t_lwl);
+        t_lwl = _mm256_fmadd_pd(
+            _mm256_mul_pd(v_c069, r_wl), v_wl_load, t_lwl);
+
+        // Bitline discharge: coupling 1.2 adds 0.2 * sidewall.
+        const __m256d cap_bl = _mm256_fmadd_pd(
+            side, _mm256_set1_pd(0.2), cap_base);
+        const __m256d c_bl = _mm256_fmadd_pd(
+            cap_bl, v_seg_len, v_cbl_junc);
+        const __m256d cl = _mm256_loadu_pd(wc_l + i);
+        const __m256d cvt = _mm256_loadu_pd(wc_vt + i);
+        const __m256d c_lfrac = _mm256_div_pd(
+            _mm256_sub_pd(v_lnom, cl), v_lnom);
+        const __m256d c_vteff = _mm256_fnmadd_pd(
+            v_roll, c_lfrac, _mm256_mul_pd(cvt, v_mv));
+        const __m256d c_od = _mm256_max_pd(
+            v_od_floor, _mm256_sub_pd(v_vdd, c_vteff));
+        const __m256d f_cell = vecmath::pow4(c_od, v_alpha);
+        const __m256d i_cell = _mm256_div_pd(
+            _mm256_mul_pd(v_icell_k, f_cell),
+            _mm256_div_pd(cl, v_lnom));
+        __m256d t_bl = _mm256_div_pd(
+            _mm256_mul_pd(v_swing, c_bl), i_cell);
+        const __m256d r_seg = _mm256_mul_pd(
+            r_per_um, _mm256_loadu_pd(segLenDistByPath_.data() + i));
+        t_bl = _mm256_fmadd_pd(
+            _mm256_mul_pd(v_c069, r_seg), c_bl, t_bl);
+
+        // Widened path delay against the shared nominal reference.
+        const __m256d raw = _mm256_add_pd(
+            _mm256_add_pd(_mm256_loadu_pd(way_base.data() + i),
+                          t_lwl),
+            t_bl);
+        const __m256d nom = _mm256_loadu_pd(nominal + i);
+        const __m256d widened = _mm256_mul_pd(
+            nom,
+            vecmath::pow4(_mm256_div_pd(raw, nom), v_s));
+        _mm256_storeu_pd(out.pathDelays.data() + i, widened);
+
+        // Cell-array leakage of the row group.
+        const __m256d sub_leak = _mm256_mul_pd(
+            _mm256_div_pd(v_leak_ref, l_norm),
+            vecmath::exp4(_mm256_mul_pd(vt_eff, v_inv_swing)));
+        const __m256d leak = _mm256_mul_pd(
+            _mm256_add_pd(sub_leak, v_cell_gate), v_leak_scale);
+        _mm256_storeu_pd(out.groupCellLeakage.data() + i, leak);
+
+        if (i >= last)
+            break;
+    }
+
+    out.peripheralLeakage = peripheralLeakage(st);
+}
+
+#endif // YAC_VECMATH_X86
 
 void
 BatchChipEvaluator::evaluateChip(const ChipBatchSoa &soa,
                                  std::size_t chip,
                                  CacheTiming &regular,
-                                 CacheTiming *horizontal) const
+                                 CacheTiming *horizontal,
+                                 vecmath::SimdKernel kernel) const
 {
     yac_assert(soa.geometry.numWays == geom_.numWays &&
                    soa.geometry.banksPerWay == geom_.banksPerWay &&
@@ -211,10 +427,26 @@ BatchChipEvaluator::evaluateChip(const ChipBatchSoa &soa,
                "SoA batch geometry mismatch");
     yac_assert(regular.ways.size() == geom_.numWays,
                "regular output not prepared");
+    // The AVX2 lane loop needs at least one full 4-path window; tiny
+    // geometries (paths < 4) fall back to the scalar reference.
+#if YAC_VECMATH_X86
+    const bool use_avx2 = kernel == vecmath::SimdKernel::Avx2 &&
+        geom_.banksPerWay * geom_.rowGroupsPerBank >= 4;
+#else
+    yac_assert(kernel == vecmath::SimdKernel::Scalar,
+               "SIMD kernels unavailable on this target");
+#endif
     const double layout_factor = tech_.hyapdDelayFactor;
     for (std::size_t w = 0; w < geom_.numWays; ++w) {
         WayTiming &reg = regular.ways[w];
+#if YAC_VECMATH_X86
+        if (use_avx2)
+            evaluateWayAvx2(soa, chip, w, reg);
+        else
+            evaluateWay(soa, chip, w, reg);
+#else
         evaluateWay(soa, chip, w, reg);
+#endif
         if (horizontal == nullptr)
             continue;
         yac_assert(horizontal->ways.size() == geom_.numWays,

@@ -36,6 +36,7 @@
 #include "circuit/geometry.hh"
 #include "circuit/technology.hh"
 #include "circuit/way_model.hh"
+#include "util/vecmath.hh"
 #include "variation/soa_batch.hh"
 
 namespace yac
@@ -60,18 +61,56 @@ class BatchChipEvaluator
      * Evaluate chip @p chip of @p soa into @p regular (Regular
      * layout) and, when non-null, @p horizontal (H-YAPD layout
      * derived from the same draw). Both outputs must be pre-sized via
-     * prepareTiming. Allocation-free.
+     * prepareTiming. Allocation-free in steady state.
+     *
+     * @p kernel selects the per-way inner loop. Scalar (the default)
+     * is the bitwise reference described in the file comment. Avx2
+     * runs the 4-wide lane loop over the contiguous SoA row-group
+     * planes (util/vecmath.hh kernels); it is deterministic and
+     * thread-count invariant, but tolerance-equal -- not bitwise
+     * equal -- to the scalar path (tests/prop_simd_engine.cc). The
+     * caller is responsible for resolving the kernel against host
+     * capabilities (vecmath::resolveSimdKernel); passing Avx2 on a
+     * host without AVX2+FMA is undefined.
      */
-    void evaluateChip(const ChipBatchSoa &soa, std::size_t chip,
-                      CacheTiming &regular,
-                      CacheTiming *horizontal) const;
+    void evaluateChip(
+        const ChipBatchSoa &soa, std::size_t chip,
+        CacheTiming &regular, CacheTiming *horizontal,
+        vecmath::SimdKernel kernel = vecmath::SimdKernel::Scalar)
+        const;
 
     const CacheGeometry &geometry() const { return geom_; }
     const Technology &technology() const { return tech_; }
 
   private:
+    /** Row-group-independent per-way values: the stage delays that
+     *  depend only on the peripheral draws, plus those draws. Shared
+     *  by the scalar and SIMD inner loops so the way-level preamble
+     *  cannot drift between them. */
+    struct WayStages
+    {
+        ProcessParams dec, pre, sa, drv;
+        double tAddr = 0.0; //!< address bus [ps]
+        double tPre = 0.0;  //!< predecode chain [ps]
+        double rGwl = 0.0;  //!< GWL driver resistance [kOhm]
+        double tSa = 0.0;   //!< sense amp [ps]
+        double tOut = 0.0;  //!< output driver + data bus [ps]
+    };
+    WayStages wayStages(const ChipBatchSoa &soa, std::size_t chip,
+                        std::size_t w) const;
+    double peripheralLeakage(const WayStages &st) const;
+
     void evaluateWay(const ChipBatchSoa &soa, std::size_t chip,
                      std::size_t w, WayTiming &out) const;
+
+#if YAC_VECMATH_X86
+    /** 4-wide AVX2/FMA variant of evaluateWay: same per-way scalar
+     *  stage preamble, row-group/worst-cell work in 4-path lanes. */
+    YAC_SIMD_TARGET void evaluateWayAvx2(const ChipBatchSoa &soa,
+                                         std::size_t chip,
+                                         std::size_t w,
+                                         WayTiming &out) const;
+#endif
 
     CacheGeometry geom_;
     Technology tech_;
@@ -106,6 +145,9 @@ class BatchChipEvaluator
     double driverGateLeak_ = 0.0;
     std::vector<double> gwlLen_;     //!< per bank
     std::vector<double> segLenDist_; //!< per group: seg_len * dist_frac
+    /** segLenDist_ unrolled to per-path (bank-major) order, so the
+     *  SIMD lane loop can load 4 consecutive paths' values. */
+    std::vector<double> segLenDistByPath_;
 };
 
 } // namespace yac

@@ -291,9 +291,8 @@ WayModel::evaluate(const WayVariation &way) const
             const std::size_t idx = timing.pathIndex(b, g);
             const double raw = rawPathDelay(way, b, g);
             const double nom = nominalRawDelay_[idx];
-            // Spread widening: preserve the nominal point and the
-            // ordering, amplify relative excursions.
-            timing.pathDelays[idx] = nom * std::pow(raw / nom, s);
+            timing.pathDelays[idx] =
+                sensitivityScaledDelay(raw, nom, s);
             timing.groupCellLeakage[idx] = groupCellLeakage(way, b, g);
         }
     }

@@ -14,6 +14,7 @@
 #ifndef YAC_CIRCUIT_WAY_MODEL_HH
 #define YAC_CIRCUIT_WAY_MODEL_HH
 
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
@@ -78,6 +79,20 @@ struct WayTiming
         return bank * groupsPerBank + group;
     }
 };
+
+/**
+ * Spread widening shared by every evaluation path (scalar WayModel,
+ * batched scalar, batched SIMD): preserve the nominal point and the
+ * path ordering, amplify relative excursions by the technology's
+ * delaySensitivity exponent s:
+ *   d = d_nom * (d_raw / d_nom_raw)^s
+ * One definition so the paths cannot drift.
+ */
+inline double
+sensitivityScaledDelay(double raw, double nom, double s)
+{
+    return nom * std::pow(raw / nom, s);
+}
 
 /** Per-stage decomposition of one path's delay [ps]. */
 struct StageDelays

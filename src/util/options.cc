@@ -6,6 +6,7 @@
 
 #include "util/logging.hh"
 #include "util/parallel.hh"
+#include "util/vecmath.hh"
 
 namespace yac
 {
@@ -175,6 +176,16 @@ addCampaignOptions(OptionParser &parser, CampaignOptions &opts)
     parser.add("sigma-scale",
                "tilted only: die-sigma multiplier (default 1.0)",
                &opts.sigmaScale);
+    parser.add("simd",
+               "SIMD kernels: off (scalar bitwise reference, "
+               "default), auto (AVX2 when available) or avx2 "
+               "(force; fatal without AVX2+FMA)",
+               [&opts](const std::string &value) {
+                   // Validates the spelling eagerly so a typo dies at
+                   // the flag, not mid-campaign.
+                   vecmath::simdModeFromName(value);
+                   opts.simd = value;
+               });
 }
 
 CampaignOptions

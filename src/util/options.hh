@@ -41,6 +41,11 @@ struct CampaignOptions
     std::string sampling = "naive"; //!< naive | tilted
     double tilt = 2.0;              //!< die-mean shift [sigma units]
     double sigmaScale = 1.0;        //!< die-sigma multiplier
+
+    /** SIMD kernel selection (--simd): off keeps the scalar bitwise
+     *  reference (the default), auto picks AVX2 when the host
+     *  supports it, avx2 forces it (fatal on unsupported hosts). */
+    std::string simd = "off"; //!< off | auto | avx2
 };
 
 /**

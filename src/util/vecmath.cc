@@ -1,0 +1,221 @@
+#include "util/vecmath.hh"
+
+#include <cmath>
+
+#include "trace/metrics.hh"
+#include "util/logging.hh"
+
+namespace yac
+{
+namespace vecmath
+{
+
+const char *
+simdModeName(SimdMode mode)
+{
+    switch (mode) {
+    case SimdMode::Off:
+        return "off";
+    case SimdMode::Auto:
+        return "auto";
+    case SimdMode::Avx2:
+        return "avx2";
+    }
+    yac_panic("unreachable SimdMode");
+}
+
+const char *
+simdKernelName(SimdKernel kernel)
+{
+    switch (kernel) {
+    case SimdKernel::Scalar:
+        return "scalar";
+    case SimdKernel::Avx2:
+        return "avx2";
+    }
+    yac_panic("unreachable SimdKernel");
+}
+
+SimdMode
+simdModeFromName(const std::string &name)
+{
+    if (name == "off")
+        return SimdMode::Off;
+    if (name == "auto")
+        return SimdMode::Auto;
+    if (name == "avx2")
+        return SimdMode::Avx2;
+    yac_fatal("--simd must be off, auto or avx2, got '", name, "'");
+}
+
+bool
+hostHasAvx2Fma()
+{
+#if YAC_VECMATH_X86
+    return __builtin_cpu_supports("avx2") &&
+        __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+SimdKernel
+resolveSimdKernel(SimdMode mode, bool host_has_avx2_fma)
+{
+    switch (mode) {
+    case SimdMode::Off:
+        return SimdKernel::Scalar;
+    case SimdMode::Auto:
+        return host_has_avx2_fma ? SimdKernel::Avx2
+                                 : SimdKernel::Scalar;
+    case SimdMode::Avx2:
+        if (!host_has_avx2_fma)
+            yac_fatal("--simd=avx2 requested but this host does not "
+                      "support AVX2+FMA; use --simd=auto or "
+                      "--simd=off");
+        return SimdKernel::Avx2;
+    }
+    yac_panic("unreachable SimdMode");
+}
+
+SimdKernel
+resolveSimdKernel(SimdMode mode)
+{
+    const SimdKernel kernel =
+        resolveSimdKernel(mode, hostHasAvx2Fma());
+    // Off is the implicit default everywhere; only an explicit SIMD
+    // request leaves a dispatch record in the metrics registry.
+    if (mode != SimdMode::Off) {
+        trace::Metrics &metrics = trace::Metrics::instance();
+        metrics
+            .counter(kernel == SimdKernel::Avx2
+                         ? "simd_dispatch_avx2"
+                         : "simd_dispatch_scalar")
+            .add(1);
+    }
+    return kernel;
+}
+
+#if YAC_VECMATH_X86
+
+namespace
+{
+
+// The AVX2 loops live in dedicated target-attributed functions; the
+// public wrappers below contain no vector types, so they compile (and
+// run their scalar fallback) on any x86 host. The tail (n % 4) goes
+// through the same 4-wide kernel via a padded buffer so every element
+// sees identical code and rounding.
+
+YAC_SIMD_TARGET void
+expArrayAvx2(const double *x, double *out, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_pd(out + i, exp4(_mm256_loadu_pd(x + i)));
+    if (i < n) {
+        alignas(32) double pad[4] = {0.0, 0.0, 0.0, 0.0};
+        for (std::size_t j = i; j < n; ++j)
+            pad[j - i] = x[j];
+        _mm256_store_pd(pad, exp4(_mm256_load_pd(pad)));
+        for (std::size_t j = i; j < n; ++j)
+            out[j] = pad[j - i];
+    }
+}
+
+YAC_SIMD_TARGET void
+logArrayAvx2(const double *x, double *out, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_pd(out + i, log4(_mm256_loadu_pd(x + i)));
+    if (i < n) {
+        alignas(32) double pad[4] = {1.0, 1.0, 1.0, 1.0};
+        for (std::size_t j = i; j < n; ++j)
+            pad[j - i] = x[j];
+        _mm256_store_pd(pad, log4(_mm256_load_pd(pad)));
+        for (std::size_t j = i; j < n; ++j)
+            out[j] = pad[j - i];
+    }
+}
+
+YAC_SIMD_TARGET void
+powArrayAvx2(const double *x, double y, double *out, std::size_t n)
+{
+    const __m256d vy = _mm256_set1_pd(y);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_pd(out + i,
+                         pow4(_mm256_loadu_pd(x + i), vy));
+    if (i < n) {
+        alignas(32) double pad[4] = {1.0, 1.0, 1.0, 1.0};
+        for (std::size_t j = i; j < n; ++j)
+            pad[j - i] = x[j];
+        _mm256_store_pd(pad, pow4(_mm256_load_pd(pad), vy));
+        for (std::size_t j = i; j < n; ++j)
+            out[j] = pad[j - i];
+    }
+}
+
+} // namespace
+
+void
+expArray(const double *x, double *out, std::size_t n)
+{
+    if (hostHasAvx2Fma()) {
+        expArrayAvx2(x, out, n);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = std::exp(x[i]);
+}
+
+void
+logArray(const double *x, double *out, std::size_t n)
+{
+    if (hostHasAvx2Fma()) {
+        logArrayAvx2(x, out, n);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = std::log(x[i]);
+}
+
+void
+powArray(const double *x, double y, double *out, std::size_t n)
+{
+    if (hostHasAvx2Fma()) {
+        powArrayAvx2(x, y, out, n);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = std::pow(x[i], y);
+}
+
+#else // !YAC_VECMATH_X86
+
+void
+expArray(const double *x, double *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = std::exp(x[i]);
+}
+
+void
+logArray(const double *x, double *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = std::log(x[i]);
+}
+
+void
+powArray(const double *x, double y, double *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = std::pow(x[i], y);
+}
+
+#endif // YAC_VECMATH_X86
+
+} // namespace vecmath
+} // namespace yac

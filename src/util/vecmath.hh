@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Self-contained 4-wide AVX2/FMA vector math kernels (exp, log, pow
+ * over packed doubles) plus the runtime SIMD dispatch machinery that
+ * selects between them and scalar libm.
+ *
+ * Why hand-rolled kernels: vectorized transcendentals from vendor
+ * libraries (SVML, libmvec) are not universally available, not
+ * bit-stable across versions, and would add an external dependency.
+ * These kernels are ~150 lines of documented polynomial math with an
+ * explicit error budget, and they are *tolerance-tested* against
+ * scalar libm (tests/prop_vecmath.cc) -- never assumed bitwise equal.
+ *
+ * Error budget (ulps versus the host libm, which is correctly rounded
+ * to within ~0.5 ulp):
+ *
+ *  - exp4: <= kExpMaxUlp over the normal result range
+ *    [-708.4, 709.8]; results that underflow into the denormal range
+ *    are produced by two-step scaling and may lose up to ~1 ulp more
+ *    (of the denormal's reduced precision).
+ *  - log4: <= kLogMaxUlp for every positive finite input, including
+ *    denormals (which are pre-scaled by 2^54). The fdlibm-style
+ *    reduction keeps the e*ln2 + log(m) cancellation exact via
+ *    compensated (hi/lo) accumulation.
+ *  - pow4: <= kPowMaxUlp for x > 0 and |y * ln x| <= 700 (i.e. every
+ *    finite-result case). pow is computed as exp(y * log x) with the
+ *    log carried in a compensated hi/lo pair, so the argument error
+ *    that the final exp amplifies stays ~2^-57 * |y ln x|.
+ *
+ * The kernels follow IEEE special-case conventions where the campaign
+ * hot path can reach them (exp(-inf)=0, exp(inf)=inf, log(0)=-inf,
+ * log(x<0)=NaN, NaN propagates); pow is only specified for x > 0.
+ *
+ * Dispatch: nothing in this header requires building the whole
+ * translation unit with -mavx2; the vector kernels carry
+ * per-function target("avx2,fma") attributes and are only *called*
+ * after a runtime CPUID check (hostHasAvx2Fma). resolveSimdKernel()
+ * maps a user-facing SimdMode (--simd=off|auto|avx2) to the kernel
+ * set to use, fails fast when avx2 is forced on an unsupported host,
+ * and records the decision in the trace::Metrics registry
+ * (simd_dispatch_avx2 / simd_dispatch_scalar counters).
+ */
+
+#ifndef YAC_UTIL_VECMATH_HH
+#define YAC_UTIL_VECMATH_HH
+
+#include <cstddef>
+#include <string>
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define YAC_VECMATH_X86 1
+#include <immintrin.h>
+/** Per-function AVX2+FMA codegen; the TU itself needs no -mavx2. */
+#define YAC_SIMD_TARGET __attribute__((target("avx2,fma")))
+#else
+#define YAC_VECMATH_X86 0
+#define YAC_SIMD_TARGET
+#endif
+
+namespace yac
+{
+namespace vecmath
+{
+
+/** User-facing SIMD selection (--simd=off|auto|avx2). */
+enum class SimdMode
+{
+    Off,  //!< scalar bitwise-reference path, the default
+    Auto, //!< AVX2 kernels when the host supports them, else scalar
+    Avx2, //!< force AVX2 kernels; fatal on unsupported hosts
+};
+
+/** The kernel set a campaign actually runs with. */
+enum class SimdKernel
+{
+    Scalar, //!< scalar libm, bitwise-identical reference
+    Avx2,   //!< 4-wide AVX2/FMA polynomial kernels
+};
+
+/** Documented maximum error of the vector kernels [ulps vs libm]. */
+constexpr int kExpMaxUlp = 4;
+constexpr int kLogMaxUlp = 4;
+constexpr int kPowMaxUlp = 16;
+
+/** Spelling used by --simd and the BENCH/trace surfaces. */
+const char *simdModeName(SimdMode mode);
+const char *simdKernelName(SimdKernel kernel);
+
+/** Parse an --simd value; fatal on anything but off|auto|avx2. */
+SimdMode simdModeFromName(const std::string &name);
+
+/** True when this CPU executes AVX2 and FMA instructions. */
+bool hostHasAvx2Fma();
+
+/**
+ * Resolve the kernel set for @p mode on this host. Off always yields
+ * Scalar; Auto picks Avx2 exactly when hostHasAvx2Fma(); Avx2
+ * yac_fatals when the host cannot execute it (a silently-scalar
+ * "avx2" run would invalidate any perf comparison). For Auto and
+ * Avx2 the decision is recorded in the trace::Metrics registry as a
+ * simd_dispatch_avx2 / simd_dispatch_scalar counter tick, so every
+ * BENCH line and trace carries the dispatch outcome.
+ */
+SimdKernel resolveSimdKernel(SimdMode mode);
+
+/** Testable core of resolveSimdKernel: injected host capability, no
+ *  metrics side effects. */
+SimdKernel resolveSimdKernel(SimdMode mode, bool host_has_avx2_fma);
+
+/**
+ * Array forms of the vector kernels: out[i] = exp(x[i]) (resp. log,
+ * pow(x[i], y)). On an AVX2+FMA host these run the 4-wide kernels
+ * (the tail is processed through the same kernel via a padded
+ * vector, so every element sees identical code); elsewhere they fall
+ * back to scalar libm. In-place (out == x) is allowed. These are the
+ * surfaces the ulp suite tests; the batch evaluator uses the inline
+ * __m256d kernels below directly.
+ */
+void expArray(const double *x, double *out, std::size_t n);
+void logArray(const double *x, double *out, std::size_t n);
+void powArray(const double *x, double y, double *out, std::size_t n);
+
+#if YAC_VECMATH_X86
+
+namespace detail
+{
+
+/** exp(h + l) for |l| << |h|: shared core of exp4 and pow4. The
+ *  correction @p l is folded into the reduced argument before the
+ *  polynomial, where it costs one add instead of a multiply at the
+ *  end. Handles overflow (-> inf) and graceful underflow through the
+ *  denormal range (-> 0) via two-step scaling. */
+YAC_SIMD_TARGET inline __m256d
+exp4Core(__m256d h, __m256d l)
+{
+    const __m256d log2e = _mm256_set1_pd(1.4426950408889634074);
+    // ln2 split with 27 trailing zero bits: k * ln2_hi is exact for
+    // |k| < 2^26, far beyond the +/-1100 range k can take here.
+    const __m256d ln2_hi = _mm256_set1_pd(6.93147180369123816490e-01);
+    const __m256d ln2_lo = _mm256_set1_pd(1.90821492927058770002e-10);
+
+    __m256d k = _mm256_round_pd(
+        _mm256_mul_pd(h, log2e),
+        _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    // Clamp k so the exponent arithmetic below stays in range; the
+    // result saturates to inf / 0 through the scaling regardless.
+    k = _mm256_max_pd(k, _mm256_set1_pd(-1100.0));
+    k = _mm256_min_pd(k, _mm256_set1_pd(1100.0));
+
+    __m256d r = _mm256_fnmadd_pd(k, ln2_hi, h);
+    r = _mm256_fnmadd_pd(k, ln2_lo, r);
+    r = _mm256_add_pd(r, l);
+
+    // exp(r) on [-ln2/2, ln2/2] via a degree-13 Taylor polynomial:
+    // the tail term r^14/14! < 4.2e-18 relative, below double
+    // rounding. Horner with FMA.
+    __m256d p = _mm256_set1_pd(1.6059043836821614599e-10); // 1/13!
+    const double kInvFact[] = {
+        2.0876756987868098979e-09, // 1/12!
+        2.5052108385441718775e-08, // 1/11!
+        2.7557319223985890653e-07, // 1/10!
+        2.7557319223985892511e-06, // 1/9!
+        2.4801587301587301566e-05, // 1/8!
+        1.9841269841269841253e-04, // 1/7!
+        1.3888888888888889419e-03, // 1/6!
+        8.3333333333333332177e-03, // 1/5!
+        4.1666666666666664354e-02, // 1/4!
+        1.6666666666666665741e-01, // 1/3!
+        5.0000000000000000000e-01, // 1/2!
+        1.0,                       // 1/1!
+        1.0,                       // 1/0!
+    };
+    for (double c : kInvFact)
+        p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(c));
+
+    // Scale by 2^k in two steps, k = k1 + k2 with both factors
+    // representable: k1 in [-1021, 1023], k2 in [-79, 77]. One-step
+    // scaling could not reach denormal results (2^k itself would
+    // underflow); two steps round once more but only in the
+    // denormal range, which the error budget documents.
+    __m256d k1 = _mm256_max_pd(_mm256_min_pd(k, _mm256_set1_pd(1023.0)),
+                               _mm256_set1_pd(-1021.0));
+    __m256d k2 = _mm256_sub_pd(k, k1);
+    const __m256i bias = _mm256_set1_epi64x(1023);
+    __m256i i1 = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(k1));
+    __m256i i2 = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(k2));
+    __m256d s1 = _mm256_castsi256_pd(
+        _mm256_slli_epi64(_mm256_add_epi64(i1, bias), 52));
+    __m256d s2 = _mm256_castsi256_pd(
+        _mm256_slli_epi64(_mm256_add_epi64(i2, bias), 52));
+    __m256d result = _mm256_mul_pd(_mm256_mul_pd(p, s1), s2);
+
+    // Below the denormal cutoff the polynomial/scaling path would
+    // produce garbage from the clamped k; force the IEEE limit 0.
+    // (exp(-746) < 2^-1075 rounds to +0.) NaN stays NaN because the
+    // comparison is false for unordered operands.
+    const __m256d zero_cut = _mm256_set1_pd(-746.0);
+    __m256d under = _mm256_cmp_pd(h, zero_cut, _CMP_LT_OQ);
+    result = _mm256_blendv_pd(result, _mm256_setzero_pd(), under);
+    return result;
+}
+
+/** Compensated natural log: *hi + *lo ~= ln(x) to ~2^-57 relative,
+ *  for x positive, finite, not NaN (callers blend specials). The
+ *  fdlibm reduction x = 2^e * m, m in [sqrt(1/2), sqrt(2)), with the
+ *  three cancellation-sensitive accumulations (e*ln2_hi + f, - f^2/2)
+ *  carried exactly via TwoSum / an FMA residual. */
+YAC_SIMD_TARGET inline void
+log4Ext(__m256d x, __m256d *hi, __m256d *lo)
+{
+    const __m256d one = _mm256_set1_pd(1.0);
+    const __m256d two54 = _mm256_set1_pd(0x1p54);
+    const __m256d dbl_min = _mm256_set1_pd(2.2250738585072014e-308);
+
+    // Pre-scale denormals into the normal range: x < DBL_MIN (and
+    // x > 0, the caller's contract) -> multiply by 2^54, e -= 54.
+    __m256d tiny = _mm256_cmp_pd(x, dbl_min, _CMP_LT_OQ);
+    __m256d xs = _mm256_blendv_pd(x, _mm256_mul_pd(x, two54), tiny);
+    __m256d e_adj =
+        _mm256_blendv_pd(_mm256_setzero_pd(), _mm256_set1_pd(-54.0),
+                         tiny);
+
+    __m256i bits = _mm256_castpd_si256(xs);
+    __m256i e_raw = _mm256_srli_epi64(bits, 52);
+    // Biased exponents are < 2^11; gather the low dword of each lane
+    // and convert to double in one cvtepi32_pd.
+    const __m256i pick_lo =
+        _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+    __m128i e32 = _mm256_castsi256_si128(
+        _mm256_permutevar8x32_epi32(e_raw, pick_lo));
+    __m256d e = _mm256_cvtepi32_pd(e32);
+    e = _mm256_add_pd(e, _mm256_set1_pd(-1023.0));
+    e = _mm256_add_pd(e, e_adj);
+
+    const __m256i mant_mask =
+        _mm256_set1_epi64x(0x000FFFFFFFFFFFFFLL);
+    const __m256i one_bits =
+        _mm256_set1_epi64x(0x3FF0000000000000LL);
+    __m256d m = _mm256_castsi256_pd(_mm256_or_si256(
+        _mm256_and_si256(bits, mant_mask), one_bits));
+
+    // Fold m into [sqrt(1/2), sqrt(2)) so f = m - 1 stays small.
+    const __m256d sqrt2 = _mm256_set1_pd(1.4142135623730951);
+    __m256d fold = _mm256_cmp_pd(m, sqrt2, _CMP_GE_OQ);
+    m = _mm256_blendv_pd(m, _mm256_mul_pd(m, _mm256_set1_pd(0.5)),
+                         fold);
+    e = _mm256_add_pd(e, _mm256_blendv_pd(_mm256_setzero_pd(), one,
+                                          fold));
+
+    __m256d f = _mm256_sub_pd(m, one);
+    __m256d s =
+        _mm256_div_pd(f, _mm256_add_pd(_mm256_set1_pd(2.0), f));
+    __m256d z = _mm256_mul_pd(s, s);
+
+    // fdlibm minimax: log(1+f) = f - f^2/2 + s*(f^2/2 + R(z)),
+    // R(z) = z * (Lg1 + z*(Lg2 + ... z*Lg7)), |error| < 2^-58.45.
+    __m256d R = _mm256_set1_pd(1.479819860511658591e-01); // Lg7
+    const double kLg[] = {
+        1.531383769920937332e-01, // Lg6
+        1.818357216161805012e-01, // Lg5
+        2.222219843214978396e-01, // Lg4
+        2.857142874366239149e-01, // Lg3
+        3.999999999940941908e-01, // Lg2
+        6.666666666666735130e-01, // Lg1
+    };
+    for (double c : kLg)
+        R = _mm256_fmadd_pd(R, z, _mm256_set1_pd(c));
+    R = _mm256_mul_pd(R, z);
+
+    __m256d half_f = _mm256_mul_pd(_mm256_set1_pd(0.5), f);
+    __m256d hfsq = _mm256_mul_pd(half_f, f);
+    // Exact residual of the hfsq rounding.
+    __m256d hfsq_err = _mm256_fmsub_pd(half_f, f, hfsq);
+    __m256d q = _mm256_mul_pd(s, _mm256_add_pd(hfsq, R));
+
+    // ln2 split with 20+ trailing zeros: e * ln2_hi is exact.
+    const __m256d ln2_hi = _mm256_set1_pd(6.93147180369123816490e-01);
+    const __m256d ln2_lo = _mm256_set1_pd(1.90821492927058770002e-10);
+    __m256d A = _mm256_mul_pd(e, ln2_hi);
+
+    // TwoSum(A, f): branchless exact sum, |A| and |f| unordered.
+    __m256d h1 = _mm256_add_pd(A, f);
+    __m256d bb = _mm256_sub_pd(h1, A);
+    __m256d l1 = _mm256_add_pd(
+        _mm256_sub_pd(A, _mm256_sub_pd(h1, bb)),
+        _mm256_sub_pd(f, bb));
+
+    // TwoSum(h1, -hfsq).
+    __m256d nh = _mm256_sub_pd(_mm256_setzero_pd(), hfsq);
+    __m256d h2 = _mm256_add_pd(h1, nh);
+    __m256d bb2 = _mm256_sub_pd(h2, h1);
+    __m256d l2 = _mm256_add_pd(
+        _mm256_sub_pd(h1, _mm256_sub_pd(h2, bb2)),
+        _mm256_sub_pd(nh, bb2));
+
+    __m256d low = _mm256_add_pd(l1, l2);
+    low = _mm256_sub_pd(low, hfsq_err);
+    low = _mm256_add_pd(low, q);
+    low = _mm256_fmadd_pd(e, ln2_lo, low);
+
+    *hi = h2;
+    *lo = low;
+}
+
+} // namespace detail
+
+/** 4-wide exp(x); see the file comment for the error budget. */
+YAC_SIMD_TARGET inline __m256d
+exp4(__m256d x)
+{
+    return detail::exp4Core(x, _mm256_setzero_pd());
+}
+
+/** 4-wide ln(x) with IEEE specials (log(0)=-inf, log(x<0)=NaN,
+ *  log(inf)=inf, NaN propagates). */
+YAC_SIMD_TARGET inline __m256d
+log4(__m256d x)
+{
+    __m256d hi, lo;
+    detail::log4Ext(x, &hi, &lo);
+    __m256d result = _mm256_add_pd(hi, lo);
+
+    const __m256d zero = _mm256_setzero_pd();
+    const __m256d neg_inf =
+        _mm256_set1_pd(-__builtin_huge_val());
+    const __m256d nan = _mm256_set1_pd(__builtin_nan(""));
+    // x == +inf falls through the reduction as a huge finite value;
+    // restore inf. Then x == 0 -> -inf, x < 0 -> NaN, NaN -> NaN.
+    __m256d is_inf = _mm256_cmp_pd(
+        x, _mm256_set1_pd(__builtin_huge_val()), _CMP_EQ_OQ);
+    result = _mm256_blendv_pd(result, x, is_inf);
+    __m256d is_zero = _mm256_cmp_pd(x, zero, _CMP_EQ_OQ);
+    result = _mm256_blendv_pd(result, neg_inf, is_zero);
+    __m256d is_neg = _mm256_cmp_pd(x, zero, _CMP_LT_OQ);
+    result = _mm256_blendv_pd(result, nan, is_neg);
+    __m256d is_nan = _mm256_cmp_pd(x, x, _CMP_UNORD_Q);
+    result = _mm256_blendv_pd(result, x, is_nan);
+    return result;
+}
+
+/** 4-wide pow(x, y) = exp(y * ln x), specified for x > 0; the ln is
+ *  carried as a compensated hi/lo pair so the final exp sees the
+ *  product y*ln(x) to ~2^-57 relative. x == 0 and negative x follow
+ *  the log4 specials through the exp (0^y -> 0 for y > 0, inf for
+ *  y < 0; negative x -> NaN). */
+YAC_SIMD_TARGET inline __m256d
+pow4(__m256d x, __m256d y)
+{
+    __m256d hi, lo;
+    detail::log4Ext(x, &hi, &lo);
+
+    // Specials of ln(x) must survive the hi/lo product; reuse log4's
+    // blend rules on the hi part (lo stays a finite correction).
+    const __m256d zero = _mm256_setzero_pd();
+    __m256d is_special = _mm256_or_pd(
+        _mm256_cmp_pd(x, zero, _CMP_LE_OQ),
+        _mm256_or_pd(
+            _mm256_cmp_pd(x, _mm256_set1_pd(__builtin_huge_val()),
+                          _CMP_EQ_OQ),
+            _mm256_cmp_pd(x, x, _CMP_UNORD_Q)));
+    hi = _mm256_blendv_pd(hi, log4(x), is_special);
+    lo = _mm256_blendv_pd(lo, zero, is_special);
+
+    __m256d t_hi = _mm256_mul_pd(y, hi);
+    // Exact product residual + the lo correction.
+    __m256d t_lo = _mm256_fmsub_pd(y, hi, t_hi);
+    t_lo = _mm256_fmadd_pd(y, lo, t_lo);
+    return detail::exp4Core(t_hi, t_lo);
+}
+
+#endif // YAC_VECMATH_X86
+
+} // namespace vecmath
+} // namespace yac
+
+#endif // YAC_UTIL_VECMATH_HH

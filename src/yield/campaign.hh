@@ -22,6 +22,7 @@
 
 #include "trace/trace.hh"
 #include "util/options.hh"
+#include "util/vecmath.hh"
 #include "variation/sampling_plan.hh"
 
 namespace yac
@@ -75,6 +76,18 @@ struct CampaignConfig
      * YieldEstimate machinery folds back in. See docs/SAMPLING.md.
      */
     SamplingPlan sampling;
+
+    /**
+     * SIMD kernel selection for the batched chip evaluator. Off (the
+     * default) runs the scalar bitwise-reference path; Auto/Avx2 are
+     * resolved against the host once per run by
+     * vecmath::resolveSimdKernel, which records the decision in the
+     * metrics registry and fails fast on a forced-Avx2 host mismatch.
+     * The SIMD path is deterministic and thread-count invariant but
+     * only tolerance-equal to the scalar reference -- see
+     * docs/PERFORMANCE.md.
+     */
+    vecmath::SimdMode simd = vecmath::SimdMode::Off;
 };
 
 /**
@@ -91,6 +104,7 @@ campaignFromOptions(const CampaignOptions &opts)
     config.threads = opts.threads;
     config.sampling =
         samplingPlanFromName(opts.sampling, opts.tilt, opts.sigmaScale);
+    config.simd = vecmath::simdModeFromName(opts.simd);
     return config;
 }
 

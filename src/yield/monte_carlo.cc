@@ -6,6 +6,7 @@
 #include "util/parallel.hh"
 #include "util/rng.hh"
 #include "util/statistics.hh"
+#include "util/vecmath.hh"
 
 namespace yac
 {
@@ -92,6 +93,10 @@ MonteCarlo::run(const CampaignConfig &config) const
 {
     yac_assert(config.numChips > 1, "need at least two chips for stats");
     CampaignScope scope("monte_carlo.run", config);
+    // Resolved once per run: logs the dispatch decision into this
+    // campaign's metrics and fails fast on a forced-AVX2 mismatch.
+    const vecmath::SimdKernel kernel =
+        vecmath::resolveSimdKernel(config.simd);
     trace::Metrics &metrics = trace::Metrics::instance();
     trace::PhaseTimer &sample_phase = metrics.phase("sample");
     trace::PhaseTimer &evaluate_phase = metrics.phase("evaluate");
@@ -139,7 +144,7 @@ MonteCarlo::run(const CampaignConfig &config) const
                                      CacheLayout::Horizontal);
                 batch_.evaluateChip(arena, i - begin,
                                     result.regular[i],
-                                    &result.horizontal[i]);
+                                    &result.horizontal[i], kernel);
                 if (naive) {
                     s.regDelay.add(result.regular[i].delay());
                     s.regLeak.add(result.regular[i].leakage());

@@ -6,6 +6,7 @@
 #include "util/parallel.hh"
 #include "util/rng.hh"
 #include "util/statistics.hh"
+#include "util/vecmath.hh"
 
 namespace yac
 {
@@ -36,6 +37,10 @@ MultiCacheYield::run(const CampaignConfig &config,
     yac_assert(schemes.size() == components_.size(),
                "one scheme slot per component");
     CampaignScope scope("multi_cache.run", config);
+    // Resolved once per run: logs the dispatch decision into this
+    // campaign's metrics and fails fast on a forced-AVX2 mismatch.
+    const vecmath::SimdKernel kernel =
+        vecmath::resolveSimdKernel(config.simd);
     trace::Metrics &metrics = trace::Metrics::instance();
     trace::PhaseTimer &evaluate_phase = metrics.phase("evaluate");
     trace::PhaseTimer &classify_phase = metrics.phase("classify");
@@ -102,7 +107,7 @@ MultiCacheYield::run(const CampaignConfig &config,
                         batchers_[c].prepareTiming(
                             t, CacheLayout::Regular);
                         batchers_[c].evaluateChip(arenas[c], 0, t,
-                                                  nullptr);
+                                                  nullptr, kernel);
                         if (naive) {
                             chunk_delay[chunk][c].add(t.delay());
                             chunk_leak[chunk][c].add(t.leakage());

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Differential oracle for the AVX2 batch-evaluation path: on
+ * RANDOMIZED campaign configurations and sampling plans, a SIMD
+ * campaign must agree with the scalar bitwise-reference campaign
+ * within a tight relative tolerance -- per-chip path delays, cell
+ * leakages, population statistics and the final YieldEstimates. The
+ * SIMD path reassociates arithmetic for FMA, so the comparison is
+ * tolerance-based by design (docs/PERFORMANCE.md); what *must* stay
+ * exact are the sampling weights (drawn before evaluation) and the
+ * SIMD path's own determinism across thread counts.
+ */
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hh"
+#include "check/domains.hh"
+#include "util/parallel.hh"
+#include "util/vecmath.hh"
+#include "variation/sampling_plan.hh"
+#include "yield/analysis.hh"
+#include "yield/monte_carlo.hh"
+
+namespace yac
+{
+namespace
+{
+
+using check::CampaignCase;
+using check::forAll;
+using check::Gen;
+using check::Verdict;
+namespace domains = check::domains;
+namespace gen = check::gen;
+
+/** Relative agreement bound for SIMD-vs-scalar evaluation. The
+ *  kernels are accurate to a few ulps (~1e-15 relative) and the
+ *  Elmore sums are short, so 1e-11 leaves four orders of margin
+ *  while still catching any real formula divergence. */
+constexpr double kRelTol = 1e-11;
+
+/** Restore the global worker count on scope exit. */
+struct ThreadGuard
+{
+    std::size_t saved = parallel::threads();
+    ~ThreadGuard() { parallel::setThreads(saved); }
+};
+
+double
+relDiff(double a, double b)
+{
+    const double mag = std::max(std::fabs(a), std::fabs(b));
+    if (mag == 0.0)
+        return 0.0;
+    return std::fabs(a - b) / mag;
+}
+
+/** Per-chip tolerance comparison of two evaluated populations. */
+bool
+closeTimings(const std::vector<CacheTiming> &a,
+             const std::vector<CacheTiming> &b, std::string *why)
+{
+    if (a.size() != b.size()) {
+        *why = "population sizes differ";
+        return false;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const CacheTiming &x = a[i];
+        const CacheTiming &y = b[i];
+        if (x.ways.size() != y.ways.size()) {
+            *why = "chip " + std::to_string(i) + ": way counts differ";
+            return false;
+        }
+        for (std::size_t w = 0; w < x.ways.size(); ++w) {
+            const WayTiming &xw = x.ways[w];
+            const WayTiming &yw = y.ways[w];
+            for (std::size_t p = 0; p < xw.pathDelays.size(); ++p) {
+                if (relDiff(xw.pathDelays[p], yw.pathDelays[p]) >
+                    kRelTol) {
+                    *why = "chip " + std::to_string(i) + " way " +
+                           std::to_string(w) + " path " +
+                           std::to_string(p) + ": delay rel diff " +
+                           std::to_string(relDiff(xw.pathDelays[p],
+                                                  yw.pathDelays[p]));
+                    return false;
+                }
+            }
+            for (std::size_t g = 0; g < xw.groupCellLeakage.size();
+                 ++g) {
+                if (relDiff(xw.groupCellLeakage[g],
+                            yw.groupCellLeakage[g]) > kRelTol) {
+                    *why = "chip " + std::to_string(i) + " way " +
+                           std::to_string(w) + " group " +
+                           std::to_string(g) + ": leakage rel diff";
+                    return false;
+                }
+            }
+            if (relDiff(xw.peripheralLeakage, yw.peripheralLeakage) >
+                kRelTol) {
+                *why = "chip " + std::to_string(i) + " way " +
+                       std::to_string(w) + ": peripheral leakage";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+/** Bitwise equality (the SIMD thread-invariance oracle). */
+bool
+identicalTimings(const std::vector<CacheTiming> &a,
+                 const std::vector<CacheTiming> &b, std::string *why)
+{
+    if (a.size() != b.size()) {
+        *why = "population sizes differ";
+        return false;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        for (std::size_t w = 0; w < a[i].ways.size(); ++w) {
+            if (a[i].ways[w].pathDelays != b[i].ways[w].pathDelays ||
+                a[i].ways[w].groupCellLeakage !=
+                    b[i].ways[w].groupCellLeakage ||
+                a[i].ways[w].peripheralLeakage !=
+                    b[i].ways[w].peripheralLeakage) {
+                *why = "chip " + std::to_string(i) + " way " +
+                       std::to_string(w) + ": timings differ";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+closeStats(const PopulationStats &a, const PopulationStats &b)
+{
+    return relDiff(a.delayMean, b.delayMean) <= kRelTol &&
+        relDiff(a.delaySigma, b.delaySigma) <= 1e-8 &&
+        relDiff(a.leakMean, b.leakMean) <= kRelTol &&
+        relDiff(a.leakSigma, b.leakSigma) <= 1e-8;
+}
+
+MonteCarloResult
+runCampaign(const CampaignCase &c, const SamplingPlan &plan,
+            std::size_t threads, vecmath::SimdMode simd)
+{
+    parallel::setThreads(threads);
+    const VariationSampler sampler(VariationTable{}, c.correlation,
+                                   c.geometry.variationGeometry());
+    const MonteCarlo mc(sampler, c.geometry, c.tech);
+    CampaignConfig config(c.chips, c.seed);
+    config.sampling = plan;
+    config.simd = simd;
+    return mc.run(config);
+}
+
+/** Randomized sampling plan: the historical naive draw or a tilted
+ *  importance-sampling draw with a randomized shift. */
+Gen<SamplingPlan>
+samplingPlan()
+{
+    return Gen<SamplingPlan>([](Rng &rng) {
+        if (rng.bernoulli(0.5))
+            return SamplingPlan::naive();
+        return SamplingPlan::tilted(rng.uniform(0.5, 2.5),
+                                    rng.uniform(0.8, 1.2));
+    });
+}
+
+struct SimdCase
+{
+    CampaignCase campaign;
+    SamplingPlan plan;
+};
+
+Gen<SimdCase>
+simdCase()
+{
+    return Gen<SimdCase>([](Rng &rng) {
+        SimdCase c{domains::campaignCase().generate(rng),
+                   samplingPlan().generate(rng)};
+        return c;
+    });
+}
+
+TEST(PropSimdEngine, SimdCampaignMatchesScalarWithinTolerance)
+{
+    if (!vecmath::hostHasAvx2Fma())
+        GTEST_SKIP() << "host lacks AVX2+FMA; SIMD path not exercised";
+    ThreadGuard guard;
+    const auto r = forAll(
+        "SIMD campaign agrees with the scalar reference", simdCase(),
+        [](const SimdCase &c) -> Verdict {
+            const MonteCarloResult scalar =
+                runCampaign(c.campaign, c.plan, 1,
+                            vecmath::SimdMode::Off);
+            const MonteCarloResult simd =
+                runCampaign(c.campaign, c.plan, 1,
+                            vecmath::SimdMode::Avx2);
+
+            // Sampling happens before evaluation: the likelihood
+            // weights must be untouched by the kernel choice.
+            YAC_PROP_EXPECT(scalar.weights == simd.weights,
+                            "weights must be bitwise identical");
+
+            std::string why;
+            if (!closeTimings(scalar.regular, simd.regular, &why))
+                return check::fail("regular layout: " + why);
+            if (!closeTimings(scalar.horizontal, simd.horizontal,
+                              &why))
+                return check::fail("horizontal layout: " + why);
+            YAC_PROP_EXPECT(closeStats(scalar.regularStats,
+                                       simd.regularStats),
+                            "regular population stats drifted");
+            YAC_PROP_EXPECT(closeStats(scalar.horizontalStats,
+                                       simd.horizontalStats),
+                            "horizontal population stats drifted");
+
+            // End-to-end statistical agreement: classify both
+            // populations against the SAME constraints (derived from
+            // the scalar run) and compare the YieldEstimates. A
+            // kernel-induced flip would move yield by >= 1/chips.
+            const ConstraintPolicy policy;
+            const YieldConstraints cons = scalar.constraints(policy);
+            CycleMapping mapping;
+            mapping.delayLimitPs = cons.delayLimitPs;
+            const LossTable ts = buildLossTable(
+                scalar.regular, scalar.weights, cons, mapping, {});
+            const LossTable tv = buildLossTable(
+                simd.regular, simd.weights, cons, mapping, {});
+            const YieldEstimate ys = ts.yieldOf("Base");
+            const YieldEstimate yv = tv.yieldOf("Base");
+            YAC_PROP_EXPECT(std::fabs(ys.value - yv.value) <= 1e-9,
+                            "yield estimates diverged: ", ys.value,
+                            " vs ", yv.value);
+            YAC_PROP_EXPECT(std::fabs(ys.stdErr - yv.stdErr) <= 1e-9,
+                            "yield standard errors diverged");
+            return check::pass();
+        },
+        6);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropSimdEngine, SimdCampaignIsThreadCountInvariant)
+{
+    if (!vecmath::hostHasAvx2Fma())
+        GTEST_SKIP() << "host lacks AVX2+FMA; SIMD path not exercised";
+    // The SIMD path is only tolerance-equal to scalar, but it must be
+    // *bitwise* deterministic in itself: same chips at 1, 2 and 8
+    // threads.
+    ThreadGuard guard;
+    const auto r = forAll(
+        "SIMD result is thread-count invariant", simdCase(),
+        [](const SimdCase &c) -> Verdict {
+            const MonteCarloResult serial = runCampaign(
+                c.campaign, c.plan, 1, vecmath::SimdMode::Avx2);
+            std::string why;
+            for (std::size_t threads : {2u, 8u}) {
+                const MonteCarloResult parallel_run = runCampaign(
+                    c.campaign, c.plan, threads,
+                    vecmath::SimdMode::Avx2);
+                if (!identicalTimings(serial.regular,
+                                      parallel_run.regular, &why))
+                    return check::fail("regular layout @" +
+                                       std::to_string(threads) +
+                                       " threads: " + why);
+                if (!identicalTimings(serial.horizontal,
+                                      parallel_run.horizontal, &why))
+                    return check::fail("horizontal layout @" +
+                                       std::to_string(threads) +
+                                       " threads: " + why);
+                YAC_PROP_EXPECT(serial.weights ==
+                                    parallel_run.weights,
+                                "weights @", threads, " threads");
+            }
+            return check::pass();
+        },
+        5);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropSimdEngine, AutoModeNeverChangesResultsVsExplicitChoice)
+{
+    // --simd=auto must resolve to exactly one of the two explicit
+    // kernels, never a third behavior: its results are bitwise equal
+    // to the kernel it resolved to on this host.
+    ThreadGuard guard;
+    const CampaignCase c{CacheGeometry{}, defaultTechnology(),
+                         CorrelationModel{}, 64, 7};
+    const MonteCarloResult auto_run = runCampaign(
+        c, SamplingPlan::naive(), 2, vecmath::SimdMode::Auto);
+    const vecmath::SimdMode resolved = vecmath::hostHasAvx2Fma()
+        ? vecmath::SimdMode::Avx2
+        : vecmath::SimdMode::Off;
+    const MonteCarloResult explicit_run =
+        runCampaign(c, SamplingPlan::naive(), 2, resolved);
+    std::string why;
+    EXPECT_TRUE(identicalTimings(auto_run.regular,
+                                 explicit_run.regular, &why))
+        << why;
+    EXPECT_TRUE(identicalTimings(auto_run.horizontal,
+                                 explicit_run.horizontal, &why))
+        << why;
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tolerance (ulp) suite for the AVX2/FMA vector math kernels. The
+ * kernels are polynomial reimplementations of exp/log/pow, so they
+ * are verified against scalar libm within the documented error
+ * budget (vecmath.hh: kExpMaxUlp/kLogMaxUlp/kPowMaxUlp) -- never
+ * bitwise. Inputs are randomized over the full double range,
+ * including denormal-adjacent magnitudes and exponent extremes, plus
+ * the IEEE special cases the campaign hot path can reach. The
+ * runtime dispatch table (SimdMode -> SimdKernel) and its fail-fast
+ * and metrics-logging behavior are covered here too.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hh"
+#include "trace/metrics.hh"
+#include "util/vecmath.hh"
+
+namespace yac
+{
+namespace
+{
+
+using check::forAll;
+using check::Gen;
+using check::Verdict;
+namespace gen = check::gen;
+
+/**
+ * Distance between two doubles in units in the last place, measured
+ * on the monotone integer number line (so it is meaningful across
+ * exponent boundaries and inside the denormal range). Equal NaNs and
+ * equal infinities count as 0; a NaN against a non-NaN is "infinite".
+ */
+std::int64_t
+ulpDiff(double a, double b)
+{
+    if (std::isnan(a) || std::isnan(b)) {
+        return (std::isnan(a) && std::isnan(b))
+            ? 0
+            : std::numeric_limits<std::int64_t>::max();
+    }
+    if (a == b)
+        return 0; // covers +inf == +inf and +0 == -0
+    auto ordered = [](double v) {
+        std::int64_t i;
+        std::memcpy(&i, &v, sizeof(i));
+        // Fold the sign so the mapping is monotone across zero.
+        return i < 0 ? std::numeric_limits<std::int64_t>::min() - i : i;
+    };
+    const std::int64_t ia = ordered(a);
+    const std::int64_t ib = ordered(b);
+    return ia > ib ? ia - ib : ib - ia;
+}
+
+/** exp inputs: bulk range, near-zero, underflow edge, overflow edge. */
+Gen<double>
+expInput()
+{
+    return Gen<double>([](Rng &rng) {
+        switch (rng.uniformInt(4)) {
+        case 0:
+            return rng.uniform(-745.0, 709.7); // full finite range
+        case 1:
+            return rng.uniform(-1.0, 1.0); // polynomial core
+        case 2:
+            return rng.uniform(-745.0, -670.0); // denormal results
+        default:
+            return rng.uniform(700.0, 709.7); // near overflow
+        }
+    });
+}
+
+/** Positive inputs, exponent-uniform down into the denormal range. */
+Gen<double>
+logInput()
+{
+    return Gen<double>([](Rng &rng) {
+        const double m = rng.uniform(1.0, 2.0);
+        switch (rng.uniformInt(4)) {
+        case 0:
+            return std::ldexp(
+                m, static_cast<int>(rng.uniformInt(2047)) - 1023);
+        case 1:
+            return rng.uniform(0.5, 2.0); // cancellation-prone band
+        case 2: // denormal-adjacent and denormal
+            return std::ldexp(
+                m, -1074 + static_cast<int>(rng.uniformInt(80)));
+        default: // exponent top end
+            return std::ldexp(
+                m, 1023 - static_cast<int>(rng.uniformInt(16)));
+        }
+    });
+}
+
+TEST(PropVecmath, ExpWithinUlpBound)
+{
+    if (!vecmath::hostHasAvx2Fma())
+        GTEST_SKIP() << "host lacks AVX2+FMA; kernels not exercised";
+    const auto r = forAll(
+        "expArray within kExpMaxUlp of libm",
+        gen::vectorOf(1, 64, expInput()),
+        [](const std::vector<double> &xs) -> Verdict {
+            std::vector<double> out(xs.size());
+            vecmath::expArray(xs.data(), out.data(), xs.size());
+            for (std::size_t i = 0; i < xs.size(); ++i) {
+                const std::int64_t ulp =
+                    ulpDiff(out[i], std::exp(xs[i]));
+                YAC_PROP_EXPECT(ulp <= vecmath::kExpMaxUlp, "exp(",
+                                xs[i], ") off by ", ulp, " ulp");
+            }
+            return check::pass();
+        },
+        200);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropVecmath, LogWithinUlpBound)
+{
+    if (!vecmath::hostHasAvx2Fma())
+        GTEST_SKIP() << "host lacks AVX2+FMA; kernels not exercised";
+    const auto r = forAll(
+        "logArray within kLogMaxUlp of libm",
+        gen::vectorOf(1, 64, logInput()),
+        [](const std::vector<double> &xs) -> Verdict {
+            std::vector<double> out(xs.size());
+            vecmath::logArray(xs.data(), out.data(), xs.size());
+            for (std::size_t i = 0; i < xs.size(); ++i) {
+                const std::int64_t ulp =
+                    ulpDiff(out[i], std::log(xs[i]));
+                YAC_PROP_EXPECT(ulp <= vecmath::kLogMaxUlp, "log(",
+                                xs[i], ") off by ", ulp, " ulp");
+            }
+            return check::pass();
+        },
+        200);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropVecmath, PowWithinUlpBound)
+{
+    if (!vecmath::hostHasAvx2Fma())
+        GTEST_SKIP() << "host lacks AVX2+FMA; kernels not exercised";
+    // x log-uniform over ~the full positive range, y moderate; cases
+    // whose true result overflows or underflows (|y ln x| > 700) are
+    // outside the documented budget and are filtered out.
+    const auto x_gen = Gen<double>([](Rng &rng) {
+        return std::ldexp(rng.uniform(1.0, 2.0),
+                          static_cast<int>(rng.uniformInt(1995)) - 995);
+    });
+    const auto pair_gen = Gen<std::pair<double, double>>(
+        [x_gen](Rng &rng) {
+            const double x = x_gen.generate(rng);
+            const double y = rng.uniform(-3.0, 3.0);
+            return std::make_pair(x, y);
+        });
+    const auto r = forAll(
+        "powArray within kPowMaxUlp of libm",
+        gen::vectorOf(1, 16, pair_gen),
+        [](const std::vector<std::pair<double, double>> &cases)
+            -> Verdict {
+            for (const auto &[x, y] : cases) {
+                if (std::fabs(y * std::log(x)) > 700.0)
+                    continue;
+                double out;
+                vecmath::powArray(&x, y, &out, 1);
+                const std::int64_t ulp =
+                    ulpDiff(out, std::pow(x, y));
+                YAC_PROP_EXPECT(ulp <= vecmath::kPowMaxUlp, "pow(", x,
+                                ", ", y, ") off by ", ulp, " ulp");
+            }
+            return check::pass();
+        },
+        200);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropVecmath, PowCampaignExponentsStayTight)
+{
+    if (!vecmath::hostHasAvx2Fma())
+        GTEST_SKIP() << "host lacks AVX2+FMA; kernels not exercised";
+    // The two exponents the batch evaluator actually raises to
+    // (sensitivity s = 2.2, velocity-saturation alpha = 1.3) over the
+    // magnitudes the circuit model produces. Much tighter than the
+    // broad pow budget.
+    const auto r = forAll(
+        "pow(x, {2.2, 1.3}) within kExpMaxUlp over circuit magnitudes",
+        gen::vectorOf(1, 64, gen::doubleRange(0.01, 50.0)),
+        [](const std::vector<double> &xs) -> Verdict {
+            for (const double y : {2.2, 1.3}) {
+                std::vector<double> out(xs.size());
+                vecmath::powArray(xs.data(), y, out.data(), xs.size());
+                for (std::size_t i = 0; i < xs.size(); ++i) {
+                    const std::int64_t ulp =
+                        ulpDiff(out[i], std::pow(xs[i], y));
+                    YAC_PROP_EXPECT(ulp <= vecmath::kExpMaxUlp, "pow(",
+                                    xs[i], ", ", y, ") off by ", ulp,
+                                    " ulp");
+                }
+            }
+            return check::pass();
+        },
+        200);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropVecmath, SpecialCasesFollowIeeeConventions)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+
+    const std::vector<double> ex = {-inf, inf,    nan,  0.0,
+                                    710.0, -746.0, 1.0};
+    std::vector<double> out(ex.size());
+    vecmath::expArray(ex.data(), out.data(), ex.size());
+    EXPECT_EQ(out[0], 0.0);
+    EXPECT_EQ(out[1], inf);
+    EXPECT_TRUE(std::isnan(out[2]));
+    EXPECT_EQ(out[3], 1.0);
+    EXPECT_EQ(out[4], inf);  // past the overflow threshold
+    EXPECT_EQ(out[5], 0.0);  // past the deepest denormal
+    EXPECT_EQ(out[6], std::exp(1.0));
+
+    const std::vector<double> lx = {
+        0.0, -1.0, inf, nan, 1.0,
+        std::numeric_limits<double>::denorm_min()};
+    out.assign(lx.size(), 0.0);
+    vecmath::logArray(lx.data(), out.data(), lx.size());
+    EXPECT_EQ(out[0], -inf);
+    EXPECT_TRUE(std::isnan(out[1]));
+    EXPECT_EQ(out[2], inf);
+    EXPECT_TRUE(std::isnan(out[3]));
+    EXPECT_EQ(out[4], 0.0);
+    EXPECT_LE(ulpDiff(out[5],
+                      std::log(
+                          std::numeric_limits<double>::denorm_min())),
+              vecmath::kLogMaxUlp);
+
+    // pow is specified for x > 0; y = 0 must be exactly 1.
+    const std::vector<double> px = {0.5, 1.0, 7.25};
+    out.assign(px.size(), 0.0);
+    vecmath::powArray(px.data(), 0.0, out.data(), px.size());
+    for (const double v : out)
+        EXPECT_EQ(v, 1.0);
+}
+
+TEST(PropVecmath, ArrayTailsAndInPlaceOperation)
+{
+    // Every n mod 4 residue, and out == x aliasing: the padded-tail
+    // path must feed each element through the same kernel.
+    for (std::size_t n = 1; n <= 9; ++n) {
+        std::vector<double> x(n);
+        for (std::size_t i = 0; i < n; ++i)
+            x[i] = 0.1 * static_cast<double>(i + 1);
+        std::vector<double> ref(n);
+        for (std::size_t i = 0; i < n; ++i)
+            ref[i] = std::exp(x[i]);
+        vecmath::expArray(x.data(), x.data(), n); // in place
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_LE(ulpDiff(x[i], ref[i]), vecmath::kExpMaxUlp)
+                << "n=" << n << " i=" << i;
+        }
+    }
+}
+
+TEST(PropVecmath, DispatchTableResolvesPerModeAndHost)
+{
+    using vecmath::SimdKernel;
+    using vecmath::SimdMode;
+    // Off never vectorizes, regardless of the host.
+    EXPECT_EQ(vecmath::resolveSimdKernel(SimdMode::Off, false),
+              SimdKernel::Scalar);
+    EXPECT_EQ(vecmath::resolveSimdKernel(SimdMode::Off, true),
+              SimdKernel::Scalar);
+    // Auto follows the host capability.
+    EXPECT_EQ(vecmath::resolveSimdKernel(SimdMode::Auto, false),
+              SimdKernel::Scalar);
+    EXPECT_EQ(vecmath::resolveSimdKernel(SimdMode::Auto, true),
+              SimdKernel::Avx2);
+    // Forced AVX2 on a capable host vectorizes...
+    EXPECT_EQ(vecmath::resolveSimdKernel(SimdMode::Avx2, true),
+              SimdKernel::Avx2);
+    // ...and dies fast, with a clear message, on an incapable one
+    // (a silently-scalar "avx2" run would invalidate benchmarks).
+    EXPECT_EXIT(
+        (void)vecmath::resolveSimdKernel(SimdMode::Avx2, false),
+        ::testing::ExitedWithCode(1), "does not support AVX2");
+}
+
+TEST(PropVecmath, ModeNamesRoundTripAndRejectTypos)
+{
+    using vecmath::SimdMode;
+    for (const SimdMode mode :
+         {SimdMode::Off, SimdMode::Auto, SimdMode::Avx2}) {
+        EXPECT_EQ(vecmath::simdModeFromName(vecmath::simdModeName(mode)),
+                  mode);
+    }
+    EXPECT_EXIT((void)vecmath::simdModeFromName("avx512"),
+                ::testing::ExitedWithCode(1),
+                "--simd must be off, auto or avx2");
+}
+
+TEST(PropVecmath, AutoDispatchLogsDecisionToMetricsRegistry)
+{
+    trace::Metrics &metrics = trace::Metrics::instance();
+    metrics.reset();
+    const vecmath::SimdKernel kernel =
+        vecmath::resolveSimdKernel(vecmath::SimdMode::Auto);
+    const trace::MetricsSnapshot snap = metrics.snapshot();
+    const char *expected = kernel == vecmath::SimdKernel::Avx2
+        ? "simd_dispatch_avx2"
+        : "simd_dispatch_scalar";
+    const auto it = snap.counters.find(expected);
+    ASSERT_NE(it, snap.counters.end())
+        << "dispatch decision not recorded";
+    EXPECT_EQ(it->second, 1u);
+
+    // Off is the do-nothing default: no dispatch counter ticks
+    // (reset() zeroes registered counters without unregistering
+    // them, so check values, not key presence).
+    metrics.reset();
+    (void)vecmath::resolveSimdKernel(vecmath::SimdMode::Off);
+    const trace::MetricsSnapshot off = metrics.snapshot();
+    for (const char *name :
+         {"simd_dispatch_avx2", "simd_dispatch_scalar"}) {
+        const auto tick = off.counters.find(name);
+        if (tick != off.counters.end())
+            EXPECT_EQ(tick->second, 0u) << name;
+    }
+}
+
+} // namespace
+} // namespace yac
