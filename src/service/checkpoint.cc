@@ -1,0 +1,243 @@
+#include "service/checkpoint.hh"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "service/hash.hh"
+#include "util/logging.hh"
+
+namespace yac
+{
+namespace service
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'Y', 'A', 'C', 'C', 'K', 'P', 'T', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+/** Fixed-layout header; every field participates in the checksum. */
+struct Header
+{
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t accumBytes;
+    std::uint64_t specHash;
+    std::uint64_t chunkBegin;
+    std::uint64_t chunkEnd;
+    std::uint64_t doneChunks;
+};
+
+static_assert(sizeof(Header) == 8 + 4 + 4 + 4 * 8,
+              "checkpoint header must stay packed");
+
+std::uint64_t
+checksumOf(const Header &header, const ChunkAccum *accums,
+           std::size_t count)
+{
+    Fnv1a h;
+    h.bytes(&header, sizeof header);
+    h.bytes(accums, count * sizeof(ChunkAccum));
+    return h.value();
+}
+
+/** Where in a save the armed crash hook fires. */
+enum class CrashPoint
+{
+    None,
+    MidWrite,  //!< half the payload written, no checksum, no rename
+    PreRename, //!< complete temp file written, rename skipped
+};
+
+/**
+ * Read the crash hook from the environment. The sentinel file makes
+ * the hook one-shot across process incarnations: the first save
+ * creates it and dies; the respawned worker sees it and saves
+ * normally.
+ */
+CrashPoint
+armedCrashPoint()
+{
+    const char *mode = std::getenv("YAC_CHECKPOINT_CRASH");
+    if (mode == nullptr || *mode == '\0')
+        return CrashPoint::None;
+    CrashPoint point;
+    if (std::strcmp(mode, "midwrite") == 0)
+        point = CrashPoint::MidWrite;
+    else if (std::strcmp(mode, "prerename") == 0)
+        point = CrashPoint::PreRename;
+    else
+        yac_fatal("YAC_CHECKPOINT_CRASH wants midwrite|prerename, "
+                  "got '", mode, "'");
+    const char *sentinel = std::getenv("YAC_CHECKPOINT_CRASH_SENTINEL");
+    if (sentinel != nullptr && *sentinel != '\0') {
+        std::ifstream probe(sentinel);
+        if (probe.good())
+            return CrashPoint::None; // already fired once
+        std::ofstream mark(sentinel);
+    }
+    return point;
+}
+
+[[noreturn]] void
+crashNow()
+{
+    // A real SIGKILL: no atexit handlers, no stream flushing --
+    // exactly what a machine loss or OOM kill looks like to the
+    // orchestrator.
+    std::raise(SIGKILL);
+    std::abort(); // unreachable; keeps the compiler honest
+}
+
+} // namespace
+
+const char *
+checkpointStatusName(CheckpointStatus status)
+{
+    switch (status) {
+    case CheckpointStatus::Ok:
+        return "ok";
+    case CheckpointStatus::Missing:
+        return "missing";
+    case CheckpointStatus::BadHeader:
+        return "bad-header";
+    case CheckpointStatus::BadVersion:
+        return "bad-version";
+    case CheckpointStatus::BadLayout:
+        return "bad-layout";
+    case CheckpointStatus::BadSpec:
+        return "bad-spec";
+    case CheckpointStatus::BadRange:
+        return "bad-range";
+    case CheckpointStatus::Truncated:
+        return "truncated";
+    case CheckpointStatus::BadChecksum:
+        return "bad-checksum";
+    }
+    return "unknown";
+}
+
+bool
+saveCheckpoint(const std::string &path,
+               const ShardCheckpoint &checkpoint)
+{
+    yac_assert(checkpoint.chunkBegin + checkpoint.doneChunks() <=
+                   checkpoint.chunkEnd,
+               "checkpoint holds more chunks than its range");
+    Header header;
+    std::memcpy(header.magic, kMagic, sizeof kMagic);
+    header.version = kFormatVersion;
+    header.accumBytes = sizeof(ChunkAccum);
+    header.specHash = checkpoint.specHash;
+    header.chunkBegin = checkpoint.chunkBegin;
+    header.chunkEnd = checkpoint.chunkEnd;
+    header.doneChunks = checkpoint.doneChunks();
+
+    const CrashPoint crash = armedCrashPoint();
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(reinterpret_cast<const char *>(&header),
+                  sizeof header);
+        const char *payload = reinterpret_cast<const char *>(
+            checkpoint.accums.data());
+        const std::size_t payload_bytes =
+            checkpoint.accums.size() * sizeof(ChunkAccum);
+        if (crash == CrashPoint::MidWrite) {
+            out.write(payload,
+                      static_cast<std::streamsize>(payload_bytes / 2));
+            out.flush();
+            crashNow();
+        }
+        out.write(payload,
+                  static_cast<std::streamsize>(payload_bytes));
+        const std::uint64_t checksum = checksumOf(
+            header, checkpoint.accums.data(), checkpoint.accums.size());
+        out.write(reinterpret_cast<const char *>(&checksum),
+                  sizeof checksum);
+        if (!out)
+            return false;
+    }
+    if (crash == CrashPoint::PreRename)
+        crashNow();
+    // The atomic publish: readers see the old checkpoint or the new
+    // one, never a prefix.
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        return false;
+    return true;
+}
+
+CheckpointStatus
+loadCheckpoint(const std::string &path,
+               std::uint64_t expected_spec_hash, ShardCheckpoint *out)
+{
+    out->accums.clear();
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return CheckpointStatus::Missing;
+
+    Header header;
+    in.read(reinterpret_cast<char *>(&header), sizeof header);
+    if (!in || std::memcmp(header.magic, kMagic, sizeof kMagic) != 0)
+        return CheckpointStatus::BadHeader;
+    if (header.version != kFormatVersion)
+        return CheckpointStatus::BadVersion;
+    if (header.accumBytes != sizeof(ChunkAccum))
+        return CheckpointStatus::BadLayout;
+    if (header.specHash != expected_spec_hash)
+        return CheckpointStatus::BadSpec;
+    if (header.chunkBegin > header.chunkEnd ||
+        header.doneChunks > header.chunkEnd - header.chunkBegin)
+        return CheckpointStatus::BadRange;
+
+    // Never trust a corrupt count with an allocation: the payload
+    // plus trailing checksum must actually fit in the file.
+    const std::streampos payload_start = in.tellg();
+    in.seekg(0, std::ios::end);
+    const std::uint64_t remaining = static_cast<std::uint64_t>(
+        in.tellg() - payload_start);
+    in.seekg(payload_start);
+    if (header.doneChunks >
+        (remaining - std::min<std::uint64_t>(remaining,
+                                             sizeof(std::uint64_t))) /
+            sizeof(ChunkAccum))
+        return CheckpointStatus::Truncated;
+
+    std::vector<ChunkAccum> accums(
+        static_cast<std::size_t>(header.doneChunks));
+    in.read(reinterpret_cast<char *>(accums.data()),
+            static_cast<std::streamsize>(accums.size() *
+                                         sizeof(ChunkAccum)));
+    if (!in)
+        return CheckpointStatus::Truncated;
+    std::uint64_t checksum = 0;
+    in.read(reinterpret_cast<char *>(&checksum), sizeof checksum);
+    if (!in)
+        return CheckpointStatus::Truncated;
+    if (checksum != checksumOf(header, accums.data(), accums.size()))
+        return CheckpointStatus::BadChecksum;
+    // Payload self-consistency: each record must be the chunk the
+    // header says it is.
+    for (std::size_t i = 0; i < accums.size(); ++i) {
+        if (accums[i].chunk != header.chunkBegin + i)
+            return CheckpointStatus::BadRange;
+    }
+
+    out->specHash = header.specHash;
+    out->chunkBegin = header.chunkBegin;
+    out->chunkEnd = header.chunkEnd;
+    out->accums = std::move(accums);
+    return CheckpointStatus::Ok;
+}
+
+} // namespace service
+} // namespace yac

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Durable shard checkpoints: the unit of crash recovery for the
+ * sharded campaign orchestrator.
+ *
+ * A checkpoint file holds the fully accumulated ChunkAccums of one
+ * shard's completed prefix [chunkBegin, chunkBegin + accums.size())
+ * of its assigned chunk range [chunkBegin, chunkEnd). The format
+ * follows the SimCache persistence discipline:
+ *
+ *   magic "YACCKPT1" | u32 version | u32 sizeof(ChunkAccum)
+ *   | u64 specHash | u64 chunkBegin | u64 chunkEnd | u64 doneChunks
+ *   | doneChunks raw ChunkAccum records
+ *   | u64 FNV-1a checksum over everything above
+ *
+ * plus one rule SimCache does not need: checkpoints are written to a
+ * temp file and atomically renamed into place, so a reader (the
+ * orchestrator polling for progress, or a resumed worker) only ever
+ * sees either the previous complete checkpoint or the new complete
+ * checkpoint -- never a torn write. A file that fails any validation
+ * is rejected fail-fast with a specific reason and the caller starts
+ * that shard cold; a bad checkpoint can lose progress, never
+ * correctness.
+ *
+ * Fault injection for the kill/resume tests (see docs/SHARDING.md):
+ *   YAC_CHECKPOINT_CRASH=midwrite|prerename  SIGKILL the process in
+ *     the middle of the temp-file write / after the write but before
+ *     the rename.
+ *   YAC_CHECKPOINT_CRASH_SENTINEL=PATH  arm the crash only if PATH
+ *     does not exist yet (it is created just before crashing), so a
+ *     respawned worker makes progress instead of crashing forever.
+ */
+
+#ifndef YAC_SERVICE_CHECKPOINT_HH
+#define YAC_SERVICE_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/shard_campaign.hh"
+
+namespace yac
+{
+namespace service
+{
+
+/** Why a checkpoint load did not produce usable state. */
+enum class CheckpointStatus
+{
+    Ok,
+    Missing,     //!< no file at the path (a cold start, not an error)
+    BadHeader,   //!< wrong magic or malformed header
+    BadVersion,  //!< format version mismatch
+    BadLayout,   //!< sizeof(ChunkAccum) drifted (ABI change)
+    BadSpec,     //!< checkpoint belongs to a different campaign
+    BadRange,    //!< chunk range inconsistent with its header
+    Truncated,   //!< payload shorter than the header promises
+    BadChecksum, //!< trailing checksum mismatch (corruption)
+};
+
+/** Printable name of a load status. */
+const char *checkpointStatusName(CheckpointStatus status);
+
+/** One shard's durable state. */
+struct ShardCheckpoint
+{
+    std::uint64_t specHash = 0;
+    std::uint64_t chunkBegin = 0;
+    std::uint64_t chunkEnd = 0; //!< assigned range (exclusive)
+    std::vector<ChunkAccum> accums; //!< completed prefix, in order
+
+    std::uint64_t doneChunks() const { return accums.size(); }
+    bool complete() const
+    {
+        return chunkBegin + doneChunks() == chunkEnd;
+    }
+};
+
+/**
+ * Atomically persist @p checkpoint to @p path (temp file + rename).
+ * Returns false on I/O failure (the previous checkpoint, if any, is
+ * left untouched).
+ */
+bool saveCheckpoint(const std::string &path,
+                    const ShardCheckpoint &checkpoint);
+
+/**
+ * Load and fully validate the checkpoint at @p path. On success fills
+ * @p out and returns Ok. On any failure @p out is left empty and the
+ * specific reason is returned; the caller restarts cold.
+ *
+ * @param expected_spec_hash The running campaign's spec hash; a
+ *        mismatch is BadSpec (resuming a different campaign's state
+ *        would silently corrupt results, so it is rejected like
+ *        corruption).
+ */
+CheckpointStatus loadCheckpoint(const std::string &path,
+                                std::uint64_t expected_spec_hash,
+                                ShardCheckpoint *out);
+
+} // namespace service
+} // namespace yac
+
+#endif // YAC_SERVICE_CHECKPOINT_HH

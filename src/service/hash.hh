@@ -1,0 +1,65 @@
+/**
+ * @file
+ * FNV-1a hashing for the campaign service: campaign-spec content
+ * hashes and checkpoint-file checksums. Same construction as the
+ * SimCache key hasher; kept here so the service layer is
+ * self-contained.
+ */
+
+#ifndef YAC_SERVICE_HASH_HH
+#define YAC_SERVICE_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace yac
+{
+namespace service
+{
+
+/** Incremental 64-bit FNV-1a over a canonical byte stream. */
+class Fnv1a
+{
+  public:
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const unsigned char *p =
+            static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 0x100000001b3ull;
+        }
+    }
+
+    void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+
+    /** Hash the bit pattern, not the value: distinguishes -0.0 and
+     *  every payload the value itself would conflate. */
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+} // namespace service
+} // namespace yac
+
+#endif // YAC_SERVICE_HASH_HH

@@ -1,0 +1,348 @@
+#include "service/orchestrator.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "service/checkpoint.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
+#include "util/logging.hh"
+#include "util/parallel.hh"
+
+extern char **environ;
+
+namespace yac
+{
+namespace service
+{
+
+namespace
+{
+
+std::string
+fmtSize(const char *flag, std::size_t v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s=%zu", flag, v);
+    return buf;
+}
+
+/** Round-trip double flag: %.17g survives text -> strtod exactly. */
+std::string
+fmtDouble(const char *flag, double v)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%s=%.17g", flag, v);
+    return buf;
+}
+
+} // namespace
+
+std::vector<std::string>
+workerCommandLine(const ShardCampaignSpec &spec, const WorkerTask &task)
+{
+    std::vector<std::string> args;
+    args.push_back("worker");
+    args.push_back(fmtSize("--chips", spec.numChips));
+    args.push_back(fmtSize("--seed",
+                           static_cast<std::size_t>(spec.seed)));
+    args.push_back(std::string("--sampling=") +
+                   samplingModeName(spec.sampling.mode));
+    args.push_back(fmtDouble("--tilt", spec.sampling.tilt));
+    args.push_back(fmtDouble("--sigma-scale", spec.sampling.sigmaScale));
+    args.push_back(std::string("--simd=") +
+                   vecmath::simdModeName(spec.simd));
+    args.push_back(fmtDouble("--delay-limit-ps", spec.delayLimitPs));
+    args.push_back(fmtDouble("--leakage-limit-mw",
+                             spec.leakageLimitMw));
+    std::string edges = "--bin-edges=";
+    for (std::size_t b = 0; b < spec.binEdges.size(); ++b) {
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%s%.17g", b == 0 ? "" : ",",
+                      spec.binEdges[b]);
+        edges += buf;
+    }
+    args.push_back(edges);
+    args.push_back("--checkpoint=" + task.checkpointPath);
+    args.push_back(fmtSize("--chunk-begin", task.chunkBegin));
+    args.push_back(fmtSize("--chunk-end", task.chunkEnd));
+    args.push_back(fmtSize("--checkpoint-every",
+                           task.checkpointEveryChunks));
+    return args;
+}
+
+Orchestrator::Orchestrator(const ShardCampaignSpec &spec,
+                           OrchestratorConfig config)
+    : spec_(spec), config_(std::move(config)),
+      specHash_(spec.contentHash())
+{
+    spec_.sampling.validate();
+    yac_assert(config_.checkpointEveryChunks > 0,
+               "checkpoint interval must be positive");
+    const std::size_t chunks = spec_.numChunks();
+    std::size_t shards =
+        config_.shards > 0 ? config_.shards : parallel::threads();
+    shards = std::max<std::size_t>(1, std::min(shards, chunks));
+
+    // Contiguous, near-even partition of [0, chunks): the first
+    // `chunks % shards` shards take one extra chunk.
+    const std::size_t base = chunks / shards;
+    const std::size_t extra = chunks % shards;
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i < shards; ++i) {
+        ShardPlan shard;
+        shard.index = i;
+        shard.chunkBegin = begin;
+        shard.chunkEnd = begin + base + (i < extra ? 1 : 0);
+        char name[48];
+        std::snprintf(name, sizeof name, "shard_%04zu.ckpt", i);
+        shard.checkpointPath =
+            (std::filesystem::path(config_.stateDir) / name).string();
+        begin = shard.chunkEnd;
+        plan_.push_back(std::move(shard));
+    }
+    yac_assert(begin == chunks, "shard plan must tile the campaign");
+}
+
+CampaignSummary
+Orchestrator::run()
+{
+    trace::Span span("orchestrator.run", "service");
+    std::filesystem::create_directories(config_.stateDir);
+    streamProgress(true); // durable state from a previous incarnation
+    if (config_.workerBinary.empty())
+        runInProcess();
+    else
+        runSubprocesses();
+    streamProgress(true);
+    return mergeCompleted();
+}
+
+void
+Orchestrator::runInProcess()
+{
+    for (const ShardPlan &shard : plan_) {
+        WorkerTask task;
+        task.checkpointPath = shard.checkpointPath;
+        task.chunkBegin = shard.chunkBegin;
+        task.chunkEnd = shard.chunkEnd;
+        task.checkpointEveryChunks = config_.checkpointEveryChunks;
+        std::size_t attempts = 0;
+        // runWorker only returns incomplete when a stop/crash knob is
+        // armed; re-invoking it resumes from the durable checkpoint,
+        // which is exactly the subprocess respawn path.
+        while (!runWorker(spec_, task).complete) {
+            if (++attempts > config_.maxRespawnsPerShard)
+                yac_fatal("orchestrator: shard ", shard.index,
+                          " did not complete after ",
+                          config_.maxRespawnsPerShard, " retries");
+            streamProgress(false);
+        }
+        streamProgress(false);
+    }
+}
+
+void
+Orchestrator::runSubprocesses()
+{
+    trace::Counter &spawns =
+        trace::Metrics::instance().counter("orchestrator_spawns");
+    trace::Counter &respawns =
+        trace::Metrics::instance().counter("orchestrator_respawns");
+
+    struct ShardState
+    {
+        pid_t pid = -1; //!< -1 = not running
+        bool done = false;
+        std::size_t spawnCount = 0;
+    };
+    std::vector<ShardState> state(plan_.size());
+
+    // The spawned environment: the orchestrator's own, plus the
+    // configured extras (fault-injection hooks). Built once, before
+    // any fork, so the child never allocates.
+    std::vector<std::string> env_store;
+    for (char **e = environ; *e != nullptr; ++e)
+        env_store.push_back(*e);
+    for (const std::string &extra : config_.workerEnv)
+        env_store.push_back(extra);
+    std::vector<char *> envp;
+    for (std::string &e : env_store)
+        envp.push_back(e.data());
+    envp.push_back(nullptr);
+
+    const std::size_t max_workers = config_.maxWorkers > 0
+                                        ? config_.maxWorkers
+                                        : plan_.size();
+
+    const auto spawn = [&](std::size_t i) {
+        const ShardPlan &shard = plan_[i];
+        WorkerTask task;
+        task.checkpointPath = shard.checkpointPath;
+        task.chunkBegin = shard.chunkBegin;
+        task.chunkEnd = shard.chunkEnd;
+        task.checkpointEveryChunks = config_.checkpointEveryChunks;
+        std::vector<std::string> arg_store =
+            workerCommandLine(spec_, task);
+        arg_store.push_back(fmtSize("--threads",
+                                    config_.workerThreads));
+        std::vector<char *> argv;
+        std::string binary = config_.workerBinary;
+        argv.push_back(binary.data());
+        for (std::string &a : arg_store)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            yac_fatal("orchestrator: fork failed: ",
+                      std::strerror(errno));
+        if (pid == 0) {
+            // Child: nothing but exec. argv/envp were prepared by
+            // the parent, so this is safe after fork from a threaded
+            // process.
+            ::execve(binary.c_str(), argv.data(), envp.data());
+            ::_exit(127);
+        }
+        state[i].pid = pid;
+        ++state[i].spawnCount;
+        spawns.add(1);
+        if (state[i].spawnCount > 1)
+            respawns.add(1);
+    };
+
+    for (;;) {
+        std::size_t running = 0;
+        std::size_t done = 0;
+        for (std::size_t i = 0; i < state.size(); ++i) {
+            ShardState &s = state[i];
+            if (s.done) {
+                ++done;
+                continue;
+            }
+            if (s.pid < 0)
+                continue;
+            int status = 0;
+            const pid_t reaped = ::waitpid(s.pid, &status, WNOHANG);
+            if (reaped == 0) {
+                ++running;
+                continue;
+            }
+            if (reaped < 0)
+                yac_fatal("orchestrator: waitpid failed: ",
+                          std::strerror(errno));
+            s.pid = -1;
+            // The exit status is advisory; the durable checkpoint is
+            // the truth about the shard's progress.
+            ShardCheckpoint ckpt;
+            const CheckpointStatus load = loadCheckpoint(
+                plan_[i].checkpointPath, specHash_, &ckpt);
+            if (load == CheckpointStatus::Ok && ckpt.complete() &&
+                ckpt.chunkBegin == plan_[i].chunkBegin &&
+                ckpt.chunkEnd == plan_[i].chunkEnd) {
+                s.done = true;
+                ++done;
+                continue;
+            }
+            if (WIFEXITED(status) && WEXITSTATUS(status) == 127)
+                yac_fatal("orchestrator: cannot exec worker binary ",
+                          config_.workerBinary);
+            if (s.spawnCount > config_.maxRespawnsPerShard)
+                yac_fatal("orchestrator: shard ", plan_[i].index,
+                          " died ", s.spawnCount,
+                          " times without completing; giving up");
+            if (WIFSIGNALED(status))
+                yac_warn("orchestrator: shard ", plan_[i].index,
+                         " worker killed by signal ",
+                         WTERMSIG(status), "; respawning from its "
+                         "checkpoint");
+        }
+        if (done == state.size())
+            break;
+
+        for (std::size_t i = 0;
+             i < state.size() && running < max_workers; ++i) {
+            if (!state[i].done && state[i].pid < 0) {
+                spawn(i);
+                ++running;
+            }
+        }
+
+        streamProgress(false);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(config_.pollMillis));
+    }
+}
+
+void
+Orchestrator::streamProgress(bool force)
+{
+    if (!config_.onProgress)
+        return;
+    // Durable chunks only: the stream never reports work a crash
+    // could take back. Shard files are read whole (atomic rename
+    // publishing), and shard ranges are contiguous and ascending, so
+    // concatenation in plan order is already chunk-sorted.
+    std::vector<ChunkAccum> accums;
+    for (const ShardPlan &shard : plan_) {
+        ShardCheckpoint ckpt;
+        if (loadCheckpoint(shard.checkpointPath, specHash_, &ckpt) !=
+            CheckpointStatus::Ok)
+            continue;
+        if (ckpt.chunkBegin != shard.chunkBegin ||
+            ckpt.chunkEnd != shard.chunkEnd)
+            continue;
+        accums.insert(accums.end(), ckpt.accums.begin(),
+                      ckpt.accums.end());
+    }
+    if (!force && accums.size() == lastStreamedChunks_)
+        return;
+    lastStreamedChunks_ = accums.size();
+
+    CampaignProgress progress;
+    progress.chunksTotal = spec_.numChunks();
+    progress.chunksDone = accums.size();
+    progress.partial = summarize(spec_, accums);
+    progress.chipsDone =
+        static_cast<std::size_t>(progress.partial.chips);
+    config_.onProgress(progress);
+}
+
+CampaignSummary
+Orchestrator::mergeCompleted() const
+{
+    std::vector<ChunkAccum> accums;
+    accums.reserve(spec_.numChunks());
+    for (const ShardPlan &shard : plan_) {
+        ShardCheckpoint ckpt;
+        const CheckpointStatus load =
+            loadCheckpoint(shard.checkpointPath, specHash_, &ckpt);
+        if (load != CheckpointStatus::Ok)
+            yac_fatal("orchestrator: shard ", shard.index,
+                      " checkpoint unusable at merge (",
+                      checkpointStatusName(load), ")");
+        if (ckpt.chunkBegin != shard.chunkBegin ||
+            ckpt.chunkEnd != shard.chunkEnd || !ckpt.complete())
+            yac_fatal("orchestrator: shard ", shard.index,
+                      " checkpoint incomplete at merge");
+        accums.insert(accums.end(), ckpt.accums.begin(),
+                      ckpt.accums.end());
+    }
+    yac_assert(accums.size() == spec_.numChunks(),
+               "merged shards must tile the campaign");
+    // summarize() re-asserts strict ascending chunk order: the exact
+    // fold runSingleProcess performs, hence byte-identity.
+    return summarize(spec_, accums);
+}
+
+} // namespace service
+} // namespace yac

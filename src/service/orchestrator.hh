@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The sharded campaign orchestrator: partitions a campaign's chunk
+ * range into contiguous shards, runs each shard in a worker (a
+ * fork/exec'd `yacd worker` subprocess, or in-process), respawns
+ * workers that die -- they resume from their last durable checkpoint
+ * -- and streams incremental CampaignSummary updates with converging
+ * error bars as chunks become durable.
+ *
+ * Correctness story (docs/SHARDING.md): a shard is a chunk range, a
+ * chunk is a pure function of (spec, chunk index), and the final
+ * merge folds per-chunk accumulators in ascending chunk order -- the
+ * exact fold the single-process reference performs. Sharding,
+ * checkpointing, killing and resuming therefore cannot change a
+ * single bit of the result; they only change who evaluates which
+ * chunk when.
+ */
+
+#ifndef YAC_SERVICE_ORCHESTRATOR_HH
+#define YAC_SERVICE_ORCHESTRATOR_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "service/shard_campaign.hh"
+#include "service/worker.hh"
+
+namespace yac
+{
+namespace service
+{
+
+/** One shard of the campaign's chunk range. */
+struct ShardPlan
+{
+    std::size_t index = 0;
+    std::size_t chunkBegin = 0;
+    std::size_t chunkEnd = 0; //!< exclusive
+    std::string checkpointPath;
+};
+
+/** A streaming progress update. */
+struct CampaignProgress
+{
+    std::size_t chunksDone = 0;
+    std::size_t chunksTotal = 0;
+    std::size_t chipsDone = 0;
+    /** Summary over every durable chunk so far (folded in chunk
+     *  order); its stdErr fields shrink as shards complete. */
+    CampaignSummary partial;
+};
+
+struct OrchestratorConfig
+{
+    /** Shard count; 0 = one per worker-pool thread. */
+    std::size_t shards = 0;
+
+    /** Max concurrently running worker processes; 0 = all shards. */
+    std::size_t maxWorkers = 0;
+
+    /** Campaign state directory: shard checkpoints live here. */
+    std::string stateDir = "out/yacd";
+
+    /** Chunks per durable checkpoint (worker batch width). */
+    std::size_t checkpointEveryChunks = 8;
+
+    /**
+     * Worker binary to fork/exec (normally the running yacd via
+     * /proc/self/exe); empty = run every shard in-process. The
+     * subprocess protocol is the `yacd worker` flag vocabulary built
+     * by workerCommandLine().
+     */
+    std::string workerBinary;
+
+    /** --threads passed to each spawned worker. */
+    std::size_t workerThreads = 1;
+
+    /** Respawn budget per shard before the campaign aborts. */
+    std::size_t maxRespawnsPerShard = 100;
+
+    /** Extra KEY=VALUE environment entries for spawned workers
+     *  (fault-injection hooks in the tests). */
+    std::vector<std::string> workerEnv;
+
+    /** Streaming estimate callback; invoked from the orchestrator's
+     *  thread whenever the durable chunk count grows. */
+    std::function<void(const CampaignProgress &)> onProgress;
+
+    /** Subprocess poll interval. */
+    std::size_t pollMillis = 20;
+};
+
+/**
+ * The `yacd worker` argument vector (excluding argv[0]) that makes a
+ * worker process run @p task of @p spec. Doubles are rendered with
+ * round-trip precision, so the subprocess reconstructs the spec bit
+ * for bit.
+ */
+std::vector<std::string> workerCommandLine(const ShardCampaignSpec &spec,
+                                           const WorkerTask &task);
+
+class Orchestrator
+{
+  public:
+    Orchestrator(const ShardCampaignSpec &spec,
+                 OrchestratorConfig config);
+
+    /** The shard partition this orchestrator will run. */
+    const std::vector<ShardPlan> &plan() const { return plan_; }
+
+    /**
+     * Run the campaign to completion, resuming any durable progress
+     * already in stateDir. Returns the merged summary --
+     * byte-identical to runSingleProcess(spec) -- or yac_fatals if a
+     * shard exhausts its respawn budget.
+     */
+    CampaignSummary run();
+
+  private:
+    void runInProcess();
+    void runSubprocesses();
+    CampaignSummary mergeCompleted() const;
+    void streamProgress(bool force);
+
+    ShardCampaignSpec spec_;
+    OrchestratorConfig config_;
+    std::uint64_t specHash_ = 0;
+    std::vector<ShardPlan> plan_;
+    std::size_t lastStreamedChunks_ = 0;
+};
+
+} // namespace service
+} // namespace yac
+
+#endif // YAC_SERVICE_ORCHESTRATOR_HH

@@ -1,0 +1,256 @@
+#include "service/shard_campaign.hh"
+
+#include <algorithm>
+
+#include "service/hash.hh"
+#include "util/logging.hh"
+#include "util/parallel.hh"
+#include "variation/soa_batch.hh"
+
+namespace yac
+{
+namespace service
+{
+
+namespace
+{
+
+/** Bump on any change to the reduction semantics or ChunkAccum
+ *  layout: it feeds the spec hash, which gates checkpoint reuse. */
+constexpr std::uint64_t kCampaignFormatVersion = 1;
+
+CampaignConfig
+configOf(const ShardCampaignSpec &spec)
+{
+    CampaignConfig config(spec.numChips, spec.seed);
+    config.sampling = spec.sampling;
+    config.simd = spec.simd;
+    return config;
+}
+
+PopulationStats
+statsOf(const RunningStats &delay, const RunningStats &leak)
+{
+    PopulationStats s;
+    s.delayMean = delay.mean();
+    s.delaySigma = delay.stddev();
+    s.leakMean = leak.mean();
+    s.leakSigma = leak.stddev();
+    return s;
+}
+
+PopulationStats
+statsOf(const WeightedRunningStats &delay,
+        const WeightedRunningStats &leak)
+{
+    PopulationStats s;
+    s.delayMean = delay.mean();
+    s.delaySigma = delay.stddev();
+    s.leakMean = leak.mean();
+    s.leakSigma = leak.stddev();
+    return s;
+}
+
+} // namespace
+
+std::size_t
+ShardCampaignSpec::numChunks() const
+{
+    return parallel::chunkCount(numChips, parallel::kStatChunk);
+}
+
+std::uint64_t
+ShardCampaignSpec::contentHash() const
+{
+    Fnv1a h;
+    h.u64(kCampaignFormatVersion);
+    h.u64(sizeof(ChunkAccum));
+    h.u64(parallel::kStatChunk);
+    h.u64(numChips);
+    h.u64(seed);
+    h.u64(static_cast<std::uint64_t>(sampling.mode));
+    h.f64(sampling.tilt);
+    h.f64(sampling.sigmaScale);
+    h.u64(static_cast<std::uint64_t>(simd));
+    h.f64(delayLimitPs);
+    h.f64(leakageLimitMw);
+    for (double edge : binEdges)
+        h.f64(edge);
+    return h.value();
+}
+
+void
+CampaignTotals::fold(const ChunkAccum &accum)
+{
+    chips += accum.chips;
+    ++chunks;
+    population.merge(accum.population);
+    basePass.merge(accum.basePass);
+    lossLeakage.merge(accum.lossLeakage);
+    for (std::size_t k = 0; k < kDelayLossKinds; ++k)
+        lossDelay[k].merge(accum.lossDelay[k]);
+    for (std::size_t b = 0; b < kDelayBins; ++b)
+        delayBins[b].merge(accum.delayBins[b]);
+    // The unused family of a campaign's accumulators is empty and
+    // merges as a no-op, so both fold unconditionally: the fold is
+    // the same code for naive and tilted campaigns.
+    regDelay.merge(accum.regDelay);
+    regLeak.merge(accum.regLeak);
+    horDelay.merge(accum.horDelay);
+    horLeak.merge(accum.horLeak);
+    wRegDelay.merge(accum.wRegDelay);
+    wRegLeak.merge(accum.wRegLeak);
+    wHorDelay.merge(accum.wHorDelay);
+    wHorLeak.merge(accum.wHorLeak);
+}
+
+CampaignSummary
+summarize(const ShardCampaignSpec &spec,
+          const std::vector<ChunkAccum> &accums)
+{
+    CampaignTotals totals;
+    std::uint64_t previous = 0;
+    for (std::size_t i = 0; i < accums.size(); ++i) {
+        yac_assert(i == 0 || accums[i].chunk > previous,
+                   "chunk accumulators must fold in ascending chunk "
+                   "order without duplicates");
+        previous = accums[i].chunk;
+        totals.fold(accums[i]);
+    }
+
+    CampaignSummary summary;
+    summary.chips = totals.chips;
+    summary.chunks = totals.chunks;
+    summary.baseYield =
+        fractionEstimate(totals.population, totals.basePass);
+    summary.lossLeakage =
+        fractionEstimate(totals.population, totals.lossLeakage);
+    for (std::size_t k = 0; k < kDelayLossKinds; ++k)
+        summary.lossDelay[k] =
+            fractionEstimate(totals.population, totals.lossDelay[k]);
+    for (std::size_t b = 0; b < kDelayBins; ++b)
+        summary.delayBins[b] =
+            fractionEstimate(totals.population, totals.delayBins[b]);
+    if (spec.sampling.isNaive()) {
+        summary.regular = statsOf(totals.regDelay, totals.regLeak);
+        summary.horizontal = statsOf(totals.horDelay, totals.horLeak);
+    } else {
+        summary.regular = statsOf(totals.wRegDelay, totals.wRegLeak);
+        summary.horizontal =
+            statsOf(totals.wHorDelay, totals.wHorLeak);
+    }
+    summary.weightSum = totals.population.sum();
+    summary.weightSqSum = totals.population.sumSq();
+    return summary;
+}
+
+ShardEvaluator::ShardEvaluator(const ShardCampaignSpec &spec)
+    : spec_(spec), config_(configOf(spec)), mc_(),
+      kernel_(vecmath::resolveSimdKernel(spec.simd)),
+      numChunks_(spec.numChunks())
+{
+    yac_assert(spec_.numChips > 1, "need at least two chips");
+    spec_.sampling.validate();
+}
+
+ChunkAccum
+ShardEvaluator::evaluateChunk(std::size_t chunk) const
+{
+    yac_assert(chunk < numChunks_, "chunk index out of range");
+    const std::size_t begin = chunk * parallel::kStatChunk;
+    const std::size_t end =
+        std::min(spec_.numChips, begin + parallel::kStatChunk);
+    const std::size_t n = end - begin;
+
+    static thread_local ChipBatchSoa arena;
+    static thread_local std::vector<CacheTiming> regular;
+    static thread_local std::vector<CacheTiming> horizontal;
+    static thread_local std::vector<double> weights;
+    if (regular.size() < n) {
+        regular.resize(n);
+        horizontal.resize(n);
+        weights.resize(n);
+    }
+    mc_.evaluateChips(config_, kernel_, begin, end, arena,
+                      regular.data(), horizontal.data(),
+                      weights.data());
+
+    ChunkAccum accum;
+    accum.chunk = chunk;
+    accum.chips = n;
+    const bool naive = spec_.sampling.isNaive();
+    for (std::size_t i = 0; i < n; ++i) {
+        const CacheTiming &reg = regular[i];
+        const CacheTiming &hor = horizontal[i];
+        const double w = weights[i];
+        const double delay = reg.delay();
+        const double leak = reg.leakage();
+
+        accum.population.add(w);
+
+        // Leakage-first classification, matching the base screening
+        // of ChipAssessment::lossReason: a leaky chip counts as a
+        // leakage loss regardless of delay; otherwise the loss kind
+        // is the number of ways over the delay limit.
+        const bool leaky = leak > spec_.leakageLimitMw;
+        std::size_t slow_ways = 0;
+        for (std::size_t way = 0; way < reg.ways.size(); ++way) {
+            if (reg.wayDelay(way) > spec_.delayLimitPs)
+                ++slow_ways;
+        }
+        if (leaky) {
+            accum.lossLeakage.add(w);
+        } else if (slow_ways > 0) {
+            const std::size_t kind =
+                std::min(slow_ways, kDelayLossKinds) - 1;
+            accum.lossDelay[kind].add(w);
+        } else {
+            accum.basePass.add(w);
+        }
+
+        std::size_t bin = kDelayBins - 1;
+        for (std::size_t b = 0; b + 1 < kDelayBins; ++b) {
+            if (delay <= spec_.binEdges[b]) {
+                bin = b;
+                break;
+            }
+        }
+        accum.delayBins[bin].add(w);
+
+        if (naive) {
+            accum.regDelay.add(delay);
+            accum.regLeak.add(leak);
+            accum.horDelay.add(hor.delay());
+            accum.horLeak.add(hor.leakage());
+        } else {
+            accum.wRegDelay.add(delay, w);
+            accum.wRegLeak.add(leak, w);
+            accum.wHorDelay.add(hor.delay(), w);
+            accum.wHorLeak.add(hor.leakage(), w);
+        }
+    }
+    return accum;
+}
+
+void
+ShardEvaluator::evaluateChunks(std::size_t begin, std::size_t end,
+                               ChunkAccum *out) const
+{
+    yac_assert(begin <= end && end <= numChunks_,
+               "chunk range out of bounds");
+    parallel::forEach(end - begin, [&](std::size_t i) {
+        out[i] = evaluateChunk(begin + i);
+    });
+}
+
+CampaignSummary
+runSingleProcess(const ShardCampaignSpec &spec)
+{
+    const ShardEvaluator evaluator(spec);
+    std::vector<ChunkAccum> accums(evaluator.numChunks());
+    evaluator.evaluateChunks(0, evaluator.numChunks(), accums.data());
+    return summarize(spec, accums);
+}
+
+} // namespace service
+} // namespace yac

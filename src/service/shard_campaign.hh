@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The sharded yield campaign: a screening campaign expressed as a
+ * deterministic, order-independent reduction over fixed chunk ranges.
+ *
+ * The fixed kStatChunk chunk boundaries and the chunk-order merges of
+ * RunningStats / WeightedRunningStats / WeightTally make every yac
+ * campaign a pure function
+ *
+ *   chunk index -> ChunkAccum        (evaluateChunk, process-free)
+ *   fold in chunk order -> totals    (foldChunks)
+ *   totals -> CampaignSummary        (summarize)
+ *
+ * so any partition of [0, numChunks) into shards -- across threads,
+ * processes or machines -- reproduces the single-process result
+ * bit for bit, as long as the per-chunk accumulators are kept at
+ * chunk granularity until the final fold. That is exactly what the
+ * orchestrator's checkpoints store, and what the prop_shard_merge
+ * suite asserts over randomized partitions.
+ *
+ * The campaign screens every chip of a MonteCarlo population against
+ * *fixed* delay/leakage limits (given in the spec, typically derived
+ * once from a pilot run), so shards are single-pass: no shard needs
+ * another shard's chips to classify its own.
+ */
+
+#ifndef YAC_SERVICE_SHARD_CAMPAIGN_HH
+#define YAC_SERVICE_SHARD_CAMPAIGN_HH
+
+#include <array>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "util/statistics.hh"
+#include "util/vecmath.hh"
+#include "variation/sampling_plan.hh"
+#include "yield/estimate.hh"
+#include "yield/monte_carlo.hh"
+
+namespace yac
+{
+namespace service
+{
+
+/** Delay histogram bins in every campaign result (file-format
+ *  constant: changing it changes the checkpoint layout). */
+inline constexpr std::size_t kDelayBins = 6;
+
+/** Ways of a 4-way cache that can miss the delay limit. */
+inline constexpr std::size_t kDelayLossKinds = 4;
+
+/**
+ * Everything that determines a sharded campaign's result. Two specs
+ * with equal contentHash() produce bitwise-identical ChunkAccums for
+ * every chunk; the hash is stamped into each checkpoint so a resumed
+ * worker can never silently continue a different campaign.
+ */
+struct ShardCampaignSpec
+{
+    std::size_t numChips = 2000;
+    std::uint64_t seed = 2006;
+    SamplingPlan sampling;
+    vecmath::SimdMode simd = vecmath::SimdMode::Off;
+
+    /** Fixed screening limits applied to every chip. */
+    double delayLimitPs = 0.0;
+    double leakageLimitMw = 0.0;
+
+    /**
+     * Upper delay edges [ps] of the first kDelayBins - 1 histogram
+     * bins (ascending); chips above the last edge land in the final
+     * bin. All-zero edges degenerate to "everything in the last bin".
+     */
+    std::array<double, kDelayBins - 1> binEdges{};
+
+    /** Chunks this campaign reduces over. */
+    std::size_t numChunks() const;
+
+    /** Format-versioned content hash of every semantic field. */
+    std::uint64_t contentHash() const;
+};
+
+/**
+ * The per-chunk reduction state: one fully accumulated chunk of
+ * chips. Trivially copyable by design -- checkpoints persist raw
+ * ChunkAccum bytes, and the shard-merge tests compare them with
+ * memcmp. Every member is 8-byte aligned so the struct has no
+ * padding bytes.
+ *
+ * Naive campaigns fold the unweighted RunningStats (bitwise-identical
+ * to the historical pipeline); tilted campaigns fold the weighted
+ * accumulators. The unused family stays empty and merges as a no-op,
+ * so foldChunks can fold both unconditionally.
+ */
+struct ChunkAccum
+{
+    std::uint64_t chunk = 0; //!< global chunk index
+    std::uint64_t chips = 0; //!< chips folded into this accum
+
+    WeightTally population;  //!< every chip
+    WeightTally basePass;    //!< within both limits (regular layout)
+    WeightTally lossLeakage; //!< leakage-first classification
+    std::array<WeightTally, kDelayLossKinds> lossDelay; //!< N slow ways
+    std::array<WeightTally, kDelayBins> delayBins; //!< by access delay
+
+    RunningStats regDelay, regLeak, horDelay, horLeak;
+    WeightedRunningStats wRegDelay, wRegLeak, wHorDelay, wHorLeak;
+};
+
+static_assert(std::is_trivially_copyable_v<ChunkAccum>,
+              "ChunkAccum must stay trivially copyable for the "
+              "checkpoint binary format");
+
+/** Left-fold of ChunkAccums in ascending chunk order. */
+struct CampaignTotals
+{
+    std::uint64_t chips = 0;
+    std::uint64_t chunks = 0;
+    WeightTally population;
+    WeightTally basePass;
+    WeightTally lossLeakage;
+    std::array<WeightTally, kDelayLossKinds> lossDelay;
+    std::array<WeightTally, kDelayBins> delayBins;
+    RunningStats regDelay, regLeak, horDelay, horLeak;
+    WeightedRunningStats wRegDelay, wRegLeak, wHorDelay, wHorLeak;
+
+    /** Fold one chunk in. @pre accums arrive in ascending chunk order */
+    void fold(const ChunkAccum &accum);
+};
+
+/** What the service streams and finally reports. */
+struct CampaignSummary
+{
+    std::uint64_t chips = 0;  //!< chips folded so far
+    std::uint64_t chunks = 0; //!< chunks folded so far
+    YieldEstimate baseYield;  //!< fraction within both limits
+    YieldEstimate lossLeakage;
+    std::array<YieldEstimate, kDelayLossKinds> lossDelay;
+    std::array<YieldEstimate, kDelayBins> delayBins;
+    PopulationStats regular;    //!< population moments, regular layout
+    PopulationStats horizontal; //!< same chips, H-YAPD layout
+    double weightSum = 0.0;     //!< total likelihood-ratio weight
+    double weightSqSum = 0.0;   //!< total squared weight
+};
+
+static_assert(std::is_trivially_copyable_v<CampaignSummary>,
+              "CampaignSummary is byte-compared by the shard tests");
+
+/**
+ * Fold @p accums (must be sorted by ascending chunk index, no
+ * duplicates) and summarize. Works on any subset of a campaign's
+ * chunks -- the orchestrator streams partial summaries from whatever
+ * chunks are durable so far.
+ */
+CampaignSummary summarize(const ShardCampaignSpec &spec,
+                          const std::vector<ChunkAccum> &accums);
+
+/**
+ * Deterministic chunk evaluator for one campaign spec. Stateless
+ * across calls: evaluateChunk(c) depends only on (spec, c), so any
+ * process anywhere can evaluate any chunk and the accumulators merge
+ * bit for bit.
+ */
+class ShardEvaluator
+{
+  public:
+    explicit ShardEvaluator(const ShardCampaignSpec &spec);
+
+    const ShardCampaignSpec &spec() const { return spec_; }
+    std::size_t numChunks() const { return numChunks_; }
+
+    /** Evaluate one chunk. Thread-safe. @pre chunk < numChunks() */
+    ChunkAccum evaluateChunk(std::size_t chunk) const;
+
+    /**
+     * Evaluate chunks [begin, end) in parallel across the worker
+     * pool; out[i] receives chunk begin + i. @pre begin <= end <=
+     * numChunks()
+     */
+    void evaluateChunks(std::size_t begin, std::size_t end,
+                        ChunkAccum *out) const;
+
+  private:
+    ShardCampaignSpec spec_;
+    CampaignConfig config_;
+    MonteCarlo mc_;
+    vecmath::SimdKernel kernel_;
+    std::size_t numChunks_ = 0;
+};
+
+/**
+ * The single-process reference: evaluate every chunk and fold in
+ * chunk order. Sharded and resumed campaigns must reproduce this
+ * byte for byte (prop_shard_merge, test_kill_resume).
+ */
+CampaignSummary runSingleProcess(const ShardCampaignSpec &spec);
+
+} // namespace service
+} // namespace yac
+
+#endif // YAC_SERVICE_SHARD_CAMPAIGN_HH

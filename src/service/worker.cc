@@ -1,0 +1,135 @@
+#include "service/worker.hh"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+
+#include "service/checkpoint.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
+#include "util/logging.hh"
+
+namespace yac
+{
+namespace service
+{
+
+namespace
+{
+
+std::size_t
+crashAfterChunksFromEnv()
+{
+    const char *value = std::getenv("YAC_CRASH_AFTER_CHUNKS");
+    if (value == nullptr || *value == '\0')
+        return 0;
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0')
+        yac_fatal("YAC_CRASH_AFTER_CHUNKS wants a chunk count, got '",
+                  value, "'");
+    return static_cast<std::size_t>(n);
+}
+
+} // namespace
+
+WorkerOutcome
+runWorker(const ShardCampaignSpec &spec, const WorkerTask &task)
+{
+    yac_assert(task.chunkBegin <= task.chunkEnd &&
+                   task.chunkEnd <= spec.numChunks(),
+               "worker task range out of campaign bounds");
+    yac_assert(!task.checkpointPath.empty(),
+               "worker task needs a checkpoint path");
+    yac_assert(task.checkpointEveryChunks > 0,
+               "checkpoint interval must be positive");
+    trace::Span span("worker.shard", "service");
+    trace::Metrics &metrics = trace::Metrics::instance();
+    trace::Counter &chunks_done =
+        metrics.counter("worker_chunks_done");
+    trace::Counter &chunks_resumed =
+        metrics.counter("worker_chunks_resumed");
+
+    const ShardEvaluator evaluator(spec);
+    const std::uint64_t spec_hash = spec.contentHash();
+
+    ShardCheckpoint state;
+    const CheckpointStatus status =
+        loadCheckpoint(task.checkpointPath, spec_hash, &state);
+    const bool resumable =
+        status == CheckpointStatus::Ok &&
+        state.chunkBegin == task.chunkBegin &&
+        state.chunkEnd == task.chunkEnd;
+    if (!resumable) {
+        if (status != CheckpointStatus::Ok &&
+            status != CheckpointStatus::Missing)
+            yac_warn("worker: rejecting checkpoint ",
+                     task.checkpointPath, " (",
+                     checkpointStatusName(status),
+                     "); restarting shard cold");
+        else if (status == CheckpointStatus::Ok)
+            yac_warn("worker: checkpoint ", task.checkpointPath,
+                     " covers a different shard range; restarting "
+                     "shard cold");
+        state = ShardCheckpoint{};
+        state.specHash = spec_hash;
+        state.chunkBegin = task.chunkBegin;
+        state.chunkEnd = task.chunkEnd;
+    }
+
+    WorkerOutcome outcome;
+    outcome.resumedChunks = state.accums.size();
+    chunks_resumed.add(outcome.resumedChunks);
+
+    const std::size_t crash_after = crashAfterChunksFromEnv();
+    std::size_t next =
+        task.chunkBegin + static_cast<std::size_t>(state.doneChunks());
+    while (next < task.chunkEnd) {
+        std::size_t batch = std::min(task.checkpointEveryChunks,
+                                     task.chunkEnd - next);
+        // Honor the deterministic interruption knobs at batch
+        // granularity so the durable state is always a clean prefix.
+        if (task.stopAfterChunks > 0)
+            batch = std::min(batch, task.stopAfterChunks -
+                                        std::min(task.stopAfterChunks,
+                                                 outcome.newChunks));
+        if (crash_after > 0 && outcome.newChunks < crash_after)
+            batch = std::min(batch, crash_after - outcome.newChunks);
+        if (batch == 0)
+            break; // stopAfterChunks reached
+
+        const std::size_t at = state.accums.size();
+        state.accums.resize(at + batch);
+        evaluator.evaluateChunks(next, next + batch,
+                                 state.accums.data() + at);
+        next += batch;
+        outcome.newChunks += batch;
+        chunks_done.add(batch);
+
+        if (!saveCheckpoint(task.checkpointPath, state))
+            yac_fatal("worker: cannot write checkpoint ",
+                      task.checkpointPath);
+        if (crash_after > 0 && outcome.newChunks >= crash_after) {
+            // The armed kill: a hard SIGKILL right after durable
+            // progress, exactly like an OOM kill between batches.
+            std::raise(SIGKILL);
+        }
+        if (task.stopAfterChunks > 0 &&
+            outcome.newChunks >= task.stopAfterChunks)
+            break;
+    }
+
+    // A shard with nothing left still publishes its (complete or
+    // empty) checkpoint so the orchestrator finds durable state.
+    if (outcome.newChunks == 0 &&
+        !saveCheckpoint(task.checkpointPath, state))
+        yac_fatal("worker: cannot write checkpoint ",
+                  task.checkpointPath);
+
+    outcome.complete = state.complete();
+    return outcome;
+}
+
+} // namespace service
+} // namespace yac

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The shard worker: evaluates one shard's chunk range with periodic
+ * durable checkpoints, resuming from whatever valid checkpoint its
+ * path already holds. This is the body of `yacd worker` and of the
+ * orchestrator's in-process mode -- one code path, so the subprocess
+ * protocol is exercised by every in-process test too.
+ *
+ * Crash discipline: the worker's only durable state is its
+ * checkpoint file, updated by atomic rename after every batch of
+ * checkpointEveryChunks chunks. Killing the worker at ANY point --
+ * including mid-checkpoint-write -- loses at most the chunks
+ * evaluated since the last durable checkpoint; a respawned worker
+ * re-evaluates exactly those chunks, bit for bit, so the final merge
+ * cannot tell a crash ever happened.
+ *
+ * Fault injection (used by tests/test_kill_resume.cc and the CI
+ * resume-smoke job):
+ *   YAC_CRASH_AFTER_CHUNKS=N  raise(SIGKILL) after N newly evaluated
+ *     chunks (checkpoints due before the crash point are written, so
+ *     every incarnation makes durable progress and a respawn loop
+ *     terminates).
+ */
+
+#ifndef YAC_SERVICE_WORKER_HH
+#define YAC_SERVICE_WORKER_HH
+
+#include <cstddef>
+#include <string>
+
+#include "service/shard_campaign.hh"
+
+namespace yac
+{
+namespace service
+{
+
+/** One shard assignment. */
+struct WorkerTask
+{
+    std::string checkpointPath;
+    std::size_t chunkBegin = 0;
+    std::size_t chunkEnd = 0; //!< exclusive
+
+    /** Chunks per durable checkpoint batch (also the parallel batch
+     *  width inside the worker). */
+    std::size_t checkpointEveryChunks = 8;
+
+    /**
+     * Stop gracefully (checkpoint and return incomplete) after this
+     * many newly evaluated chunks; 0 = run to completion. A testing
+     * knob for deterministic in-process interruption.
+     */
+    std::size_t stopAfterChunks = 0;
+};
+
+/** What one worker invocation achieved. */
+struct WorkerOutcome
+{
+    std::size_t resumedChunks = 0; //!< recovered from the checkpoint
+    std::size_t newChunks = 0;     //!< evaluated by this invocation
+    bool complete = false;         //!< the shard range is fully done
+};
+
+/**
+ * Run (or resume) one shard. Deterministic: the durable result of a
+ * completed shard is byte-identical no matter how many times the
+ * worker was killed and respawned along the way.
+ */
+WorkerOutcome runWorker(const ShardCampaignSpec &spec,
+                        const WorkerTask &task);
+
+} // namespace service
+} // namespace yac
+
+#endif // YAC_SERVICE_WORKER_HH

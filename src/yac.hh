@@ -14,6 +14,8 @@
  *    hybrid, naive binning)
  *  - circuit + variation models the campaigns are built from
  *  - the pipeline/memory simulator used for CPI impact
+ *  - the sharded campaign service (checkpointed workers + the
+ *    fork/exec orchestrator behind yacd)
  *  - observability (trace spans and sessions, metrics registry)
  *  - shared utilities (options parsing, parallel loops, RNG, stats)
  */
@@ -63,6 +65,12 @@
 #include "yield/schemes/naive_binning.hh"
 #include "yield/schemes/vaca.hh"
 #include "yield/schemes/yapd.hh"
+
+// Sharded campaign service.
+#include "service/checkpoint.hh"
+#include "service/orchestrator.hh"
+#include "service/shard_campaign.hh"
+#include "service/worker.hh"
 
 // Performance simulation.
 #include "cache/memory_hierarchy.hh"

@@ -88,6 +88,49 @@ MonteCarlo::MonteCarlo()
 {
 }
 
+ChipRangePhases
+MonteCarlo::evaluateChips(const CampaignConfig &config,
+                          vecmath::SimdKernel kernel, std::size_t begin,
+                          std::size_t end, ChipBatchSoa &arena,
+                          CacheTiming *regular, CacheTiming *horizontal,
+                          double *weights) const
+{
+    // Each chip gets an independent substream (split never advances
+    // the shared parent) keyed by its *global* index, so the draws of
+    // chip i are invariant under the range, thread and process that
+    // evaluate it.
+    //
+    // The range is first batch-filled with all its chips' draws (the
+    // "sample" phase, allocation-free once the arena is warm), then
+    // evaluated through the batched fast path, which is bitwise
+    // identical to the scalar sample+evaluate pipeline
+    // (tests/test_soa_batch.cc).
+    const Rng rng(config.seed);
+    ChipRangePhases phases;
+    const std::int64_t t0 = trace::nowNanos();
+    arena.ensure(sampler_.geometry(), end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+        Rng chip_rng = rng.split(i);
+        sampleChipSoa(sampler_, chip_rng, arena, i - begin,
+                      config.sampling);
+        weights[i - begin] = arena.weight[i - begin];
+    }
+    const std::int64_t t1 = trace::nowNanos();
+    for (std::size_t i = begin; i < end; ++i) {
+        CacheTiming &reg = regular[i - begin];
+        batch_.prepareTiming(reg, CacheLayout::Regular);
+        CacheTiming *hor = nullptr;
+        if (horizontal != nullptr) {
+            hor = &horizontal[i - begin];
+            batch_.prepareTiming(*hor, CacheLayout::Horizontal);
+        }
+        batch_.evaluateChip(arena, i - begin, reg, hor, kernel);
+    }
+    phases.sampleNanos = t1 - t0;
+    phases.evaluateNanos = trace::nowNanos() - t1;
+    return phases;
+}
+
 MonteCarloResult
 MonteCarlo::run(const CampaignConfig &config) const
 {
@@ -109,18 +152,10 @@ MonteCarlo::run(const CampaignConfig &config) const
     result.sampling = config.sampling;
     const bool naive = config.sampling.isNaive();
 
-    // Chips shard across workers: each chip gets an independent
-    // substream (split never advances the shared parent), writes only
-    // its own output slot, and folds into its chunk's accumulator.
-    // Chunk boundaries are fixed by kStatChunk, so the chunk-order
-    // merge below is bit-identical at any thread count.
-    //
-    // Each worker owns one reusable SoA arena: a chunk is first
-    // batch-filled with all its chips' draws (the "sample" phase,
-    // allocation-free once the arena is warm), then evaluated through
-    // the batched fast path, which is bitwise identical to the scalar
-    // sample+evaluate pipeline (tests/test_soa_batch.cc).
-    const Rng rng(config.seed);
+    // Chips shard across workers: each chip writes only its own
+    // output slot and folds into its chunk's accumulator. Chunk
+    // boundaries are fixed by kStatChunk, so the chunk-order merge
+    // below is bit-identical at any thread count.
     std::vector<ShardStats> shards(
         parallel::chunkCount(config.numChips, parallel::kStatChunk));
     parallel::forChunks(
@@ -128,23 +163,12 @@ MonteCarlo::run(const CampaignConfig &config) const
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
             ShardStats &s = shards[chunk];
             static thread_local ChipBatchSoa arena;
-            const std::int64_t t0 = trace::nowNanos();
-            arena.ensure(sampler_.geometry(), end - begin);
+            const ChipRangePhases phases = evaluateChips(
+                config, kernel, begin, end, arena,
+                result.regular.data() + begin,
+                result.horizontal.data() + begin,
+                result.weights.data() + begin);
             for (std::size_t i = begin; i < end; ++i) {
-                Rng chip_rng = rng.split(i);
-                sampleChipSoa(sampler_, chip_rng, arena, i - begin,
-                              config.sampling);
-                result.weights[i] = arena.weight[i - begin];
-            }
-            const std::int64_t t1 = trace::nowNanos();
-            for (std::size_t i = begin; i < end; ++i) {
-                batch_.prepareTiming(result.regular[i],
-                                     CacheLayout::Regular);
-                batch_.prepareTiming(result.horizontal[i],
-                                     CacheLayout::Horizontal);
-                batch_.evaluateChip(arena, i - begin,
-                                    result.regular[i],
-                                    &result.horizontal[i], kernel);
                 if (naive) {
                     s.regDelay.add(result.regular[i].delay());
                     s.regLeak.add(result.regular[i].leakage());
@@ -159,8 +183,8 @@ MonteCarlo::run(const CampaignConfig &config) const
                 }
             }
             // One atomic add per chunk, not per chip.
-            sample_phase.addNanos(t1 - t0);
-            evaluate_phase.addNanos(trace::nowNanos() - t1);
+            sample_phase.addNanos(phases.sampleNanos);
+            evaluate_phase.addNanos(phases.evaluateNanos);
             chips_sampled.add(end - begin);
             scope.tick(end - begin);
         });

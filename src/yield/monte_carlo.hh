@@ -23,6 +23,8 @@
 namespace yac
 {
 
+struct ChipBatchSoa;
+
 /** Campaign parameters; kept as an alias after the CampaignConfig
  *  unification so older call sites still read naturally. */
 using MonteCarloConfig = CampaignConfig;
@@ -75,6 +77,13 @@ struct MonteCarloResult
                               double extra_cycle_headroom = 0.25) const;
 };
 
+/** Wall time spent in the two phases of one evaluateChips call. */
+struct ChipRangePhases
+{
+    std::int64_t sampleNanos = 0;
+    std::int64_t evaluateNanos = 0;
+};
+
 /** Runs variation draws through both layouts' circuit models. */
 class MonteCarlo
 {
@@ -95,6 +104,29 @@ class MonteCarlo
      * VariationSampler::sample + CacheModel::evaluate pipeline.
      */
     MonteCarloResult run(const CampaignConfig &config) const;
+
+    /**
+     * Evaluate the campaign's chips with global indices [begin, end)
+     * into caller-provided slots: regular[i - begin],
+     * horizontal[i - begin] (may be nullptr to skip the H-YAPD
+     * layout) and weights[i - begin] for chip i.
+     *
+     * This is the deterministic kernel both run() and the sharded
+     * campaign service are built on: chip i's draws depend only on
+     * (config.seed, config.sampling, i), never on the surrounding
+     * range, the thread count, or the process evaluating it -- which
+     * is what makes chunk-range shards of one campaign bitwise
+     * mergeable across workers and machines. Thread-safe for
+     * disjoint output ranges; @p arena is the caller's reusable
+     * (typically thread_local) SoA scratch.
+     */
+    ChipRangePhases evaluateChips(const CampaignConfig &config,
+                                  vecmath::SimdKernel kernel,
+                                  std::size_t begin, std::size_t end,
+                                  ChipBatchSoa &arena,
+                                  CacheTiming *regular,
+                                  CacheTiming *horizontal,
+                                  double *weights) const;
 
     const VariationSampler &sampler() const { return sampler_; }
     const CacheGeometry &geometry() const { return geom_; }

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * The shard-merge theorem, checked: ANY partition of a campaign's
+ * chunk range into shards -- evaluated by independent ShardEvaluator
+ * instances (one per "process"), in any order -- reproduces the
+ * single-process campaign bit for bit: every per-chunk accumulator is
+ * memcmp-identical, and the summarized CampaignSummary (yields,
+ * standard errors, ESS, delay bins, population moments) is
+ * byte-identical. Holds for naive and tilted SamplingPlans alike,
+ * because the per-chip draws depend only on (seed, global chip index)
+ * and the final fold is the same chunk-ordered left fold.
+ *
+ * This is the correctness foundation the checkpoint/resume
+ * orchestrator rests on (docs/SHARDING.md); the kill/resume tests
+ * check the same identity through the subprocess machinery.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hh"
+#include "service/shard_campaign.hh"
+#include "util/rng.hh"
+
+namespace yac
+{
+namespace
+{
+
+using check::forAll;
+using check::Gen;
+using check::Verdict;
+using namespace yac::service;
+
+/** A campaign spec plus a random shard partition and merge order. */
+struct Case
+{
+    ShardCampaignSpec spec;
+    std::vector<std::size_t> bounds; //!< shard boundaries incl. 0, n
+    std::vector<std::size_t> order;  //!< shard evaluation order
+};
+
+std::string
+printCase(const Case &c)
+{
+    std::ostringstream os;
+    os << c.spec.numChips << " chips, seed " << c.spec.seed << ", "
+       << c.spec.sampling.describe() << ", bounds [";
+    for (std::size_t b : c.bounds)
+        os << b << ' ';
+    os << "], order [";
+    for (std::size_t s : c.order)
+        os << s << ' ';
+    os << "]";
+    return os.str();
+}
+
+ShardCampaignSpec
+specFor(Rng &rng, bool tilted)
+{
+    ShardCampaignSpec spec;
+    spec.numChips = 65 + rng.uniformInt(320);
+    spec.seed = rng.next();
+    spec.sampling = tilted
+        ? SamplingPlan::tilted(rng.uniform(-2.5, 2.5),
+                               rng.uniform(0.8, 1.4))
+        : SamplingPlan::naive();
+    spec.delayLimitPs = rng.uniform(160.0, 260.0);
+    spec.leakageLimitMw = rng.uniform(30.0, 90.0);
+    double edge = spec.delayLimitPs * rng.uniform(0.7, 0.9);
+    for (double &e : spec.binEdges) {
+        e = edge;
+        edge += spec.delayLimitPs * rng.uniform(0.05, 0.2);
+    }
+    return spec;
+}
+
+/** Random partition of [0, chunks) into 1..7 contiguous shards plus
+ *  a random evaluation order. */
+Gen<Case>
+shardCases()
+{
+    return Gen<Case>(
+               [](Rng &rng) {
+                   Case c;
+                   c.spec = specFor(rng, rng.bernoulli(0.5));
+                   const std::size_t chunks = c.spec.numChunks();
+                   const std::size_t shards =
+                       1 + rng.uniformInt(std::min<std::size_t>(
+                           7, chunks));
+                   c.bounds.push_back(0);
+                   for (std::size_t i = 1; i < shards; ++i)
+                       c.bounds.push_back(1 + rng.uniformInt(chunks));
+                   c.bounds.push_back(chunks);
+                   std::sort(c.bounds.begin(), c.bounds.end());
+                   c.bounds.erase(
+                       std::unique(c.bounds.begin(), c.bounds.end()),
+                       c.bounds.end());
+                   c.order.resize(c.bounds.size() - 1);
+                   std::iota(c.order.begin(), c.order.end(), 0u);
+                   // Fisher-Yates with the case's own rng: the merge
+                   // order is part of the generated case.
+                   for (std::size_t i = c.order.size(); i > 1; --i)
+                       std::swap(c.order[i - 1],
+                                 c.order[rng.uniformInt(i)]);
+                   return c;
+               })
+        .withPrint(printCase);
+}
+
+Verdict
+checkPartition(const Case &c)
+{
+    const std::size_t chunks = c.spec.numChunks();
+
+    // The single-process reference: one evaluator, one pass, the
+    // canonical chunk-ordered fold.
+    const ShardEvaluator reference(c.spec);
+    std::vector<ChunkAccum> expected(chunks);
+    reference.evaluateChunks(0, chunks, expected.data());
+    const CampaignSummary single = summarize(c.spec, expected);
+
+    // The sharded run: a FRESH evaluator per shard (each shard is its
+    // own process in production), shards evaluated in the case's
+    // arbitrary order.
+    std::vector<ChunkAccum> merged(chunks);
+    for (std::size_t shard : c.order) {
+        const std::size_t begin = c.bounds[shard];
+        const std::size_t end = c.bounds[shard + 1];
+        const ShardEvaluator worker(c.spec);
+        worker.evaluateChunks(begin, end, merged.data() + begin);
+    }
+
+    for (std::size_t i = 0; i < chunks; ++i) {
+        YAC_PROP_EXPECT(std::memcmp(&merged[i], &expected[i],
+                                    sizeof(ChunkAccum)) == 0,
+                        "chunk accum differs at chunk", i);
+    }
+    const CampaignSummary sharded = summarize(c.spec, merged);
+    YAC_PROP_EXPECT(std::memcmp(&sharded, &single,
+                                sizeof(CampaignSummary)) == 0,
+                    "sharded summary differs from single-process");
+    return check::pass();
+}
+
+TEST(PropShardMerge, AnyPartitionAnyOrderIsByteIdentical)
+{
+    const auto r =
+        forAll("random shard partitions merge byte-identically",
+               shardCases(), checkPartition, 12);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropShardMerge, CanonicalPartitionsByteIdentical)
+{
+    // The named partitions from the issue -- 1, 2, 3 and 7 shards,
+    // deliberately uneven, merged out of order -- on one naive and
+    // one tilted campaign each.
+    Rng rng(0x5a'd006);
+    for (const bool tilted : {false, true}) {
+        Case c;
+        c.spec = specFor(rng, tilted);
+        c.spec.numChips = 450 + rng.uniformInt(100); // >= 8 chunks
+        const std::size_t n = c.spec.numChunks();
+        ASSERT_GE(n, 8u);
+        const std::vector<std::vector<std::size_t>> partitions = {
+            {0, n},
+            {0, 1, n},          // maximally uneven 2-way
+            {0, n / 2, n / 2 + 1, n}, // uneven 3-way
+            {0, 1, 2, 3, std::min(n - 1, 4 + n / 2), n - 1, n,
+             n}, // 7 bounds incl. an empty shard
+        };
+        for (const std::vector<std::size_t> &bounds : partitions) {
+            c.bounds = bounds;
+            c.bounds.erase(std::unique(c.bounds.begin(),
+                                       c.bounds.end()),
+                           c.bounds.end());
+            c.order.resize(c.bounds.size() - 1);
+            std::iota(c.order.begin(), c.order.end(), 0u);
+            std::reverse(c.order.begin(), c.order.end());
+            const Verdict v = checkPartition(c);
+            EXPECT_FALSE(v.has_value())
+                << (v ? *v : "") << " for " << printCase(c);
+        }
+    }
+}
+
+TEST(PropShardMerge, AccumInvariantsHold)
+{
+    const auto r = forAll(
+        "per-chunk accumulators are internally consistent",
+        shardCases(),
+        [](const Case &c) -> Verdict {
+            const ShardEvaluator evaluator(c.spec);
+            const std::size_t chunks = c.spec.numChunks();
+            std::size_t chips = 0;
+            for (std::size_t i = 0; i < chunks; ++i) {
+                const ChunkAccum a = evaluator.evaluateChunk(i);
+                YAC_PROP_EXPECT(a.chunk == i);
+                YAC_PROP_EXPECT(a.population.count == a.chips);
+                std::size_t classified = a.basePass.count +
+                                         a.lossLeakage.count;
+                for (const WeightTally &t : a.lossDelay)
+                    classified += t.count;
+                YAC_PROP_EXPECT(classified == a.population.count,
+                                "loss classification must partition "
+                                "the population");
+                std::size_t binned = 0;
+                for (const WeightTally &t : a.delayBins)
+                    binned += t.count;
+                YAC_PROP_EXPECT(binned == a.population.count,
+                                "delay bins must partition the "
+                                "population");
+                chips += a.chips;
+            }
+            YAC_PROP_EXPECT(chips == c.spec.numChips);
+            return check::pass();
+        },
+        8);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropShardMerge, NaiveWeightsAreExactCounts)
+{
+    const auto r = forAll(
+        "naive campaigns carry exact unit weights",
+        Gen<ShardCampaignSpec>(
+            [](Rng &rng) { return specFor(rng, false); }),
+        [](const ShardCampaignSpec &spec) -> Verdict {
+            const CampaignSummary s = runSingleProcess(spec);
+            const double n = static_cast<double>(spec.numChips);
+            YAC_PROP_EXPECT(s.chips == spec.numChips);
+            YAC_PROP_EXPECT(s.weightSum == n,
+                            "unit weights must sum exactly");
+            YAC_PROP_EXPECT(s.weightSqSum == n);
+            YAC_PROP_EXPECT(s.baseYield.ess == n,
+                            "naive ESS equals the chip count");
+            double loss = s.lossLeakage.value;
+            for (const YieldEstimate &e : s.lossDelay)
+                loss += e.value;
+            YAC_PROP_EXPECT(
+                std::abs(s.baseYield.value + loss - 1.0) < 1e-12,
+                "yield and losses must sum to one");
+            return check::pass();
+        },
+        6);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Checkpoint robustness: every way a shard checkpoint file can be
+ * damaged -- truncation at any boundary, bit flips in header or
+ * payload, wrong magic/version/layout, a different campaign's state,
+ * inconsistent ranges, leftover temp files from a crashed writer --
+ * must be rejected fail-fast with the specific status, never trusted,
+ * and never crash the loader. Mirrors the test_sim_cache.cc coverage
+ * for the other persistent format in the tree.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/checkpoint.hh"
+#include "service/shard_campaign.hh"
+
+namespace yac
+{
+namespace
+{
+
+using namespace yac::service;
+
+// Header byte offsets of the "YACCKPT1" format (checkpoint.cc).
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffVersion = 8;
+constexpr std::size_t kOffAccumBytes = 12;
+constexpr std::size_t kOffSpecHash = 16;
+constexpr std::size_t kOffChunkBegin = 24;
+constexpr std::size_t kOffDoneChunks = 40;
+constexpr std::size_t kHeaderBytes = 48;
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::path(::testing::TempDir()) / name)
+        .string();
+}
+
+ShardCheckpoint
+sampleCheckpoint(std::uint64_t spec_hash, std::size_t chunks = 3)
+{
+    ShardCheckpoint ckpt;
+    ckpt.specHash = spec_hash;
+    ckpt.chunkBegin = 2;
+    ckpt.chunkEnd = 2 + chunks + 1; // one chunk still outstanding
+    for (std::size_t i = 0; i < chunks; ++i) {
+        ChunkAccum a;
+        a.chunk = ckpt.chunkBegin + i;
+        a.chips = 64;
+        for (int c = 0; c < 64; ++c) {
+            a.population.add(1.0);
+            a.regDelay.add(150.0 + static_cast<double>(i) + c * 0.25);
+        }
+        ckpt.accums.push_back(a);
+    }
+    return ckpt;
+}
+
+std::vector<char>
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+}
+
+void
+writeBytes(const std::string &path, const std::vector<char> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Save a valid checkpoint, mutate its bytes, and load it back. */
+CheckpointStatus
+loadMutated(const std::string &name,
+            const std::function<void(std::vector<char> &)> &mutate)
+{
+    const std::string path = tempPath(name);
+    const std::uint64_t hash = 0xfeedULL;
+    EXPECT_TRUE(saveCheckpoint(path, sampleCheckpoint(hash)));
+    std::vector<char> bytes = fileBytes(path);
+    EXPECT_GT(bytes.size(), kHeaderBytes);
+    mutate(bytes);
+    writeBytes(path, bytes);
+    ShardCheckpoint out;
+    return loadCheckpoint(path, hash, &out);
+}
+
+TEST(Checkpoint, RoundTripsBytesExactly)
+{
+    const std::string path = tempPath("roundtrip.ckpt");
+    const std::uint64_t hash = 0xabcdULL;
+    const ShardCheckpoint saved = sampleCheckpoint(hash);
+    ASSERT_TRUE(saveCheckpoint(path, saved));
+
+    ShardCheckpoint loaded;
+    ASSERT_EQ(loadCheckpoint(path, hash, &loaded),
+              CheckpointStatus::Ok);
+    EXPECT_EQ(loaded.specHash, saved.specHash);
+    EXPECT_EQ(loaded.chunkBegin, saved.chunkBegin);
+    EXPECT_EQ(loaded.chunkEnd, saved.chunkEnd);
+    ASSERT_EQ(loaded.accums.size(), saved.accums.size());
+    for (std::size_t i = 0; i < saved.accums.size(); ++i) {
+        EXPECT_EQ(std::memcmp(&loaded.accums[i], &saved.accums[i],
+                              sizeof(ChunkAccum)),
+                  0);
+    }
+    EXPECT_FALSE(loaded.complete());
+    EXPECT_EQ(loaded.doneChunks(), 3u);
+}
+
+TEST(Checkpoint, MissingFileIsACleanColdStart)
+{
+    ShardCheckpoint out;
+    out.accums.push_back(ChunkAccum{}); // must be cleared on failure
+    EXPECT_EQ(loadCheckpoint(tempPath("never-written.ckpt"), 1, &out),
+              CheckpointStatus::Missing);
+    EXPECT_TRUE(out.accums.empty());
+}
+
+TEST(Checkpoint, TruncationAtEveryBoundaryIsRejected)
+{
+    // Shorter than the header.
+    EXPECT_EQ(loadMutated("trunc-header.ckpt",
+                          [](std::vector<char> &b) { b.resize(10); }),
+              CheckpointStatus::BadHeader);
+    // Header intact, payload cut short.
+    EXPECT_EQ(loadMutated("trunc-payload.ckpt",
+                          [](std::vector<char> &b) {
+                              b.resize(kHeaderBytes +
+                                       sizeof(ChunkAccum) / 2);
+                          }),
+              CheckpointStatus::Truncated);
+    // Payload intact, trailing checksum cut off.
+    EXPECT_EQ(loadMutated("trunc-checksum.ckpt",
+                          [](std::vector<char> &b) { b.resize(b.size() - 4); }),
+              CheckpointStatus::Truncated);
+    // Empty file.
+    EXPECT_EQ(loadMutated("trunc-empty.ckpt",
+                          [](std::vector<char> &b) { b.clear(); }),
+              CheckpointStatus::BadHeader);
+}
+
+TEST(Checkpoint, BitFlipsAreDetected)
+{
+    // Magic.
+    EXPECT_EQ(loadMutated("flip-magic.ckpt",
+                          [](std::vector<char> &b) {
+                              b[kOffMagic + 3] ^= 0x01;
+                          }),
+              CheckpointStatus::BadHeader);
+    // Version.
+    EXPECT_EQ(loadMutated("flip-version.ckpt",
+                          [](std::vector<char> &b) {
+                              b[kOffVersion] ^= 0x02;
+                          }),
+              CheckpointStatus::BadVersion);
+    // Record size (an ABI drift).
+    EXPECT_EQ(loadMutated("flip-layout.ckpt",
+                          [](std::vector<char> &b) {
+                              b[kOffAccumBytes] ^= 0x10;
+                          }),
+              CheckpointStatus::BadLayout);
+    // Spec hash: belongs to another campaign now.
+    EXPECT_EQ(loadMutated("flip-spec.ckpt",
+                          [](std::vector<char> &b) {
+                              b[kOffSpecHash] ^= 0x80;
+                          }),
+              CheckpointStatus::BadSpec);
+    // Payload corruption lands on the checksum.
+    EXPECT_EQ(loadMutated("flip-payload.ckpt",
+                          [](std::vector<char> &b) {
+                              b[kHeaderBytes + 17] ^= 0x40;
+                          }),
+              CheckpointStatus::BadChecksum);
+    // Checksum corruption itself.
+    EXPECT_EQ(loadMutated("flip-checksum.ckpt",
+                          [](std::vector<char> &b) {
+                              b[b.size() - 1] ^= 0x01;
+                          }),
+              CheckpointStatus::BadChecksum);
+}
+
+TEST(Checkpoint, InsaneCountsAreRejectedBeforeAllocation)
+{
+    // doneChunks maxed out: must be caught by the file-size guard,
+    // not by attempting a ~2^64-record allocation.
+    EXPECT_EQ(loadMutated("huge-count.ckpt",
+                          [](std::vector<char> &b) {
+                              std::memset(b.data() + kOffDoneChunks,
+                                          0xff, 8);
+                          }),
+              CheckpointStatus::BadRange);
+    // A count that passes the range check but exceeds the payload.
+    EXPECT_EQ(loadMutated("bad-count.ckpt",
+                          [](std::vector<char> &b) {
+                              b[kOffDoneChunks] = 4; // range holds 4
+                          }),
+              CheckpointStatus::Truncated);
+    // chunkBegin shifted: the checksum covers the header, so even a
+    // "plausible" range edit reads as corruption.
+    EXPECT_EQ(loadMutated("bad-range.ckpt",
+                          [](std::vector<char> &b) {
+                              b[kOffChunkBegin] = 1;
+                          }),
+              CheckpointStatus::BadChecksum);
+}
+
+TEST(Checkpoint, RecordsMustMatchTheirChunkIndices)
+{
+    // A checksum-valid file whose records claim the wrong chunks
+    // (a writer bug, not corruption) still fails fast.
+    const std::string path = tempPath("bad-records.ckpt");
+    ShardCheckpoint ckpt = sampleCheckpoint(13);
+    ckpt.accums[1].chunk = 99;
+    ASSERT_TRUE(saveCheckpoint(path, ckpt));
+    ShardCheckpoint out;
+    EXPECT_EQ(loadCheckpoint(path, 13, &out),
+              CheckpointStatus::BadRange);
+    EXPECT_TRUE(out.accums.empty());
+}
+
+TEST(Checkpoint, WrongSpecHashIsRejected)
+{
+    const std::string path = tempPath("wrong-spec.ckpt");
+    ASSERT_TRUE(saveCheckpoint(path, sampleCheckpoint(111)));
+    ShardCheckpoint out;
+    EXPECT_EQ(loadCheckpoint(path, 222, &out),
+              CheckpointStatus::BadSpec);
+    EXPECT_TRUE(out.accums.empty());
+}
+
+TEST(Checkpoint, LeftoverTempFileNeverShadowsThePublishedFile)
+{
+    // A writer that died mid-write leaves path.tmp garbage behind;
+    // the published checkpoint must stay perfectly readable, and a
+    // subsequent save must still succeed (overwriting the leftover).
+    const std::string path = tempPath("tempfile.ckpt");
+    const std::uint64_t hash = 77;
+    const ShardCheckpoint saved = sampleCheckpoint(hash);
+    ASSERT_TRUE(saveCheckpoint(path, saved));
+    {
+        std::ofstream tmp(path + ".tmp", std::ios::binary);
+        tmp << "torn half-write from a dead process";
+    }
+    ShardCheckpoint loaded;
+    EXPECT_EQ(loadCheckpoint(path, hash, &loaded),
+              CheckpointStatus::Ok);
+    EXPECT_EQ(loaded.doneChunks(), saved.doneChunks());
+    ASSERT_TRUE(saveCheckpoint(path, saved));
+    EXPECT_EQ(loadCheckpoint(path, hash, &loaded),
+              CheckpointStatus::Ok);
+}
+
+TEST(Checkpoint, ConcurrentGarbageOverwriteFailsFast)
+{
+    // Something else scribbled over the published file between save
+    // and load (the "concurrently-written" corruption case): the
+    // loader must reject it with a clean status.
+    const std::string path = tempPath("scribble.ckpt");
+    ASSERT_TRUE(saveCheckpoint(path, sampleCheckpoint(5)));
+    {
+        std::ofstream over(path, std::ios::binary | std::ios::trunc);
+        for (int i = 0; i < 500; ++i)
+            over << "NOISE";
+    }
+    ShardCheckpoint out;
+    EXPECT_EQ(loadCheckpoint(path, 5, &out),
+              CheckpointStatus::BadHeader);
+    EXPECT_TRUE(out.accums.empty());
+}
+
+TEST(Checkpoint, SaveReportsIoFailure)
+{
+    const ShardCheckpoint ckpt = sampleCheckpoint(9);
+    EXPECT_FALSE(saveCheckpoint(
+        "/nonexistent-dir-for-yac-tests/shard.ckpt", ckpt));
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Edge-case coverage for YieldEstimate / WeightTally: empty
+ * populations, all-zero weights, single-element and single-chunk
+ * merges, ESS bounds, and the exactness guarantees the service layer
+ * leans on (unit-weight sums are exact integers; merging is the same
+ * fold the sharded campaign performs).
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "yield/estimate.hh"
+
+namespace yac
+{
+namespace
+{
+
+TEST(WeightTally, StartsEmpty)
+{
+    const WeightTally t;
+    EXPECT_EQ(t.count, 0u);
+    EXPECT_EQ(t.sum(), 0.0);
+    EXPECT_EQ(t.sumSq(), 0.0);
+}
+
+TEST(WeightTally, UnitWeightsSumExactly)
+{
+    WeightTally t;
+    for (int i = 0; i < 1'000'003; ++i)
+        t.add(1.0);
+    // Exact integer doubles: this is what keeps naive campaigns
+    // bitwise identical to historical integer counting.
+    EXPECT_EQ(t.sum(), 1'000'003.0);
+    EXPECT_EQ(t.sumSq(), 1'000'003.0);
+    EXPECT_EQ(t.count, 1'000'003u);
+}
+
+TEST(WeightTally, ZeroWeightsCountButDontWeigh)
+{
+    WeightTally t;
+    for (int i = 0; i < 5; ++i)
+        t.add(0.0);
+    EXPECT_EQ(t.count, 5u);
+    EXPECT_EQ(t.sum(), 0.0);
+    EXPECT_EQ(t.sumSq(), 0.0);
+}
+
+TEST(WeightTally, MergeOfEmptyIsIdentity)
+{
+    WeightTally t;
+    t.add(2.5);
+    const double sum = t.sum();
+    const double sum_sq = t.sumSq();
+    t.merge(WeightTally{});
+    EXPECT_EQ(t.sum(), sum);
+    EXPECT_EQ(t.sumSq(), sum_sq);
+    EXPECT_EQ(t.count, 1u);
+
+    WeightTally empty;
+    empty.merge(t);
+    EXPECT_EQ(empty.sum(), sum);
+    EXPECT_EQ(empty.count, 1u);
+}
+
+TEST(WeightTally, SingleChunkMergeMatchesDirectAccumulation)
+{
+    // One merged chunk must reproduce direct accumulation bit for
+    // bit -- the single-shard degenerate case of the shard-merge
+    // identity.
+    WeightTally direct, chunk, merged;
+    const double ws[] = {0.25, 3.5, 1.0, 1e-12, 7.75};
+    for (double w : ws) {
+        direct.add(w);
+        chunk.add(w);
+    }
+    merged.merge(chunk);
+    EXPECT_EQ(merged.sum(), direct.sum());
+    EXPECT_EQ(merged.sumSq(), direct.sumSq());
+    EXPECT_EQ(merged.count, direct.count);
+}
+
+TEST(Estimate, ZeroChipsYieldsZeroEverything)
+{
+    const YieldEstimate e = fractionEstimate(WeightTally{},
+                                             WeightTally{});
+    EXPECT_EQ(e.value, 0.0);
+    EXPECT_EQ(e.stdErr, 0.0);
+    EXPECT_EQ(e.ess, 0.0);
+    EXPECT_EQ(e.chips, 0u);
+    EXPECT_TRUE(std::isinf(e.relStdErr()));
+
+    const YieldEstimate c = complementEstimate(WeightTally{},
+                                               WeightTally{});
+    EXPECT_EQ(c.value, 0.0);
+    EXPECT_EQ(c.chips, 0u);
+}
+
+TEST(Estimate, AllZeroWeightsAreDegenerateButFinite)
+{
+    WeightTally population, subset;
+    for (int i = 0; i < 8; ++i)
+        population.add(0.0);
+    for (int i = 0; i < 3; ++i)
+        subset.add(0.0);
+    const YieldEstimate e = fractionEstimate(population, subset);
+    EXPECT_EQ(e.value, 0.0);
+    EXPECT_EQ(e.stdErr, 0.0);
+    EXPECT_EQ(e.ess, 0.0); // no effective samples at all
+    EXPECT_EQ(e.chips, 8u);
+}
+
+TEST(Estimate, UnitWeightFractionIsTheExactCount)
+{
+    WeightTally population, subset;
+    for (int i = 0; i < 200; ++i) {
+        population.add(1.0);
+        if (i < 60)
+            subset.add(1.0);
+    }
+    const YieldEstimate e = fractionEstimate(population, subset);
+    EXPECT_EQ(e.value, 60.0 / 200.0);
+    // Binomial standard error under unit weights.
+    EXPECT_NEAR(e.stdErr, std::sqrt(0.3 * 0.7 / 200.0), 1e-15);
+    EXPECT_EQ(e.ess, 200.0);
+    EXPECT_EQ(e.chips, 200u);
+
+    const YieldEstimate c = complementEstimate(population, subset);
+    EXPECT_EQ(c.value, 1.0 - 60.0 / 200.0);
+    EXPECT_EQ(c.stdErr, e.stdErr);
+}
+
+TEST(Estimate, FullAndEmptySubsetsHaveZeroError)
+{
+    WeightTally population, none, all;
+    for (int i = 0; i < 50; ++i) {
+        population.add(1.0);
+        all.add(1.0);
+    }
+    const YieldEstimate e0 = fractionEstimate(population, none);
+    EXPECT_EQ(e0.value, 0.0);
+    EXPECT_EQ(e0.stdErr, 0.0);
+    const YieldEstimate e1 = fractionEstimate(population, all);
+    EXPECT_EQ(e1.value, 1.0);
+    // max(0, .) guards the last-ulp cancellation here.
+    EXPECT_EQ(e1.stdErr, 0.0);
+}
+
+TEST(Estimate, EssIsBoundedByChipsAndEqualOnlyForUniformWeights)
+{
+    WeightTally uniform, skewed;
+    for (int i = 0; i < 100; ++i)
+        uniform.add(2.0); // uniform but non-unit
+    for (int i = 0; i < 99; ++i)
+        skewed.add(0.01);
+    skewed.add(100.0);
+
+    const double ess_uniform =
+        fractionEstimate(uniform, WeightTally{}).ess;
+    const double ess_skewed =
+        fractionEstimate(skewed, WeightTally{}).ess;
+    // Kish ESS: scale-invariant, so uniform weights of any value give
+    // exactly n; skew collapses it toward 1.
+    EXPECT_NEAR(ess_uniform, 100.0, 1e-9);
+    EXPECT_LE(ess_skewed, 100.0);
+    EXPECT_GT(ess_skewed, 1.0);
+    EXPECT_LT(ess_skewed, 2.0); // one chip dominates
+
+    EXPECT_GT(fractionEstimate(skewed, skewed).value, 0.0);
+}
+
+TEST(Estimate, SingleChipPopulation)
+{
+    WeightTally population, subset;
+    population.add(1.0);
+    subset.add(1.0);
+    const YieldEstimate e = fractionEstimate(population, subset);
+    EXPECT_EQ(e.value, 1.0);
+    EXPECT_EQ(e.stdErr, 0.0);
+    EXPECT_EQ(e.ess, 1.0);
+    EXPECT_EQ(e.chips, 1u);
+    EXPECT_EQ(e.relStdErr(), 0.0);
+}
+
+TEST(Estimate, ComplementRoundTrips)
+{
+    WeightTally population, subset;
+    for (int i = 0; i < 10; ++i)
+        population.add(1.0);
+    for (int i = 0; i < 4; ++i)
+        subset.add(1.0);
+    const YieldEstimate e = fractionEstimate(population, subset);
+    const YieldEstimate c = e.complement();
+    EXPECT_DOUBLE_EQ(c.value, 1.0 - e.value);
+    EXPECT_EQ(c.stdErr, e.stdErr);
+    EXPECT_EQ(c.ess, e.ess);
+    EXPECT_EQ(c.chips, e.chips);
+    const YieldEstimate cc = c.complement();
+    EXPECT_DOUBLE_EQ(cc.value, e.value);
+}
+
+TEST(EstimateDeath, SubsetLargerThanPopulationPanics)
+{
+    WeightTally population, subset;
+    population.add(1.0);
+    subset.add(1.0);
+    subset.add(1.0);
+    EXPECT_DEATH((void)fractionEstimate(population, subset),
+                 "subset larger");
+    EXPECT_DEATH((void)complementEstimate(population, subset),
+                 "subset larger");
+}
+
+} // namespace
+} // namespace yac

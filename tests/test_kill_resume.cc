@@ -1,0 +1,250 @@
+/**
+ * @file
+ * The kill/resume proof, through the real subprocess machinery: yacd
+ * workers are SIGKILLed at randomized points -- between chunks, in
+ * the middle of a checkpoint write, after the write but before the
+ * atomic rename -- and the resumed campaign must still print a FINAL
+ * line byte-identical to the uninterrupted single-process reference.
+ *
+ * The yacd binary path arrives via the YACD_PATH compile definition
+ * ($<TARGET_FILE:yacd> in tests/CMakeLists.txt). Crash points are
+ * driven by the deterministic env hooks documented in
+ * src/service/worker.hh and checkpoint.hh, plus one case where the
+ * TEST delivers a real external SIGKILL at a wall-clock-random point.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "service/checkpoint.hh"
+#include "service/shard_campaign.hh"
+#include "service/worker.hh"
+
+namespace yac
+{
+namespace
+{
+
+using namespace yac::service;
+
+// Fixed spec flags: explicit limits/edges so no pilot run is needed
+// and every invocation resolves the identical spec.
+const char *kSpecFlags =
+    "--chips 512 --seed 7 --threads 1 --delay-limit-ps 235 "
+    "--leakage-limit-mw 60 --bin-edges 180,200,220,240,260";
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) / name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+/** Run a shell command, capture stdout, require exit status 0. */
+std::string
+runCommand(const std::string &command)
+{
+    FILE *pipe = ::popen(command.c_str(), "r");
+    EXPECT_NE(pipe, nullptr) << command;
+    if (pipe == nullptr)
+        return "";
+    std::string output;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0)
+        output.append(buf, n);
+    const int status = ::pclose(pipe);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << command << "\n" << output;
+    return output;
+}
+
+/** The byte-diffable FINAL line of a yacd run's output. */
+std::string
+finalLine(const std::string &output)
+{
+    const std::size_t at = output.find("FINAL ");
+    EXPECT_NE(at, std::string::npos) << output;
+    if (at == std::string::npos)
+        return "";
+    const std::size_t end = output.find('\n', at);
+    return output.substr(at, end == std::string::npos ? end
+                                                      : end - at);
+}
+
+/** The uninterrupted single-process reference line (computed once). */
+const std::string &
+referenceFinal()
+{
+    static const std::string line = finalLine(runCommand(
+        std::string(YACD_PATH) + " single " + kSpecFlags));
+    return line;
+}
+
+std::string
+runFlags(const std::string &state_dir)
+{
+    return std::string(kSpecFlags) + " --state-dir " + state_dir +
+           " --shards 2 --checkpoint-every 1 --worker-threads 1 " +
+           "--max-respawns 64";
+}
+
+TEST(KillResume, ShardedRunMatchesSingleProcess)
+{
+    const std::string out = runCommand(std::string(YACD_PATH) +
+                                       " run " + kSpecFlags +
+                                       " --state-dir " +
+                                       freshDir("plain") +
+                                       " --shards 3");
+    EXPECT_EQ(finalLine(out), referenceFinal());
+}
+
+TEST(KillResume, SigkillAfterEveryChunkIsByteIdentical)
+{
+    // Every worker incarnation dies via SIGKILL after one newly
+    // evaluated chunk; the orchestrator respawns each shard until it
+    // completes. The harshest schedule: progress advances one durable
+    // chunk per process lifetime.
+    const std::string out = runCommand(
+        "YAC_CRASH_AFTER_CHUNKS=1 " + std::string(YACD_PATH) +
+        " run " + runFlags(freshDir("crash1")));
+    EXPECT_EQ(finalLine(out), referenceFinal());
+}
+
+TEST(KillResume, SigkillMidCheckpointWriteIsByteIdentical)
+{
+    // The first checkpoint save dies halfway through writing the
+    // temp file (flushed, no checksum, no rename). The torn temp file
+    // must be invisible to the resumed worker.
+    const std::string dir = freshDir("midwrite");
+    const std::string out = runCommand(
+        "YAC_CHECKPOINT_CRASH=midwrite YAC_CHECKPOINT_CRASH_SENTINEL=" +
+        dir + "/sentinel " + std::string(YACD_PATH) + " run " +
+        runFlags(dir));
+    EXPECT_EQ(finalLine(out), referenceFinal());
+}
+
+TEST(KillResume, SigkillBeforeRenameIsByteIdentical)
+{
+    // A complete temp file exists but was never renamed into place:
+    // the previous published checkpoint (or a cold start) wins.
+    const std::string dir = freshDir("prerename");
+    const std::string out = runCommand(
+        "YAC_CHECKPOINT_CRASH=prerename "
+        "YAC_CHECKPOINT_CRASH_SENTINEL=" +
+        dir + "/sentinel " + std::string(YACD_PATH) + " run " +
+        runFlags(dir));
+    EXPECT_EQ(finalLine(out), referenceFinal());
+}
+
+TEST(KillResume, ExternalSigkillAtRandomPointsThenResume)
+{
+    // A real asynchronous kill: the TEST SIGKILLs a `yacd worker`
+    // subprocess after a wall-clock delay (so the crash point inside
+    // the chunk loop is genuinely nondeterministic), then finishes
+    // the shard in-process and checks the durable result bit for bit
+    // against a fresh evaluation.
+    ShardCampaignSpec spec;
+    spec.numChips = 1024; // 16 chunks
+    spec.seed = 7;
+    spec.delayLimitPs = 235.0;
+    spec.leakageLimitMw = 60.0;
+    spec.binEdges = {180.0, 200.0, 220.0, 240.0, 260.0};
+
+    const ShardEvaluator reference(spec);
+    for (const useconds_t delay_us : {0u, 4'000u, 30'000u}) {
+        const std::string dir =
+            freshDir("extkill-" + std::to_string(delay_us));
+        const std::string ckpt = dir + "/shard.ckpt";
+
+        const pid_t pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            // Child: one worker over the whole range, checkpointing
+            // every chunk, quiet.
+            if (std::freopen("/dev/null", "w", stdout) == nullptr)
+                ::_exit(126);
+            ::execl(YACD_PATH, YACD_PATH, "worker", "--chips", "1024",
+                    "--seed", "7", "--delay-limit-ps", "235",
+                    "--leakage-limit-mw", "60", "--bin-edges",
+                    "180,200,220,240,260", "--checkpoint",
+                    ckpt.c_str(), "--chunk-begin", "0", "--chunk-end",
+                    "16", "--checkpoint-every", "1", "--threads", "1",
+                    nullptr);
+            ::_exit(127);
+        }
+        ::usleep(delay_us);
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        // Either we caught it mid-run (killed) or it had already
+        // finished; both are valid crash points.
+
+        WorkerTask task;
+        task.checkpointPath = ckpt;
+        task.chunkBegin = 0;
+        task.chunkEnd = 16;
+        task.checkpointEveryChunks = 4;
+        const WorkerOutcome out = runWorker(spec, task);
+        EXPECT_TRUE(out.complete);
+        EXPECT_EQ(out.resumedChunks + out.newChunks, 16u)
+            << "resumed " << out.resumedChunks << ", new "
+            << out.newChunks;
+
+        ShardCheckpoint final_state;
+        ASSERT_EQ(loadCheckpoint(ckpt, spec.contentHash(),
+                                 &final_state),
+                  CheckpointStatus::Ok);
+        ASSERT_EQ(final_state.accums.size(), 16u);
+        for (std::size_t i = 0; i < 16; ++i) {
+            const ChunkAccum expected = reference.evaluateChunk(i);
+            EXPECT_EQ(std::memcmp(&final_state.accums[i], &expected,
+                                  sizeof expected),
+                      0)
+                << "chunk " << i << " differs after external kill at "
+                << delay_us << "us";
+        }
+    }
+}
+
+TEST(KillResume, ProgressLinesStreamDuringCrashLoop)
+{
+    // The streaming side: with --progress the orchestrator prints
+    // monotonically growing durable-chunk counts even while workers
+    // keep dying.
+    const std::string out = runCommand(
+        "YAC_CRASH_AFTER_CHUNKS=2 " + std::string(YACD_PATH) +
+        " run " + runFlags(freshDir("progress")) + " --progress 1");
+    EXPECT_EQ(finalLine(out), referenceFinal());
+
+    std::size_t last = 0;
+    bool any = false;
+    std::size_t pos = 0;
+    while ((pos = out.find("PROGRESS chunks=", pos)) !=
+           std::string::npos) {
+        pos += std::strlen("PROGRESS chunks=");
+        const std::size_t done = std::strtoull(
+            out.c_str() + pos, nullptr, 10);
+        EXPECT_GE(done, last) << out;
+        last = done;
+        any = true;
+    }
+    EXPECT_TRUE(any) << out;
+    EXPECT_EQ(last, 8u) << out; // 512 chips = 8 chunks, all durable
+}
+
+} // namespace
+} // namespace yac

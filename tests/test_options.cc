@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Direct OptionParser unit coverage: both flag spellings, typed
+ * value parsing and its error paths (--simd/--sampling/--threads and
+ * friends), unknown-flag rejection, and --help behavior. Error paths
+ * go through yac_fatal (exit status 1), so they are exercised as
+ * death tests.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/options.hh"
+
+namespace yac
+{
+namespace
+{
+
+using Args = std::vector<std::string>;
+
+/** yac_fatal exits with status 1; its message goes to stderr. */
+#define EXPECT_FATAL(stmt, message_re)                                 \
+    EXPECT_EXIT(stmt, ::testing::ExitedWithCode(1), message_re)
+
+TEST(Options, BothFlagSpellingsParse)
+{
+    std::size_t n = 0;
+    std::string s;
+    double d = 0.0;
+    OptionParser parser("test");
+    parser.add("num", "a number", &n);
+    parser.add("str", "a string", &s);
+    parser.add("dbl", "a double", &d);
+
+    parser.parse(Args{"--num=42", "--str", "hello", "--dbl=2.5"});
+    EXPECT_EQ(n, 42u);
+    EXPECT_EQ(s, "hello");
+    EXPECT_DOUBLE_EQ(d, 2.5);
+
+    parser.parse(Args{"--num", "7", "--str=eq-form", "--dbl", "-1e3"});
+    EXPECT_EQ(n, 7u);
+    EXPECT_EQ(s, "eq-form");
+    EXPECT_DOUBLE_EQ(d, -1000.0);
+}
+
+TEST(Options, LaterFlagsOverrideEarlierOnes)
+{
+    std::size_t n = 0;
+    OptionParser parser("test");
+    parser.add("num", "a number", &n);
+    parser.parse(Args{"--num=1", "--num=2", "--num=3"});
+    EXPECT_EQ(n, 3u);
+}
+
+TEST(OptionsDeath, UnknownFlagIsFatal)
+{
+    OptionParser parser("test");
+    std::size_t n = 0;
+    parser.add("num", "a number", &n);
+    EXPECT_FATAL(parser.parse(Args{"--typo=1"}), "unknown flag");
+    EXPECT_FATAL(parser.parse(Args{"not-a-flag"}),
+                 "unknown argument");
+}
+
+TEST(OptionsDeath, MissingValueIsFatal)
+{
+    OptionParser parser("test");
+    std::size_t n = 0;
+    parser.add("num", "a number", &n);
+    EXPECT_FATAL(parser.parse(Args{"--num"}), "wants a value");
+}
+
+TEST(OptionsDeath, BadTypedValuesAreFatal)
+{
+    OptionParser parser("test");
+    std::size_t n = 0;
+    double d = 0.0;
+    std::string s;
+    parser.add("num", "a number", &n, /*min=*/2);
+    parser.add("dbl", "a double", &d);
+    parser.add("str", "a string", &s);
+
+    EXPECT_FATAL(parser.parse(Args{"--num=abc"}), "wants an integer");
+    EXPECT_FATAL(parser.parse(Args{"--num=1"}),
+                 "wants an integer >= 2"); // below the minimum
+    EXPECT_FATAL(parser.parse(Args{"--num=12junk"}),
+                 "wants an integer");
+    EXPECT_FATAL(parser.parse(Args{"--dbl=fast"}),
+                 "wants a finite number");
+    EXPECT_FATAL(parser.parse(Args{"--dbl=inf"}),
+                 "wants a finite number");
+    EXPECT_FATAL(parser.parse(Args{"--str="}), "non-empty");
+}
+
+TEST(Options, EmptyStringAllowedWhenOptedIn)
+{
+    OptionParser parser("test");
+    std::string s = "previous";
+    parser.add("str", "a string", &s, /*allow_empty=*/true);
+    parser.parse(Args{"--str="});
+    EXPECT_EQ(s, "");
+}
+
+TEST(OptionsDeath, HelpPrintsAndExitsZero)
+{
+    OptionParser parser("usage-line-for-help");
+    std::size_t n = 0;
+    parser.add("num", "the number of things", &n);
+    EXPECT_EXIT(parser.parse(Args{"--help"}),
+                ::testing::ExitedWithCode(0), "");
+    EXPECT_EXIT(parser.parse(Args{"-h"}),
+                ::testing::ExitedWithCode(0), "");
+}
+
+TEST(Options, CampaignOptionsParseAllKnobs)
+{
+    CampaignOptions opts;
+    OptionParser parser("test");
+    addCampaignOptions(parser, opts);
+    parser.parse(Args{"--chips=512", "--seed=99", "--threads=4",
+                      "--sampling=tilted", "--tilt=1.5",
+                      "--sigma-scale=1.2", "--simd=off",
+                      "--out-dir=elsewhere"});
+    EXPECT_EQ(opts.chips, 512u);
+    EXPECT_EQ(opts.seed, 99u);
+    EXPECT_EQ(opts.threads, 4u);
+    EXPECT_EQ(opts.sampling, "tilted");
+    EXPECT_DOUBLE_EQ(opts.tilt, 1.5);
+    EXPECT_DOUBLE_EQ(opts.sigmaScale, 1.2);
+    EXPECT_EQ(opts.simd, "off");
+    EXPECT_EQ(opts.outDir, "elsewhere");
+}
+
+TEST(OptionsDeath, CampaignOptionErrorPathsAreFatal)
+{
+    CampaignOptions opts;
+    OptionParser parser("test");
+    addCampaignOptions(parser, opts);
+    // Enumerated values reject typos eagerly, at the flag.
+    EXPECT_FATAL(parser.parse(Args{"--sampling=clever"}),
+                 "naive or tilted");
+    EXPECT_FATAL(parser.parse(Args{"--simd=sse9"}), "");
+    // A 1-chip "population" cannot carry statistics.
+    EXPECT_FATAL(parser.parse(Args{"--chips=1"}), "integer >= 2");
+    EXPECT_FATAL(parser.parse(Args{"--threads=many"}), "integer");
+}
+
+TEST(OptionsDeath, DuplicateFlagRegistrationPanics)
+{
+    OptionParser parser("test");
+    std::size_t n = 0;
+    parser.add("num", "a number", &n);
+    // Registering the same flag twice is a programming error: panic
+    // (abort), not fatal.
+    EXPECT_DEATH(parser.add("num", "again", &n), "duplicate flag");
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Orchestrator and worker unit tests (in-process mode): shard plans
+ * tile the campaign, an orchestrated run is byte-identical to the
+ * single-process reference, graceful interruption + resume loses
+ * nothing, corrupt or foreign durable state restarts cold without
+ * poisoning the result, and progress streaming is monotonic. The
+ * subprocess half of the story lives in test_kill_resume.cc.
+ */
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/checkpoint.hh"
+#include "service/orchestrator.hh"
+#include "service/shard_campaign.hh"
+#include "service/worker.hh"
+
+namespace yac
+{
+namespace
+{
+
+using namespace yac::service;
+
+ShardCampaignSpec
+testSpec(std::size_t chips = 200, std::uint64_t seed = 42)
+{
+    ShardCampaignSpec spec;
+    spec.numChips = chips;
+    spec.seed = seed;
+    spec.delayLimitPs = 235.0;
+    spec.leakageLimitMw = 60.0;
+    spec.binEdges = {180.0, 200.0, 220.0, 240.0, 260.0};
+    return spec;
+}
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) / name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+bool
+sameSummary(const CampaignSummary &a, const CampaignSummary &b)
+{
+    return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+TEST(Orchestrator, PlanTilesTheCampaign)
+{
+    const ShardCampaignSpec spec = testSpec(450); // 8 chunks
+    for (const std::size_t shards : {1u, 2u, 3u, 5u, 8u, 100u}) {
+        OrchestratorConfig config;
+        config.shards = shards;
+        config.stateDir = freshDir("plan");
+        const Orchestrator orch(spec, config);
+        const std::vector<ShardPlan> &plan = orch.plan();
+        ASSERT_FALSE(plan.empty());
+        EXPECT_LE(plan.size(), spec.numChunks());
+        EXPECT_EQ(plan.front().chunkBegin, 0u);
+        EXPECT_EQ(plan.back().chunkEnd, spec.numChunks());
+        for (std::size_t i = 0; i < plan.size(); ++i) {
+            EXPECT_EQ(plan[i].index, i);
+            EXPECT_LT(plan[i].chunkBegin, plan[i].chunkEnd);
+            if (i > 0)
+                EXPECT_EQ(plan[i].chunkBegin, plan[i - 1].chunkEnd);
+            EXPECT_FALSE(plan[i].checkpointPath.empty());
+        }
+    }
+}
+
+TEST(Orchestrator, InProcessRunMatchesSingleProcess)
+{
+    const ShardCampaignSpec spec = testSpec();
+    const CampaignSummary expected = runSingleProcess(spec);
+
+    OrchestratorConfig config;
+    config.shards = 3;
+    config.stateDir = freshDir("inproc");
+    std::vector<std::size_t> chunks_done;
+    config.onProgress = [&](const CampaignProgress &p) {
+        chunks_done.push_back(p.chunksDone);
+        EXPECT_EQ(p.chunksTotal, spec.numChunks());
+        EXPECT_EQ(p.partial.chunks, p.chunksDone);
+    };
+    Orchestrator orch(spec, config);
+    const CampaignSummary actual = orch.run();
+
+    EXPECT_TRUE(sameSummary(actual, expected));
+    ASSERT_FALSE(chunks_done.empty());
+    EXPECT_TRUE(std::is_sorted(chunks_done.begin(), chunks_done.end()));
+    EXPECT_EQ(chunks_done.back(), spec.numChunks());
+}
+
+TEST(Orchestrator, RerunReusesDurableState)
+{
+    const ShardCampaignSpec spec = testSpec();
+    OrchestratorConfig config;
+    config.shards = 2;
+    config.stateDir = freshDir("rerun");
+    Orchestrator first(spec, config);
+    const CampaignSummary a = first.run();
+
+    // A second orchestrator over the same state dir resumes complete
+    // shards: zero chunks are re-evaluated.
+    std::size_t streamed_initial = 0;
+    config.onProgress = [&](const CampaignProgress &p) {
+        if (streamed_initial == 0)
+            streamed_initial = p.chunksDone;
+    };
+    Orchestrator second(spec, config);
+    const CampaignSummary b = second.run();
+    EXPECT_TRUE(sameSummary(a, b));
+    EXPECT_EQ(streamed_initial, spec.numChunks());
+}
+
+TEST(Worker, GracefulStopAndResumeIsLossless)
+{
+    const ShardCampaignSpec spec = testSpec(320); // 5 chunks
+    const std::string dir = freshDir("stop");
+    WorkerTask task;
+    task.checkpointPath = dir + "/shard.ckpt";
+    task.chunkBegin = 1;
+    task.chunkEnd = 5;
+    task.checkpointEveryChunks = 1;
+    task.stopAfterChunks = 1;
+
+    // One chunk per invocation: 4 invocations to finish the range,
+    // each resuming exactly what the previous ones left behind.
+    std::size_t invocations = 0;
+    for (;;) {
+        const WorkerOutcome out = runWorker(spec, task);
+        ++invocations;
+        EXPECT_EQ(out.resumedChunks, invocations - 1);
+        if (out.complete)
+            break;
+        EXPECT_EQ(out.newChunks, 1u);
+        ASSERT_LT(invocations, 10u);
+    }
+    EXPECT_EQ(invocations, 4u);
+
+    ShardCheckpoint ckpt;
+    ASSERT_EQ(loadCheckpoint(task.checkpointPath, spec.contentHash(),
+                             &ckpt),
+              CheckpointStatus::Ok);
+    ASSERT_EQ(ckpt.accums.size(), 4u);
+    const ShardEvaluator reference(spec);
+    for (std::size_t i = 0; i < ckpt.accums.size(); ++i) {
+        const ChunkAccum expected = reference.evaluateChunk(1 + i);
+        EXPECT_EQ(std::memcmp(&ckpt.accums[i], &expected,
+                              sizeof expected),
+                  0)
+            << "resumed chunk " << 1 + i << " differs";
+    }
+}
+
+TEST(Worker, CorruptCheckpointRestartsColdAndCorrect)
+{
+    const ShardCampaignSpec spec = testSpec();
+    const std::string dir = freshDir("corrupt");
+    WorkerTask task;
+    task.checkpointPath = dir + "/shard.ckpt";
+    task.chunkBegin = 0;
+    task.chunkEnd = 2;
+    {
+        std::ofstream garbage(task.checkpointPath, std::ios::binary);
+        garbage << "definitely not a checkpoint";
+    }
+    const WorkerOutcome out = runWorker(spec, task);
+    EXPECT_EQ(out.resumedChunks, 0u);
+    EXPECT_EQ(out.newChunks, 2u);
+    EXPECT_TRUE(out.complete);
+
+    ShardCheckpoint ckpt;
+    ASSERT_EQ(loadCheckpoint(task.checkpointPath, spec.contentHash(),
+                             &ckpt),
+              CheckpointStatus::Ok);
+    const ShardEvaluator reference(spec);
+    for (std::size_t i = 0; i < 2; ++i) {
+        const ChunkAccum expected = reference.evaluateChunk(i);
+        EXPECT_EQ(std::memcmp(&ckpt.accums[i], &expected,
+                              sizeof expected),
+                  0);
+    }
+}
+
+TEST(Worker, ForeignCampaignCheckpointIsRejected)
+{
+    const ShardCampaignSpec spec = testSpec(200, /*seed=*/1);
+    ShardCampaignSpec other = spec;
+    other.seed = 2; // different campaign, same shape
+    const std::string dir = freshDir("foreign");
+    WorkerTask task;
+    task.checkpointPath = dir + "/shard.ckpt";
+    task.chunkBegin = 0;
+    task.chunkEnd = 2;
+
+    ASSERT_TRUE(runWorker(other, task).complete);
+    // Same path, same range -- but the other campaign's state. The
+    // worker must not resume it.
+    const WorkerOutcome out = runWorker(spec, task);
+    EXPECT_EQ(out.resumedChunks, 0u);
+    EXPECT_EQ(out.newChunks, 2u);
+
+    ShardCheckpoint ckpt;
+    ASSERT_EQ(loadCheckpoint(task.checkpointPath, spec.contentHash(),
+                             &ckpt),
+              CheckpointStatus::Ok);
+    const ShardEvaluator reference(spec);
+    const ChunkAccum expected = reference.evaluateChunk(0);
+    EXPECT_EQ(std::memcmp(&ckpt.accums[0], &expected, sizeof expected),
+              0);
+}
+
+TEST(Orchestrator, PartialWorkerStateIsResumedNotRedone)
+{
+    const ShardCampaignSpec spec = testSpec(450); // 8 chunks
+    OrchestratorConfig config;
+    config.shards = 2;
+    config.stateDir = freshDir("partial");
+    Orchestrator orch(spec, config);
+
+    // Pre-run part of shard 0 by hand, as an interrupted previous
+    // incarnation would have left it.
+    const ShardPlan &shard0 = orch.plan().front();
+    WorkerTask task;
+    task.checkpointPath = shard0.checkpointPath;
+    task.chunkBegin = shard0.chunkBegin;
+    task.chunkEnd = shard0.chunkEnd;
+    task.checkpointEveryChunks = 1;
+    task.stopAfterChunks = 2;
+    ASSERT_FALSE(runWorker(spec, task).complete);
+
+    std::size_t first_streamed = spec.numChunks() + 1;
+    config.onProgress = [&](const CampaignProgress &p) {
+        first_streamed = std::min(first_streamed, p.chunksDone);
+    };
+    Orchestrator resumed(spec, config);
+    const CampaignSummary actual = resumed.run();
+    EXPECT_TRUE(sameSummary(actual, runSingleProcess(spec)));
+    // The initial stream already contained the 2 durable chunks.
+    EXPECT_EQ(first_streamed, 2u);
+}
+
+TEST(Orchestrator, SummaryEstimatesConvergeWithChips)
+{
+    // Not a byte-identity test: sanity of the streamed numbers. More
+    // chips => smaller standard error, ESS == chips under naive
+    // sampling.
+    const CampaignSummary small = runSingleProcess(testSpec(128));
+    const CampaignSummary large = runSingleProcess(testSpec(1024));
+    EXPECT_EQ(small.chips, 128u);
+    EXPECT_EQ(large.chips, 1024u);
+    EXPECT_GT(small.baseYield.stdErr, large.baseYield.stdErr);
+    EXPECT_DOUBLE_EQ(large.baseYield.ess, 1024.0);
+    EXPECT_GT(large.baseYield.value, 0.0);
+    EXPECT_LE(large.baseYield.value, 1.0);
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,382 @@
+/**
+ * @file
+ * yacd -- the sharded campaign daemon: the command-line front end to
+ * the src/service orchestrator.
+ *
+ *   yacd run    [spec flags] [--state-dir D] [--shards N]
+ *               [--max-workers N] [--checkpoint-every N]
+ *               [--worker self|inproc|PATH] [--worker-threads N]
+ *               [--max-respawns N] [--progress 1]
+ *   yacd worker (internal: one shard; spawned by `yacd run`)
+ *   yacd single [spec flags]   single-process reference run
+ *   yacd help
+ *
+ * Spec flags (shared by run/single): --chips --seed --sampling --tilt
+ * --sigma-scale --simd --policy, or explicit --delay-limit-ps /
+ * --leakage-limit-mw / --bin-edges overriding the policy derivation.
+ *
+ * `run` and `single` print the same `FINAL ...` line with every
+ * number at %.17g round-trip precision; the kill/resume tests and the
+ * CI resume-smoke job diff those lines byte for byte. Limits left at
+ * 0 are derived from a pilot MonteCarlo run of the same spec -- a
+ * deterministic function of the spec, so run and single derive
+ * identical limits without coordinating.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "yac.hh"
+
+using namespace yac;
+using namespace yac::service;
+
+namespace
+{
+
+using Argv = std::vector<std::string>;
+
+/** Spec-building flags shared by run/single (worker gets the already
+ *  derived spec on its command line instead). */
+struct SpecFlags
+{
+    CampaignOptions opts;
+    std::string policy = "nominal";
+    double delayLimitPs = 0.0;   //!< > 0 overrides the policy
+    double leakageLimitMw = 0.0; //!< > 0 overrides the policy
+    std::string binEdges;        //!< comma list; empty = cycle budgets
+};
+
+void
+addSpecFlags(OptionParser &parser, SpecFlags &flags)
+{
+    addCampaignOptions(parser, flags.opts);
+    parser.add("policy",
+               "constraint policy deriving unset limits "
+               "(nominal|relaxed|strict)",
+               &flags.policy);
+    parser.add("delay-limit-ps", "explicit delay limit [ps]; 0 derives",
+               &flags.delayLimitPs);
+    parser.add("leakage-limit-mw",
+               "explicit leakage limit [mW]; 0 derives",
+               &flags.leakageLimitMw);
+    parser.add("bin-edges",
+               "comma-separated upper delay edges [ps] of the first 5 "
+               "histogram bins; empty derives from the cycle budgets",
+               &flags.binEdges, /*allow_empty=*/true);
+}
+
+std::array<double, kDelayBins - 1>
+parseBinEdges(const std::string &text)
+{
+    std::array<double, kDelayBins - 1> edges{};
+    const char *p = text.c_str();
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        char *end = nullptr;
+        edges[i] = std::strtod(p, &end);
+        if (end == p)
+            yac_fatal("--bin-edges wants ", edges.size(),
+                      " comma-separated numbers, got '", text, "'");
+        p = end;
+        if (*p == ',')
+            ++p;
+        else if (*p != '\0' || i + 1 != edges.size())
+            yac_fatal("--bin-edges wants ", edges.size(),
+                      " comma-separated numbers, got '", text, "'");
+    }
+    return edges;
+}
+
+ConstraintPolicy
+policyByName(const std::string &name)
+{
+    if (name == "nominal")
+        return ConstraintPolicy::nominal();
+    if (name == "relaxed")
+        return ConstraintPolicy::relaxed();
+    if (name == "strict")
+        return ConstraintPolicy::strict();
+    yac_fatal("unknown policy '", name,
+              "' (nominal | relaxed | strict)");
+}
+
+/**
+ * Resolve the full campaign spec. Unset limits come from a pilot
+ * MonteCarlo run of the same population -- deterministic, so every
+ * invocation (run, single, CI) lands on bit-identical limits.
+ */
+ShardCampaignSpec
+specFromFlags(const SpecFlags &flags)
+{
+    ShardCampaignSpec spec;
+    spec.numChips = flags.opts.chips;
+    spec.seed = flags.opts.seed;
+    spec.sampling = samplingPlanFromName(
+        flags.opts.sampling, flags.opts.tilt, flags.opts.sigmaScale);
+    spec.simd = vecmath::simdModeFromName(flags.opts.simd);
+    spec.delayLimitPs = flags.delayLimitPs;
+    spec.leakageLimitMw = flags.leakageLimitMw;
+
+    if (spec.delayLimitPs <= 0.0 || spec.leakageLimitMw <= 0.0) {
+        const ConstraintPolicy policy = policyByName(flags.policy);
+        MonteCarlo mc;
+        const MonteCarloResult pilot =
+            mc.run(campaignFromOptions(flags.opts));
+        const YieldConstraints c = pilot.constraints(policy);
+        if (spec.delayLimitPs <= 0.0)
+            spec.delayLimitPs = c.delayLimitPs;
+        if (spec.leakageLimitMw <= 0.0)
+            spec.leakageLimitMw = c.leakageLimitMw;
+        std::printf("limits (%s policy): delay %.17g ps, "
+                    "leakage %.17g mW\n",
+                    policy.name.c_str(), spec.delayLimitPs,
+                    spec.leakageLimitMw);
+    }
+
+    if (!flags.binEdges.empty()) {
+        spec.binEdges = parseBinEdges(flags.binEdges);
+    } else {
+        // Default delay histogram: the latency budgets of 4..8-cycle
+        // accesses, so the bins are the sellable speed grades.
+        CycleMapping mapping;
+        mapping.delayLimitPs = spec.delayLimitPs;
+        for (std::size_t b = 0; b < spec.binEdges.size(); ++b)
+            spec.binEdges[b] = mapping.latencyBudget(
+                mapping.baseCycles + static_cast<int>(b));
+    }
+    return spec;
+}
+
+/** The byte-diffable result line; %.17g round-trips every double. */
+void
+printFinal(const CampaignSummary &s)
+{
+    std::printf("FINAL chips=%llu chunks=%llu",
+                static_cast<unsigned long long>(s.chips),
+                static_cast<unsigned long long>(s.chunks));
+    std::printf(" yield=%.17g se=%.17g ess=%.17g", s.baseYield.value,
+                s.baseYield.stdErr, s.baseYield.ess);
+    std::printf(" loss_leak=%.17g", s.lossLeakage.value);
+    for (std::size_t k = 0; k < s.lossDelay.size(); ++k)
+        std::printf(" loss_delay%zu=%.17g", k + 1,
+                    s.lossDelay[k].value);
+    for (std::size_t b = 0; b < s.delayBins.size(); ++b)
+        std::printf(" bin%zu=%.17g", b, s.delayBins[b].value);
+    std::printf(" wsum=%.17g wsqsum=%.17g", s.weightSum,
+                s.weightSqSum);
+    std::printf(" reg=%.17g/%.17g/%.17g/%.17g", s.regular.delayMean,
+                s.regular.delaySigma, s.regular.leakMean,
+                s.regular.leakSigma);
+    std::printf(" hor=%.17g/%.17g/%.17g/%.17g\n",
+                s.horizontal.delayMean, s.horizontal.delaySigma,
+                s.horizontal.leakMean, s.horizontal.leakSigma);
+}
+
+std::string
+selfExePath()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n <= 0)
+        yac_fatal("cannot resolve /proc/self/exe; pass --worker PATH");
+    buf[n] = '\0';
+    return buf;
+}
+
+int
+cmdRun(const Argv &args)
+{
+    SpecFlags flags;
+    std::string state_dir = "out/yacd";
+    std::size_t shards = 0;
+    std::size_t max_workers = 0;
+    std::size_t checkpoint_every = 8;
+    std::string worker = "self";
+    std::size_t worker_threads = 1;
+    std::size_t max_respawns = 100;
+    std::size_t progress = 0;
+    OptionParser parser(
+        "yacd run [spec flags] [--state-dir D=out/yacd] [--shards N] "
+        "[--max-workers N] [--checkpoint-every N=8] "
+        "[--worker self|inproc|PATH] [--worker-threads N=1] "
+        "[--max-respawns N=100] [--progress 1]");
+    addSpecFlags(parser, flags);
+    parser.add("state-dir", "campaign checkpoint directory",
+               &state_dir);
+    parser.add("shards", "shard count (0 = one per pool thread)",
+               &shards);
+    parser.add("max-workers",
+               "max concurrent worker processes (0 = all shards)",
+               &max_workers);
+    parser.add("checkpoint-every", "chunks per durable checkpoint",
+               &checkpoint_every, 1);
+    parser.add("worker",
+               "worker mode: self (fork/exec this binary), inproc, or "
+               "an explicit yacd path",
+               &worker);
+    parser.add("worker-threads", "--threads for spawned workers",
+               &worker_threads, 1);
+    parser.add("max-respawns", "respawn budget per shard",
+               &max_respawns);
+    parser.add("progress", "1 = print PROGRESS lines while running",
+               &progress);
+    parser.parse(args);
+    if (flags.opts.threads > 0)
+        parallel::setThreads(flags.opts.threads);
+    trace::Session session(flags.opts.traceOut);
+
+    const ShardCampaignSpec spec = specFromFlags(flags);
+    OrchestratorConfig config;
+    config.stateDir = state_dir;
+    config.shards = shards;
+    config.maxWorkers = max_workers;
+    config.checkpointEveryChunks = checkpoint_every;
+    config.workerThreads = worker_threads;
+    config.maxRespawnsPerShard = max_respawns;
+    if (worker == "inproc")
+        config.workerBinary.clear();
+    else if (worker == "self")
+        config.workerBinary = selfExePath();
+    else
+        config.workerBinary = worker;
+    if (progress != 0) {
+        config.onProgress = [](const CampaignProgress &p) {
+            std::printf("PROGRESS chunks=%zu/%zu chips=%zu "
+                        "yield=%.9g se=%.3g\n",
+                        p.chunksDone, p.chunksTotal, p.chipsDone,
+                        p.partial.baseYield.value,
+                        p.partial.baseYield.stdErr);
+            std::fflush(stdout);
+        };
+    }
+
+    Orchestrator orchestrator(spec, std::move(config));
+    std::printf("%zu chips in %zu chunks across %zu shards (%s)\n",
+                spec.numChips, spec.numChunks(),
+                orchestrator.plan().size(),
+                worker == "inproc" ? "in-process" : "subprocess");
+    printFinal(orchestrator.run());
+    return 0;
+}
+
+int
+cmdSingle(const Argv &args)
+{
+    SpecFlags flags;
+    OptionParser parser("yacd single [spec flags]");
+    addSpecFlags(parser, flags);
+    parser.parse(args);
+    if (flags.opts.threads > 0)
+        parallel::setThreads(flags.opts.threads);
+    trace::Session session(flags.opts.traceOut);
+    printFinal(runSingleProcess(specFromFlags(flags)));
+    return 0;
+}
+
+int
+cmdWorker(const Argv &args)
+{
+    // The subprocess side of workerCommandLine(): every spec field
+    // arrives fully derived, at %.17g round-trip precision.
+    CampaignOptions opts;
+    double delay_limit = 0.0;
+    double leak_limit = 0.0;
+    std::string bin_edges;
+    std::string checkpoint;
+    std::size_t chunk_begin = 0;
+    std::size_t chunk_end = 0;
+    std::size_t checkpoint_every = 8;
+    std::size_t stop_after = 0;
+    OptionParser parser("yacd worker (internal; spawned by yacd run)");
+    addCampaignOptions(parser, opts);
+    parser.add("delay-limit-ps", "derived delay limit [ps]",
+               &delay_limit);
+    parser.add("leakage-limit-mw", "derived leakage limit [mW]",
+               &leak_limit);
+    parser.add("bin-edges", "derived histogram edges", &bin_edges);
+    parser.add("checkpoint", "shard checkpoint file", &checkpoint);
+    parser.add("chunk-begin", "first chunk of the shard",
+               &chunk_begin);
+    parser.add("chunk-end", "one past the last chunk", &chunk_end);
+    parser.add("checkpoint-every", "chunks per durable checkpoint",
+               &checkpoint_every, 1);
+    parser.add("stop-after",
+               "stop gracefully after N new chunks (testing)",
+               &stop_after);
+    parser.parse(args);
+    if (checkpoint.empty() || chunk_end <= chunk_begin)
+        yac_fatal("yacd worker needs --checkpoint and a non-empty "
+                  "chunk range");
+    if (opts.threads > 0)
+        parallel::setThreads(opts.threads);
+
+    ShardCampaignSpec spec;
+    spec.numChips = opts.chips;
+    spec.seed = opts.seed;
+    spec.sampling =
+        samplingPlanFromName(opts.sampling, opts.tilt, opts.sigmaScale);
+    spec.simd = vecmath::simdModeFromName(opts.simd);
+    spec.delayLimitPs = delay_limit;
+    spec.leakageLimitMw = leak_limit;
+    spec.binEdges = parseBinEdges(bin_edges);
+
+    WorkerTask task;
+    task.checkpointPath = checkpoint;
+    task.chunkBegin = chunk_begin;
+    task.chunkEnd = chunk_end;
+    task.checkpointEveryChunks = checkpoint_every;
+    task.stopAfterChunks = stop_after;
+    const WorkerOutcome outcome = runWorker(spec, task);
+    std::printf("worker: chunks [%zu, %zu) resumed=%zu new=%zu%s\n",
+                chunk_begin, chunk_end, outcome.resumedChunks,
+                outcome.newChunks,
+                outcome.complete ? " complete" : "");
+    return 0;
+}
+
+void
+usage()
+{
+    std::puts(
+        "yacd -- sharded yield-campaign orchestrator\n"
+        "\n"
+        "  yacd run     run a campaign across checkpointed worker\n"
+        "               processes, resuming any durable progress\n"
+        "  yacd single  single-process reference run (same FINAL\n"
+        "               line as `run`, byte for byte)\n"
+        "  yacd worker  internal: one shard (spawned by `yacd run`)\n"
+        "\n"
+        "Each subcommand accepts --help. See docs/SHARDING.md.");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    Argv args;
+    for (int i = 2; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    if (cmd == "run")
+        return cmdRun(args);
+    if (cmd == "single")
+        return cmdSingle(args);
+    if (cmd == "worker")
+        return cmdWorker(args);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+        usage();
+        return 0;
+    }
+    usage();
+    yac_fatal("unknown subcommand '", cmd, "'");
+}
