@@ -32,7 +32,7 @@ main(int argc, char **argv)
 {
     bench::BenchOptions opts;
     opts.chips = 40000; // the tail is ~0.2%: a naive campaign needs this
-    opts.tilt = 1.8;    // this bench's rare-event sweet spot
+    opts.engine.sampling.tilt = 1.8; // rare-event sweet spot
     OptionParser parser("bench_importance_sampling [options]");
     addCampaignOptions(parser, opts);
     parser.parse(argc, argv);
@@ -47,7 +47,8 @@ main(int argc, char **argv)
                 "(Delay3+Delay4 under a relaxed 2-sigma budget)\n");
     std::printf("naive: %zu chips; tilted(tilt=%.2f, sigmaScale=%.2f): "
                 "%zu chips\n\n",
-                naive_chips, opts.tilt, opts.sigmaScale, tilted_chips);
+                naive_chips, opts.engine.sampling.tilt,
+                opts.engine.sampling.sigmaScale, tilted_chips);
 
     CampaignConfig naive_config{naive_chips, opts.seed};
     MonteCarlo mc;
@@ -61,8 +62,8 @@ main(int argc, char **argv)
     const CycleMapping m = naive.cycleMapping(deep);
 
     CampaignConfig tilted_config{tilted_chips, opts.seed + 1};
-    tilted_config.sampling =
-        SamplingPlan::tilted(opts.tilt, opts.sigmaScale);
+    tilted_config.engine.sampling = SamplingPlan::tilted(
+        opts.engine.sampling.tilt, opts.engine.sampling.sigmaScale);
     const MonteCarloResult tilted = mc.run(tilted_config);
 
     const LossTable naive_table =

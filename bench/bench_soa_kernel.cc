@@ -32,6 +32,7 @@
 #include "bench_common.hh"
 #include "circuit/batch_eval.hh"
 #include "circuit/cache_model.hh"
+#include "util/normal_source.hh"
 #include "util/parallel.hh"
 #include "util/vecmath.hh"
 #include "variation/soa_batch.hh"
@@ -148,6 +149,49 @@ runEvaluate(const SampledPopulation &pop,
     return timer.seconds();
 }
 
+/** Sample-only pass: fill per-worker SoA arenas through the scalar
+ *  or the vectorized (blocked Box-Muller) sampling front-end. */
+double
+runSample(std::size_t chips, std::uint64_t seed,
+          vecmath::SimdKernel kernel)
+{
+    const VariationSampler sampler;
+    const NormalSource source(kernel);
+    const ChipDrawCounts counts = sampler.chipDrawCounts();
+    const Rng rng(seed);
+    const bench::WallTimer timer;
+    parallel::forChunks(
+        chips, parallel::kStatChunk,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+            static thread_local ChipBatchSoa arena;
+            arena.ensure(sampler.geometry(), end - begin);
+            for (std::size_t i = begin; i < end; ++i) {
+                Rng chip_rng = rng.split(i);
+                if (kernel == vecmath::SimdKernel::Avx2) {
+                    sampleChipSoaBlock(sampler, source, chip_rng,
+                                       arena, i - begin, {}, counts);
+                } else {
+                    sampleChipSoa(sampler, chip_rng, arena,
+                                  i - begin);
+                }
+            }
+        });
+    return timer.seconds();
+}
+
+/** Full sample+evaluate campaign through MonteCarlo::run. */
+double
+runCampaign(std::size_t chips, std::uint64_t seed,
+            vecmath::SimdMode mode)
+{
+    const MonteCarlo mc;
+    CampaignConfig config{chips, seed};
+    config.engine.simd = mode;
+    const bench::WallTimer timer;
+    mc.run(config);
+    return timer.seconds();
+}
+
 /** Largest relative chip-level disagreement between two populations. */
 double
 worstRelDiff(const std::vector<CacheTiming> &a,
@@ -176,8 +220,7 @@ main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseOptions(argc, argv);
     trace::Session trace_session(opts.traceOut);
-    const vecmath::SimdMode mode =
-        vecmath::simdModeFromName(opts.simd);
+    const vecmath::SimdMode mode = opts.engine.simd;
     const vecmath::SimdKernel kernel =
         vecmath::resolveSimdKernel(mode);
     const bool simd = kernel == vecmath::SimdKernel::Avx2;
@@ -280,6 +323,38 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // Sampling front-end comparison: fill-only passes through the
+    // scalar engine and the blocked Box-Muller front-end.
+    runSample(chips, opts.seed, vecmath::SimdKernel::Scalar);
+    runSample(chips, opts.seed, vecmath::SimdKernel::Avx2);
+    double sample_scalar_s = 0.0, sample_simd_s = 0.0;
+    for (int pass = 0; pass < kPasses; ++pass) {
+        const double s =
+            runSample(chips, opts.seed, vecmath::SimdKernel::Scalar);
+        const double v =
+            runSample(chips, opts.seed, vecmath::SimdKernel::Avx2);
+        sample_scalar_s =
+            (pass == 0) ? s : std::min(sample_scalar_s, s);
+        sample_simd_s = (pass == 0) ? v : std::min(sample_simd_s, v);
+    }
+
+    // End-to-end campaign comparison (sample + evaluate + stats), the
+    // number the CI perf floor guards: a full MonteCarlo::run with
+    // --simd=off versus --simd=avx2.
+    runCampaign(chips, opts.seed, vecmath::SimdMode::Off);
+    runCampaign(chips, opts.seed, vecmath::SimdMode::Avx2);
+    double campaign_scalar_s = 0.0, campaign_simd_s = 0.0;
+    for (int pass = 0; pass < 3; ++pass) {
+        const double s =
+            runCampaign(chips, opts.seed, vecmath::SimdMode::Off);
+        const double v =
+            runCampaign(chips, opts.seed, vecmath::SimdMode::Avx2);
+        campaign_scalar_s =
+            (pass == 0) ? s : std::min(campaign_scalar_s, s);
+        campaign_simd_s =
+            (pass == 0) ? v : std::min(campaign_simd_s, v);
+    }
+
     // The soa_kernel_simd line carries the full per-host picture in
     // its counters (chips/s as integers, ratio scaled by 100).
     trace::Metrics &metrics = trace::Metrics::instance();
@@ -296,6 +371,20 @@ main(int argc, char **argv)
     metrics.counter("simd_speedup_x100").add(
         static_cast<std::uint64_t>(100.0 * eval_scalar_s /
                                    eval_simd_s));
+    metrics.counter("sample_scalar_chips_per_s")
+        .add(static_cast<std::uint64_t>(chips / sample_scalar_s));
+    metrics.counter("sample_simd_chips_per_s")
+        .add(static_cast<std::uint64_t>(chips / sample_simd_s));
+    metrics.counter("sampling_speedup_x100").add(
+        static_cast<std::uint64_t>(100.0 * sample_scalar_s /
+                                   sample_simd_s));
+    metrics.counter("campaign_scalar_chips_per_s")
+        .add(static_cast<std::uint64_t>(chips / campaign_scalar_s));
+    metrics.counter("campaign_simd_chips_per_s")
+        .add(static_cast<std::uint64_t>(chips / campaign_simd_s));
+    metrics.counter("campaign_speedup_x100").add(
+        static_cast<std::uint64_t>(100.0 * campaign_scalar_s /
+                                   campaign_simd_s));
     bench::reportCampaignTiming("soa_kernel_simd", chips,
                                 eval_simd_s);
 
@@ -307,5 +396,21 @@ main(int argc, char **argv)
     std::printf("simd speedup: %.2fx over the batched scalar kernel "
                 "(worst rel diff %.2g)\n",
                 eval_scalar_s / eval_simd_s, worst);
+
+    std::printf("\nsampling front-end comparison (fill-only):\n");
+    std::printf("scalar front-end: %8.1f chips/s (%.3f s)\n",
+                chips / sample_scalar_s, sample_scalar_s);
+    std::printf("avx2 front-end:   %8.1f chips/s (%.3f s)\n",
+                chips / sample_simd_s, sample_simd_s);
+    std::printf("sampling speedup: %.2fx\n",
+                sample_scalar_s / sample_simd_s);
+
+    std::printf("\nfull campaign (MonteCarlo::run):\n");
+    std::printf("--simd=off:  %8.1f chips/s (%.3f s)\n",
+                chips / campaign_scalar_s, campaign_scalar_s);
+    std::printf("--simd=avx2: %8.1f chips/s (%.3f s)\n",
+                chips / campaign_simd_s, campaign_simd_s);
+    std::printf("campaign speedup: %.2fx\n",
+                campaign_scalar_s / campaign_simd_s);
     return 0;
 }

@@ -23,8 +23,8 @@ CampaignConfig
 configOf(const ShardCampaignSpec &spec)
 {
     CampaignConfig config(spec.numChips, spec.seed);
-    config.sampling = spec.sampling;
-    config.simd = spec.simd;
+    config.engine.sampling = spec.sampling;
+    config.engine.simd = spec.simd;
     return config;
 }
 

@@ -1,0 +1,96 @@
+#include "util/normal_source.hh"
+
+#include "util/logging.hh"
+
+namespace yac
+{
+
+#if YAC_VECMATH_X86
+
+namespace
+{
+
+/** One 4-wide Box-Muller round: draw four (u1, u2) pairs in lane
+ *  order from @p rng and produce eight candidates, cos before sin
+ *  per lane. Returns them through @p zc (cos) / @p zs (sin). */
+YAC_SIMD_TARGET inline void
+boxMullerBatch(Rng &rng, double *zc, double *zs)
+{
+    alignas(32) double u1[4];
+    alignas(32) double u2[4];
+    for (int lane = 0; lane < 4; ++lane) {
+        double u = rng.uniform();
+        while (u == 0.0) // avoid log(0), as scalar normal() does
+            u = rng.uniform();
+        u1[lane] = u;
+        u2[lane] = rng.uniform();
+    }
+    const __m256d radius = vecmath::bmRadius4(_mm256_load_pd(u1));
+    const __m256d theta = _mm256_mul_pd(
+        _mm256_set1_pd(2.0 * M_PI), _mm256_load_pd(u2));
+    __m256d s, c;
+    vecmath::sincos4(theta, &s, &c);
+    _mm256_store_pd(zc, _mm256_mul_pd(radius, c));
+    _mm256_store_pd(zs, _mm256_mul_pd(radius, s));
+}
+
+} // namespace
+
+void
+NormalSource::fillNormalsAvx2(Rng &rng, double *out, std::size_t n)
+{
+    alignas(32) double zc[4];
+    alignas(32) double zs[4];
+    std::size_t i = 0;
+    while (i < n) {
+        boxMullerBatch(rng, zc, zs);
+        // Surplus candidates past n are discarded, never cached:
+        // the fill is a pure function of (rng state, n).
+        for (int lane = 0; lane < 4 && i < n; ++lane) {
+            out[i++] = zc[lane];
+            if (i < n)
+                out[i++] = zs[lane];
+        }
+    }
+}
+
+void
+NormalSource::fillTruncatedNormalsAvx2(Rng &rng, double *out,
+                                       std::size_t n, double cut)
+{
+    yac_assert(cut > 0.0, "truncation window must be positive");
+    alignas(32) double zc[4];
+    alignas(32) double zs[4];
+    std::size_t i = 0;
+    while (i < n) {
+        boxMullerBatch(rng, zc, zs);
+        for (int lane = 0; lane < 4 && i < n; ++lane) {
+            if (std::fabs(zc[lane]) <= cut)
+                out[i++] = zc[lane];
+            if (i < n && std::fabs(zs[lane]) <= cut)
+                out[i++] = zs[lane];
+        }
+    }
+}
+
+#else // !YAC_VECMATH_X86
+
+// resolveSimdKernel never returns Avx2 on a non-x86 host, so these
+// are unreachable; panic rather than silently mis-sample.
+
+void
+NormalSource::fillNormalsAvx2(Rng &, double *, std::size_t)
+{
+    yac_panic("AVX2 NormalSource on a non-x86 build");
+}
+
+void
+NormalSource::fillTruncatedNormalsAvx2(Rng &, double *, std::size_t,
+                                       double)
+{
+    yac_panic("AVX2 NormalSource on a non-x86 build");
+}
+
+#endif // YAC_VECMATH_X86
+
+} // namespace yac

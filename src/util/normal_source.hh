@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Block normal-deviate source: the draw API both the scalar and SIMD
+ * sampling paths consume.
+ *
+ * NormalSource replaces ad-hoc per-call Rng::normal() spare-caching
+ * in the batch sampling pipeline with explicit block fills:
+ * fillNormals / fillTruncatedNormals draw n deviates from a caller
+ * supplied Rng in one call. The kernel chosen at construction decides
+ * how the block is produced:
+ *
+ *  - Scalar: byte-for-byte the legacy draw sequence. fillNormals is
+ *    n calls to Rng::normal() (Box-Muller with the cached spare);
+ *    fillTruncatedNormals runs the same |z| <= cut rejection loop
+ *    Rng::truncatedNormal has always run. A campaign built on the
+ *    scalar NormalSource is bitwise-identical to the pre-NormalSource
+ *    code, which is the --simd=off anchor the tolerance suites
+ *    compare against.
+ *
+ *  - Avx2: a 4-wide Box-Muller batch. Each round draws four (u1, u2)
+ *    uniform pairs from the Rng in lane order (u1 re-drawn while 0,
+ *    then u2 -- the same per-pair order as scalar), computes four
+ *    radii sqrt(-2 ln u1) with vecmath::bmRadius4 and four
+ *    (sin, cos)(2 pi u2) pairs with vecmath::sincos4, and yields up
+ *    to eight candidates in lane order: lane 0 cos, lane 0 sin,
+ *    lane 1 cos, lane 1 sin, ... (cos-before-sin matches the scalar
+ *    Box-Muller's return-then-spare order). fillTruncatedNormals
+ *    keeps only candidates with |z| <= cut. Candidates left over
+ *    when the block is full are DISCARDED -- the block never caches
+ *    a spare across calls, so a fill's output depends only on
+ *    (Rng state, n, cut), never on previous fills. SIMD draws
+ *    therefore differ numerically from scalar draws (different
+ *    consumption pattern, kernel ulp error) but are themselves fully
+ *    deterministic: same seed, same block sizes -> same bytes.
+ *
+ * The campaign-level draw-order contract built on top of this API is
+ * documented in docs/PERFORMANCE.md section 4.
+ */
+
+#ifndef YAC_UTIL_NORMAL_SOURCE_HH
+#define YAC_UTIL_NORMAL_SOURCE_HH
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/rng.hh"
+#include "util/vecmath.hh"
+
+namespace yac
+{
+
+/** Block draws of (truncated) standard normals from an Rng, scalar
+ *  or 4-wide depending on the kernel chosen at construction. */
+class NormalSource
+{
+  public:
+    explicit NormalSource(
+        vecmath::SimdKernel kernel = vecmath::SimdKernel::Scalar)
+        : kernel_(kernel)
+    {
+    }
+
+    vecmath::SimdKernel kernel() const { return kernel_; }
+
+    /** Fill out[0..n) with standard normal deviates. The scalar
+     *  branch is inline so single-deviate fills (the scalar
+     *  campaign's hot path) compile down to the legacy Rng::normal()
+     *  call chain. */
+    void fillNormals(Rng &rng, double *out, std::size_t n) const
+    {
+        if (kernel_ == vecmath::SimdKernel::Scalar) {
+            for (std::size_t i = 0; i < n; ++i)
+                out[i] = rng.normal();
+            return;
+        }
+        fillNormalsAvx2(rng, out, n);
+    }
+
+    /** Fill out[0..n) with standard normals rejected to |z| <= cut
+     *  (the shared kSigmaCut by default, matching
+     *  Rng::truncatedNormal). */
+    void fillTruncatedNormals(Rng &rng, double *out, std::size_t n,
+                              double cut = kSigmaCut) const
+    {
+        if (kernel_ == vecmath::SimdKernel::Scalar) {
+            for (std::size_t i = 0; i < n; ++i) {
+                double z;
+                do {
+                    z = rng.normal();
+                } while (!(std::fabs(z) <= cut));
+                out[i] = z;
+            }
+            return;
+        }
+        fillTruncatedNormalsAvx2(rng, out, n, cut);
+    }
+
+  private:
+    static void fillNormalsAvx2(Rng &rng, double *out,
+                                std::size_t n);
+    static void fillTruncatedNormalsAvx2(Rng &rng, double *out,
+                                         std::size_t n, double cut);
+
+    vecmath::SimdKernel kernel_;
+};
+
+/**
+ * Draw engines: the two interchangeable front-ends the hierarchical
+ * sampler template (VariationSampler::sampleWithDieToDraws) consumes
+ * its randomness through. Both expose the same two draws:
+ *
+ *   truncatedZ() -- a standard normal rejected to |z| <= kSigmaCut,
+ *                   one per non-degenerate process-parameter draw;
+ *   gumbel()     -- the worst-cell extreme draw -ln(-ln u),
+ *                   u ~ U[1e-12, 1), one per row group.
+ *
+ * ScalarNormalDraws pulls each deviate from the Rng on demand
+ * (bitwise the legacy order); BlockNormalDraws replays prefilled
+ * blocks in the same logical order.
+ */
+
+/** On-demand scalar draw engine: one deviate per call, straight from
+ *  the Rng in the legacy order. */
+struct ScalarNormalDraws
+{
+    Rng &rng;
+    const NormalSource &source;
+
+    double truncatedZ()
+    {
+        double z;
+        source.fillTruncatedNormals(rng, &z, 1);
+        return z;
+    }
+
+    double gumbel()
+    {
+        const double u = rng.uniform(1e-12, 1.0);
+        return -std::log(-std::log(u));
+    }
+};
+
+/** Prefilled block draw engine: pointer-bumps over truncated-z and
+ *  gumbel blocks the SIMD front-end filled up front. The caller owns
+ *  the blocks and guarantees they hold at least as many deviates as
+ *  the sampler will consume (VariationSampler::chipDrawCounts). */
+struct BlockNormalDraws
+{
+    const double *truncatedZs;
+    const double *gumbels;
+
+    double truncatedZ() { return *truncatedZs++; }
+    double gumbel() { return *gumbels++; }
+};
+
+} // namespace yac
+
+#endif // YAC_UTIL_NORMAL_SOURCE_HH

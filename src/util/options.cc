@@ -28,6 +28,65 @@ parseUnsigned(const std::string &name, const std::string &value,
     return v;
 }
 
+double
+parseDouble(const std::string &name, const std::string &value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || !std::isfinite(v))
+        yac_fatal("--", name, " wants a finite number, got '", value,
+                  "'");
+    return v;
+}
+
+SamplingMode
+parseSamplingMode(const std::string &flag, const std::string &value)
+{
+    if (value == "naive")
+        return SamplingMode::Naive;
+    if (value == "tilted")
+        return SamplingMode::Tilted;
+    yac_fatal("--", flag, " wants naive or tilted, got '", value, "'");
+}
+
+/**
+ * Apply one --engine value: comma-separated key=value pairs. Parsing
+ * stays inline in this translation unit (string compares plus the
+ * vecmath mode parser) so yac_util never calls into yac_variation.
+ */
+void
+applyEngineSpec(EngineSpec &engine, const std::string &value)
+{
+    std::size_t pos = 0;
+    while (pos <= value.size()) {
+        std::size_t comma = value.find(',', pos);
+        if (comma == std::string::npos)
+            comma = value.size();
+        const std::string pair = value.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (pair.empty())
+            continue;
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos)
+            yac_fatal("--engine wants key=value pairs, got '", pair,
+                      "'");
+        const std::string key = pair.substr(0, eq);
+        const std::string val = pair.substr(eq + 1);
+        if (key == "simd") {
+            engine.simd = vecmath::simdModeFromName(val);
+        } else if (key == "sampling") {
+            engine.sampling.mode = parseSamplingMode("engine", val);
+        } else if (key == "tilt") {
+            engine.sampling.tilt = parseDouble("engine", val);
+        } else if (key == "sigma-scale") {
+            engine.sampling.sigmaScale = parseDouble("engine", val);
+        } else {
+            yac_fatal("--engine key must be simd, sampling, tilt or "
+                      "sigma-scale, got '", key, "'");
+        }
+    }
+}
+
 } // namespace
 
 OptionParser::OptionParser(std::string usage) : usage_(std::move(usage))
@@ -62,12 +121,7 @@ OptionParser::add(const std::string &name, const std::string &help,
                   double *out)
 {
     add(name, help, [name, out](const std::string &value) {
-        char *end = nullptr;
-        const double v = std::strtod(value.c_str(), &end);
-        if (end == value.c_str() || *end != '\0' || !std::isfinite(v))
-            yac_fatal("--", name, " wants a finite number, got '", value,
-                      "'");
-        *out = v;
+        *out = parseDouble(name, value);
     });
 }
 
@@ -159,32 +213,45 @@ addCampaignOptions(OptionParser &parser, CampaignOptions &opts)
                "persist the simulation memo cache to FILE "
                "(loaded on start, saved on exit)",
                &opts.simCache);
+    addEngineOptions(parser, opts.engine);
+}
+
+void
+addEngineOptions(OptionParser &parser, EngineSpec &engine)
+{
+    parser.add("engine",
+               "numeric engine: comma-separated key=value pairs "
+               "(simd=off|auto|avx2, sampling=naive|tilted, tilt=T, "
+               "sigma-scale=S)",
+               [&engine](const std::string &value) {
+                   applyEngineSpec(engine, value);
+               });
+    // Legacy alias spellings of the same knobs; values land in the
+    // same EngineSpec fields and are validated eagerly so a typo
+    // dies at the flag, not mid-campaign.
     parser.add("sampling",
                "sampling plan: naive (default) or tilted "
-               "(importance sampling)",
-               [&opts](const std::string &value) {
-                   if (value != "naive" && value != "tilted") {
-                       yac_fatal("--sampling wants naive or tilted, "
-                                 "got '", value, "'");
-                   }
-                   opts.sampling = value;
+               "(importance sampling); alias of --engine sampling=",
+               [&engine](const std::string &value) {
+                   engine.sampling.mode =
+                       parseSamplingMode("sampling", value);
                });
     parser.add("tilt",
                "tilted only: die-mean shift toward the slow corner "
-               "in sigma units (default 2.0)",
-               &opts.tilt);
+               "in sigma units (default 2.0); alias of --engine "
+               "tilt=",
+               &engine.sampling.tilt);
     parser.add("sigma-scale",
-               "tilted only: die-sigma multiplier (default 1.0)",
-               &opts.sigmaScale);
+               "tilted only: die-sigma multiplier (default 1.0); "
+               "alias of --engine sigma-scale=",
+               &engine.sampling.sigmaScale);
     parser.add("simd",
                "SIMD kernels: off (scalar bitwise reference, "
                "default), auto (AVX2 when available) or avx2 "
-               "(force; fatal without AVX2+FMA)",
-               [&opts](const std::string &value) {
-                   // Validates the spelling eagerly so a typo dies at
-                   // the flag, not mid-campaign.
-                   vecmath::simdModeFromName(value);
-                   opts.simd = value;
+               "(force; fatal without AVX2+FMA); alias of --engine "
+               "simd=",
+               [&engine](const std::string &value) {
+                   engine.simd = vecmath::simdModeFromName(value);
                });
 }
 

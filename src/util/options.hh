@@ -20,6 +20,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "variation/engine_spec.hh"
+
 namespace yac
 {
 
@@ -33,19 +35,16 @@ struct CampaignOptions
     std::string traceOut;       //!< Chrome trace path; empty = off
     std::string simCache;       //!< sim memo cache file; empty = RAM only
 
-    /** Sampling-plan knobs (--sampling/--tilt/--sigma-scale). The
-     *  tilt/sigmaScale defaults only matter when sampling=="tilted";
-     *  ~2 sigma along the unit delay-gradient direction is the sweet
-     *  spot for the paper's deep Delay3/Delay4 tail yields (see
-     *  docs/SAMPLING.md). */
-    std::string sampling = "naive"; //!< naive | tilted
-    double tilt = 2.0;              //!< die-mean shift [sigma units]
-    double sigmaScale = 1.0;        //!< die-sigma multiplier
-
-    /** SIMD kernel selection (--simd): off keeps the scalar bitwise
-     *  reference (the default), auto picks AVX2 when the host
-     *  supports it, avx2 forces it (fatal on unsupported hosts). */
-    std::string simd = "off"; //!< off | auto | avx2
+    /**
+     * The campaign's numeric engine, set by the canonical
+     * --engine=key=value,... flag or the legacy --simd/--sampling/
+     * --tilt/--sigma-scale aliases. The tilt/sigmaScale defaults
+     * only matter when sampling is tilted; ~2 sigma along the unit
+     * delay-gradient direction is the sweet spot for the paper's
+     * deep Delay3/Delay4 tail yields (see docs/SAMPLING.md).
+     */
+    EngineSpec engine{vecmath::SimdMode::Off,
+                      {SamplingMode::Naive, 2.0, 1.0}};
 };
 
 /**
@@ -122,9 +121,19 @@ class OptionParser
 
 /**
  * Register the shared campaign flags (--chips/--threads/--seed/
- * --out-dir/--trace-out) writing into @p opts.
+ * --out-dir/--trace-out plus the engine flags) writing into @p opts.
  */
 void addCampaignOptions(OptionParser &parser, CampaignOptions &opts);
+
+/**
+ * Register the engine flags writing into @p engine: the canonical
+ * `--engine=key=value,...` spelling (keys: simd, sampling, tilt,
+ * sigma-scale) and the four legacy alias flags --simd/--sampling/
+ * --tilt/--sigma-scale, which remain first-class so existing
+ * scripts and the orchestrator's worker command lines keep working
+ * (deprecation note: docs/OBSERVABILITY.md).
+ */
+void addEngineOptions(OptionParser &parser, EngineSpec &engine);
 
 /**
  * One-call convenience for bench/example main(): parse the shared

@@ -25,6 +25,12 @@ splitMix64(std::uint64_t &x)
 
 Rng::Rng(std::uint64_t seed)
 {
+    reseed(seed);
+}
+
+void
+Rng::reseed(std::uint64_t seed)
+{
     std::uint64_t s = seed;
     for (auto &word : state_)
         word = splitMix64(s);
@@ -33,6 +39,10 @@ Rng::Rng(std::uint64_t seed)
         state_[3] == 0) {
         state_[0] = 1;
     }
+    // The Box-Muller spare is observable state; a reseeded generator
+    // must be indistinguishable from a freshly constructed one.
+    hasSpare_ = false;
+    spareNormal_ = 0.0;
 }
 
 Rng

@@ -21,14 +21,41 @@ namespace yac
 {
 
 /**
+ * Shared truncation cut for process-parameter draws, in sigmas.
+ *
+ * Every physical parameter draw in the campaign (naive sampling,
+ * tilted proposals, and the SIMD block sampler) rejects |z| > 3: the
+ * paper's Table 1 spreads are quoted as 3-sigma percentages, and the
+ * tilted-proposal likelihood-ratio weights in sampling_plan.cc assume
+ * the same +/-3 sigma support on both the nominal and proposal
+ * densities. Hoisted here so the sampler, process_params and the
+ * truncatedNormal default cannot drift apart.
+ */
+constexpr double kSigmaCut = 3.0;
+
+/**
  * xoshiro256++ pseudo random number generator with convenience
  * distributions (uniform, normal, truncated normal, lognormal).
+ *
+ * Draw contract: normal() is Box-Muller and carries a one-deviate
+ * spare -- each Box-Muller round consumes exactly two uniforms
+ * (re-drawing u1 while it is 0) and yields two deviates, cos first,
+ * sin second. The spare is part of this generator's observable
+ * state: it never crosses streams (split() builds a fresh child with
+ * no spare) and never survives reseeding (reseed() clears it), so a
+ * generator's output is a pure function of (seed, calls since seed).
  */
 class Rng
 {
   public:
     /** Construct from a 64-bit seed via SplitMix64 state expansion. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /**
+     * Re-seed in place: bitwise-identical to constructing Rng(seed),
+     * including dropping any cached Box-Muller spare.
+     */
+    void reseed(std::uint64_t seed);
 
     /**
      * Next raw 64-bit value.
@@ -80,6 +107,11 @@ class Rng
     /** Uniform integer in [0, n). @pre n > 0 */
     std::uint64_t uniformInt(std::uint64_t n);
 
+    /** True when a Box-Muller spare is cached (the next normal()
+     *  returns it without consuming uniforms). Exposed so tests can
+     *  pin down the spare lifecycle across split()/reseed(). */
+    bool hasSpare() const { return hasSpare_; }
+
     /** Standard normal deviate (Box-Muller, cached spare). */
     double normal()
     {
@@ -111,8 +143,11 @@ class Rng
      *
      * Used for process parameters where physically impossible values
      * (for example, a negative gate length) must never be produced.
+     * The default cut is the shared kSigmaCut the whole sampling
+     * stack assumes.
      */
-    double truncatedNormal(double mean, double sigma, double cut = 4.0)
+    double truncatedNormal(double mean, double sigma,
+                           double cut = kSigmaCut)
     {
         yac_assert(cut > 0.0, "truncation window must be positive");
         if (sigma == 0.0)

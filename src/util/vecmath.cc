@@ -157,6 +157,49 @@ powArrayAvx2(const double *x, double y, double *out, std::size_t n)
     }
 }
 
+YAC_SIMD_TARGET void
+sincosArrayAvx2(const double *x, double *sin_out, double *cos_out,
+                std::size_t n)
+{
+    __m256d s, c;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        sincos4(_mm256_loadu_pd(x + i), &s, &c);
+        _mm256_storeu_pd(sin_out + i, s);
+        _mm256_storeu_pd(cos_out + i, c);
+    }
+    if (i < n) {
+        alignas(32) double pad[4] = {0.0, 0.0, 0.0, 0.0};
+        for (std::size_t j = i; j < n; ++j)
+            pad[j - i] = x[j];
+        sincos4(_mm256_load_pd(pad), &s, &c);
+        alignas(32) double ps[4], pc[4];
+        _mm256_store_pd(ps, s);
+        _mm256_store_pd(pc, c);
+        for (std::size_t j = i; j < n; ++j) {
+            sin_out[j] = ps[j - i];
+            cos_out[j] = pc[j - i];
+        }
+    }
+}
+
+YAC_SIMD_TARGET void
+bmRadiusArrayAvx2(const double *u, double *out, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_pd(out + i,
+                         bmRadius4(_mm256_loadu_pd(u + i)));
+    if (i < n) {
+        alignas(32) double pad[4] = {1.0, 1.0, 1.0, 1.0};
+        for (std::size_t j = i; j < n; ++j)
+            pad[j - i] = u[j];
+        _mm256_store_pd(pad, bmRadius4(_mm256_load_pd(pad)));
+        for (std::size_t j = i; j < n; ++j)
+            out[j] = pad[j - i];
+    }
+}
+
 } // namespace
 
 void
@@ -192,6 +235,31 @@ powArray(const double *x, double y, double *out, std::size_t n)
         out[i] = std::pow(x[i], y);
 }
 
+void
+sincosArray(const double *x, double *sin_out, double *cos_out,
+            std::size_t n)
+{
+    if (hostHasAvx2Fma()) {
+        sincosArrayAvx2(x, sin_out, cos_out, n);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        sin_out[i] = std::sin(x[i]);
+        cos_out[i] = std::cos(x[i]);
+    }
+}
+
+void
+bmRadiusArray(const double *u, double *out, std::size_t n)
+{
+    if (hostHasAvx2Fma()) {
+        bmRadiusArrayAvx2(u, out, n);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = std::sqrt(-2.0 * std::log(u[i]));
+}
+
 #else // !YAC_VECMATH_X86
 
 void
@@ -213,6 +281,23 @@ powArray(const double *x, double y, double *out, std::size_t n)
 {
     for (std::size_t i = 0; i < n; ++i)
         out[i] = std::pow(x[i], y);
+}
+
+void
+sincosArray(const double *x, double *sin_out, double *cos_out,
+            std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        sin_out[i] = std::sin(x[i]);
+        cos_out[i] = std::cos(x[i]);
+    }
+}
+
+void
+bmRadiusArray(const double *u, double *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = std::sqrt(-2.0 * std::log(u[i]));
 }
 
 #endif // YAC_VECMATH_X86

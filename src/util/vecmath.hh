@@ -26,6 +26,18 @@
  *    finite-result case). pow is computed as exp(y * log x) with the
  *    log carried in a compensated hi/lo pair, so the argument error
  *    that the final exp amplifies stays ~2^-57 * |y ln x|.
+ *  - sincos4: <= kSinCosMaxUlp for |x| <= kSinCosMaxArg. Argument
+ *    reduction is the fdlibm three-step Cody-Waite chain (pi/2 split
+ *    into 33-bit chunks, reduced argument carried as a hi/lo pair),
+ *    exact for |n| < 2^20 quadrants, so accuracy holds even right at
+ *    the sin/cos roots where cancellation is total. Outside the
+ *    domain (and for +/-inf, NaN) both results are NaN -- the
+ *    campaign only ever needs theta in [0, 2*pi).
+ *  - bmRadius4: sqrt(-2 ln u) <= kBmRadiusMaxUlp for u in (0, 1].
+ *    The ln comes from log4Ext as a compensated hi/lo pair, -2x is
+ *    exact, and sqrt halves the incoming relative error, so the
+ *    bound holds uniformly as u -> 1 (radius -> 0). u == 0 -> +inf,
+ *    u < 0 -> NaN, u > 1 -> NaN (negative radicand), NaN propagates.
  *
  * The kernels follow IEEE special-case conventions where the campaign
  * hot path can reach them (exp(-inf)=0, exp(inf)=inf, log(0)=-inf,
@@ -82,6 +94,13 @@ enum class SimdKernel
 constexpr int kExpMaxUlp = 4;
 constexpr int kLogMaxUlp = 4;
 constexpr int kPowMaxUlp = 16;
+constexpr int kSinCosMaxUlp = 4;
+constexpr int kBmRadiusMaxUlp = 4;
+
+/** sincos4 domain bound: |x| <= kSinCosMaxArg keeps the quadrant
+ *  count below 2^20, where the 3 x 33-bit Cody-Waite products are
+ *  exact. Box-Muller only needs theta in [0, 2*pi). */
+constexpr double kSinCosMaxArg = 1.0e6;
 
 /** Spelling used by --simd and the BENCH/trace surfaces. */
 const char *simdModeName(SimdMode mode);
@@ -120,6 +139,16 @@ SimdKernel resolveSimdKernel(SimdMode mode, bool host_has_avx2_fma);
 void expArray(const double *x, double *out, std::size_t n);
 void logArray(const double *x, double *out, std::size_t n);
 void powArray(const double *x, double y, double *out, std::size_t n);
+
+/** sin_out[i] = sin(x[i]), cos_out[i] = cos(x[i]) for
+ *  |x[i]| <= kSinCosMaxArg (NaN outside). Neither output may alias
+ *  the other; either may alias x. */
+void sincosArray(const double *x, double *sin_out, double *cos_out,
+                 std::size_t n);
+
+/** out[i] = sqrt(-2 ln u[i]), the Box-Muller radius, for u in
+ *  (0, 1]. In-place (out == u) is allowed. */
+void bmRadiusArray(const double *u, double *out, std::size_t n);
 
 #if YAC_VECMATH_X86
 
@@ -367,6 +396,163 @@ pow4(__m256d x, __m256d y)
     __m256d t_lo = _mm256_fmsub_pd(y, hi, t_hi);
     t_lo = _mm256_fmadd_pd(y, lo, t_lo);
     return detail::exp4Core(t_hi, t_lo);
+}
+
+namespace detail
+{
+
+/** fdlibm __kernel_sin on the reduced pair (y0, y1), |y0| <= pi/4:
+ *  degree-13 odd minimax polynomial, |error| < 2^-57.4, with the
+ *  reduction tail y1 folded in exactly where fdlibm does. */
+YAC_SIMD_TARGET inline __m256d
+kernelSin4(__m256d y0, __m256d y1)
+{
+    const __m256d S1 = _mm256_set1_pd(-1.66666666666666324348e-01);
+    __m256d z = _mm256_mul_pd(y0, y0);
+    __m256d v = _mm256_mul_pd(z, y0);
+    __m256d r = _mm256_set1_pd(1.58969099521155010221e-10); // S6
+    const double kS[] = {
+        -2.50507602534068634195e-08, // S5
+        2.75573137070700676789e-06,  // S4
+        -1.98412698298579493134e-04, // S3
+        8.33333333332248946124e-03,  // S2
+    };
+    for (double c : kS)
+        r = _mm256_fmadd_pd(r, z, _mm256_set1_pd(c));
+    // x - ((z*(0.5*y - v*r) - y) - v*S1), structured exactly as
+    // fdlibm so the tail y1 enters at full precision.
+    __m256d t = _mm256_fmsub_pd(
+        _mm256_set1_pd(0.5), y1, _mm256_mul_pd(v, r));
+    t = _mm256_sub_pd(_mm256_mul_pd(z, t), y1);
+    t = _mm256_fnmadd_pd(v, S1, t);
+    return _mm256_sub_pd(y0, t);
+}
+
+/** fdlibm/musl __kernel_cos on the reduced pair (y0, y1): even
+ *  minimax polynomial with the 1 - z/2 head carried exactly via the
+ *  branchless (1-w)-hz residual, |error| < 2^-57. */
+YAC_SIMD_TARGET inline __m256d
+kernelCos4(__m256d y0, __m256d y1)
+{
+    const __m256d one = _mm256_set1_pd(1.0);
+    __m256d z = _mm256_mul_pd(y0, y0);
+    __m256d r = _mm256_set1_pd(-1.13596475577881948265e-11); // C6
+    const double kC[] = {
+        2.08757232129817482790e-09,  // C5
+        -2.75573143513906633035e-07, // C4
+        2.48015872894767294178e-05,  // C3
+        -1.38888888888741095749e-03, // C2
+        4.16666666666666019037e-02,  // C1
+    };
+    for (double c : kC)
+        r = _mm256_fmadd_pd(r, z, _mm256_set1_pd(c));
+    r = _mm256_mul_pd(r, z);
+    __m256d hz = _mm256_mul_pd(_mm256_set1_pd(0.5), z);
+    __m256d w = _mm256_sub_pd(one, hz);
+    // (1-w)-hz is the exact rounding error of w (hz < 0.31 < 1).
+    __m256d tail = _mm256_sub_pd(_mm256_sub_pd(one, w), hz);
+    tail = _mm256_add_pd(
+        tail, _mm256_fmsub_pd(z, r, _mm256_mul_pd(y0, y1)));
+    return _mm256_add_pd(w, tail);
+}
+
+} // namespace detail
+
+/** 4-wide sincos: *sin_out = sin(x), *cos_out = cos(x) for
+ *  |x| <= kSinCosMaxArg; NaN in both outside the domain and for
+ *  +/-inf / NaN inputs. See the file comment for the error budget. */
+YAC_SIMD_TARGET inline void
+sincos4(__m256d x, __m256d *sin_out, __m256d *cos_out)
+{
+    // fdlibm split of pi/2 into 33-bit chunks: fn * pio2_{1,2,3} are
+    // all exact for |fn| < 2^20 (33 + 20 bits), so three Cody-Waite
+    // steps leave the reduced argument good to ~150 bits even under
+    // total cancellation at multiples of pi/2.
+    const __m256d invpio2 =
+        _mm256_set1_pd(6.36619772367581382433e-01);
+    const __m256d pio2_1 = _mm256_set1_pd(1.57079632673412561417e+00);
+    const __m256d pio2_2 = _mm256_set1_pd(6.07710050630396597660e-11);
+    const __m256d pio2_3 = _mm256_set1_pd(2.02226624871116645580e-21);
+    const __m256d pio2_3t =
+        _mm256_set1_pd(8.47842766036889956997e-32);
+
+    __m256d fn = _mm256_round_pd(
+        _mm256_mul_pd(x, invpio2),
+        _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+
+    __m256d z = _mm256_fnmadd_pd(fn, pio2_1, x); // exact product
+    __m256d t = z;
+    __m256d w = _mm256_mul_pd(fn, pio2_2);
+    z = _mm256_sub_pd(t, w);
+    t = z;
+    w = _mm256_mul_pd(fn, pio2_3);
+    z = _mm256_sub_pd(t, w);
+    w = _mm256_sub_pd(_mm256_mul_pd(fn, pio2_3t),
+                      _mm256_sub_pd(_mm256_sub_pd(t, z), w));
+    __m256d y0 = _mm256_sub_pd(z, w);
+    __m256d y1 = _mm256_sub_pd(_mm256_sub_pd(z, y0), w);
+
+    __m256d sin_r = detail::kernelSin4(y0, y1);
+    __m256d cos_r = detail::kernelCos4(y0, y1);
+
+    // Quadrant n = int(fn) & 3 (two's-complement & is mod-4 for
+    // negative n too): sin swaps to cos on odd n and negates on
+    // n & 2; cos swaps to sin on odd n and negates on bit0 ^ bit1.
+    const __m256i one64 = _mm256_set1_epi64x(1);
+    __m256i n = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(fn));
+    __m256i b0 = _mm256_and_si256(n, one64);
+    __m256i b1 = _mm256_and_si256(_mm256_srli_epi64(n, 1), one64);
+    __m256d swap =
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(b0, one64));
+    __m256d sin_neg =
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(b1, one64));
+    __m256d cos_neg = _mm256_castsi256_pd(
+        _mm256_cmpeq_epi64(_mm256_xor_si256(b0, b1), one64));
+
+    const __m256d sign = _mm256_set1_pd(-0.0);
+    __m256d s = _mm256_blendv_pd(sin_r, cos_r, swap);
+    __m256d c = _mm256_blendv_pd(cos_r, sin_r, swap);
+    s = _mm256_xor_pd(s, _mm256_and_pd(sin_neg, sign));
+    c = _mm256_xor_pd(c, _mm256_and_pd(cos_neg, sign));
+
+    // Out-of-domain (|x| > kSinCosMaxArg, so also +/-inf) and NaN
+    // inputs produce NaN in both outputs.
+    const __m256d nan = _mm256_set1_pd(__builtin_nan(""));
+    __m256d ax = _mm256_andnot_pd(sign, x);
+    __m256d bad = _mm256_or_pd(
+        _mm256_cmp_pd(ax, _mm256_set1_pd(kSinCosMaxArg), _CMP_GT_OQ),
+        _mm256_cmp_pd(x, x, _CMP_UNORD_Q));
+    *sin_out = _mm256_blendv_pd(s, nan, bad);
+    *cos_out = _mm256_blendv_pd(c, nan, bad);
+}
+
+/** 4-wide Box-Muller radius sqrt(-2 ln u) for u in (0, 1]: the ln
+ *  comes from log4Ext as a hi/lo pair, -2x is exact on the hi part
+ *  and FMA-folded on the lo part, and the final sqrt halves the
+ *  incoming relative error. u == 0 -> +inf, u < 0 -> NaN, u > 1 ->
+ *  NaN (negative radicand), NaN propagates. */
+YAC_SIMD_TARGET inline __m256d
+bmRadius4(__m256d u)
+{
+    __m256d hi, lo;
+    detail::log4Ext(u, &hi, &lo);
+    __m256d s = _mm256_mul_pd(hi, _mm256_set1_pd(-2.0)); // exact
+    s = _mm256_fnmadd_pd(_mm256_set1_pd(2.0), lo, s);
+    __m256d r = _mm256_sqrt_pd(s);
+
+    const __m256d zero = _mm256_setzero_pd();
+    const __m256d inf = _mm256_set1_pd(__builtin_huge_val());
+    const __m256d nan = _mm256_set1_pd(__builtin_nan(""));
+    // log4Ext's contract is positive finite input; blend the
+    // specials explicitly. u == +inf and u > 1 already fall out as
+    // NaN via the negative radicand.
+    __m256d is_zero = _mm256_cmp_pd(u, zero, _CMP_EQ_OQ);
+    r = _mm256_blendv_pd(r, inf, is_zero);
+    __m256d is_neg = _mm256_cmp_pd(u, zero, _CMP_LT_OQ);
+    r = _mm256_blendv_pd(r, nan, is_neg);
+    __m256d is_nan = _mm256_cmp_pd(u, u, _CMP_UNORD_Q);
+    r = _mm256_blendv_pd(r, u, is_nan);
+    return r;
 }
 
 #endif // YAC_VECMATH_X86

@@ -1,0 +1,27 @@
+#include "variation/engine_spec.hh"
+
+namespace yac
+{
+
+SamplingPlan
+EngineSpec::plan() const
+{
+    if (sampling.isNaive())
+        return SamplingPlan::naive();
+    return SamplingPlan::tilted(sampling.tilt, sampling.sigmaScale);
+}
+
+void
+EngineSpec::validate() const
+{
+    plan().validate();
+}
+
+std::string
+EngineSpec::describe() const
+{
+    return std::string("simd=") + vecmath::simdModeName(simd) + " " +
+        plan().describe();
+}
+
+} // namespace yac

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * EngineSpec: the one struct that names a campaign's numeric engine.
+ *
+ * Four knobs used to travel separately through every option struct
+ * and config (--simd, --sampling, --tilt, --sigma-scale); EngineSpec
+ * consolidates them so adding an engine knob touches one place, and
+ * so a (seed, chips, EngineSpec) triple fully determines a
+ * campaign's bytes. CampaignOptions carries one (parsed from the
+ * canonical --engine=key=value,... flag or the legacy alias flags),
+ * CampaignConfig carries one, and every runner reads engine.simd /
+ * engine.sampling instead of loose fields.
+ */
+
+#ifndef YAC_VARIATION_ENGINE_SPEC_HH
+#define YAC_VARIATION_ENGINE_SPEC_HH
+
+#include <string>
+
+#include "util/vecmath.hh"
+#include "variation/sampling_plan.hh"
+
+namespace yac
+{
+
+/** A campaign's numeric engine: SIMD kernel set + sampling plan. */
+struct EngineSpec
+{
+    /** SIMD kernel selection, resolved against the host once per
+     *  run by vecmath::resolveSimdKernel. Off (the default) is the
+     *  scalar bitwise-reference engine. */
+    vecmath::SimdMode simd = vecmath::SimdMode::Off;
+
+    /** How die-level process parameters are drawn. The tilt /
+     *  sigmaScale fields are only meaningful when mode == Tilted;
+     *  plan() normalizes them away for naive specs. */
+    SamplingPlan sampling;
+
+    /**
+     * The effective sampling plan: a naive spec yields
+     * SamplingPlan::naive() regardless of what the (tilted-only)
+     * tilt/sigmaScale knobs hold, exactly like the historical
+     * samplingPlanFromName -- so a CLI default tilt never leaks into
+     * a naive campaign's config, trace args or checkpoint hash.
+     */
+    SamplingPlan plan() const;
+
+    /** yac_asserts the spec is runnable (delegates to the plan). */
+    void validate() const;
+
+    /** One-line description, e.g. "simd=avx2 tilted(+2.00, x1.00)". */
+    std::string describe() const;
+};
+
+} // namespace yac
+
+#endif // YAC_VARIATION_ENGINE_SPEC_HH

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/normal_source.hh"
 #include "util/rng.hh"
 #include "variation/sampling_plan.hh"
 
@@ -79,12 +80,12 @@ VariationTable::sampleAround(Rng &rng, const ProcessParams &mean,
                              double sigma_scale) const
 {
     yac_assert(sigma_scale >= 0.0, "sigma scale must be non-negative");
-    ProcessParams out;
-    for (ProcessParam p : kAllProcessParams) {
-        const double sigma = spec(p).sigma() * sigma_scale;
-        out.set(p, rng.truncatedNormal(mean.get(p), sigma, 3.0));
-    }
-    return out;
+    // Route through the engine template with the scalar on-demand
+    // source: bitwise-identical to the historical per-parameter
+    // rng.truncatedNormal(mean, sigma, kSigmaCut) loop.
+    const NormalSource source;
+    ScalarNormalDraws draws{rng, source};
+    return sampleAroundWith(draws, mean, sigma_scale);
 }
 
 ProcessParams
@@ -113,7 +114,7 @@ VariationTable::sampleDie(Rng &rng, const SamplingPlan &plan,
     // where Zp and Zq are the normal masses of the acceptance windows.
     // Accumulated in log space: five factors spanning orders of
     // magnitude would otherwise lose precision.
-    constexpr double kCut = 3.0;
+    constexpr double kCut = kSigmaCut;
     const double naive_mass = normalMass(-kCut, kCut);
     ProcessParams out;
     double log_weight = 0.0;

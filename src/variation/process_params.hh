@@ -148,6 +148,30 @@ class VariationTable
     ProcessParams sampleAround(Rng &rng, const ProcessParams &mean,
                                double sigma_scale) const;
 
+    /**
+     * Engine-templated core of sampleAround: each parameter with a
+     * non-zero scaled sigma consumes one truncatedZ() from @p draws
+     * (a standard normal rejected to |z| <= kSigmaCut) and becomes
+     * mean + sigma * z; zero-sigma parameters copy the mean and
+     * consume nothing. sampleAround(Rng&) routes through this with a
+     * scalar on-demand engine, the SoA block sampler with prefilled
+     * blocks, so the two cannot drift.
+     */
+    template <typename Draws>
+    ProcessParams sampleAroundWith(Draws &draws,
+                                   const ProcessParams &mean,
+                                   double sigma_scale) const
+    {
+        ProcessParams out;
+        for (ProcessParam p : kAllProcessParams) {
+            const double sigma = spec(p).sigma() * sigma_scale;
+            out.set(p, sigma == 0.0
+                           ? mean.get(p)
+                           : mean.get(p) + sigma * draws.truncatedZ());
+        }
+        return out;
+    }
+
     /** Draw a top-level (die) parameter set around nominal. */
     ProcessParams sampleDie(Rng &rng, double sigma_scale = 1.0) const;
 

@@ -63,6 +63,42 @@ VariationSampler::VariationSampler()
 {
 }
 
+ChipDrawCounts
+VariationSampler::chipDrawCounts() const
+{
+    // Mirror of sampleWithDieToDraws: one truncatedZ per parameter
+    // with non-zero scaled sigma per region draw (sampleAroundWith
+    // skips zero-sigma parameters), one gumbel per row group. Kept
+    // adjacent to the template's structure; prop_sampling_simd
+    // cross-checks it against an instrumented replay.
+    const auto per_region = [this](double factor) {
+        std::size_t n = 0;
+        for (ProcessParam p : kAllProcessParams) {
+            if (table_.spec(p).sigma() * factor != 0.0)
+                ++n;
+        }
+        return n;
+    };
+
+    ChipDrawCounts counts;
+    counts.truncatedZ += geometry_.banksPerWay *
+        per_region(correlation_.regionSystematicFactor());
+    for (std::size_t w = 0; w < geometry_.numWays; ++w) {
+        const double way_factor = correlation_.wayFactor(w);
+        if (way_factor != 0.0)
+            counts.truncatedZ += per_region(way_factor);
+        counts.truncatedZ +=
+            4 * per_region(correlation_.peripheralFactor());
+        counts.truncatedZ += geometry_.banksPerWay *
+            geometry_.rowGroupsPerBank *
+            (per_region(correlation_.rowFactor()) +
+             per_region(correlation_.bitFactor()));
+    }
+    counts.gumbel = geometry_.numWays * geometry_.banksPerWay *
+        geometry_.rowGroupsPerBank;
+    return counts;
+}
+
 CacheVariationMap
 VariationSampler::sample(Rng &rng) const
 {

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/normal_source.hh"
 #include "util/rng.hh"
 #include "variation/correlation.hh"
 #include "variation/process_params.hh"
@@ -62,6 +63,19 @@ struct CacheVariationMap
 {
     VariationGeometry geometry;
     std::vector<WayVariation> ways;
+};
+
+/**
+ * Exact number of deviates one chip's hierarchical draw consumes --
+ * a pure function of the table (which parameters have non-zero
+ * sigma), the correlation factors and the geometry. The SIMD block
+ * sampler prefills exactly these many truncated z-scores and Gumbel
+ * extremes before replaying them through the sampler template.
+ */
+struct ChipDrawCounts
+{
+    std::size_t truncatedZ = 0; //!< |z| <= kSigmaCut rejections
+    std::size_t gumbel = 0;     //!< worst-cell extreme draws
 };
 
 /**
@@ -116,6 +130,22 @@ class VariationSampler
                          Sink &&sink,
                          std::vector<ProcessParams> &region_scratch) const;
 
+    /**
+     * Engine-templated core of sampleWithDieTo: identical draw
+     * *order*, but every deviate comes from @p draws (truncatedZ()
+     * per non-degenerate parameter, gumbel() per row group) instead
+     * of directly from an Rng. sampleWithDieTo wraps this with the
+     * scalar on-demand engine; the SIMD front-end replays prefilled
+     * blocks through it with BlockNormalDraws.
+     */
+    template <typename Draws, typename Sink>
+    void sampleWithDieToDraws(
+        Draws &draws, const ProcessParams &die_base, Sink &&sink,
+        std::vector<ProcessParams> &region_scratch) const;
+
+    /** Deviates one sampleWithDieToDraws invocation consumes. */
+    ChipDrawCounts chipDrawCounts() const;
+
     const VariationTable &table() const { return table_; }
     const CorrelationModel &correlation() const { return correlation_; }
     const VariationGeometry &geometry() const { return geometry_; }
@@ -140,13 +170,26 @@ VariationSampler::sampleWithDieTo(
     Rng &rng, const ProcessParams &die_base, Sink &&sink,
     std::vector<ProcessParams> &region_scratch) const
 {
+    // Scalar on-demand engine: every deviate comes from the Rng the
+    // instant it is needed, byte-for-byte the historical draw order.
+    const NormalSource source;
+    ScalarNormalDraws draws{rng, source};
+    sampleWithDieToDraws(draws, die_base, sink, region_scratch);
+}
+
+template <typename Draws, typename Sink>
+void
+VariationSampler::sampleWithDieToDraws(
+    Draws &draws, const ProcessParams &die_base, Sink &&sink,
+    std::vector<ProcessParams> &region_scratch) const
+{
     // Chip-common systematic offset of each horizontal region: the
     // same physical row range deviates consistently in every way
     // (layout-position dependent systematic variation, Section 2).
     region_scratch.resize(geometry_.banksPerWay);
     for (std::size_t b = 0; b < geometry_.banksPerWay; ++b) {
-        const ProcessParams draw = table_.sampleAround(
-            rng, die_base, correlation_.regionSystematicFactor());
+        const ProcessParams draw = table_.sampleAroundWith(
+            draws, die_base, correlation_.regionSystematicFactor());
         ProcessParams offset;
         for (ProcessParam p : kAllProcessParams)
             offset.set(p, draw.get(p) - die_base.get(p));
@@ -157,12 +200,13 @@ VariationSampler::sampleWithDieTo(
         const double way_factor = correlation_.wayFactor(w);
         const ProcessParams base = (way_factor == 0.0)
             ? die_base
-            : table_.sampleAround(rng, die_base, way_factor);
+            : table_.sampleAroundWith(draws, die_base, way_factor);
         sink.base(w, base);
 
         const double peri = correlation_.peripheralFactor();
         for (std::size_t blk = 0; blk < 4; ++blk) {
-            const ProcessParams p = table_.sampleAround(rng, base, peri);
+            const ProcessParams p =
+                table_.sampleAroundWith(draws, base, peri);
             sink.peripheral(w, blk, p);
         }
 
@@ -176,17 +220,16 @@ VariationSampler::sampleWithDieTo(
             }
             for (std::size_t g = 0; g < geometry_.rowGroupsPerBank;
                  ++g) {
-                const ProcessParams group = table_.sampleAround(
-                    rng, bank_mean, correlation_.rowFactor());
+                const ProcessParams group = table_.sampleAroundWith(
+                    draws, bank_mean, correlation_.rowFactor());
                 sink.rowGroup(w, b, g, group);
                 // The slowest cell in the group: a draw at the bit
                 // factor around the group parameters, plus the Gumbel
                 // extreme of the group's random-dopant V_t mismatch
                 // (the read-current-limiting cell of the row group).
-                ProcessParams worst = table_.sampleAround(
-                    rng, group, correlation_.bitFactor());
-                const double u = rng.uniform(1e-12, 1.0);
-                const double gumbel = -std::log(-std::log(u));
+                ProcessParams worst = table_.sampleAroundWith(
+                    draws, group, correlation_.bitFactor());
+                const double gumbel = draws.gumbel();
                 const double vt_drop = table_.randomDopantSigmaMv *
                     (extremeLocation_ +
                      extremeScale_ * (gumbel - 0.5772156649));

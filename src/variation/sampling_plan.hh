@@ -40,7 +40,7 @@ const char *samplingModeName(SamplingMode mode);
 
 /**
  * A variance-reduction plan threaded through every campaign runner
- * via CampaignConfig::sampling.
+ * via CampaignConfig::engine.sampling (see EngineSpec).
  *
  * `tilt` is the die-mean shift in sigma units along the unit-norm
  * slow-corner direction (tiltDirection), so its magnitude is the

@@ -1,5 +1,7 @@
 #include "variation/soa_batch.hh"
 
+#include "util/vecmath.hh"
+
 namespace yac
 {
 
@@ -34,6 +36,64 @@ ChipBatchSoa::ensure(const VariationGeometry &g, std::size_t chips)
         weight.resize(capacity, 1.0);
     if (regionScratch.size() < g.banksPerWay)
         regionScratch.resize(g.banksPerWay);
+}
+
+void
+sampleChipSoaBlock(const VariationSampler &sampler,
+                   const NormalSource &source, Rng &rng,
+                   ChipBatchSoa &soa, std::size_t chip,
+                   const SamplingPlan &plan,
+                   const ChipDrawCounts &counts)
+{
+    // 1. Die draw + weight: scalar, first out of the fresh per-chip
+    // stream -- byte-identical to the scalar engine, which is why
+    // likelihood-ratio weights stay bitwise across engines.
+    double weight = 1.0;
+    const ProcessParams die =
+        sampler.table().sampleDie(rng, plan, weight);
+    soa.weight[chip] = weight;
+    sampleChipWithDieSoaBlock(sampler, source, rng, die, soa, chip,
+                              counts);
+}
+
+void
+sampleChipWithDieSoaBlock(const VariationSampler &sampler,
+                          const NormalSource &source, Rng &rng,
+                          const ProcessParams &die_base,
+                          ChipBatchSoa &soa, std::size_t chip,
+                          const ChipDrawCounts &counts)
+{
+    if (soa.zScratch.size() < counts.truncatedZ)
+        soa.zScratch.resize(counts.truncatedZ);
+    if (soa.gumbelScratch.size() < counts.gumbel)
+        soa.gumbelScratch.resize(counts.gumbel);
+    if (soa.uScratch.size() < counts.gumbel)
+        soa.uScratch.resize(counts.gumbel);
+
+    // 2. One block of truncated z-scores for the whole chip.
+    source.fillTruncatedNormals(rng, soa.zScratch.data(),
+                                counts.truncatedZ);
+
+    // 3. Worst-cell Gumbel extremes: draw the uniforms scalar (the
+    // cheap part), then batch both logs of -ln(-ln u).
+    for (std::size_t i = 0; i < counts.gumbel; ++i)
+        soa.uScratch[i] = rng.uniform(1e-12, 1.0);
+    vecmath::logArray(soa.uScratch.data(), soa.gumbelScratch.data(),
+                      counts.gumbel);
+    for (std::size_t i = 0; i < counts.gumbel; ++i)
+        soa.gumbelScratch[i] = -soa.gumbelScratch[i];
+    vecmath::logArray(soa.gumbelScratch.data(),
+                      soa.gumbelScratch.data(), counts.gumbel);
+    for (std::size_t i = 0; i < counts.gumbel; ++i)
+        soa.gumbelScratch[i] = -soa.gumbelScratch[i];
+
+    // Replay the blocks through the one sampler template, in the
+    // scalar draw order.
+    BlockNormalDraws draws{soa.zScratch.data(),
+                           soa.gumbelScratch.data()};
+    SoaChipSink sink(soa, chip);
+    sampler.sampleWithDieToDraws(draws, die_base, sink,
+                                 soa.regionScratch);
 }
 
 } // namespace yac

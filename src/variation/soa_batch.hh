@@ -65,6 +65,16 @@ struct ChipBatchSoa
     std::vector<ProcessParams> regionScratch;
 
     /**
+     * Block-draw scratch of the SIMD sampling front-end
+     * (sampleChipSoaBlock): prefilled truncated z-scores, Gumbel
+     * extremes and their source uniforms. Grow-only, like the
+     * planes, so the warm per-chunk path stays allocation-free.
+     */
+    std::vector<double> zScratch;
+    std::vector<double> gumbelScratch;
+    std::vector<double> uScratch;
+
+    /**
      * Size the planes for @p chips chips of geometry @p g. Only
      * reallocates when the geometry changes or the capacity grows, so
      * repeated calls from a worker's per-chunk loop are free.
@@ -183,6 +193,43 @@ sampleChipSoa(const VariationSampler &sampler, Rng &rng,
     soa.weight[chip] = weight;
     sampleChipWithDieSoa(sampler, rng, die, soa, chip);
 }
+
+/**
+ * SIMD front-end equivalent of sampleChipSoa: sample one chip into
+ * SoA slot @p chip with the whole hierarchical draw prefilled as
+ * blocks. The per-chip draw-order contract (docs/PERFORMANCE.md
+ * section 4):
+ *
+ *   1. the die draw and its likelihood-ratio weight, scalar and
+ *      byte-identical to the scalar engine (weights stay bitwise);
+ *   2. one fillTruncatedNormals block of counts.truncatedZ z-scores
+ *      through @p source (4-wide Box-Muller when source is Avx2);
+ *   3. counts.gumbel uniforms, transformed to Gumbel extremes
+ *      -ln(-ln u) with the vecmath log kernels;
+ *
+ * then the blocks are replayed through the sampler template in the
+ * scalar draw order. Values differ from the scalar engine (block
+ * consumption + kernel ulps) but are deterministic in (seed, chip).
+ *
+ * @p counts must be sampler.chipDrawCounts() -- hoisted to the
+ * caller so the per-way/per-bank walk is not redone per chip.
+ */
+void sampleChipSoaBlock(const VariationSampler &sampler,
+                        const NormalSource &source, Rng &rng,
+                        ChipBatchSoa &soa, std::size_t chip,
+                        const SamplingPlan &plan,
+                        const ChipDrawCounts &counts);
+
+/**
+ * Block-draw steps 2-3 of sampleChipSoaBlock around an external die
+ * draw (the multi-cache per-component sequence): the SIMD front-end
+ * equivalent of sampleChipWithDieSoa.
+ */
+void sampleChipWithDieSoaBlock(const VariationSampler &sampler,
+                               const NormalSource &source, Rng &rng,
+                               const ProcessParams &die_base,
+                               ChipBatchSoa &soa, std::size_t chip,
+                               const ChipDrawCounts &counts);
 
 } // namespace yac
 

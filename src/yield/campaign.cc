@@ -9,7 +9,7 @@ CampaignScope::CampaignScope(const char *name,
                              const CampaignConfig &config)
     : config_(config)
 {
-    config_.sampling.validate();
+    config_.engine.sampling.validate();
     if (config_.threads != 0)
         parallel::setThreads(config_.threads);
     if (config_.traceSink != nullptr) {
@@ -20,7 +20,7 @@ CampaignScope::CampaignScope(const char *name,
     span_.emplace(name, "campaign");
     span_->arg("chips", std::int64_t(config_.numChips))
         .arg("seed", std::int64_t(config_.seed))
-        .arg("sampling", config_.sampling.describe());
+        .arg("sampling", config_.engine.sampling.describe());
 }
 
 CampaignScope::~CampaignScope()

@@ -69,25 +69,28 @@ struct CampaignConfig
     std::function<void(std::size_t done, std::size_t total)> progress;
 
     /**
-     * How die-level process parameters are drawn. The default naive
-     * plan is bitwise-identical to the historical pipeline at any
-     * thread count; a tilted plan importance-samples the process tail
-     * and every chip carries a likelihood-ratio weight that the
-     * YieldEstimate machinery folds back in. See docs/SAMPLING.md.
+     * The campaign's numeric engine: SIMD kernel selection plus the
+     * sampling plan, in one struct so (numChips, seed, engine) fully
+     * determines the campaign's bytes.
+     *
+     * engine.sampling: how die-level process parameters are drawn.
+     * The default naive plan is bitwise-identical to the historical
+     * pipeline at any thread count; a tilted plan importance-samples
+     * the process tail and every chip carries a likelihood-ratio
+     * weight that the YieldEstimate machinery folds back in. See
+     * docs/SAMPLING.md.
+     *
+     * engine.simd: kernel selection for the batched chip evaluator
+     * AND the vectorized sampling front-end. Off (the default) runs
+     * the scalar bitwise-reference path; Auto/Avx2 are resolved
+     * against the host once per run by vecmath::resolveSimdKernel,
+     * which records the decision in the metrics registry and fails
+     * fast on a forced-Avx2 host mismatch. The SIMD path is
+     * deterministic and thread-count invariant but only
+     * tolerance-equal to the scalar reference -- except chip weights,
+     * which stay bitwise (see docs/PERFORMANCE.md section 4).
      */
-    SamplingPlan sampling;
-
-    /**
-     * SIMD kernel selection for the batched chip evaluator. Off (the
-     * default) runs the scalar bitwise-reference path; Auto/Avx2 are
-     * resolved against the host once per run by
-     * vecmath::resolveSimdKernel, which records the decision in the
-     * metrics registry and fails fast on a forced-Avx2 host mismatch.
-     * The SIMD path is deterministic and thread-count invariant but
-     * only tolerance-equal to the scalar reference -- see
-     * docs/PERFORMANCE.md.
-     */
-    vecmath::SimdMode simd = vecmath::SimdMode::Off;
+    EngineSpec engine;
 };
 
 /**
@@ -102,9 +105,8 @@ campaignFromOptions(const CampaignOptions &opts)
     config.numChips = opts.chips;
     config.seed = opts.seed;
     config.threads = opts.threads;
-    config.sampling =
-        samplingPlanFromName(opts.sampling, opts.tilt, opts.sigmaScale);
-    config.simd = vecmath::simdModeFromName(opts.simd);
+    config.engine.sampling = opts.engine.plan();
+    config.engine.simd = opts.engine.simd;
     return config;
 }
 

@@ -109,11 +109,28 @@ MonteCarlo::evaluateChips(const CampaignConfig &config,
     ChipRangePhases phases;
     const std::int64_t t0 = trace::nowNanos();
     arena.ensure(sampler_.geometry(), end - begin);
-    for (std::size_t i = begin; i < end; ++i) {
-        Rng chip_rng = rng.split(i);
-        sampleChipSoa(sampler_, chip_rng, arena, i - begin,
-                      config.sampling);
-        weights[i - begin] = arena.weight[i - begin];
+    if (kernel == vecmath::SimdKernel::Avx2) {
+        // Vectorized sampling front-end: per chip, one batched
+        // truncated-normal block plus batched Gumbel logs. The die
+        // draw (and thus the likelihood-ratio weight) still comes
+        // scalar, first out of the chip's stream, so weights are
+        // bitwise identical to the scalar engine.
+        const NormalSource source(kernel);
+        const ChipDrawCounts counts = sampler_.chipDrawCounts();
+        for (std::size_t i = begin; i < end; ++i) {
+            Rng chip_rng = rng.split(i);
+            sampleChipSoaBlock(sampler_, source, chip_rng, arena,
+                               i - begin, config.engine.sampling,
+                               counts);
+            weights[i - begin] = arena.weight[i - begin];
+        }
+    } else {
+        for (std::size_t i = begin; i < end; ++i) {
+            Rng chip_rng = rng.split(i);
+            sampleChipSoa(sampler_, chip_rng, arena, i - begin,
+                          config.engine.sampling);
+            weights[i - begin] = arena.weight[i - begin];
+        }
     }
     const std::int64_t t1 = trace::nowNanos();
     for (std::size_t i = begin; i < end; ++i) {
@@ -139,7 +156,7 @@ MonteCarlo::run(const CampaignConfig &config) const
     // Resolved once per run: logs the dispatch decision into this
     // campaign's metrics and fails fast on a forced-AVX2 mismatch.
     const vecmath::SimdKernel kernel =
-        vecmath::resolveSimdKernel(config.simd);
+        vecmath::resolveSimdKernel(config.engine.simd);
     trace::Metrics &metrics = trace::Metrics::instance();
     trace::PhaseTimer &sample_phase = metrics.phase("sample");
     trace::PhaseTimer &evaluate_phase = metrics.phase("evaluate");
@@ -149,8 +166,8 @@ MonteCarlo::run(const CampaignConfig &config) const
     result.regular.resize(config.numChips);
     result.horizontal.resize(config.numChips);
     result.weights.resize(config.numChips);
-    result.sampling = config.sampling;
-    const bool naive = config.sampling.isNaive();
+    result.sampling = config.engine.sampling;
+    const bool naive = config.engine.sampling.isNaive();
 
     // Chips shard across workers: each chip writes only its own
     // output slot and folds into its chunk's accumulator. Chunk

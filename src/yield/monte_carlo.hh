@@ -113,7 +113,7 @@ class MonteCarlo
      *
      * This is the deterministic kernel both run() and the sharded
      * campaign service are built on: chip i's draws depend only on
-     * (config.seed, config.sampling, i), never on the surrounding
+     * (config.seed, config.engine, i), never on the surrounding
      * range, the thread count, or the process evaluating it -- which
      * is what makes chunk-range shards of one campaign bitwise
      * mergeable across workers and machines. Thread-safe for

@@ -40,7 +40,7 @@ MultiCacheYield::run(const CampaignConfig &config,
     // Resolved once per run: logs the dispatch decision into this
     // campaign's metrics and fails fast on a forced-AVX2 mismatch.
     const vecmath::SimdKernel kernel =
-        vecmath::resolveSimdKernel(config.simd);
+        vecmath::resolveSimdKernel(config.engine.simd);
     trace::Metrics &metrics = trace::Metrics::instance();
     trace::PhaseTimer &evaluate_phase = metrics.phase("evaluate");
     trace::PhaseTimer &classify_phase = metrics.phase("classify");
@@ -66,7 +66,7 @@ MultiCacheYield::run(const CampaignConfig &config,
     // Tilted campaigns estimate the constraint-defining population
     // moments through the likelihood-ratio weights; the naive plan
     // keeps the historical unweighted accumulators bit-for-bit.
-    const bool naive = config.sampling.isNaive();
+    const bool naive = config.engine.sampling.isNaive();
     std::vector<std::vector<WeightedRunningStats>> chunk_wdelay(
         naive ? 0 : n_chunks, std::vector<WeightedRunningStats>(n_comp));
     std::vector<std::vector<WeightedRunningStats>> chunk_wleak(
@@ -74,6 +74,16 @@ MultiCacheYield::run(const CampaignConfig &config,
     std::vector<double> weights(num_chips, 1.0);
     const Rng rng(config.seed);
     const VariationTable table;
+    // SIMD sampling front-end: per-component draw counts hoisted out
+    // of the chip loop; the die draw and the per-component placement
+    // shift stay scalar on both paths (so weights stay bitwise).
+    const bool simd_sampling = kernel == vecmath::SimdKernel::Avx2;
+    const NormalSource source(kernel);
+    std::vector<ChipDrawCounts> counts(n_comp);
+    if (simd_sampling) {
+        for (std::size_t c = 0; c < n_comp; ++c)
+            counts[c] = samplers_[c].chipDrawCounts();
+    }
     {
         trace::Span pass1("multi_cache.evaluate", "campaign");
         trace::ScopedPhase timing(evaluate_phase);
@@ -92,8 +102,8 @@ MultiCacheYield::run(const CampaignConfig &config,
                 for (std::size_t i = begin; i < end; ++i) {
                     Rng chip_rng = rng.split(i);
                     double w = 1.0;
-                    const ProcessParams die =
-                        table.sampleDie(chip_rng, config.sampling, w);
+                    const ProcessParams die = table.sampleDie(
+                        chip_rng, config.engine.sampling, w);
                     weights[i] = w;
                     for (std::size_t c = 0; c < n_comp; ++c) {
                         // The component's placement shifts its local
@@ -101,8 +111,14 @@ MultiCacheYield::run(const CampaignConfig &config,
                         const ProcessParams center = table.sampleAround(
                             chip_rng, die,
                             components_[c].placementFactor);
-                        sampleChipWithDieSoa(samplers_[c], chip_rng,
-                                             center, arenas[c], 0);
+                        if (simd_sampling) {
+                            sampleChipWithDieSoaBlock(
+                                samplers_[c], source, chip_rng, center,
+                                arenas[c], 0, counts[c]);
+                        } else {
+                            sampleChipWithDieSoa(samplers_[c], chip_rng,
+                                                 center, arenas[c], 0);
+                        }
                         CacheTiming &t = timings[c][i];
                         batchers_[c].prepareTiming(
                             t, CacheLayout::Regular);

@@ -66,7 +66,7 @@ runPlan(const SamplingPlan &plan, std::size_t chips,
 {
     parallel::setThreads(threads);
     CampaignConfig config{chips, seed};
-    config.sampling = plan;
+    config.engine.sampling = plan;
     MonteCarlo mc;
     return mc.run(config);
 }

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Contracts of the vectorized sampling front-end (NormalSource and
+ * the blocked SIMD chip sampler), per docs/PERFORMANCE.md section 4:
+ *
+ *  - the Scalar NormalSource is BITWISE the legacy Rng draw loop;
+ *  - chipDrawCounts() predicts exactly what one hierarchical chip
+ *    draw consumes, on randomized geometries;
+ *  - the AVX2 source is deterministic, honors the truncation cut and
+ *    produces standard-normal moments;
+ *  - a --simd=avx2 campaign keeps likelihood-ratio weights bitwise
+ *    identical to --simd=off (the die draw precedes the block fill),
+ *    while its yield estimates agree statistically;
+ *  - the SIMD campaign is byte-identical across thread counts and
+ *    across shard partitions (the per-chip substream makes block
+ *    fills range-invariant), so shard merging stays exact.
+ */
+
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hh"
+#include "check/domains.hh"
+#include "service/shard_campaign.hh"
+#include "util/normal_source.hh"
+#include "util/parallel.hh"
+#include "util/rng.hh"
+#include "util/vecmath.hh"
+#include "variation/soa_batch.hh"
+#include "yield/analysis.hh"
+#include "yield/monte_carlo.hh"
+
+namespace yac
+{
+namespace
+{
+
+using check::CampaignCase;
+using check::forAll;
+using check::Gen;
+using check::Verdict;
+namespace domains = check::domains;
+
+/** Restore the global worker count on scope exit. */
+struct ThreadGuard
+{
+    std::size_t saved = parallel::threads();
+    ~ThreadGuard() { parallel::setThreads(saved); }
+};
+
+TEST(PropSamplingSimd, ScalarNormalSourceIsBitwiseLegacy)
+{
+    // The scalar fill paths ARE the legacy draw loops: same
+    // expression sequence against the same Rng state, so --simd=off
+    // campaigns cannot move by even one bit.
+    const NormalSource source(vecmath::SimdKernel::Scalar);
+    for (const std::uint64_t seed : {1u, 42u, 2006u}) {
+        Rng a(seed), b(seed);
+        std::vector<double> out(257);
+        source.fillNormals(a, out.data(), out.size());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], b.normal()) << "normal " << i;
+
+        Rng c(seed ^ 0xbeef), d(seed ^ 0xbeef);
+        source.fillTruncatedNormals(c, out.data(), out.size());
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            double z;
+            do {
+                z = d.normal();
+            } while (!(std::fabs(z) <= kSigmaCut));
+            EXPECT_EQ(out[i], z) << "truncated " << i;
+        }
+        EXPECT_EQ(c.next(), d.next()) << "stream positions diverged";
+    }
+}
+
+/** Draw-consuming sink that discards every region. */
+struct NullSink
+{
+    void base(std::size_t, const ProcessParams &) {}
+    void peripheral(std::size_t, std::size_t, const ProcessParams &) {}
+    void rowGroup(std::size_t, std::size_t, std::size_t,
+                  const ProcessParams &)
+    {
+    }
+    void worstCell(std::size_t, std::size_t, std::size_t,
+                   const ProcessParams &)
+    {
+    }
+};
+
+/** ScalarNormalDraws wrapper that counts what the sampler consumes. */
+struct CountingDraws
+{
+    ScalarNormalDraws inner;
+    std::size_t z = 0;
+    std::size_t g = 0;
+
+    double truncatedZ()
+    {
+        ++z;
+        return inner.truncatedZ();
+    }
+    double gumbel()
+    {
+        ++g;
+        return inner.gumbel();
+    }
+};
+
+TEST(PropSamplingSimd, ChipDrawCountsMatchActualConsumption)
+{
+    // chipDrawCounts() must predict the exact block sizes the SIMD
+    // front-end prefills; one missing or extra deviate would shear
+    // every draw after it.
+    const auto r = forAll(
+        "chipDrawCounts equals what sampleWithDieToDraws consumes",
+        domains::campaignCase(),
+        [](const CampaignCase &c) -> Verdict {
+            const VariationSampler sampler(
+                VariationTable{}, c.correlation,
+                c.geometry.variationGeometry());
+            const ChipDrawCounts predicted = sampler.chipDrawCounts();
+
+            Rng rng(c.seed);
+            const NormalSource source;
+            CountingDraws draws{ScalarNormalDraws{rng, source}};
+            NullSink sink;
+            std::vector<ProcessParams> scratch;
+            sampler.sampleWithDieToDraws(
+                draws, ProcessParams{}, sink, scratch);
+            YAC_PROP_EXPECT(draws.z == predicted.truncatedZ,
+                            "truncated-z count: consumed ", draws.z,
+                            ", predicted ", predicted.truncatedZ);
+            YAC_PROP_EXPECT(draws.g == predicted.gumbel,
+                            "gumbel count: consumed ", draws.g,
+                            ", predicted ", predicted.gumbel);
+            return check::pass();
+        },
+        20);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropSamplingSimd, Avx2SourceDeterministicTruncatedAndNormal)
+{
+    if (!vecmath::hostHasAvx2Fma())
+        GTEST_SKIP() << "host lacks AVX2+FMA; SIMD source not built";
+    const NormalSource source(vecmath::SimdKernel::Avx2);
+
+    // Deterministic: a fill is a pure function of (rng state, n).
+    Rng a(2006), b(2006);
+    std::vector<double> x(1001), y(1001);
+    source.fillNormals(a, x.data(), x.size());
+    source.fillNormals(b, y.data(), y.size());
+    EXPECT_EQ(std::memcmp(x.data(), y.data(),
+                          x.size() * sizeof(double)),
+              0);
+
+    // Standard-normal moments over a large fill.
+    const std::size_t n = 40000;
+    std::vector<double> z(n);
+    Rng rng(7);
+    source.fillNormals(rng, z.data(), n);
+    double sum = 0.0, sq = 0.0;
+    for (const double v : z) {
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / static_cast<double>(n);
+    const double var =
+        sq / static_cast<double>(n) - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.03);
+    EXPECT_NEAR(var, 1.0, 0.05);
+
+    // Truncated fills honor the cut exactly, for the named default
+    // and a tighter explicit one.
+    for (const double cut : {kSigmaCut, 1.5}) {
+        Rng t(11);
+        source.fillTruncatedNormals(t, z.data(), n, cut);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_LE(std::fabs(z[i]), cut) << "cut " << cut;
+    }
+}
+
+MonteCarloResult
+runEngine(std::size_t chips, std::uint64_t seed,
+          const SamplingPlan &plan, vecmath::SimdMode simd,
+          std::size_t threads = 1)
+{
+    parallel::setThreads(threads);
+    CampaignConfig config(chips, seed);
+    config.engine.sampling = plan;
+    config.engine.simd = simd;
+    const MonteCarlo mc;
+    return mc.run(config);
+}
+
+TEST(PropSamplingSimd, WeightsAreBitwiseAcrossEngines)
+{
+    if (!vecmath::hostHasAvx2Fma())
+        GTEST_SKIP() << "host lacks AVX2+FMA; SIMD path not exercised";
+    // The die draw and its likelihood-ratio weight come scalar, first
+    // out of each chip's substream, on BOTH engines -- so importance
+    // weights never depend on the kernel choice.
+    ThreadGuard guard;
+    const SamplingPlan tilted = SamplingPlan::tilted(1.7, 1.1);
+    const MonteCarloResult scalar =
+        runEngine(300, 2006, tilted, vecmath::SimdMode::Off);
+    const MonteCarloResult simd =
+        runEngine(300, 2006, tilted, vecmath::SimdMode::Avx2);
+    ASSERT_EQ(scalar.weights.size(), simd.weights.size());
+    for (std::size_t i = 0; i < scalar.weights.size(); ++i)
+        EXPECT_EQ(scalar.weights[i], simd.weights[i]) << "chip " << i;
+}
+
+TEST(PropSamplingSimd, SimdYieldAgreesWithScalarStatistically)
+{
+    if (!vecmath::hostHasAvx2Fma())
+        GTEST_SKIP() << "host lacks AVX2+FMA; SIMD path not exercised";
+    // The SIMD front-end draws a different (equally valid) sample of
+    // the same distribution, so per-chip values differ; the campaign
+    // outputs must agree within sampling error. Both populations
+    // share their die draws (bitwise, see above), so the true gap is
+    // well inside this independent-samples bound.
+    ThreadGuard guard;
+    for (const SamplingPlan &plan :
+         {SamplingPlan::naive(), SamplingPlan::tilted(1.5, 1.1)}) {
+        const MonteCarloResult scalar =
+            runEngine(800, 2006, plan, vecmath::SimdMode::Off);
+        const MonteCarloResult simd =
+            runEngine(800, 2006, plan, vecmath::SimdMode::Avx2);
+
+        const double n = 800.0;
+        EXPECT_NEAR(simd.regularStats.delayMean,
+                    scalar.regularStats.delayMean,
+                    5.0 * scalar.regularStats.delaySigma /
+                        std::sqrt(n))
+            << plan.describe();
+        EXPECT_NEAR(simd.regularStats.leakMean,
+                    scalar.regularStats.leakMean,
+                    5.0 * scalar.regularStats.leakSigma /
+                        std::sqrt(n))
+            << plan.describe();
+
+        // Classify both populations against the SAME constraints
+        // (derived from the scalar run) and compare yields.
+        const ConstraintPolicy policy;
+        const YieldConstraints cons = scalar.constraints(policy);
+        CycleMapping mapping;
+        mapping.delayLimitPs = cons.delayLimitPs;
+        const LossTable ts = buildLossTable(
+            scalar.regular, scalar.weights, cons, mapping, {});
+        const LossTable tv = buildLossTable(
+            simd.regular, simd.weights, cons, mapping, {});
+        const YieldEstimate ys = ts.yieldOf("Base");
+        const YieldEstimate yv = tv.yieldOf("Base");
+        const double bound =
+            5.0 * std::sqrt(ys.stdErr * ys.stdErr +
+                            yv.stdErr * yv.stdErr) +
+            1e-12;
+        EXPECT_NEAR(ys.value, yv.value, bound) << plan.describe();
+    }
+}
+
+TEST(PropSamplingSimd, SimdCampaignIsByteIdenticalAcrossThreadCounts)
+{
+    if (!vecmath::hostHasAvx2Fma())
+        GTEST_SKIP() << "host lacks AVX2+FMA; SIMD path not exercised";
+    // Chip i's block fill comes from split(i) of the campaign seed:
+    // the SIMD sampler is as thread-count invariant as the scalar one.
+    ThreadGuard guard;
+    const SamplingPlan plan = SamplingPlan::tilted(1.2, 1.05);
+    const MonteCarloResult one =
+        runEngine(300, 99, plan, vecmath::SimdMode::Avx2, 1);
+    for (const std::size_t threads : {2u, 8u}) {
+        const MonteCarloResult many =
+            runEngine(300, 99, plan, vecmath::SimdMode::Avx2, threads);
+        ASSERT_EQ(one.regular.size(), many.regular.size());
+        for (std::size_t i = 0; i < one.regular.size(); ++i) {
+            EXPECT_EQ(one.regular[i].delay(), many.regular[i].delay())
+                << "chip " << i << " @" << threads << " threads";
+            EXPECT_EQ(one.regular[i].leakage(),
+                      many.regular[i].leakage())
+                << "chip " << i << " @" << threads << " threads";
+            EXPECT_EQ(one.weights[i], many.weights[i])
+                << "chip " << i << " @" << threads << " threads";
+        }
+    }
+}
+
+TEST(PropSamplingSimd, ShardMergeStaysExactUnderSimdSampler)
+{
+    if (!vecmath::hostHasAvx2Fma())
+        GTEST_SKIP() << "host lacks AVX2+FMA; SIMD path not exercised";
+    // The shard-merge theorem (tests/prop_shard_merge.cc) does not
+    // care which engine fills the arena, because chip draws stay
+    // functions of (seed, global chip index) under SIMD too.
+    using namespace yac::service;
+    ThreadGuard guard;
+    parallel::setThreads(2);
+    for (const bool tilted : {false, true}) {
+        ShardCampaignSpec spec;
+        spec.numChips = 333;
+        spec.seed = 2006;
+        spec.simd = vecmath::SimdMode::Avx2;
+        spec.sampling = tilted ? SamplingPlan::tilted(1.6, 1.1)
+                               : SamplingPlan::naive();
+        spec.delayLimitPs = 235.0;
+        spec.leakageLimitMw = 60.0;
+        const std::size_t chunks = spec.numChunks();
+        ASSERT_GE(chunks, 2u);
+
+        const ShardEvaluator reference(spec);
+        std::vector<ChunkAccum> expected(chunks);
+        reference.evaluateChunks(0, chunks, expected.data());
+        const CampaignSummary single = summarize(spec, expected);
+
+        std::vector<ChunkAccum> merged(chunks);
+        const std::size_t mid = chunks / 2;
+        {
+            const ShardEvaluator late(spec); // out-of-order on purpose
+            late.evaluateChunks(mid, chunks, merged.data() + mid);
+        }
+        {
+            const ShardEvaluator early(spec);
+            early.evaluateChunks(0, mid, merged.data());
+        }
+        for (std::size_t i = 0; i < chunks; ++i) {
+            EXPECT_EQ(std::memcmp(&merged[i], &expected[i],
+                                  sizeof(ChunkAccum)),
+                      0)
+                << "chunk " << i << (tilted ? " tilted" : " naive");
+        }
+        const CampaignSummary sharded = summarize(spec, merged);
+        EXPECT_EQ(
+            std::memcmp(&sharded, &single, sizeof(CampaignSummary)),
+            0)
+            << (tilted ? "tilted" : "naive");
+    }
+}
+
+} // namespace
+} // namespace yac

@@ -213,6 +213,179 @@ TEST(PropVecmath, PowCampaignExponentsStayTight)
     EXPECT_TRUE(r.ok) << r.report;
 }
 
+/** sincos inputs: polynomial core, the full reduced domain, and
+ *  arguments parked near the quadrant boundaries k * pi/2 where the
+ *  Cody-Waite reduction is under the most cancellation pressure. */
+Gen<double>
+sinCosInput()
+{
+    return Gen<double>([](Rng &rng) {
+        switch (rng.uniformInt(4)) {
+        case 0:
+            return rng.uniform(-0.8, 0.8); // no reduction needed
+        case 1:
+            return rng.uniform(-10.0, 10.0); // small quadrant counts
+        case 2: // full supported domain
+            return rng.uniform(-vecmath::kSinCosMaxArg,
+                               vecmath::kSinCosMaxArg);
+        default: { // near a quadrant boundary, large k
+            const double k =
+                static_cast<double>(rng.uniformInt(600000));
+            const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+            return sign *
+                (k * 1.5707963267948966 + rng.uniform(-1e-6, 1e-6));
+        }
+        }
+    });
+}
+
+TEST(PropVecmath, SinCosWithinUlpBound)
+{
+    if (!vecmath::hostHasAvx2Fma())
+        GTEST_SKIP() << "host lacks AVX2+FMA; kernels not exercised";
+    const auto r = forAll(
+        "sincosArray within kSinCosMaxUlp of libm",
+        gen::vectorOf(1, 64, sinCosInput()),
+        [](const std::vector<double> &xs) -> Verdict {
+            std::vector<double> s(xs.size()), c(xs.size());
+            vecmath::sincosArray(xs.data(), s.data(), c.data(),
+                                 xs.size());
+            for (std::size_t i = 0; i < xs.size(); ++i) {
+                const std::int64_t su =
+                    ulpDiff(s[i], std::sin(xs[i]));
+                YAC_PROP_EXPECT(su <= vecmath::kSinCosMaxUlp, "sin(",
+                                xs[i], ") off by ", su, " ulp");
+                const std::int64_t cu =
+                    ulpDiff(c[i], std::cos(xs[i]));
+                YAC_PROP_EXPECT(cu <= vecmath::kSinCosMaxUlp, "cos(",
+                                xs[i], ") off by ", cu, " ulp");
+            }
+            return check::pass();
+        },
+        200);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+/** Box-Muller radius inputs: the uniform() output range, plus the
+ *  denormal-adjacent bottom and the u -> 1 cancellation end. */
+Gen<double>
+bmRadiusInput()
+{
+    return Gen<double>([](Rng &rng) {
+        switch (rng.uniformInt(4)) {
+        case 0:
+            return rng.uniform(0.0, 1.0); // the sampler's actual feed
+        case 1: // exponent-uniform tiny u (deep radii)
+            return std::ldexp(
+                rng.uniform(1.0, 2.0),
+                -1074 + static_cast<int>(rng.uniformInt(1074)));
+        case 2:
+            return 1.0 - std::ldexp(rng.uniform(1.0, 2.0),
+                                    -static_cast<int>(
+                                        rng.uniformInt(52)) -
+                                        2); // near 1: radius -> 0
+        default:
+            return rng.uniform(0.3, 0.999); // shallow radii
+        }
+    });
+}
+
+TEST(PropVecmath, BmRadiusWithinUlpBound)
+{
+    if (!vecmath::hostHasAvx2Fma())
+        GTEST_SKIP() << "host lacks AVX2+FMA; kernels not exercised";
+    const auto r = forAll(
+        "bmRadiusArray within kBmRadiusMaxUlp of libm",
+        gen::vectorOf(1, 64, bmRadiusInput()),
+        [](const std::vector<double> &us) -> Verdict {
+            std::vector<double> out(us.size());
+            vecmath::bmRadiusArray(us.data(), out.data(), us.size());
+            for (std::size_t i = 0; i < us.size(); ++i) {
+                const double ref =
+                    std::sqrt(-2.0 * std::log(us[i]));
+                const std::int64_t ulp = ulpDiff(out[i], ref);
+                YAC_PROP_EXPECT(ulp <= vecmath::kBmRadiusMaxUlp,
+                                "bmRadius(", us[i], ") off by ", ulp,
+                                " ulp");
+            }
+            return check::pass();
+        },
+        200);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropVecmath, SinCosAndBmRadiusSpecialCases)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+
+    {
+        // Path-independent specials: NaN and infinities have no
+        // angle, zero is exact.
+        const std::vector<double> x = {nan, inf, -inf, 0.0};
+        std::vector<double> s(x.size()), c(x.size());
+        vecmath::sincosArray(x.data(), s.data(), c.data(), x.size());
+        EXPECT_TRUE(std::isnan(s[0]) && std::isnan(c[0]));
+        EXPECT_TRUE(std::isnan(s[1]) && std::isnan(c[1]));
+        EXPECT_TRUE(std::isnan(s[2]) && std::isnan(c[2]));
+        EXPECT_EQ(s[3], 0.0);
+        EXPECT_EQ(c[3], 1.0);
+    }
+    if (vecmath::hostHasAvx2Fma()) {
+        // The vector kernel's documented domain ends at
+        // kSinCosMaxArg; beyond it the reduction would silently lose
+        // the quadrant, so the kernel yields NaN instead.
+        const std::vector<double> x = {vecmath::kSinCosMaxArg * 1.01,
+                                       -vecmath::kSinCosMaxArg * 4.0};
+        std::vector<double> s(x.size()), c(x.size());
+        vecmath::sincosArray(x.data(), s.data(), c.data(), x.size());
+        for (std::size_t i = 0; i < x.size(); ++i)
+            EXPECT_TRUE(std::isnan(s[i]) && std::isnan(c[i])) << i;
+    }
+    {
+        // bmRadius matches sqrt(-2 log u) conventions exactly:
+        // u=0 -> +inf, u=1 -> (-)0, u<0 / u>1 / NaN -> NaN.
+        const std::vector<double> u = {0.0, 1.0, -0.5, 2.0, nan};
+        std::vector<double> out(u.size());
+        vecmath::bmRadiusArray(u.data(), out.data(), u.size());
+        EXPECT_EQ(out[0], inf);
+        EXPECT_EQ(out[1], 0.0);
+        EXPECT_TRUE(std::isnan(out[2]));
+        EXPECT_TRUE(std::isnan(out[3]));
+        EXPECT_TRUE(std::isnan(out[4]));
+    }
+}
+
+TEST(PropVecmath, SinCosAndBmRadiusArrayTails)
+{
+    // Every n mod 4 residue; bmRadiusArray additionally in place.
+    for (std::size_t n = 1; n <= 9; ++n) {
+        std::vector<double> x(n), s(n), c(n);
+        for (std::size_t i = 0; i < n; ++i)
+            x[i] = 0.7 * static_cast<double>(i + 1);
+        vecmath::sincosArray(x.data(), s.data(), c.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_LE(ulpDiff(s[i], std::sin(x[i])),
+                      vecmath::kSinCosMaxUlp)
+                << "n=" << n << " i=" << i;
+            EXPECT_LE(ulpDiff(c[i], std::cos(x[i])),
+                      vecmath::kSinCosMaxUlp)
+                << "n=" << n << " i=" << i;
+        }
+
+        std::vector<double> u(n), ref(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            u[i] = 0.09 * static_cast<double>(i + 1);
+            ref[i] = std::sqrt(-2.0 * std::log(u[i]));
+        }
+        vecmath::bmRadiusArray(u.data(), u.data(), n); // in place
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_LE(ulpDiff(u[i], ref[i]), vecmath::kBmRadiusMaxUlp)
+                << "n=" << n << " i=" << i;
+        }
+    }
+}
+
 TEST(PropVecmath, SpecialCasesFollowIeeeConventions)
 {
     const double inf = std::numeric_limits<double>::infinity();
@@ -333,8 +506,9 @@ TEST(PropVecmath, AutoDispatchLogsDecisionToMetricsRegistry)
     for (const char *name :
          {"simd_dispatch_avx2", "simd_dispatch_scalar"}) {
         const auto tick = off.counters.find(name);
-        if (tick != off.counters.end())
+        if (tick != off.counters.end()) {
             EXPECT_EQ(tick->second, 0u) << name;
+        }
     }
 }
 

@@ -127,11 +127,58 @@ TEST(Options, CampaignOptionsParseAllKnobs)
     EXPECT_EQ(opts.chips, 512u);
     EXPECT_EQ(opts.seed, 99u);
     EXPECT_EQ(opts.threads, 4u);
-    EXPECT_EQ(opts.sampling, "tilted");
-    EXPECT_DOUBLE_EQ(opts.tilt, 1.5);
-    EXPECT_DOUBLE_EQ(opts.sigmaScale, 1.2);
-    EXPECT_EQ(opts.simd, "off");
+    EXPECT_EQ(opts.engine.sampling.mode, SamplingMode::Tilted);
+    EXPECT_DOUBLE_EQ(opts.engine.sampling.tilt, 1.5);
+    EXPECT_DOUBLE_EQ(opts.engine.sampling.sigmaScale, 1.2);
+    EXPECT_EQ(opts.engine.simd, vecmath::SimdMode::Off);
     EXPECT_EQ(opts.outDir, "elsewhere");
+}
+
+TEST(Options, EngineFlagParsesKeyValuePairs)
+{
+    CampaignOptions opts;
+    OptionParser parser("test");
+    addCampaignOptions(parser, opts);
+    parser.parse(Args{
+        "--engine=simd=avx2,sampling=tilted,tilt=1.5,sigma-scale=1.2"});
+    EXPECT_EQ(opts.engine.simd, vecmath::SimdMode::Avx2);
+    EXPECT_EQ(opts.engine.sampling.mode, SamplingMode::Tilted);
+    EXPECT_DOUBLE_EQ(opts.engine.sampling.tilt, 1.5);
+    EXPECT_DOUBLE_EQ(opts.engine.sampling.sigmaScale, 1.2);
+
+    // Pairs apply left to right; later flags override earlier ones,
+    // including the legacy alias spellings.
+    parser.parse(Args{"--engine=simd=auto", "--simd=off",
+                      "--sampling=naive"});
+    EXPECT_EQ(opts.engine.simd, vecmath::SimdMode::Off);
+    EXPECT_EQ(opts.engine.sampling.mode, SamplingMode::Naive);
+}
+
+TEST(Options, NaivePlanNormalizesTiltedOnlyKnobs)
+{
+    // The CLI's tilted-only defaults (tilt=2.0) must never leak into
+    // a naive campaign's effective plan.
+    CampaignOptions opts;
+    const SamplingPlan plan = opts.engine.plan();
+    EXPECT_EQ(plan.mode, SamplingMode::Naive);
+    EXPECT_DOUBLE_EQ(plan.tilt, 0.0);
+    EXPECT_DOUBLE_EQ(plan.sigmaScale, 1.0);
+}
+
+TEST(OptionsDeath, EngineFlagErrorPathsAreFatal)
+{
+    CampaignOptions opts;
+    OptionParser parser("test");
+    addCampaignOptions(parser, opts);
+    EXPECT_FATAL(parser.parse(Args{"--engine=simd"}),
+                 "key=value pairs");
+    EXPECT_FATAL(parser.parse(Args{"--engine=turbo=yes"}),
+                 "must be simd, sampling, tilt or sigma-scale");
+    EXPECT_FATAL(parser.parse(Args{"--engine=sampling=clever"}),
+                 "naive or tilted");
+    EXPECT_FATAL(parser.parse(Args{"--engine=tilt=lots"}),
+                 "finite number");
+    EXPECT_FATAL(parser.parse(Args{"--engine=simd=sse9"}), "");
 }
 
 TEST(OptionsDeath, CampaignOptionErrorPathsAreFatal)

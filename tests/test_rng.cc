@@ -148,6 +148,51 @@ TEST(Rng, SplitIsPureInParentState)
     EXPECT_EQ(p1.next(), p2.next());
 }
 
+TEST(Rng, SpareNormalNeverCrossesStreams)
+{
+    // normal() caches its Box-Muller spare; the spare is part of ONE
+    // stream's state and must never leak into a split() child or
+    // survive a reseed.
+    Rng parent(42);
+    EXPECT_FALSE(parent.hasSpare());
+    (void)parent.normal(); // banks the sine spare, consumes 2 uniforms
+    EXPECT_TRUE(parent.hasSpare());
+
+    // A twin parent at the SAME xoshiro state but spare-free (it drew
+    // the two Box-Muller uniforms directly instead).
+    Rng twin(42);
+    (void)twin.uniform();
+    (void)twin.uniform();
+    ASSERT_FALSE(twin.hasSpare());
+
+    // Split children are pure functions of (xoshiro state, id): the
+    // parent's banked spare must not leak in, so both children agree.
+    Rng child = parent.split(7);
+    EXPECT_FALSE(child.hasSpare());
+    Rng twin_child = twin.split(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(child.normal(), twin_child.normal()) << i;
+
+    // The parent still replays its banked spare afterwards.
+    Rng reference(42);
+    (void)reference.normal();
+    EXPECT_EQ(parent.normal(), reference.normal());
+}
+
+TEST(Rng, ReseedClearsTheSpare)
+{
+    Rng r(7);
+    (void)r.normal();
+    EXPECT_TRUE(r.hasSpare());
+    r.reseed(99);
+    EXPECT_FALSE(r.hasSpare());
+    // Bitwise-equal stream to a freshly constructed Rng(99): the
+    // stale spare must not shift the draw sequence by one.
+    Rng fresh(99);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(r.normal(), fresh.normal()) << i;
+}
+
 /** Property sweep: truncation honors the cut for several widths. */
 class TruncatedNormalTest : public ::testing::TestWithParam<double>
 {

@@ -116,9 +116,8 @@ specFromFlags(const SpecFlags &flags)
     ShardCampaignSpec spec;
     spec.numChips = flags.opts.chips;
     spec.seed = flags.opts.seed;
-    spec.sampling = samplingPlanFromName(
-        flags.opts.sampling, flags.opts.tilt, flags.opts.sigmaScale);
-    spec.simd = vecmath::simdModeFromName(flags.opts.simd);
+    spec.sampling = flags.opts.engine.plan();
+    spec.simd = flags.opts.engine.simd;
     spec.delayLimitPs = flags.delayLimitPs;
     spec.leakageLimitMw = flags.leakageLimitMw;
 
@@ -318,9 +317,8 @@ cmdWorker(const Argv &args)
     ShardCampaignSpec spec;
     spec.numChips = opts.chips;
     spec.seed = opts.seed;
-    spec.sampling =
-        samplingPlanFromName(opts.sampling, opts.tilt, opts.sigmaScale);
-    spec.simd = vecmath::simdModeFromName(opts.simd);
+    spec.sampling = opts.engine.plan();
+    spec.simd = opts.engine.simd;
     spec.delayLimitPs = delay_limit;
     spec.leakageLimitMw = leak_limit;
     spec.binEdges = parseBinEdges(bin_edges);
