@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Exact-vs-surrogate CPI pricing: fits a coefficient table with bench
+ * windows, prices every held-out randomized degraded configuration
+ * with both oracles, emits the scatter (CSV) plus the frozen
+ * machine-readable timing/accuracy counters CI asserts against:
+ *
+ *   BENCH_surrogate_sim.json       -- exact oracle, cold sim cache
+ *   BENCH_surrogate_table.json     -- surrogate oracle, same chips
+ *   BENCH_surrogate.json           -- summary: speedup + error bound
+ *
+ * The speedup counter (surrogate_speedup_x) is per chip on a cold
+ * cache -- the regime the tentpole targets: campaign populations with
+ * diverse degraded configurations, where SimCache cannot help because
+ * every chip's configuration is distinct.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+#include "sim/scenarios.hh"
+#include "sim/surrogate.hh"
+#include "util/csv.hh"
+
+using namespace yac;
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    trace::Session trace_session(opts.traceOut);
+
+    // Fit with short windows so the bench is self-contained and quick;
+    // the accuracy claim is always relative to the table's own fitted
+    // bound, so shorter windows only make the bound honest, not loose.
+    const std::size_t n_bench = 6;
+    std::vector<BenchmarkProfile> suite = spec2000Profiles();
+    suite.resize(std::min(suite.size(), n_bench));
+    SimConfig baseline = baselineScenario();
+    baseline.warmupInsts = 2'000;
+    baseline.measureInsts = 10'000;
+
+    SurrogateFitPlan plan;
+    plan.train = surrogateTrainingConfigs();
+    plan.holdout = surrogateHoldoutConfigs(/*seed=*/909, 16);
+    std::printf("fitting %zu benchmarks x %zu configs...\n",
+                suite.size(),
+                plan.train.size() + plan.holdout.size() + 1);
+    const SurrogateTable table =
+        fitSurrogateTable(suite, baseline, plan);
+    double bound = 0.0;
+    for (const SurrogateModel &m : table.models)
+        bound = std::max(bound, m.maxAbsError);
+
+    // The priced population: fresh randomized degraded configs (a
+    // different seed than the fit's holdout), each one distinct, so
+    // the exact oracle pays one cold simulation per (chip, benchmark).
+    const std::vector<SimConfig> chips =
+        surrogateHoldoutConfigs(/*seed=*/1234, 24);
+
+    const CpiOracle exact(CpiMode::Sim, table, suite);
+    const CpiOracle learned(CpiMode::Surrogate, table, suite);
+
+    SimCache::instance().clear();
+    trace::Metrics::instance().reset();
+    std::vector<double> exact_deg(chips.size());
+    const bench::WallTimer sim_timer;
+    for (std::size_t i = 0; i < chips.size(); ++i)
+        exact_deg[i] = exact.meanDegradation(chips[i]);
+    const double sim_s = sim_timer.seconds();
+    bench::reportCampaignTiming("surrogate_sim", chips.size(), sim_s);
+
+    trace::Metrics::instance().reset();
+    std::vector<double> pred_deg(chips.size());
+    // The surrogate is ~ns per chip; repeat the whole population so
+    // the wall clock is measurable, then report per single pass.
+    const std::size_t reps = 2'000;
+    const bench::WallTimer sur_timer;
+    for (std::size_t r = 0; r < reps; ++r)
+        for (std::size_t i = 0; i < chips.size(); ++i)
+            pred_deg[i] = learned.meanDegradation(chips[i]);
+    const double sur_s = sur_timer.seconds() / reps;
+    bench::reportCampaignTiming("surrogate_table", chips.size(), sur_s);
+
+    CsvWriter csv(bench::outPath(opts, "surrogate_scatter.csv"),
+                  {"chip", "label", "exact_deg", "surrogate_deg",
+                   "abs_err"});
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < chips.size(); ++i) {
+        const double err = std::abs(pred_deg[i] - exact_deg[i]);
+        max_err = std::max(max_err, err);
+        char idx[32];
+        std::snprintf(idx, sizeof idx, "%zu", i);
+        char nums[3][40];
+        std::snprintf(nums[0], sizeof nums[0], "%.17g", exact_deg[i]);
+        std::snprintf(nums[1], sizeof nums[1], "%.17g", pred_deg[i]);
+        std::snprintf(nums[2], sizeof nums[2], "%.17g", err);
+        csv.writeRow(std::vector<std::string>{
+            idx, chips[i].label, nums[0], nums[1], nums[2]});
+    }
+
+    const double speedup = sim_s / std::max(sur_s, 1e-12);
+    std::printf("\nexact %zu chips: %.3f s (%.1f ms/chip)   "
+                "surrogate: %.6f s (%.1f ns/chip)   speedup %.0fx\n",
+                chips.size(), sim_s, 1e3 * sim_s / chips.size(), sur_s,
+                1e9 * sur_s / chips.size(), speedup);
+    std::printf("held-out max |dCPI_pred - dCPI_sim| = %.4g "
+                "(fitted bound %.4g)\n",
+                max_err, bound);
+
+    // The frozen summary line CI asserts against: the >= 20x per-chip
+    // floor and the fitted error bound.
+    trace::Metrics::instance().reset();
+    trace::Metrics::instance()
+        .counter("surrogate_speedup_x")
+        .add(static_cast<std::uint64_t>(speedup));
+    trace::Metrics::instance()
+        .counter("surrogate_err_within_bound")
+        .add(max_err <= bound ? 1 : 0);
+    trace::Metrics::instance()
+        .counter("surrogate_err_ppm")
+        .add(static_cast<std::uint64_t>(1e6 * max_err));
+    trace::Metrics::instance()
+        .counter("surrogate_bound_ppm")
+        .add(static_cast<std::uint64_t>(1e6 * bound));
+    bench::reportCampaignTiming("surrogate", chips.size(),
+                                sim_s + sur_s);
+
+    if (max_err > bound) {
+        std::printf("FAIL: held-out error above the fitted bound\n");
+        return 1;
+    }
+    return 0;
+}

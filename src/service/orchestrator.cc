@@ -72,6 +72,27 @@ workerCommandLine(const ShardCampaignSpec &spec, const WorkerTask &task)
         edges += buf;
     }
     args.push_back(edges);
+    if (spec.carryCpi) {
+        // Legacy (screening-only) command lines stay byte-identical:
+        // the CPI flags appear only when the spec carries CPI.
+        args.push_back("--carry-cpi=1");
+        args.push_back(std::string("--cpi=") +
+                       cpiModeName(spec.cpiMode));
+        if (!spec.surrogatePath.empty())
+            args.push_back("--surrogate=" + spec.surrogatePath);
+        args.push_back(fmtSize(
+            "--surrogate-hash",
+            static_cast<std::size_t>(spec.cpiTableHash)));
+        args.push_back(fmtSize(
+            "--cpi-warmup-insts",
+            static_cast<std::size_t>(spec.cpiWarmupInsts)));
+        args.push_back(fmtSize(
+            "--cpi-measure-insts",
+            static_cast<std::size_t>(spec.cpiMeasureInsts)));
+        args.push_back(fmtSize(
+            "--cpi-sim-seed",
+            static_cast<std::size_t>(spec.cpiSimSeed)));
+    }
     args.push_back("--checkpoint=" + task.checkpointPath);
     args.push_back(fmtSize("--chunk-begin", task.chunkBegin));
     args.push_back(fmtSize("--chunk-end", task.chunkEnd));
@@ -195,6 +216,17 @@ Orchestrator::runSubprocesses()
             workerCommandLine(spec_, task);
         arg_store.push_back(fmtSize("--threads",
                                     config_.workerThreads));
+        if (!config_.workerSimCachePrefix.empty()) {
+            // One persistent warm cache per shard: workers respawned
+            // onto the same shard reuse their own file, and shards
+            // never contend on a shared one.
+            char suffix[32];
+            std::snprintf(suffix, sizeof suffix, ".shard_%04zu",
+                          shard.index);
+            arg_store.push_back("--sim-cache=" +
+                                config_.workerSimCachePrefix +
+                                suffix);
+        }
         std::vector<char *> argv;
         std::string binary = config_.workerBinary;
         argv.push_back(binary.data());

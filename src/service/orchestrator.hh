@@ -84,6 +84,14 @@ struct OrchestratorConfig
      *  (fault-injection hooks in the tests). */
     std::vector<std::string> workerEnv;
 
+    /**
+     * When non-empty, every spawned worker gets
+     * --sim-cache=<prefix>.shard_NNNN so CPI-carrying shards keep a
+     * warm persistent simulation cache across respawns (one file per
+     * shard; never shared, so there is no write contention).
+     */
+    std::string workerSimCachePrefix;
+
     /** Streaming estimate callback; invoked from the orchestrator's
      *  thread whenever the durable chunk count grows. */
     std::function<void(const CampaignProgress &)> onProgress;

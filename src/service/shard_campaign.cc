@@ -6,6 +6,7 @@
 #include "util/logging.hh"
 #include "util/parallel.hh"
 #include "variation/soa_batch.hh"
+#include "yield/cpi_pricing.hh"
 
 namespace yac
 {
@@ -16,8 +17,9 @@ namespace
 {
 
 /** Bump on any change to the reduction semantics or ChunkAccum
- *  layout: it feeds the spec hash, which gates checkpoint reuse. */
-constexpr std::uint64_t kCampaignFormatVersion = 1;
+ *  layout: it feeds the spec hash, which gates checkpoint reuse.
+ *  v2: CPI pricing fields (spec + ChunkAccum). */
+constexpr std::uint64_t kCampaignFormatVersion = 2;
 
 CampaignConfig
 configOf(const ShardCampaignSpec &spec)
@@ -76,6 +78,14 @@ ShardCampaignSpec::contentHash() const
     h.f64(leakageLimitMw);
     for (double edge : binEdges)
         h.f64(edge);
+    // surrogatePath is a location, not content: the table's own
+    // content hash is what pins the campaign's semantics.
+    h.u64(carryCpi ? 1 : 0);
+    h.u64(static_cast<std::uint64_t>(cpiMode));
+    h.u64(cpiTableHash);
+    h.u64(cpiWarmupInsts);
+    h.u64(cpiMeasureInsts);
+    h.u64(cpiSimSeed);
     return h.value();
 }
 
@@ -102,6 +112,9 @@ CampaignTotals::fold(const ChunkAccum &accum)
     wRegLeak.merge(accum.wRegLeak);
     wHorDelay.merge(accum.wHorDelay);
     wHorLeak.merge(accum.wHorLeak);
+    cpiShipped.merge(accum.cpiShipped);
+    cpiDeg.merge(accum.cpiDeg);
+    wCpiDeg.merge(accum.wCpiDeg);
 }
 
 CampaignSummary
@@ -141,6 +154,17 @@ summarize(const ShardCampaignSpec &spec,
     }
     summary.weightSum = totals.population.sum();
     summary.weightSqSum = totals.population.sumSq();
+    if (spec.carryCpi) {
+        summary.cpiShipped =
+            fractionEstimate(totals.population, totals.cpiShipped);
+        if (spec.sampling.isNaive()) {
+            summary.cpiDegMean = totals.cpiDeg.mean();
+            summary.cpiDegSigma = totals.cpiDeg.stddev();
+        } else {
+            summary.cpiDegMean = totals.wCpiDeg.mean();
+            summary.cpiDegSigma = totals.wCpiDeg.stddev();
+        }
+    }
     return summary;
 }
 
@@ -151,6 +175,31 @@ ShardEvaluator::ShardEvaluator(const ShardCampaignSpec &spec)
 {
     yac_assert(spec_.numChips > 1, "need at least two chips");
     spec_.sampling.validate();
+    if (spec_.carryCpi) {
+        SurrogateTable table;
+        if (spec_.cpiMode == CpiMode::Sim) {
+            table.warmupInsts = spec_.cpiWarmupInsts;
+            table.measureInsts = spec_.cpiMeasureInsts;
+            table.simSeed = spec_.cpiSimSeed;
+        } else {
+            if (spec_.surrogatePath.empty())
+                yac_fatal("cpi=", cpiModeName(spec_.cpiMode),
+                          " needs a surrogate coefficient table");
+            if (!SurrogateTable::loadOrWarn(spec_.surrogatePath,
+                                            &table))
+                yac_fatal("cannot load surrogate table ",
+                          spec_.surrogatePath);
+            if (spec_.cpiTableHash != 0 &&
+                table.contentHash() != spec_.cpiTableHash)
+                yac_fatal("surrogate table ", spec_.surrogatePath,
+                          " does not match the campaign spec "
+                          "(content hash mismatch)");
+        }
+        oracle_.emplace(spec_.cpiMode, std::move(table));
+        limits_ = YieldConstraints{spec_.delayLimitPs,
+                                   spec_.leakageLimitMw};
+        mapping_.delayLimitPs = spec_.delayLimitPs;
+    }
 }
 
 ChunkAccum
@@ -227,6 +276,20 @@ ShardEvaluator::evaluateChunk(std::size_t chunk) const
             accum.wRegLeak.add(leak, w);
             accum.wHorDelay.add(hor.delay(), w);
             accum.wHorLeak.add(hor.leakage(), w);
+        }
+
+        if (oracle_) {
+            const std::optional<SimConfig> shipped = shippedSimConfig(
+                reg, limits_, mapping_, oracle_->baseline());
+            if (shipped) {
+                const double deg =
+                    oracle_->meanDegradation(*shipped);
+                accum.cpiShipped.add(w);
+                if (naive)
+                    accum.cpiDeg.add(deg);
+                else
+                    accum.wCpiDeg.add(deg, w);
+            }
         }
     }
     return accum;

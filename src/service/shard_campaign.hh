@@ -32,9 +32,15 @@
 #include <type_traits>
 #include <vector>
 
+#include <optional>
+#include <string>
+
+#include "sim/surrogate.hh"
 #include "util/statistics.hh"
 #include "util/vecmath.hh"
+#include "variation/engine_spec.hh"
 #include "variation/sampling_plan.hh"
+#include "yield/constraints.hh"
 #include "yield/estimate.hh"
 #include "yield/monte_carlo.hh"
 
@@ -74,6 +80,29 @@ struct ShardCampaignSpec
      */
     std::array<double, kDelayBins - 1> binEdges{};
 
+    /**
+     * CPI pricing of shipped chips; off by default (the historical
+     * screening-only campaign). When set, every chip that ships under
+     * the limits is priced by a CpiOracle in cpiMode (see
+     * sim/surrogate.hh and yield/cpi_pricing.hh).
+     *
+     * surrogatePath is where a worker loads the coefficient table
+     * from; it is deliberately NOT part of the content hash --
+     * cpiTableHash (the table's own contentHash()) is, so the same
+     * table at a different path merges and a different table cannot.
+     * Workers re-verify the loaded table against cpiTableHash.
+     */
+    bool carryCpi = false;
+    CpiMode cpiMode = CpiMode::Sim;
+    std::string surrogatePath;
+    std::uint64_t cpiTableHash = 0;
+
+    /** Simulation windows / trace seed for cpi=sim pricing
+     *  (surrogate and auto use the table's embedded windows). */
+    std::uint64_t cpiWarmupInsts = 30'000;
+    std::uint64_t cpiMeasureInsts = 120'000;
+    std::uint64_t cpiSimSeed = 1;
+
     /** Chunks this campaign reduces over. */
     std::size_t numChunks() const;
 
@@ -106,6 +135,11 @@ struct ChunkAccum
 
     RunningStats regDelay, regLeak, horDelay, horLeak;
     WeightedRunningStats wRegDelay, wRegLeak, wHorDelay, wHorLeak;
+
+    /** CPI pricing (all-empty unless the spec carries CPI). */
+    WeightTally cpiShipped; //!< chips that ship with a priced config
+    RunningStats cpiDeg;
+    WeightedRunningStats wCpiDeg;
 };
 
 static_assert(std::is_trivially_copyable_v<ChunkAccum>,
@@ -124,6 +158,9 @@ struct CampaignTotals
     std::array<WeightTally, kDelayBins> delayBins;
     RunningStats regDelay, regLeak, horDelay, horLeak;
     WeightedRunningStats wRegDelay, wRegLeak, wHorDelay, wHorLeak;
+    WeightTally cpiShipped;
+    RunningStats cpiDeg;
+    WeightedRunningStats wCpiDeg;
 
     /** Fold one chunk in. @pre accums arrive in ascending chunk order */
     void fold(const ChunkAccum &accum);
@@ -142,6 +179,11 @@ struct CampaignSummary
     PopulationStats horizontal; //!< same chips, H-YAPD layout
     double weightSum = 0.0;     //!< total likelihood-ratio weight
     double weightSqSum = 0.0;   //!< total squared weight
+
+    /** CPI pricing (zeros unless the spec carries CPI). */
+    YieldEstimate cpiShipped; //!< fraction of chips shipping priced
+    double cpiDegMean = 0.0;  //!< mean relative CPI degradation
+    double cpiDegSigma = 0.0; //!< its population spread
 };
 
 static_assert(std::is_trivially_copyable_v<CampaignSummary>,
@@ -187,6 +229,11 @@ class ShardEvaluator
     MonteCarlo mc_;
     vecmath::SimdKernel kernel_;
     std::size_t numChunks_ = 0;
+
+    /** CPI pricing state, engaged only when spec_.carryCpi. */
+    YieldConstraints limits_{};
+    CycleMapping mapping_{};
+    std::optional<CpiOracle> oracle_;
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "sim/simulation.hh"
 
+#include <limits>
+
 #include "sim/ooo_core.hh"
 #include "trace/metrics.hh"
 #include "util/logging.hh"
@@ -54,7 +56,8 @@ suiteDegradations(const std::vector<BenchmarkProfile> &suite,
 double
 meanOf(const std::vector<double> &values)
 {
-    yac_assert(!values.empty(), "mean of an empty set");
+    if (values.empty())
+        return std::numeric_limits<double>::quiet_NaN();
     double sum = 0.0;
     for (double v : values)
         sum += v;

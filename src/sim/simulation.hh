@@ -49,7 +49,7 @@ std::vector<double>
 suiteDegradations(const std::vector<BenchmarkProfile> &suite,
                   const SimConfig &baseline, const SimConfig &config);
 
-/** Arithmetic mean of a vector. */
+/** Arithmetic mean of a vector; NaN for an empty input. */
 double meanOf(const std::vector<double> &values);
 
 } // namespace yac

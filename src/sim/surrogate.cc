@@ -1,0 +1,805 @@
+#include "sim/surrogate.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "sim/scenarios.hh"
+#include "sim/sim_cache.hh"
+#include "trace/metrics.hh"
+#include "util/logging.hh"
+#include "util/parallel.hh"
+#include "util/rng.hh"
+
+namespace yac
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'Y', 'A', 'C', 'S', 'U', 'R', '0', '1'};
+constexpr std::uint32_t kTableFormatVersion = 1;
+
+// Sanity ceilings: a corrupt length field must be rejected before it
+// turns into an allocation, not after.
+constexpr std::uint64_t kMaxModels = 1u << 20;
+constexpr std::uint64_t kMaxNameLen = 1u << 12;
+
+/** FNV-1a over the canonical byte stream (same as SimCache's). */
+class Fnv1a
+{
+  public:
+    void bytes(const void *data, std::size_t n)
+    {
+        const unsigned char *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 0x100000001b3ull;
+        }
+    }
+
+    void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+
+    void f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+/** Capacity fraction of @p cache lost to masks / H-region disable. */
+double
+capacityLostFrac(const CacheParams &cache)
+{
+    const double ways = static_cast<double>(cache.numWays);
+    double enabled =
+        static_cast<double>(cache.enabledWays()) / std::max(1.0, ways);
+    if (cache.horizontalMode &&
+        cache.disabledHRegion != CacheParams::kNoRegion) {
+        const double regions =
+            std::max<std::size_t>(1, cache.numHRegions);
+        enabled *= (regions - 1.0) / regions;
+    }
+    return 1.0 - enabled;
+}
+
+/** Solve (A + ridge I) c = b for a kSurrogateFeatureCount system by
+ *  Gaussian elimination with partial pivoting. */
+std::array<double, kSurrogateFeatureCount>
+solveNormal(std::array<std::array<double, kSurrogateFeatureCount>,
+                       kSurrogateFeatureCount>
+                a,
+            std::array<double, kSurrogateFeatureCount> b, double ridge)
+{
+    constexpr std::size_t n = kSurrogateFeatureCount;
+    for (std::size_t i = 0; i < n; ++i)
+        a[i][i] += ridge;
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (std::fabs(a[row][col]) > std::fabs(a[pivot][col]))
+                pivot = row;
+        }
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        const double diag = a[col][col];
+        yac_assert(std::fabs(diag) > 0.0,
+                   "surrogate fit: singular normal equations");
+        for (std::size_t row = col + 1; row < n; ++row) {
+            const double f = a[row][col] / diag;
+            if (f == 0.0)
+                continue;
+            for (std::size_t k = col; k < n; ++k)
+                a[row][k] -= f * a[col][k];
+            b[row] -= f * b[col];
+        }
+    }
+    std::array<double, n> c{};
+    for (std::size_t row = n; row-- > 0;) {
+        double sum = b[row];
+        for (std::size_t k = row + 1; k < n; ++k)
+            sum -= a[row][k] * c[k];
+        c[row] = sum / a[row][row];
+    }
+    return c;
+}
+
+std::vector<BenchmarkProfile>
+resolveSuite(const SurrogateTable &table,
+             const std::vector<BenchmarkProfile> &universe)
+{
+    if (table.models.empty())
+        return universe;
+    std::vector<BenchmarkProfile> out;
+    out.reserve(table.models.size());
+    for (const SurrogateModel &m : table.models) {
+        const BenchmarkProfile *found = nullptr;
+        for (const BenchmarkProfile &p : universe) {
+            if (p.name == m.benchmark) {
+                found = &p;
+                break;
+            }
+        }
+        if (found == nullptr)
+            yac_fatal("surrogate: no profile named '", m.benchmark,
+                      "' for the table's model");
+        out.push_back(*found);
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+surrogateFeatureName(std::size_t i)
+{
+    static const char *const names[kSurrogateFeatureCount] = {
+        "intercept",      "l1d_lost",     "l1i_lost",
+        "l2_lost",        "l1d_plus1",    "l1d_plus2",
+        "bypass_stall",   "replay",       "serialization",
+        "lost_x_slow",
+    };
+    yac_assert(i < kSurrogateFeatureCount, "feature index ", i);
+    return names[i];
+}
+
+SurrogateFeatures
+surrogateFeatures(const SimConfig &config, const SimConfig &baseline)
+{
+    SurrogateFeatures f{};
+    f[0] = 1.0;
+    const CacheParams &l1d = config.hierarchy.l1d;
+    f[1] = capacityLostFrac(l1d);
+    f[2] = capacityLostFrac(config.hierarchy.l1i);
+    f[3] = capacityLostFrac(config.hierarchy.l2);
+
+    const int base = baseline.hierarchy.l1d.hitLatency;
+    const int assumed = config.core.assumedLoadLatency;
+    const int depth = config.core.loadBypassDepth;
+    double enabled = 0, plus1 = 0, plus2 = 0, stall = 0, replay = 0;
+    for (std::size_t w = 0; w < l1d.numWays; ++w) {
+        if ((l1d.wayMask & (1u << w)) == 0)
+            continue;
+        enabled += 1.0;
+        const int lat = l1d.latencyOfWay(w);
+        if (lat == base + 1)
+            plus1 += 1.0;
+        else if (lat >= base + 2)
+            plus2 += 1.0;
+        if (lat > assumed) {
+            if (lat <= assumed + depth)
+                stall += 1.0;
+            else
+                replay += 1.0;
+        }
+    }
+    if (enabled > 0.0) {
+        f[4] = plus1 / enabled;
+        f[5] = plus2 / enabled;
+        f[6] = stall / enabled;
+        f[7] = replay / enabled;
+    }
+    const double base_assumed =
+        static_cast<double>(baseline.core.assumedLoadLatency);
+    f[8] = (static_cast<double>(assumed) - base_assumed) /
+        std::max(1.0, base_assumed);
+    f[9] = f[1] * (f[4] + f[5]);
+    return f;
+}
+
+double
+SurrogateModel::predict(const SurrogateFeatures &f) const
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < kSurrogateFeatureCount; ++i)
+        sum += coef[i] * f[i];
+    return sum;
+}
+
+const char *
+SurrogateTable::loadStatusName(LoadStatus status)
+{
+    switch (status) {
+      case LoadStatus::Ok:
+        return "ok";
+      case LoadStatus::MissingFile:
+        return "missing file";
+      case LoadStatus::BadMagic:
+        return "bad magic";
+      case LoadStatus::BadVersion:
+        return "format-version mismatch";
+      case LoadStatus::BadLayout:
+        return "feature-count/ABI mismatch";
+      case LoadStatus::Truncated:
+        return "truncated";
+      case LoadStatus::ChecksumMismatch:
+        return "checksum mismatch";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/** Payload writer that feeds the trailing checksum as it goes. */
+class TableWriter
+{
+  public:
+    explicit TableWriter(std::ofstream &out) : out_(out) {}
+
+    void u64(std::uint64_t v)
+    {
+        out_.write(reinterpret_cast<const char *>(&v), sizeof v);
+        check_.u64(v);
+    }
+
+    void f64(double v)
+    {
+        out_.write(reinterpret_cast<const char *>(&v), sizeof v);
+        check_.f64(v);
+    }
+
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        out_.write(s.data(),
+                   static_cast<std::streamsize>(s.size()));
+        check_.bytes(s.data(), s.size());
+    }
+
+    std::uint64_t checksum() const { return check_.value(); }
+
+  private:
+    std::ofstream &out_;
+    Fnv1a check_;
+};
+
+/** Payload reader mirroring TableWriter; ok() goes false on EOF. */
+class TableReader
+{
+  public:
+    explicit TableReader(std::ifstream &in) : in_(in) {}
+
+    bool u64(std::uint64_t *v)
+    {
+        in_.read(reinterpret_cast<char *>(v), sizeof *v);
+        if (!in_)
+            return false;
+        check_.u64(*v);
+        return true;
+    }
+
+    bool f64(double *v)
+    {
+        in_.read(reinterpret_cast<char *>(v), sizeof *v);
+        if (!in_)
+            return false;
+        check_.f64(*v);
+        return true;
+    }
+
+    bool str(std::string *s)
+    {
+        std::uint64_t len = 0;
+        if (!u64(&len) || len > kMaxNameLen)
+            return false;
+        s->resize(static_cast<std::size_t>(len));
+        in_.read(s->data(), static_cast<std::streamsize>(len));
+        if (!in_)
+            return false;
+        check_.bytes(s->data(), s->size());
+        return true;
+    }
+
+    std::uint64_t checksum() const { return check_.value(); }
+
+  private:
+    std::ifstream &in_;
+    Fnv1a check_;
+};
+
+} // namespace
+
+bool
+SurrogateTable::save(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    const std::uint32_t version = kTableFormatVersion;
+    const std::uint32_t features = kSurrogateFeatureCount;
+    out.write(kMagic, sizeof kMagic);
+    out.write(reinterpret_cast<const char *>(&version), sizeof version);
+    out.write(reinterpret_cast<const char *>(&features),
+              sizeof features);
+
+    TableWriter w(out);
+    w.u64(warmupInsts);
+    w.u64(measureInsts);
+    w.u64(simSeed);
+    w.f64(envelopeSlack);
+    for (double v : featMin)
+        w.f64(v);
+    for (double v : featMax)
+        w.f64(v);
+    w.u64(models.size());
+    for (const SurrogateModel &m : models) {
+        w.str(m.benchmark);
+        w.f64(m.baselineCpi);
+        w.f64(m.missPressure);
+        w.f64(m.maxAbsError);
+        for (double c : m.coef)
+            w.f64(c);
+    }
+    const std::uint64_t checksum = w.checksum();
+    out.write(reinterpret_cast<const char *>(&checksum),
+              sizeof checksum);
+    return static_cast<bool>(out);
+}
+
+SurrogateTable::LoadStatus
+SurrogateTable::load(const std::string &path, SurrogateTable *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return LoadStatus::MissingFile;
+
+    char magic[sizeof kMagic];
+    in.read(magic, sizeof magic);
+    if (!in)
+        return LoadStatus::Truncated;
+    if (std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+        return LoadStatus::BadMagic;
+    std::uint32_t version = 0;
+    in.read(reinterpret_cast<char *>(&version), sizeof version);
+    if (!in)
+        return LoadStatus::Truncated;
+    if (version != kTableFormatVersion)
+        return LoadStatus::BadVersion;
+    std::uint32_t features = 0;
+    in.read(reinterpret_cast<char *>(&features), sizeof features);
+    if (!in)
+        return LoadStatus::Truncated;
+    if (features != kSurrogateFeatureCount)
+        return LoadStatus::BadLayout;
+
+    SurrogateTable loaded;
+    TableReader r(in);
+    if (!r.u64(&loaded.warmupInsts) || !r.u64(&loaded.measureInsts) ||
+        !r.u64(&loaded.simSeed) || !r.f64(&loaded.envelopeSlack)) {
+        return LoadStatus::Truncated;
+    }
+    for (double &v : loaded.featMin) {
+        if (!r.f64(&v))
+            return LoadStatus::Truncated;
+    }
+    for (double &v : loaded.featMax) {
+        if (!r.f64(&v))
+            return LoadStatus::Truncated;
+    }
+    std::uint64_t count = 0;
+    if (!r.u64(&count) || count > kMaxModels)
+        return LoadStatus::Truncated;
+    loaded.models.resize(static_cast<std::size_t>(count));
+    for (SurrogateModel &m : loaded.models) {
+        if (!r.str(&m.benchmark) || !r.f64(&m.baselineCpi) ||
+            !r.f64(&m.missPressure) || !r.f64(&m.maxAbsError)) {
+            return LoadStatus::Truncated;
+        }
+        for (double &c : m.coef) {
+            if (!r.f64(&c))
+                return LoadStatus::Truncated;
+        }
+    }
+    std::uint64_t checksum = 0;
+    in.read(reinterpret_cast<char *>(&checksum), sizeof checksum);
+    if (!in)
+        return LoadStatus::Truncated;
+    if (checksum != r.checksum())
+        return LoadStatus::ChecksumMismatch;
+
+    *out = std::move(loaded);
+    return LoadStatus::Ok;
+}
+
+bool
+SurrogateTable::loadOrWarn(const std::string &path, SurrogateTable *out)
+{
+    const LoadStatus status = load(path, out);
+    if (status == LoadStatus::Ok)
+        return true;
+    yac_warn("surrogate: rejecting ", path, " (",
+             loadStatusName(status), ")");
+    return false;
+}
+
+std::uint64_t
+SurrogateTable::contentHash() const
+{
+    Fnv1a h;
+    h.u64(kTableFormatVersion);
+    h.u64(kSurrogateFeatureCount);
+    h.u64(warmupInsts);
+    h.u64(measureInsts);
+    h.u64(simSeed);
+    h.f64(envelopeSlack);
+    for (double v : featMin)
+        h.f64(v);
+    for (double v : featMax)
+        h.f64(v);
+    h.u64(models.size());
+    for (const SurrogateModel &m : models) {
+        h.str(m.benchmark);
+        h.f64(m.baselineCpi);
+        h.f64(m.missPressure);
+        h.f64(m.maxAbsError);
+        for (double c : m.coef)
+            h.f64(c);
+    }
+    return h.value();
+}
+
+bool
+SurrogateTable::inEnvelope(const SurrogateFeatures &f) const
+{
+    for (std::size_t i = 0; i < kSurrogateFeatureCount; ++i) {
+        const double range =
+            std::max(featMax[i] - featMin[i], 1e-12);
+        const double pad = envelopeSlack * range + 1e-9;
+        if (f[i] < featMin[i] - pad || f[i] > featMax[i] + pad)
+            return false;
+    }
+    return true;
+}
+
+double
+SurrogateTable::predictMean(const SurrogateFeatures &f) const
+{
+    yac_assert(!models.empty(), "surrogate table has no models");
+    double sum = 0.0;
+    for (const SurrogateModel &m : models)
+        sum += m.predict(f);
+    return sum / static_cast<double>(models.size());
+}
+
+const SurrogateModel *
+SurrogateTable::find(const std::string &benchmark) const
+{
+    for (const SurrogateModel &m : models) {
+        if (m.benchmark == benchmark)
+            return &m;
+    }
+    return nullptr;
+}
+
+SimConfig
+SurrogateTable::baselineConfig() const
+{
+    SimConfig cfg = baselineScenario();
+    cfg.warmupInsts = warmupInsts;
+    cfg.measureInsts = measureInsts;
+    cfg.seed = simSeed;
+    return cfg;
+}
+
+SurrogateTable
+fitSurrogateTable(const std::vector<BenchmarkProfile> &suite,
+                  const SimConfig &baseline, const SurrogateFitPlan &plan)
+{
+    yac_assert(!suite.empty(), "surrogate fit: empty suite");
+    yac_assert(plan.train.size() > kSurrogateFeatureCount,
+               "surrogate fit: need more training configs (",
+               plan.train.size(), ") than features (",
+               kSurrogateFeatureCount, ")");
+
+    SurrogateTable table;
+    table.warmupInsts = baseline.warmupInsts;
+    table.measureInsts = baseline.measureInsts;
+    table.simSeed = baseline.seed;
+    table.envelopeSlack = plan.envelopeSlack;
+
+    // Normalize every swept config to the baseline's windows/seed so
+    // degradations are measured against the same reference runs.
+    std::vector<SimConfig> all;
+    all.reserve(plan.train.size() + plan.holdout.size());
+    for (const std::vector<SimConfig> *src :
+         {&plan.train, &plan.holdout}) {
+        for (SimConfig cfg : *src) {
+            cfg.warmupInsts = baseline.warmupInsts;
+            cfg.measureInsts = baseline.measureInsts;
+            cfg.seed = baseline.seed;
+            all.push_back(std::move(cfg));
+        }
+    }
+    const std::size_t num_train = plan.train.size();
+
+    // Feature matrix + envelope (the baseline's all-zero feature
+    // vector is folded in so pristine chips always price in-envelope).
+    std::vector<SurrogateFeatures> feats;
+    feats.reserve(all.size());
+    table.featMin.fill(std::numeric_limits<double>::infinity());
+    table.featMax.fill(-std::numeric_limits<double>::infinity());
+    auto fold = [&table](const SurrogateFeatures &f) {
+        for (std::size_t i = 0; i < kSurrogateFeatureCount; ++i) {
+            table.featMin[i] = std::min(table.featMin[i], f[i]);
+            table.featMax[i] = std::max(table.featMax[i], f[i]);
+        }
+    };
+    fold(surrogateFeatures(baseline, baseline));
+    for (const SimConfig &cfg : all) {
+        feats.push_back(surrogateFeatures(cfg, baseline));
+        fold(feats.back());
+    }
+
+    // Exact CPIs for the whole (benchmark x config) grid, plus the
+    // per-benchmark baselines, simulated in parallel through the
+    // memo cache and folded in index order.
+    const std::size_t stride = all.size() + 1; // slot 0 = baseline
+    std::vector<double> cpi(suite.size() * stride, 0.0);
+    parallel::forEach(cpi.size(), [&](std::size_t idx) {
+        const std::size_t b = idx / stride;
+        const std::size_t k = idx % stride;
+        const SimConfig &cfg = k == 0 ? baseline : all[k - 1];
+        cpi[idx] = simulateBenchmarkCached(suite[b], cfg).cpi();
+    });
+
+    table.models.reserve(suite.size());
+    for (std::size_t b = 0; b < suite.size(); ++b) {
+        const double base = cpi[b * stride];
+        yac_assert(base > 0.0, "surrogate fit: zero baseline CPI for ",
+                   suite[b].name);
+
+        std::array<std::array<double, kSurrogateFeatureCount>,
+                   kSurrogateFeatureCount>
+            xtx{};
+        std::array<double, kSurrogateFeatureCount> xty{};
+        for (std::size_t k = 0; k < num_train; ++k) {
+            const SurrogateFeatures &x = feats[k];
+            const double y = (cpi[b * stride + 1 + k] - base) / base;
+            for (std::size_t i = 0; i < kSurrogateFeatureCount; ++i) {
+                xty[i] += x[i] * y;
+                for (std::size_t j = 0; j < kSurrogateFeatureCount; ++j)
+                    xtx[i][j] += x[i] * x[j];
+            }
+        }
+
+        SurrogateModel model;
+        model.benchmark = suite[b].name;
+        model.baselineCpi = base;
+        model.missPressure = suite[b].expectedL1MissRate();
+        model.coef = solveNormal(xtx, xty, plan.ridge);
+        for (std::size_t k = 0; k < all.size(); ++k) {
+            const double y = (cpi[b * stride + 1 + k] - base) / base;
+            const double err = std::fabs(model.predict(feats[k]) - y);
+            model.maxAbsError = std::max(model.maxAbsError, err);
+        }
+        table.models.push_back(std::move(model));
+    }
+    return table;
+}
+
+std::vector<SimConfig>
+surrogateTrainingConfigs()
+{
+    std::vector<SimConfig> out;
+    out.push_back(baselineScenario());
+    for (int d = 1; d <= 3; ++d)
+        out.push_back(yapdScenario(d));
+    out.push_back(hyapdScenario(0));
+    for (int k = 1; k <= 4; ++k)
+        out.push_back(vacaScenario(k));
+    for (int k = 0; k <= 3; ++k)
+        out.push_back(hybridOffScenario(k));
+    for (int c = 5; c <= 7; ++c)
+        out.push_back(binningScenario(c));
+
+    // Way-placement permutations: the features are placement-blind,
+    // so teaching the fit both extremes keeps the residual honest.
+    {
+        SimConfig cfg = vacaScenario(1);
+        cfg.hierarchy.l1d.wayLatency.assign(4, 4);
+        cfg.hierarchy.l1d.wayLatency[0] = 5;
+        cfg.label = "VACA(way0 slow)";
+        out.push_back(cfg);
+    }
+    {
+        SimConfig cfg = vacaScenario(2);
+        cfg.hierarchy.l1d.wayLatency.assign(4, 4);
+        cfg.hierarchy.l1d.wayLatency[0] = 5;
+        cfg.hierarchy.l1d.wayLatency[2] = 5;
+        cfg.label = "VACA(ways 0,2 slow)";
+        out.push_back(cfg);
+    }
+    {
+        SimConfig cfg = yapdScenario(1);
+        cfg.hierarchy.l1d.wayMask = 0xE; // way 0 instead of way 3
+        cfg.label = "YAPD(way0 off)";
+        out.push_back(cfg);
+    }
+    {
+        SimConfig cfg = yapdScenario(2);
+        cfg.hierarchy.l1d.wayMask = 0x5; // ways 1,3 off
+        cfg.label = "YAPD(ways 1,3 off)";
+        out.push_back(cfg);
+    }
+    {
+        SimConfig cfg = hybridOffScenario(1);
+        cfg.hierarchy.l1d.wayMask = 0xE;
+        cfg.hierarchy.l1d.wayLatency.assign(4, 4);
+        cfg.hierarchy.l1d.wayLatency[3] = 5;
+        cfg.label = "Hybrid(way0 off, way3 slow)";
+        out.push_back(cfg);
+    }
+
+    // Bypass-less replay variants: slow ways on a conventional core
+    // (loadBypassDepth 0, 4-cycle assumption kept).
+    for (int k : {1, 2, 4}) {
+        SimConfig cfg = vacaScenario(k);
+        cfg.core.loadBypassDepth = 0;
+        cfg.label = "Replay(" + std::to_string(k) + " slow)";
+        out.push_back(cfg);
+    }
+
+    // Deep-slow replay: a +2 way the single-entry buffers cannot
+    // absorb.
+    {
+        SimConfig cfg = vacaScenario(1);
+        cfg.hierarchy.l1d.wayLatency[3] = 6;
+        cfg.label = "Replay(way3 at 6cy)";
+        out.push_back(cfg);
+    }
+    {
+        SimConfig cfg = vacaScenario(2);
+        cfg.hierarchy.l1d.wayLatency[3] = 6;
+        cfg.label = "Replay(6cy+5cy)";
+        out.push_back(cfg);
+    }
+    return out;
+}
+
+std::vector<SimConfig>
+surrogateHoldoutConfigs(std::uint64_t seed, std::size_t count)
+{
+    std::vector<SimConfig> out;
+    out.reserve(count);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (rng.uniform() < 0.15) {
+            const int cycles = 5 + static_cast<int>(rng.uniformInt(3));
+            SimConfig cfg = binningScenario(cycles);
+            cfg.label = "rand-bin#" + std::to_string(i);
+            out.push_back(std::move(cfg));
+            continue;
+        }
+        SimConfig cfg;
+        const std::size_t disabled = rng.uniformInt(4); // 0..3
+        std::uint32_t mask = 0xF;
+        while (static_cast<std::size_t>(__builtin_popcount(mask)) >
+               4 - disabled) {
+            mask &= ~(1u << rng.uniformInt(4));
+        }
+        cfg.hierarchy.l1d.wayMask = mask;
+        cfg.hierarchy.l1d.wayLatency.assign(4, 4);
+        for (std::size_t w = 0; w < 4; ++w) {
+            if ((mask & (1u << w)) == 0)
+                continue;
+            const double u = rng.uniform();
+            if (u < 0.1)
+                cfg.hierarchy.l1d.wayLatency[w] = 6;
+            else if (u < 0.5)
+                cfg.hierarchy.l1d.wayLatency[w] = 5;
+        }
+        cfg.core.loadBypassDepth = rng.uniform() < 0.8 ? 1 : 0;
+        cfg.core.assumedLoadLatency = 4;
+        cfg.label = "rand#" + std::to_string(i);
+        out.push_back(std::move(cfg));
+    }
+    return out;
+}
+
+CpiOracle::CpiOracle(CpiMode mode, SurrogateTable table)
+    : CpiOracle(mode, std::move(table), spec2000Profiles())
+{
+}
+
+CpiOracle::CpiOracle(CpiMode mode, SurrogateTable table,
+                     std::vector<BenchmarkProfile> suite)
+    : mode_(mode), table_(std::move(table))
+{
+    if (mode_ != CpiMode::Sim) {
+        yac_assert(!table_.models.empty(), "cpi=", cpiModeName(mode_),
+                   " needs a fitted surrogate table");
+    }
+    baseline_ = table_.baselineConfig();
+    suite_ = resolveSuite(table_, suite);
+    yac_assert(!suite_.empty(), "CPI oracle: empty benchmark suite");
+    if (mode_ != CpiMode::Surrogate) {
+        // Eager baseline CPIs keep meanDegradation() lock-free.
+        baselineCpis_.resize(suite_.size(), 0.0);
+        parallel::forEach(suite_.size(), [&](std::size_t i) {
+            baselineCpis_[i] =
+                simulateBenchmarkCached(suite_[i], baseline_).cpi();
+        });
+    }
+}
+
+CpiOracle
+CpiOracle::fromSpec(const EngineSpec &spec, std::uint64_t expect_hash)
+{
+    if (spec.cpi == CpiMode::Sim)
+        return CpiOracle(CpiMode::Sim);
+    if (spec.surrogate.empty())
+        yac_fatal("cpi=", cpiModeName(spec.cpi),
+                  " needs a surrogate table (--surrogate=TABLE)");
+    SurrogateTable table;
+    if (!SurrogateTable::loadOrWarn(spec.surrogate, &table))
+        yac_fatal("surrogate: cannot load ", spec.surrogate);
+    if (expect_hash != 0 && table.contentHash() != expect_hash) {
+        yac_fatal("surrogate: ", spec.surrogate,
+                  " content-hash mismatch (expected ", expect_hash,
+                  ", got ", table.contentHash(), ")");
+    }
+    return CpiOracle(spec.cpi, std::move(table));
+}
+
+double
+CpiOracle::meanDegradation(const SimConfig &config) const
+{
+    // Price against the table's reference runs regardless of what
+    // windows the caller left in the config.
+    SimConfig cfg = config;
+    cfg.warmupInsts = table_.warmupInsts;
+    cfg.measureInsts = table_.measureInsts;
+    cfg.seed = table_.simSeed;
+
+    // A pristine chip is the baseline: exactly 0 in every mode.
+    if (SimCache::key(suite_.front(), cfg) ==
+        SimCache::key(suite_.front(), baseline_)) {
+        return 0.0;
+    }
+
+    trace::Metrics &metrics = trace::Metrics::instance();
+    if (mode_ == CpiMode::Sim) {
+        metrics.counter("cpi_sim_chips").add(1);
+        return exactMean(cfg);
+    }
+    const SurrogateFeatures f = surrogateFeatures(cfg, baseline_);
+    if (mode_ == CpiMode::Auto && !table_.inEnvelope(f)) {
+        metrics.counter("cpi_sim_chips").add(1);
+        metrics.counter("cpi_auto_fallbacks").add(1);
+        return exactMean(cfg);
+    }
+    metrics.counter("cpi_surrogate_chips").add(1);
+    return table_.predictMean(f);
+}
+
+double
+CpiOracle::exactMean(const SimConfig &config) const
+{
+    yac_assert(!baselineCpis_.empty(),
+               "exact CPI path without baseline CPIs (surrogate-only "
+               "oracle)");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < suite_.size(); ++i) {
+        const double cur =
+            simulateBenchmarkCached(suite_[i], config).cpi();
+        sum += (cur - baselineCpis_[i]) / baselineCpis_[i];
+    }
+    return sum / static_cast<double>(suite_.size());
+}
+
+} // namespace yac

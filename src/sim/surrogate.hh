@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Learned CPI-degradation surrogate: a per-benchmark linear /
+ * low-order-interaction model over features derivable from a degraded
+ * SimConfig, fitted offline against simulateBenchmark (the reference
+ * oracle) by tools/yac_fit_surrogate and serialized as a versioned,
+ * checksummed coefficient table with the same reject-don't-trust
+ * discipline as SimCache and the worker checkpoints.
+ *
+ * Why: SimCache only dedupes *exact* (profile, SimConfig) pairs, so a
+ * campaign population with diverse degraded configurations pays full
+ * pipeline-simulation cost per distinct chip. The surrogate replaces
+ * that with one dot product per (benchmark, chip) -- >= 20x per chip
+ * on a cold cache (bench/bench_surrogate_cpi.cc) -- while CpiMode::Auto
+ * falls back to the exact simulator for any configuration outside the
+ * validated feature envelope. See docs/PERFORMANCE.md section 5.
+ */
+
+#ifndef YAC_SIM_SURROGATE_HH
+#define YAC_SIM_SURROGATE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hh"
+#include "variation/engine_spec.hh"
+#include "workload/profile.hh"
+
+namespace yac
+{
+
+/**
+ * The fixed feature vector, all dimensionless, extracted from a
+ * degraded SimConfig relative to the fit baseline:
+ *
+ *   0  intercept (always 1)
+ *   1  L1D capacity lost fraction (masked ways / disabled H-region)
+ *   2  L1I capacity lost fraction
+ *   3  L2 capacity lost fraction
+ *   4  fraction of enabled L1D ways at +1 cycle over the base latency
+ *   5  fraction of enabled L1D ways at +2 cycles or worse
+ *   6  bypass-stall exposure: fraction of enabled L1D ways whose
+ *      latency exceeds the scheduler assumption by at most the
+ *      load-bypass depth (the VACA stall-at-FU regime)
+ *   7  replay exposure: fraction of enabled L1D ways whose latency
+ *      exceeds assumption + bypass depth (scheduler replays)
+ *   8  scheduler serialization: relative raise of assumedLoadLatency
+ *      over the baseline assumption (the binning regime)
+ *   9  interaction: capacity lost x slow-way fraction (features
+ *      1 x (4 + 5))
+ *
+ * Per-benchmark coefficients absorb the workload's baseline miss
+ * pressure (each model also records profile.expectedL1MissRate() so
+ * the table documents the regime it was fitted in).
+ */
+inline constexpr std::size_t kSurrogateFeatureCount = 10;
+
+using SurrogateFeatures = std::array<double, kSurrogateFeatureCount>;
+
+/** Short stable name of feature @p i (docs, CSV headers). */
+const char *surrogateFeatureName(std::size_t i);
+
+/** Extract the feature vector of @p config relative to @p baseline. */
+SurrogateFeatures surrogateFeatures(const SimConfig &config,
+                                    const SimConfig &baseline);
+
+/** One benchmark's fitted model. */
+struct SurrogateModel
+{
+    std::string benchmark;
+
+    /** Baseline CPI the fit measured (predictions are relative). */
+    double baselineCpi = 0.0;
+
+    /** profile.expectedL1MissRate() at fit time; metadata only. */
+    double missPressure = 0.0;
+
+    /**
+     * The fitted error bound: max |dCPI_pred - dCPI_sim| over every
+     * training + held-out configuration the fit evaluated.
+     */
+    double maxAbsError = 0.0;
+
+    std::array<double, kSurrogateFeatureCount> coef{};
+
+    /** Predicted relative CPI degradation (coef . features). */
+    double predict(const SurrogateFeatures &f) const;
+};
+
+/**
+ * The serialized coefficient table: fit metadata (the simulation
+ * windows the coefficients were trained against), the validated
+ * feature envelope, and one model per benchmark.
+ */
+struct SurrogateTable
+{
+    /** Simulation windows / trace seed of the fit's exact runs; the
+     *  oracle reruns the simulator with exactly these on fallback. */
+    std::uint64_t warmupInsts = 30'000;
+    std::uint64_t measureInsts = 120'000;
+    std::uint64_t simSeed = 1;
+
+    /** Fractional widening applied per feature when checking the
+     *  envelope (a config this far outside the fitted range still
+     *  counts as covered). */
+    double envelopeSlack = 0.05;
+
+    /** Per-feature min/max over every configuration the fit saw. */
+    std::array<double, kSurrogateFeatureCount> featMin{};
+    std::array<double, kSurrogateFeatureCount> featMax{};
+
+    std::vector<SurrogateModel> models;
+
+    /** Result of load(); every non-Ok status leaves *out untouched. */
+    enum class LoadStatus
+    {
+        Ok,
+        MissingFile,
+        BadMagic,
+        BadVersion,
+        BadLayout, //!< feature-count / ABI drift
+        Truncated,
+        ChecksumMismatch,
+    };
+
+    static const char *loadStatusName(LoadStatus status);
+
+    /** Write the table to @p path. Returns false on I/O failure. */
+    bool save(const std::string &path) const;
+
+    /**
+     * Read a table from @p path. Reject-don't-trust: any header,
+     * size, or checksum problem returns the specific status and
+     * leaves @p out untouched.
+     */
+    static LoadStatus load(const std::string &path, SurrogateTable *out);
+
+    /** load() that yac_warns and returns false on any rejection. */
+    static bool loadOrWarn(const std::string &path, SurrogateTable *out);
+
+    /**
+     * Canonical FNV-1a hash over every semantic field (format
+     * version, fit windows, envelope, every coefficient). Shard specs
+     * carry it so a merge of shards priced by different tables can
+     * never look mergeable.
+     */
+    std::uint64_t contentHash() const;
+
+    /** True when @p f lies inside the fitted per-feature envelope
+     *  widened by envelopeSlack. */
+    bool inEnvelope(const SurrogateFeatures &f) const;
+
+    /** Mean predicted relative degradation over all models. */
+    double predictMean(const SurrogateFeatures &f) const;
+
+    /** Model for @p benchmark, or nullptr. */
+    const SurrogateModel *find(const std::string &benchmark) const;
+
+    /** The fit's baseline: baselineScenario() with this table's
+     *  simulation windows and trace seed applied. */
+    SimConfig baselineConfig() const;
+};
+
+/** Fit inputs beyond the suite: the degradation-space sweep. */
+struct SurrogateFitPlan
+{
+    /** Configurations the coefficients are fitted on. */
+    std::vector<SimConfig> train;
+
+    /** Held-out configurations: not fitted, but folded into each
+     *  model's maxAbsError and into the envelope. */
+    std::vector<SimConfig> holdout;
+
+    double envelopeSlack = 0.05;
+
+    /** Tikhonov damping on the normal equations; keeps degenerate
+     *  (never-exercised) feature columns at coefficient ~0. */
+    double ridge = 1e-8;
+};
+
+/**
+ * Fit one model per benchmark in @p suite against the exact
+ * simulator (through SimCache), using @p baseline's simulation
+ * windows for every run. Deterministic: the (benchmark, config) grid
+ * is simulated in parallel but folded in index order.
+ */
+SurrogateTable fitSurrogateTable(const std::vector<BenchmarkProfile> &suite,
+                                 const SimConfig &baseline,
+                                 const SurrogateFitPlan &plan);
+
+/**
+ * The deterministic sweep of the reachable degradation space: every
+ * Table 6 scheme scenario family (YAPD/H-YAPD masks, VACA slow-way
+ * counts, Hybrid mixes, binning latencies), way-placement
+ * permutations of each, and the bypass-less replay variants.
+ */
+std::vector<SimConfig> surrogateTrainingConfigs();
+
+/**
+ * @p count randomized reachable degraded configurations drawn from
+ * Rng(seed): random way masks, per-way +0/+1 latencies, bypass
+ * depth, and occasional binning-style uniform raises. Used for the
+ * held-out error bound (prop_surrogate) and the fit's holdout split.
+ */
+std::vector<SimConfig> surrogateHoldoutConfigs(std::uint64_t seed,
+                                               std::size_t count);
+
+/**
+ * The one object campaign code asks for CPI: prices the mean
+ * relative CPI degradation of a degraded configuration over a
+ * benchmark suite, by exact simulation (CpiMode::Sim), by the fitted
+ * table (CpiMode::Surrogate), or by the table inside its validated
+ * envelope with exact-sim fallback outside it (CpiMode::Auto).
+ *
+ * Deterministic and thread-safe: baseline CPIs are computed eagerly
+ * at construction, the surrogate path is a pure dot product, and the
+ * exact path goes through the (thread-safe) SimCache. Maintains the
+ * `cpi_surrogate_chips` / `cpi_sim_chips` / `cpi_auto_fallbacks`
+ * metrics counters.
+ */
+class CpiOracle
+{
+  public:
+    /**
+     * @p table supplies the fit windows, envelope and models. The
+     * benchmark set is the table's models, resolved by name against
+     * spec2000Profiles(); a table with no models (legal for
+     * CpiMode::Sim) means the full SPEC 2000 suite. Surrogate/Auto
+     * yac_fatal on an empty table.
+     */
+    explicit CpiOracle(CpiMode mode, SurrogateTable table = {});
+
+    /** As above with an explicit profile set (tests, custom suites);
+     *  profiles must cover every model name. */
+    CpiOracle(CpiMode mode, SurrogateTable table,
+              std::vector<BenchmarkProfile> suite);
+
+    /**
+     * Build from EngineSpec fields: loads spec.surrogate for
+     * Surrogate/Auto (yac_fatal on a missing/rejected table, and on
+     * a content-hash mismatch when @p expect_hash is nonzero).
+     */
+    static CpiOracle fromSpec(const EngineSpec &spec,
+                              std::uint64_t expect_hash = 0);
+
+    /**
+     * Mean relative CPI degradation of @p config over the suite.
+     * The config's simulation windows and trace seed are replaced by
+     * the table's, so exact and surrogate prices always refer to the
+     * same reference runs. A config identical to the baseline prices
+     * at exactly 0 in every mode.
+     */
+    double meanDegradation(const SimConfig &config) const;
+
+    CpiMode mode() const { return mode_; }
+    const SurrogateTable &table() const { return table_; }
+
+    /** The baseline every degradation is measured against. */
+    const SimConfig &baseline() const { return baseline_; }
+
+  private:
+    double exactMean(const SimConfig &config) const;
+
+    CpiMode mode_;
+    SurrogateTable table_;
+    SimConfig baseline_;
+    std::vector<BenchmarkProfile> suite_;
+    std::vector<double> baselineCpis_; //!< per suite_ entry; Sim/Auto
+};
+
+} // namespace yac
+
+#endif // YAC_SIM_SURROGATE_HH

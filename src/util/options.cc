@@ -49,6 +49,19 @@ parseSamplingMode(const std::string &flag, const std::string &value)
     yac_fatal("--", flag, " wants naive or tilted, got '", value, "'");
 }
 
+CpiMode
+parseCpiMode(const std::string &flag, const std::string &value)
+{
+    if (value == "sim")
+        return CpiMode::Sim;
+    if (value == "surrogate")
+        return CpiMode::Surrogate;
+    if (value == "auto")
+        return CpiMode::Auto;
+    yac_fatal("--", flag, " wants sim, surrogate or auto, got '",
+              value, "'");
+}
+
 /**
  * Apply one --engine value: comma-separated key=value pairs. Parsing
  * stays inline in this translation unit (string compares plus the
@@ -80,9 +93,16 @@ applyEngineSpec(EngineSpec &engine, const std::string &value)
             engine.sampling.tilt = parseDouble("engine", val);
         } else if (key == "sigma-scale") {
             engine.sampling.sigmaScale = parseDouble("engine", val);
+        } else if (key == "cpi") {
+            engine.cpi = parseCpiMode("engine", val);
+        } else if (key == "surrogate") {
+            if (val.empty())
+                yac_fatal("--engine surrogate= wants a table path");
+            engine.surrogate = val;
         } else {
-            yac_fatal("--engine key must be simd, sampling, tilt or "
-                      "sigma-scale, got '", key, "'");
+            yac_fatal("--engine key must be simd, sampling, tilt, "
+                      "sigma-scale, cpi or surrogate, got '", key,
+                      "'");
         }
     }
 }
@@ -222,7 +242,8 @@ addEngineOptions(OptionParser &parser, EngineSpec &engine)
     parser.add("engine",
                "numeric engine: comma-separated key=value pairs "
                "(simd=off|auto|avx2, sampling=naive|tilted, tilt=T, "
-               "sigma-scale=S)",
+               "sigma-scale=S, cpi=sim|surrogate|auto, "
+               "surrogate=TABLE)",
                [&engine](const std::string &value) {
                    applyEngineSpec(engine, value);
                });
@@ -253,6 +274,18 @@ addEngineOptions(OptionParser &parser, EngineSpec &engine)
                [&engine](const std::string &value) {
                    engine.simd = vecmath::simdModeFromName(value);
                });
+    parser.add("cpi",
+               "CPI pricing: sim (exact simulator, default), "
+               "surrogate (fitted coefficient table) or auto "
+               "(surrogate inside its envelope, sim outside); alias "
+               "of --engine cpi=",
+               [&engine](const std::string &value) {
+                   engine.cpi = parseCpiMode("cpi", value);
+               });
+    parser.add("surrogate",
+               "surrogate coefficient-table path for "
+               "--cpi=surrogate|auto; alias of --engine surrogate=",
+               &engine.surrogate);
 }
 
 CampaignOptions

@@ -44,7 +44,9 @@ struct CampaignOptions
      * deep Delay3/Delay4 tail yields (see docs/SAMPLING.md).
      */
     EngineSpec engine{vecmath::SimdMode::Off,
-                      {SamplingMode::Naive, 2.0, 1.0}};
+                      {SamplingMode::Naive, 2.0, 1.0},
+                      CpiMode::Sim,
+                      {}};
 };
 
 /**
@@ -128,10 +130,11 @@ void addCampaignOptions(OptionParser &parser, CampaignOptions &opts);
 /**
  * Register the engine flags writing into @p engine: the canonical
  * `--engine=key=value,...` spelling (keys: simd, sampling, tilt,
- * sigma-scale) and the four legacy alias flags --simd/--sampling/
- * --tilt/--sigma-scale, which remain first-class so existing
- * scripts and the orchestrator's worker command lines keep working
- * (deprecation note: docs/OBSERVABILITY.md).
+ * sigma-scale, cpi, surrogate) and the alias flags --simd/
+ * --sampling/--tilt/--sigma-scale/--cpi/--surrogate, which remain
+ * first-class so existing scripts and the orchestrator's worker
+ * command lines keep working (deprecation note:
+ * docs/OBSERVABILITY.md).
  */
 void addEngineOptions(OptionParser &parser, EngineSpec &engine);
 

@@ -1,7 +1,36 @@
 #include "variation/engine_spec.hh"
 
+#include "util/logging.hh"
+
 namespace yac
 {
+
+const char *
+cpiModeName(CpiMode mode)
+{
+    switch (mode) {
+      case CpiMode::Sim:
+        return "sim";
+      case CpiMode::Surrogate:
+        return "surrogate";
+      case CpiMode::Auto:
+        return "auto";
+    }
+    yac_fatal("unknown CpiMode ", static_cast<int>(mode));
+}
+
+CpiMode
+cpiModeFromName(const std::string &name)
+{
+    if (name == "sim")
+        return CpiMode::Sim;
+    if (name == "surrogate")
+        return CpiMode::Surrogate;
+    if (name == "auto")
+        return CpiMode::Auto;
+    yac_fatal("cpi mode wants sim, surrogate or auto, got '", name,
+              "'");
+}
 
 SamplingPlan
 EngineSpec::plan() const
@@ -20,8 +49,16 @@ EngineSpec::validate() const
 std::string
 EngineSpec::describe() const
 {
-    return std::string("simd=") + vecmath::simdModeName(simd) + " " +
-        plan().describe();
+    std::string out = std::string("simd=") +
+        vecmath::simdModeName(simd) + " " + plan().describe();
+    // cpi=sim is the historical default; keep describe() (and the
+    // trace args / golden strings built from it) unchanged for it.
+    if (cpi != CpiMode::Sim) {
+        out += std::string(" cpi=") + cpiModeName(cpi);
+        if (!surrogate.empty())
+            out += "(" + surrogate + ")";
+    }
+    return out;
 }
 
 } // namespace yac

@@ -23,6 +23,29 @@
 namespace yac
 {
 
+/**
+ * How a campaign prices per-chip CPI degradation.
+ *
+ *  - Sim: the exact pipeline simulator (simulateBenchmark) for every
+ *    chip; the reference oracle, bitwise-stable.
+ *  - Surrogate: the fitted coefficient table for every chip, even
+ *    outside the validated feature envelope.
+ *  - Auto: the surrogate inside its validated feature envelope, the
+ *    exact simulator outside it.
+ */
+enum class CpiMode
+{
+    Sim,
+    Surrogate,
+    Auto,
+};
+
+/** Lower-case spelling used by --engine cpi= and trace args. */
+const char *cpiModeName(CpiMode mode);
+
+/** Inverse of cpiModeName; yac_fatal on an unknown spelling. */
+CpiMode cpiModeFromName(const std::string &name);
+
 /** A campaign's numeric engine: SIMD kernel set + sampling plan. */
 struct EngineSpec
 {
@@ -35,6 +58,13 @@ struct EngineSpec
      *  sigmaScale fields are only meaningful when mode == Tilted;
      *  plan() normalizes them away for naive specs. */
     SamplingPlan sampling;
+
+    /** How CPI-carrying campaigns price per-chip degradation. */
+    CpiMode cpi = CpiMode::Sim;
+
+    /** Coefficient-table path for cpi=surrogate|auto; ignored (and
+     *  left out of describe()) for cpi=sim. */
+    std::string surrogate;
 
     /**
      * The effective sampling plan: a naive spec yields

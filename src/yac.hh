@@ -53,6 +53,7 @@
 #include "yield/binning.hh"
 #include "yield/campaign.hh"
 #include "yield/constraints.hh"
+#include "yield/cpi_pricing.hh"
 #include "yield/monte_carlo.hh"
 #include "yield/multi_cache.hh"
 #include "yield/scheme.hh"
@@ -80,6 +81,7 @@
 #include "sim/scenarios.hh"
 #include "sim/sim_stats.hh"
 #include "sim/simulation.hh"
+#include "sim/surrogate.hh"
 #include "workload/profile.hh"
 #include "workload/trace_generator.hh"
 #include "workload/trace_io.hh"

@@ -89,6 +89,15 @@ struct CampaignConfig
      * deterministic and thread-count invariant but only
      * tolerance-equal to the scalar reference -- except chip weights,
      * which stay bitwise (see docs/PERFORMANCE.md section 4).
+     *
+     * engine.cpi / engine.surrogate: how CPI-carrying consumers of
+     * this campaign (priceCpiPopulation, the binning/test-floor
+     * revenue sweeps, the yacd --cpi modes) price per-chip CPI
+     * degradation: the exact pipeline simulator (sim, the default),
+     * the fitted coefficient table at engine.surrogate (surrogate),
+     * or the table inside its validated feature envelope with exact
+     * simulation outside it (auto). See docs/PERFORMANCE.md
+     * section 5.
      */
     EngineSpec engine;
 };
@@ -107,6 +116,8 @@ campaignFromOptions(const CampaignOptions &opts)
     config.threads = opts.threads;
     config.engine.sampling = opts.engine.plan();
     config.engine.simd = opts.engine.simd;
+    config.engine.cpi = opts.engine.cpi;
+    config.engine.surrogate = opts.engine.surrogate;
     return config;
 }
 

@@ -1,0 +1,97 @@
+#include "yield/cpi_pricing.hh"
+
+#include <vector>
+
+#include "trace/metrics.hh"
+#include "util/logging.hh"
+#include "util/parallel.hh"
+
+namespace yac
+{
+
+std::optional<SimConfig>
+shippedSimConfig(const CacheTiming &chip, const YieldConstraints &limits,
+                 const CycleMapping &mapping, const SimConfig &base)
+{
+    if (chip.leakage() > limits.leakageLimitMw)
+        return std::nullopt;
+
+    SimConfig cfg = base;
+    CacheParams &l1d = cfg.hierarchy.l1d;
+    yac_assert(chip.ways.size() == l1d.numWays,
+               "chip/model way-count mismatch (", chip.ways.size(),
+               " vs ", l1d.numWays, ")");
+    l1d.wayLatency.assign(l1d.numWays, l1d.hitLatency);
+    std::uint32_t mask = 0;
+    bool any_slow = false;
+    for (std::size_t w = 0; w < l1d.numWays; ++w) {
+        const int cycles = mapping.cyclesFor(chip.wayDelay(w));
+        if (cycles <= mapping.baseCycles) {
+            mask |= 1u << w;
+        } else if (cycles == mapping.baseCycles + 1) {
+            mask |= 1u << w;
+            l1d.wayLatency[w] = l1d.hitLatency + 1;
+            any_slow = true;
+        }
+        // Slower ways stay powered down (their mask bit stays 0).
+    }
+    if (mask == 0)
+        return std::nullopt;
+    l1d.wayMask = mask;
+    if (any_slow && cfg.core.loadBypassDepth < 1)
+        cfg.core.loadBypassDepth = 1;
+    cfg.label = "shipped";
+    return cfg;
+}
+
+YieldEstimate
+CpiPricing::shippedYield() const
+{
+    return fractionEstimate(population, shipped);
+}
+
+CpiPricing
+priceCpiPopulation(const MonteCarloResult &result,
+                   const YieldConstraints &limits,
+                   const CycleMapping &mapping, const CpiOracle &oracle)
+{
+    const std::size_t n = result.regular.size();
+    yac_assert(result.weights.size() == n,
+               "weights/chips size mismatch");
+    const SimConfig &base = oracle.baseline();
+
+    const std::size_t num_chunks =
+        (n + parallel::kStatChunk - 1) / parallel::kStatChunk;
+    std::vector<CpiPricing> partial(num_chunks);
+    parallel::forChunks(
+        n, parallel::kStatChunk,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+            CpiPricing &acc = partial[chunk];
+            for (std::size_t i = begin; i < end; ++i) {
+                const double w = result.weights[i];
+                acc.population.add(w);
+                const std::optional<SimConfig> cfg = shippedSimConfig(
+                    result.regular[i], limits, mapping, base);
+                if (!cfg)
+                    continue;
+                const double deg = oracle.meanDegradation(*cfg);
+                acc.shipped.add(w);
+                acc.deg.add(deg);
+                acc.wDeg.add(deg, w);
+            }
+        });
+
+    // Ascending-chunk fold: byte-identical at any thread count.
+    CpiPricing out;
+    for (const CpiPricing &acc : partial) {
+        out.population.merge(acc.population);
+        out.shipped.merge(acc.shipped);
+        out.deg.merge(acc.deg);
+        out.wDeg.merge(acc.wDeg);
+    }
+    trace::Metrics::instance().counter("cpi_chips_priced")
+        .add(out.shipped.count);
+    return out;
+}
+
+} // namespace yac

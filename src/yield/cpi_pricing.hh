@@ -1,0 +1,83 @@
+/**
+ * @file
+ * CPI pricing of a Monte Carlo population: turns each manufactured
+ * chip's measured way delays into the degraded configuration it would
+ * ship with (the Hybrid policy: base-latency ways stay, +1-cycle ways
+ * run behind the load-bypass buffers, slower ways power down) and
+ * asks a CpiOracle -- exact simulator, fitted surrogate, or auto --
+ * for the mean relative CPI degradation. This is the CampaignConfig
+ * engine.cpi knob made concrete for MonteCarlo::run consumers
+ * (binning/test-floor revenue sweeps, Table 6 reruns, the benches);
+ * the sharded service reimplements the same per-chip derivation in
+ * its chunk evaluator so yacd FINAL lines stay byte-identical with
+ * this path.
+ *
+ * Deterministic: chips are priced in fixed kStatChunk chunks folded
+ * in ascending chunk order, so results are byte-identical at any
+ * thread count.
+ */
+
+#ifndef YAC_YIELD_CPI_PRICING_HH
+#define YAC_YIELD_CPI_PRICING_HH
+
+#include <optional>
+
+#include "circuit/cache_model.hh"
+#include "sim/surrogate.hh"
+#include "util/statistics.hh"
+#include "yield/constraints.hh"
+#include "yield/estimate.hh"
+#include "yield/monte_carlo.hh"
+
+namespace yac
+{
+
+/**
+ * The degraded configuration chip would ship with under the Hybrid
+ * policy, derived from its measured way delays:
+ *
+ *  - leakage over the limit: scrap (nullopt; no CPI exists)
+ *  - a way within the base-cycle budget: enabled at base latency
+ *  - a way needing exactly one extra cycle: enabled at +1, dependants
+ *    absorb the cycle in the load-bypass buffers (VACA datapath)
+ *  - a way needing more: powered down (YAPD mask)
+ *  - no enabled way left: scrap (nullopt)
+ *
+ * A fully healthy chip returns a configuration identical to
+ * @p base, which every CpiOracle mode prices at exactly 0.
+ */
+std::optional<SimConfig> shippedSimConfig(const CacheTiming &chip,
+                                          const YieldConstraints &limits,
+                                          const CycleMapping &mapping,
+                                          const SimConfig &base);
+
+/** Population-level CPI pricing summary. */
+struct CpiPricing
+{
+    WeightTally population; //!< every chip seen
+    WeightTally shipped;    //!< chips that got a configuration
+
+    /** Relative CPI degradation over shipped chips, unweighted. */
+    RunningStats deg;
+
+    /** Likelihood-ratio-weighted degradation (the naive-population
+     *  estimate under a tilted campaign; equal to deg for naive). */
+    WeightedRunningStats wDeg;
+
+    /** Fraction of the population that ships. */
+    YieldEstimate shippedYield() const;
+};
+
+/**
+ * Price every chip of @p result through @p oracle. Deterministic and
+ * thread-count invariant (fixed chunks, in-order fold); maintains the
+ * `cpi_chips_priced` counter on top of the oracle's per-path ones.
+ */
+CpiPricing priceCpiPopulation(const MonteCarloResult &result,
+                              const YieldConstraints &limits,
+                              const CycleMapping &mapping,
+                              const CpiOracle &oracle);
+
+} // namespace yac
+
+#endif // YAC_YIELD_CPI_PRICING_HH

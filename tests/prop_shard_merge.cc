@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <numeric>
 #include <sstream>
 #include <vector>
@@ -26,6 +27,7 @@
 
 #include "check/check.hh"
 #include "service/shard_campaign.hh"
+#include "sim/surrogate.hh"
 #include "util/rng.hh"
 
 namespace yac
@@ -224,6 +226,136 @@ TEST(PropShardMerge, AccumInvariantsHold)
         },
         8);
     EXPECT_TRUE(r.ok) << r.report;
+}
+
+/**
+ * A synthetic (not fitted) coefficient table written to a temp file
+ * once per process: shard-merge only cares that every worker prices
+ * the same chips through the same table bytes, not that the
+ * coefficients are good. The envelope is wide open so CpiMode::Auto
+ * stays on the (cheap, simulation-free) surrogate path.
+ */
+const std::string &
+syntheticTablePath()
+{
+    static const std::string path = [] {
+        SurrogateTable table;
+        table.warmupInsts = 500;
+        table.measureInsts = 2'000;
+        table.simSeed = 7;
+        table.envelopeSlack = 0.05;
+        for (std::size_t i = 0; i < kSurrogateFeatureCount; ++i) {
+            table.featMin[i] = -100.0;
+            table.featMax[i] = 100.0;
+        }
+        const char *names[] = {"gzip", "mcf", "ammp"};
+        double base = 3.5;
+        for (const char *name : names) {
+            SurrogateModel m;
+            m.benchmark = name;
+            m.baselineCpi = base;
+            m.missPressure = 0.05;
+            m.maxAbsError = 0.02;
+            for (std::size_t i = 0; i < kSurrogateFeatureCount; ++i)
+                m.coef[i] = 0.03 * static_cast<double>(i) + base / 50;
+            table.models.push_back(std::move(m));
+            base += 1.25;
+        }
+        const std::string out =
+            (std::filesystem::path(::testing::TempDir()) /
+             "prop_shard_merge_surrogate.tbl")
+                .string();
+        EXPECT_TRUE(table.save(out));
+        return out;
+    }();
+    return path;
+}
+
+std::uint64_t
+syntheticTableHash()
+{
+    SurrogateTable table;
+    EXPECT_TRUE(SurrogateTable::loadOrWarn(syntheticTablePath(),
+                                           &table));
+    return table.contentHash();
+}
+
+TEST(PropShardMerge, CpiCarryingPartitionsByteIdentical)
+{
+    // The tentpole identity: CPI-carrying campaigns (surrogate and
+    // auto oracles) merge byte-identically over random partitions,
+    // exactly like screening-only campaigns.
+    const auto r = forAll(
+        "CPI-carrying shard partitions merge byte-identically",
+        shardCases()
+            .map([](Case c) {
+                c.spec.carryCpi = true;
+                c.spec.cpiMode = (c.spec.seed & 1) != 0
+                                     ? CpiMode::Surrogate
+                                     : CpiMode::Auto;
+                c.spec.surrogatePath = syntheticTablePath();
+                c.spec.cpiTableHash = syntheticTableHash();
+                return c;
+            })
+            .withPrint(printCase),
+        checkPartition, 6);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropShardMerge, CpiAccumsOnlyPriceShippableChips)
+{
+    Rng rng(0xcb1);
+    Case c;
+    c.spec = specFor(rng, false);
+    c.spec.carryCpi = true;
+    c.spec.cpiMode = CpiMode::Surrogate;
+    c.spec.surrogatePath = syntheticTablePath();
+    c.spec.cpiTableHash = syntheticTableHash();
+
+    const ShardEvaluator evaluator(c.spec);
+    const std::size_t chunks = c.spec.numChunks();
+    std::vector<ChunkAccum> accums(chunks);
+    evaluator.evaluateChunks(0, chunks, accums.data());
+    std::uint64_t priced = 0;
+    for (const ChunkAccum &a : accums) {
+        // A chip only ships when it passed the leakage screen with at
+        // least one usable way; pricing can never cover more chips
+        // than the population, and a leakage loss can never ship.
+        EXPECT_LE(a.cpiShipped.count,
+                  a.population.count - a.lossLeakage.count);
+        EXPECT_EQ(a.cpiDeg.count(), a.cpiShipped.count);
+        EXPECT_EQ(a.wCpiDeg.count(), 0u) << "naive spec must fold "
+                                            "the unweighted family";
+        priced += a.cpiShipped.count;
+    }
+    EXPECT_GT(priced, 0u);
+
+    const CampaignSummary s = summarize(c.spec, accums);
+    EXPECT_GT(s.cpiShipped.value, 0.0);
+    EXPECT_LE(s.cpiShipped.value, 1.0);
+    EXPECT_TRUE(std::isfinite(s.cpiDegMean));
+    EXPECT_GE(s.cpiDegSigma, 0.0);
+}
+
+TEST(PropShardMerge, ScreeningFieldsUnchangedByCpiPricing)
+{
+    // Turning CPI pricing on must not move a single screening bit:
+    // same chips, same yields, same delay bins, same moments.
+    Rng rng(0xcb2);
+    Case c;
+    c.spec = specFor(rng, true);
+    const CampaignSummary off = runSingleProcess(c.spec);
+    c.spec.carryCpi = true;
+    c.spec.cpiMode = CpiMode::Surrogate;
+    c.spec.surrogatePath = syntheticTablePath();
+    c.spec.cpiTableHash = syntheticTableHash();
+    CampaignSummary on = runSingleProcess(c.spec);
+
+    // Blank the CPI fields; everything else must be byte-identical.
+    on.cpiShipped = off.cpiShipped;
+    on.cpiDegMean = off.cpiDegMean;
+    on.cpiDegSigma = off.cpiDegSigma;
+    EXPECT_EQ(std::memcmp(&on, &off, sizeof off), 0);
 }
 
 TEST(PropShardMerge, NaiveWeightsAreExactCounts)

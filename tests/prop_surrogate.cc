@@ -1,0 +1,276 @@
+/**
+ * @file
+ * The learned CPI surrogate, checked against its own contract:
+ *
+ *  - the fitted per-benchmark error bound (maxAbsError) really bounds
+ *    |dCPI_pred - dCPI_sim| on the held-out randomized configurations
+ *    the fit never trained on, through the full serialize/reload path;
+ *  - a pristine (baseline-identical) chip prices at exactly 0 in
+ *    every mode;
+ *  - CpiMode::Auto is the surrogate inside the validated envelope and
+ *    the exact simulator outside it, bit for bit;
+ *  - the surrogate path is a pure dot product: deterministic across
+ *    oracles and never touching the simulation cache.
+ *
+ * The fit here uses deliberately short simulation windows (the bound
+ * is relative to the table's own reference runs, so short windows
+ * keep the suite fast without weakening any claim).
+ */
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/check.hh"
+#include "sim/scenarios.hh"
+#include "sim/sim_cache.hh"
+#include "sim/surrogate.hh"
+#include "trace/metrics.hh"
+#include "util/rng.hh"
+#include "workload/profile.hh"
+
+namespace yac
+{
+namespace
+{
+
+using check::forAll;
+using check::Gen;
+using check::Verdict;
+
+constexpr std::size_t kSuiteSize = 3;
+constexpr std::uint64_t kHoldoutSeed = 4242;
+
+std::vector<BenchmarkProfile>
+testSuite()
+{
+    std::vector<BenchmarkProfile> suite = spec2000Profiles();
+    suite.resize(kSuiteSize);
+    return suite;
+}
+
+/** One shared fit for the whole binary: 3 benchmarks, short windows,
+ *  the full deterministic training sweep, 10 held-out configs. */
+const SurrogateTable &
+fittedTable()
+{
+    static const SurrogateTable table = [] {
+        SimConfig baseline = baselineScenario();
+        baseline.warmupInsts = 500;
+        baseline.measureInsts = 2'500;
+        SurrogateFitPlan plan;
+        plan.train = surrogateTrainingConfigs();
+        plan.holdout = surrogateHoldoutConfigs(kHoldoutSeed, 10);
+        return fitSurrogateTable(testSuite(), baseline, plan);
+    }();
+    return table;
+}
+
+/** The fitted table after one save/load round trip: every claim below
+ *  holds through the serialized artifact, not the in-memory fit. */
+const SurrogateTable &
+reloadedTable()
+{
+    static const SurrogateTable table = [] {
+        const std::string path =
+            (std::filesystem::path(::testing::TempDir()) /
+             "prop_surrogate.tbl")
+                .string();
+        EXPECT_TRUE(fittedTable().save(path));
+        SurrogateTable loaded;
+        EXPECT_EQ(SurrogateTable::load(path, &loaded),
+                  SurrogateTable::LoadStatus::Ok);
+        return loaded;
+    }();
+    return table;
+}
+
+TEST(PropSurrogate, FitProducesOneModelPerBenchmark)
+{
+    const SurrogateTable &table = fittedTable();
+    ASSERT_EQ(table.models.size(), kSuiteSize);
+    for (const SurrogateModel &m : table.models) {
+        EXPECT_GT(m.baselineCpi, 0.0) << m.benchmark;
+        EXPECT_GE(m.maxAbsError, 0.0) << m.benchmark;
+        EXPECT_TRUE(std::isfinite(m.maxAbsError)) << m.benchmark;
+        for (double c : m.coef)
+            EXPECT_TRUE(std::isfinite(c)) << m.benchmark;
+    }
+}
+
+TEST(PropSurrogate, HeldOutErrorStaysWithinTheFittedBound)
+{
+    // The acceptance criterion: per benchmark, the serialized model's
+    // prediction agrees with the exact simulator within the recorded
+    // maxAbsError on every held-out randomized configuration (which
+    // the coefficients were never fitted on).
+    const SurrogateTable &table = reloadedTable();
+    const std::vector<BenchmarkProfile> suite = testSuite();
+    const SimConfig baseline = table.baselineConfig();
+    const std::vector<SimConfig> holdout =
+        surrogateHoldoutConfigs(kHoldoutSeed, 10);
+
+    for (std::size_t b = 0; b < suite.size(); ++b) {
+        const SurrogateModel *model = table.find(suite[b].name);
+        ASSERT_NE(model, nullptr) << suite[b].name;
+        const double base_cpi =
+            simulateBenchmarkCached(suite[b], baseline).cpi();
+        for (const SimConfig &raw : holdout) {
+            SimConfig cfg = raw;
+            cfg.warmupInsts = baseline.warmupInsts;
+            cfg.measureInsts = baseline.measureInsts;
+            cfg.seed = baseline.seed;
+            const double exact =
+                simulateBenchmarkCached(suite[b], cfg).cpi() /
+                    base_cpi -
+                1.0;
+            const double pred = model->predict(
+                surrogateFeatures(cfg, baseline));
+            EXPECT_LE(std::abs(pred - exact),
+                      model->maxAbsError + 1e-12)
+                << suite[b].name << " on " << raw.label;
+        }
+    }
+}
+
+TEST(PropSurrogate, SaveLoadIsBitwiseStable)
+{
+    const SurrogateTable &fit = fittedTable();
+    const SurrogateTable &loaded = reloadedTable();
+    EXPECT_EQ(loaded.contentHash(), fit.contentHash());
+    ASSERT_EQ(loaded.models.size(), fit.models.size());
+    for (std::size_t i = 0; i < fit.models.size(); ++i) {
+        EXPECT_EQ(loaded.models[i].benchmark, fit.models[i].benchmark);
+        // Bitwise, not approximate: the table is the unit of
+        // campaign reproducibility.
+        EXPECT_EQ(std::memcmp(loaded.models[i].coef.data(),
+                              fit.models[i].coef.data(),
+                              sizeof fit.models[i].coef),
+                  0);
+    }
+    EXPECT_EQ(std::memcmp(loaded.featMin.data(), fit.featMin.data(),
+                          sizeof fit.featMin),
+              0);
+    EXPECT_EQ(std::memcmp(loaded.featMax.data(), fit.featMax.data(),
+                          sizeof fit.featMax),
+              0);
+}
+
+TEST(PropSurrogate, PristineChipPricesExactlyZeroInEveryMode)
+{
+    const std::vector<BenchmarkProfile> suite = testSuite();
+    for (const CpiMode mode :
+         {CpiMode::Sim, CpiMode::Surrogate, CpiMode::Auto}) {
+        const CpiOracle oracle(mode, reloadedTable(), suite);
+        SimConfig pristine = oracle.baseline();
+        pristine.label = "healthy-chip"; // labels are cosmetic
+        EXPECT_EQ(oracle.meanDegradation(pristine), 0.0)
+            << cpiModeName(mode);
+    }
+}
+
+TEST(PropSurrogate, AutoFallsBackToExactSimOutsideTheEnvelope)
+{
+    const std::vector<BenchmarkProfile> suite = testSuite();
+    const CpiOracle autoOracle(CpiMode::Auto, reloadedTable(), suite);
+    const CpiOracle simOracle(CpiMode::Sim, reloadedTable(), suite);
+
+    // A serialization regime far beyond anything the fit swept:
+    // outside the envelope by construction.
+    SimConfig extreme = autoOracle.baseline();
+    extreme.label = "beyond-envelope";
+    extreme.core.assumedLoadLatency =
+        4 * extreme.core.assumedLoadLatency;
+    ASSERT_FALSE(reloadedTable().inEnvelope(
+        surrogateFeatures(extreme, autoOracle.baseline())));
+
+    trace::Metrics::instance().reset();
+    const double from_auto = autoOracle.meanDegradation(extreme);
+    const auto snap = trace::Metrics::instance().snapshot();
+    const auto fallbacks = snap.counters.find("cpi_auto_fallbacks");
+    ASSERT_NE(fallbacks, snap.counters.end());
+    EXPECT_GE(fallbacks->second, 1u);
+    EXPECT_EQ(from_auto, simOracle.meanDegradation(extreme));
+}
+
+TEST(PropSurrogate, AutoEqualsSurrogateInsideTheEnvelope)
+{
+    // The fit's own holdout configurations are inside the envelope by
+    // construction (the envelope spans train + holdout).
+    const std::vector<BenchmarkProfile> suite = testSuite();
+    const CpiOracle autoOracle(CpiMode::Auto, reloadedTable(), suite);
+    const CpiOracle surOracle(CpiMode::Surrogate, reloadedTable(),
+                              suite);
+    for (const SimConfig &cfg :
+         surrogateHoldoutConfigs(kHoldoutSeed, 10)) {
+        EXPECT_EQ(autoOracle.meanDegradation(cfg),
+                  surOracle.meanDegradation(cfg))
+            << cfg.label;
+    }
+}
+
+TEST(PropSurrogate, SurrogatePredictionsNeverTouchTheSimulator)
+{
+    const std::vector<BenchmarkProfile> suite = testSuite();
+    const CpiOracle oracle(CpiMode::Surrogate, reloadedTable(), suite);
+    const std::vector<SimConfig> chips =
+        surrogateHoldoutConfigs(7, 20);
+
+    trace::Metrics::instance().reset();
+    std::vector<double> first;
+    for (const SimConfig &cfg : chips)
+        first.push_back(oracle.meanDegradation(cfg));
+    const auto snap = trace::Metrics::instance().snapshot();
+    const auto runs = snap.counters.find("sim_runs");
+    EXPECT_TRUE(runs == snap.counters.end() || runs->second == 0)
+        << "surrogate pricing ran the pipeline simulator";
+
+    // And it is a pure function: a second oracle from the same bytes
+    // reproduces every prediction bit for bit.
+    const CpiOracle again(CpiMode::Surrogate, reloadedTable(), suite);
+    for (std::size_t i = 0; i < chips.size(); ++i)
+        EXPECT_EQ(again.meanDegradation(chips[i]), first[i]);
+}
+
+/** Random degraded configs for the pure-surrogate properties. */
+Gen<SimConfig>
+degradedConfigs()
+{
+    return Gen<SimConfig>([](Rng &rng) {
+        return surrogateHoldoutConfigs(rng.next(), 1).front();
+    }).withPrint([](const SimConfig &cfg) { return cfg.label; });
+}
+
+TEST(PropSurrogate, PredictionsAreFiniteAndDeterministic)
+{
+    const std::vector<BenchmarkProfile> suite = testSuite();
+    const CpiOracle oracle(CpiMode::Surrogate, reloadedTable(), suite);
+    const auto r = forAll(
+        "surrogate predictions are finite and repeatable",
+        degradedConfigs(),
+        [&](const SimConfig &cfg) -> Verdict {
+            const double a = oracle.meanDegradation(cfg);
+            const double b = oracle.meanDegradation(cfg);
+            YAC_PROP_EXPECT(std::isfinite(a),
+                            "non-finite prediction for", cfg.label);
+            YAC_PROP_EXPECT(a == b, "prediction not repeatable for",
+                            cfg.label);
+            return check::pass();
+        },
+        40);
+    EXPECT_TRUE(r.ok) << r.report;
+}
+
+TEST(PropSurrogate, ModeNamesRoundTrip)
+{
+    for (const CpiMode mode :
+         {CpiMode::Sim, CpiMode::Surrogate, CpiMode::Auto})
+        EXPECT_EQ(cpiModeFromName(cpiModeName(mode)), mode);
+}
+
+} // namespace
+} // namespace yac

@@ -154,6 +154,53 @@ TEST(Options, EngineFlagParsesKeyValuePairs)
     EXPECT_EQ(opts.engine.sampling.mode, SamplingMode::Naive);
 }
 
+TEST(Options, CpiOracleFlagsParse)
+{
+    CampaignOptions opts;
+    OptionParser parser("test");
+    addCampaignOptions(parser, opts);
+    EXPECT_EQ(opts.engine.cpi, CpiMode::Sim);
+    EXPECT_TRUE(opts.engine.surrogate.empty());
+
+    parser.parse(Args{"--engine=cpi=surrogate,surrogate=tbl.bin"});
+    EXPECT_EQ(opts.engine.cpi, CpiMode::Surrogate);
+    EXPECT_EQ(opts.engine.surrogate, "tbl.bin");
+
+    // Alias spellings and left-to-right override, like every other
+    // engine knob.
+    parser.parse(Args{"--cpi=auto", "--surrogate=other.bin"});
+    EXPECT_EQ(opts.engine.cpi, CpiMode::Auto);
+    EXPECT_EQ(opts.engine.surrogate, "other.bin");
+    parser.parse(Args{"--engine=cpi=sim"});
+    EXPECT_EQ(opts.engine.cpi, CpiMode::Sim);
+}
+
+TEST(Options, CpiSimKeepsDescribeUnchanged)
+{
+    // cpi=sim is the historical behavior: describe() (golden strings,
+    // trace args, checkpoint hashes) must not change.
+    CampaignOptions opts;
+    OptionParser parser("test");
+    addCampaignOptions(parser, opts);
+    const std::string before = opts.engine.describe();
+    parser.parse(Args{"--cpi=sim"});
+    EXPECT_EQ(opts.engine.describe(), before);
+
+    parser.parse(Args{"--engine=cpi=surrogate,surrogate=t.bin"});
+    EXPECT_NE(opts.engine.describe().find("cpi=surrogate(t.bin)"),
+              std::string::npos);
+}
+
+TEST(OptionsDeath, CpiErrorPathsAreFatal)
+{
+    CampaignOptions opts;
+    OptionParser parser("test");
+    addCampaignOptions(parser, opts);
+    EXPECT_FATAL(parser.parse(Args{"--cpi=psychic"}), "");
+    EXPECT_FATAL(parser.parse(Args{"--engine=cpi=none"}), "");
+    EXPECT_FATAL(parser.parse(Args{"--engine=surrogate="}), "");
+}
+
 TEST(Options, NaivePlanNormalizesTiltedOnlyKnobs)
 {
     // The CLI's tilted-only defaults (tilt=2.0) must never leak into
@@ -173,7 +220,8 @@ TEST(OptionsDeath, EngineFlagErrorPathsAreFatal)
     EXPECT_FATAL(parser.parse(Args{"--engine=simd"}),
                  "key=value pairs");
     EXPECT_FATAL(parser.parse(Args{"--engine=turbo=yes"}),
-                 "must be simd, sampling, tilt or sigma-scale");
+                 "must be simd, sampling, tilt, sigma-scale, cpi or "
+                 "surrogate");
     EXPECT_FATAL(parser.parse(Args{"--engine=sampling=clever"}),
                  "naive or tilted");
     EXPECT_FATAL(parser.parse(Args{"--engine=tilt=lots"}),

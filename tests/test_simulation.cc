@@ -5,6 +5,8 @@
  * equivalence at the full-pipeline level.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "sim/scenarios.hh"
@@ -109,6 +111,14 @@ TEST(Simulation, SuiteHelpers)
         suiteDegradations(suite, base, cfg);
     ASSERT_EQ(degr.size(), 2u);
     EXPECT_NEAR(meanOf(degr), (degr[0] + degr[1]) / 2.0, 1e-12);
+}
+
+TEST(Simulation, MeanOfEmptyIsNaNNotACrash)
+{
+    // An empty benchmark selection used to trip an assertion deep in
+    // a campaign; NaN propagates to the caller's report instead.
+    EXPECT_TRUE(std::isnan(meanOf({})));
+    EXPECT_DOUBLE_EQ(meanOf({2.5}), 2.5);
 }
 
 } // namespace

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Surrogate coefficient-table robustness: every way the persisted
+ * table can be damaged -- truncation at any byte boundary, bit flips
+ * in header, payload or trailing checksum, wrong magic, a future
+ * format version, feature-count/ABI drift -- must be rejected
+ * fail-fast with the specific status, never trusted, and never crash
+ * the loader. Mirrors test_checkpoint.cc and test_sim_cache.cc, the
+ * other two reject-don't-trust formats in the tree.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/surrogate.hh"
+
+namespace yac
+{
+namespace
+{
+
+using LoadStatus = SurrogateTable::LoadStatus;
+
+// Header byte offsets of the "YACSUR01" format (surrogate.cc).
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffVersion = 8;
+constexpr std::size_t kOffFeatures = 12;
+constexpr std::size_t kHeaderBytes = 16;
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::path(::testing::TempDir()) / name)
+        .string();
+}
+
+/** A small but fully populated table: two models, non-trivial
+ *  envelope, every field distinguishable from its default. */
+SurrogateTable
+sampleTable()
+{
+    SurrogateTable table;
+    table.warmupInsts = 1'234;
+    table.measureInsts = 56'789;
+    table.simSeed = 42;
+    table.envelopeSlack = 0.125;
+    for (std::size_t i = 0; i < kSurrogateFeatureCount; ++i) {
+        table.featMin[i] = -0.25 * static_cast<double>(i);
+        table.featMax[i] = 1.0 + 0.5 * static_cast<double>(i);
+    }
+    const char *names[] = {"gzip", "mcf"};
+    for (std::size_t b = 0; b < 2; ++b) {
+        SurrogateModel m;
+        m.benchmark = names[b];
+        m.baselineCpi = 4.0 + static_cast<double>(b);
+        m.missPressure = 0.03 * (1.0 + static_cast<double>(b));
+        m.maxAbsError = 0.01;
+        for (std::size_t i = 0; i < kSurrogateFeatureCount; ++i)
+            m.coef[i] = 0.1 * static_cast<double>(b + 1) +
+                        0.01 * static_cast<double>(i);
+        table.models.push_back(std::move(m));
+    }
+    return table;
+}
+
+std::vector<char>
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good());
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+}
+
+void
+writeBytes(const std::string &path, const std::vector<char> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string
+savedSample(const std::string &name)
+{
+    const std::string path = tempPath(name);
+    EXPECT_TRUE(sampleTable().save(path));
+    return path;
+}
+
+TEST(SurrogateTableIo, RoundTripsEveryField)
+{
+    const std::string path = savedSample("roundtrip.tbl");
+    const SurrogateTable original = sampleTable();
+    SurrogateTable loaded;
+    ASSERT_EQ(SurrogateTable::load(path, &loaded), LoadStatus::Ok);
+
+    EXPECT_EQ(loaded.warmupInsts, original.warmupInsts);
+    EXPECT_EQ(loaded.measureInsts, original.measureInsts);
+    EXPECT_EQ(loaded.simSeed, original.simSeed);
+    EXPECT_EQ(loaded.envelopeSlack, original.envelopeSlack);
+    EXPECT_EQ(loaded.featMin, original.featMin);
+    EXPECT_EQ(loaded.featMax, original.featMax);
+    ASSERT_EQ(loaded.models.size(), original.models.size());
+    for (std::size_t i = 0; i < loaded.models.size(); ++i) {
+        EXPECT_EQ(loaded.models[i].benchmark,
+                  original.models[i].benchmark);
+        EXPECT_EQ(loaded.models[i].baselineCpi,
+                  original.models[i].baselineCpi);
+        EXPECT_EQ(loaded.models[i].missPressure,
+                  original.models[i].missPressure);
+        EXPECT_EQ(loaded.models[i].maxAbsError,
+                  original.models[i].maxAbsError);
+        EXPECT_EQ(loaded.models[i].coef, original.models[i].coef);
+    }
+    EXPECT_EQ(loaded.contentHash(), original.contentHash());
+}
+
+TEST(SurrogateTableIo, MissingFileIsSpecific)
+{
+    SurrogateTable out;
+    EXPECT_EQ(SurrogateTable::load(tempPath("never_written.tbl"),
+                                   &out),
+              LoadStatus::MissingFile);
+}
+
+TEST(SurrogateTableIo, TruncationAtEveryBoundaryRejected)
+{
+    const std::string path = savedSample("full.tbl");
+    const std::vector<char> bytes = fileBytes(path);
+    ASSERT_GT(bytes.size(), kHeaderBytes);
+
+    const std::string cut = tempPath("truncated.tbl");
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        writeBytes(cut, std::vector<char>(bytes.begin(),
+                                          bytes.begin() +
+                                              static_cast<long>(len)));
+        SurrogateTable out;
+        out.simSeed = 777; // canary: rejection must not touch *out
+        const LoadStatus status = SurrogateTable::load(cut, &out);
+        EXPECT_NE(status, LoadStatus::Ok)
+            << "accepted a file truncated to " << len << " bytes";
+        EXPECT_EQ(out.simSeed, 777u)
+            << "rejected load modified *out at length " << len;
+    }
+}
+
+TEST(SurrogateTableIo, BitFlipAnywhereRejected)
+{
+    const std::string path = savedSample("flip.tbl");
+    const std::vector<char> bytes = fileBytes(path);
+    const std::string flipped = tempPath("flipped.tbl");
+
+    // Every byte, one flipped bit each (cycling bit position keeps
+    // the sweep linear while still exercising all eight positions).
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        std::vector<char> copy = bytes;
+        copy[i] = static_cast<char>(copy[i] ^ (1u << (i % 8)));
+        writeBytes(flipped, copy);
+        SurrogateTable out;
+        EXPECT_NE(SurrogateTable::load(flipped, &out), LoadStatus::Ok)
+            << "accepted a bit flip at byte " << i;
+    }
+}
+
+TEST(SurrogateTableIo, WrongMagicIsSpecific)
+{
+    const std::string path = savedSample("magic.tbl");
+    std::vector<char> bytes = fileBytes(path);
+    bytes[kOffMagic + 3] = 'X';
+    writeBytes(path, bytes);
+    SurrogateTable out;
+    EXPECT_EQ(SurrogateTable::load(path, &out), LoadStatus::BadMagic);
+}
+
+TEST(SurrogateTableIo, FutureVersionIsSpecific)
+{
+    const std::string path = savedSample("version.tbl");
+    std::vector<char> bytes = fileBytes(path);
+    std::uint32_t version = 0;
+    std::memcpy(&version, bytes.data() + kOffVersion, sizeof version);
+    ++version; // a table written by a future yac
+    std::memcpy(bytes.data() + kOffVersion, &version, sizeof version);
+    writeBytes(path, bytes);
+    SurrogateTable out;
+    EXPECT_EQ(SurrogateTable::load(path, &out),
+              LoadStatus::BadVersion);
+}
+
+TEST(SurrogateTableIo, FeatureCountDriftIsSpecific)
+{
+    // A build with a different kSurrogateFeatureCount would serialize
+    // a different feature count: ABI drift, not corruption, and the
+    // status says so.
+    const std::string path = savedSample("layout.tbl");
+    std::vector<char> bytes = fileBytes(path);
+    std::uint32_t features = 0;
+    std::memcpy(&features, bytes.data() + kOffFeatures,
+                sizeof features);
+    ++features;
+    std::memcpy(bytes.data() + kOffFeatures, &features,
+                sizeof features);
+    writeBytes(path, bytes);
+    SurrogateTable out;
+    EXPECT_EQ(SurrogateTable::load(path, &out),
+              LoadStatus::BadLayout);
+}
+
+TEST(SurrogateTableIo, PayloadCorruptionIsChecksumMismatch)
+{
+    // A flip that keeps the header intact and does not shorten any
+    // length field lands on the checksum, with the specific status.
+    const std::string path = savedSample("payload.tbl");
+    std::vector<char> bytes = fileBytes(path);
+    // warmupInsts low byte: first payload field after the header.
+    bytes[kHeaderBytes] =
+        static_cast<char>(bytes[kHeaderBytes] ^ 0x01);
+    writeBytes(path, bytes);
+    SurrogateTable out;
+    EXPECT_EQ(SurrogateTable::load(path, &out),
+              LoadStatus::ChecksumMismatch);
+}
+
+TEST(SurrogateTableIo, AbsurdModelCountRejected)
+{
+    // The model-count word is bounded before any allocation: a
+    // corrupted count cannot make the loader allocate gigabytes.
+    const std::string path = savedSample("count.tbl");
+    std::vector<char> bytes = fileBytes(path);
+    const std::size_t count_off = kHeaderBytes +
+                                  3 * sizeof(std::uint64_t) +
+                                  (1 + 2 * kSurrogateFeatureCount) *
+                                      sizeof(double);
+    std::uint64_t absurd = ~0ull;
+    ASSERT_LE(count_off + sizeof absurd, bytes.size());
+    std::memcpy(bytes.data() + count_off, &absurd, sizeof absurd);
+    writeBytes(path, bytes);
+    SurrogateTable out;
+    EXPECT_EQ(SurrogateTable::load(path, &out),
+              LoadStatus::Truncated);
+}
+
+TEST(SurrogateTableIo, ContentHashCoversEverySemanticField)
+{
+    const SurrogateTable base = sampleTable();
+    const std::uint64_t h = base.contentHash();
+
+    SurrogateTable t = sampleTable();
+    t.warmupInsts += 1;
+    EXPECT_NE(t.contentHash(), h);
+
+    t = sampleTable();
+    t.envelopeSlack += 1e-9;
+    EXPECT_NE(t.contentHash(), h);
+
+    t = sampleTable();
+    t.featMax[4] += 1e-12;
+    EXPECT_NE(t.contentHash(), h);
+
+    t = sampleTable();
+    t.models[1].coef[7] += 1e-12;
+    EXPECT_NE(t.contentHash(), h);
+
+    t = sampleTable();
+    t.models[0].benchmark = "gzi p";
+    EXPECT_NE(t.contentHash(), h);
+
+    t = sampleTable();
+    t.models.pop_back();
+    EXPECT_NE(t.contentHash(), h);
+}
+
+TEST(SurrogateTableIo, LoadOrWarnWarnsAndLeavesOutUntouched)
+{
+    const std::string path = savedSample("warn.tbl");
+    std::vector<char> bytes = fileBytes(path);
+    bytes.resize(bytes.size() / 2);
+    writeBytes(path, bytes);
+    SurrogateTable out;
+    out.simSeed = 31337;
+    EXPECT_FALSE(SurrogateTable::loadOrWarn(path, &out));
+    EXPECT_EQ(out.simSeed, 31337u);
+}
+
+} // namespace
+} // namespace yac

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * yac_fit_surrogate -- fit the learned CPI-degradation surrogate
+ * (sim/surrogate.hh) against the exact pipeline simulator and write
+ * the versioned, checksummed coefficient table campaigns load with
+ * --cpi=surrogate|auto.
+ *
+ * The fit sweeps the deterministic training set (every Table 6
+ * scheme-scenario family plus way-placement permutations and
+ * bypass-less replay variants), holds out randomized reachable
+ * configurations for the error bound, and records the per-benchmark
+ * max |dCPI_pred - dCPI_sim| plus the validated feature envelope in
+ * the table itself. Everything here is deterministic for a given flag
+ * set: refitting with the same flags reproduces the same table bytes
+ * (and therefore the same contentHash).
+ *
+ *   yac_fit_surrogate --out=out/surrogate.tbl
+ *       [--warmup-insts=30000] [--measure-insts=120000] [--sim-seed=1]
+ *       [--holdout=24] [--holdout-seed=909] [--envelope-slack=0.05]
+ *       [--benchmarks=0(all)] [--threads=N] [--sim-cache=FILE]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/scenarios.hh"
+#include "sim/sim_cache.hh"
+#include "sim/surrogate.hh"
+#include "trace/trace.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+#include "util/parallel.hh"
+#include "workload/profile.hh"
+
+using namespace yac;
+
+int
+main(int argc, char **argv)
+{
+    std::string out;
+    std::size_t warmup = 30'000;
+    std::size_t measure = 120'000;
+    std::size_t sim_seed = 1;
+    std::size_t holdout = 24;
+    std::size_t holdout_seed = 909;
+    double slack = 0.05;
+    std::size_t benchmarks = 0;
+    std::size_t threads = 0;
+    std::string sim_cache;
+    std::string trace_out;
+    OptionParser parser(
+        "yac_fit_surrogate --out=TABLE [fit flags] -- fit the CPI "
+        "surrogate coefficient table against the exact simulator");
+    parser.add("out", "coefficient table to write", &out);
+    parser.add("warmup-insts", "simulation warm-up window", &warmup);
+    parser.add("measure-insts", "simulation measurement window",
+               &measure, 1);
+    parser.add("sim-seed", "synthetic trace seed", &sim_seed);
+    parser.add("holdout",
+               "randomized held-out configurations for the error bound",
+               &holdout);
+    parser.add("holdout-seed", "RNG seed of the held-out draw",
+               &holdout_seed);
+    parser.add("envelope-slack",
+               "fractional widening of the validated feature envelope",
+               &slack);
+    parser.add("benchmarks",
+               "fit only the first N SPEC 2000 benchmarks (0 = all)",
+               &benchmarks);
+    parser.add("threads", "worker pool size (0 = automatic)", &threads);
+    parser.add("sim-cache",
+               "persistent simulation memo cache (reused across refits)",
+               &sim_cache);
+    parser.add("trace-out", "Chrome trace path", &trace_out,
+               /*allow_empty=*/true);
+    parser.parse(argc, argv);
+    if (out.empty())
+        yac_fatal("--out=TABLE is required");
+    if (threads > 0)
+        parallel::setThreads(threads);
+    trace::Session session(trace_out);
+    if (!sim_cache.empty())
+        SimCache::instance().persistTo(sim_cache);
+
+    std::vector<BenchmarkProfile> suite = spec2000Profiles();
+    if (benchmarks > 0 && benchmarks < suite.size())
+        suite.resize(benchmarks);
+
+    SimConfig baseline = baselineScenario();
+    baseline.warmupInsts = warmup;
+    baseline.measureInsts = measure;
+    baseline.seed = sim_seed;
+
+    SurrogateFitPlan plan;
+    plan.train = surrogateTrainingConfigs();
+    plan.holdout = surrogateHoldoutConfigs(holdout_seed, holdout);
+    plan.envelopeSlack = slack;
+
+    const std::size_t sims =
+        suite.size() * (plan.train.size() + plan.holdout.size() + 1);
+    std::printf("fitting %zu benchmarks x (%zu train + %zu holdout) "
+                "configs: %zu exact simulations\n",
+                suite.size(), plan.train.size(), plan.holdout.size(),
+                sims);
+
+    const SurrogateTable table =
+        fitSurrogateTable(suite, baseline, plan);
+
+    std::printf("\n%-12s %10s %12s %14s\n", "benchmark", "baseCPI",
+                "missPress", "max|dCPIerr|");
+    double worst = 0.0;
+    for (const SurrogateModel &m : table.models) {
+        std::printf("%-12s %10.4f %12.4g %14.3g\n",
+                    m.benchmark.c_str(), m.baselineCpi, m.missPressure,
+                    m.maxAbsError);
+        worst = std::max(worst, m.maxAbsError);
+    }
+
+    if (!table.save(out))
+        yac_fatal("cannot write ", out);
+
+    // Reject-don't-trust applies to our own output too: reload and
+    // verify before telling anyone the table is usable.
+    SurrogateTable reloaded;
+    const SurrogateTable::LoadStatus status =
+        SurrogateTable::load(out, &reloaded);
+    if (status != SurrogateTable::LoadStatus::Ok)
+        yac_fatal("table failed verification after save: ",
+                  SurrogateTable::loadStatusName(status));
+    if (reloaded.contentHash() != table.contentHash())
+        yac_fatal("table content hash changed across save/load");
+
+    std::printf("\nwrote %s: %zu models, worst per-benchmark error "
+                "bound %.3g, content hash %016llx\n",
+                out.c_str(), table.models.size(), worst,
+                static_cast<unsigned long long>(table.contentHash()));
+    return 0;
+}

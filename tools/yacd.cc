@@ -14,6 +14,11 @@
  * Spec flags (shared by run/single): --chips --seed --sampling --tilt
  * --sigma-scale --simd --policy, or explicit --delay-limit-ps /
  * --leakage-limit-mw / --bin-edges overriding the policy derivation.
+ * CPI pricing of shipped chips: --carry-cpi=1 with --cpi=sim (exact,
+ * windows from --cpi-warmup-insts/--cpi-measure-insts/--cpi-sim-seed)
+ * or --cpi=surrogate|auto with --surrogate=TABLE (the table's content
+ * hash is pinned into the spec hash). --sim-cache=PREFIX keeps one
+ * warm persistent simulation cache per worker (PREFIX.shard_NNNN).
  *
  * `run` and `single` print the same `FINAL ...` line with every
  * number at %.17g round-trip precision; the kill/resume tests and the
@@ -31,6 +36,7 @@
 
 #include <unistd.h>
 
+#include "sim/sim_cache.hh"
 #include "yac.hh"
 
 using namespace yac;
@@ -50,6 +56,13 @@ struct SpecFlags
     double delayLimitPs = 0.0;   //!< > 0 overrides the policy
     double leakageLimitMw = 0.0; //!< > 0 overrides the policy
     std::string binEdges;        //!< comma list; empty = cycle budgets
+
+    /** CPI pricing of shipped chips. The oracle mode and table come
+     *  from the engine spec (--cpi / --surrogate). */
+    std::size_t carryCpi = 0;
+    std::size_t cpiWarmupInsts = 30'000;  //!< cpi=sim only
+    std::size_t cpiMeasureInsts = 120'000; //!< cpi=sim only
+    std::size_t cpiSimSeed = 1;            //!< cpi=sim only
 };
 
 void
@@ -69,6 +82,17 @@ addSpecFlags(OptionParser &parser, SpecFlags &flags)
                "comma-separated upper delay edges [ps] of the first 5 "
                "histogram bins; empty derives from the cycle budgets",
                &flags.binEdges, /*allow_empty=*/true);
+    parser.add("carry-cpi",
+               "1 = price every shipped chip's CPI degradation with "
+               "the oracle selected by --cpi/--surrogate",
+               &flags.carryCpi);
+    parser.add("cpi-warmup-insts",
+               "cpi=sim warm-up window [instructions]",
+               &flags.cpiWarmupInsts);
+    parser.add("cpi-measure-insts",
+               "cpi=sim measurement window [instructions]",
+               &flags.cpiMeasureInsts, 1);
+    parser.add("cpi-sim-seed", "cpi=sim trace seed", &flags.cpiSimSeed);
 }
 
 std::array<double, kDelayBins - 1>
@@ -148,12 +172,44 @@ specFromFlags(const SpecFlags &flags)
             spec.binEdges[b] = mapping.latencyBudget(
                 mapping.baseCycles + static_cast<int>(b));
     }
+
+    if (flags.carryCpi != 0) {
+        spec.carryCpi = true;
+        spec.cpiMode = flags.opts.engine.cpi;
+        spec.surrogatePath = flags.opts.engine.surrogate;
+        if (spec.cpiMode == CpiMode::Sim) {
+            spec.cpiWarmupInsts = flags.cpiWarmupInsts;
+            spec.cpiMeasureInsts = flags.cpiMeasureInsts;
+            spec.cpiSimSeed = flags.cpiSimSeed;
+        } else {
+            // Pin the campaign to this exact table: the content hash
+            // goes into the spec hash (so shards and resumes cannot
+            // silently use a different fit) and the table's embedded
+            // sim windows become the spec's, keeping cpi=sim reruns
+            // of the same spec comparable.
+            if (spec.surrogatePath.empty())
+                yac_fatal("--carry-cpi with --cpi=",
+                          cpiModeName(spec.cpiMode),
+                          " needs --surrogate=TABLE");
+            SurrogateTable table;
+            if (!SurrogateTable::loadOrWarn(spec.surrogatePath,
+                                            &table))
+                yac_fatal("cannot load surrogate table ",
+                          spec.surrogatePath);
+            spec.cpiTableHash = table.contentHash();
+            spec.cpiWarmupInsts = table.warmupInsts;
+            spec.cpiMeasureInsts = table.measureInsts;
+            spec.cpiSimSeed = table.simSeed;
+        }
+    }
     return spec;
 }
 
-/** The byte-diffable result line; %.17g round-trips every double. */
+/** The byte-diffable result line; %.17g round-trips every double.
+ *  CPI fields are appended only for CPI-carrying specs, so legacy
+ *  FINAL lines stay byte-identical. */
 void
-printFinal(const CampaignSummary &s)
+printFinal(const CampaignSummary &s, const ShardCampaignSpec &spec)
 {
     std::printf("FINAL chips=%llu chunks=%llu",
                 static_cast<unsigned long long>(s.chips),
@@ -171,9 +227,15 @@ printFinal(const CampaignSummary &s)
     std::printf(" reg=%.17g/%.17g/%.17g/%.17g", s.regular.delayMean,
                 s.regular.delaySigma, s.regular.leakMean,
                 s.regular.leakSigma);
-    std::printf(" hor=%.17g/%.17g/%.17g/%.17g\n",
+    std::printf(" hor=%.17g/%.17g/%.17g/%.17g",
                 s.horizontal.delayMean, s.horizontal.delaySigma,
                 s.horizontal.leakMean, s.horizontal.leakSigma);
+    if (spec.carryCpi)
+        std::printf(" cpi_mode=%s cpi_shipped=%.17g cpi_mean=%.17g "
+                    "cpi_sigma=%.17g",
+                    cpiModeName(spec.cpiMode), s.cpiShipped.value,
+                    s.cpiDegMean, s.cpiDegSigma);
+    std::printf("\n");
 }
 
 std::string
@@ -232,14 +294,19 @@ cmdRun(const Argv &args)
     const ShardCampaignSpec spec = specFromFlags(flags);
     OrchestratorConfig config;
     config.stateDir = state_dir;
+    config.workerSimCachePrefix = flags.opts.simCache;
     config.shards = shards;
     config.maxWorkers = max_workers;
     config.checkpointEveryChunks = checkpoint_every;
     config.workerThreads = worker_threads;
     config.maxRespawnsPerShard = max_respawns;
-    if (worker == "inproc")
+    if (worker == "inproc") {
         config.workerBinary.clear();
-    else if (worker == "self")
+        // In-process shards simulate in this process, so the warm
+        // cache must persist here instead of in spawned workers.
+        if (!flags.opts.simCache.empty())
+            SimCache::instance().persistTo(flags.opts.simCache);
+    } else if (worker == "self")
         config.workerBinary = selfExePath();
     else
         config.workerBinary = worker;
@@ -259,7 +326,7 @@ cmdRun(const Argv &args)
                 spec.numChips, spec.numChunks(),
                 orchestrator.plan().size(),
                 worker == "inproc" ? "in-process" : "subprocess");
-    printFinal(orchestrator.run());
+    printFinal(orchestrator.run(), spec);
     return 0;
 }
 
@@ -273,7 +340,10 @@ cmdSingle(const Argv &args)
     if (flags.opts.threads > 0)
         parallel::setThreads(flags.opts.threads);
     trace::Session session(flags.opts.traceOut);
-    printFinal(runSingleProcess(specFromFlags(flags)));
+    if (!flags.opts.simCache.empty())
+        SimCache::instance().persistTo(flags.opts.simCache);
+    const ShardCampaignSpec spec = specFromFlags(flags);
+    printFinal(runSingleProcess(spec), spec);
     return 0;
 }
 
@@ -291,6 +361,11 @@ cmdWorker(const Argv &args)
     std::size_t chunk_end = 0;
     std::size_t checkpoint_every = 8;
     std::size_t stop_after = 0;
+    std::size_t carry_cpi = 0;
+    std::size_t surrogate_hash = 0;
+    std::size_t cpi_warmup = 30'000;
+    std::size_t cpi_measure = 120'000;
+    std::size_t cpi_sim_seed = 1;
     OptionParser parser("yacd worker (internal; spawned by yacd run)");
     addCampaignOptions(parser, opts);
     parser.add("delay-limit-ps", "derived delay limit [ps]",
@@ -298,6 +373,15 @@ cmdWorker(const Argv &args)
     parser.add("leakage-limit-mw", "derived leakage limit [mW]",
                &leak_limit);
     parser.add("bin-edges", "derived histogram edges", &bin_edges);
+    parser.add("carry-cpi", "1 = spec carries CPI pricing",
+               &carry_cpi);
+    parser.add("surrogate-hash",
+               "expected surrogate-table content hash", &surrogate_hash);
+    parser.add("cpi-warmup-insts", "cpi=sim warm-up window",
+               &cpi_warmup);
+    parser.add("cpi-measure-insts", "cpi=sim measurement window",
+               &cpi_measure);
+    parser.add("cpi-sim-seed", "cpi=sim trace seed", &cpi_sim_seed);
     parser.add("checkpoint", "shard checkpoint file", &checkpoint);
     parser.add("chunk-begin", "first chunk of the shard",
                &chunk_begin);
@@ -313,6 +397,10 @@ cmdWorker(const Argv &args)
                   "chunk range");
     if (opts.threads > 0)
         parallel::setThreads(opts.threads);
+    // Each spawned worker gets its own cache file from the
+    // orchestrator, so CPI-carrying shards stay warm across respawns.
+    if (!opts.simCache.empty())
+        SimCache::instance().persistTo(opts.simCache);
 
     ShardCampaignSpec spec;
     spec.numChips = opts.chips;
@@ -322,6 +410,15 @@ cmdWorker(const Argv &args)
     spec.delayLimitPs = delay_limit;
     spec.leakageLimitMw = leak_limit;
     spec.binEdges = parseBinEdges(bin_edges);
+    if (carry_cpi != 0) {
+        spec.carryCpi = true;
+        spec.cpiMode = opts.engine.cpi;
+        spec.surrogatePath = opts.engine.surrogate;
+        spec.cpiTableHash = surrogate_hash;
+        spec.cpiWarmupInsts = cpi_warmup;
+        spec.cpiMeasureInsts = cpi_measure;
+        spec.cpiSimSeed = cpi_sim_seed;
+    }
 
     WorkerTask task;
     task.checkpointPath = checkpoint;
