@@ -65,11 +65,12 @@ hyapdOverheadSweep(const bench::BenchOptions &opts)
         VariationSampler sampler(VariationTable(), CorrelationModel(),
                                  geom.variationGeometry());
         MonteCarlo mc(sampler, geom, tech);
-        const MonteCarloResult r = mc.run({opts.chips, opts.seed});
-        const YieldConstraints c =
-            r.constraints(ConstraintPolicy::nominal());
-        const CycleMapping m =
-            r.cycleMapping(ConstraintPolicy::nominal());
+        CampaignRequest request;
+        request.spec = CampaignConfig(opts.chips, opts.seed);
+        const CampaignResult campaign = runCampaign(mc, request);
+        const MonteCarloResult &r = campaign.population;
+        const YieldConstraints &c = campaign.limits;
+        const CycleMapping &m = campaign.mapping;
         HYapdScheme hyapd;
         HybridHScheme hybrid_h;
         const LossTable t =
@@ -103,11 +104,12 @@ correlationSweep(const bench::BenchOptions &opts)
         VariationSampler sampler(VariationTable(), corr,
                                  geom.variationGeometry());
         MonteCarlo mc(sampler, geom, defaultTechnology());
-        const MonteCarloResult r = mc.run({opts.chips, opts.seed});
-        const YieldConstraints c =
-            r.constraints(ConstraintPolicy::nominal());
-        const CycleMapping m =
-            r.cycleMapping(ConstraintPolicy::nominal());
+        CampaignRequest request;
+        request.spec = CampaignConfig(opts.chips, opts.seed);
+        const CampaignResult campaign = runCampaign(mc, request);
+        const MonteCarloResult &r = campaign.population;
+        const YieldConstraints &c = campaign.limits;
+        const CycleMapping &m = campaign.mapping;
         YapdScheme yapd;
         const LossTable reg =
             buildLossTable(r.regular, r.weights, c, m, {&yapd});

@@ -27,14 +27,15 @@ main(int argc, char **argv)
     const bench::WallTimer timer;
     std::printf("Speed-binning economics with yield-aware schemes "
                 "(%zu chips)\n\n", opts.chips);
-    const MonteCarloResult mc =
-        bench::paperMonteCarlo(opts.chips, opts.seed);
-    const YieldConstraints nominal =
-        mc.constraints(ConstraintPolicy::nominal());
+    // One facade call resolves the population and the nominal
+    // screening limits the bin ladder anchors to.
+    const CampaignResult campaign =
+        bench::paperCampaign(opts.chips, opts.seed);
+    const MonteCarloResult &mc = campaign.population;
 
     const BinningAnalysis binning(
-        BinningAnalysis::standardBins(nominal.delayLimitPs),
-        nominal.leakageLimitMw);
+        BinningAnalysis::standardBins(campaign.limits.delayLimitPs),
+        campaign.limits.leakageLimitMw);
 
     YapdScheme yapd;
     VacaScheme vaca;

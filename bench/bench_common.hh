@@ -26,6 +26,7 @@
 #include "util/table.hh"
 #include "workload/profile.hh"
 #include "yield/analysis.hh"
+#include "yield/campaign.hh"
 #include "yield/monte_carlo.hh"
 
 namespace yac
@@ -125,12 +126,32 @@ reportCampaignTiming(const std::string &name, std::size_t chips,
     std::printf("%s\n", formatBenchReportLine(report).c_str());
 }
 
-/** The paper's campaign: 2000 chips, fixed seed, by default. */
+/** The paper's campaign as a facade request: 2000 chips, fixed
+ *  seed, naive engine, nominal screening policy, by default. */
+inline CampaignRequest
+paperRequest(std::size_t chips = 2000, std::uint64_t seed = 2006)
+{
+    CampaignRequest request;
+    request.spec = CampaignConfig(chips, seed);
+    return request;
+}
+
+/** Facade run of the paper's campaign: the population plus resolved
+ *  nominal screening limits / cycle mapping / yield in one result. */
+inline CampaignResult
+paperCampaign(std::size_t chips = 2000, std::uint64_t seed = 2006)
+{
+    return runCampaign(paperRequest(chips, seed));
+}
+
+/** The paper's campaign population. Routed through the facade (the
+ *  chips are bit-identical to MonteCarlo::run on the same config). */
 inline MonteCarloResult
 paperMonteCarlo(std::size_t chips = 2000, std::uint64_t seed = 2006)
 {
     MonteCarlo mc;
-    return mc.run({chips, seed});
+    CampaignRequest request = paperRequest(chips, seed);
+    return runCampaign(mc, request).population;
 }
 
 /** Render a Tables-2/3-shaped loss table. */

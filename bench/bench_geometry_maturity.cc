@@ -37,9 +37,9 @@ struct SweepResult
  * process got worse); otherwise limits derive from this population.
  */
 SweepResult
-runCampaign(const bench::BenchOptions &opts, const CacheGeometry &geom,
-            double variation_scale,
-            const YieldConstraints *fixed_constraints = nullptr)
+runSweep(const bench::BenchOptions &opts, const CacheGeometry &geom,
+         double variation_scale,
+         const YieldConstraints *fixed_constraints = nullptr)
 {
     VariationTable table;
     for (ProcessParam p : kAllProcessParams) {
@@ -51,16 +51,19 @@ runCampaign(const bench::BenchOptions &opts, const CacheGeometry &geom,
     VariationSampler sampler(table, CorrelationModel(),
                              geom.variationGeometry());
     MonteCarlo mc(sampler, geom, defaultTechnology());
-    const MonteCarloResult r = mc.run({opts.chips, opts.seed});
-    const YieldConstraints c = fixed_constraints
-        ? *fixed_constraints
-        : r.constraints(ConstraintPolicy::nominal());
-    CycleMapping m = r.cycleMapping(ConstraintPolicy::nominal());
-    m.delayLimitPs = c.delayLimitPs;
+    CampaignRequest request;
+    request.spec = CampaignConfig(opts.chips, opts.seed);
+    if (fixed_constraints != nullptr) {
+        request.policy.delayLimitPs = fixed_constraints->delayLimitPs;
+        request.policy.leakageLimitMw =
+            fixed_constraints->leakageLimitMw;
+    }
+    const CampaignResult campaign = runCampaign(mc, request);
     YapdScheme yapd;
     HybridScheme hybrid;
-    const LossTable t =
-        buildLossTable(r.regular, r.weights, c, m, {&yapd, &hybrid});
+    const LossTable t = buildLossTable(
+        campaign.population.regular, campaign.population.weights,
+        campaign.limits, campaign.mapping, {&yapd, &hybrid});
     return {t.baseTotal, t.schemes[0].total, t.schemes[1].total};
 }
 
@@ -103,7 +106,7 @@ main(int argc, char **argv)
         {"32 KB, 4-way", 32, 4},
     };
     for (const auto &g : geos) {
-        const SweepResult r = runCampaign(opts, geometryOf(g.kb, g.ways), 1.0);
+        const SweepResult r = runSweep(opts, geometryOf(g.kb, g.ways), 1.0);
         geo.addRow({g.name,
                     TextTable::num(static_cast<long long>(r.base)),
                     TextTable::num(static_cast<long long>(r.yapd)),
@@ -118,16 +121,16 @@ main(int argc, char **argv)
     std::printf("Sweep 2: process maturity (Table 1 ranges scaled; "
                 "the shipping spec is fixed at the nominal process's "
                 "mean+sigma limits)\n\n");
-    // The market spec comes from the nominal (scale 1.0) process.
-    MonteCarlo nominal_mc;
-    const YieldConstraints spec =
-        nominal_mc.run({opts.chips, opts.seed})
-            .constraints(ConstraintPolicy::nominal());
+    // The market spec comes from the nominal (scale 1.0) process;
+    // bakeScreening runs the deterministic pilot behind the facade.
+    CampaignRequest nominal_request;
+    nominal_request.spec = CampaignConfig(opts.chips, opts.seed);
+    const YieldConstraints spec = bakeScreening(nominal_request).limits;
     TextTable mat({"Variation scale", "Base lost", "YAPD lost",
                    "Hybrid lost", "Hybrid yield"});
     for (double scale : {0.5, 0.75, 1.0, 1.25, 1.5}) {
         const SweepResult r =
-            runCampaign(opts, CacheGeometry(), scale, &spec);
+            runSweep(opts, CacheGeometry(), scale, &spec);
         mat.addRow({TextTable::num(scale, 2),
                     TextTable::num(static_cast<long long>(r.base)),
                     TextTable::num(static_cast<long long>(r.yapd)),

@@ -50,21 +50,27 @@ main(int argc, char **argv)
                 naive_chips, opts.engine.sampling.tilt,
                 opts.engine.sampling.sigmaScale, tilted_chips);
 
-    CampaignConfig naive_config{naive_chips, opts.seed};
-    MonteCarlo mc;
-    const MonteCarloResult naive = mc.run(naive_config);
     // One shared constraint set -- derived from the naive population,
     // applied to both campaigns -- so the two estimators target
     // exactly the same tail probability. The relaxed 2-sigma budget
-    // pushes the 3/4-way delay losses deep into the tail.
-    const ConstraintPolicy deep{"deep", 2.0, 4.0};
-    const YieldConstraints c = naive.constraints(deep);
-    const CycleMapping m = naive.cycleMapping(deep);
+    // pushes the 3/4-way delay losses deep into the tail; the facade
+    // resolves it alongside the naive population in one request.
+    MonteCarlo mc;
+    CampaignRequest naive_request;
+    naive_request.spec = CampaignConfig(naive_chips, opts.seed);
+    naive_request.policy.constraints = ConstraintPolicy{"deep", 2.0, 4.0};
+    const CampaignResult naive_campaign =
+        runCampaign(mc, naive_request);
+    const MonteCarloResult &naive = naive_campaign.population;
+    const YieldConstraints &c = naive_campaign.limits;
+    const CycleMapping &m = naive_campaign.mapping;
 
-    CampaignConfig tilted_config{tilted_chips, opts.seed + 1};
-    tilted_config.engine.sampling = SamplingPlan::tilted(
+    CampaignRequest tilted_request;
+    tilted_request.spec = CampaignConfig(tilted_chips, opts.seed + 1);
+    tilted_request.engine.sampling = SamplingPlan::tilted(
         opts.engine.sampling.tilt, opts.engine.sampling.sigmaScale);
-    const MonteCarloResult tilted = mc.run(tilted_config);
+    const MonteCarloResult tilted =
+        runCampaign(mc, tilted_request).population;
 
     const LossTable naive_table =
         buildLossTable(naive.regular, naive.weights, c, m, {});

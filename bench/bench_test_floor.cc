@@ -25,12 +25,13 @@ main(int argc, char **argv)
     const bench::WallTimer timer;
     std::printf("Test-floor noise vs configuration quality "
                 "(Hybrid scheme, %zu chips)\n\n", opts.chips);
-    const MonteCarloResult mc =
-        bench::paperMonteCarlo(opts.chips, opts.seed);
-    const YieldConstraints c =
-        mc.constraints(ConstraintPolicy::nominal());
-    const CycleMapping m =
-        mc.cycleMapping(ConstraintPolicy::nominal());
+    // One facade call resolves the population, the nominal limits
+    // and the cycle mapping the testers screen against.
+    const CampaignResult campaign =
+        bench::paperCampaign(opts.chips, opts.seed);
+    const MonteCarloResult &mc = campaign.population;
+    const YieldConstraints &c = campaign.limits;
+    const CycleMapping &m = campaign.mapping;
     HybridScheme hybrid;
 
     struct Setup

@@ -57,10 +57,11 @@ main(int argc, char **argv)
         {"YAPD on both", &yapd, &yapd},
         {"Hybrid on both", &hybrid, &hybrid},
     };
+    // One facade request shared by every scheme combination.
+    CampaignRequest request;
+    request.spec = CampaignConfig(opts.chips, opts.seed);
     for (const Case &c : cases) {
-        const MultiCacheReport r = chip.run(
-            {opts.chips, opts.seed}, {c.d, c.i},
-            ConstraintPolicy::nominal());
+        const MultiCacheReport r = chip.run(request, {c.d, c.i});
         out.addRow({c.name,
                     TextTable::percent(r.baseYield().value),
                     TextTable::percent(r.schemeYield().value),

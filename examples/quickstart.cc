@@ -23,21 +23,22 @@ using namespace yac;
 int
 main()
 {
-    // 1. Manufacture 500 virtual chips (default geometry: the
-    //    paper's 16 KB, 4-way, 4-banks-per-way data cache at 45 nm).
-    MonteCarlo mc;
-    const MonteCarloResult result = mc.run({500, /*seed=*/42});
+    // 1 + 2. Manufacture 500 virtual chips (default geometry: the
+    //    paper's 16 KB, 4-way, 4-banks-per-way data cache at 45 nm)
+    //    and derive the screening limits from the population itself.
+    //    One CampaignRequest through the facade does both.
+    CampaignRequest request;
+    request.spec = CampaignConfig(500, /*seed=*/42);
+    const CampaignResult campaign = runCampaign(request);
+    const MonteCarloResult &result = campaign.population;
     std::printf("manufactured 500 chips: latency %.0f +/- %.0f ps, "
                 "leakage %.1f mW mean\n",
                 result.regularStats.delayMean,
                 result.regularStats.delaySigma,
                 result.regularStats.leakMean);
 
-    // 2. Screening limits, derived from the population itself.
-    const YieldConstraints limits =
-        result.constraints(ConstraintPolicy::nominal());
-    const CycleMapping cycles =
-        result.cycleMapping(ConstraintPolicy::nominal());
+    const YieldConstraints &limits = campaign.limits;
+    const CycleMapping &cycles = campaign.mapping;
     std::printf("limits: delay <= %.0f ps, leakage <= %.1f mW\n\n",
                 limits.delayLimitPs, limits.leakageLimitMw);
 

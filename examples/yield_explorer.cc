@@ -30,8 +30,12 @@ main(int argc, char **argv)
     const std::string out_dir = opts.outDir;
     trace::Session trace_session(opts.traceOut);
 
-    MonteCarlo mc;
-    const MonteCarloResult result = mc.run(campaignFromOptions(opts));
+    // The facade runs the population once; the sweep below re-derives
+    // constraint sets from it per (k, f) point.
+    CampaignRequest request;
+    request.spec = campaignFromOptions(opts);
+    request.engine = request.spec.engine;
+    const MonteCarloResult result = runCampaign(request).population;
 
     YapdScheme yapd;
     VacaScheme vaca;

@@ -1,0 +1,247 @@
+#include "opt/design_point.hh"
+
+#include <cstdio>
+
+#include "service/hash.hh"
+#include "util/logging.hh"
+#include "yield/schemes/hyapd.hh"
+#include "yield/schemes/hybrid.hh"
+#include "yield/schemes/vaca.hh"
+#include "yield/schemes/yapd.hh"
+
+namespace yac
+{
+namespace opt
+{
+
+namespace
+{
+
+constexpr int kBufferDepths[] = {0, 1, 2, 3};
+constexpr int kDisabledWays[] = {0, 1, 2};
+constexpr std::size_t kHyapdRegions[] = {0, 8, 16};
+constexpr double kPeripheralGating[] = {0.3, 0.5, 0.7, 0.9};
+constexpr double kGuardBands[] = {0.0,  0.01, 0.02,
+                                  0.03, 0.04, 0.06};
+constexpr int kLeakageSamples[] = {1, 2, 4, 8};
+constexpr std::size_t kRowGroups[] = {4, 8, 16};
+
+constexpr std::size_t kAxisSizes[kAxisCount] = {
+    6, // SchemeChoice members
+    std::size(kBufferDepths),
+    std::size(kDisabledWays),
+    std::size(kHyapdRegions),
+    std::size(kPeripheralGating),
+    std::size(kGuardBands),
+    std::size(kLeakageSamples),
+    std::size(kRowGroups),
+    2, // bitline split / unsplit
+};
+
+constexpr const char *kAxisNames[kAxisCount] = {
+    "scheme",         "buffer_depth",   "disabled_ways",
+    "hyapd_regions",  "periph_gating",  "guard_band",
+    "leak_samples",   "row_groups",     "bitline_split",
+};
+
+int
+clampIdx(int axis, int i)
+{
+    yac_assert(i >= 0 &&
+                   static_cast<std::size_t>(i) < kAxisSizes[axis],
+               "axis index out of range");
+    return i;
+}
+
+} // namespace
+
+std::size_t
+axisSize(int axis)
+{
+    yac_assert(axis >= 0 && axis < kAxisCount, "bad axis");
+    return kAxisSizes[axis];
+}
+
+const char *
+axisName(int axis)
+{
+    yac_assert(axis >= 0 && axis < kAxisCount, "bad axis");
+    return kAxisNames[axis];
+}
+
+SchemeChoice
+DesignPoint::scheme() const
+{
+    return static_cast<SchemeChoice>(
+        clampIdx(kAxisScheme, idx[kAxisScheme]));
+}
+
+int
+DesignPoint::bufferDepth() const
+{
+    return kBufferDepths[clampIdx(kAxisBufferDepth,
+                                  idx[kAxisBufferDepth])];
+}
+
+int
+DesignPoint::maxDisabledWays() const
+{
+    return kDisabledWays[clampIdx(kAxisDisabledWays,
+                                  idx[kAxisDisabledWays])];
+}
+
+std::size_t
+DesignPoint::hyapdRegions() const
+{
+    return kHyapdRegions[clampIdx(kAxisHyapdRegions,
+                                  idx[kAxisHyapdRegions])];
+}
+
+double
+DesignPoint::peripheralGating() const
+{
+    return kPeripheralGating[clampIdx(kAxisPeripheralGating,
+                                      idx[kAxisPeripheralGating])];
+}
+
+double
+DesignPoint::guardBandFrac() const
+{
+    return kGuardBands[clampIdx(kAxisGuardBand, idx[kAxisGuardBand])];
+}
+
+int
+DesignPoint::leakageSamples() const
+{
+    return kLeakageSamples[clampIdx(kAxisLeakageSamples,
+                                    idx[kAxisLeakageSamples])];
+}
+
+std::size_t
+DesignPoint::rowGroupsPerBank() const
+{
+    return kRowGroups[clampIdx(kAxisRowGroups, idx[kAxisRowGroups])];
+}
+
+bool
+DesignPoint::bitlineSplit() const
+{
+    return clampIdx(kAxisBitlineSplit, idx[kAxisBitlineSplit]) == 0;
+}
+
+bool
+DesignPoint::axisActive(int axis) const
+{
+    const SchemeChoice s = scheme();
+    switch (axis) {
+    case kAxisBufferDepth:
+        return s == SchemeChoice::Vaca || s == SchemeChoice::Hybrid ||
+               s == SchemeChoice::HybridH;
+    case kAxisDisabledWays:
+        return s == SchemeChoice::Yapd || s == SchemeChoice::Hybrid;
+    case kAxisHyapdRegions:
+        return s == SchemeChoice::HYapd;
+    case kAxisPeripheralGating:
+        return s == SchemeChoice::HYapd || s == SchemeChoice::HybridH;
+    default:
+        // Scheme choice, test floor and geometry always matter.
+        return true;
+    }
+}
+
+DesignPoint
+DesignPoint::canonical() const
+{
+    const DesignPoint defaults = paperBaseline();
+    DesignPoint c = *this;
+    for (int axis = 0; axis < kAxisCount; ++axis) {
+        if (!c.axisActive(axis))
+            c.idx[axis] = defaults.idx[axis];
+    }
+    return c;
+}
+
+std::uint64_t
+DesignPoint::contentHash() const
+{
+    const DesignPoint c = canonical();
+    service::Fnv1a h;
+    h.u64(0x594f5054ull); // "YOPT": format tag
+    for (int axis = 0; axis < kAxisCount; ++axis)
+        h.u64(static_cast<std::uint64_t>(c.idx[axis]));
+    return h.value();
+}
+
+std::string
+DesignPoint::label() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%s buf=%d off=%d regions=%zu gate=%.1f gb=%.0f%% "
+                  "samples=%d rowgroups=%zu split=%d",
+                  schemeChoiceName(scheme()), bufferDepth(),
+                  maxDisabledWays(), hyapdRegions(),
+                  peripheralGating(), 100.0 * guardBandFrac(),
+                  leakageSamples(), rowGroupsPerBank(),
+                  bitlineSplit() ? 1 : 0);
+    return buf;
+}
+
+DesignPoint
+DesignPoint::paperBaseline()
+{
+    return DesignPoint{};
+}
+
+const char *
+schemeChoiceName(SchemeChoice scheme)
+{
+    switch (scheme) {
+    case SchemeChoice::Base:
+        return "Base";
+    case SchemeChoice::Yapd:
+        return "YAPD";
+    case SchemeChoice::HYapd:
+        return "H-YAPD";
+    case SchemeChoice::Vaca:
+        return "VACA";
+    case SchemeChoice::Hybrid:
+        return "Hybrid";
+    case SchemeChoice::HybridH:
+        return "Hybrid-H";
+    }
+    return "?";
+}
+
+std::unique_ptr<Scheme>
+makeScheme(const DesignPoint &point)
+{
+    switch (point.scheme()) {
+    case SchemeChoice::Base:
+        return std::make_unique<BaselineScheme>();
+    case SchemeChoice::Yapd:
+        return std::make_unique<YapdScheme>(point.maxDisabledWays());
+    case SchemeChoice::HYapd:
+        return std::make_unique<HYapdScheme>(
+            point.peripheralGating(), 1, point.hyapdRegions());
+    case SchemeChoice::Vaca:
+        return std::make_unique<VacaScheme>(point.bufferDepth());
+    case SchemeChoice::Hybrid:
+        return std::make_unique<HybridScheme>(
+            point.bufferDepth(), point.maxDisabledWays());
+    case SchemeChoice::HybridH:
+        return std::make_unique<HybridHScheme>(
+            point.bufferDepth(), point.peripheralGating());
+    }
+    yac_fatal("unknown scheme choice");
+}
+
+bool
+usesHorizontalLayout(SchemeChoice scheme)
+{
+    return scheme == SchemeChoice::HYapd ||
+           scheme == SchemeChoice::HybridH;
+}
+
+} // namespace opt
+} // namespace yac

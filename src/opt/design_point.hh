@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The typed design point the yield/revenue optimizer searches over:
+ * which yield-aware scheme ships, its microarchitectural knobs
+ * (load-bypass depth, power-down budget, horizontal-region
+ * granularity, peripheral gating), the test-floor placement (latency
+ * guard band, leakage-sensor averaging) and the cache-geometry knobs
+ * the circuit model exposes (row-group granularity, bitline split).
+ *
+ * Every axis is an ordered grid of candidate values; a DesignPoint
+ * stores one index per axis. The optimizer only ever moves along
+ * these grids, so the whole space is finite, enumerable and
+ * content-hashable. canonical() resets axes that are inactive under
+ * the selected scheme (e.g. the VACA buffer depth of a YAPD design)
+ * to the paper's defaults, so the probe cache never stores the same
+ * physical design twice under different encodings.
+ */
+
+#ifndef YAC_OPT_DESIGN_POINT_HH
+#define YAC_OPT_DESIGN_POINT_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "yield/scheme.hh"
+
+namespace yac
+{
+namespace opt
+{
+
+/** The scheme families of the paper (plus the scheme-less base). */
+enum class SchemeChoice : int
+{
+    Base = 0,
+    Yapd,
+    HYapd,
+    Vaca,
+    Hybrid,
+    HybridH,
+};
+
+/** Search axes, in the fixed order the optimizer sweeps them. */
+enum Axis : int
+{
+    kAxisScheme = 0,
+    kAxisBufferDepth,    //!< VACA / Hybrid load-bypass entries
+    kAxisDisabledWays,   //!< YAPD / Hybrid power-down budget
+    kAxisHyapdRegions,   //!< horizontal-region granularity (0 = banks)
+    kAxisPeripheralGating, //!< gateable peripheral leakage fraction
+    kAxisGuardBand,      //!< test-floor latency guard band
+    kAxisLeakageSamples, //!< leakage-sensor readings averaged per way
+    kAxisRowGroups,      //!< row groups per bank (variation paths)
+    kAxisBitlineSplit,   //!< split (0) vs unsplit (1) bitlines
+    kAxisCount,
+};
+
+/** Candidate count of @p axis (grid indices are 0..size-1). */
+std::size_t axisSize(int axis);
+
+/** Short stable name of @p axis (CSV headers, labels). */
+const char *axisName(int axis);
+
+/**
+ * One point of the design space: an index into each axis grid. The
+ * default-constructed point is the paper's Hybrid configuration
+ * (buffer depth 1, one power-down, 2% guard band, one leakage
+ * sample, the paper's 16 KB geometry).
+ */
+struct DesignPoint
+{
+    std::array<int, kAxisCount> idx = {
+        static_cast<int>(SchemeChoice::Hybrid), // scheme
+        1, // bufferDepth = 1
+        1, // maxDisabledWays = 1
+        0, // hyapdRegions = bank granularity
+        1, // peripheralGating = 0.5
+        2, // guardBand = 2%
+        0, // leakageSamples = 1
+        1, // rowGroupsPerBank = 8
+        0, // bitlineSplit = true
+    };
+
+    bool operator==(const DesignPoint &other) const = default;
+
+    // Decoded axis values.
+    SchemeChoice scheme() const;
+    int bufferDepth() const;
+    int maxDisabledWays() const;
+    std::size_t hyapdRegions() const;
+    double peripheralGating() const;
+    double guardBandFrac() const;
+    int leakageSamples() const;
+    std::size_t rowGroupsPerBank() const;
+    bool bitlineSplit() const;
+
+    /** True when @p axis affects this point's physical design. */
+    bool axisActive(int axis) const;
+
+    /**
+     * The canonical encoding: every inactive axis reset to the
+     * paper default, so equal physical designs hash equally.
+     */
+    DesignPoint canonical() const;
+
+    /** FNV-1a over the canonical axis indices. */
+    std::uint64_t contentHash() const;
+
+    /** Human-readable label, e.g. "Hybrid buf=1 off=1 gb=2% ...". */
+    std::string label() const;
+
+    /** The paper's Hybrid design (the optimizer's start point). */
+    static DesignPoint paperBaseline();
+};
+
+/** Scheme name as printed in the paper's tables. */
+const char *schemeChoiceName(SchemeChoice scheme);
+
+/** Instantiate the scheme object this point describes. */
+std::unique_ptr<Scheme> makeScheme(const DesignPoint &point);
+
+/** True when the scheme runs on the horizontal decoder layout. */
+bool usesHorizontalLayout(SchemeChoice scheme);
+
+} // namespace opt
+} // namespace yac
+
+#endif // YAC_OPT_DESIGN_POINT_HH

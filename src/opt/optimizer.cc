@@ -1,0 +1,169 @@
+#include "opt/optimizer.hh"
+
+#include "trace/metrics.hh"
+#include "util/logging.hh"
+
+namespace yac
+{
+namespace opt
+{
+
+Optimizer::Optimizer(const ProbeEvaluator &eval, ProbeCache &cache,
+                     OptimizerConfig config)
+    : eval_(eval), cache_(cache), config_(std::move(config))
+{
+    yac_assert(config_.budget >= 1, "need at least one probe");
+    yac_assert(config_.mode == "cd" || config_.mode == "random",
+               "mode must be cd or random");
+}
+
+bool
+Optimizer::budgetLeft() const
+{
+    return report_.probesRequested < config_.budget;
+}
+
+ProbeResult
+Optimizer::probe(const DesignPoint &point, bool *cached)
+{
+    const std::uint64_t key = probeKey(eval_.scenario(), point);
+    if (const ProbeResult *hit = cache_.lookup(key)) {
+        *cached = true;
+        ++report_.cacheHits;
+        return *hit;
+    }
+    *cached = false;
+    ++report_.campaignsRun;
+    const ProbeResult result = eval_.evaluate(point);
+    cache_.insert(key, result);
+    return result;
+}
+
+void
+Optimizer::record(const DesignPoint &point, const ProbeResult &result,
+                  bool cached)
+{
+    ++report_.probesRequested;
+    TrajectoryStep step;
+    step.probe = report_.probesRequested;
+    step.point = point;
+    step.result = result;
+    step.cached = cached;
+    if (!haveBest_ ||
+        result.objective() > report_.bestResult.objective()) {
+        haveBest_ = true;
+        report_.best = point;
+        report_.bestResult = result;
+        step.accepted = true;
+    }
+    step.bestObjective = report_.bestResult.objective();
+    report_.trajectory.push_back(step);
+}
+
+DesignPoint
+Optimizer::randomPoint(Rng &rng) const
+{
+    DesignPoint p;
+    for (int axis = 0; axis < kAxisCount; ++axis) {
+        p.idx[axis] = static_cast<int>(
+            rng.uniformInt(static_cast<std::uint64_t>(axisSize(axis))));
+    }
+    // Canonicalize so the restart draw cannot hide two encodings of
+    // one physical design from the probe cache.
+    return p.canonical();
+}
+
+void
+Optimizer::runCoordinateDescent()
+{
+    DesignPoint current = DesignPoint::paperBaseline();
+    bool cached = false;
+    ProbeResult current_result = probe(current, &cached);
+    record(current, current_result, cached);
+    report_.baseline = current;
+    report_.baselineResult = current_result;
+
+    int stride = 2;
+    std::size_t restarts_used = 0;
+    while (budgetLeft()) {
+        bool improved = false;
+        for (int axis = 0; axis < kAxisCount && budgetLeft(); ++axis) {
+            if (!current.axisActive(axis))
+                continue;
+            for (const int dir : {+stride, -stride}) {
+                const int next = current.idx[axis] + dir;
+                if (next < 0 ||
+                    static_cast<std::size_t>(next) >= axisSize(axis)) {
+                    continue;
+                }
+                if (!budgetLeft())
+                    break;
+                DesignPoint candidate = current;
+                candidate.idx[axis] = next;
+                const ProbeResult r = probe(candidate, &cached);
+                record(candidate, r, cached);
+                if (r.objective() > current_result.objective()) {
+                    current = candidate;
+                    current_result = r;
+                    improved = true;
+                    break; // greedy: move on to the next axis
+                }
+            }
+        }
+        if (improved)
+            continue;
+        if (stride > 1) {
+            stride /= 2;
+            continue;
+        }
+        // Converged at stride 1: restart from a seeded random point.
+        if (restarts_used >= config_.restarts || !budgetLeft())
+            break;
+        Rng restart_rng = Rng(config_.seed).split(restarts_used);
+        ++restarts_used;
+        current = randomPoint(restart_rng);
+        current_result = probe(current, &cached);
+        record(current, current_result, cached);
+        stride = 2;
+    }
+}
+
+void
+Optimizer::runRandomSearch()
+{
+    const DesignPoint baseline = DesignPoint::paperBaseline();
+    bool cached = false;
+    const ProbeResult base_result = probe(baseline, &cached);
+    record(baseline, base_result, cached);
+    report_.baseline = baseline;
+    report_.baselineResult = base_result;
+
+    const Rng rng(config_.seed);
+    for (std::uint64_t k = 0; budgetLeft(); ++k) {
+        Rng draw = rng.split(k);
+        const DesignPoint point = randomPoint(draw);
+        const ProbeResult r = probe(point, &cached);
+        record(point, r, cached);
+    }
+}
+
+OptimizerReport
+Optimizer::run()
+{
+    report_ = OptimizerReport{};
+    haveBest_ = false;
+    if (config_.mode == "random")
+        runRandomSearch();
+    else
+        runCoordinateDescent();
+
+    trace::Metrics &metrics = trace::Metrics::instance();
+    metrics.counter("opt_probes_requested")
+        .add(report_.probesRequested);
+    metrics.counter("opt_probe_cache_hits").add(report_.cacheHits);
+    metrics.counter("opt_campaigns_run").add(report_.campaignsRun);
+    return report_;
+}
+
+} // namespace opt
+} // namespace yac

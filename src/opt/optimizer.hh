@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Seeded, deterministic design-space optimizer: maximize revenue per
+ * wafer subject to the scenario's sellable-yield floor, over the
+ * DesignPoint grid, with every probe an importance-sampling-capable
+ * campaign through the CampaignRequest facade.
+ *
+ * Two search modes:
+ *  - "cd": coordinate descent with adaptive step shrinking. Axes are
+ *    swept in their fixed declaration order at the current stride;
+ *    the first strict improvement along an axis moves the iterate.
+ *    A sweep with no improvement halves the stride; at stride 0 the
+ *    search restarts from a seeded random point (keeping the global
+ *    best) until the restart budget is spent.
+ *  - "random": the fixed-budget random baseline -- the paper point
+ *    first, then budget-1 seeded random canonical points.
+ *
+ * Determinism contract: the probe sequence (and hence the
+ * trajectory) is a pure function of (scenario, OptimizerConfig).
+ * Budget counts *requested* probes, cache hits included, so a search
+ * resumed against a warm probe cache replays the identical
+ * trajectory bitwise -- it just skips the campaign cost.
+ */
+
+#ifndef YAC_OPT_OPTIMIZER_HH
+#define YAC_OPT_OPTIMIZER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opt/probe.hh"
+#include "opt/probe_cache.hh"
+#include "util/rng.hh"
+
+namespace yac
+{
+namespace opt
+{
+
+/** Search knobs; everything that shapes the probe sequence. */
+struct OptimizerConfig
+{
+    std::uint64_t seed = 1;   //!< restart / random-mode draws
+    std::size_t budget = 120; //!< probes requested, cache hits incl.
+    std::size_t restarts = 2; //!< random restarts after convergence
+    std::string mode = "cd";  //!< "cd" or "random"
+};
+
+/** One requested probe, in request order. */
+struct TrajectoryStep
+{
+    std::size_t probe = 0; //!< 1-based request index
+    DesignPoint point;
+    ProbeResult result;
+    bool cached = false;   //!< served from the probe cache
+    bool accepted = false; //!< became the new global best
+    double bestObjective = 0.0; //!< best-so-far after this step
+};
+
+/** The full search outcome. */
+struct OptimizerReport
+{
+    DesignPoint baseline; //!< the paper point (always probe #1)
+    ProbeResult baselineResult;
+    DesignPoint best;
+    ProbeResult bestResult;
+    std::vector<TrajectoryStep> trajectory;
+    std::size_t probesRequested = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t campaignsRun = 0;
+};
+
+/** Drives the search; probes go through @p cache then @p eval. */
+class Optimizer
+{
+  public:
+    Optimizer(const ProbeEvaluator &eval, ProbeCache &cache,
+              OptimizerConfig config);
+
+    OptimizerReport run();
+
+  private:
+    ProbeResult probe(const DesignPoint &point, bool *cached);
+    bool budgetLeft() const;
+    void record(const DesignPoint &point, const ProbeResult &result,
+                bool cached);
+    DesignPoint randomPoint(Rng &rng) const;
+
+    void runCoordinateDescent();
+    void runRandomSearch();
+
+    const ProbeEvaluator &eval_;
+    ProbeCache &cache_;
+    OptimizerConfig config_;
+    OptimizerReport report_;
+    bool haveBest_ = false;
+};
+
+} // namespace opt
+} // namespace yac
+
+#endif // YAC_OPT_OPTIMIZER_HH

@@ -1,0 +1,404 @@
+#include "opt/probe.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/technology.hh"
+#include "service/hash.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
+#include "util/logging.hh"
+#include "util/parallel.hh"
+#include "util/rng.hh"
+#include "variation/sampler.hh"
+#include "yield/assessment.hh"
+#include "yield/testing.hh"
+
+namespace yac
+{
+namespace opt
+{
+
+namespace
+{
+
+/** Fixed per-way discount used when no CPI oracle is attached
+ *  (matches BinningAnalysis's default config_discount). */
+constexpr double kFallbackDiscountPerWay = 0.03;
+
+/** The pipeline-simulator view of a shipped CacheConfig. */
+SimConfig
+simConfigFor(const CacheConfig &config)
+{
+    SimConfig cfg;
+    if (config.horizontalPowerDown) {
+        cfg.hierarchy.l1d.horizontalMode = true;
+        cfg.hierarchy.l1d.numHRegions = cfg.hierarchy.l1d.numWays;
+        if (config.disabledWays > 0)
+            cfg.hierarchy.l1d.disabledHRegion = 0;
+    } else if (config.disabledWays > 0) {
+        std::uint32_t mask = 0xF;
+        for (int i = 0; i < config.disabledWays; ++i)
+            mask &= ~(1u << (3 - i));
+        cfg.hierarchy.l1d.wayMask = mask;
+    }
+    if (config.ways5 > 0) {
+        cfg.hierarchy.l1d.wayLatency.assign(4, 4);
+        const int enabled = config.enabledWays();
+        for (int i = 0; i < config.ways5 && i < enabled; ++i) {
+            cfg.hierarchy.l1d.wayLatency[static_cast<std::size_t>(
+                enabled - 1 - i)] = 5;
+        }
+        cfg.core.loadBypassDepth = 1;
+        cfg.core.assumedLoadLatency = 4;
+    }
+    cfg.label = "opt(" + config.label() + ")";
+    return cfg;
+}
+
+/** Measured view of one chip: noisy delays + averaged leakage. */
+struct MeasuredChip
+{
+    std::array<double, 8> wayDelay{};
+    std::array<double, 8> wayLeak{};
+    std::size_t ways = 0;
+    double totalLeak = 0.0;
+    double worstDelay = 0.0;
+};
+
+MeasuredChip
+measureChip(const CacheTiming &chip, const LatencyTester &tester,
+            const LeakageSensor &sensor, int samples, Rng &rng)
+{
+    MeasuredChip m;
+    m.ways = std::min<std::size_t>(chip.ways.size(), 8);
+    for (std::size_t w = 0; w < m.ways; ++w) {
+        m.wayDelay[w] = tester.measureDelay(chip.wayDelay(w), rng);
+        m.wayLeak[w] =
+            sensor.readAveraged(chip.wayLeakage(w), samples, rng);
+        m.totalLeak += m.wayLeak[w];
+        m.worstDelay = std::max(m.worstDelay, m.wayDelay[w]);
+    }
+    return m;
+}
+
+/** The measured chip re-assessed against one bin's constraints. */
+ChipAssessment
+measuredAssessment(const MeasuredChip &m, const YieldConstraints &c,
+                   const CycleMapping &mapping)
+{
+    ChipAssessment a;
+    a.wayDelays.assign(m.wayDelay.begin(),
+                       m.wayDelay.begin() +
+                           static_cast<std::ptrdiff_t>(m.ways));
+    a.wayLeakages.assign(m.wayLeak.begin(),
+                         m.wayLeak.begin() +
+                             static_cast<std::ptrdiff_t>(m.ways));
+    a.wayCycles.reserve(m.ways);
+    for (std::size_t w = 0; w < m.ways; ++w)
+        a.wayCycles.push_back(mapping.cyclesFor(m.wayDelay[w]));
+    a.totalLeakage = m.totalLeak;
+    a.cacheDelay = m.worstDelay;
+    a.leakageViolation = m.totalLeak > c.leakageLimitMw;
+    a.delayViolation = m.worstDelay > c.delayLimitPs;
+    return a;
+}
+
+/**
+ * Ground-truth audit of a shipped configuration against a bin's
+ * constraints: does *some* way assignment of the shipped shape truly
+ * fit? Mirrors FieldConfigurator::configure's escape audit.
+ */
+bool
+trulyMeetsBin(const CacheTiming &chip, const CacheConfig &config,
+              const YieldConstraints &c, const CycleMapping &mapping)
+{
+    const ChipAssessment truth = assessChip(chip, c, mapping);
+    if (config.disabledWays == 0 && config.ways5 == 0)
+        return truth.passes();
+    const std::size_t n = truth.wayCycles.size();
+    const int max_cycles =
+        mapping.baseCycles + (config.ways5 > 0 ? 1 : 0);
+    const auto want_off = static_cast<std::size_t>(config.disabledWays);
+    const std::size_t subsets = std::size_t{1} << n;
+    for (std::size_t mask = 0; mask < subsets; ++mask) {
+        if (static_cast<std::size_t>(__builtin_popcountll(mask)) !=
+            want_off) {
+            continue;
+        }
+        double leak = 0.0;
+        bool fits = true;
+        for (std::size_t w = 0; w < n; ++w) {
+            if (mask & (std::size_t{1} << w))
+                continue; // powered down
+            leak += truth.wayLeakages[w];
+            if (truth.wayCycles[w] > max_cycles)
+                fits = false;
+        }
+        if (fits && leak <= c.leakageLimitMw)
+            return true;
+    }
+    return false;
+}
+
+/** Per-chunk shard of the measured binning fold. */
+struct ProbeShard
+{
+    WeightTally population;
+    WeightTally sold;
+    double revenue = 0.0;
+    double escapeWeight = 0.0;
+};
+
+} // namespace
+
+std::uint64_t
+ProbeScenario::contentHash() const
+{
+    service::Fnv1a h;
+    h.u64(0x59414f5054ull); // "YAOPT": scenario-format tag
+    h.u64(1);               // scenario schema version
+    h.u64(chips);
+    h.u64(seed);
+    h.u64(static_cast<std::uint64_t>(engine.simd));
+    const SamplingPlan plan = engine.plan();
+    h.u64(static_cast<std::uint64_t>(plan.mode));
+    h.f64(plan.tilt);
+    h.f64(plan.sigmaScale);
+    h.u64(static_cast<std::uint64_t>(engine.cpi));
+    h.str(engine.surrogate);
+    h.f64(latencyNoiseFrac);
+    h.f64(leakageSensorSigmaLn);
+    h.u64(testSeed);
+    h.u64(bins.size());
+    for (const FrequencyBin &bin : bins) {
+        h.str(bin.name);
+        h.f64(bin.delayLimitPs);
+        h.f64(bin.price);
+    }
+    h.f64(leakageLimitMw);
+    h.f64(testCostPerSample);
+    h.f64(escapePenalty);
+    h.f64(chipsPerWafer);
+    h.f64(yieldFloor);
+    h.f64(cpiPriceWeight);
+    return h.value();
+}
+
+void
+ProbeScenario::bakeMarket()
+{
+    // The paper-nominal pilot defines the spec every probe is graded
+    // against: default geometry, naive sampling, nominal screening.
+    CampaignRequest pilot;
+    pilot.spec = CampaignConfig(chips, seed);
+    const ResolvedScreening screening = bakeScreening(pilot);
+    bins = BinningAnalysis::standardBins(screening.limits.delayLimitPs);
+    leakageLimitMw = screening.limits.leakageLimitMw;
+}
+
+double
+ProbeResult::objective() const
+{
+    if (empty != 0)
+        return -2e6;
+    if (feasible == 0)
+        return -1e6 + 1e3 * sellableYield;
+    return revenuePerWafer;
+}
+
+ProbeEvaluator::ProbeEvaluator(ProbeScenario scenario,
+                               const CpiOracle *oracle)
+    : scenario_(std::move(scenario))
+{
+    yac_assert(!scenario_.bins.empty(),
+               "scenario market not baked (call bakeMarket)");
+    if (oracle == nullptr)
+        return;
+    // Precompute the CPI price factor of every reachable shipped
+    // configuration eagerly, so evaluate() stays lock-free. The set
+    // is tiny: every (ways4, ways5, disabled) split of 4 ways, in
+    // both layouts.
+    for (int horizontal = 0; horizontal <= 1; ++horizontal) {
+        for (int off = 0; off <= 2; ++off) {
+            for (int ways5 = 0; ways5 + off <= 4; ++ways5) {
+                CacheConfig config;
+                config.disabledWays = off;
+                config.ways5 = ways5;
+                config.ways4 = 4 - off - ways5;
+                config.horizontalPowerDown = horizontal != 0;
+                const double degradation = std::max(
+                    0.0, oracle->meanDegradation(simConfigFor(config)));
+                priceConfigs_.push_back(config);
+                priceFactors_.push_back(std::max(
+                    0.0,
+                    1.0 - scenario_.cpiPriceWeight * degradation));
+            }
+        }
+    }
+}
+
+double
+ProbeEvaluator::configPriceFactor(const CacheConfig &config) const
+{
+    if (priceConfigs_.empty()) {
+        const int degraded = config.disabledWays + config.ways5;
+        return std::max(0.0,
+                        1.0 - kFallbackDiscountPerWay * degraded);
+    }
+    for (std::size_t i = 0; i < priceConfigs_.size(); ++i) {
+        if (priceConfigs_[i] == config)
+            return priceFactors_[i];
+    }
+    // Unreachable shapes (e.g. >2 ways off) fall back to the fixed
+    // discount rather than faulting mid-campaign.
+    const int degraded = config.disabledWays + config.ways5;
+    return std::max(0.0, 1.0 - kFallbackDiscountPerWay * degraded);
+}
+
+ProbeResult
+ProbeEvaluator::evaluate(const DesignPoint &point) const
+{
+    trace::Span span("opt.probe", "opt");
+    span.arg("point", point.label());
+    trace::Metrics::instance().counter("opt_probe_campaigns").add(1);
+
+    const ProbeScenario &sc = scenario_;
+
+    // 1. The manufactured population, through the facade: the
+    //    point's geometry knobs, the scenario's engine, the market's
+    //    limits as the explicit screening policy (no pilot).
+    CacheGeometry geom;
+    geom.rowGroupsPerBank = point.rowGroupsPerBank();
+    geom.bitlineSplit = point.bitlineSplit();
+    VariationSampler sampler(VariationTable(), CorrelationModel(),
+                             geom.variationGeometry());
+    MonteCarlo mc(sampler, geom, defaultTechnology());
+    CampaignRequest request;
+    request.spec = CampaignConfig(sc.chips, sc.seed);
+    request.engine = sc.engine;
+    request.policy.delayLimitPs = sc.bins.front().delayLimitPs;
+    request.policy.leakageLimitMw = sc.leakageLimitMw;
+    const CampaignResult campaign = runCampaign(mc, request);
+
+    const std::unique_ptr<Scheme> scheme = makeScheme(point);
+    const bool horizontal = usesHorizontalLayout(point.scheme());
+    const std::vector<CacheTiming> &chips =
+        horizontal ? campaign.population.horizontal
+                   : campaign.population.regular;
+    const std::vector<double> &weights = campaign.population.weights;
+
+    // 2. Measured speed binning with the point's test floor. Chip i
+    //    draws its measurement noise from Rng(testSeed).split(i) and
+    //    per-chunk tallies merge in chunk order, so the fold is
+    //    bit-stable at any thread count.
+    const LatencyTester tester(sc.latencyNoiseFrac,
+                               point.guardBandFrac());
+    const LeakageSensor sensor(sc.leakageSensorSigmaLn);
+    const int samples = point.leakageSamples();
+    const Rng rng(sc.testSeed);
+    const std::size_t num_bins = sc.bins.size();
+
+    std::vector<ProbeShard> shards(
+        parallel::chunkCount(chips.size(), parallel::kStatChunk));
+    parallel::forChunks(
+        chips.size(), parallel::kStatChunk,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+            ProbeShard &s = shards[chunk];
+            for (std::size_t i = begin; i < end; ++i) {
+                const double w = weights.empty() ? 1.0 : weights[i];
+                s.population.add(w);
+                Rng chip_rng = rng.split(i);
+                const MeasuredChip m = measureChip(
+                    chips[i], tester, sensor, samples, chip_rng);
+
+                // Best bin from the measured values, fastest-first:
+                // within a bin, the better of the plain part and the
+                // scheme-reconfigured one.
+                int bin_index = -1;
+                CacheConfig ship;
+                double price = 0.0;
+                for (std::size_t b = 0; b < num_bins; ++b) {
+                    const FrequencyBin &bin = sc.bins[b];
+                    YieldConstraints c;
+                    c.delayLimitPs = bin.delayLimitPs;
+                    c.leakageLimitMw = sc.leakageLimitMw;
+                    CycleMapping mapping;
+                    mapping.delayLimitPs = bin.delayLimitPs;
+                    if (m.worstDelay <= c.delayLimitPs &&
+                        m.totalLeak <= c.leakageLimitMw) {
+                        bin_index = static_cast<int>(b);
+                        ship = CacheConfig{};
+                        ship.ways4 = static_cast<int>(m.ways);
+                        ship.ways5 = 0;
+                        price = bin.price;
+                        break;
+                    }
+                    const ChipAssessment measured =
+                        measuredAssessment(m, c, mapping);
+                    const SchemeOutcome outcome = scheme->apply(
+                        chips[i], measured, c, mapping);
+                    if (outcome.saved) {
+                        bin_index = static_cast<int>(b);
+                        ship = outcome.config;
+                        price = bin.price *
+                                configPriceFactor(outcome.config);
+                        break;
+                    }
+                }
+                if (bin_index < 0)
+                    continue; // scrap: measured as unsellable
+
+                // 3. Audit against ground truth: a shipped part that
+                //    truly violates its bin comes back as an RMA.
+                YieldConstraints c;
+                c.delayLimitPs =
+                    sc.bins[static_cast<std::size_t>(bin_index)]
+                        .delayLimitPs;
+                c.leakageLimitMw = sc.leakageLimitMw;
+                CycleMapping mapping;
+                mapping.delayLimitPs = c.delayLimitPs;
+                if (trulyMeetsBin(chips[i], ship, c, mapping)) {
+                    s.sold.add(w);
+                    s.revenue += price * w;
+                } else {
+                    s.escapeWeight += w;
+                    s.revenue -= sc.escapePenalty * w;
+                }
+            }
+        });
+
+    ProbeShard total;
+    for (const ProbeShard &s : shards) {
+        total.population.merge(s.population);
+        total.sold.merge(s.sold);
+        total.revenue += s.revenue;
+        total.escapeWeight += s.escapeWeight;
+    }
+
+    // 4. Assemble; the zero-shippable campaign reports the defined
+    //    empty sentinel (never NaN).
+    ProbeResult result;
+    result.chips = chips.size();
+    if (total.sold.count == 0) {
+        result.empty = 1;
+        return result;
+    }
+    const auto n = static_cast<double>(total.population.count);
+    const YieldEstimate yield =
+        fractionEstimate(total.population, total.sold);
+    result.sellableYield = yield.value;
+    result.yieldStdErr = yield.stdErr;
+    result.escapeRate = total.escapeWeight / n;
+    result.testCostPerChip =
+        sc.testCostPerSample * static_cast<double>(samples);
+    result.revenuePerChip =
+        total.revenue / n - result.testCostPerChip;
+    result.revenuePerWafer =
+        result.revenuePerChip * sc.chipsPerWafer;
+    result.feasible = yield.value >= sc.yieldFloor ? 1 : 0;
+    return result;
+}
+
+} // namespace opt
+} // namespace yac

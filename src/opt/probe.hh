@@ -1,0 +1,135 @@
+/**
+ * @file
+ * One optimizer probe = one importance-sampling-accelerated campaign
+ * through the CampaignRequest facade, followed by a *measured*
+ * speed-binning pass: the test floor measures each chip (noisy BIST
+ * latency + leakage sensor with the point's guard band and sample
+ * count), the point's scheme reconfigures chips into the best bin it
+ * can justify from those measurements, and an audit against the true
+ * timing charges escapes (shipped-but-violating parts) back as RMA
+ * penalties.
+ *
+ * The market is FIXED per scenario: the bin ladder and the power
+ * envelope are baked once from the paper-nominal pilot population
+ * (bakeScreening through the facade), so no design point can inflate
+ * its revenue by redefining the spec it is graded against.
+ *
+ * A probe never produces NaN: a design whose campaign ships zero
+ * chips reports the defined empty-probe sentinel (revenue 0,
+ * infeasible, empty flag set) so the optimizer can rank it.
+ */
+
+#ifndef YAC_OPT_PROBE_HH
+#define YAC_OPT_PROBE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/design_point.hh"
+#include "sim/surrogate.hh"
+#include "yield/binning.hh"
+#include "yield/campaign.hh"
+
+namespace yac
+{
+namespace opt
+{
+
+/** Everything a probe is graded against; fixed across the search. */
+struct ProbeScenario
+{
+    /** Campaign shape: chips per probe, population seed, engine
+     *  (sampling plan, SIMD, CPI mode + surrogate path). */
+    std::size_t chips = 2000;
+    std::uint64_t seed = 2006;
+    EngineSpec engine;
+
+    /** Test-floor noise floor (fixed physics; the *guard band* and
+     *  *sample count* are design-point knobs, the noise is not). */
+    double latencyNoiseFrac = 0.01;
+    double leakageSensorSigmaLn = 0.10;
+    std::uint64_t testSeed = 777;
+
+    /** The market: bins fastest-first + shared power envelope.
+     *  Filled by bakeMarket() from the paper-nominal pilot. */
+    std::vector<FrequencyBin> bins;
+    double leakageLimitMw = 0.0;
+
+    /** Economics, in the bin ladder's revenue units. */
+    double testCostPerSample = 0.4; //!< per leakage reading per chip
+    double escapePenalty = 150.0;   //!< RMA cost of a shipped escape
+    double chipsPerWafer = 400.0;
+    double yieldFloor = 0.55; //!< min sellable fraction to be legal
+
+    /** Price weight on the mean relative CPI degradation of a
+     *  shipped configuration (oracle mode); the fixed per-way
+     *  discount applies when no oracle is attached. */
+    double cpiPriceWeight = 3.0;
+
+    /** Content hash over every field that shapes a probe result. */
+    std::uint64_t contentHash() const;
+
+    /**
+     * Derive the market from the paper-nominal pilot: top bin at the
+     * nominal mean+sigma delay limit, the standard 70% / 45% ladder
+     * below it, power envelope at the nominal leakage limit. Runs
+     * the deterministic pilot through the facade's bakeScreening.
+     */
+    void bakeMarket();
+};
+
+/**
+ * The (trivially copyable) outcome of one probe; exactly what the
+ * probe cache persists.
+ */
+struct ProbeResult
+{
+    double revenuePerChip = 0.0;  //!< net of test cost and escapes
+    double revenuePerWafer = 0.0; //!< revenuePerChip * chipsPerWafer
+    double sellableYield = 0.0;   //!< weighted sold fraction
+    double yieldStdErr = 0.0;
+    double escapeRate = 0.0; //!< weighted escapes / population
+    double testCostPerChip = 0.0;
+    std::uint64_t chips = 0;
+    std::uint32_t feasible = 0; //!< sellableYield >= scenario floor
+    std::uint32_t empty = 0;    //!< zero shippable chips (sentinel)
+
+    /**
+     * Total order for the optimizer: feasible points rank by
+     * revenue-per-wafer; infeasible (and empty) points rank below
+     * every feasible one, by how close they come to the floor.
+     * Defined (finite, never NaN) for every probe outcome.
+     */
+    double objective() const;
+};
+
+/**
+ * Evaluates design points against one scenario. Deterministic: the
+ * campaign goes through the facade (chunked, seed-split chips), the
+ * measured binning folds per-chip outcomes in kStatChunk chunk
+ * order, and the CPI price table is precomputed eagerly.
+ */
+class ProbeEvaluator
+{
+  public:
+    /** @p oracle may be null: fixed per-way discounts then apply. */
+    explicit ProbeEvaluator(ProbeScenario scenario,
+                            const CpiOracle *oracle = nullptr);
+
+    const ProbeScenario &scenario() const { return scenario_; }
+
+    /** Run the full probe for @p point (no caching at this layer). */
+    ProbeResult evaluate(const DesignPoint &point) const;
+
+  private:
+    double configPriceFactor(const CacheConfig &config) const;
+
+    ProbeScenario scenario_;
+    std::vector<CacheConfig> priceConfigs_;
+    std::vector<double> priceFactors_;
+};
+
+} // namespace opt
+} // namespace yac
+
+#endif // YAC_OPT_PROBE_HH

@@ -1,0 +1,160 @@
+#include "opt/probe_cache.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <type_traits>
+
+#include "service/hash.hh"
+
+namespace yac
+{
+namespace opt
+{
+
+namespace
+{
+
+static_assert(std::is_trivially_copyable_v<ProbeResult>,
+              "ProbeResult is persisted as raw bytes");
+
+constexpr char kMagic[8] = {'Y', 'A', 'C', 'O', 'P', 'R', 'B', '\n'};
+constexpr std::uint64_t kVersion = 1;
+
+struct FileHeader
+{
+    char magic[8];
+    std::uint64_t version;
+    std::uint64_t recordSize;
+    std::uint64_t count;
+    std::uint64_t checksum; //!< FNV-1a over the record payload
+};
+
+std::uint64_t
+payloadChecksum(const void *data, std::size_t bytes)
+{
+    service::Fnv1a h;
+    h.bytes(data, bytes);
+    return h.value();
+}
+
+} // namespace
+
+std::uint64_t
+probeKey(const ProbeScenario &scenario, const DesignPoint &point)
+{
+    service::Fnv1a h;
+    h.u64(scenario.contentHash());
+    h.u64(point.contentHash());
+    return h.value();
+}
+
+const char *
+ProbeCache::loadStatusName(LoadStatus status)
+{
+    switch (status) {
+    case LoadStatus::Ok:
+        return "ok";
+    case LoadStatus::MissingFile:
+        return "missing-file";
+    case LoadStatus::BadMagic:
+        return "bad-magic";
+    case LoadStatus::BadVersion:
+        return "bad-version";
+    case LoadStatus::Truncated:
+        return "truncated";
+    case LoadStatus::ChecksumMismatch:
+        return "checksum-mismatch";
+    }
+    return "?";
+}
+
+const ProbeResult *
+ProbeCache::lookup(std::uint64_t key)
+{
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    return &order_[it->second].result;
+}
+
+void
+ProbeCache::insert(std::uint64_t key, const ProbeResult &result)
+{
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        order_[it->second].result = result;
+        return;
+    }
+    index_.emplace(key, order_.size());
+    order_.push_back(Record{key, result});
+}
+
+bool
+ProbeCache::save(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+    FileHeader header{};
+    std::memcpy(header.magic, kMagic, sizeof kMagic);
+    header.version = kVersion;
+    header.recordSize = sizeof(Record);
+    header.count = order_.size();
+    header.checksum = payloadChecksum(
+        order_.data(), order_.size() * sizeof(Record));
+    bool ok = std::fwrite(&header, sizeof header, 1, f) == 1;
+    if (ok && !order_.empty()) {
+        ok = std::fwrite(order_.data(), sizeof(Record),
+                         order_.size(), f) == order_.size();
+    }
+    return std::fclose(f) == 0 && ok;
+}
+
+ProbeCache::LoadStatus
+ProbeCache::load(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return LoadStatus::MissingFile;
+    FileHeader header{};
+    if (std::fread(&header, sizeof header, 1, f) != 1) {
+        std::fclose(f);
+        return LoadStatus::Truncated;
+    }
+    if (std::memcmp(header.magic, kMagic, sizeof kMagic) != 0) {
+        std::fclose(f);
+        return LoadStatus::BadMagic;
+    }
+    if (header.version != kVersion ||
+        header.recordSize != sizeof(Record)) {
+        std::fclose(f);
+        return LoadStatus::BadVersion;
+    }
+    std::vector<Record> records(header.count);
+    if (header.count != 0 &&
+        std::fread(records.data(), sizeof(Record), header.count, f) !=
+            header.count) {
+        std::fclose(f);
+        return LoadStatus::Truncated;
+    }
+    // Trailing garbage is as untrustworthy as missing bytes.
+    char extra;
+    const bool clean_eof = std::fread(&extra, 1, 1, f) == 0;
+    std::fclose(f);
+    if (!clean_eof)
+        return LoadStatus::Truncated;
+    if (payloadChecksum(records.data(),
+                        records.size() * sizeof(Record)) !=
+        header.checksum) {
+        return LoadStatus::ChecksumMismatch;
+    }
+    for (const Record &r : records)
+        insert(r.key, r.result);
+    return LoadStatus::Ok;
+}
+
+} // namespace opt
+} // namespace yac

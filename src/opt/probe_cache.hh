@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Content-addressed probe cache: (scenario hash, canonical design
+ * point) -> ProbeResult. A resumed or re-run search never re-pays a
+ * campaign for a point it has already probed -- and because the
+ * optimizer's control flow consumes cached results exactly as it
+ * would fresh ones, a resumed trajectory is bitwise identical to the
+ * fresh run's.
+ *
+ * On disk: a versioned, checksummed flat record file with the same
+ * reject-don't-trust discipline as the worker checkpoints and the
+ * surrogate table -- any header, size or checksum problem rejects the
+ * file (with a specific status) and leaves the in-memory cache
+ * untouched; the search then simply starts cold.
+ */
+
+#ifndef YAC_OPT_PROBE_CACHE_HH
+#define YAC_OPT_PROBE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "opt/probe.hh"
+
+namespace yac
+{
+namespace opt
+{
+
+/** The probe-cache key: scenario content hash x canonical point. */
+std::uint64_t probeKey(const ProbeScenario &scenario,
+                       const DesignPoint &point);
+
+/** In-memory cache with optional binary persistence. */
+class ProbeCache
+{
+  public:
+    enum class LoadStatus
+    {
+        Ok,
+        MissingFile,
+        BadMagic,
+        BadVersion,
+        Truncated,
+        ChecksumMismatch,
+    };
+
+    static const char *loadStatusName(LoadStatus status);
+
+    /** Cached result for @p key, or nullptr. Counts hit/miss. */
+    const ProbeResult *lookup(std::uint64_t key);
+
+    /** Record @p result under @p key (last write wins). */
+    void insert(std::uint64_t key, const ProbeResult &result);
+
+    std::size_t size() const { return order_.size(); }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    /**
+     * Write every record (in first-insertion order, so the bytes are
+     * deterministic). Returns false on I/O failure.
+     */
+    bool save(const std::string &path) const;
+
+    /**
+     * Merge records from @p path into the cache. Reject-don't-trust:
+     * every non-Ok status leaves the cache untouched.
+     */
+    LoadStatus load(const std::string &path);
+
+  private:
+    struct Record
+    {
+        std::uint64_t key = 0;
+        ProbeResult result;
+    };
+
+    std::vector<Record> order_;
+    std::unordered_map<std::uint64_t, std::size_t> index_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace opt
+} // namespace yac
+
+#endif // YAC_OPT_PROBE_CACHE_HH

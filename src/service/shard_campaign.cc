@@ -21,15 +21,6 @@ namespace
  *  v2: CPI pricing fields (spec + ChunkAccum). */
 constexpr std::uint64_t kCampaignFormatVersion = 2;
 
-CampaignConfig
-configOf(const ShardCampaignSpec &spec)
-{
-    CampaignConfig config(spec.numChips, spec.seed);
-    config.engine.sampling = spec.sampling;
-    config.engine.simd = spec.simd;
-    return config;
-}
-
 PopulationStats
 statsOf(const RunningStats &delay, const RunningStats &leak)
 {
@@ -54,6 +45,39 @@ statsOf(const WeightedRunningStats &delay,
 }
 
 } // namespace
+
+ShardCampaignSpec
+specFromRequest(const CampaignRequest &request,
+                ResolvedScreening *screening_out)
+{
+    ShardCampaignSpec spec;
+    spec.numChips = request.spec.numChips;
+    spec.seed = request.spec.seed;
+    spec.sampling = request.engine.sampling;
+    spec.simd = request.engine.simd;
+    const ResolvedScreening screening = bakeScreening(request);
+    spec.delayLimitPs = screening.limits.delayLimitPs;
+    spec.leakageLimitMw = screening.limits.leakageLimitMw;
+    for (std::size_t b = 0; b < spec.binEdges.size(); ++b)
+        spec.binEdges[b] = screening.binEdges[b];
+    if (screening_out != nullptr)
+        *screening_out = screening;
+    return spec;
+}
+
+CampaignRequest
+requestOf(const ShardCampaignSpec &spec)
+{
+    CampaignRequest request;
+    request.spec = CampaignConfig(spec.numChips, spec.seed);
+    request.engine.sampling = spec.sampling;
+    request.engine.simd = spec.simd;
+    request.policy.delayLimitPs = spec.delayLimitPs;
+    request.policy.leakageLimitMw = spec.leakageLimitMw;
+    for (std::size_t b = 0; b < spec.binEdges.size(); ++b)
+        request.policy.binEdges[b] = spec.binEdges[b];
+    return request;
+}
 
 std::size_t
 ShardCampaignSpec::numChunks() const
@@ -169,7 +193,7 @@ summarize(const ShardCampaignSpec &spec,
 }
 
 ShardEvaluator::ShardEvaluator(const ShardCampaignSpec &spec)
-    : spec_(spec), config_(configOf(spec)), mc_(),
+    : spec_(spec), config_(requestOf(spec).config()), mc_(),
       kernel_(vecmath::resolveSimdKernel(spec.simd)),
       numChunks_(spec.numChunks())
 {

@@ -40,6 +40,7 @@
 #include "util/vecmath.hh"
 #include "variation/engine_spec.hh"
 #include "variation/sampling_plan.hh"
+#include "yield/campaign.hh"
 #include "yield/constraints.hh"
 #include "yield/estimate.hh"
 #include "yield/monte_carlo.hh"
@@ -109,6 +110,36 @@ struct ShardCampaignSpec
     /** Format-versioned content hash of every semantic field. */
     std::uint64_t contentHash() const;
 };
+
+static_assert(kCampaignBinEdges == kDelayBins - 1,
+              "facade bin edges and shard histogram edges must agree");
+
+/**
+ * Build a fully-baked shard spec from a facade CampaignRequest:
+ * screening limits / bin edges left unset in the policy are
+ * pilot-derived through yac::bakeScreening, so yacd, the optimizer
+ * and any in-process caller share one deterministic baking path
+ * (limits are a pure function of the request -- every invocation
+ * lands on bit-identical limits without coordinating).
+ *
+ * CPI-pricing fields stay at their defaults; CPI-carrying callers
+ * fill them afterwards (table pinning needs file I/O -- see
+ * tools/yacd.cc).
+ *
+ * @param screening_out When non-null, receives the resolved
+ *        screening (for reporting whether limits were derived).
+ */
+ShardCampaignSpec specFromRequest(const CampaignRequest &request,
+                                  ResolvedScreening *screening_out =
+                                      nullptr);
+
+/**
+ * The facade request a spec corresponds to: population + engine
+ * echoed, the spec's baked limits as explicit policy limits. This is
+ * what ShardEvaluator itself runs -- the shard service is a facade
+ * consumer like every other entrypoint.
+ */
+CampaignRequest requestOf(const ShardCampaignSpec &spec);
 
 /**
  * The per-chunk reduction state: one fully accumulated chunk of

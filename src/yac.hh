@@ -67,6 +67,12 @@
 #include "yield/schemes/vaca.hh"
 #include "yield/schemes/yapd.hh"
 
+// Design-space optimizer.
+#include "opt/design_point.hh"
+#include "opt/optimizer.hh"
+#include "opt/probe.hh"
+#include "opt/probe_cache.hh"
+
 // Sharded campaign service.
 #include "service/checkpoint.hh"
 #include "service/orchestrator.hh"

@@ -1,5 +1,8 @@
 #include "yield/campaign.hh"
 
+#include <vector>
+
+#include "util/logging.hh"
 #include "util/parallel.hh"
 
 namespace yac
@@ -38,6 +41,159 @@ CampaignScope::tick(std::size_t chips)
     std::lock_guard<std::mutex> lock(progressMutex_);
     done_ += chips;
     config_.progress(done_, config_.numChips);
+}
+
+namespace
+{
+
+/** Default speed-grade ladder: the latency budgets of
+ *  baseCycles..baseCycles+4 accesses under the resolved limit. */
+std::array<double, kCampaignBinEdges>
+cycleBudgetEdges(const CycleMapping &mapping)
+{
+    std::array<double, kCampaignBinEdges> edges{};
+    for (std::size_t b = 0; b < edges.size(); ++b)
+        edges[b] = mapping.latencyBudget(mapping.baseCycles +
+                                         static_cast<int>(b));
+    return edges;
+}
+
+bool
+edgesUnset(const std::array<double, kCampaignBinEdges> &edges)
+{
+    for (double e : edges) {
+        if (e != 0.0)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Base-pass yield of the regular layout under the resolved limits.
+ * Chips shard into fixed kStatChunk chunks and per-chunk tallies
+ * merge in chunk order, so the estimate is identical at any thread
+ * count.
+ */
+YieldEstimate
+basePassYield(const MonteCarloResult &population,
+              const YieldConstraints &limits)
+{
+    const std::vector<CacheTiming> &chips = population.regular;
+    struct Tallies
+    {
+        WeightTally all;
+        WeightTally pass;
+    };
+    std::vector<Tallies> shards(
+        parallel::chunkCount(chips.size(), parallel::kStatChunk));
+    parallel::forChunks(
+        chips.size(), parallel::kStatChunk,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+            Tallies &s = shards[chunk];
+            for (std::size_t i = begin; i < end; ++i) {
+                const double w = population.weights.empty()
+                                     ? 1.0
+                                     : population.weights[i];
+                s.all.add(w);
+                const CacheTiming &chip = chips[i];
+                if (chip.delay() <= limits.delayLimitPs &&
+                    chip.leakage() <= limits.leakageLimitMw)
+                    s.pass.add(w);
+            }
+        });
+    WeightTally all, pass;
+    for (const Tallies &s : shards) {
+        all.merge(s.all);
+        pass.merge(s.pass);
+    }
+    return fractionEstimate(all, pass);
+}
+
+} // namespace
+
+ResolvedScreening
+resolveScreening(const MonteCarloResult &population,
+                 const CampaignRequest &request)
+{
+    const CampaignPolicy &policy = request.policy;
+    ResolvedScreening out;
+    out.limits.delayLimitPs = policy.delayLimitPs;
+    out.limits.leakageLimitMw = policy.leakageLimitMw;
+    if (out.limits.delayLimitPs <= 0.0 ||
+        out.limits.leakageLimitMw <= 0.0) {
+        const YieldConstraints derived =
+            population.constraints(policy.constraints);
+        if (out.limits.delayLimitPs <= 0.0)
+            out.limits.delayLimitPs = derived.delayLimitPs;
+        if (out.limits.leakageLimitMw <= 0.0)
+            out.limits.leakageLimitMw = derived.leakageLimitMw;
+        out.derived = true;
+    }
+    out.mapping.delayLimitPs = out.limits.delayLimitPs;
+    out.mapping.extraCycleHeadroom = policy.extraCycleHeadroom;
+    out.binEdges = edgesUnset(policy.binEdges)
+                       ? cycleBudgetEdges(out.mapping)
+                       : policy.binEdges;
+    return out;
+}
+
+ResolvedScreening
+bakeScreening(const MonteCarlo &mc, const CampaignRequest &request)
+{
+    const CampaignPolicy &policy = request.policy;
+    if (policy.delayLimitPs > 0.0 && policy.leakageLimitMw > 0.0) {
+        // Both limits explicit: no pilot needed; resolveScreening
+        // never touches the population in this case.
+        return resolveScreening(MonteCarloResult{}, request);
+    }
+    const MonteCarloResult pilot = mc.run(request.config());
+    return resolveScreening(pilot, request);
+}
+
+ResolvedScreening
+bakeScreening(const CampaignRequest &request)
+{
+    const MonteCarlo mc;
+    return bakeScreening(mc, request);
+}
+
+CampaignResult
+runCampaign(const MonteCarlo &mc, const CampaignRequest &request)
+{
+    CampaignResult result;
+    result.population = mc.run(request.config());
+    result.chips = result.population.regular.size();
+
+    const ResolvedScreening screening =
+        resolveScreening(result.population, request);
+    result.limits = screening.limits;
+    result.mapping = screening.mapping;
+    result.binEdges = screening.binEdges;
+    result.yield = basePassYield(result.population, result.limits);
+
+    const CampaignPolicy &policy = request.policy;
+    if (policy.wantBins) {
+        const BinningAnalysis binning(
+            BinningAnalysis::standardBins(result.limits.delayLimitPs,
+                                          policy.binTopPrice),
+            result.limits.leakageLimitMw);
+        result.bins =
+            policy.scheme != nullptr
+                ? binning.binPopulation(result.population.regular,
+                                        result.population.weights,
+                                        *policy.scheme)
+                : binning.binPopulation(result.population.regular,
+                                        result.population.weights);
+        result.revenuePerChip = result.bins.averageRevenue();
+    }
+    return result;
+}
+
+CampaignResult
+runCampaign(const CampaignRequest &request)
+{
+    const MonteCarlo mc;
+    return runCampaign(mc, request);
 }
 
 } // namespace yac

@@ -1,152 +1,188 @@
 /**
  * @file
- * Unified campaign entry-point configuration. Every campaign runner
- * (MonteCarlo::run, MultiCacheYield::run, the bench drivers, the
- * CLI) takes one CampaignConfig instead of positional
- * (num_chips, seed, ...) arguments, so adding a knob -- threads, a
- * trace sink, a progress callback -- never ripples through every
- * signature again.
+ * The unified campaign facade: one typed request in, one typed result
+ * out, for every consumer of a yield campaign (benches, yac_cli,
+ * yacd, the design-space optimizer).
  *
- * Field order is part of the API: `{chips, seed}` aggregate
- * initialization is pervasive in tests and examples and must keep
- * meaning "numChips, seed".
+ *   CampaignRequest {spec, engine, policy}
+ *       -> runCampaign()
+ *       -> CampaignResult {population, limits, yield, bins, revenue}
+ *
+ * Before this facade the entrypoints had grown by accretion:
+ * MonteCarlo::run gave raw chips, yacd privately re-derived screening
+ * limits from a pilot run, every bench re-assembled constraints /
+ * cycle mappings / bin ladders by hand. The facade owns that
+ * assembly in exactly one place:
+ *
+ *  - limits left at 0 in the policy are derived from the population
+ *    itself (mean + k sigma delay, m x mean leakage) -- the same
+ *    deterministic pilot rule yacd used, now shared by yacd, the
+ *    optimizer and every in-process caller (resolveScreening /
+ *    bakeScreening);
+ *  - the naive path stays byte-identical to the historical pipeline:
+ *    runCampaign calls MonteCarlo::run unchanged, so chips, weights
+ *    and population stats are bit-for-bit the seed's.
+ *
+ * MonteCarlo::run / MultiCacheYield::run remain as the underlying
+ * kernels the facade drives (and as thin compatibility entrypoints);
+ * service::ShardEvaluator builds its campaign config through the
+ * same request type (service::specFromRequest).
+ *
+ * The population spec half (CampaignConfig) lives in
+ * yield/campaign_config.hh so low-level runners can take a config
+ * without seeing the facade; this header re-exports it.
  */
 
 #ifndef YAC_YIELD_CAMPAIGN_HH
 #define YAC_YIELD_CAMPAIGN_HH
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <mutex>
-#include <optional>
 
-#include "trace/trace.hh"
-#include "util/options.hh"
-#include "util/vecmath.hh"
-#include "variation/sampling_plan.hh"
+#include "yield/binning.hh"
+#include "yield/campaign_config.hh"
+#include "yield/constraints.hh"
+#include "yield/estimate.hh"
+#include "yield/monte_carlo.hh"
 
 namespace yac
 {
 
-/** Parameters shared by every yield campaign. */
-struct CampaignConfig
-{
-    CampaignConfig() = default;
+/** Delay histogram / speed-grade edges carried by a campaign policy;
+ *  matches service::kDelayBins - 1 (the shard checkpoint layout). */
+inline constexpr std::size_t kCampaignBinEdges = 5;
 
-    /** The ubiquitous `{chips, seed}` spelling, warning-free. */
-    CampaignConfig(std::size_t num_chips, std::uint64_t seed_value)
-        : numChips(num_chips), seed(seed_value)
+/**
+ * The screening / pricing half of a CampaignRequest: how the
+ * population is judged, independent of how it is sampled.
+ */
+struct CampaignPolicy
+{
+    /** Derives limits left at 0 below from the population itself. */
+    ConstraintPolicy constraints = ConstraintPolicy::nominal();
+
+    /** Explicit screening limits; a value > 0 wins over derivation. */
+    double delayLimitPs = 0.0;
+    double leakageLimitMw = 0.0;
+
+    /**
+     * Upper delay edges [ps] of the first kCampaignBinEdges speed
+     * grades (ascending). All-zero edges derive the default ladder:
+     * the latency budgets of baseCycles..baseCycles+4 accesses under
+     * the resolved delay limit -- the same rule yacd's spec builder
+     * applied, now in one place.
+     */
+    std::array<double, kCampaignBinEdges> binEdges{};
+
+    /** Cycle-mapping headroom (see CycleMapping). */
+    double extraCycleHeadroom = 0.25;
+
+    /**
+     * When set, CampaignResult::bins / revenuePerChip are filled by a
+     * BinningAnalysis over the standard three-bin ladder at the
+     * resolved delay limit, reconfiguring chips with *scheme when
+     * non-null. Off by default: screening-only campaigns skip the
+     * binning pass entirely.
+     */
+    bool wantBins = false;
+    const Scheme *scheme = nullptr; //!< non-owning; may be null
+    double binTopPrice = 100.0;
+};
+
+/**
+ * Everything a campaign consumer asks for, in one typed request:
+ * the population spec (chips, seed, threads, sinks), the numeric
+ * engine (SIMD kernel, sampling plan, CPI oracle selection) and the
+ * screening/pricing policy.
+ */
+struct CampaignRequest
+{
+    CampaignConfig spec; //!< population: chips, seed, threads, sinks
+    EngineSpec engine;   //!< numeric engine; authoritative over
+                         //!< spec.engine (kept separate so requests
+                         //!< read {spec, engine, policy})
+    CampaignPolicy policy;
+
+    /** The merged low-level config the runners consume. */
+    CampaignConfig config() const
     {
+        CampaignConfig c = spec;
+        c.engine = engine;
+        return c;
     }
+};
 
-    std::size_t numChips = 2000; //!< the paper's population size
-    std::uint64_t seed = 2006;
+/** Screening parameters a request resolves to (see resolveScreening). */
+struct ResolvedScreening
+{
+    YieldConstraints limits;
+    CycleMapping mapping;
+    std::array<double, kCampaignBinEdges> binEdges{};
+    bool derived = false; //!< true when a limit came from the pilot
+};
 
-    /**
-     * Worker threads for this campaign: 0 keeps the current global
-     * setting (YAC_THREADS / --threads / parallel::setThreads).
-     * Non-zero applies globally for the rest of the process, like
-     * parallel::setThreads -- campaigns usually share one pool.
-     */
-    std::size_t threads = 0;
+/** The typed result every campaign consumer reads. */
+struct CampaignResult
+{
+    /** The chips (regular + H-YAPD layouts), weights, and population
+     *  stats -- bit-identical to MonteCarlo::run on the same config. */
+    MonteCarloResult population;
 
-    /**
-     * Span sink installed as the current trace recorder for the
-     * duration of the run (the previous recorder is restored after).
-     * nullptr leaves whatever is current -- e.g. a bench-wide
-     * trace::Session -- in place.
-     */
-    trace::Recorder *traceSink = nullptr;
+    /** Resolved screening: explicit policy limits, or derived from
+     *  this very population (deterministic in the request). */
+    YieldConstraints limits;
+    CycleMapping mapping;
+    std::array<double, kCampaignBinEdges> binEdges{};
 
-    /**
-     * Progress callback, invoked as (chips_done, chips_total) after
-     * each completed chunk. May be called concurrently from worker
-     * threads; calls are serialized by the campaign, but the callback
-     * must not assume it runs on the calling thread. Must not mutate
-     * campaign inputs (results are byte-identical with or without
-     * a callback installed).
-     */
-    std::function<void(std::size_t done, std::size_t total)> progress;
+    /** Fraction of the population inside both limits (regular
+     *  layout), importance-weight aware. */
+    YieldEstimate yield;
 
-    /**
-     * The campaign's numeric engine: SIMD kernel selection plus the
-     * sampling plan, in one struct so (numChips, seed, engine) fully
-     * determines the campaign's bytes.
-     *
-     * engine.sampling: how die-level process parameters are drawn.
-     * The default naive plan is bitwise-identical to the historical
-     * pipeline at any thread count; a tilted plan importance-samples
-     * the process tail and every chip carries a likelihood-ratio
-     * weight that the YieldEstimate machinery folds back in. See
-     * docs/SAMPLING.md.
-     *
-     * engine.simd: kernel selection for the batched chip evaluator
-     * AND the vectorized sampling front-end. Off (the default) runs
-     * the scalar bitwise-reference path; Auto/Avx2 are resolved
-     * against the host once per run by vecmath::resolveSimdKernel,
-     * which records the decision in the metrics registry and fails
-     * fast on a forced-Avx2 host mismatch. The SIMD path is
-     * deterministic and thread-count invariant but only
-     * tolerance-equal to the scalar reference -- except chip weights,
-     * which stay bitwise (see docs/PERFORMANCE.md section 4).
-     *
-     * engine.cpi / engine.surrogate: how CPI-carrying consumers of
-     * this campaign (priceCpiPopulation, the binning/test-floor
-     * revenue sweeps, the yacd --cpi modes) price per-chip CPI
-     * degradation: the exact pipeline simulator (sim, the default),
-     * the fitted coefficient table at engine.surrogate (surrogate),
-     * or the table inside its validated feature envelope with exact
-     * simulation outside it (auto). See docs/PERFORMANCE.md
-     * section 5.
-     */
-    EngineSpec engine;
+    /** Speed-grade economics; filled when policy.wantBins. */
+    BinningReport bins;
+    double revenuePerChip = 0.0; //!< bins.averageRevenue()
+
+    std::uint64_t chips = 0; //!< population size (echoed)
 };
 
 /**
- * CampaignConfig from parsed command-line options. The trace sink is
- * not mapped: --trace-out is process-wide, handled by constructing a
- * trace::Session in main().
+ * Resolve the screening parameters of @p request against an already
+ * evaluated population. Pure: explicit policy limits pass through,
+ * unset ones derive from the population's regular-layout moments via
+ * the request's ConstraintPolicy, and all-zero bin edges become the
+ * cycle-budget ladder. Deterministic in (population, request).
  */
-inline CampaignConfig
-campaignFromOptions(const CampaignOptions &opts)
-{
-    CampaignConfig config;
-    config.numChips = opts.chips;
-    config.seed = opts.seed;
-    config.threads = opts.threads;
-    config.engine.sampling = opts.engine.plan();
-    config.engine.simd = opts.engine.simd;
-    config.engine.cpi = opts.engine.cpi;
-    config.engine.surrogate = opts.engine.surrogate;
-    return config;
-}
+ResolvedScreening resolveScreening(const MonteCarloResult &population,
+                                   const CampaignRequest &request);
 
 /**
- * RAII bracket used inside campaign runners: applies the config's
- * thread count, installs its trace sink, opens a top-level span, and
- * serializes progress ticks. Runners create one on entry and call
- * tick() from chunk bodies.
+ * Resolve screening limits without keeping the population: runs the
+ * pilot campaign only when a limit is actually unset. This is the
+ * shared pre-shard baking path -- yacd and the optimizer call it to
+ * pin limits into a ShardCampaignSpec / probe scenario before any
+ * shard or probe runs, and land on bit-identical limits because the
+ * pilot is a deterministic function of the request.
  */
-class CampaignScope
-{
-  public:
-    CampaignScope(const char *name, const CampaignConfig &config);
-    ~CampaignScope();
+ResolvedScreening bakeScreening(const MonteCarlo &mc,
+                                const CampaignRequest &request);
 
-    CampaignScope(const CampaignScope &) = delete;
-    CampaignScope &operator=(const CampaignScope &) = delete;
+/** bakeScreening against the paper-default MonteCarlo. */
+ResolvedScreening bakeScreening(const CampaignRequest &request);
 
-    /** Report @p chips more chips finished. Thread-safe. */
-    void tick(std::size_t chips);
+/**
+ * Run one campaign through the facade: evaluate the population with
+ * @p mc (byte-identical to mc.run(request.config())), resolve the
+ * screening limits, estimate the base-pass yield, and -- when the
+ * policy asks -- bin the population for revenue.
+ *
+ * Deterministic in the request at any thread count; the naive
+ * sampling path is bitwise the seed pipeline's.
+ */
+CampaignResult runCampaign(const MonteCarlo &mc,
+                           const CampaignRequest &request);
 
-  private:
-    const CampaignConfig &config_;
-    trace::Recorder *previous_ = nullptr;
-    bool swapped_ = false;
-    std::mutex progressMutex_;
-    std::size_t done_ = 0;
-    std::optional<trace::Span> span_;
-};
+/** runCampaign against the paper-default MonteCarlo. */
+CampaignResult runCampaign(const CampaignRequest &request);
 
 } // namespace yac
 

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Campaign population configuration. Every campaign runner
+ * (MonteCarlo::run, MultiCacheYield::run, the bench drivers, the
+ * CLI) takes one CampaignConfig instead of positional
+ * (num_chips, seed, ...) arguments, so adding a knob -- threads, a
+ * trace sink, a progress callback -- never ripples through every
+ * signature again.
+ *
+ * Field order is part of the API: `{chips, seed}` aggregate
+ * initialization is pervasive in tests and examples and must keep
+ * meaning "numChips, seed".
+ *
+ * This header holds only the population spec + RAII scope so the
+ * low-level runners (monte_carlo.hh) can include it without pulling
+ * in the full request/result facade that yield/campaign.hh builds on
+ * top of them.
+ */
+
+#ifndef YAC_YIELD_CAMPAIGN_CONFIG_HH
+#define YAC_YIELD_CAMPAIGN_CONFIG_HH
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "trace/trace.hh"
+#include "util/options.hh"
+#include "util/vecmath.hh"
+#include "variation/sampling_plan.hh"
+
+namespace yac
+{
+
+/** Parameters shared by every yield campaign. */
+struct CampaignConfig
+{
+    CampaignConfig() = default;
+
+    /** The ubiquitous `{chips, seed}` spelling, warning-free. */
+    CampaignConfig(std::size_t num_chips, std::uint64_t seed_value)
+        : numChips(num_chips), seed(seed_value)
+    {
+    }
+
+    std::size_t numChips = 2000; //!< the paper's population size
+    std::uint64_t seed = 2006;
+
+    /**
+     * Worker threads for this campaign: 0 keeps the current global
+     * setting (YAC_THREADS / --threads / parallel::setThreads).
+     * Non-zero applies globally for the rest of the process, like
+     * parallel::setThreads -- campaigns usually share one pool.
+     */
+    std::size_t threads = 0;
+
+    /**
+     * Span sink installed as the current trace recorder for the
+     * duration of the run (the previous recorder is restored after).
+     * nullptr leaves whatever is current -- e.g. a bench-wide
+     * trace::Session -- in place.
+     */
+    trace::Recorder *traceSink = nullptr;
+
+    /**
+     * Progress callback, invoked as (chips_done, chips_total) after
+     * each completed chunk. May be called concurrently from worker
+     * threads; calls are serialized by the campaign, but the callback
+     * must not assume it runs on the calling thread. Must not mutate
+     * campaign inputs (results are byte-identical with or without
+     * a callback installed).
+     */
+    std::function<void(std::size_t done, std::size_t total)> progress;
+
+    /**
+     * The campaign's numeric engine: SIMD kernel selection plus the
+     * sampling plan, in one struct so (numChips, seed, engine) fully
+     * determines the campaign's bytes.
+     *
+     * engine.sampling: how die-level process parameters are drawn.
+     * The default naive plan is bitwise-identical to the historical
+     * pipeline at any thread count; a tilted plan importance-samples
+     * the process tail and every chip carries a likelihood-ratio
+     * weight that the YieldEstimate machinery folds back in. See
+     * docs/SAMPLING.md.
+     *
+     * engine.simd: kernel selection for the batched chip evaluator
+     * AND the vectorized sampling front-end. Off (the default) runs
+     * the scalar bitwise-reference path; Auto/Avx2 are resolved
+     * against the host once per run by vecmath::resolveSimdKernel,
+     * which records the decision in the metrics registry and fails
+     * fast on a forced-Avx2 host mismatch. The SIMD path is
+     * deterministic and thread-count invariant but only
+     * tolerance-equal to the scalar reference -- except chip weights,
+     * which stay bitwise (see docs/PERFORMANCE.md section 4).
+     *
+     * engine.cpi / engine.surrogate: how CPI-carrying consumers of
+     * this campaign (priceCpiPopulation, the binning/test-floor
+     * revenue sweeps, the yacd --cpi modes) price per-chip CPI
+     * degradation: the exact pipeline simulator (sim, the default),
+     * the fitted coefficient table at engine.surrogate (surrogate),
+     * or the table inside its validated feature envelope with exact
+     * simulation outside it (auto). See docs/PERFORMANCE.md
+     * section 5.
+     */
+    EngineSpec engine;
+};
+
+/**
+ * CampaignConfig from parsed command-line options. The trace sink is
+ * not mapped: --trace-out is process-wide, handled by constructing a
+ * trace::Session in main().
+ */
+inline CampaignConfig
+campaignFromOptions(const CampaignOptions &opts)
+{
+    CampaignConfig config;
+    config.numChips = opts.chips;
+    config.seed = opts.seed;
+    config.threads = opts.threads;
+    config.engine.sampling = opts.engine.plan();
+    config.engine.simd = opts.engine.simd;
+    config.engine.cpi = opts.engine.cpi;
+    config.engine.surrogate = opts.engine.surrogate;
+    return config;
+}
+
+/**
+ * RAII bracket used inside campaign runners: applies the config's
+ * thread count, installs its trace sink, opens a top-level span, and
+ * serializes progress ticks. Runners create one on entry and call
+ * tick() from chunk bodies.
+ */
+class CampaignScope
+{
+  public:
+    CampaignScope(const char *name, const CampaignConfig &config);
+    ~CampaignScope();
+
+    CampaignScope(const CampaignScope &) = delete;
+    CampaignScope &operator=(const CampaignScope &) = delete;
+
+    /** Report @p chips more chips finished. Thread-safe. */
+    void tick(std::size_t chips);
+
+  private:
+    const CampaignConfig &config_;
+    trace::Recorder *previous_ = nullptr;
+    bool swapped_ = false;
+    std::mutex progressMutex_;
+    std::size_t done_ = 0;
+    std::optional<trace::Span> span_;
+};
+
+} // namespace yac
+
+#endif // YAC_YIELD_CAMPAIGN_CONFIG_HH

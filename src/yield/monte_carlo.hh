@@ -17,7 +17,7 @@
 #include "circuit/geometry.hh"
 #include "circuit/technology.hh"
 #include "variation/sampler.hh"
-#include "yield/campaign.hh"
+#include "yield/campaign_config.hh"
 #include "yield/constraints.hh"
 
 namespace yac

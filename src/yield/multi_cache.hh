@@ -131,6 +131,18 @@ class MultiCacheYield
                          const std::vector<const Scheme *> &schemes,
                          const ConstraintPolicy &policy) const;
 
+    /**
+     * Facade adapter: run from a CampaignRequest, taking the merged
+     * engine config and the policy's ConstraintPolicy. Identical to
+     * run(request.config(), schemes, request.policy.constraints).
+     */
+    MultiCacheReport run(const CampaignRequest &request,
+                         const std::vector<const Scheme *> &schemes) const
+    {
+        return run(request.config(), schemes,
+                   request.policy.constraints);
+    }
+
     const std::vector<ChipComponent> &components() const
     {
         return components_;

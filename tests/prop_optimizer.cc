@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Property tests of the design-space optimizer (ISSUE PR 10):
+ * determinism of the trajectory, probe-cache equivalence, monotone
+ * best-so-far revenue, constraint compliance of the reported
+ * optimum, and the empty-probe sentinel (a campaign with zero
+ * shippable chips must rank with a defined objective, never NaN).
+ */
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "opt/design_point.hh"
+#include "opt/optimizer.hh"
+#include "opt/probe.hh"
+#include "opt/probe_cache.hh"
+
+using namespace yac;
+using namespace yac::opt;
+
+namespace
+{
+
+/** Small, fully-baked scenario shared by the search tests. */
+ProbeScenario
+smallScenario()
+{
+    ProbeScenario scenario;
+    scenario.chips = 120;
+    scenario.seed = 2006;
+    scenario.bakeMarket();
+    return scenario;
+}
+
+OptimizerConfig
+smallConfig(std::size_t budget = 12)
+{
+    OptimizerConfig config;
+    config.seed = 7;
+    config.budget = budget;
+    config.restarts = 1;
+    return config;
+}
+
+bool
+sameResultBits(const ProbeResult &a, const ProbeResult &b)
+{
+    return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+} // namespace
+
+TEST(ProbeResult, EmptyCampaignHasDefinedSentinel)
+{
+    // A market no chip can meet: microscopic power envelope. The
+    // probe must report the empty sentinel, not NaN revenue.
+    ProbeScenario scenario;
+    scenario.chips = 64;
+    scenario.seed = 2006;
+    scenario.bins = {{"fast", 200.0, 100.0}};
+    scenario.leakageLimitMw = 1e-6;
+    const ProbeEvaluator evaluator(scenario);
+    const ProbeResult r =
+        evaluator.evaluate(DesignPoint::paperBaseline());
+    EXPECT_EQ(r.empty, 1u);
+    EXPECT_EQ(r.feasible, 0u);
+    EXPECT_EQ(r.revenuePerChip, 0.0);
+    EXPECT_EQ(r.revenuePerWafer, 0.0);
+    EXPECT_FALSE(std::isnan(r.objective()));
+    EXPECT_TRUE(std::isfinite(r.objective()));
+
+    // And the optimizer still ranks it below any feasible probe.
+    ProbeResult feasible;
+    feasible.feasible = 1;
+    feasible.revenuePerWafer = 1.0;
+    EXPECT_LT(r.objective(), feasible.objective());
+}
+
+TEST(Optimizer, TrajectoryIsDeterministic)
+{
+    const ProbeScenario scenario = smallScenario();
+    const ProbeEvaluator evaluator(scenario);
+
+    ProbeCache cache_a;
+    Optimizer a(evaluator, cache_a, smallConfig());
+    const OptimizerReport ra = a.run();
+
+    ProbeCache cache_b;
+    Optimizer b(evaluator, cache_b, smallConfig());
+    const OptimizerReport rb = b.run();
+
+    ASSERT_EQ(ra.trajectory.size(), rb.trajectory.size());
+    for (std::size_t i = 0; i < ra.trajectory.size(); ++i) {
+        EXPECT_EQ(ra.trajectory[i].point, rb.trajectory[i].point);
+        EXPECT_TRUE(sameResultBits(ra.trajectory[i].result,
+                                   rb.trajectory[i].result))
+            << "probe " << i << " diverged";
+    }
+    EXPECT_EQ(ra.best, rb.best);
+    EXPECT_TRUE(sameResultBits(ra.bestResult, rb.bestResult));
+}
+
+TEST(Optimizer, WarmProbeCacheReplaysIdentically)
+{
+    const ProbeScenario scenario = smallScenario();
+    const ProbeEvaluator evaluator(scenario);
+
+    ProbeCache cold;
+    Optimizer first(evaluator, cold, smallConfig());
+    const OptimizerReport fresh = first.run();
+    // A cold search may still hit its own cache when the walk
+    // revisits a point; every campaign it ran was a miss though.
+    EXPECT_GT(fresh.campaignsRun, 0u);
+    EXPECT_EQ(fresh.campaignsRun + fresh.cacheHits,
+              fresh.probesRequested);
+
+    // Second search against the warm cache: zero campaigns, but the
+    // trajectory (points, results, best) is bitwise identical and
+    // the budget accounting still charges every requested probe.
+    Optimizer second(evaluator, cold, smallConfig());
+    const OptimizerReport warm = second.run();
+    EXPECT_EQ(warm.campaignsRun, 0u);
+    EXPECT_GT(warm.cacheHits, 0u);
+    EXPECT_EQ(warm.probesRequested, fresh.probesRequested);
+    ASSERT_EQ(warm.trajectory.size(), fresh.trajectory.size());
+    for (std::size_t i = 0; i < fresh.trajectory.size(); ++i) {
+        EXPECT_EQ(fresh.trajectory[i].point, warm.trajectory[i].point);
+        EXPECT_TRUE(sameResultBits(fresh.trajectory[i].result,
+                                   warm.trajectory[i].result));
+        EXPECT_EQ(fresh.trajectory[i].accepted,
+                  warm.trajectory[i].accepted);
+    }
+    EXPECT_TRUE(sameResultBits(fresh.bestResult, warm.bestResult));
+}
+
+TEST(Optimizer, BestSoFarIsMonotone)
+{
+    const ProbeScenario scenario = smallScenario();
+    const ProbeEvaluator evaluator(scenario);
+    ProbeCache cache;
+    Optimizer optimizer(evaluator, cache, smallConfig(16));
+    const OptimizerReport report = optimizer.run();
+    ASSERT_FALSE(report.trajectory.empty());
+    double best = report.trajectory.front().bestObjective;
+    for (const TrajectoryStep &step : report.trajectory) {
+        EXPECT_GE(step.bestObjective, best);
+        best = step.bestObjective;
+        EXPECT_FALSE(std::isnan(step.result.objective()));
+    }
+    EXPECT_EQ(best, report.bestResult.objective());
+}
+
+TEST(Optimizer, ReportedOptimumRespectsTheYieldFloor)
+{
+    const ProbeScenario scenario = smallScenario();
+    const ProbeEvaluator evaluator(scenario);
+    ProbeCache cache;
+    Optimizer optimizer(evaluator, cache, smallConfig(16));
+    const OptimizerReport report = optimizer.run();
+    // The paper baseline is feasible in this scenario, so the
+    // reported optimum must be too -- the floor is a constraint,
+    // not a soft penalty.
+    ASSERT_EQ(report.baselineResult.feasible, 1u);
+    EXPECT_EQ(report.bestResult.feasible, 1u);
+    EXPECT_GE(report.bestResult.sellableYield, scenario.yieldFloor);
+    EXPECT_GE(report.bestResult.objective(),
+              report.baselineResult.objective());
+}
+
+TEST(Optimizer, RandomModeStaysWithinBudgetAndIsDeterministic)
+{
+    const ProbeScenario scenario = smallScenario();
+    const ProbeEvaluator evaluator(scenario);
+    OptimizerConfig config = smallConfig(10);
+    config.mode = "random";
+
+    ProbeCache cache_a;
+    const OptimizerReport ra =
+        Optimizer(evaluator, cache_a, config).run();
+    ProbeCache cache_b;
+    const OptimizerReport rb =
+        Optimizer(evaluator, cache_b, config).run();
+    EXPECT_EQ(ra.probesRequested, 10u);
+    ASSERT_EQ(ra.trajectory.size(), rb.trajectory.size());
+    for (std::size_t i = 0; i < ra.trajectory.size(); ++i)
+        EXPECT_EQ(ra.trajectory[i].point, rb.trajectory[i].point);
+}
+
+TEST(DesignPoint, CanonicalFoldsInactiveAxes)
+{
+    DesignPoint a = DesignPoint::paperBaseline();
+    a.idx[kAxisScheme] = static_cast<int>(SchemeChoice::Yapd);
+    DesignPoint b = a;
+    b.idx[kAxisBufferDepth] = 3;    // inactive under YAPD
+    b.idx[kAxisHyapdRegions] = 2;   // inactive under YAPD
+    EXPECT_EQ(a.canonical(), b.canonical());
+    EXPECT_EQ(a.contentHash(), b.contentHash());
+
+    // An active axis must stay distinguishing.
+    DesignPoint c = a;
+    c.idx[kAxisDisabledWays] = 2;
+    EXPECT_NE(a.contentHash(), c.contentHash());
+}
+
+TEST(ProbeCache, RoundTripsAndRejectsCorruption)
+{
+    const std::string path =
+        testing::TempDir() + "/prop_optimizer_cache.bin";
+    ProbeCache cache;
+    ProbeResult r;
+    r.revenuePerChip = 93.5;
+    r.revenuePerWafer = 37400.0;
+    r.sellableYield = 0.96;
+    r.feasible = 1;
+    r.chips = 120;
+    cache.insert(0x1234u, r);
+    ASSERT_TRUE(cache.save(path));
+
+    ProbeCache loaded;
+    ASSERT_EQ(loaded.load(path), ProbeCache::LoadStatus::Ok);
+    ASSERT_EQ(loaded.size(), 1u);
+    const ProbeResult *hit = loaded.lookup(0x1234u);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_TRUE(sameResultBits(*hit, r));
+    EXPECT_EQ(loaded.lookup(0x9999u), nullptr);
+    EXPECT_EQ(loaded.hits(), 1u);
+    EXPECT_EQ(loaded.misses(), 1u);
+
+    // Flip one payload byte: the checksum must reject the file and
+    // leave the cache untouched.
+    {
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(-1, std::ios::end);
+        char last;
+        f.seekg(-1, std::ios::end);
+        f.get(last);
+        f.seekp(-1, std::ios::end);
+        f.put(static_cast<char>(last ^ 0x5a));
+    }
+    ProbeCache rejected;
+    EXPECT_EQ(rejected.load(path),
+              ProbeCache::LoadStatus::ChecksumMismatch);
+    EXPECT_EQ(rejected.size(), 0u);
+}
+
+TEST(ProbeKey, SeparatesScenariosAndPoints)
+{
+    ProbeScenario a;
+    a.chips = 64;
+    a.bins = {{"fast", 200.0, 100.0}};
+    a.leakageLimitMw = 50.0;
+    ProbeScenario b = a;
+    b.yieldFloor = 0.9;
+    const DesignPoint p = DesignPoint::paperBaseline();
+    EXPECT_NE(probeKey(a, p), probeKey(b, p));
+    DesignPoint q = p;
+    q.idx[kAxisGuardBand] = 0;
+    EXPECT_NE(probeKey(a, p), probeKey(a, q));
+}

@@ -62,10 +62,16 @@ cmdYield(const Argv &args)
                   "' (regular | horizontal)");
     trace::Session session(opts.traceOut);
 
-    MonteCarlo mc;
-    const MonteCarloResult result = mc.run(campaignFromOptions(opts));
-    const YieldConstraints c = result.constraints(policy);
-    const CycleMapping m = result.cycleMapping(policy);
+    // One facade request resolves the population, the policy's
+    // screening limits and the cycle mapping together.
+    CampaignRequest request;
+    request.spec = campaignFromOptions(opts);
+    request.engine = request.spec.engine;
+    request.policy.constraints = policy;
+    const CampaignResult campaign = runCampaign(request);
+    const MonteCarloResult &result = campaign.population;
+    const YieldConstraints &c = campaign.limits;
+    const CycleMapping &m = campaign.mapping;
 
     YapdScheme yapd;
     HYapdScheme hyapd;

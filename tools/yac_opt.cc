@@ -1,0 +1,282 @@
+/**
+ * @file
+ * yac_opt -- the deterministic yield/revenue design-space optimizer.
+ *
+ * Searches the DesignPoint grid (scheme family + knobs, test-floor
+ * placement, cache-geometry knobs) for the highest revenue per wafer
+ * subject to the sellable-yield floor, probing each candidate with
+ * an importance-sampling-capable campaign through the
+ * CampaignRequest facade and grading it against the market baked
+ * from the paper-nominal pilot.
+ *
+ *   yac_opt [--chips=N --seed=S --threads=T --engine=...]
+ *           [--budget=N] [--mode=cd|random] [--restarts=R]
+ *           [--opt-seed=S] [--yield-floor=F] [--probe-cache=FILE]
+ *           [--out-dir=D]
+ *
+ * Outputs:
+ *  - out/opt_trajectory.csv -- every requested probe, in request
+ *    order, all floats at %.17g (two runs with the same flags are
+ *    byte-identical; a run resumed against a warm --probe-cache is
+ *    byte-identical too and just skips the campaign cost).
+ *  - a paper-vs-optimized revenue/yield table on stdout.
+ *  - BENCH_optimizer.json -- probes/s plus the cache hit counters.
+ *  - a FINAL line (%.17g) for byte-identity checks, like yacd's.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/sim_cache.hh"
+#include "yac.hh"
+
+using namespace yac;
+using namespace yac::opt;
+
+namespace
+{
+
+std::string
+g17(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::vector<std::string>
+trajectoryRow(const TrajectoryStep &step)
+{
+    // No "served from cache" column: the trajectory describes the
+    // search, which must be bitwise identical whether probes came
+    // from campaigns or from a warm probe cache.
+    std::vector<std::string> row = {
+        std::to_string(step.probe),
+        std::to_string(step.accepted ? 1 : 0),
+    };
+    for (int axis = 0; axis < kAxisCount; ++axis)
+        row.push_back(std::to_string(step.point.idx[axis]));
+    const ProbeResult &r = step.result;
+    row.push_back(g17(r.objective()));
+    row.push_back(g17(r.revenuePerWafer));
+    row.push_back(g17(r.revenuePerChip));
+    row.push_back(g17(r.sellableYield));
+    row.push_back(g17(r.yieldStdErr));
+    row.push_back(g17(r.escapeRate));
+    row.push_back(std::to_string(r.feasible));
+    row.push_back(std::to_string(r.empty));
+    row.push_back(g17(step.bestObjective));
+    row.push_back(CsvWriter::escape(step.point.label()));
+    return row;
+}
+
+void
+printComparison(const ProbeScenario &scenario,
+                const OptimizerReport &report)
+{
+    TextTable out({"design", "point", "rev/wafer", "rev/chip",
+                   "sellable yield", "escapes", "feasible"});
+    const auto row = [&](const char *name, const DesignPoint &p,
+                         const ProbeResult &r) {
+        out.addRow({name, p.label(),
+                    TextTable::num(r.revenuePerWafer, 1),
+                    TextTable::num(r.revenuePerChip, 3),
+                    TextTable::percent(r.sellableYield),
+                    TextTable::percent(r.escapeRate, 2),
+                    r.feasible != 0 ? "yes" : "NO"});
+    };
+    row("paper", report.baseline, report.baselineResult);
+    row("optimized", report.best, report.bestResult);
+    out.print();
+    std::printf("\nmarket: top bin %.0f ps at %.0f, power envelope "
+                "%.1f mW, yield floor %.0f%%\n",
+                scenario.bins.front().delayLimitPs,
+                scenario.bins.front().price, scenario.leakageLimitMw,
+                100.0 * scenario.yieldFloor);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CampaignOptions opts;
+    std::size_t budget = 120;
+    std::size_t restarts = 2;
+    std::size_t opt_seed = 1;
+    std::string mode = "cd";
+    double yield_floor = 0.55;
+    std::string probe_cache_path;
+    OptionParser parser(
+        "yac_opt [options] -- deterministic revenue-per-wafer "
+        "design-space search over the campaign facade");
+    addCampaignOptions(parser, opts);
+    parser.add("budget",
+               "probes to request (cache hits count against it)",
+               &budget, 1);
+    parser.add("mode", "search mode: cd or random", &mode);
+    parser.add("restarts",
+               "random restarts after coordinate descent converges",
+               &restarts);
+    parser.add("opt-seed", "seed of the restart/random-mode draws",
+               &opt_seed);
+    parser.add("yield-floor",
+               "minimum sellable yield of a legal design", &yield_floor);
+    parser.add("probe-cache",
+               "persistent probe-result cache (resume warm)",
+               &probe_cache_path);
+    parser.parse(argc, argv);
+    if (opts.threads != 0)
+        parallel::setThreads(opts.threads);
+    if (!opts.simCache.empty())
+        SimCache::instance().persistTo(opts.simCache);
+    trace::Session trace_session(opts.traceOut);
+
+    ProbeScenario scenario;
+    scenario.chips = opts.chips;
+    scenario.seed = opts.seed;
+    scenario.engine = opts.engine;
+    scenario.yieldFloor = yield_floor;
+    scenario.bakeMarket();
+
+    // CPI pricing: the oracle (surrogate table, auto mode falls back
+    // to the exact simulator outside the envelope) when the engine
+    // asks for it; the fixed per-way discount otherwise.
+    std::unique_ptr<CpiOracle> oracle;
+    if (opts.engine.cpi != CpiMode::Sim) {
+        oracle = std::make_unique<CpiOracle>(
+            CpiOracle::fromSpec(opts.engine));
+    }
+    const ProbeEvaluator evaluator(scenario, oracle.get());
+
+    ProbeCache cache;
+    if (!probe_cache_path.empty()) {
+        const ProbeCache::LoadStatus status =
+            cache.load(probe_cache_path);
+        if (status == ProbeCache::LoadStatus::Ok) {
+            std::printf("probe cache: %zu records from %s\n",
+                        cache.size(), probe_cache_path.c_str());
+        } else if (status != ProbeCache::LoadStatus::MissingFile) {
+            yac_warn("probe cache ", probe_cache_path, " rejected (",
+                     ProbeCache::loadStatusName(status),
+                     "); starting cold");
+        }
+    }
+
+    OptimizerConfig config;
+    config.seed = opt_seed;
+    config.budget = budget;
+    config.restarts = restarts;
+    config.mode = mode;
+
+    std::printf("yac_opt: %s search, budget %zu probes, %zu chips "
+                "per probe, engine %s\n\n",
+                mode.c_str(), budget, opts.chips,
+                opts.engine.describe().c_str());
+    const auto start = std::chrono::steady_clock::now();
+    Optimizer optimizer(evaluator, cache, config);
+    const OptimizerReport report = optimizer.run();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+
+    if (!probe_cache_path.empty() &&
+        !cache.save(probe_cache_path)) {
+        yac_warn("could not write probe cache ", probe_cache_path);
+    }
+
+    std::filesystem::create_directories(opts.outDir);
+    const std::string csv_path =
+        (std::filesystem::path(opts.outDir) / "opt_trajectory.csv")
+            .string();
+    {
+        std::vector<std::string> headers = {"probe", "accepted"};
+        for (int axis = 0; axis < kAxisCount; ++axis)
+            headers.emplace_back(axisName(axis));
+        for (const char *h :
+             {"objective", "revenue_per_wafer", "revenue_per_chip",
+              "sellable_yield", "yield_stderr", "escape_rate",
+              "feasible", "empty", "best_objective", "label"}) {
+            headers.emplace_back(h);
+        }
+        CsvWriter csv(csv_path, headers);
+        for (const TrajectoryStep &step : report.trajectory)
+            csv.writeRow(trajectoryRow(step));
+    }
+
+    printComparison(scenario, report);
+    const double gain =
+        report.baselineResult.revenuePerWafer > 0.0
+            ? report.bestResult.revenuePerWafer /
+                      report.baselineResult.revenuePerWafer -
+                  1.0
+            : 0.0;
+    std::printf("revenue gain over the paper design: %+.2f%%  "
+                "(%zu probes, %llu campaigns, %llu cache hits, "
+                "%.2f probes/s)\nwrote %s\n",
+                100.0 * gain, report.probesRequested,
+                static_cast<unsigned long long>(report.campaignsRun),
+                static_cast<unsigned long long>(report.cacheHits),
+                wall > 0.0 ? static_cast<double>(
+                                 report.probesRequested) /
+                                 wall
+                           : 0.0,
+                csv_path.c_str());
+
+    // Machine-readable summary, BENCH schema (revenues in milli-units
+    // and yields in ppm to fit the integer counter schema).
+    const auto milli = [](double v) {
+        return static_cast<std::uint64_t>(
+            std::llround(std::max(0.0, v) * 1e3));
+    };
+    const auto ppm = [](double v) {
+        return static_cast<std::uint64_t>(
+            std::llround(std::max(0.0, v) * 1e6));
+    };
+    trace::Metrics &metrics = trace::Metrics::instance();
+    metrics.counter("opt_best_rev_wafer_milli")
+        .add(milli(report.bestResult.revenuePerWafer));
+    metrics.counter("opt_base_rev_wafer_milli")
+        .add(milli(report.baselineResult.revenuePerWafer));
+    metrics.counter("opt_best_yield_ppm")
+        .add(ppm(report.bestResult.sellableYield));
+    metrics.counter("opt_base_yield_ppm")
+        .add(ppm(report.baselineResult.sellableYield));
+    metrics.counter("opt_gain_ppm").add(ppm(gain));
+    BenchReport bench_report;
+    bench_report.bench = "optimizer";
+    bench_report.chips = opts.chips * report.campaignsRun;
+    bench_report.threads = parallel::threads();
+    bench_report.wallSeconds = wall;
+    const trace::MetricsSnapshot snap = metrics.snapshot();
+    for (const auto &[phase, seconds] : snap.phaseSeconds) {
+        if (seconds > 0.0)
+            bench_report.phaseSeconds[phase] = seconds;
+    }
+    for (const auto &[counter, value] : snap.counters) {
+        if (value > 0)
+            bench_report.counters[counter] = value;
+    }
+    std::printf("%s\n", formatBenchReportLine(bench_report).c_str());
+
+    // The byte-identity contract: every float at %.17g.
+    std::printf("FINAL probes=%zu campaigns=%llu hits=%llu "
+                "best_obj=%.17g best_rev_wafer=%.17g "
+                "best_yield=%.17g base_rev_wafer=%.17g "
+                "best_point=%llu\n",
+                report.probesRequested,
+                static_cast<unsigned long long>(report.campaignsRun),
+                static_cast<unsigned long long>(report.cacheHits),
+                report.bestResult.objective(),
+                report.bestResult.revenuePerWafer,
+                report.bestResult.sellableYield,
+                report.baselineResult.revenuePerWafer,
+                static_cast<unsigned long long>(
+                    report.best.contentHash()));
+    return 0;
+}

@@ -130,47 +130,41 @@ policyByName(const std::string &name)
 }
 
 /**
- * Resolve the full campaign spec. Unset limits come from a pilot
- * MonteCarlo run of the same population -- deterministic, so every
- * invocation (run, single, CI) lands on bit-identical limits.
+ * The facade request these flags describe: the population/engine spec
+ * plus the screening policy, with explicit limits (if any) as policy
+ * overrides.
+ */
+CampaignRequest
+requestFromFlags(const SpecFlags &flags)
+{
+    CampaignRequest request;
+    request.spec = campaignFromOptions(flags.opts);
+    request.engine = request.spec.engine;
+    request.policy.constraints = policyByName(flags.policy);
+    request.policy.delayLimitPs = flags.delayLimitPs;
+    request.policy.leakageLimitMw = flags.leakageLimitMw;
+    if (!flags.binEdges.empty())
+        request.policy.binEdges = parseBinEdges(flags.binEdges);
+    return request;
+}
+
+/**
+ * Resolve the full campaign spec through the facade's shared baking
+ * path (service::specFromRequest -> yac::bakeScreening). Unset
+ * limits come from a pilot MonteCarlo run of the same population --
+ * deterministic, so every invocation (run, single, CI) lands on
+ * bit-identical limits.
  */
 ShardCampaignSpec
 specFromFlags(const SpecFlags &flags)
 {
-    ShardCampaignSpec spec;
-    spec.numChips = flags.opts.chips;
-    spec.seed = flags.opts.seed;
-    spec.sampling = flags.opts.engine.plan();
-    spec.simd = flags.opts.engine.simd;
-    spec.delayLimitPs = flags.delayLimitPs;
-    spec.leakageLimitMw = flags.leakageLimitMw;
-
-    if (spec.delayLimitPs <= 0.0 || spec.leakageLimitMw <= 0.0) {
-        const ConstraintPolicy policy = policyByName(flags.policy);
-        MonteCarlo mc;
-        const MonteCarloResult pilot =
-            mc.run(campaignFromOptions(flags.opts));
-        const YieldConstraints c = pilot.constraints(policy);
-        if (spec.delayLimitPs <= 0.0)
-            spec.delayLimitPs = c.delayLimitPs;
-        if (spec.leakageLimitMw <= 0.0)
-            spec.leakageLimitMw = c.leakageLimitMw;
+    ResolvedScreening screening;
+    ShardCampaignSpec spec =
+        specFromRequest(requestFromFlags(flags), &screening);
+    if (screening.derived) {
         std::printf("limits (%s policy): delay %.17g ps, "
-                    "leakage %.17g mW\n",
-                    policy.name.c_str(), spec.delayLimitPs,
-                    spec.leakageLimitMw);
-    }
-
-    if (!flags.binEdges.empty()) {
-        spec.binEdges = parseBinEdges(flags.binEdges);
-    } else {
-        // Default delay histogram: the latency budgets of 4..8-cycle
-        // accesses, so the bins are the sellable speed grades.
-        CycleMapping mapping;
-        mapping.delayLimitPs = spec.delayLimitPs;
-        for (std::size_t b = 0; b < spec.binEdges.size(); ++b)
-            spec.binEdges[b] = mapping.latencyBudget(
-                mapping.baseCycles + static_cast<int>(b));
+                    "leakage %.17g mW\n", flags.policy.c_str(),
+                    spec.delayLimitPs, spec.leakageLimitMw);
     }
 
     if (flags.carryCpi != 0) {
